@@ -1,0 +1,531 @@
+//! The attack Bayesian network and the `dbn` diversity metric (paper §VI).
+//!
+//! Construction: the undirected host network is unrolled into a DAG by
+//! breadth-first layering from the attack entry host (edges point from lower
+//! `(layer, id)` to higher — the standard acyclic unrolling of attack
+//! propagation; "backward" moves away from the entry are dropped). Each host
+//! becomes a binary node (clean/compromised):
+//!
+//! * the entry host is compromised with probability 1;
+//! * every other host is a **noisy-OR** over its incoming attack edges,
+//!   where the per-edge trigger probability models one exploit crossing the
+//!   edge.
+//!
+//! Per-edge infection rate (paper §VI): the attacker holds one zero-day per
+//! service type and, when several services are exploitable across an edge,
+//! "evenly chooses one to use", so the edge rate is the *mean* over shared
+//! services of the per-service success. With similarity information the
+//! per-service success is
+//! `baseline_rate + (1 − baseline_rate) · exploit_success · sim(α(u,s), α(v,s))`
+//! — similarity *raises* infection above the generic zero-day rate, and even
+//! fully dissimilar products retain the residual `baseline_rate` (a fresh
+//! zero-day can still land). Without similarity information (the `P'`
+//! numerator of Definition 6) the per-service success is exactly
+//! `baseline_rate`, making `P'` independent of the assignment — as the
+//! paper's Table V shows — and guaranteeing `P ≥ P'`, hence `dbn ≤ 1`,
+//! matching the paper's "the diversity metric dbn is always less than 1.0".
+//!
+//! The metric: `dbn = P'(target) / P(target)`, always in `(0, 1]` when the
+//! deployed products are at least as exploitable as the baseline; greater
+//! values mean a more diverse (more resilient) deployment.
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::ProductSimilarity;
+use netmodel::network::Network;
+use netmodel::HostId;
+
+use crate::graph::{BayesNet, Cpt, NodeId};
+use crate::ve::VariableElimination;
+use crate::{Error, Result};
+
+/// How multiple feasible exploits across one edge combine into an edge rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExploitChoice {
+    /// "Attackers evenly choose one to use" (paper §VI): the mean of the
+    /// per-service success probabilities.
+    #[default]
+    Even,
+    /// The sophisticated attacker of the motivational example and §VII-C2:
+    /// always the highest-success exploit (the max).
+    Best,
+}
+
+/// Parameters of the attack model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackModelConfig {
+    /// Success probability of re-using an exploit across identical products
+    /// (`sim = 1`); per-service success scales linearly with similarity.
+    pub exploit_success: f64,
+    /// The average zero-day success rate used when similarity information is
+    /// ignored (the paper's `Pavg`).
+    pub baseline_rate: f64,
+    /// Exploit aggregation across shared services.
+    pub choice: ExploitChoice,
+}
+
+impl Default for AttackModelConfig {
+    /// Defaults calibrated on the paper's case study so that the Table V
+    /// reproduction lands in the published regime (`log10 P' ≈ -3.23` vs
+    /// the paper's `-3.151`, with the published strict dbn ordering); see
+    /// EXPERIMENTS.md.
+    fn default() -> AttackModelConfig {
+        AttackModelConfig {
+            exploit_success: 0.15,
+            baseline_rate: 0.15,
+            choice: ExploitChoice::Even,
+        }
+    }
+}
+
+/// The assembled attack BN, with the host→node mapping.
+#[derive(Debug, Clone)]
+pub struct AttackBn {
+    bn: BayesNet,
+    node_of_host: Vec<Option<NodeId>>,
+    entry: HostId,
+}
+
+impl AttackBn {
+    /// Builds the attack BN for `network` with similarity-aware edge rates
+    /// derived from `assignment`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range for the network.
+    pub fn with_similarity(
+        network: &Network,
+        assignment: &Assignment,
+        similarity: &ProductSimilarity,
+        entry: HostId,
+        config: AttackModelConfig,
+    ) -> AttackBn {
+        build(network, Some((assignment, similarity)), entry, config)
+    }
+
+    /// Builds the baseline attack BN (`P'` of Definition 6): every edge that
+    /// shares at least one service carries the constant `baseline_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is out of range for the network.
+    pub fn without_similarity(
+        network: &Network,
+        entry: HostId,
+        config: AttackModelConfig,
+    ) -> AttackBn {
+        build(network, None, entry, config)
+    }
+
+    /// The underlying Bayesian network.
+    pub fn bayes_net(&self) -> &BayesNet {
+        &self.bn
+    }
+
+    /// The BN node of a host, if the host is reachable from the entry.
+    pub fn node_of(&self, host: HostId) -> Option<NodeId> {
+        self.node_of_host.get(host.index()).copied().flatten()
+    }
+
+    /// The entry host.
+    pub fn entry(&self) -> HostId {
+        self.entry
+    }
+
+    /// `P(host compromised)` by exact variable elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::HostUnreachable`] if the host is not connected to
+    /// the entry.
+    pub fn compromise_probability(&self, host: HostId) -> Result<f64> {
+        let node = self.node_of(host).ok_or(Error::HostUnreachable {
+            host: host.index(),
+        })?;
+        VariableElimination::new(&self.bn).probability(node, 1, &[])
+    }
+}
+
+/// The paper's Definition 6, evaluated for one assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityMetric {
+    /// `P(target)` with vulnerability similarity taken into account.
+    pub p_with_similarity: f64,
+    /// `P'(target)` with the constant baseline rate (assignment-independent).
+    pub p_without_similarity: f64,
+    /// `dbn = P' / P`.
+    pub dbn: f64,
+}
+
+impl DiversityMetric {
+    /// `log10 P(target)` (the form Table V reports).
+    pub fn log_p_with(&self) -> f64 {
+        self.p_with_similarity.log10()
+    }
+
+    /// `log10 P'(target)`.
+    pub fn log_p_without(&self) -> f64 {
+        self.p_without_similarity.log10()
+    }
+}
+
+/// Computes the BN-based diversity metric `dbn` for an assignment.
+///
+/// # Errors
+///
+/// Returns [`Error::HostUnreachable`] if `target` is not reachable from
+/// `entry`, and [`Error::DegenerateMetric`] if `P(target)` is zero (the
+/// ratio is undefined; this happens only when every path is fully cut).
+pub fn diversity_metric(
+    network: &Network,
+    assignment: &Assignment,
+    similarity: &ProductSimilarity,
+    entry: HostId,
+    target: HostId,
+    config: AttackModelConfig,
+) -> Result<DiversityMetric> {
+    let with = AttackBn::with_similarity(network, assignment, similarity, entry, config);
+    let without = AttackBn::without_similarity(network, entry, config);
+    let p_with = with.compromise_probability(target)?;
+    let p_without = without.compromise_probability(target)?;
+    if p_with <= 0.0 {
+        return Err(Error::DegenerateMetric);
+    }
+    Ok(DiversityMetric {
+        p_with_similarity: p_with,
+        p_without_similarity: p_without,
+        dbn: p_without / p_with,
+    })
+}
+
+fn build(
+    network: &Network,
+    with_similarity: Option<(&Assignment, &ProductSimilarity)>,
+    entry: HostId,
+    config: AttackModelConfig,
+) -> AttackBn {
+    assert!(
+        entry.index() < network.host_count(),
+        "entry host out of range"
+    );
+    // BFS layering from the entry.
+    let n = network.host_count();
+    let mut layer = vec![usize::MAX; n];
+    layer[entry.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([entry]);
+    let mut order = Vec::new();
+    while let Some(h) = queue.pop_front() {
+        order.push(h);
+        for &nb in network.neighbors(h) {
+            if layer[nb.index()] == usize::MAX {
+                layer[nb.index()] = layer[h.index()] + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    // Topological order: (layer, id). BFS emits non-decreasing layers, but
+    // ties within a layer must be id-ordered for the edge orientation below.
+    order.sort_by_key(|h| (layer[h.index()], h.index()));
+
+    let mut bn = BayesNet::new();
+    let mut node_of_host: Vec<Option<NodeId>> = vec![None; n];
+    for &h in &order {
+        let name = network.host(h).expect("bfs host exists").name().to_owned();
+        if h == entry {
+            let id = bn
+                .add_node(&name, 2, vec![], Cpt::tabular(vec![0.0, 1.0]))
+                .expect("entry node is valid");
+            node_of_host[h.index()] = Some(id);
+            continue;
+        }
+        // Parents: neighbors with smaller (layer, id).
+        let mut parents = Vec::new();
+        let mut weights = Vec::new();
+        for &nb in network.neighbors(h) {
+            let key_nb = (layer[nb.index()], nb.index());
+            let key_h = (layer[h.index()], h.index());
+            if key_nb < key_h {
+                if let Some(pid) = node_of_host[nb.index()] {
+                    let w = edge_rate(network, with_similarity, nb, h, config);
+                    if w > 0.0 {
+                        parents.push(pid);
+                        weights.push(w);
+                    }
+                }
+            }
+        }
+        let id = bn
+            .add_node(&name, 2, parents, Cpt::noisy_or(0.0, weights))
+            .expect("host node is valid");
+        node_of_host[h.index()] = Some(id);
+    }
+    AttackBn {
+        bn,
+        node_of_host,
+        entry,
+    }
+}
+
+/// The per-edge infection rate (module docs).
+fn edge_rate(
+    network: &Network,
+    with_similarity: Option<(&Assignment, &ProductSimilarity)>,
+    from: HostId,
+    to: HostId,
+    config: AttackModelConfig,
+) -> f64 {
+    let host_from = network.host(from).expect("edge host exists");
+    let mut total = 0.0;
+    let mut best: f64 = 0.0;
+    let mut shared = 0usize;
+    for inst in host_from.services() {
+        let q = match with_similarity {
+            Some((assignment, similarity)) => {
+                let pa = assignment.product_for(network, from, inst.service());
+                let pb = assignment.product_for(network, to, inst.service());
+                match (pa, pb) {
+                    (Some(pa), Some(pb)) => {
+                        config.baseline_rate
+                            + (1.0 - config.baseline_rate)
+                                * config.exploit_success
+                                * similarity.get(pa, pb)
+                    }
+                    _ => continue,
+                }
+            }
+            None => {
+                let to_host = network.host(to).expect("edge host exists");
+                if to_host.service_slot(inst.service()).is_none() {
+                    continue;
+                }
+                config.baseline_rate
+            }
+        };
+        shared += 1;
+        total += q;
+        best = best.max(q);
+    }
+    if shared == 0 {
+        return 0.0;
+    }
+    match config.choice {
+        ExploitChoice::Even => (total / shared as f64).clamp(0.0, 1.0),
+        ExploitChoice::Best => best.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::catalog::Catalog;
+    use netmodel::network::NetworkBuilder;
+    use netmodel::strategies::{mono_assignment, random_assignment};
+    use netmodel::ProductId;
+
+    /// A 3-host line entry—mid—target, one service, two products with
+    /// similarity 0.5.
+    fn line() -> (Network, Catalog, ProductSimilarity) {
+        let mut c = Catalog::new();
+        let s = c.add_service("os");
+        let p0 = c.add_product("p0", s).unwrap();
+        let p1 = c.add_product("p1", s).unwrap();
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("entry");
+        let h1 = b.add_host("mid");
+        let h2 = b.add_host("target");
+        for h in [h0, h1, h2] {
+            b.add_service(h, s, vec![p0, p1]).unwrap();
+        }
+        b.add_link(h0, h1).unwrap();
+        b.add_link(h1, h2).unwrap();
+        let net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::from_dense(
+            2,
+            vec![1.0, 0.5, 0.5, 1.0],
+        );
+        (net, c, sim)
+    }
+
+    fn cfg() -> AttackModelConfig {
+        AttackModelConfig {
+            exploit_success: 0.8,
+            baseline_rate: 0.1,
+            ..AttackModelConfig::default()
+        }
+    }
+
+    #[test]
+    fn line_probabilities_are_products() {
+        let (net, _, sim) = line();
+        // Alternating products: both edges have sim 0.5 ->
+        // rate 0.1 + 0.9*0.8*0.5 = 0.46.
+        let a = Assignment::from_slots(vec![
+            vec![ProductId(0)],
+            vec![ProductId(1)],
+            vec![ProductId(0)],
+        ]);
+        let abn = AttackBn::with_similarity(&net, &a, &sim, HostId(0), cfg());
+        let p_mid = abn.compromise_probability(HostId(1)).unwrap();
+        let p_target = abn.compromise_probability(HostId(2)).unwrap();
+        assert!((p_mid - 0.46).abs() < 1e-12);
+        assert!((p_target - 0.46 * 0.46).abs() < 1e-12);
+        // Entry is compromised with certainty.
+        assert_eq!(abn.compromise_probability(HostId(0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn mono_line_is_maximally_exposed() {
+        let (net, _, sim) = line();
+        let mono = Assignment::from_slots(vec![vec![ProductId(0)]; 3]);
+        let abn = AttackBn::with_similarity(&net, &mono, &sim, HostId(0), cfg());
+        // Identical products: rate = 0.1 + 0.9*0.8 = 0.82 per edge.
+        assert!((abn.compromise_probability(HostId(2)).unwrap() - 0.82 * 0.82).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_is_assignment_independent() {
+        let (net, _, _) = line();
+        let abn = AttackBn::without_similarity(&net, HostId(0), cfg());
+        // Each edge carries baseline 0.1 -> P(target) = 0.01.
+        assert!((abn.compromise_probability(HostId(2)).unwrap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_metric_orders_assignments() {
+        let (net, _, sim) = line();
+        let diverse = Assignment::from_slots(vec![
+            vec![ProductId(0)],
+            vec![ProductId(1)],
+            vec![ProductId(0)],
+        ]);
+        let mono = Assignment::from_slots(vec![vec![ProductId(0)]; 3]);
+        let md = diversity_metric(&net, &diverse, &sim, HostId(0), HostId(2), cfg()).unwrap();
+        let mm = diversity_metric(&net, &mono, &sim, HostId(0), HostId(2), cfg()).unwrap();
+        assert!(md.dbn > mm.dbn, "diverse {} should beat mono {}", md.dbn, mm.dbn);
+        // Same baseline numerator.
+        assert!((md.p_without_similarity - mm.p_without_similarity).abs() < 1e-12);
+        // dbn in (0, 1] for these parameterizations.
+        assert!(md.dbn > 0.0 && md.dbn <= 1.0);
+        // log helpers agree with the raw values.
+        assert!((md.log_p_without() - md.p_without_similarity.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multipath_diamond_accumulates_risk() {
+        // entry -> {a, b} -> target: two parallel paths raise P(target).
+        let mut c = Catalog::new();
+        let s = c.add_service("os");
+        let p0 = c.add_product("p0", s).unwrap();
+        let mut b = NetworkBuilder::new();
+        let entry = b.add_host("entry");
+        let a = b.add_host("a");
+        let z = b.add_host("z");
+        let target = b.add_host("target");
+        for h in [entry, a, z, target] {
+            b.add_service(h, s, vec![p0]).unwrap();
+        }
+        b.add_link(entry, a).unwrap();
+        b.add_link(entry, z).unwrap();
+        b.add_link(a, target).unwrap();
+        b.add_link(z, target).unwrap();
+        let net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::from_dense(1, vec![1.0]);
+        let mono = Assignment::from_slots(vec![vec![p0]; 4]);
+        // Zero baseline keeps the arithmetic of the comment exact.
+        let config = AttackModelConfig {
+            exploit_success: 0.5,
+            baseline_rate: 0.0,
+            ..AttackModelConfig::default()
+        };
+        let abn = AttackBn::with_similarity(&net, &mono, &sim, entry, config);
+        // P(a)=P(z)=0.5; P(target)=E[1-(1-0.5)^{#infected parents}]
+        // = 0.25*0 ... exact: 1 - E[(0.5)^{A+Z}] with A,Z ~ Bern(0.5) indep:
+        // E[0.5^{A+Z}] = (0.75)^2 = 0.5625 -> P = 0.4375.
+        let p = abn.compromise_probability(target).unwrap();
+        assert!((p - 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let mut c = Catalog::new();
+        let s = c.add_service("os");
+        let p0 = c.add_product("p0", s).unwrap();
+        let mut b = NetworkBuilder::new();
+        let entry = b.add_host("entry");
+        let island = b.add_host("island");
+        b.add_service(entry, s, vec![p0]).unwrap();
+        b.add_service(island, s, vec![p0]).unwrap();
+        let net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::from_dense(1, vec![1.0]);
+        let mono = Assignment::from_slots(vec![vec![p0]; 2]);
+        let err =
+            diversity_metric(&net, &mono, &sim, entry, island, cfg()).unwrap_err();
+        assert!(matches!(err, Error::HostUnreachable { .. }));
+    }
+
+    #[test]
+    fn no_shared_service_cuts_the_edge() {
+        let mut c = Catalog::new();
+        let s1 = c.add_service("os");
+        let s2 = c.add_service("db");
+        let p0 = c.add_product("os_p", s1).unwrap();
+        let p1 = c.add_product("db_p", s2).unwrap();
+        let mut b = NetworkBuilder::new();
+        let entry = b.add_host("entry");
+        let other = b.add_host("other");
+        b.add_service(entry, s1, vec![p0]).unwrap();
+        b.add_service(other, s2, vec![p1]).unwrap();
+        b.add_link(entry, other).unwrap();
+        let net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::from_dense(2, vec![1.0, 0.0, 0.0, 1.0]);
+        let a = Assignment::from_slots(vec![vec![p0], vec![p1]]);
+        let abn = AttackBn::with_similarity(&net, &a, &sim, entry, cfg());
+        // No shared service: the neighbor cannot be infected.
+        assert_eq!(abn.compromise_probability(other).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn random_beats_mono_on_a_mesh() {
+        use netmodel::topology::{generate, RandomNetworkConfig};
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 20,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 4,
+                vendors_per_service: 2,
+                ..RandomNetworkConfig::default()
+            },
+            3,
+        );
+        let entry = HostId(0);
+        let target = HostId(19);
+        let mono = mono_assignment(&g.network);
+        let random = random_assignment(&g.network, 5);
+        let mm =
+            diversity_metric(&g.network, &mono, &g.similarity, entry, target, cfg()).unwrap();
+        let mr =
+            diversity_metric(&g.network, &random, &g.similarity, entry, target, cfg()).unwrap();
+        assert!(
+            mr.dbn > mm.dbn,
+            "random dbn {} should beat mono dbn {}",
+            mr.dbn,
+            mm.dbn
+        );
+    }
+
+    #[test]
+    fn ve_agrees_with_likelihood_weighting() {
+        let (net, _, sim) = line();
+        let a = Assignment::from_slots(vec![
+            vec![ProductId(0)],
+            vec![ProductId(1)],
+            vec![ProductId(0)],
+        ]);
+        let abn = AttackBn::with_similarity(&net, &a, &sim, HostId(0), cfg());
+        let node = abn.node_of(HostId(2)).unwrap();
+        let exact = abn.compromise_probability(HostId(2)).unwrap();
+        let mut sampler = crate::sampling::Sampler::new(abn.bayes_net(), 9);
+        let est = sampler.likelihood_weighting(node, &[], 60_000).unwrap()[1];
+        assert!((exact - est).abs() < 0.01, "exact {exact} vs sampled {est}");
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// Errors produced while constructing or querying Bayesian networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A referenced node does not exist.
+    UnknownNode(NodeId),
+    /// A node was declared with fewer than two states.
+    BadCardinality {
+        /// The node name.
+        name: String,
+        /// The declared cardinality.
+        cardinality: usize,
+    },
+    /// A CPT has the wrong number of entries for its node and parents.
+    CptShape {
+        /// The node name.
+        name: String,
+        /// Expected number of probabilities.
+        expected: usize,
+        /// Supplied number of probabilities.
+        got: usize,
+    },
+    /// A CPT row does not sum to 1 (within tolerance) or has entries
+    /// outside `[0, 1]`.
+    CptInvalid {
+        /// The node name.
+        name: String,
+        /// The offending row index.
+        row: usize,
+    },
+    /// A noisy-OR CPT was attached to a non-binary node or given weights
+    /// outside `[0, 1]`.
+    NoisyOrInvalid {
+        /// The node name.
+        name: String,
+    },
+    /// Adding the node would create a cycle (a parent does not precede it).
+    Cycle {
+        /// The node name.
+        name: String,
+    },
+    /// An evidence or query value is out of range for its node.
+    BadValue {
+        /// The node.
+        node: NodeId,
+        /// The out-of-range value.
+        value: usize,
+    },
+    /// The same node appears twice in evidence, or evidence contradicts the query.
+    DuplicateEvidence(NodeId),
+    /// An attack-BN query referenced a host not reachable from the entry.
+    HostUnreachable {
+        /// The host index in the source network.
+        host: usize,
+    },
+    /// The diversity metric is undefined because `P(target)` is zero.
+    DegenerateMetric,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownNode(n) => write!(f, "unknown node {}", n.0),
+            Error::BadCardinality { name, cardinality } => {
+                write!(f, "node {name:?} needs at least 2 states, got {cardinality}")
+            }
+            Error::CptShape {
+                name,
+                expected,
+                got,
+            } => write!(f, "CPT of {name:?} needs {expected} probabilities, got {got}"),
+            Error::CptInvalid { name, row } => {
+                write!(f, "CPT row {row} of {name:?} is not a probability distribution")
+            }
+            Error::NoisyOrInvalid { name } => {
+                write!(f, "noisy-OR CPT of {name:?} needs a binary node and weights in [0,1]")
+            }
+            Error::Cycle { name } => {
+                write!(f, "node {name:?} lists a parent that was not added before it")
+            }
+            Error::BadValue { node, value } => {
+                write!(f, "value {value} out of range for node {}", node.0)
+            }
+            Error::DuplicateEvidence(n) => write!(f, "node {} appears twice in evidence", n.0),
+            Error::HostUnreachable { host } => {
+                write!(f, "host h{host} is not reachable from the attack entry")
+            }
+            Error::DegenerateMetric => {
+                write!(f, "diversity metric undefined: target compromise probability is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

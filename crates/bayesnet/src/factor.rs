@@ -1,0 +1,387 @@
+//! Discrete factors: the workhorse of exact inference.
+//!
+//! A [`Factor`] is a non-negative table over a set of variables. Variable
+//! elimination multiplies factors together and sums variables out; evidence
+//! is applied by reduction. Values are stored row-major with the *last*
+//! variable in [`Factor::vars`] varying fastest.
+
+use crate::graph::{BayesNet, NodeId};
+
+/// A table over discrete variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    vars: Vec<NodeId>,
+    cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != ∏ cards`, arities differ, or a variable
+    /// repeats.
+    pub fn new(vars: Vec<NodeId>, cards: Vec<usize>, values: Vec<f64>) -> Factor {
+        assert_eq!(vars.len(), cards.len(), "vars/cards arity mismatch");
+        let expected: usize = cards.iter().product();
+        assert_eq!(values.len(), expected, "factor table has wrong size");
+        let mut sorted = vars.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), vars.len(), "factor variables must be distinct");
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// The constant factor `1` over no variables (multiplicative identity).
+    pub fn unit() -> Factor {
+        Factor {
+            vars: vec![],
+            cards: vec![],
+            values: vec![1.0],
+        }
+    }
+
+    /// Builds the CPT factor of `node` in `bn`: variables are
+    /// `[parents..., node]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn from_cpt(bn: &BayesNet, node: NodeId) -> Factor {
+        let n = bn.node(node).expect("node exists");
+        let parent_cards: Vec<usize> = n
+            .parents()
+            .iter()
+            .map(|&p| bn.node(p).expect("parent exists").cardinality())
+            .collect();
+        let mut vars = n.parents().to_vec();
+        vars.push(node);
+        let mut cards = parent_cards.clone();
+        cards.push(n.cardinality());
+        let total: usize = cards.iter().product();
+        let mut values = Vec::with_capacity(total);
+        let mut assignment = vec![0usize; cards.len()];
+        for _ in 0..total {
+            let (pv, v) = assignment.split_at(parent_cards.len());
+            values.push(n.prob(pv, &parent_cards, v[0]));
+            // Odometer over `assignment`, last position fastest.
+            for pos in (0..assignment.len()).rev() {
+                assignment[pos] += 1;
+                if assignment[pos] < cards[pos] {
+                    break;
+                }
+                assignment[pos] = 0;
+            }
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// The variables of this factor.
+    pub fn vars(&self) -> &[NodeId] {
+        &self.vars
+    }
+
+    /// The cardinalities, aligned with [`Factor::vars`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The raw table.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Table size.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether this is a scalar factor over no variables.
+    pub fn is_scalar(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Looks up the value at an assignment aligned with [`Factor::vars`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range values.
+    pub fn value_at(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.vars.len(), "assignment arity mismatch");
+        let mut idx = 0usize;
+        for (v, c) in assignment.iter().zip(&self.cards) {
+            assert!(v < c, "assignment value out of range");
+            idx = idx * c + v;
+        }
+        self.values[idx]
+    }
+
+    /// Multiplies two factors over the union of their variables.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Union of variables, self's first.
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        for (v, c) in other.vars.iter().zip(&other.cards) {
+            if !vars.contains(v) {
+                vars.push(*v);
+                cards.push(*c);
+            }
+        }
+        let total: usize = cards.iter().product();
+        // Position of each union variable in self/other (usize::MAX = absent).
+        let self_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| self.vars.iter().position(|s| s == v).unwrap_or(usize::MAX))
+            .collect();
+        let other_pos: Vec<usize> = vars
+            .iter()
+            .map(|v| other.vars.iter().position(|s| s == v).unwrap_or(usize::MAX))
+            .collect();
+        let mut values = Vec::with_capacity(total);
+        let mut assignment = vec![0usize; vars.len()];
+        let mut self_assignment = vec![0usize; self.vars.len()];
+        let mut other_assignment = vec![0usize; other.vars.len()];
+        for _ in 0..total {
+            for (i, &a) in assignment.iter().enumerate() {
+                if self_pos[i] != usize::MAX {
+                    self_assignment[self_pos[i]] = a;
+                }
+                if other_pos[i] != usize::MAX {
+                    other_assignment[other_pos[i]] = a;
+                }
+            }
+            values.push(self.value_at(&self_assignment) * other.value_at(&other_assignment));
+            for pos in (0..assignment.len()).rev() {
+                assignment[pos] += 1;
+                if assignment[pos] < cards[pos] {
+                    break;
+                }
+                assignment[pos] = 0;
+            }
+        }
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Sums out `var`, returning a factor over the remaining variables.
+    /// Returns a clone if `var` is absent.
+    pub fn sum_out(&self, var: NodeId) -> Factor {
+        let Some(pos) = self.vars.iter().position(|v| *v == var) else {
+            return self.clone();
+        };
+        let card = self.cards[pos];
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let total: usize = cards.iter().product();
+        let mut values = vec![0.0; total];
+        let mut assignment = vec![0usize; self.vars.len()];
+        for v in &self.values {
+            // Index into the reduced table.
+            let mut idx = 0usize;
+            for (i, (a, c)) in assignment.iter().zip(&self.cards).enumerate() {
+                if i != pos {
+                    idx = idx * c + a;
+                }
+            }
+            values[idx] += v;
+            for p in (0..assignment.len()).rev() {
+                assignment[p] += 1;
+                if assignment[p] < self.cards[p] {
+                    break;
+                }
+                assignment[p] = 0;
+            }
+        }
+        let _ = card;
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Fixes `var = value`, returning a factor over the remaining variables.
+    /// Returns a clone if `var` is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is out of range for `var`.
+    pub fn reduce(&self, var: NodeId, value: usize) -> Factor {
+        let Some(pos) = self.vars.iter().position(|v| *v == var) else {
+            return self.clone();
+        };
+        assert!(value < self.cards[pos], "evidence value out of range");
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        cards.remove(pos);
+        let total: usize = cards.iter().product();
+        let mut values = Vec::with_capacity(total);
+        let mut assignment = vec![0usize; self.vars.len()];
+        for v in &self.values {
+            if assignment[pos] == value {
+                values.push(*v);
+            }
+            for p in (0..assignment.len()).rev() {
+                assignment[p] += 1;
+                if assignment[p] < self.cards[p] {
+                    break;
+                }
+                assignment[p] = 0;
+            }
+        }
+        let _ = v_len_check(&values, total);
+        Factor {
+            vars,
+            cards,
+            values,
+        }
+    }
+
+    /// Normalizes the table to sum to 1 (no-op on an all-zero table).
+    pub fn normalized(&self) -> Factor {
+        let sum: f64 = self.values.iter().sum();
+        if sum <= 0.0 {
+            return self.clone();
+        }
+        Factor {
+            vars: self.vars.clone(),
+            cards: self.cards.clone(),
+            values: self.values.iter().map(|v| v / sum).collect(),
+        }
+    }
+}
+
+fn v_len_check(values: &[f64], expected: usize) -> bool {
+    debug_assert_eq!(values.len(), expected);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cpt;
+
+    fn nid(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 3], (0..6).map(f64::from).collect());
+        assert_eq!(f.value_at(&[0, 0]), 0.0);
+        assert_eq!(f.value_at(&[0, 2]), 2.0);
+        assert_eq!(f.value_at(&[1, 0]), 3.0);
+        assert_eq!(f.value_at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn bad_table_size_panics() {
+        Factor::new(vec![nid(0)], vec![2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_vars_panic() {
+        Factor::new(vec![nid(0), nid(0)], vec![2, 2], vec![0.0; 4]);
+    }
+
+    #[test]
+    fn product_disjoint() {
+        let f = Factor::new(vec![nid(0)], vec![2], vec![2.0, 3.0]);
+        let g = Factor::new(vec![nid(1)], vec![2], vec![5.0, 7.0]);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[nid(0), nid(1)]);
+        assert_eq!(p.value_at(&[0, 0]), 10.0);
+        assert_eq!(p.value_at(&[1, 1]), 21.0);
+    }
+
+    #[test]
+    fn product_shared_variable() {
+        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let g = Factor::new(vec![nid(1)], vec![2], vec![10.0, 100.0]);
+        let p = f.product(&g);
+        assert_eq!(p.vars(), &[nid(0), nid(1)]);
+        assert_eq!(p.value_at(&[0, 0]), 10.0);
+        assert_eq!(p.value_at(&[0, 1]), 200.0);
+        assert_eq!(p.value_at(&[1, 1]), 400.0);
+    }
+
+    #[test]
+    fn product_with_unit() {
+        let f = Factor::new(vec![nid(0)], vec![2], vec![0.4, 0.6]);
+        let p = Factor::unit().product(&f);
+        assert_eq!(p.values(), f.values());
+    }
+
+    #[test]
+    fn sum_out_marginalizes() {
+        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let m = f.sum_out(nid(0));
+        assert_eq!(m.vars(), &[nid(1)]);
+        assert_eq!(m.values(), &[4.0, 6.0]);
+        let m2 = f.sum_out(nid(1));
+        assert_eq!(m2.values(), &[3.0, 7.0]);
+        // Absent variable: unchanged.
+        assert_eq!(f.sum_out(nid(9)).values(), f.values());
+    }
+
+    #[test]
+    fn reduce_applies_evidence() {
+        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 3], (0..6).map(f64::from).collect());
+        let r = f.reduce(nid(1), 2);
+        assert_eq!(r.vars(), &[nid(0)]);
+        assert_eq!(r.values(), &[2.0, 5.0]);
+        let r0 = f.reduce(nid(0), 0);
+        assert_eq!(r0.values(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let f = Factor::new(vec![nid(0)], vec![2], vec![2.0, 6.0]);
+        let n = f.normalized();
+        assert_eq!(n.values(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn from_cpt_matches_node_probabilities() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4])).unwrap();
+        let b = bn
+            .add_node("b", 2, vec![a], Cpt::tabular(vec![0.9, 0.1, 0.3, 0.7]))
+            .unwrap();
+        let f = Factor::from_cpt(&bn, b);
+        assert_eq!(f.vars(), &[a, b]);
+        assert_eq!(f.value_at(&[0, 0]), 0.9);
+        assert_eq!(f.value_at(&[1, 1]), 0.7);
+        let fa = Factor::from_cpt(&bn, a);
+        assert_eq!(fa.vars(), &[a]);
+        assert_eq!(fa.values(), &[0.6, 0.4]);
+    }
+
+    #[test]
+    fn from_cpt_noisy_or() {
+        let mut bn = BayesNet::new();
+        let p = bn.add_node("p", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        let c = bn.add_node("c", 2, vec![p], Cpt::noisy_or(0.0, vec![0.8])).unwrap();
+        let f = Factor::from_cpt(&bn, c);
+        assert_eq!(f.value_at(&[0, 1]), 0.0); // parent off, no leak
+        assert!((f.value_at(&[1, 1]) - 0.8).abs() < 1e-12);
+        assert!((f.value_at(&[1, 0]) - 0.2).abs() < 1e-12);
+    }
+}

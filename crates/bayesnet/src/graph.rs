@@ -1,0 +1,350 @@
+//! The Bayesian network structure: nodes, parents and CPTs.
+//!
+//! Nodes must be added parents-first (the builder enforces topological
+//! order, which also rules out cycles by construction). Two CPT forms are
+//! supported: full tabular distributions, and the **noisy-OR** gate that
+//! attack graphs use — `P(child = 1 | parents) = 1 − (1−leak)·∏_{on}(1−wᵢ)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Identifier of a node in a [`BayesNet`] (dense, 0-based, topological).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A conditional probability table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Cpt {
+    /// Full table: for each parent configuration (row-major over the parent
+    /// list, later parents varying fastest), a distribution over the node's
+    /// states. Length = `∏ parent_cards × card`.
+    Tabular {
+        /// The flattened probabilities.
+        probs: Vec<f64>,
+    },
+    /// Noisy-OR gate over binary parents of a binary node: the child
+    /// activates if any "on" parent independently triggers it.
+    NoisyOr {
+        /// Activation probability when all parents are off.
+        leak: f64,
+        /// Per-parent trigger probability, aligned with the parent list.
+        weights: Vec<f64>,
+    },
+}
+
+impl Cpt {
+    /// Convenience constructor for a tabular CPT.
+    pub fn tabular(probs: Vec<f64>) -> Cpt {
+        Cpt::Tabular { probs }
+    }
+
+    /// Convenience constructor for a noisy-OR CPT.
+    pub fn noisy_or(leak: f64, weights: Vec<f64>) -> Cpt {
+        Cpt::NoisyOr { leak, weights }
+    }
+}
+
+/// One node of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    name: String,
+    cardinality: usize,
+    parents: Vec<NodeId>,
+    cpt: Cpt,
+}
+
+impl Node {
+    /// The node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// The parent nodes, in CPT order.
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+
+    /// The CPT.
+    pub fn cpt(&self) -> &Cpt {
+        &self.cpt
+    }
+
+    /// `P(node = value | parent_values)`, where `parent_values` is aligned
+    /// with [`Node::parents`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities or state indices are out of range.
+    pub fn prob(&self, parent_values: &[usize], parent_cards: &[usize], value: usize) -> f64 {
+        assert_eq!(parent_values.len(), self.parents.len(), "parent arity mismatch");
+        assert!(value < self.cardinality, "value out of range");
+        match &self.cpt {
+            Cpt::Tabular { probs } => {
+                let mut row = 0usize;
+                for (v, c) in parent_values.iter().zip(parent_cards) {
+                    assert!(v < c, "parent value out of range");
+                    row = row * c + v;
+                }
+                probs[row * self.cardinality + value]
+            }
+            Cpt::NoisyOr { leak, weights } => {
+                let mut p_off = 1.0 - leak;
+                for (v, w) in parent_values.iter().zip(weights) {
+                    if *v == 1 {
+                        p_off *= 1.0 - w;
+                    }
+                }
+                if value == 1 {
+                    1.0 - p_off
+                } else {
+                    p_off
+                }
+            }
+        }
+    }
+}
+
+/// A discrete Bayesian network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BayesNet {
+    nodes: Vec<Node>,
+}
+
+impl BayesNet {
+    /// Creates an empty network.
+    pub fn new() -> BayesNet {
+        BayesNet::default()
+    }
+
+    /// Adds a node. Parents must already exist (ids are topological, so
+    /// cycles are impossible).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BadCardinality`] — fewer than 2 states.
+    /// * [`Error::Cycle`] — a parent id ≥ the new node's id.
+    /// * [`Error::CptShape`] / [`Error::CptInvalid`] — malformed tabular CPT.
+    /// * [`Error::NoisyOrInvalid`] — noisy-OR on a non-binary node, a
+    ///   non-binary parent, wrong weight arity, or weights outside `[0, 1]`.
+    pub fn add_node(
+        &mut self,
+        name: &str,
+        cardinality: usize,
+        parents: Vec<NodeId>,
+        cpt: Cpt,
+    ) -> Result<NodeId> {
+        if cardinality < 2 {
+            return Err(Error::BadCardinality {
+                name: name.to_owned(),
+                cardinality,
+            });
+        }
+        let id = NodeId(self.nodes.len());
+        for &p in &parents {
+            if p.0 >= id.0 {
+                return Err(Error::Cycle {
+                    name: name.to_owned(),
+                });
+            }
+        }
+        match &cpt {
+            Cpt::Tabular { probs } => {
+                let rows: usize = parents.iter().map(|&p| self.nodes[p.0].cardinality).product();
+                let expected = rows * cardinality;
+                if probs.len() != expected {
+                    return Err(Error::CptShape {
+                        name: name.to_owned(),
+                        expected,
+                        got: probs.len(),
+                    });
+                }
+                for row in 0..rows {
+                    let slice = &probs[row * cardinality..(row + 1) * cardinality];
+                    let sum: f64 = slice.iter().sum();
+                    if (sum - 1.0).abs() > 1e-6 || slice.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p)) {
+                        return Err(Error::CptInvalid {
+                            name: name.to_owned(),
+                            row,
+                        });
+                    }
+                }
+            }
+            Cpt::NoisyOr { leak, weights } => {
+                let parents_binary =
+                    parents.iter().all(|&p| self.nodes[p.0].cardinality == 2);
+                if cardinality != 2
+                    || !parents_binary
+                    || weights.len() != parents.len()
+                    || !(0.0..=1.0).contains(leak)
+                    || weights.iter().any(|w| !(0.0..=1.0).contains(w))
+                {
+                    return Err(Error::NoisyOrInvalid {
+                        name: name.to_owned(),
+                    });
+                }
+            }
+        }
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            cardinality,
+            parents,
+            cpt,
+        });
+        Ok(id)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for out-of-range ids.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or(Error::UnknownNode(id))
+    }
+
+    /// Iterates over `(id, node)` pairs in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Finds a node id by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// The cardinalities of all nodes, indexed by id.
+    pub fn cardinalities(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.cardinality).collect()
+    }
+
+    /// The joint probability of a complete assignment (one value per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch or out-of-range values.
+    pub fn joint_probability(&self, values: &[usize]) -> f64 {
+        assert_eq!(values.len(), self.nodes.len(), "assignment arity mismatch");
+        let mut p = 1.0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let parent_values: Vec<usize> =
+                node.parents.iter().map(|&pid| values[pid.0]).collect();
+            let parent_cards: Vec<usize> =
+                node.parents.iter().map(|&pid| self.nodes[pid.0].cardinality).collect();
+            p *= node.prob(&parent_values, &parent_cards, values[i]);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_structure() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.7, 0.3])).unwrap();
+        let b = bn
+            .add_node("b", 3, vec![a], Cpt::tabular(vec![0.2, 0.3, 0.5, 1.0, 0.0, 0.0]))
+            .unwrap();
+        assert_eq!(bn.len(), 2);
+        assert_eq!(bn.node(b).unwrap().parents(), &[a]);
+        assert_eq!(bn.node_by_name("b"), Some(b));
+        assert_eq!(bn.node(a).unwrap().prob(&[], &[], 1), 0.3);
+        assert_eq!(bn.node(b).unwrap().prob(&[1], &[2], 0), 1.0);
+    }
+
+    #[test]
+    fn tabular_validation() {
+        let mut bn = BayesNet::new();
+        assert!(matches!(
+            bn.add_node("x", 1, vec![], Cpt::tabular(vec![1.0])),
+            Err(Error::BadCardinality { .. })
+        ));
+        assert!(matches!(
+            bn.add_node("x", 2, vec![], Cpt::tabular(vec![0.5])),
+            Err(Error::CptShape { .. })
+        ));
+        assert!(matches!(
+            bn.add_node("x", 2, vec![], Cpt::tabular(vec![0.5, 0.6])),
+            Err(Error::CptInvalid { .. })
+        ));
+        assert!(matches!(
+            bn.add_node("x", 2, vec![NodeId(5)], Cpt::tabular(vec![0.5, 0.5])),
+            Err(Error::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_or_semantics() {
+        let mut bn = BayesNet::new();
+        let p1 = bn.add_node("p1", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        let p2 = bn.add_node("p2", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        let child = bn
+            .add_node("c", 2, vec![p1, p2], Cpt::noisy_or(0.1, vec![0.8, 0.5]))
+            .unwrap();
+        let node = bn.node(child).unwrap();
+        // No parent on: leak only.
+        assert!((node.prob(&[0, 0], &[2, 2], 1) - 0.1).abs() < 1e-12);
+        // Both on: 1 - 0.9*0.2*0.5 = 0.91.
+        assert!((node.prob(&[1, 1], &[2, 2], 1) - 0.91).abs() < 1e-12);
+        // Complement consistency.
+        assert!(
+            (node.prob(&[1, 0], &[2, 2], 0) + node.prob(&[1, 0], &[2, 2], 1) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn noisy_or_validation() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        // Wrong weight arity.
+        assert!(matches!(
+            bn.add_node("x", 2, vec![a], Cpt::noisy_or(0.0, vec![])),
+            Err(Error::NoisyOrInvalid { .. })
+        ));
+        // Non-binary child.
+        assert!(matches!(
+            bn.add_node("x", 3, vec![a], Cpt::noisy_or(0.0, vec![0.5])),
+            Err(Error::NoisyOrInvalid { .. })
+        ));
+        // Out-of-range weight.
+        assert!(matches!(
+            bn.add_node("x", 2, vec![a], Cpt::noisy_or(0.0, vec![1.5])),
+            Err(Error::NoisyOrInvalid { .. })
+        ));
+    }
+
+    #[test]
+    fn joint_probability_factorizes() {
+        let mut bn = BayesNet::new();
+        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4])).unwrap();
+        let _b = bn
+            .add_node("b", 2, vec![a], Cpt::tabular(vec![0.9, 0.1, 0.3, 0.7]))
+            .unwrap();
+        assert!((bn.joint_probability(&[1, 1]) - 0.4 * 0.7).abs() < 1e-12);
+        assert!((bn.joint_probability(&[0, 0]) - 0.6 * 0.9).abs() < 1e-12);
+        // All four joint entries sum to 1.
+        let total: f64 = (0..2)
+            .flat_map(|x| (0..2).map(move |y| (x, y)))
+            .map(|(x, y)| bn.joint_probability(&[x, y]))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

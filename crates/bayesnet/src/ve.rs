@@ -1,0 +1,318 @@
+//! Exact inference by variable elimination.
+//!
+//! Computes `P(query | evidence)` by reducing all CPT factors with the
+//! evidence, then summing out the remaining non-query variables in a
+//! **min-fill** order (the variable whose elimination creates the fewest new
+//! interactions goes first), multiplying only the factors that mention the
+//! eliminated variable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::factor::Factor;
+use crate::graph::{BayesNet, NodeId};
+use crate::{Error, Result};
+
+/// An exact inference engine bound to a network.
+#[derive(Debug, Clone)]
+pub struct VariableElimination<'a> {
+    bn: &'a BayesNet,
+}
+
+impl<'a> VariableElimination<'a> {
+    /// Creates an engine for `bn`.
+    pub fn new(bn: &'a BayesNet) -> VariableElimination<'a> {
+        VariableElimination { bn }
+    }
+
+    /// The posterior distribution `P(query | evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] — query or evidence node out of range.
+    /// * [`Error::BadValue`] — evidence value out of range.
+    /// * [`Error::DuplicateEvidence`] — a node appears twice in evidence.
+    ///
+    /// Returns an all-zero vector when the evidence has probability zero.
+    pub fn query(&self, query: NodeId, evidence: &[(NodeId, usize)]) -> Result<Vec<f64>> {
+        self.bn.node(query)?;
+        let mut seen = BTreeSet::new();
+        for &(node, value) in evidence {
+            let n = self.bn.node(node)?;
+            if value >= n.cardinality() {
+                return Err(Error::BadValue { node, value });
+            }
+            if !seen.insert(node) {
+                return Err(Error::DuplicateEvidence(node));
+            }
+        }
+        // If the query is itself evidence, the posterior is degenerate.
+        if let Some(&(_, v)) = evidence.iter().find(|&&(n, _)| n == query) {
+            let card = self.bn.node(query)?.cardinality();
+            let mut out = vec![0.0; card];
+            out[v] = 1.0;
+            return Ok(out);
+        }
+
+        // Reduce every CPT factor with the evidence.
+        let mut factors: Vec<Factor> = self
+            .bn
+            .iter()
+            .map(|(id, _)| {
+                let mut f = Factor::from_cpt(self.bn, id);
+                for &(node, value) in evidence {
+                    f = f.reduce(node, value);
+                }
+                f
+            })
+            .collect();
+
+        // Eliminate everything but the query, min-fill first.
+        let mut to_eliminate: BTreeSet<NodeId> = self
+            .bn
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| *id != query && !seen.contains(id))
+            .collect();
+        while !to_eliminate.is_empty() {
+            let var = self.pick_min_fill(&factors, &to_eliminate);
+            to_eliminate.remove(&var);
+            let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+                factors.into_iter().partition(|f| f.vars().contains(&var));
+            let mut merged = Factor::unit();
+            for f in &mentioning {
+                merged = merged.product(f);
+            }
+            factors = rest;
+            factors.push(merged.sum_out(var));
+        }
+
+        let mut joint = Factor::unit();
+        for f in &factors {
+            joint = joint.product(f);
+        }
+        // joint is now over {query} (or scalar if query is disconnected).
+        let card = self.bn.node(query)?.cardinality();
+        let mut out = vec![0.0; card];
+        if joint.is_scalar() {
+            return Ok(out);
+        }
+        let normalized = joint.normalized();
+        for (v, slot) in out.iter_mut().enumerate() {
+            *slot = normalized.value_at(&[v]);
+        }
+        Ok(out)
+    }
+
+    /// `P(query = value | evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`VariableElimination::query`]; additionally [`Error::BadValue`]
+    /// if `value` is out of range for `query`.
+    pub fn probability(
+        &self,
+        query: NodeId,
+        value: usize,
+        evidence: &[(NodeId, usize)],
+    ) -> Result<f64> {
+        let dist = self.query(query, evidence)?;
+        dist.get(value).copied().ok_or(Error::BadValue {
+            node: query,
+            value,
+        })
+    }
+
+    /// Min-fill heuristic: pick the eliminable variable whose neighborhood
+    /// (union of co-occurring variables across factors) is smallest.
+    fn pick_min_fill(&self, factors: &[Factor], candidates: &BTreeSet<NodeId>) -> NodeId {
+        let mut neighbors: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for f in factors {
+            for &v in f.vars() {
+                if candidates.contains(&v) {
+                    let entry = neighbors.entry(v).or_default();
+                    for &w in f.vars() {
+                        if w != v {
+                            entry.insert(w);
+                        }
+                    }
+                }
+            }
+        }
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|v| neighbors.get(v).map(BTreeSet::len).unwrap_or(0))
+            .expect("candidates is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cpt;
+
+    /// Brute-force joint enumeration oracle.
+    fn enumerate(bn: &BayesNet, query: NodeId, evidence: &[(NodeId, usize)]) -> Vec<f64> {
+        let cards = bn.cardinalities();
+        let card_q = cards[query.0];
+        let mut out = vec![0.0; card_q];
+        let total: usize = cards.iter().product();
+        let mut assignment = vec![0usize; cards.len()];
+        for _ in 0..total {
+            if evidence.iter().all(|&(n, v)| assignment[n.0] == v) {
+                out[assignment[query.0]] += bn.joint_probability(&assignment);
+            }
+            for p in (0..assignment.len()).rev() {
+                assignment[p] += 1;
+                if assignment[p] < cards[p] {
+                    break;
+                }
+                assignment[p] = 0;
+            }
+        }
+        let sum: f64 = out.iter().sum();
+        if sum > 0.0 {
+            for o in &mut out {
+                *o /= sum;
+            }
+        }
+        out
+    }
+
+    fn sprinkler() -> (BayesNet, NodeId, NodeId, NodeId) {
+        let mut bn = BayesNet::new();
+        let rain = bn.add_node("rain", 2, vec![], Cpt::tabular(vec![0.8, 0.2])).unwrap();
+        let sprinkler = bn
+            .add_node("sprinkler", 2, vec![rain], Cpt::tabular(vec![0.6, 0.4, 0.99, 0.01]))
+            .unwrap();
+        let wet = bn
+            .add_node(
+                "wet",
+                2,
+                vec![sprinkler, rain],
+                Cpt::tabular(vec![1.0, 0.0, 0.2, 0.8, 0.1, 0.9, 0.01, 0.99]),
+            )
+            .unwrap();
+        (bn, rain, sprinkler, wet)
+    }
+
+    #[test]
+    fn matches_enumeration_on_sprinkler() {
+        let (bn, rain, sprinkler, wet) = sprinkler();
+        let ve = VariableElimination::new(&bn);
+        for (q, ev) in [
+            (wet, vec![]),
+            (rain, vec![(wet, 1)]),
+            (sprinkler, vec![(wet, 1)]),
+            (rain, vec![(wet, 1), (sprinkler, 0)]),
+            (wet, vec![(rain, 1)]),
+        ] {
+            let exact = ve.query(q, &ev).unwrap();
+            let oracle = enumerate(&bn, q, &ev);
+            for (a, b) in exact.iter().zip(&oracle) {
+                assert!((a - b).abs() < 1e-10, "ve {exact:?} vs oracle {oracle:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn explaining_away() {
+        // Observing the sprinkler on reduces the posterior of rain.
+        let (bn, rain, sprinkler, wet) = sprinkler();
+        let ve = VariableElimination::new(&bn);
+        let p_rain_given_wet = ve.probability(rain, 1, &[(wet, 1)]).unwrap();
+        let p_rain_given_wet_and_sprinkler =
+            ve.probability(rain, 1, &[(wet, 1), (sprinkler, 1)]).unwrap();
+        assert!(p_rain_given_wet_and_sprinkler < p_rain_given_wet);
+    }
+
+    #[test]
+    fn query_equal_to_evidence_is_degenerate() {
+        let (bn, rain, _, _) = sprinkler();
+        let ve = VariableElimination::new(&bn);
+        assert_eq!(ve.query(rain, &[(rain, 1)]).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn noisy_or_chain_propagation() {
+        // entry -> a -> b with noisy-OR weights 0.5 and 0.4:
+        // P(b) = 0.5 * 0.4 = 0.2.
+        let mut bn = BayesNet::new();
+        let entry = bn.add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
+        let a = bn.add_node("a", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
+        let b = bn.add_node("b", 2, vec![a], Cpt::noisy_or(0.0, vec![0.4])).unwrap();
+        let ve = VariableElimination::new(&bn);
+        assert!((ve.probability(a, 1, &[]).unwrap() - 0.5).abs() < 1e-12);
+        assert!((ve.probability(b, 1, &[]).unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_paths_combine_by_noisy_or() {
+        // entry splits into two paths that rejoin: P(target) combines them.
+        let mut bn = BayesNet::new();
+        let entry = bn.add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
+        let left = bn.add_node("l", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
+        let right = bn.add_node("r", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
+        let target = bn
+            .add_node("t", 2, vec![left, right], Cpt::noisy_or(0.0, vec![1.0, 1.0]))
+            .unwrap();
+        let ve = VariableElimination::new(&bn);
+        // P(t) = 1 - P(neither path fires) = 1 - 0.5*0.5 = 0.75.
+        assert!((ve.probability(target, 1, &[]).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_paths() {
+        let (bn, rain, _, wet) = sprinkler();
+        let ve = VariableElimination::new(&bn);
+        assert!(matches!(
+            ve.query(NodeId(99), &[]),
+            Err(Error::UnknownNode(_))
+        ));
+        assert!(matches!(
+            ve.query(rain, &[(wet, 7)]),
+            Err(Error::BadValue { .. })
+        ));
+        assert!(matches!(
+            ve.query(rain, &[(wet, 1), (wet, 0)]),
+            Err(Error::DuplicateEvidence(_))
+        ));
+    }
+
+    #[test]
+    fn larger_random_network_matches_enumeration() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let mut bn = BayesNet::new();
+            let mut ids: Vec<NodeId> = Vec::new();
+            for i in 0..8 {
+                // Up to 2 random parents among earlier nodes.
+                let mut parents = Vec::new();
+                for &cand in ids.iter() {
+                    if parents.len() < 2 && rng.gen_bool(0.4) {
+                        parents.push(cand);
+                    }
+                }
+                let rows = 1usize << parents.len();
+                let mut probs = Vec::with_capacity(rows * 2);
+                for _ in 0..rows {
+                    let p: f64 = rng.gen_range(0.05..0.95);
+                    probs.push(1.0 - p);
+                    probs.push(p);
+                }
+                let id = bn.add_node(&format!("n{i}"), 2, parents, Cpt::tabular(probs)).unwrap();
+                ids.push(id);
+            }
+            let ve = VariableElimination::new(&bn);
+            let q = ids[7];
+            let ev = vec![(ids[0], 1usize)];
+            let exact = ve.query(q, &ev).unwrap();
+            let oracle = enumerate(&bn, q, &ev);
+            for (a, b) in exact.iter().zip(&oracle) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the diversity-metric machinery (§VI): attack-BN
+//! construction and exact inference on the case study, and the VE engine on
+//! synthetic chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bayesnet::attack::{diversity_metric, AttackBn, AttackModelConfig};
+use bayesnet::graph::{BayesNet, Cpt};
+use bayesnet::ve::VariableElimination;
+use bench::case_study_assignments;
+
+fn bench_attack_bn(c: &mut Criterion) {
+    let a = case_study_assignments();
+    let cs = &a.cs;
+    let config = AttackModelConfig::default();
+    c.bench_function("attack_bn_build_case_study", |b| {
+        b.iter(|| {
+            AttackBn::with_similarity(&cs.network, &a.optimal, &cs.similarity, cs.bn_entry, config)
+        });
+    });
+    c.bench_function("diversity_metric_case_study", |b| {
+        b.iter(|| {
+            diversity_metric(
+                &cs.network,
+                &a.optimal,
+                &cs.similarity,
+                cs.bn_entry,
+                cs.target,
+                config,
+            )
+            .expect("t5 reachable")
+        });
+    });
+}
+
+fn bench_ve_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ve_noisy_or_chain");
+    for n in [16usize, 64, 256] {
+        let mut bn = BayesNet::new();
+        let mut prev = bn.add_node("n0", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
+        for i in 1..n {
+            prev = bn
+                .add_node(&format!("n{i}"), 2, vec![prev], Cpt::noisy_or(0.0, vec![0.7]))
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bn, |b, bn| {
+            let last = bayesnet::NodeId(n - 1);
+            b.iter(|| {
+                VariableElimination::new(bn).probability(last, 1, &[]).expect("valid query")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attack_bn, bench_ve_chain);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the NVD similarity pipeline (§III):
+//! synthetic feed generation, database indexing and similarity-table
+//! construction at increasing corpus sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nvd::cpe::Cpe;
+use nvd::feed::{FeedConfig, FeedGenerator};
+
+fn bench_feed_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feed_generation");
+    for entries in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |b, &n| {
+            b.iter(|| {
+                FeedGenerator::new(
+                    FeedConfig {
+                        entries: n,
+                        ..FeedConfig::default()
+                    },
+                    42,
+                )
+                .generate()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_table");
+    for (families, entries) in [(4usize, 5_000usize), (8, 20_000)] {
+        let mut gen = FeedGenerator::new(
+            FeedConfig {
+                families,
+                products_per_family: 4,
+                entries,
+                ..FeedConfig::default()
+            },
+            42,
+        );
+        let products: Vec<(String, Cpe)> =
+            gen.products().iter().map(|p| (p.to_string(), p.clone())).collect();
+        let db = gen.generate_database();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}products_{entries}cves", products.len())),
+            &(),
+            |b, ()| b.iter(|| db.similarity_table(&products)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feed_generation, bench_similarity_table);
+criterion_main!(benches);

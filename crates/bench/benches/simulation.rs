@@ -1,0 +1,45 @@
+//! Criterion benchmarks for the propagation simulator (§VII-C2): single-run
+//! throughput and batched MTTC estimation on the case study.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::case_study_assignments;
+use sim::engine::Simulation;
+use sim::mttc::{estimate_mttc, MttcOptions};
+use sim::scenario::Scenario;
+
+fn bench_single_runs(c: &mut Criterion) {
+    let a = case_study_assignments();
+    let cs = &a.cs;
+    let scenario = Scenario::new(cs.bn_entry, cs.target);
+    let simulation = Simulation::new(&cs.network, &a.mono, &cs.similarity, &scenario);
+    c.bench_function("sim_single_run_mono", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            simulation.run(seed)
+        });
+    });
+}
+
+fn bench_mttc_batch(c: &mut Criterion) {
+    let a = case_study_assignments();
+    let cs = &a.cs;
+    let scenario = Scenario::new(cs.bn_entry, cs.target);
+    let mut group = c.benchmark_group("mttc_batch_200_runs");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let opts = MttcOptions {
+                runs: 200,
+                threads: t,
+                ..MttcOptions::default()
+            };
+            b.iter(|| estimate_mttc(&cs.network, &a.mono, &cs.similarity, &scenario, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_runs, bench_mttc_batch);
+criterion_main!(benches);

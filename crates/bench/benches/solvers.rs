@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the MAP solvers (§V): TRW-S vs loopy BP vs ICM
+//! on identical random-network energies — the ablation behind the paper's
+//! choice of TRW-S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+use mrf::bp::BpOptions;
+use mrf::icm::IcmOptions;
+use mrf::trws::TrwsOptions;
+use netmodel::topology::{generate, RandomNetworkConfig};
+
+fn instance(hosts: usize) -> netmodel::topology::GeneratedNetwork {
+    generate(
+        &RandomNetworkConfig {
+            hosts,
+            mean_degree: 10,
+            services: 5,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            ..RandomNetworkConfig::default()
+        },
+        2024,
+    )
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let g = instance(200);
+    let mut group = c.benchmark_group("solvers_200_hosts");
+    group.sample_size(10);
+    let cases: Vec<(&str, SolverKind)> = vec![
+        (
+            "trws",
+            SolverKind::Trws(TrwsOptions {
+                max_iterations: 30,
+                ..TrwsOptions::default()
+            }),
+        ),
+        (
+            "bp",
+            SolverKind::Bp(BpOptions {
+                max_iterations: 30,
+                ..BpOptions::default()
+            }),
+        ),
+        ("icm", SolverKind::Icm(IcmOptions::default())),
+    ];
+    for (name, solver) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, s| {
+            let optimizer = DiversityOptimizer::new().with_solver(s.clone());
+            b.iter(|| optimizer.optimize(&g.network, &g.similarity).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trws_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trws_scaling");
+    group.sample_size(10);
+    for hosts in [100usize, 400, 1000] {
+        let g = instance(hosts);
+        let optimizer = DiversityOptimizer::new().with_solver(SolverKind::Trws(TrwsOptions {
+            max_iterations: 20,
+            ..TrwsOptions::default()
+        }));
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &g, |b, g| {
+            b.iter(|| optimizer.optimize(&g.network, &g.similarity).expect("solves"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_trws_scaling);
+criterion_main!(benches);

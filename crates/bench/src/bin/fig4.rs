@@ -1,0 +1,56 @@
+//! Reproduces Fig. 4 — the optimal and constrained-optimal assignments for
+//! the ICS case study, rendered per host.
+
+use bench::case_study_assignments;
+
+fn main() {
+    let a = case_study_assignments();
+    let cs = &a.cs;
+    println!("Fig. 4(a) — optimal assignment α̂\n");
+    print!("{}", a.optimal.render(&cs.network, &cs.catalog));
+    println!("\nFig. 4(b) — optimal assignment with host constraints α̂C1");
+    println!("(z4, e1, r1, v1 pinned by company policy)\n");
+    print!("{}", a.constrained_c1.render(&cs.network, &cs.catalog));
+    println!("\nFig. 4(c) — optimal assignment with product constraints α̂C2");
+    println!("(C1 plus: no Internet Explorer on Linux, globally)\n");
+    print!("{}", a.constrained_c2.render(&cs.network, &cs.catalog));
+
+    let sim_of = |x: &netmodel::assignment::Assignment| {
+        x.total_edge_similarity(&cs.network, &cs.similarity)
+    };
+    println!("\ntotal edge similarity (lower = more diverse):");
+    println!("  α̂    {:.3}", sim_of(&a.optimal));
+    println!("  α̂C1  {:.3}", sim_of(&a.constrained_c1));
+    println!("  α̂C2  {:.3}", sim_of(&a.constrained_c2));
+    println!("  α_r  {:.3}", sim_of(&a.random));
+    println!("  α_m  {:.3}", sim_of(&a.mono));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constrained_optima_respect_pins_and_lose_diversity() {
+        let a = case_study_assignments();
+        let cs = &a.cs;
+        // Pinned products appear in the constrained solutions.
+        let z4 = cs.host("z4");
+        assert_eq!(
+            a.constrained_c1.product_for(&cs.network, z4, cs.services.wb),
+            Some(cs.product("IE10"))
+        );
+        // C2 eliminates IE10-on-Linux everywhere.
+        for (id, _) in cs.network.iter_hosts() {
+            let os = a.constrained_c2.product_for(&cs.network, id, cs.services.os);
+            let wb = a.constrained_c2.product_for(&cs.network, id, cs.services.wb);
+            if os == Some(cs.product("Ubuntu14.04")) || os == Some(cs.product("Debian8.0")) {
+                assert_ne!(wb, Some(cs.product("IE10")), "host {id} runs IE10 on Linux");
+            }
+        }
+        let sim_of = |x: &netmodel::assignment::Assignment| {
+            x.total_edge_similarity(&cs.network, &cs.similarity)
+        };
+        assert!(sim_of(&a.optimal) <= sim_of(&a.constrained_c1) + 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Reproduces Table I — the simplified NVD summary for CVE-2016-7153.
+
+use nvd::cpe::Cpe;
+use nvd::cve::{CveEntry, CveId};
+
+fn entry() -> CveEntry {
+    let affected: Vec<Cpe> = [
+        "cpe:/a:microsoft:edge:-",
+        "cpe:/a:microsoft:internet_explorer:-",
+        "cpe:/a:google:chrome:-",
+        "cpe:/a:apple:safari",
+        "cpe:/a:mozilla:firefox",
+        "cpe:/a:opera:opera_browser:-",
+    ]
+    .iter()
+    .map(|s| s.parse().expect("table I CPEs are well-formed"))
+    .collect();
+    CveEntry::new(
+        CveId::new(2016, 7153).expect("valid id"),
+        2016,
+        affected,
+    )
+    .with_description(
+        "HEIST: HTTP-encrypted information can be stolen through TCP-windows \
+         (affects all major browsers)",
+    )
+}
+
+fn main() {
+    let e = entry();
+    println!("Table I — simplified NVD summary for {}\n", e.id());
+    println!("CVE-ID                {}", e.id());
+    println!("Published             {}", e.published());
+    println!("Vulnerable software & versions:");
+    for cpe in e.affected() {
+        println!("    {cpe}");
+    }
+    println!("\nDescription: {}", e.description());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_entry_affects_six_browsers_from_five_vendors() {
+        let e = entry();
+        assert_eq!(e.affected().len(), 6);
+        let vendors: std::collections::BTreeSet<&str> =
+            e.affected().iter().map(|c| c.vendor()).collect();
+        assert_eq!(vendors.len(), 5); // microsoft appears twice
+        assert!(e.affects(&"cpe:/a:google:chrome".parse().unwrap()));
+    }
+}

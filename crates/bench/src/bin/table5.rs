@@ -1,0 +1,81 @@
+//! Reproduces Table V — the BN-based diversity metric `dbn` for the five
+//! case-study assignments (entry `c4`, target `t5`).
+
+use bayesnet::attack::AttackModelConfig;
+use bench::case_study_assignments;
+use ics_diversity::evaluate::diversity_report;
+use ics_diversity::report::TextTable;
+
+fn main() {
+    let a = case_study_assignments();
+    let cs = &a.cs;
+    let rows = diversity_report(
+        &cs.network,
+        &cs.similarity,
+        &[
+            ("α̂    (optimal assign.)", &a.optimal),
+            ("α̂C1  (host constr.)", &a.constrained_c1),
+            ("α̂C2  (product constr.)", &a.constrained_c2),
+            ("α_r  (random assign.)", &a.random),
+            ("α_m  (mono assign.)", &a.mono),
+        ],
+        cs.bn_entry,
+        cs.target,
+        AttackModelConfig::default(),
+    )
+    .expect("t5 is reachable from c4");
+
+    println!("Table V — diversity metric dbn of different assignments");
+    println!("(entry c4, target t5; paper: 0.815 / 0.486 / 0.481 / 0.266 / 0.067)\n");
+    let mut t = TextTable::new(&["assignment", "log10 P'(t5)", "log10 P(t5)", "dbn"]);
+    for row in &rows {
+        t.add_row_owned(vec![
+            row.label.clone(),
+            format!("{:.3}", row.metric.log_p_without()),
+            format!("{:.3}", row.metric.log_p_with()),
+            format!("{:.5}", row.metric.dbn),
+        ]);
+    }
+    println!("{t}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_ordering_matches_the_paper() {
+        let a = case_study_assignments();
+        let cs = &a.cs;
+        let rows = diversity_report(
+            &cs.network,
+            &cs.similarity,
+            &[
+                ("opt", &a.optimal),
+                ("c1", &a.constrained_c1),
+                ("c2", &a.constrained_c2),
+                ("rand", &a.random),
+                ("mono", &a.mono),
+            ],
+            cs.bn_entry,
+            cs.target,
+            AttackModelConfig::default(),
+        )
+        .unwrap();
+        let dbn: Vec<f64> = rows.iter().map(|r| r.metric.dbn).collect();
+        // Paper's ordering: optimal > constrained (≈ equal pair) > random > mono.
+        assert!(dbn[0] >= dbn[1] - 1e-9, "optimal {} vs C1 {}", dbn[0], dbn[1]);
+        assert!(dbn[1] > dbn[3], "C1 {} vs random {}", dbn[1], dbn[3]);
+        assert!(dbn[2] > dbn[3], "C2 {} vs random {}", dbn[2], dbn[3]);
+        assert!(dbn[3] > dbn[4], "random {} vs mono {}", dbn[3], dbn[4]);
+        // P' constant across assignments.
+        for r in &rows[1..] {
+            assert!(
+                (r.metric.p_without_similarity - rows[0].metric.p_without_similarity).abs()
+                    < 1e-12
+            );
+        }
+        // All metrics in (0, 1].
+        assert!(dbn.iter().all(|d| *d > 0.0 && *d <= 1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduces Table VII — optimization seconds for networks of various
+//! densities over different host counts.
+//!
+//! Default grid stops at 1 000 hosts; pass `--full` for the paper's grid up
+//! to 6 000 hosts (this takes minutes, as it did for the authors).
+
+use bench::full_mode;
+use ics_diversity::optimizer::DiversityOptimizer;
+use ics_diversity::report::TextTable;
+use ics_diversity::scalability::sweep;
+use netmodel::topology::RandomNetworkConfig;
+
+fn main() {
+    let hosts: Vec<usize> = if full_mode() {
+        vec![100, 200, 400, 600, 800, 1000, 2000, 4000, 6000]
+    } else {
+        vec![100, 200, 400, 600, 800, 1000]
+    };
+    let optimizer = DiversityOptimizer::new();
+    let rows = [
+        ("mid-density", 20usize, 15usize),
+        ("high-density", 40, 25),
+    ];
+
+    println!("Table VII — computational time (seconds) over #hosts");
+    println!("(TRW-S on CPU; the paper's numbers come from a GTX-750-accelerated C++ build,");
+    println!(" so compare scaling shape, not absolute values)\n");
+    let mut headers = vec!["density".to_owned(), "#deg".to_owned(), "#serv".to_owned()];
+    headers.extend(hosts.iter().map(|h| h.to_string()));
+    let mut t = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (label, degree, services) in rows {
+        let base = RandomNetworkConfig {
+            mean_degree: degree,
+            services,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            ..RandomNetworkConfig::default()
+        };
+        let points = sweep(&optimizer, &base, &hosts, 7, |cfg, h| cfg.hosts = h)
+            .expect("sweep instances optimize");
+        let mut row = vec![label.to_owned(), degree.to_string(), services.to_string()];
+        row.extend(points.iter().map(|p| format!("{:.3}", p.seconds)));
+        t.add_row_owned(row);
+    }
+    println!("{t}");
+    println!("paper Table VII (seconds): mid 0.239 … 33.392; high 0.640 … 151.110");
+}

@@ -1,0 +1,52 @@
+//! Reproduces Table IX — optimization seconds over services per host, at mid
+//! and large scale.
+//!
+//! Default runs the mid-scale row; `--full` adds the 6 000-host row
+//! (≈ 240 000 host links at degree 40, as in the paper).
+
+use bench::full_mode;
+use ics_diversity::optimizer::DiversityOptimizer;
+use ics_diversity::report::TextTable;
+use ics_diversity::scalability::sweep;
+use netmodel::topology::RandomNetworkConfig;
+
+fn main() {
+    let services: Vec<usize> = vec![5, 10, 15, 20, 25, 30];
+    let optimizer = DiversityOptimizer::new();
+    let mut rows = vec![("mid-scale", 1000usize, 20usize)];
+    if full_mode() {
+        rows.push(("large-scale", 6000, 40));
+    }
+
+    println!("Table IX — computational time (seconds) over #services\n");
+    let mut headers = vec![
+        "scale".to_owned(),
+        "#hosts".to_owned(),
+        "#deg".to_owned(),
+        "~#edges".to_owned(),
+    ];
+    headers.extend(services.iter().map(|s| s.to_string()));
+    let mut t = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (label, hosts, degree) in rows {
+        let base = RandomNetworkConfig {
+            hosts,
+            mean_degree: degree,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            ..RandomNetworkConfig::default()
+        };
+        let points = sweep(&optimizer, &base, &services, 9, |cfg, s| cfg.services = s)
+            .expect("sweep instances optimize");
+        let mut row = vec![
+            label.to_owned(),
+            hosts.to_string(),
+            degree.to_string(),
+            format!("~{}", hosts * degree / 2),
+        ];
+        row.extend(points.iter().map(|p| format!("{:.3}", p.seconds)));
+        t.add_row_owned(row);
+    }
+    println!("{t}");
+    println!("paper Table IX (seconds): mid 0.603 … 6.974; large 10.306 … 188.050");
+    println!("expected shape: roughly linear growth in #services at fixed topology");
+}

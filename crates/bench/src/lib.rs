@@ -1,0 +1,100 @@
+//! Shared fixtures for the reproduction binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/`:
+//!
+//! | Artifact    | Binary     | What it prints                               |
+//! |-------------|------------|----------------------------------------------|
+//! | Fig. 1      | `fig1`     | target-compromise probability, three models  |
+//! | Table I     | `table1`   | the CVE-2016-7153 NVD record                 |
+//! | Tables II/III | `table2_3` | published OS/browser similarity tables     |
+//! | Fig. 4      | `fig4`     | α̂, α̂C1, α̂C2 for the ICS case study          |
+//! | Table V     | `table5`   | `dbn` for α̂, α̂C1, α̂C2, α_r, α_m             |
+//! | Table VI    | `table6`   | MTTC for 4 assignments × 5 entry points      |
+//! | Table VII   | `table7`   | seconds vs #hosts (mid/high density)         |
+//! | Table VIII  | `table8`   | seconds vs degree (mid/large scale)          |
+//! | Table IX    | `table9`   | seconds vs #services (mid/large scale)       |
+//!
+//! Scalability binaries accept `--full` for the paper-scale grid (minutes)
+//! and default to a reduced grid (seconds).
+
+use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+use netmodel::assignment::Assignment;
+use netmodel::casestudy::CaseStudy;
+use netmodel::strategies::{mono_assignment, random_assignment};
+
+/// Seed used for the random baseline `α_r` everywhere, for reproducibility.
+pub const RANDOM_BASELINE_SEED: u64 = 2020;
+
+/// The five assignments of the paper's case-study evaluation.
+pub struct CaseStudyAssignments {
+    /// The case-study instance.
+    pub cs: CaseStudy,
+    /// `α̂` — unconstrained optimum.
+    pub optimal: Assignment,
+    /// `α̂C1` — host-constrained optimum.
+    pub constrained_c1: Assignment,
+    /// `α̂C2` — host+product-constrained optimum.
+    pub constrained_c2: Assignment,
+    /// `α_r` — random baseline.
+    pub random: Assignment,
+    /// `α_m` — homogeneous baseline.
+    pub mono: Assignment,
+}
+
+/// Builds the case study and solves all three optimization problems.
+///
+/// # Panics
+///
+/// Panics if the case study fails to optimize — it cannot for the shipped
+/// instance, and the binaries want a loud failure if it ever does.
+pub fn case_study_assignments() -> CaseStudyAssignments {
+    let cs = CaseStudy::build();
+    // The case-study MRF has low treewidth: solve it to global optimality.
+    let optimizer =
+        DiversityOptimizer::new().with_solver(SolverKind::Exact(Default::default()));
+    let optimal = optimizer
+        .optimize(&cs.network, &cs.similarity)
+        .expect("case study optimizes")
+        .into_assignment();
+    let constrained_c1 = optimizer
+        .optimize_constrained(&cs.network, &cs.similarity, &cs.constraints_c1())
+        .expect("C1 is satisfiable")
+        .into_assignment();
+    let constrained_c2 = optimizer
+        .optimize_constrained(&cs.network, &cs.similarity, &cs.constraints_c2())
+        .expect("C2 is satisfiable")
+        .into_assignment();
+    let random = random_assignment(&cs.network, RANDOM_BASELINE_SEED);
+    let mono = mono_assignment(&cs.network);
+    CaseStudyAssignments {
+        cs,
+        optimal,
+        constrained_c1,
+        constrained_c2,
+        random,
+        mono,
+    }
+}
+
+/// True when the CLI args request the paper-scale grid.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_satisfy_their_constraints() {
+        let a = case_study_assignments();
+        a.optimal.validate(&a.cs.network).unwrap();
+        assert!(a.cs.constraints_c1().is_satisfied(&a.cs.network, &a.constrained_c1));
+        assert!(a.cs.constraints_c2().is_satisfied(&a.cs.network, &a.constrained_c2));
+        // The paper's qualitative ordering on raw edge similarity.
+        let sim_of =
+            |x: &Assignment| x.total_edge_similarity(&a.cs.network, &a.cs.similarity);
+        assert!(sim_of(&a.optimal) <= sim_of(&a.constrained_c1) + 1e-9);
+        assert!(sim_of(&a.optimal) < sim_of(&a.mono));
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+use netmodel::{HostId, ServiceId};
+
+/// Errors produced while constructing or solving diversification problems.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Constraints leave a (host, service) slot with no feasible product.
+    Infeasible {
+        /// The host whose slot became empty.
+        host: HostId,
+        /// The service with no remaining candidate.
+        service: ServiceId,
+    },
+    /// The decoded optimal assignment violates a hard constraint — the
+    /// constraint system is jointly unsatisfiable (conditional constraints
+    /// can conflict even when every slot has candidates).
+    UnsatisfiableConstraints {
+        /// Number of violated (constraint, host) pairs.
+        violations: usize,
+    },
+    /// An error from the network model layer.
+    Model(netmodel::Error),
+    /// An error from the MRF layer.
+    Mrf(mrf::Error),
+    /// An error from the Bayesian-network layer.
+    Bayes(bayesnet::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Infeasible { host, service } => write!(
+                f,
+                "constraints leave no feasible product for service {service} at host {host}"
+            ),
+            Error::UnsatisfiableConstraints { violations } => write!(
+                f,
+                "constraint system unsatisfiable: optimal assignment violates {violations} constraint instance(s)"
+            ),
+            Error::Model(e) => write!(f, "network model error: {e}"),
+            Error::Mrf(e) => write!(f, "mrf error: {e}"),
+            Error::Bayes(e) => write!(f, "bayesian network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Mrf(e) => Some(e),
+            Error::Bayes(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netmodel::Error> for Error {
+    fn from(e: netmodel::Error) -> Error {
+        Error::Model(e)
+    }
+}
+
+impl From<mrf::Error> for Error {
+    fn from(e: mrf::Error) -> Error {
+        Error::Mrf(e)
+    }
+}
+
+impl From<bayesnet::Error> for Error {
+    fn from(e: bayesnet::Error) -> Error {
+        Error::Bayes(e)
+    }
+}

@@ -1,0 +1,60 @@
+//! # ics-diversity
+//!
+//! Optimal network diversification for ICS resilience — a faithful, fully
+//! self-contained reproduction of the DSN 2020 paper *"Scalable Approach to
+//! Enhancing ICS Resilience by Network Diversity"* (Li, Feng, Hankin).
+//!
+//! Given a network of hosts, the services each host must run, the candidate
+//! products for each service, and the pairwise **vulnerability similarity**
+//! of products (Jaccard overlap of their CVE sets, crate [`nvd`]), this
+//! crate computes the product assignment that minimizes a zero-day worm's
+//! ability to propagate — optionally subject to real-world configuration
+//! constraints (legacy hosts, mandated products, (un)desirable product
+//! combinations) — and evaluates the result with the paper's two
+//! instruments: the BN-based diversity metric `dbn` (crate [`bayesnet`])
+//! and simulated mean-time-to-compromise (crate [`sim`]).
+//!
+//! * [`energy`] — translates a network + constraints into the discrete
+//!   pairwise MRF of paper Eq. 1 (one variable per (host, service) slot).
+//! * [`optimizer`] — the solver facade: TRW-S (default), loopy BP, ICM or
+//!   exhaustive search over the constructed energy.
+//! * [`evaluate`] — `dbn` and MTTC reports for any assignment.
+//! * [`metrics`] — the complementary diversity metrics of the framework the
+//!   paper adapts: effective richness and least attacking effort.
+//! * [`scalability`] — the timing harness behind the paper's Tables VII–IX.
+//! * [`report`] — plain-text tables for the reproduction binaries.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ics_diversity::optimizer::DiversityOptimizer;
+//! use netmodel::casestudy::CaseStudy;
+//!
+//! # fn main() -> Result<(), ics_diversity::Error> {
+//! let cs = CaseStudy::build();
+//! let optimizer = DiversityOptimizer::new();
+//! // The unconstrained optimal assignment α̂ of paper Fig. 4(a):
+//! let optimal = optimizer.optimize(&cs.network, &cs.similarity)?;
+//! // Constrained optimum α̂C1 (host constraints of §VII-B):
+//! let constrained =
+//!     optimizer.optimize_constrained(&cs.network, &cs.similarity, &cs.constraints_c1())?;
+//! assert!(constrained.assignment().total_edge_similarity(&cs.network, &cs.similarity)
+//!     >= optimal.assignment().total_edge_similarity(&cs.network, &cs.similarity) - 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod energy;
+pub mod evaluate;
+pub mod metrics;
+pub mod optimizer;
+pub mod report;
+pub mod scalability;
+
+mod error;
+
+pub use error::Error;
+pub use optimizer::{DiversityOptimizer, OptimizedAssignment, SolverKind};
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,380 @@
+//! The optimization facade: network in, optimal assignment out.
+
+use mrf::bp::{Bp, BpOptions};
+use mrf::elimination::{Elimination, EliminationOptions};
+use mrf::exhaustive::Exhaustive;
+use mrf::icm::{Icm, IcmOptions};
+use mrf::ils::{Ils, IlsOptions};
+use mrf::trws::{Trws, TrwsOptions};
+use mrf::Solution;
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::ProductSimilarity;
+use netmodel::constraints::ConstraintSet;
+use netmodel::network::Network;
+
+use crate::energy::{build_energy, EnergyModel, EnergyParams};
+use crate::{Error, Result};
+
+/// Which MAP solver to run on the constructed energy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverKind {
+    /// Sequential tree-reweighted message passing (the paper's choice).
+    Trws(TrwsOptions),
+    /// Loopy min-sum belief propagation (the baseline TRW-S is compared to).
+    Bp(BpOptions),
+    /// Iterated conditional modes (fast greedy baseline).
+    Icm(IcmOptions),
+    /// Brute force (tiny instances / testing only).
+    Exhaustive,
+    /// Exact MAP by bucket elimination — globally optimal whenever the
+    /// instance's treewidth fits the table cap, as the ICS case study does.
+    /// Falls back to TRW-S (with default options) when it does not.
+    Exact(EliminationOptions),
+}
+
+impl Default for SolverKind {
+    fn default() -> SolverKind {
+        SolverKind::Trws(TrwsOptions::default())
+    }
+}
+
+/// The result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizedAssignment {
+    assignment: Assignment,
+    objective: f64,
+    lower_bound: Option<f64>,
+    iterations: usize,
+    converged: bool,
+    variables: usize,
+    edges: usize,
+}
+
+impl OptimizedAssignment {
+    /// The optimal (or best-found) product assignment.
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    /// Consumes the result, returning the assignment.
+    pub fn into_assignment(self) -> Assignment {
+        self.assignment
+    }
+
+    /// The full objective value (MRF energy plus the fixed-fixed constant).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// A certified lower bound on the optimal objective (TRW-S only).
+    pub fn lower_bound(&self) -> Option<f64> {
+        self.lower_bound
+    }
+
+    /// The optimality gap, if a bound is available.
+    pub fn gap(&self) -> Option<f64> {
+        self.lower_bound.map(|lb| self.objective - lb)
+    }
+
+    /// Solver iterations.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Whether the solver converged (vs. hitting its iteration cap).
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Number of free MRF variables the problem had.
+    pub fn variables(&self) -> usize {
+        self.variables
+    }
+
+    /// Number of MRF edges the problem had.
+    pub fn edges(&self) -> usize {
+        self.edges
+    }
+}
+
+/// Computes optimal diversification strategies (paper §V).
+///
+/// ```
+/// use ics_diversity::optimizer::DiversityOptimizer;
+/// use netmodel::topology::{generate, RandomNetworkConfig};
+///
+/// # fn main() -> Result<(), ics_diversity::Error> {
+/// let g = generate(&RandomNetworkConfig { hosts: 30, ..Default::default() }, 1);
+/// let result = DiversityOptimizer::new().optimize(&g.network, &g.similarity)?;
+/// assert!(result.assignment().validate(&g.network).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiversityOptimizer {
+    solver: SolverKind,
+    params: EnergyParams,
+    refine: Option<IlsOptions>,
+}
+
+impl Default for DiversityOptimizer {
+    fn default() -> DiversityOptimizer {
+        DiversityOptimizer {
+            solver: SolverKind::default(),
+            params: EnergyParams::default(),
+            refine: Some(IlsOptions::default()),
+        }
+    }
+}
+
+impl DiversityOptimizer {
+    /// Creates an optimizer with TRW-S, default energy parameters, and ILS
+    /// refinement of the decoded solution.
+    pub fn new() -> DiversityOptimizer {
+        DiversityOptimizer::default()
+    }
+
+    /// Replaces the solver.
+    pub fn with_solver(mut self, solver: SolverKind) -> DiversityOptimizer {
+        self.solver = solver;
+        self
+    }
+
+    /// Replaces (or disables, with `None`) the ILS refinement stage applied
+    /// after the main solver.
+    pub fn with_refinement(mut self, refine: Option<IlsOptions>) -> DiversityOptimizer {
+        self.refine = refine;
+        self
+    }
+
+    /// Replaces the energy parameters.
+    pub fn with_params(mut self, params: EnergyParams) -> DiversityOptimizer {
+        self.params = params;
+        self
+    }
+
+    /// Computes the unconstrained optimal assignment `α̂`.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiversityOptimizer::optimize_constrained`] (with an empty
+    /// constraint set only [`Error::Mrf`] is possible, and only for
+    /// malformed networks).
+    pub fn optimize(
+        &self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+    ) -> Result<OptimizedAssignment> {
+        self.optimize_constrained(network, similarity, &ConstraintSet::new())
+    }
+
+    /// Computes the constrained optimal assignment `α̂_C`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Infeasible`] — constraints empty a slot's candidate set.
+    /// * [`Error::UnsatisfiableConstraints`] — the solved assignment still
+    ///   violates a constraint (jointly unsatisfiable constraint system).
+    pub fn optimize_constrained(
+        &self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+        constraints: &ConstraintSet,
+    ) -> Result<OptimizedAssignment> {
+        let energy = build_energy(network, similarity, constraints, self.params)?;
+        let mut solution = self.run_solver(&energy);
+        if let Some(ils) = &self.refine {
+            let refined = Ils::new(ils.clone()).refine(energy.model(), solution.labels().to_vec());
+            if refined.energy() < solution.energy() {
+                solution = Solution::new(
+                    refined.labels().to_vec(),
+                    refined.energy(),
+                    solution.lower_bound(),
+                    solution.iterations(),
+                    solution.converged(),
+                );
+            }
+        }
+        let assignment = energy.decode(solution.labels());
+        debug_assert!(assignment.validate(network).is_ok());
+        let violations = constraints.violations(network, &assignment);
+        if !violations.is_empty() {
+            return Err(Error::UnsatisfiableConstraints {
+                violations: violations.len(),
+            });
+        }
+        Ok(OptimizedAssignment {
+            assignment,
+            objective: solution.energy() + energy.base_energy(),
+            lower_bound: solution.lower_bound().map(|lb| lb + energy.base_energy()),
+            iterations: solution.iterations(),
+            converged: solution.converged(),
+            variables: energy.model().var_count(),
+            edges: energy.model().edge_count(),
+        })
+    }
+
+    fn run_solver(&self, energy: &EnergyModel) -> Solution {
+        match &self.solver {
+            SolverKind::Trws(opts) => Trws::new(opts.clone()).solve(energy.model()),
+            SolverKind::Bp(opts) => Bp::new(opts.clone()).solve(energy.model()),
+            SolverKind::Icm(opts) => Icm::new(opts.clone()).solve(energy.model()),
+            SolverKind::Exhaustive => Exhaustive::new().solve(energy.model()),
+            SolverKind::Exact(opts) => Elimination::new(opts.clone())
+                .solve(energy.model())
+                .unwrap_or_else(|_| Trws::default().solve(energy.model())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::casestudy::CaseStudy;
+    use netmodel::strategies::{mono_assignment, random_assignment};
+    use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+
+    #[test]
+    fn optimal_beats_baselines_on_random_networks() {
+        for seed in 0..3 {
+            let g = generate(
+                &RandomNetworkConfig {
+                    hosts: 40,
+                    mean_degree: 6,
+                    services: 3,
+                    products_per_service: 4,
+                    vendors_per_service: 2,
+                    topology: TopologyKind::Random,
+                },
+                seed,
+            );
+            let opt = DiversityOptimizer::new().optimize(&g.network, &g.similarity).unwrap();
+            let optimal_sim =
+                opt.assignment().total_edge_similarity(&g.network, &g.similarity);
+            let mono = mono_assignment(&g.network)
+                .total_edge_similarity(&g.network, &g.similarity);
+            let random = random_assignment(&g.network, seed)
+                .total_edge_similarity(&g.network, &g.similarity);
+            assert!(
+                optimal_sim < random && random < mono,
+                "seed {seed}: expected optimal {optimal_sim} < random {random} < mono {mono}"
+            );
+        }
+    }
+
+    #[test]
+    fn trws_matches_exhaustive_on_tiny_instances() {
+        for seed in 0..4 {
+            let g = generate(
+                &RandomNetworkConfig {
+                    hosts: 6,
+                    mean_degree: 2,
+                    services: 2,
+                    products_per_service: 2,
+                    vendors_per_service: 2,
+                    topology: TopologyKind::Random,
+                },
+                seed,
+            );
+            let trws = DiversityOptimizer::new().optimize(&g.network, &g.similarity).unwrap();
+            let brute = DiversityOptimizer::new()
+                .with_solver(SolverKind::Exhaustive)
+                .optimize(&g.network, &g.similarity)
+                .unwrap();
+            assert!(
+                (trws.objective() - brute.objective()).abs() < 1e-6,
+                "seed {seed}: trws {} vs brute {}",
+                trws.objective(),
+                brute.objective()
+            );
+        }
+    }
+
+    #[test]
+    fn bound_is_valid() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 30,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            9,
+        );
+        let opt = DiversityOptimizer::new().optimize(&g.network, &g.similarity).unwrap();
+        let lb = opt.lower_bound().expect("trws provides a bound");
+        assert!(lb <= opt.objective() + 1e-9);
+        assert!(opt.gap().unwrap() >= -1e-9);
+        assert!(opt.variables() > 0);
+        assert!(opt.edges() > 0);
+    }
+
+    #[test]
+    fn case_study_constrained_solves_respect_constraints() {
+        let cs = CaseStudy::build();
+        let optimizer = DiversityOptimizer::new();
+        let unconstrained = optimizer.optimize(&cs.network, &cs.similarity).unwrap();
+        let c1 = cs.constraints_c1();
+        let constrained1 = optimizer
+            .optimize_constrained(&cs.network, &cs.similarity, &c1)
+            .unwrap();
+        assert!(c1.is_satisfied(&cs.network, constrained1.assignment()));
+        let c2 = cs.constraints_c2();
+        let constrained2 = optimizer
+            .optimize_constrained(&cs.network, &cs.similarity, &c2)
+            .unwrap();
+        assert!(c2.is_satisfied(&cs.network, constrained2.assignment()));
+        // Constraints can only cost diversity (paper Table V ordering).
+        let sim_of = |a: &netmodel::assignment::Assignment| {
+            a.total_edge_similarity(&cs.network, &cs.similarity)
+        };
+        assert!(sim_of(unconstrained.assignment()) <= sim_of(constrained1.assignment()) + 1e-9);
+    }
+
+    #[test]
+    fn solver_variants_all_produce_valid_assignments() {
+        let cs = CaseStudy::build();
+        for solver in [
+            SolverKind::Trws(TrwsOptions::default()),
+            SolverKind::Bp(BpOptions::default()),
+            SolverKind::Icm(IcmOptions::default()),
+        ] {
+            let opt = DiversityOptimizer::new()
+                .with_solver(solver.clone())
+                .optimize(&cs.network, &cs.similarity)
+                .unwrap();
+            opt.assignment().validate(&cs.network).unwrap();
+        }
+    }
+
+    #[test]
+    fn trws_is_at_least_as_good_as_icm_on_case_study() {
+        let cs = CaseStudy::build();
+        let trws = DiversityOptimizer::new().optimize(&cs.network, &cs.similarity).unwrap();
+        let icm = DiversityOptimizer::new()
+            .with_solver(SolverKind::Icm(IcmOptions::default()))
+            .optimize(&cs.network, &cs.similarity)
+            .unwrap();
+        assert!(trws.objective() <= icm.objective() + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_constraints_error() {
+        use netmodel::constraints::Constraint;
+        let cs = CaseStudy::build();
+        let mut set = ConstraintSet::new();
+        // t5 is legacy (MSSQL08 only); demanding MariaDB is infeasible.
+        set.push(Constraint::fix(
+            cs.host("t5"),
+            cs.services.db,
+            cs.product("MariaDB10"),
+        ));
+        let err = DiversityOptimizer::new()
+            .optimize_constrained(&cs.network, &cs.similarity, &set)
+            .unwrap_err();
+        assert!(matches!(err, Error::Infeasible { .. }));
+    }
+}

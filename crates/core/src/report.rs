@@ -1,0 +1,114 @@
+//! Minimal plain-text table rendering for the reproduction binaries.
+
+use std::fmt::Write as _;
+
+/// A simple left-padded text table.
+///
+/// ```
+/// use ics_diversity::report::TextTable;
+/// let mut t = TextTable::new(&["assignment", "dbn"]);
+/// t.add_row(&["optimal", "0.81"]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("optimal"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Shorter rows are padded with empty cells; longer rows
+    /// extend the table width.
+    pub fn add_row(&mut self, cells: &[&str]) -> &mut TextTable {
+        self.rows.push(cells.iter().map(|c| (*c).to_owned()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings.
+    pub fn add_row_owned(&mut self, cells: Vec<String>) -> &mut TextTable {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", h, width = widths[i]);
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", c, width = widths[i]);
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.add_row(&["alpha", "1"]);
+        t.add_row(&["b", "22"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Column alignment: "value" column starts at the same offset.
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find('1').unwrap();
+        assert_eq!(off0, off2);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut t = TextTable::new(&["a"]);
+        t.add_row(&["x", "extra"]);
+        t.add_row_owned(vec!["y".to_owned()]);
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+        assert!(s.contains('y'));
+    }
+}

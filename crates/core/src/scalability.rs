@@ -1,0 +1,158 @@
+//! The scalability harness (paper §VIII, Tables VII–IX).
+//!
+//! Generates random networks of configurable scale and times the
+//! optimization alone (problem generation is excluded, as in the paper).
+//! The bench binaries sweep these points to regenerate the three tables.
+
+use std::time::Instant;
+
+use netmodel::topology::{generate, RandomNetworkConfig};
+
+use crate::optimizer::DiversityOptimizer;
+use crate::Result;
+
+/// One timed optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Hosts in the generated network.
+    pub hosts: usize,
+    /// Target mean degree.
+    pub degree: usize,
+    /// Services per host.
+    pub services: usize,
+    /// Actual undirected host links.
+    pub links: usize,
+    /// MRF variables the instance produced.
+    pub variables: usize,
+    /// MRF edges the instance produced.
+    pub edges: usize,
+    /// Optimization wall-clock seconds (excludes generation).
+    pub seconds: f64,
+    /// Final objective value.
+    pub objective: f64,
+    /// Certified lower bound, if the solver provides one.
+    pub lower_bound: Option<f64>,
+    /// Whether the solver converged before its iteration cap.
+    pub converged: bool,
+}
+
+/// Generates an instance from `config` (seeded) and times `optimizer` on it.
+///
+/// # Errors
+///
+/// Propagates optimizer errors (none are expected for generated instances).
+pub fn time_optimization(
+    optimizer: &DiversityOptimizer,
+    config: &RandomNetworkConfig,
+    seed: u64,
+) -> Result<SweepPoint> {
+    let g = generate(config, seed);
+    let start = Instant::now();
+    let solved = optimizer.optimize(&g.network, &g.similarity)?;
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(SweepPoint {
+        hosts: config.hosts,
+        degree: config.mean_degree,
+        services: config.services,
+        links: g.network.link_count(),
+        variables: solved.variables(),
+        edges: solved.edges(),
+        seconds,
+        objective: solved.objective(),
+        lower_bound: solved.lower_bound(),
+        converged: solved.converged(),
+    })
+}
+
+/// Sweeps one axis: applies `vary` to a base configuration for each value
+/// and times each point.
+///
+/// # Errors
+///
+/// Propagates the first optimizer error.
+pub fn sweep<T: Copy>(
+    optimizer: &DiversityOptimizer,
+    base: &RandomNetworkConfig,
+    values: &[T],
+    seed: u64,
+    vary: impl Fn(&mut RandomNetworkConfig, T),
+) -> Result<Vec<SweepPoint>> {
+    values
+        .iter()
+        .map(|&v| {
+            let mut config = base.clone();
+            vary(&mut config, v);
+            time_optimization(optimizer, &config, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrf::trws::TrwsOptions;
+    use crate::optimizer::SolverKind;
+
+    fn fast_optimizer() -> DiversityOptimizer {
+        DiversityOptimizer::new().with_solver(SolverKind::Trws(TrwsOptions {
+            max_iterations: 10,
+            ..TrwsOptions::default()
+        }))
+    }
+
+    fn small_base() -> RandomNetworkConfig {
+        RandomNetworkConfig {
+            hosts: 50,
+            mean_degree: 6,
+            services: 3,
+            products_per_service: 3,
+            ..RandomNetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn timing_point_has_consistent_shape() {
+        let p = time_optimization(&fast_optimizer(), &small_base(), 1).unwrap();
+        assert_eq!(p.hosts, 50);
+        assert_eq!(p.services, 3);
+        assert!(p.seconds > 0.0);
+        assert!(p.variables > 0);
+        // Every link carries `services` MRF edges (full service overlap).
+        assert_eq!(p.edges, p.links * p.services);
+        assert!(p.lower_bound.unwrap() <= p.objective + 1e-9);
+    }
+
+    #[test]
+    fn sweep_varies_the_axis() {
+        let points = sweep(
+            &fast_optimizer(),
+            &small_base(),
+            &[20usize, 40, 60],
+            7,
+            |cfg, hosts| cfg.hosts = hosts,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].hosts, 20);
+        assert_eq!(points[2].hosts, 60);
+        // More hosts, more work (variables grow linearly).
+        assert!(points[2].variables > points[0].variables);
+    }
+
+    #[test]
+    fn time_grows_with_hosts() {
+        // Qualitative shape check (generous: only requires the 4x larger
+        // instance not to be faster than half the small one's time).
+        let opt = fast_optimizer();
+        let small = time_optimization(&opt, &small_base(), 3).unwrap();
+        let mut big_cfg = small_base();
+        big_cfg.hosts = 200;
+        let big = time_optimization(&opt, &big_cfg, 3).unwrap();
+        assert!(
+            big.seconds > small.seconds * 0.5,
+            "big {}s vs small {}s",
+            big.seconds,
+            small.seconds
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Loopy min-sum belief propagation.
+//!
+//! The baseline the paper contrasts TRW-S against: synchronous min-sum
+//! message passing with damping. Unlike TRW-S it provides no lower bound and
+//! may oscillate on loopy graphs (hence the damping option), but it
+//! parallelizes trivially — message updates within an iteration are
+//! independent — which this implementation exploits with scoped threads.
+
+use crate::model::{MrfModel, VarId};
+use crate::solution::Solution;
+
+/// Options controlling a BP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpOptions {
+    /// Maximum number of synchronous iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the largest message change.
+    pub tolerance: f64,
+    /// Damping factor in `[0, 1)`: new = (1−d)·update + d·old. 0 disables.
+    pub damping: f64,
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for BpOptions {
+    fn default() -> BpOptions {
+        BpOptions {
+            max_iterations: 100,
+            tolerance: 1e-9,
+            damping: 0.3,
+            threads: 1,
+        }
+    }
+}
+
+/// The loopy min-sum BP solver.
+#[derive(Debug, Clone, Default)]
+pub struct Bp {
+    options: BpOptions,
+}
+
+impl Bp {
+    /// Creates a solver with the given options.
+    pub fn new(options: BpOptions) -> Bp {
+        Bp { options }
+    }
+
+    /// Runs BP on `model`, decoding by per-variable belief minimization.
+    pub fn solve(&self, model: &MrfModel) -> Solution {
+        let n = model.var_count();
+        if n == 0 {
+            return Solution::new(Vec::new(), 0.0, None, 0, true);
+        }
+        let ecount = model.edge_count();
+        // Flat message storage, double-buffered.
+        let mut off_a = Vec::with_capacity(ecount + 1);
+        let mut off_b = Vec::with_capacity(ecount + 1);
+        off_a.push(0usize);
+        off_b.push(0usize);
+        for e in model.edges() {
+            off_a.push(off_a.last().unwrap() + model.labels(e.a()));
+            off_b.push(off_b.last().unwrap() + model.labels(e.b()));
+        }
+        let mut to_a = vec![0.0f64; *off_a.last().unwrap()];
+        let mut to_b = vec![0.0f64; *off_b.last().unwrap()];
+        let mut new_to_a = to_a.clone();
+        let mut new_to_b = to_b.clone();
+
+        let mut iterations = 0usize;
+        let mut converged = false;
+        let damping = self.options.damping.clamp(0.0, 0.999);
+        for iter in 0..self.options.max_iterations {
+            iterations = iter + 1;
+            // Per-variable total incoming message sums (beliefs minus unary).
+            let totals = incoming_totals(model, &to_a, &to_b, &off_a, &off_b);
+            let delta = update_messages(
+                model,
+                &to_a,
+                &to_b,
+                &mut new_to_a,
+                &mut new_to_b,
+                &off_a,
+                &off_b,
+                &totals,
+                damping,
+                self.options.threads,
+            );
+            std::mem::swap(&mut to_a, &mut new_to_a);
+            std::mem::swap(&mut to_b, &mut new_to_b);
+            if delta <= self.options.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Decode: x_i = argmin (unary + Σ incoming).
+        let totals = incoming_totals(model, &to_a, &to_b, &off_a, &off_b);
+        let mut labels = vec![0usize; n];
+        let mut offset = 0usize;
+        for i in 0..n {
+            let l = model.labels(VarId(i));
+            let u = model.unary(VarId(i));
+            let mut best = f64::INFINITY;
+            for x in 0..l {
+                let c = u[x] + totals[offset + x];
+                if c < best {
+                    best = c;
+                    labels[i] = x;
+                }
+            }
+            offset += l;
+        }
+        let energy = model.energy(&labels);
+        Solution::new(labels, energy, None, iterations, converged)
+    }
+}
+
+/// Per-variable sums of incoming messages, flattened by variable label
+/// offsets (same layout as the model's unary storage).
+fn incoming_totals(
+    model: &MrfModel,
+    to_a: &[f64],
+    to_b: &[f64],
+    off_a: &[usize],
+    off_b: &[usize],
+) -> Vec<f64> {
+    let mut var_off = Vec::with_capacity(model.var_count() + 1);
+    var_off.push(0usize);
+    for i in 0..model.var_count() {
+        var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
+    }
+    let mut totals = vec![0.0; *var_off.last().unwrap()];
+    for (eidx, e) in model.edges().iter().enumerate() {
+        let a = e.a().0;
+        let b = e.b().0;
+        for (x, m) in to_a[off_a[eidx]..off_a[eidx + 1]].iter().enumerate() {
+            totals[var_off[a] + x] += m;
+        }
+        for (x, m) in to_b[off_b[eidx]..off_b[eidx + 1]].iter().enumerate() {
+            totals[var_off[b] + x] += m;
+        }
+    }
+    totals
+}
+
+/// One synchronous message update over all edges; returns the max change.
+#[allow(clippy::too_many_arguments)]
+fn update_messages(
+    model: &MrfModel,
+    to_a: &[f64],
+    to_b: &[f64],
+    new_to_a: &mut [f64],
+    new_to_b: &mut [f64],
+    off_a: &[usize],
+    off_b: &[usize],
+    totals: &[f64],
+    damping: f64,
+    threads: usize,
+) -> f64 {
+    let mut var_off = Vec::with_capacity(model.var_count() + 1);
+    var_off.push(0usize);
+    for i in 0..model.var_count() {
+        var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
+    }
+    let ecount = model.edge_count();
+    let threads = threads.max(1).min(ecount.max(1));
+
+    // The per-edge update: compute both direction messages for edge `eidx`,
+    // writing into the (disjoint) slices of the new buffers.
+    let update_edge = |eidx: usize, out_a: &mut [f64], out_b: &mut [f64]| -> f64 {
+        let e = model.edges()[eidx];
+        let (a, b) = (e.a(), e.b());
+        let (la, lb) = (model.labels(a), model.labels(b));
+        let ua = model.unary(a);
+        let ub = model.unary(b);
+        let mut delta = 0.0f64;
+        // a -> b: exclude the message b sent to a.
+        for xb in 0..lb {
+            let mut best = f64::INFINITY;
+            for xa in 0..la {
+                let base = ua[xa] + totals[var_off[a.0] + xa] - to_a[off_a[eidx] + xa];
+                let c = base + model.edge_cost(&e, xa, xb);
+                if c < best {
+                    best = c;
+                }
+            }
+            out_b[xb] = best;
+        }
+        normalize(out_b);
+        for (xb, nb) in out_b.iter_mut().enumerate() {
+            let old = to_b[off_b[eidx] + xb];
+            *nb = (1.0 - damping) * *nb + damping * old;
+            delta = delta.max((*nb - old).abs());
+        }
+        // b -> a.
+        for xa in 0..la {
+            let mut best = f64::INFINITY;
+            for xb in 0..lb {
+                let base = ub[xb] + totals[var_off[b.0] + xb] - to_b[off_b[eidx] + xb];
+                let c = base + model.edge_cost(&e, xa, xb);
+                if c < best {
+                    best = c;
+                }
+            }
+            out_a[xa] = best;
+        }
+        normalize(out_a);
+        for (xa, na) in out_a.iter_mut().enumerate() {
+            let old = to_a[off_a[eidx] + xa];
+            *na = (1.0 - damping) * *na + damping * old;
+            delta = delta.max((*na - old).abs());
+        }
+        delta
+    };
+
+    if threads == 1 || ecount < 256 {
+        let mut delta = 0.0f64;
+        for eidx in 0..ecount {
+            // Split disjoint output slices.
+            let (oa, ob) = unsafe {
+                // SAFETY: edges own disjoint [off..off+1) ranges by construction.
+                (
+                    std::slice::from_raw_parts_mut(
+                        new_to_a.as_mut_ptr().add(off_a[eidx]),
+                        off_a[eidx + 1] - off_a[eidx],
+                    ),
+                    std::slice::from_raw_parts_mut(
+                        new_to_b.as_mut_ptr().add(off_b[eidx]),
+                        off_b[eidx + 1] - off_b[eidx],
+                    ),
+                )
+            };
+            delta = delta.max(update_edge(eidx, oa, ob));
+        }
+        return delta;
+    }
+
+    // Parallel: partition the edge range into contiguous chunks; each chunk
+    // owns contiguous disjoint slices of the new buffers.
+    let chunk = ecount.div_ceil(threads);
+    let mut deltas = vec![0.0f64; threads];
+    crossbeam::scope(|scope| {
+        let mut rest_a: &mut [f64] = new_to_a;
+        let mut rest_b: &mut [f64] = new_to_b;
+        let mut consumed_a = 0usize;
+        let mut consumed_b = 0usize;
+        let mut handles = Vec::new();
+        for (t, delta_slot) in deltas.iter_mut().enumerate() {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(ecount);
+            if lo >= hi {
+                break;
+            }
+            let take_a = off_a[hi] - consumed_a;
+            let take_b = off_b[hi] - consumed_b;
+            let (mine_a, ra) = rest_a.split_at_mut(take_a);
+            let (mine_b, rb) = rest_b.split_at_mut(take_b);
+            rest_a = ra;
+            rest_b = rb;
+            let base_a = consumed_a;
+            let base_b = consumed_b;
+            consumed_a += take_a;
+            consumed_b += take_b;
+            handles.push(scope.spawn(move |_| {
+                let mut local = 0.0f64;
+                for eidx in lo..hi {
+                    let oa = &mut mine_a[off_a[eidx] - base_a..off_a[eidx + 1] - base_a];
+                    // Work around simultaneous borrows by indexing twice.
+                    let oa_ptr = oa.as_mut_ptr();
+                    let oa_len = oa.len();
+                    let ob = &mut mine_b[off_b[eidx] - base_b..off_b[eidx + 1] - base_b];
+                    let oa = unsafe { std::slice::from_raw_parts_mut(oa_ptr, oa_len) };
+                    local = local.max(update_edge(eidx, oa, ob));
+                }
+                *delta_slot = local;
+            }));
+        }
+        for h in handles {
+            h.join().expect("bp worker panicked");
+        }
+    })
+    .expect("bp thread scope failed");
+    deltas.into_iter().fold(0.0, f64::max)
+}
+
+fn normalize(m: &mut [f64]) {
+    let low = m.iter().copied().fold(f64::INFINITY, f64::min);
+    if low.is_finite() {
+        for v in m {
+            *v -= low;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use crate::model::MrfBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn solve(model: &MrfModel) -> Solution {
+        Bp::new(BpOptions::default()).solve(model)
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let s = solve(&MrfBuilder::new().build());
+        assert!(s.labels().is_empty());
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(3);
+        b.set_unary(x, vec![1.0, 0.0, 2.0]).unwrap();
+        let s = solve(&b.build());
+        assert_eq!(s.labels(), &[1]);
+    }
+
+    #[test]
+    fn exact_on_chains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..5).map(|_| b.add_variable(3)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+            }
+            for w in vars.windows(2) {
+                b.add_edge_dense(w[0], w[1], (0..9).map(|_| rng.gen_range(0.0..3.0)).collect())
+                    .unwrap();
+            }
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            assert!((s.energy() - opt.energy()).abs() < 1e-6);
+            assert!(s.converged());
+        }
+    }
+
+    #[test]
+    fn near_optimal_on_small_loopy_graphs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut total_gap = 0.0;
+        for _ in 0..8 {
+            let mut b = MrfBuilder::new();
+            let n = 6;
+            let vars: Vec<_> = (0..n).map(|_| b.add_variable(2)).collect();
+            for &v in &vars {
+                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+            }
+            for i in 0..n {
+                b.add_edge_dense(
+                    vars[i],
+                    vars[(i + 1) % n],
+                    (0..4).map(|_| rng.gen_range(0.0..1.0)).collect(),
+                )
+                .unwrap();
+            }
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            total_gap += s.energy() - opt.energy();
+        }
+        assert!(total_gap < 1.0, "BP total excess energy {total_gap} too large");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut b = MrfBuilder::new();
+        let n = 40;
+        let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
+        for &v in &vars {
+            b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.2) {
+                    b.add_edge_dense(
+                        vars[i],
+                        vars[j],
+                        (0..9).map(|_| rng.gen_range(0.0..2.0)).collect(),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let m = b.build();
+        let seq = Bp::new(BpOptions {
+            threads: 1,
+            max_iterations: 30,
+            ..BpOptions::default()
+        })
+        .solve(&m);
+        let par = Bp::new(BpOptions {
+            threads: 4,
+            max_iterations: 30,
+            ..BpOptions::default()
+        })
+        .solve(&m);
+        // Same deterministic updates regardless of thread count.
+        assert_eq!(seq.labels(), par.labels());
+        assert_eq!(seq.energy(), par.energy());
+    }
+
+    #[test]
+    fn damping_tames_oscillation() {
+        // A frustrated triangle (all edges prefer disagreement) makes
+        // undamped synchronous BP oscillate; damping plus a small
+        // symmetry-breaking unary lets it settle on an optimum.
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..3).map(|_| b.add_variable(2)).collect();
+        b.set_unary(vars[0], vec![0.0, 0.01]).unwrap();
+        b.set_unary(vars[1], vec![0.01, 0.0]).unwrap();
+        for i in 0..3 {
+            b.add_edge_dense(vars[i], vars[(i + 1) % 3], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        }
+        let m = b.build();
+        let damped = Bp::new(BpOptions {
+            damping: 0.5,
+            max_iterations: 500,
+            ..BpOptions::default()
+        })
+        .solve(&m);
+        // One edge must agree in any labeling: optimum is 1.0 (+0.0 unary).
+        let opt = Exhaustive::new().solve(&m);
+        assert!(
+            damped.energy() <= opt.energy() + 0.02,
+            "damped BP energy {} vs optimum {}",
+            damped.energy(),
+            opt.energy()
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Brute-force MAP solver — the test oracle.
+//!
+//! Enumerates the full labeling space; only usable for tiny models, which is
+//! exactly its job: certifying that the message-passing solvers find true
+//! optima on instances small enough to check.
+
+use crate::model::MrfModel;
+use crate::solution::Solution;
+
+/// Default cap on the number of labelings [`Exhaustive`] will enumerate.
+pub const DEFAULT_LIMIT: f64 = 2e7;
+
+/// The brute-force solver.
+#[derive(Debug, Clone)]
+pub struct Exhaustive {
+    limit: f64,
+}
+
+impl Default for Exhaustive {
+    fn default() -> Exhaustive {
+        Exhaustive {
+            limit: DEFAULT_LIMIT,
+        }
+    }
+}
+
+impl Exhaustive {
+    /// Creates a solver with the default search-space cap.
+    pub fn new() -> Exhaustive {
+        Exhaustive::default()
+    }
+
+    /// Creates a solver willing to enumerate up to `limit` labelings.
+    pub fn with_limit(limit: f64) -> Exhaustive {
+        Exhaustive { limit }
+    }
+
+    /// Finds the global optimum by enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling space exceeds the configured limit.
+    pub fn solve(&self, model: &MrfModel) -> Solution {
+        let space = model.search_space();
+        assert!(
+            space <= self.limit,
+            "search space {space:.3e} exceeds exhaustive limit {:.3e}",
+            self.limit
+        );
+        let n = model.var_count();
+        if n == 0 {
+            return Solution::new(Vec::new(), 0.0, Some(0.0), 0, true);
+        }
+        let mut current = vec![0usize; n];
+        let mut best = current.clone();
+        let mut best_energy = model.energy(&current);
+        'outer: loop {
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                current[i] += 1;
+                if current[i] < model.labels(crate::VarId(i)) {
+                    break;
+                }
+                current[i] = 0;
+                i += 1;
+                if i == n {
+                    break 'outer;
+                }
+            }
+            let e = model.energy(&current);
+            if e < best_energy {
+                best_energy = e;
+                best = current.clone();
+            }
+        }
+        Solution::new(best, best_energy, Some(best_energy), 1, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MrfBuilder;
+
+    #[test]
+    fn finds_global_optimum() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        b.set_unary(x, vec![0.0, 0.2]).unwrap();
+        b.set_unary(y, vec![0.0, 0.2]).unwrap();
+        // Strong disagreement preference overrides the unary pull to (0, 0).
+        b.add_edge_dense(x, y, vec![5.0, 0.0, 0.0, 5.0]).unwrap();
+        let s = Exhaustive::new().solve(&b.build());
+        assert_eq!(s.energy(), 0.2);
+        assert_ne!(s.labels()[0], s.labels()[1]);
+        assert_eq!(s.lower_bound(), Some(0.2));
+    }
+
+    #[test]
+    fn empty_model() {
+        let s = Exhaustive::new().solve(&MrfBuilder::new().build());
+        assert_eq!(s.energy(), 0.0);
+    }
+
+    #[test]
+    fn enumerates_heterogeneous_domains() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(3);
+        let y = b.add_variable(4);
+        b.set_unary(x, vec![2.0, 1.0, 3.0]).unwrap();
+        b.set_unary(y, vec![5.0, 4.0, 0.5, 6.0]).unwrap();
+        let s = Exhaustive::new().solve(&b.build());
+        assert_eq!(s.labels(), &[1, 2]);
+        assert_eq!(s.energy(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds exhaustive limit")]
+    fn refuses_huge_spaces() {
+        let mut b = MrfBuilder::new();
+        for _ in 0..40 {
+            b.add_variable(4);
+        }
+        Exhaustive::new().solve(&b.build());
+    }
+
+    #[test]
+    fn custom_limit() {
+        let mut b = MrfBuilder::new();
+        b.add_variable(2);
+        b.add_variable(2);
+        let s = Exhaustive::with_limit(4.0).solve(&b.build());
+        assert_eq!(s.labels().len(), 2);
+    }
+}

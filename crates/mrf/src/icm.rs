@@ -1,0 +1,192 @@
+//! Iterated conditional modes — the greedy coordinate-descent baseline.
+//!
+//! Sweeps variables repeatedly, setting each to the label minimizing its
+//! local energy given all neighbors. Monotonically decreases energy and
+//! terminates at a local optimum; fast but easily trapped, which is exactly
+//! why it is a useful contrast to TRW-S in the ablation benchmarks.
+
+use crate::model::{MrfModel, VarId};
+use crate::solution::Solution;
+
+/// Options controlling an ICM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcmOptions {
+    /// Maximum number of full sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for IcmOptions {
+    fn default() -> IcmOptions {
+        IcmOptions { max_sweeps: 100 }
+    }
+}
+
+/// The ICM solver.
+#[derive(Debug, Clone, Default)]
+pub struct Icm {
+    options: IcmOptions,
+}
+
+impl Icm {
+    /// Creates a solver with the given options.
+    pub fn new(options: IcmOptions) -> Icm {
+        Icm { options }
+    }
+
+    /// Runs ICM from the unary-argmin labeling.
+    pub fn solve(&self, model: &MrfModel) -> Solution {
+        self.solve_from(model, model.unary_argmin())
+    }
+
+    /// Runs ICM from a caller-supplied initial labeling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` has the wrong arity or out-of-range labels.
+    pub fn solve_from(&self, model: &MrfModel, mut labels: Vec<usize>) -> Solution {
+        assert_eq!(labels.len(), model.var_count(), "labeling arity mismatch");
+        let n = model.var_count();
+        if n == 0 {
+            return Solution::new(labels, 0.0, None, 0, true);
+        }
+        let mut cost = vec![0.0f64; model.max_labels()];
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        for sweep in 0..self.options.max_sweeps {
+            sweeps = sweep + 1;
+            let mut changed = false;
+            for i in 0..n {
+                let v = VarId(i);
+                let l = model.labels(v);
+                cost[..l].copy_from_slice(model.unary(v));
+                for &eidx in model.incident_edges(v) {
+                    let e = model.edges()[eidx as usize];
+                    if e.a().0 == i {
+                        let xb = labels[e.b().0];
+                        for (xa, c) in cost[..l].iter_mut().enumerate() {
+                            *c += model.edge_cost(&e, xa, xb);
+                        }
+                    } else {
+                        let xa = labels[e.a().0];
+                        for (xb, c) in cost[..l].iter_mut().enumerate() {
+                            *c += model.edge_cost(&e, xa, xb);
+                        }
+                    }
+                }
+                let best = cost[..l]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(x, _)| x)
+                    .unwrap_or(0);
+                if best != labels[i] && cost[best] < cost[labels[i]] {
+                    labels[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        let energy = model.energy(&labels);
+        Solution::new(labels, energy, None, sweeps, converged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use crate::model::MrfBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_variable() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(3);
+        b.set_unary(x, vec![2.0, 0.0, 1.0]).unwrap();
+        let s = Icm::default().solve(&b.build());
+        assert_eq!(s.labels(), &[1]);
+        assert!(s.converged());
+    }
+
+    #[test]
+    fn energy_never_increases_relative_to_start() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..8).map(|_| b.add_variable(3)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect()).unwrap();
+            }
+            for i in 0..8 {
+                b.add_edge_dense(
+                    vars[i],
+                    vars[(i + 1) % 8],
+                    (0..9).map(|_| rng.gen_range(0.0..2.0)).collect(),
+                )
+                .unwrap();
+            }
+            let m = b.build();
+            let start = m.unary_argmin();
+            let start_energy = m.energy(&start);
+            let s = Icm::default().solve_from(&m, start);
+            assert!(s.energy() <= start_energy + 1e-12);
+        }
+    }
+
+    #[test]
+    fn optimal_on_independent_variables() {
+        let mut b = MrfBuilder::new();
+        for i in 0..5 {
+            let v = b.add_variable(4);
+            b.set_unary(v, (0..4).map(|l| ((l + i) % 4) as f64).collect()).unwrap();
+        }
+        let m = b.build();
+        let s = Icm::default().solve(&m);
+        let opt = Exhaustive::new().solve(&m);
+        assert_eq!(s.energy(), opt.energy());
+    }
+
+    #[test]
+    fn respects_strong_pairwise_preferences() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        b.set_unary(x, vec![0.0, 0.1]).unwrap();
+        b.set_unary(y, vec![0.0, 0.1]).unwrap();
+        b.add_edge_dense(x, y, vec![10.0, 0.0, 0.0, 10.0]).unwrap();
+        let s = Icm::default().solve(&b.build());
+        assert_ne!(s.labels()[0], s.labels()[1]);
+    }
+
+    #[test]
+    fn can_get_stuck_in_local_optimum() {
+        // Frustrated symmetric start: from the all-zeros unary argmin, no
+        // single flip improves, though the optimum flips both variables.
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        b.set_unary(x, vec![0.0, 0.4]).unwrap();
+        b.set_unary(y, vec![0.0, 0.4]).unwrap();
+        // (0,0) -> 1.0; flipping one -> 1.4+0.0... choose costs so single
+        // flips are worse but the double flip wins.
+        b.add_edge_dense(x, y, vec![1.0, 1.1, 1.1, 0.0]).unwrap();
+        let m = b.build();
+        let s = Icm::default().solve(&m);
+        let opt = Exhaustive::new().solve(&m);
+        assert_eq!(opt.labels(), &[1, 1]);
+        assert!(s.energy() >= opt.energy());
+        assert_eq!(s.labels(), &[0, 0], "ICM should be trapped by design here");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut b = MrfBuilder::new();
+        b.add_variable(2);
+        Icm::default().solve_from(&b.build(), vec![]);
+    }
+}

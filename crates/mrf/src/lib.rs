@@ -1,0 +1,64 @@
+//! Discrete pairwise Markov Random Fields and MAP solvers.
+//!
+//! Section V of the DSN 2020 paper *"Scalable Approach to Enhancing ICS
+//! Resilience by Network Diversity"* casts optimal product assignment as MAP
+//! inference in a discrete pairwise MRF, minimized with the sequential
+//! tree-reweighted message passing algorithm (**TRW-S**, Kolmogorov). This
+//! crate is a self-contained implementation of that machinery:
+//!
+//! * [`model`] — the energy function: variables with finite label sets,
+//!   per-variable unary costs, and pairwise potentials on edges. Potentials
+//!   are *shared*: thousands of edges can reference one cost matrix, which
+//!   is what keeps 6000-host × 25-service instances (several million MRF
+//!   edges) in memory.
+//! * [`trws`] — sequential tree-reweighted message passing with a certified
+//!   lower bound; exact on trees, state-of-the-art approximate on loopy
+//!   graphs.
+//! * [`bp`] — loopy min-sum belief propagation (damped, optionally
+//!   multi-threaded) as the baseline the paper compares TRW-S against.
+//! * [`icm`] — iterated conditional modes, a fast greedy baseline.
+//! * [`ils`] — iterated local search, the refinement stage that closes the
+//!   primal gap the message-passing decode leaves on frustrated energies.
+//! * [`elimination`] — exact MAP by min-sum bucket elimination, feasible
+//!   whenever the instance's treewidth is small (the ICS case study is).
+//! * [`exhaustive`] — brute force, the test oracle for small instances.
+//! * [`solution`] — the decoded labeling with energy and bound diagnostics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mrf::model::MrfBuilder;
+//! use mrf::trws::{Trws, TrwsOptions};
+//!
+//! # fn main() -> Result<(), mrf::Error> {
+//! // Two variables with two labels each; disagreeing labels are cheaper.
+//! let mut b = MrfBuilder::new();
+//! let x = b.add_variable(2);
+//! let y = b.add_variable(2);
+//! b.add_edge_dense(x, y, vec![1.0, 0.0, 0.0, 1.0])?; // cost(xa, xb)
+//! let model = b.build();
+//!
+//! let solution = Trws::new(TrwsOptions::default()).solve(&model);
+//! assert_ne!(solution.labels()[0], solution.labels()[1]);
+//! assert_eq!(solution.energy(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bp;
+pub mod elimination;
+pub mod exhaustive;
+pub mod icm;
+pub mod ils;
+pub mod model;
+pub mod solution;
+pub mod trws;
+
+mod error;
+
+pub use error::Error;
+pub use model::{MrfBuilder, MrfModel, PotentialId, VarId};
+pub use solution::Solution;
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, Error>;

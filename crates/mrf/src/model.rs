@@ -1,0 +1,511 @@
+//! The pairwise-MRF energy function (paper Eq. 1).
+//!
+//! `E(x) = Σ_i φ_i(x_i) + Σ_(i,j) ψ_ij(x_i, x_j)` over variables with finite
+//! label sets. Pairwise potentials are stored once and *referenced* by edges:
+//! in the diversity problem every inter-host edge for a given service uses
+//! the same similarity submatrix, so sharing reduces memory from
+//! O(edges · L²) to O(edges + services · L²).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Handle to a variable in an [`MrfModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+/// Handle to a shared pairwise potential in an [`MrfModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PotentialId(pub usize);
+
+/// A shared pairwise cost matrix (row-major; `rows` labels of the first
+/// endpoint × `cols` labels of the second).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Potential {
+    rows: usize,
+    cols: usize,
+    costs: Vec<f64>,
+}
+
+impl Potential {
+    /// The (rows, cols) shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The cost for labels `(la, lb)`.
+    #[inline]
+    pub fn cost(&self, la: usize, lb: usize) -> f64 {
+        debug_assert!(la < self.rows && lb < self.cols);
+        self.costs[la * self.cols + lb]
+    }
+}
+
+/// One edge: endpoints, the shared potential, and whether the potential is
+/// applied transposed (its rows index `b`'s labels instead of `a`'s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    a: u32,
+    b: u32,
+    potential: u32,
+    transposed: bool,
+}
+
+impl Edge {
+    /// The lower-indexed endpoint.
+    pub fn a(&self) -> VarId {
+        VarId(self.a as usize)
+    }
+
+    /// The higher-indexed endpoint.
+    pub fn b(&self) -> VarId {
+        VarId(self.b as usize)
+    }
+}
+
+/// An immutable pairwise MRF.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MrfModel {
+    label_counts: Vec<u32>,
+    unary_offsets: Vec<usize>,
+    unary: Vec<f64>,
+    potentials: Vec<Potential>,
+    edges: Vec<Edge>,
+    // CSR of incident edge indices per variable.
+    incident_offsets: Vec<usize>,
+    incident: Vec<u32>,
+}
+
+impl MrfModel {
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.label_counts.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of labels of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn labels(&self, v: VarId) -> usize {
+        self.label_counts[v.0] as usize
+    }
+
+    /// The label count of the largest domain (0 for an empty model).
+    pub fn max_labels(&self) -> usize {
+        self.label_counts.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// The unary cost vector of variable `v`.
+    #[inline]
+    pub fn unary(&self, v: VarId) -> &[f64] {
+        &self.unary[self.unary_offsets[v.0]..self.unary_offsets[v.0 + 1]]
+    }
+
+    /// The edges, normalized so that `a < b`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Indices of edges incident to `v`.
+    pub fn incident_edges(&self, v: VarId) -> &[u32] {
+        &self.incident[self.incident_offsets[v.0]..self.incident_offsets[v.0 + 1]]
+    }
+
+    /// The pairwise cost of edge `e` for labels `(la, lb)` of its `(a, b)`
+    /// endpoints.
+    #[inline]
+    pub fn edge_cost(&self, e: &Edge, la: usize, lb: usize) -> f64 {
+        let p = &self.potentials[e.potential as usize];
+        if e.transposed {
+            p.cost(lb, la)
+        } else {
+            p.cost(la, lb)
+        }
+    }
+
+    /// Evaluates the energy of a complete labeling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` has the wrong arity or a label is out of range.
+    pub fn energy(&self, labels: &[usize]) -> f64 {
+        assert_eq!(labels.len(), self.var_count(), "labeling arity mismatch");
+        let mut total = 0.0;
+        for (i, &l) in labels.iter().enumerate() {
+            let u = self.unary(VarId(i));
+            assert!(l < u.len(), "label {l} out of range for variable {i}");
+            total += u[l];
+        }
+        for e in &self.edges {
+            total += self.edge_cost(e, labels[e.a as usize], labels[e.b as usize]);
+        }
+        total
+    }
+
+    /// The labeling that independently minimizes each unary term — the
+    /// natural ICM / BP starting point.
+    pub fn unary_argmin(&self) -> Vec<usize> {
+        (0..self.var_count())
+            .map(|i| {
+                self.unary(VarId(i))
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(l, _)| l)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Total size of the labeling space as f64 (to detect brute-forceable
+    /// instances without overflow).
+    pub fn search_space(&self) -> f64 {
+        self.label_counts.iter().map(|&c| c as f64).product()
+    }
+}
+
+/// Incremental builder for [`MrfModel`].
+#[derive(Debug, Clone, Default)]
+pub struct MrfBuilder {
+    label_counts: Vec<u32>,
+    unary: Vec<Vec<f64>>,
+    potentials: Vec<Potential>,
+    edges: Vec<Edge>,
+}
+
+impl MrfBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> MrfBuilder {
+        MrfBuilder::default()
+    }
+
+    /// Adds a variable with `labels` possible labels (unary costs default to
+    /// zero) and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels == 0`; empty domains make the model infeasible.
+    pub fn add_variable(&mut self, labels: usize) -> VarId {
+        assert!(labels > 0, "variables need at least one label");
+        let id = VarId(self.label_counts.len());
+        self.label_counts.push(labels as u32);
+        self.unary.push(vec![0.0; labels]);
+        id
+    }
+
+    /// Sets the unary cost vector of `v` (replacing any previous costs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] or [`Error::UnaryArity`].
+    pub fn set_unary(&mut self, v: VarId, costs: Vec<f64>) -> Result<()> {
+        let labels =
+            *self.label_counts.get(v.0).ok_or(Error::UnknownVariable(v))? as usize;
+        if costs.len() != labels {
+            return Err(Error::UnaryArity {
+                var: v,
+                labels,
+                got: costs.len(),
+            });
+        }
+        self.unary[v.0] = costs;
+        Ok(())
+    }
+
+    /// Adds `delta` to one unary entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] or [`Error::UnaryArity`] (label out
+    /// of range).
+    pub fn add_unary(&mut self, v: VarId, label: usize, delta: f64) -> Result<()> {
+        let labels =
+            *self.label_counts.get(v.0).ok_or(Error::UnknownVariable(v))? as usize;
+        if label >= labels {
+            return Err(Error::UnaryArity {
+                var: v,
+                labels,
+                got: label + 1,
+            });
+        }
+        self.unary[v.0][label] += delta;
+        Ok(())
+    }
+
+    /// Registers a shared `rows × cols` potential (row-major costs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CostLength`] if `costs.len() != rows * cols`.
+    pub fn add_potential(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        costs: Vec<f64>,
+    ) -> Result<PotentialId> {
+        if costs.len() != rows * cols {
+            return Err(Error::CostLength {
+                expected: rows * cols,
+                got: costs.len(),
+            });
+        }
+        let id = PotentialId(self.potentials.len());
+        self.potentials.push(Potential { rows, cols, costs });
+        Ok(id)
+    }
+
+    /// Adds an edge between `a` and `b` using a shared potential whose rows
+    /// index `a`'s labels and columns `b`'s labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`], [`Error::UnknownPotential`],
+    /// [`Error::SelfEdge`] or [`Error::PotentialShape`].
+    pub fn add_edge(&mut self, a: VarId, b: VarId, potential: PotentialId) -> Result<()> {
+        let la = *self.label_counts.get(a.0).ok_or(Error::UnknownVariable(a))? as usize;
+        let lb = *self.label_counts.get(b.0).ok_or(Error::UnknownVariable(b))? as usize;
+        if a == b {
+            return Err(Error::SelfEdge(a));
+        }
+        let p = self
+            .potentials
+            .get(potential.0)
+            .ok_or(Error::UnknownPotential(potential))?;
+        if p.shape() != (la, lb) {
+            return Err(Error::PotentialShape {
+                a,
+                b,
+                expected: (la, lb),
+                got: p.shape(),
+            });
+        }
+        // Normalize to a < b; the potential was given in (a, b) orientation,
+        // so flipping endpoints transposes it.
+        let (lo, hi, transposed) = if a.0 < b.0 {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        self.edges.push(Edge {
+            a: lo.0 as u32,
+            b: hi.0 as u32,
+            potential: potential.0 as u32,
+            transposed,
+        });
+        Ok(())
+    }
+
+    /// Adds an edge with its own dense cost matrix (`labels(a) × labels(b)`,
+    /// row-major).
+    ///
+    /// # Errors
+    ///
+    /// See [`MrfBuilder::add_edge`] and [`MrfBuilder::add_potential`].
+    pub fn add_edge_dense(&mut self, a: VarId, b: VarId, costs: Vec<f64>) -> Result<()> {
+        let la = *self.label_counts.get(a.0).ok_or(Error::UnknownVariable(a))? as usize;
+        let lb = *self.label_counts.get(b.0).ok_or(Error::UnknownVariable(b))? as usize;
+        let p = self.add_potential(la, lb, costs)?;
+        self.add_edge(a, b, p)
+    }
+
+    /// Number of variables added so far.
+    pub fn var_count(&self) -> usize {
+        self.label_counts.len()
+    }
+
+    /// Freezes the model, building flat unary storage and the incidence CSR.
+    pub fn build(self) -> MrfModel {
+        let n = self.label_counts.len();
+        let mut unary_offsets = Vec::with_capacity(n + 1);
+        let mut unary = Vec::new();
+        unary_offsets.push(0);
+        for u in &self.unary {
+            unary.extend_from_slice(u);
+            unary_offsets.push(unary.len());
+        }
+        let mut deg = vec![0usize; n];
+        for e in &self.edges {
+            deg[e.a as usize] += 1;
+            deg[e.b as usize] += 1;
+        }
+        let mut incident_offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            incident_offsets[i + 1] = incident_offsets[i] + deg[i];
+        }
+        let mut incident = vec![0u32; incident_offsets[n]];
+        let mut cursor = incident_offsets[..n].to_vec();
+        for (idx, e) in self.edges.iter().enumerate() {
+            incident[cursor[e.a as usize]] = idx as u32;
+            cursor[e.a as usize] += 1;
+            incident[cursor[e.b as usize]] = idx as u32;
+            cursor[e.b as usize] += 1;
+        }
+        MrfModel {
+            label_counts: self.label_counts,
+            unary_offsets,
+            unary,
+            potentials: self.potentials,
+            edges: self.edges,
+            incident_offsets,
+            incident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_evaluate_energy() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(3);
+        b.set_unary(x, vec![1.0, 2.0]).unwrap();
+        b.set_unary(y, vec![0.0, 5.0, 1.0]).unwrap();
+        b.add_edge_dense(x, y, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let m = b.build();
+        assert_eq!(m.var_count(), 2);
+        assert_eq!(m.edge_count(), 1);
+        // E(x=1, y=2) = 2.0 + 1.0 + cost(1,2)=5.0 -> 8.0
+        assert_eq!(m.energy(&[1, 2]), 8.0);
+        assert_eq!(m.energy(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn shared_potentials_are_reused() {
+        let mut b = MrfBuilder::new();
+        let vars: Vec<VarId> = (0..4).map(|_| b.add_variable(2)).collect();
+        let pot = b.add_potential(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        for w in vars.windows(2) {
+            b.add_edge(w[0], w[1], pot).unwrap();
+        }
+        let m = b.build();
+        assert_eq!(m.edge_count(), 3);
+        // Alternating labels cost 0; uniform labels cost 3.
+        assert_eq!(m.energy(&[0, 1, 0, 1]), 0.0);
+        assert_eq!(m.energy(&[0, 0, 0, 0]), 3.0);
+    }
+
+    #[test]
+    fn reversed_edge_is_transposed() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(3);
+        // Register the potential in (y, x) orientation: 3 rows, 2 cols.
+        let costs = vec![
+            0.0, 1.0, // y=0
+            2.0, 3.0, // y=1
+            4.0, 5.0, // y=2
+        ];
+        b.add_edge_dense(y, x, costs).unwrap();
+        let m = b.build();
+        // Edge is normalized to (x, y); cost(x=1, y=2) must equal cost(y=2, x=1)=5.
+        let e = &m.edges()[0];
+        assert_eq!(e.a(), x);
+        assert_eq!(e.b(), y);
+        assert_eq!(m.edge_cost(e, 1, 2), 5.0);
+        assert_eq!(m.energy(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn incident_edges_cover_both_endpoints() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        let z = b.add_variable(2);
+        b.add_edge_dense(x, y, vec![0.0; 4]).unwrap();
+        b.add_edge_dense(y, z, vec![0.0; 4]).unwrap();
+        let m = b.build();
+        assert_eq!(m.incident_edges(x), &[0]);
+        assert_eq!(m.incident_edges(y), &[0, 1]);
+        assert_eq!(m.incident_edges(z), &[1]);
+    }
+
+    #[test]
+    fn unary_argmin() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(3);
+        b.set_unary(x, vec![2.0, 0.5, 1.0]).unwrap();
+        let y = b.add_variable(2);
+        b.set_unary(y, vec![0.0, -1.0]).unwrap();
+        let m = b.build();
+        assert_eq!(m.unary_argmin(), vec![1, 1]);
+    }
+
+    #[test]
+    fn add_unary_accumulates() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        b.add_unary(x, 0, 1.5).unwrap();
+        b.add_unary(x, 0, 2.0).unwrap();
+        let m = b.build();
+        assert_eq!(m.unary(x), &[3.5, 0.0]);
+    }
+
+    #[test]
+    fn builder_errors() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        assert!(matches!(
+            b.set_unary(x, vec![0.0; 3]),
+            Err(Error::UnaryArity { .. })
+        ));
+        assert!(matches!(
+            b.set_unary(VarId(9), vec![0.0]),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            b.add_edge_dense(x, x, vec![0.0; 4]),
+            Err(Error::SelfEdge(_))
+        ));
+        let y = b.add_variable(3);
+        assert!(matches!(
+            b.add_edge_dense(x, y, vec![0.0; 4]),
+            Err(Error::CostLength { .. })
+        ));
+        let pot = b.add_potential(2, 2, vec![0.0; 4]).unwrap();
+        assert!(matches!(
+            b.add_edge(x, y, pot),
+            Err(Error::PotentialShape { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(x, VarId(7), pot),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            b.add_edge(x, y, PotentialId(9)),
+            Err(Error::UnknownPotential(_))
+        ));
+        assert!(matches!(b.add_unary(x, 5, 1.0), Err(Error::UnaryArity { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn zero_label_variable_panics() {
+        MrfBuilder::new().add_variable(0);
+    }
+
+    #[test]
+    fn search_space() {
+        let mut b = MrfBuilder::new();
+        b.add_variable(3);
+        b.add_variable(4);
+        let m = b.build();
+        assert_eq!(m.search_space(), 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn energy_rejects_wrong_arity() {
+        let mut b = MrfBuilder::new();
+        b.add_variable(2);
+        b.build().energy(&[]);
+    }
+}

@@ -1,0 +1,587 @@
+//! Sequential tree-reweighted message passing (TRW-S).
+//!
+//! Implements Kolmogorov's TRW-S with the monotonic-chain decomposition
+//! implied by the variable order: edges are oriented from lower to higher
+//! index, each node `i` uses the weight `γ_i = 1 / max(n_i⁺, n_i⁻)` (its
+//! forward/backward edge counts), and messages are updated in a forward
+//! sweep over forward edges then a backward sweep over backward edges.
+//!
+//! Every backward sweep also yields the **TRW lower bound** on the optimal
+//! energy, computed the way Kolmogorov's reference implementation does: the
+//! normalization constant subtracted from each backward message is
+//! accumulated, and every node adds the leftover share of its
+//! reparameterized unary `(1 − n_i⁻·γ_i)·min_x θ̂_i(x)` — the mass belonging
+//! to monotonic chains that terminate at the node. On tree-structured models
+//! the bound meets the decoded energy, certifying global optimality — the
+//! basis of this crate's solver-validation tests.
+//!
+//! Labelings are decoded with the conditioned forward sweep Kolmogorov
+//! recommends: node `i` picks the label minimizing its unary cost plus
+//! pairwise costs to already-decoded lower neighbors plus incoming messages
+//! from higher neighbors.
+
+use crate::icm::{Icm, IcmOptions};
+use crate::model::{MrfModel, VarId};
+use crate::solution::Solution;
+
+/// Options controlling a TRW-S run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrwsOptions {
+    /// Maximum number of forward+backward iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the lower-bound improvement and on the
+    /// optimality gap.
+    pub tolerance: f64,
+    /// Number of consecutive low-improvement iterations required to declare
+    /// convergence.
+    pub patience: usize,
+    /// ICM sweeps applied to each decoded labeling. Message passing solves
+    /// the *dual* — on tie-heavy energies (constant unaries, symmetric
+    /// similarity costs) the raw decode can be far from the primal optimum
+    /// even at a tight bound, and a short local descent closes that gap.
+    /// 0 disables polishing.
+    pub polish_sweeps: usize,
+}
+
+impl Default for TrwsOptions {
+    fn default() -> TrwsOptions {
+        TrwsOptions {
+            max_iterations: 100,
+            tolerance: 1e-9,
+            patience: 3,
+            polish_sweeps: 8,
+        }
+    }
+}
+
+/// The TRW-S solver.
+#[derive(Debug, Clone, Default)]
+pub struct Trws {
+    options: TrwsOptions,
+}
+
+impl Trws {
+    /// Creates a solver with the given options.
+    pub fn new(options: TrwsOptions) -> Trws {
+        Trws { options }
+    }
+
+    /// Runs TRW-S on `model` and returns the best labeling found, its
+    /// energy, and the tightest certified lower bound.
+    pub fn solve(&self, model: &MrfModel) -> Solution {
+        let n = model.var_count();
+        if n == 0 {
+            return Solution::new(Vec::new(), 0.0, Some(0.0), 0, true);
+        }
+        let mut state = State::new(model);
+        let mut best_labels = model.unary_argmin();
+        let mut best_energy = model.energy(&best_labels);
+        let mut best_bound = f64::NEG_INFINITY;
+        let mut stall = 0usize;
+        let mut iterations = 0usize;
+        let mut converged = false;
+
+        for iter in 0..self.options.max_iterations {
+            iterations = iter + 1;
+            state.forward_pass(model);
+            let bound = state.backward_pass(model);
+            let mut labels = state.decode(model);
+            let mut energy = model.energy(&labels);
+            if self.options.polish_sweeps > 0 {
+                let polished = Icm::new(IcmOptions {
+                    max_sweeps: self.options.polish_sweeps,
+                })
+                .solve_from(model, labels);
+                energy = polished.energy();
+                labels = polished.labels().to_vec();
+            }
+            if energy < best_energy {
+                best_energy = energy;
+                best_labels = labels;
+            }
+            let improvement = bound - best_bound;
+            if bound > best_bound {
+                best_bound = bound;
+            }
+            // Converged: the gap certifies optimality, or the bound stopped
+            // improving for `patience` iterations.
+            if (best_energy - best_bound).abs() <= self.options.tolerance {
+                converged = true;
+                break;
+            }
+            if improvement.abs() <= self.options.tolerance * best_bound.abs().max(1.0) {
+                stall += 1;
+                if stall >= self.options.patience {
+                    converged = true;
+                    break;
+                }
+            } else {
+                stall = 0;
+            }
+        }
+        Solution::new(best_labels, best_energy, Some(best_bound), iterations, converged)
+    }
+}
+
+/// Message state: two vectors per edge, stored flat.
+struct State {
+    // msg_to_a[e]: message from b(e) to a(e), defined over a's labels.
+    msg_to_a: Vec<f64>,
+    off_a: Vec<usize>,
+    // msg_to_b[e]: message from a(e) to b(e), defined over b's labels.
+    msg_to_b: Vec<f64>,
+    off_b: Vec<usize>,
+    gamma: Vec<f64>,
+    // Number of backward edges (lower-indexed neighbors) per node.
+    n_backward: Vec<usize>,
+    scratch: Vec<f64>,
+}
+
+impl State {
+    fn new(model: &MrfModel) -> State {
+        let mut off_a = Vec::with_capacity(model.edge_count() + 1);
+        let mut off_b = Vec::with_capacity(model.edge_count() + 1);
+        off_a.push(0);
+        off_b.push(0);
+        for e in model.edges() {
+            off_a.push(off_a.last().unwrap() + model.labels(e.a()));
+            off_b.push(off_b.last().unwrap() + model.labels(e.b()));
+        }
+        let n = model.var_count();
+        let mut fwd = vec![0usize; n];
+        let mut bwd = vec![0usize; n];
+        for e in model.edges() {
+            fwd[e.a().0] += 1;
+            bwd[e.b().0] += 1;
+        }
+        let gamma = (0..n).map(|i| 1.0 / fwd[i].max(bwd[i]).max(1) as f64).collect();
+        State {
+            msg_to_a: vec![0.0; *off_a.last().unwrap()],
+            off_a,
+            msg_to_b: vec![0.0; *off_b.last().unwrap()],
+            off_b,
+            gamma,
+            n_backward: bwd,
+            scratch: vec![0.0; model.max_labels()],
+        }
+    }
+
+    /// `θ̂_i = unary_i + Σ incoming messages`, written into `scratch[..L]`.
+    fn theta_hat(&mut self, model: &MrfModel, i: usize) {
+        let v = VarId(i);
+        let labels = model.labels(v);
+        self.scratch[..labels].copy_from_slice(model.unary(v));
+        for &eidx in model.incident_edges(v) {
+            let e = &model.edges()[eidx as usize];
+            let incoming = if e.a().0 == i {
+                &self.msg_to_a[self.off_a[eidx as usize]..self.off_a[eidx as usize + 1]]
+            } else {
+                &self.msg_to_b[self.off_b[eidx as usize]..self.off_b[eidx as usize + 1]]
+            };
+            for (s, m) in self.scratch[..labels].iter_mut().zip(incoming) {
+                *s += m;
+            }
+        }
+    }
+
+    fn forward_pass(&mut self, model: &MrfModel) {
+        for i in 0..model.var_count() {
+            self.theta_hat(model, i);
+            let gamma = self.gamma[i];
+            let la = model.labels(VarId(i));
+            for &eidx in model.incident_edges(VarId(i)) {
+                let eidx = eidx as usize;
+                let e = model.edges()[eidx];
+                if e.a().0 != i {
+                    continue; // only forward edges (i -> higher neighbor)
+                }
+                let lb = model.labels(e.b());
+                // base(xa) = γ θ̂(xa) − m_{b→a}(xa)
+                // m_{a→b}(xb) = min_xa base(xa) + cost(xa, xb), then normalize.
+                let mut mins = vec![f64::INFINITY; lb];
+                for xa in 0..la {
+                    let base = gamma * self.scratch[xa]
+                        - self.msg_to_a[self.off_a[eidx] + xa];
+                    for (xb, m) in mins.iter_mut().enumerate() {
+                        let c = base + model.edge_cost(&e, xa, xb);
+                        if c < *m {
+                            *m = c;
+                        }
+                    }
+                }
+                let low = mins.iter().copied().fold(f64::INFINITY, f64::min);
+                let out = &mut self.msg_to_b[self.off_b[eidx]..self.off_b[eidx + 1]];
+                for (o, m) in out.iter_mut().zip(&mins) {
+                    *o = m - low;
+                }
+            }
+        }
+    }
+
+    /// Backward sweep; returns the TRW lower bound (module docs): the sum of
+    /// backward-message normalization constants plus, per node, the leftover
+    /// chain mass `(1 − n⁻·γ)·min θ̂`.
+    fn backward_pass(&mut self, model: &MrfModel) -> f64 {
+        let mut bound = 0.0;
+        for i in (0..model.var_count()).rev() {
+            self.theta_hat(model, i);
+            let gamma = self.gamma[i];
+            let lb_count = model.labels(VarId(i));
+            // Chains that terminate at this node keep their share of θ̂.
+            let leftover = 1.0 - self.n_backward[i] as f64 * gamma;
+            if leftover > 1e-15 {
+                let min_theta = self.scratch[..lb_count]
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                bound += leftover * min_theta;
+            }
+            for &eidx in model.incident_edges(VarId(i)) {
+                let eidx = eidx as usize;
+                let e = model.edges()[eidx];
+                if e.b().0 != i {
+                    continue; // only backward edges (i -> lower neighbor)
+                }
+                let la = model.labels(e.a());
+                let mut mins = vec![f64::INFINITY; la];
+                for xb in 0..lb_count {
+                    let base = gamma * self.scratch[xb]
+                        - self.msg_to_b[self.off_b[eidx] + xb];
+                    for (xa, m) in mins.iter_mut().enumerate() {
+                        let c = base + model.edge_cost(&e, xa, xb);
+                        if c < *m {
+                            *m = c;
+                        }
+                    }
+                }
+                let low = mins.iter().copied().fold(f64::INFINITY, f64::min);
+                bound += low;
+                let out = &mut self.msg_to_a[self.off_a[eidx]..self.off_a[eidx + 1]];
+                for (o, m) in out.iter_mut().zip(&mins) {
+                    *o = m - low;
+                }
+            }
+        }
+        bound
+    }
+
+    /// Conditioned decode in BFS order: each variable is labelled to
+    /// minimize its unary cost plus pairwise costs to *all already-decoded*
+    /// neighbors plus incoming messages from the undecoded ones. BFS order
+    /// (instead of raw index order) matters on tie-heavy energies: with flat
+    /// unaries the decode is a greedy coloring, and greedy coloring along a
+    /// traversal tree resolves cycles that index order miscolors.
+    fn decode(&self, model: &MrfModel) -> Vec<usize> {
+        let n = model.var_count();
+        let mut labels = vec![0usize; n];
+        let mut decoded = vec![false; n];
+        let mut cost = vec![0.0f64; model.max_labels()];
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n {
+            if decoded[root] {
+                continue;
+            }
+            queue.push_back(root);
+            decoded[root] = true;
+            while let Some(i) = queue.pop_front() {
+                let l = model.labels(VarId(i));
+                cost[..l].copy_from_slice(model.unary(VarId(i)));
+                for &eidx in model.incident_edges(VarId(i)) {
+                    let eidx = eidx as usize;
+                    let e = model.edges()[eidx];
+                    let (other, i_is_a) = if e.a().0 == i {
+                        (e.b().0, true)
+                    } else {
+                        (e.a().0, false)
+                    };
+                    // `decoded[other]` is set when `other` is labelled *or*
+                    // queued; only trust the label once actually assigned —
+                    // track via a separate labelled flag below.
+                    if decoded[other] && labels[other] != usize::MAX {
+                        let xo = labels[other];
+                        for (x, c) in cost[..l].iter_mut().enumerate() {
+                            *c += if i_is_a {
+                                model.edge_cost(&e, x, xo)
+                            } else {
+                                model.edge_cost(&e, xo, x)
+                            };
+                        }
+                    } else {
+                        let m = if i_is_a {
+                            &self.msg_to_a[self.off_a[eidx]..self.off_a[eidx + 1]]
+                        } else {
+                            &self.msg_to_b[self.off_b[eidx]..self.off_b[eidx + 1]]
+                        };
+                        for (c, mv) in cost[..l].iter_mut().zip(m) {
+                            *c += mv;
+                        }
+                    }
+                    if !decoded[other] {
+                        decoded[other] = true;
+                        labels[other] = usize::MAX;
+                        queue.push_back(other);
+                    }
+                }
+                labels[i] = cost[..l]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(x, _)| x)
+                    .unwrap_or(0);
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use crate::model::MrfBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn solve(model: &MrfModel) -> Solution {
+        Trws::new(TrwsOptions::default()).solve(model)
+    }
+
+    #[test]
+    fn empty_model() {
+        let s = solve(&MrfBuilder::new().build());
+        assert!(s.labels().is_empty());
+        assert_eq!(s.energy(), 0.0);
+        assert!(s.converged());
+    }
+
+    #[test]
+    fn single_variable_picks_unary_minimum() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(4);
+        b.set_unary(x, vec![3.0, 0.5, 2.0, 1.0]).unwrap();
+        let s = solve(&b.build());
+        assert_eq!(s.labels(), &[1]);
+        assert_eq!(s.energy(), 0.5);
+        assert!(s.is_certified_optimal(1e-9));
+    }
+
+    #[test]
+    fn antiferromagnetic_pair() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        b.add_edge_dense(x, y, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let s = solve(&b.build());
+        assert_ne!(s.labels()[0], s.labels()[1]);
+        assert_eq!(s.energy(), 0.0);
+        assert!(s.is_certified_optimal(1e-9));
+    }
+
+    #[test]
+    fn chain_matches_exhaustive() {
+        // TRW-S is exact on chains.
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..6).map(|_| b.add_variable(3)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..4.0)).collect()).unwrap();
+            }
+            for w in vars.windows(2) {
+                b.add_edge_dense(w[0], w[1], (0..9).map(|_| rng.gen_range(0.0..4.0)).collect())
+                    .unwrap();
+            }
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            assert!(
+                (s.energy() - opt.energy()).abs() < 1e-7,
+                "trial {trial}: trws {} vs exhaustive {}",
+                s.energy(),
+                opt.energy()
+            );
+            assert!(s.is_certified_optimal(1e-6), "trial {trial}: gap {:?}", s.gap());
+        }
+    }
+
+    #[test]
+    fn tree_matches_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..9).map(|_| b.add_variable(2)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect()).unwrap();
+            }
+            // Balanced binary tree edges.
+            for i in 1..vars.len() {
+                b.add_edge_dense(
+                    vars[(i - 1) / 2],
+                    vars[i],
+                    (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                )
+                .unwrap();
+            }
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            assert!(
+                (s.energy() - opt.energy()).abs() < 1e-7,
+                "trial {trial}: trws {} vs exhaustive {}",
+                s.energy(),
+                opt.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_optimum_on_loopy_graphs() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for trial in 0..10 {
+            let mut b = MrfBuilder::new();
+            let n = 6;
+            let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+            }
+            // Ring plus a chord: loopy.
+            for i in 0..n {
+                b.add_edge_dense(
+                    vars[i],
+                    vars[(i + 1) % n],
+                    (0..9).map(|_| rng.gen_range(0.0..3.0)).collect(),
+                )
+                .unwrap();
+            }
+            b.add_edge_dense(vars[0], vars[3], (0..9).map(|_| rng.gen_range(0.0..3.0)).collect())
+                .unwrap();
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            let lb = s.lower_bound().unwrap();
+            assert!(
+                lb <= opt.energy() + 1e-7,
+                "trial {trial}: bound {lb} exceeds optimum {}",
+                opt.energy()
+            );
+            assert!(s.energy() >= opt.energy() - 1e-9);
+            // TRW-S should be near-optimal on these small instances.
+            assert!(
+                s.energy() - opt.energy() < 0.75,
+                "trial {trial}: energy {} far from optimum {}",
+                s.energy(),
+                opt.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn potts_grid_prefers_agreement_with_strong_coupling() {
+        // 3x3 grid Potts model with strong attractive coupling and a single
+        // biased corner: all variables should align with the bias.
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..9).map(|_| b.add_variable(3)).collect();
+        b.set_unary(vars[0], vec![0.0, 5.0, 5.0]).unwrap();
+        // Potts: 0 if equal, 2 otherwise.
+        let mut potts = vec![2.0; 9];
+        for l in 0..3 {
+            potts[l * 3 + l] = 0.0;
+        }
+        let pot = b.add_potential(3, 3, potts).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    b.add_edge(vars[r * 3 + c], vars[r * 3 + c + 1], pot).unwrap();
+                }
+                if r + 1 < 3 {
+                    b.add_edge(vars[r * 3 + c], vars[(r + 1) * 3 + c], pot).unwrap();
+                }
+            }
+        }
+        let s = solve(&b.build());
+        assert_eq!(s.labels(), &[0; 9]);
+        assert!(s.is_certified_optimal(1e-6));
+    }
+
+    #[test]
+    fn hard_constraints_are_respected() {
+        // Variable y is forbidden (BIG cost) from label 0 when x takes its
+        // otherwise-optimal label 1.
+        const BIG: f64 = 1e6;
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        b.set_unary(x, vec![1.0, 0.0]).unwrap();
+        b.set_unary(y, vec![0.0, 0.3]).unwrap();
+        b.add_edge_dense(x, y, vec![0.0, 0.0, BIG, 0.0]).unwrap();
+        let s = solve(&b.build());
+        assert_eq!(s.labels(), &[1, 1]);
+        assert!((s.energy() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_components_solved_independently() {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(2);
+        let z = b.add_variable(2);
+        let w = b.add_variable(2);
+        b.set_unary(x, vec![0.0, 1.0]).unwrap();
+        b.set_unary(w, vec![1.0, 0.0]).unwrap();
+        b.add_edge_dense(x, y, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        b.add_edge_dense(z, w, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let s = solve(&b.build());
+        assert_eq!(s.labels(), &[0, 0, 1, 1]);
+        assert!(s.is_certified_optimal(1e-9));
+    }
+
+    #[test]
+    fn random_loopy_graphs_close_to_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for trial in 0..8 {
+            let mut b = MrfBuilder::new();
+            let n = 7;
+            let vars: Vec<_> = (0..n).map(|_| b.add_variable(2)).collect();
+            for &v in &vars {
+                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+            }
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.45) {
+                        b.add_edge_dense(
+                            vars[i],
+                            vars[j],
+                            (0..4).map(|_| rng.gen_range(0.0..1.5)).collect(),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            let m = b.build();
+            let s = solve(&m);
+            let opt = Exhaustive::new().solve(&m);
+            let rel = (s.energy() - opt.energy()) / opt.energy().abs().max(1.0);
+            assert!(
+                rel < 0.15,
+                "trial {trial}: energy {} too far above optimum {}",
+                s.energy(),
+                opt.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..20).map(|_| b.add_variable(3)).collect();
+        for i in 0..20 {
+            b.add_edge_dense(vars[i], vars[(i + 1) % 20], vec![0.5; 9]).unwrap();
+        }
+        let s = Trws::new(TrwsOptions {
+            max_iterations: 2,
+            ..TrwsOptions::default()
+        })
+        .solve(&b.build());
+        assert!(s.iterations() <= 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the MRF solvers: random small models, checked
+//! against the brute-force oracle.
+
+use proptest::prelude::*;
+
+use mrf::bp::{Bp, BpOptions};
+use mrf::elimination::Elimination;
+use mrf::exhaustive::Exhaustive;
+use mrf::icm::Icm;
+use mrf::ils::Ils;
+use mrf::model::{MrfBuilder, MrfModel};
+use mrf::trws::{Trws, TrwsOptions};
+
+/// A random model with ≤7 variables of 2–3 labels and random edges —
+/// small enough for the exhaustive oracle.
+fn arb_model() -> impl Strategy<Value = MrfModel> {
+    (
+        2usize..7,
+        proptest::collection::vec(0.0f64..3.0, 7 * 3),
+        proptest::collection::vec(0.0f64..2.0, 21 * 9),
+        proptest::collection::vec(any::<bool>(), 21),
+        proptest::collection::vec(2usize..4, 7),
+    )
+        .prop_map(|(n, unaries, pairwise, edge_mask, cards)| {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..n).map(|i| b.add_variable(cards[i])).collect();
+            for (i, &v) in vars.iter().enumerate() {
+                let costs = unaries[i * 3..i * 3 + cards[i]].to_vec();
+                b.set_unary(v, costs).unwrap();
+            }
+            let mut k = 0usize;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edge_mask[k % edge_mask.len()] {
+                        let need = cards[i] * cards[j];
+                        let costs = pairwise[k * 9..k * 9 + need].to_vec();
+                        b.add_edge_dense(vars[i], vars[j], costs).unwrap();
+                    }
+                    k += 1;
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bucket elimination is exact: always equals the brute-force optimum.
+    #[test]
+    fn elimination_is_exact(model in arb_model()) {
+        let exact = Elimination::default().solve(&model).unwrap();
+        let brute = Exhaustive::new().solve(&model);
+        prop_assert!((exact.energy() - brute.energy()).abs() < 1e-9,
+            "elimination {} vs brute {}", exact.energy(), brute.energy());
+        prop_assert!(exact.is_certified_optimal(1e-9));
+    }
+
+    /// The TRW-S lower bound never exceeds the true optimum, and its
+    /// decoded energy never beats it.
+    #[test]
+    fn trws_bound_brackets_the_optimum(model in arb_model()) {
+        let brute = Exhaustive::new().solve(&model);
+        let s = Trws::new(TrwsOptions::default()).solve(&model);
+        prop_assert!(s.lower_bound().unwrap() <= brute.energy() + 1e-7,
+            "bound {} exceeds optimum {}", s.lower_bound().unwrap(), brute.energy());
+        prop_assert!(s.energy() >= brute.energy() - 1e-9);
+        // Energy evaluation must agree with the labels returned.
+        prop_assert!((model.energy(s.labels()) - s.energy()).abs() < 1e-9);
+    }
+
+    /// ICM monotonically improves any starting labeling.
+    #[test]
+    fn icm_never_increases_energy(model in arb_model(), seed in 0u64..100) {
+        // Derive a deterministic pseudo-random start from the seed.
+        let start: Vec<usize> = (0..model.var_count())
+            .map(|i| ((seed as usize).wrapping_mul(31).wrapping_add(i * 7))
+                % model.labels(mrf::VarId(i)))
+            .collect();
+        let start_energy = model.energy(&start);
+        let s = Icm::default().solve_from(&model, start);
+        prop_assert!(s.energy() <= start_energy + 1e-12);
+    }
+
+    /// ILS refinement never yields something worse than ICM alone.
+    #[test]
+    fn ils_refines_at_least_as_well_as_icm(model in arb_model()) {
+        let start = model.unary_argmin();
+        let icm = Icm::default().solve_from(&model, start.clone());
+        let ils = Ils::default().refine(&model, start);
+        prop_assert!(ils.energy() <= icm.energy() + 1e-12);
+    }
+
+    /// BP decodes a labeling whose energy the model confirms.
+    #[test]
+    fn bp_energy_is_consistent(model in arb_model()) {
+        let s = Bp::new(BpOptions::default()).solve(&model);
+        prop_assert!((model.energy(s.labels()) - s.energy()).abs() < 1e-9);
+        let brute = Exhaustive::new().solve(&model);
+        prop_assert!(s.energy() >= brute.energy() - 1e-9);
+    }
+
+    /// All solvers respect label domains.
+    #[test]
+    fn solvers_respect_domains(model in arb_model()) {
+        for labels in [
+            Trws::new(TrwsOptions::default()).solve(&model).labels().to_vec(),
+            Bp::new(BpOptions::default()).solve(&model).labels().to_vec(),
+            Icm::default().solve(&model).labels().to_vec(),
+            Elimination::default().solve(&model).unwrap().labels().to_vec(),
+        ] {
+            prop_assert_eq!(labels.len(), model.var_count());
+            for (i, &l) in labels.iter().enumerate() {
+                prop_assert!(l < model.labels(mrf::VarId(i)));
+            }
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! The Stuxnet-inspired ICS case study (paper Section VII, Fig. 3).
+//!
+//! A legacy operational-technology (OT) installation — Operations Network
+//! and Control Network, shown grey in Fig. 3 because their software cannot
+//! be changed — is integrated with modern IT zones: a Corporate sub-network,
+//! a DMZ, a Clients network, Remote clients and a Vendors-support network.
+//! Firewall white-list rules mediate inter-zone connectivity; field devices
+//! (PLCs) hang off the WinCC/OS servers of the Control network.
+//!
+//! Each host requires up to three services — operating system (`s1`), web
+//! browser (`s2`) and database server (`s3`) — with per-host candidate
+//! product sets from Table IV of the paper.
+//!
+//! ## Fidelity notes
+//!
+//! The published Table IV marks candidates with checkmarks whose per-cell
+//! positions do not survive PDF text extraction, so the candidate sets here
+//! are reconstructed from the paper's narrative: WinCC-role hosts need a
+//! Windows OS and IE (per the cited WinCC manual), WSUS needs Windows and
+//! Microsoft SQL Server, OT hosts are pinned to their legacy stack
+//! (Windows XP / Windows 7, IE8, MS SQL 2008), and the modern IT hosts may
+//! choose among all mainstream alternatives. The constraint sets C1
+//! (fixed products at `z4`, `e1`, `r1`, `v1`) and C2 (C1 plus the global
+//! "no IE on Linux" product constraint that the paper applies to eliminate
+//! the IE10-on-Ubuntu assignment at `v2`) follow Section VII-B. Intra-zone
+//! connectivity is a ring per zone (Fig. 3 does not specify intra-zone
+//! wiring; a full mesh would make the 4-host corporate zone a K4 that *no*
+//! 3-browser catalogue can properly diversify, contradicting the paper's
+//! uniformly-slowest MTTC for the optimal assignment); inter-zone links are
+//! the white-list rules printed in Fig. 3; PLC links pair `f1`–`t4`,
+//! `f2`–`t5`, `f3`–`t6`.
+
+use nvd::datasets;
+
+use crate::catalog::{Catalog, ProductSimilarity};
+use crate::constraints::{Constraint, ConstraintSet, Scope};
+use crate::network::{Network, NetworkBuilder};
+use crate::{HostId, ProductId, Result, ServiceId};
+
+/// The three services of the case study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Services {
+    /// `s1`: operating system.
+    pub os: ServiceId,
+    /// `s2`: web browser.
+    pub wb: ServiceId,
+    /// `s3`: database server.
+    pub db: ServiceId,
+}
+
+/// The fully built case-study instance.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Service/product universe (11 products over 3 services).
+    pub catalog: Catalog,
+    /// The Fig. 3 network: 29 IT/OT hosts plus 3 PLC field devices.
+    pub network: Network,
+    /// Pairwise product similarity from the paper's Tables II/III plus the
+    /// synthetic database-server table.
+    pub similarity: ProductSimilarity,
+    /// Service ids.
+    pub services: Services,
+    /// The attack target `t5` (WinCC server with direct field access).
+    pub target: HostId,
+    /// The five MTTC entry points: `c1`, `c4`, `e3`, `r4`, `v1`.
+    pub entry_points: Vec<HostId>,
+    /// The Table V entry point `c4`.
+    pub bn_entry: HostId,
+}
+
+impl CaseStudy {
+    /// Builds the case study.
+    pub fn build() -> CaseStudy {
+        build_case_study().expect("case study construction is self-consistent")
+    }
+
+    /// Looks up a host id by its Fig. 3 name (`"c1"`, `"t5"`, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not part of the case study.
+    pub fn host(&self, name: &str) -> HostId {
+        self.network
+            .host_by_name(name)
+            .unwrap_or_else(|| panic!("{name:?} is not a case-study host"))
+    }
+
+    /// Looks up a product id by its canonical name (`"Win7"`, `"IE10"`, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is not in the catalog.
+    pub fn product(&self, name: &str) -> ProductId {
+        self.catalog
+            .product_by_name(name)
+            .unwrap_or_else(|| panic!("{name:?} is not a case-study product"))
+    }
+
+    /// Constraint set `C1`: company policy pins specific products at
+    /// `z4`, `e1`, `r1` and `v1` (Section VII-B).
+    pub fn constraints_c1(&self) -> ConstraintSet {
+        let Services { os, wb, db } = self.services;
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::fix(self.host("z4"), os, self.product("Win7")));
+        set.push(Constraint::fix(self.host("z4"), wb, self.product("IE10")));
+        set.push(Constraint::fix(self.host("z4"), db, self.product("MSSQL14")));
+        for h in ["e1", "r1"] {
+            set.push(Constraint::fix(self.host(h), os, self.product("Win7")));
+            set.push(Constraint::fix(self.host(h), wb, self.product("IE8")));
+            set.push(Constraint::fix(self.host(h), db, self.product("MSSQL14")));
+        }
+        set.push(Constraint::fix(self.host("v1"), os, self.product("Win7")));
+        set.push(Constraint::fix(self.host("v1"), wb, self.product("IE8")));
+        set
+    }
+
+    /// Constraint set `C2`: `C1` plus the global product constraint
+    /// `⟨ALL, s1, s2, +Ubuntu14.04, −IE10⟩` (and its Debian twin) that
+    /// eliminates Internet Explorer on Linux hosts.
+    pub fn constraints_c2(&self) -> ConstraintSet {
+        let Services { os, wb, .. } = self.services;
+        let mut set = self.constraints_c1();
+        set.push(Constraint::forbid_combination(
+            Scope::All,
+            (os, self.product("Ubuntu14.04")),
+            (wb, self.product("IE10")),
+        ));
+        set.push(Constraint::forbid_combination(
+            Scope::All,
+            (os, self.product("Debian8.0")),
+            (wb, self.product("IE10")),
+        ));
+        set
+    }
+
+    /// The grey legacy hosts of Fig. 3 (Operations + Control networks),
+    /// which have exactly one candidate per service.
+    pub fn legacy_hosts(&self) -> Vec<HostId> {
+        ["p1", "p2", "p3", "t1", "t2", "t3", "t4", "t5", "t6"]
+            .iter()
+            .map(|n| self.host(n))
+            .collect()
+    }
+}
+
+/// Zone names used in the case study.
+pub const ZONES: [&str; 8] = [
+    "Corporate",
+    "DMZ",
+    "Operations",
+    "Control",
+    "Clients",
+    "Remote",
+    "Vendors",
+    "Field",
+];
+
+fn build_case_study() -> Result<CaseStudy> {
+    // --- Catalog -----------------------------------------------------------
+    let mut catalog = Catalog::new();
+    let os = catalog.add_service("operating_system");
+    let wb = catalog.add_service("web_browser");
+    let db = catalog.add_service("database_server");
+    for name in ["WinXP", "Win7", "Ubuntu14.04", "Debian8.0"] {
+        catalog.add_product(name, os)?;
+    }
+    for name in ["IE8", "IE10", "Chrome50"] {
+        catalog.add_product(name, wb)?;
+    }
+    for name in ["MSSQL08", "MSSQL14", "MySQL5.5", "MariaDB10"] {
+        catalog.add_product(name, db)?;
+    }
+    let similarity = ProductSimilarity::from_table(&catalog, &datasets::case_study_table())?;
+
+    let p = |name: &str| catalog.product_by_name(name).expect("registered above");
+    let win_xp = p("WinXP");
+    let win7 = p("Win7");
+    let ubuntu = p("Ubuntu14.04");
+    let debian = p("Debian8.0");
+    let ie8 = p("IE8");
+    let ie10 = p("IE10");
+    let chrome = p("Chrome50");
+    let mssql08 = p("MSSQL08");
+    let mssql14 = p("MSSQL14");
+    let mysql = p("MySQL5.5");
+    let mariadb = p("MariaDB10");
+
+    let windows_any = vec![win_xp, win7];
+    let os_modern = vec![win7, ubuntu, debian];
+    let ie_any = vec![ie8, ie10];
+    let wb_modern = vec![ie10, chrome];
+    let wb_all = vec![ie8, ie10, chrome];
+    let db_modern = vec![mssql14, mysql, mariadb];
+
+    // --- Hosts (Table IV roles) --------------------------------------------
+    let mut b = NetworkBuilder::new();
+    let add = |b: &mut NetworkBuilder,
+                   name: &str,
+                   zone: &str,
+                   services: Vec<(ServiceId, Vec<ProductId>)>|
+     -> Result<HostId> {
+        let h = b.add_host_in_zone(name, zone);
+        for (s, candidates) in services {
+            b.add_service(h, s, candidates)?;
+        }
+        Ok(h)
+    };
+
+    // Corporate sub-network.
+    let c1 = add(&mut b, "c1", "Corporate", vec![(os, windows_any.clone()), (wb, ie_any.clone())])?;
+    let c2 = add(&mut b, "c2", "Corporate", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    let c3 = add(&mut b, "c3", "Corporate", vec![(os, os_modern.clone()), (wb, wb_all.clone())])?;
+    let c4 = add(&mut b, "c4", "Corporate", vec![(os, os_modern.clone()), (wb, wb_all.clone())])?;
+    // DMZ.
+    let z1 = add(&mut b, "z1", "DMZ", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
+    let z2 = add(&mut b, "z2", "DMZ", vec![(os, vec![win7]), (db, vec![mssql08, mssql14])])?;
+    let z3 = add(
+        &mut b,
+        "z3",
+        "DMZ",
+        vec![(os, vec![win7]), (wb, ie_any.clone()), (db, vec![mssql08, mssql14])],
+    )?;
+    let z4 = add(
+        &mut b,
+        "z4",
+        "DMZ",
+        vec![(os, os_modern.clone()), (wb, wb_modern.clone()), (db, db_modern.clone())],
+    )?;
+    // Operations network (legacy, fixed).
+    let p1 = add(&mut b, "p1", "Operations", vec![(os, vec![win7]), (wb, vec![ie8])])?;
+    let p2 = add(&mut b, "p2", "Operations", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
+    let p3 = add(&mut b, "p3", "Operations", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
+    // Control network (legacy, fixed).
+    let t1 = add(&mut b, "t1", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
+    let t2 = add(&mut b, "t2", "Control", vec![(os, vec![win_xp]), (wb, vec![ie8])])?;
+    let t3 = add(&mut b, "t3", "Control", vec![(os, vec![win7]), (wb, vec![ie8])])?;
+    let t4 = add(&mut b, "t4", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
+    let t5 = add(&mut b, "t5", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
+    let t6 = add(&mut b, "t6", "Control", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
+    // Clients network.
+    let e1 = add(
+        &mut b,
+        "e1",
+        "Clients",
+        vec![(os, windows_any.clone()), (wb, ie_any.clone()), (db, db_modern.clone())],
+    )?;
+    let e2 = add(&mut b, "e2", "Clients", vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())])?;
+    let e3 = add(&mut b, "e3", "Clients", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    let e4 = add(&mut b, "e4", "Clients", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
+    // Remote clients.
+    let r1 = add(
+        &mut b,
+        "r1",
+        "Remote",
+        vec![(os, windows_any.clone()), (wb, ie_any.clone()), (db, db_modern.clone())],
+    )?;
+    let r2 = add(&mut b, "r2", "Remote", vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())])?;
+    let r3 = add(&mut b, "r3", "Remote", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    // r4 is the Linux client workstation of Fig. 4 (Ubuntu/Chrome in all
+    // three published solutions): no Windows candidate.
+    let r4 = add(
+        &mut b,
+        "r4",
+        "Remote",
+        vec![(os, vec![ubuntu, debian]), (wb, wb_modern.clone())],
+    )?;
+    let r5 = add(&mut b, "r5", "Remote", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
+    // Vendors support network.
+    let v1 = add(&mut b, "v1", "Vendors", vec![(os, windows_any.clone()), (wb, ie_any.clone())])?;
+    let v2 = add(&mut b, "v2", "Vendors", vec![(os, vec![win7, ubuntu]), (wb, wb_modern.clone())])?;
+    let v3 = add(&mut b, "v3", "Vendors", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    // Field devices (PLCs) — no diversifiable services.
+    let f1 = b.add_host_in_zone("f1", "Field");
+    let f2 = b.add_host_in_zone("f2", "Field");
+    let f3 = b.add_host_in_zone("f3", "Field");
+
+    // --- Links --------------------------------------------------------------
+    let ring = |b: &mut NetworkBuilder, hosts: &[HostId]| -> Result<()> {
+        for (i, &a) in hosts.iter().enumerate() {
+            b.add_link(a, hosts[(i + 1) % hosts.len()])?;
+        }
+        Ok(())
+    };
+    ring(&mut b, &[c1, c2, c3, c4])?;
+    ring(&mut b, &[z1, z2, z3, z4])?;
+    ring(&mut b, &[p1, p2, p3])?;
+    ring(&mut b, &[t1, t2, t3, t4, t5, t6])?;
+    ring(&mut b, &[e1, e2, e3, e4])?;
+    ring(&mut b, &[r1, r2, r3, r4, r5])?;
+    ring(&mut b, &[v1, v2, v3])?;
+    // Firewall white-list rules of Fig. 3.
+    for (a, z) in [
+        (c2, z4),
+        (c4, z4),
+        (p2, z4),
+        (p3, z4),
+        (z4, t1),
+        (z4, t2),
+        (p1, t1),
+        (p1, e1),
+        (p1, r1),
+        (p1, v1),
+        // Vendors reach the control network only through the operations
+        // historian p1 (the process-data support path): a direct v1–t1/t2
+        // link would give every assignment an identical-legacy-product hop
+        // from the vendor zone, contradicting the strong v1-entry
+        // differentiation the paper's Table VI reports.
+        (t1, e1),
+        (t1, r1),
+        (t2, e1),
+        (t2, r1),
+    ] {
+        b.add_link(a, z)?;
+    }
+    // Field device attachments.
+    b.add_link(f1, t4)?;
+    b.add_link(f2, t5)?;
+    b.add_link(f3, t6)?;
+
+    let network = b.build(&catalog)?;
+    Ok(CaseStudy {
+        target: t5,
+        entry_points: vec![c1, c4, e3, r4, v1],
+        bn_entry: c4,
+        catalog,
+        network,
+        similarity,
+        services: Services { os, wb, db },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{mono_assignment, random_assignment};
+
+    #[test]
+    fn shape_matches_fig3() {
+        let cs = CaseStudy::build();
+        assert_eq!(cs.network.host_count(), 32); // 29 IT/OT + 3 PLCs
+        assert_eq!(cs.catalog.service_count(), 3);
+        assert_eq!(cs.catalog.product_count(), 11);
+        // 29 intra-zone ring links + 14 firewall white-list + 3 field = 46.
+        assert_eq!(cs.network.link_count(), 46);
+    }
+
+    #[test]
+    fn network_is_connected() {
+        let cs = CaseStudy::build();
+        assert_eq!(
+            cs.network.reachable_from(cs.host("c1")).len(),
+            cs.network.host_count()
+        );
+    }
+
+    #[test]
+    fn legacy_hosts_are_fixed() {
+        let cs = CaseStudy::build();
+        for h in cs.legacy_hosts() {
+            let host = cs.network.host(h).unwrap();
+            assert!(
+                host.services().iter().all(|s| s.is_fixed()),
+                "{} should have no diversification freedom",
+                host.name()
+            );
+        }
+    }
+
+    #[test]
+    fn it_hosts_have_choices() {
+        let cs = CaseStudy::build();
+        for name in ["c2", "c3", "c4", "z1", "z4", "e2", "e3", "r3", "v2"] {
+            let host = cs.network.host(cs.host(name)).unwrap();
+            assert!(
+                host.services().iter().any(|s| !s.is_fixed()),
+                "{name} should be diversifiable"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_points_and_target() {
+        let cs = CaseStudy::build();
+        let names: Vec<&str> = cs
+            .entry_points
+            .iter()
+            .map(|&h| cs.network.host(h).unwrap().name())
+            .collect();
+        assert_eq!(names, vec!["c1", "c4", "e3", "r4", "v1"]);
+        assert_eq!(cs.network.host(cs.target).unwrap().name(), "t5");
+        assert_eq!(cs.network.host(cs.bn_entry).unwrap().name(), "c4");
+    }
+
+    #[test]
+    fn attack_path_c4_to_t5_exists() {
+        // The Table V scenario: entry c4 must reach target t5.
+        let cs = CaseStudy::build();
+        let reachable = cs.network.reachable_from(cs.host("c4"));
+        assert!(reachable.contains(&cs.target));
+        // ... via the DMZ as per the white-list (c4-z4 then z4-t1/t2).
+        assert!(cs.network.linked(cs.host("c4"), cs.host("z4")));
+        assert!(cs.network.linked(cs.host("z4"), cs.host("t1")));
+        // ... and onward through the control-network ring to t5.
+        assert!(cs
+            .network
+            .reachable_from(cs.host("t1"))
+            .contains(&cs.host("t5")));
+    }
+
+    #[test]
+    fn firewall_rules_are_whitelist_only() {
+        let cs = CaseStudy::build();
+        // No direct corporate-to-control path.
+        assert!(!cs.network.linked(cs.host("c4"), cs.host("t5")));
+        assert!(!cs.network.linked(cs.host("c1"), cs.host("z4")));
+        // PLCs only reach their control server.
+        assert_eq!(cs.network.degree(cs.host("f2")), 1);
+        assert!(cs.network.linked(cs.host("f2"), cs.host("t5")));
+    }
+
+    #[test]
+    fn c1_constraints_pin_the_right_hosts() {
+        let cs = CaseStudy::build();
+        let c1 = cs.constraints_c1();
+        assert_eq!(c1.len(), 11);
+        // A mono assignment generally violates C1 (it picks WinXP/IE8 hosts
+        // differently than the pins demand) — but a restricted candidate set
+        // always contains exactly the pinned product.
+        let candidates = c1.restrict_candidates(
+            cs.host("z4"),
+            cs.services.wb,
+            cs.network
+                .host(cs.host("z4"))
+                .unwrap()
+                .candidates_for(cs.services.wb)
+                .unwrap(),
+        );
+        assert_eq!(candidates, vec![cs.product("IE10")]);
+    }
+
+    #[test]
+    fn c2_extends_c1() {
+        let cs = CaseStudy::build();
+        let c2 = cs.constraints_c2();
+        assert_eq!(c2.len(), cs.constraints_c1().len() + 2);
+        // An assignment putting IE10 on Ubuntu at v2 violates C2.
+        let mut slots: Vec<Vec<ProductId>> = cs
+            .network
+            .iter_hosts()
+            .map(|(_, host)| {
+                host.services().iter().map(|s| s.candidates()[0]).collect()
+            })
+            .collect();
+        let v2 = cs.host("v2");
+        slots[v2.index()] = vec![cs.product("Ubuntu14.04"), cs.product("IE10")];
+        let a = crate::assignment::Assignment::from_slots(slots);
+        assert!(c2.violations(&cs.network, &a).iter().any(|&(_, h)| h == v2));
+    }
+
+    #[test]
+    fn baselines_are_valid_assignments() {
+        let cs = CaseStudy::build();
+        mono_assignment(&cs.network).validate(&cs.network).unwrap();
+        random_assignment(&cs.network, 1).validate(&cs.network).unwrap();
+    }
+
+    #[test]
+    fn similarity_covers_all_products_correctly() {
+        let cs = CaseStudy::build();
+        // Spot-check against the published tables.
+        assert_eq!(
+            cs.similarity.get(cs.product("Win7"), cs.product("WinXP")),
+            0.278
+        );
+        assert_eq!(
+            cs.similarity.get(cs.product("IE10"), cs.product("IE8")),
+            0.386
+        );
+        // Cross-service always zero.
+        assert_eq!(cs.similarity.get(cs.product("Win7"), cs.product("IE8")), 0.0);
+    }
+
+    #[test]
+    fn zones_are_labelled() {
+        let cs = CaseStudy::build();
+        assert_eq!(cs.network.host(cs.host("c1")).unwrap().zone(), Some("Corporate"));
+        assert_eq!(cs.network.host(cs.host("t5")).unwrap().zone(), Some("Control"));
+        assert_eq!(cs.network.host(cs.host("f1")).unwrap().zone(), Some("Field"));
+    }
+}

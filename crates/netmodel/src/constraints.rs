@@ -1,0 +1,488 @@
+//! Configuration constraints (paper Definition 4).
+//!
+//! Two constraint forms appear in the paper's case study:
+//!
+//! * **Fixed products** — "some hosts are required to run specific software"
+//!   (constraint set C1; also the grey legacy hosts). Modelled by
+//!   [`Constraint::fix`], which pins one (host, service) slot to a product.
+//! * **Conditional combinations** — `⟨h, sm, sn, +pj, −pk⟩` (if service `sm`
+//!   runs `pj`, then service `sn` must *not* run `pk`) and
+//!   `⟨h, sm, sn, +pj, +pl⟩` (if `sm` runs `pj`, then `sn` must run `pl`).
+//!   Scope is either one host or `ALL` hosts. Modelled by
+//!   [`Constraint::forbid_combination`] / [`Constraint::require_combination`].
+//!
+//! The paper encodes constraints as unary-cost manipulations (Section V-A);
+//! our optimizer encodes fixes as domain restrictions and conditional
+//! combinations as intra-host pairwise potentials, which realizes the same
+//! feasible set exactly. This module owns the *semantics*: what a constraint
+//! means and whether an assignment satisfies it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assignment::Assignment;
+use crate::catalog::Catalog;
+use crate::network::Network;
+use crate::{HostId, ProductId, ServiceId};
+
+/// Where a constraint applies: one host or every host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scope {
+    /// A single host (`⟨hi, ...⟩`).
+    Host(HostId),
+    /// Every host in the network (`⟨ALL, ...⟩`).
+    All,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Host(h) => write!(f, "{h}"),
+            Scope::All => write!(f, "ALL"),
+        }
+    }
+}
+
+/// A single configuration constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// The (host, service) slot must be assigned exactly `product`.
+    Fix {
+        /// The constrained host.
+        host: HostId,
+        /// The constrained service.
+        service: ServiceId,
+        /// The mandated product.
+        product: ProductId,
+    },
+    /// `⟨scope, sm, sn, +if_product, −forbidden⟩`: wherever `sm` runs
+    /// `if_product`, `sn` must not run `forbidden`.
+    ForbidCombination {
+        /// One host or all hosts.
+        scope: Scope,
+        /// The trigger service (`sm`).
+        if_service: ServiceId,
+        /// The trigger product (`pj`).
+        if_product: ProductId,
+        /// The constrained service (`sn`).
+        then_service: ServiceId,
+        /// The product `sn` must avoid (`pk`).
+        forbidden: ProductId,
+    },
+    /// `⟨scope, sm, sn, +if_product, +required⟩`: wherever `sm` runs
+    /// `if_product`, `sn` must run `required`.
+    RequireCombination {
+        /// One host or all hosts.
+        scope: Scope,
+        /// The trigger service (`sm`).
+        if_service: ServiceId,
+        /// The trigger product (`pj`).
+        if_product: ProductId,
+        /// The constrained service (`sn`).
+        then_service: ServiceId,
+        /// The product `sn` must run (`pl`).
+        required: ProductId,
+    },
+}
+
+impl Constraint {
+    /// Pins `service` at `host` to `product` (C1-style host constraint).
+    pub fn fix(host: HostId, service: ServiceId, product: ProductId) -> Constraint {
+        Constraint::Fix {
+            host,
+            service,
+            product,
+        }
+    }
+
+    /// Builds `⟨scope, sm, sn, +pj, −pk⟩`.
+    pub fn forbid_combination(
+        scope: Scope,
+        (if_service, if_product): (ServiceId, ProductId),
+        (then_service, forbidden): (ServiceId, ProductId),
+    ) -> Constraint {
+        Constraint::ForbidCombination {
+            scope,
+            if_service,
+            if_product,
+            then_service,
+            forbidden,
+        }
+    }
+
+    /// Builds `⟨scope, sm, sn, +pj, +pl⟩`.
+    pub fn require_combination(
+        scope: Scope,
+        (if_service, if_product): (ServiceId, ProductId),
+        (then_service, required): (ServiceId, ProductId),
+    ) -> Constraint {
+        Constraint::RequireCombination {
+            scope,
+            if_service,
+            if_product,
+            then_service,
+            required,
+        }
+    }
+
+    /// The hosts a scope expands to.
+    fn hosts<'n>(scope: Scope, network: &'n Network) -> Box<dyn Iterator<Item = HostId> + 'n> {
+        match scope {
+            Scope::Host(h) => Box::new(std::iter::once(h)),
+            Scope::All => Box::new(network.iter_hosts().map(|(id, _)| id)),
+        }
+    }
+
+    /// Checks whether `assignment` satisfies this constraint on `network`.
+    ///
+    /// Conditional constraints are vacuously satisfied at hosts that do not
+    /// run both services involved (there is nothing to combine).
+    pub fn is_satisfied(&self, network: &Network, assignment: &Assignment) -> bool {
+        self.violations(network, assignment).is_empty()
+    }
+
+    /// The hosts at which `assignment` violates this constraint.
+    pub fn violations(&self, network: &Network, assignment: &Assignment) -> Vec<HostId> {
+        match *self {
+            Constraint::Fix {
+                host,
+                service,
+                product,
+            } => match assignment.product_for(network, host, service) {
+                Some(p) if p == product => vec![],
+                // A missing slot also violates a fix: the host was required
+                // to run the product.
+                _ => vec![host],
+            },
+            Constraint::ForbidCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                forbidden,
+            } => Constraint::hosts(scope, network)
+                .filter(|&h| {
+                    assignment.product_for(network, h, if_service) == Some(if_product)
+                        && assignment.product_for(network, h, then_service) == Some(forbidden)
+                })
+                .collect(),
+            Constraint::RequireCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                required,
+            } => Constraint::hosts(scope, network)
+                .filter(|&h| {
+                    assignment.product_for(network, h, if_service) == Some(if_product)
+                        && assignment
+                            .product_for(network, h, then_service)
+                            .is_some_and(|p| p != required)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the constraint in the paper's tuple notation.
+    pub fn render(&self, catalog: &Catalog) -> String {
+        let pname = |p: ProductId| {
+            catalog.product(p).map(|pr| pr.name().to_owned()).unwrap_or_else(|_| p.to_string())
+        };
+        let sname = |s: ServiceId| {
+            catalog.service(s).map(|sv| sv.name().to_owned()).unwrap_or_else(|_| s.to_string())
+        };
+        match *self {
+            Constraint::Fix {
+                host,
+                service,
+                product,
+            } => format!("⟨{host}, {} := {}⟩", sname(service), pname(product)),
+            Constraint::ForbidCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                forbidden,
+            } => format!(
+                "⟨{scope}, {}, {}, +{}, −{}⟩",
+                sname(if_service),
+                sname(then_service),
+                pname(if_product),
+                pname(forbidden)
+            ),
+            Constraint::RequireCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                required,
+            } => format!(
+                "⟨{scope}, {}, {}, +{}, +{}⟩",
+                sname(if_service),
+                sname(then_service),
+                pname(if_product),
+                pname(required)
+            ),
+        }
+    }
+}
+
+/// An ordered collection of constraints (the paper's set `C`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set (the unconstrained problem).
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint, returning `&mut self` for chaining.
+    pub fn push(&mut self, c: Constraint) -> &mut ConstraintSet {
+        self.constraints.push(c);
+        self
+    }
+
+    /// The constraints in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.constraints.iter()
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// All (constraint index, violating host) pairs for an assignment.
+    pub fn violations(
+        &self,
+        network: &Network,
+        assignment: &Assignment,
+    ) -> Vec<(usize, HostId)> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| {
+                c.violations(network, assignment).into_iter().map(move |h| (i, h))
+            })
+            .collect()
+    }
+
+    /// Whether `assignment` satisfies every constraint.
+    pub fn is_satisfied(&self, network: &Network, assignment: &Assignment) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied(network, assignment))
+    }
+
+    /// The effective candidate set for a (host, service) slot after applying
+    /// all [`Constraint::Fix`] constraints: either the original candidates or
+    /// the single pinned product.
+    ///
+    /// Contradictory fixes (two different products pinned to one slot) yield
+    /// an empty vector, which the optimizer reports as infeasible.
+    pub fn restrict_candidates(
+        &self,
+        host: HostId,
+        service: ServiceId,
+        candidates: &[ProductId],
+    ) -> Vec<ProductId> {
+        let mut pinned: Option<ProductId> = None;
+        for c in &self.constraints {
+            if let Constraint::Fix {
+                host: h,
+                service: s,
+                product,
+            } = *c
+            {
+                if h == host && s == service {
+                    match pinned {
+                        None => pinned = Some(product),
+                        Some(prev) if prev != product => return vec![],
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+        match pinned {
+            Some(p) => {
+                if candidates.contains(&p) {
+                    vec![p]
+                } else {
+                    vec![]
+                }
+            }
+            None => candidates.to_vec(),
+        }
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Self {
+        ConstraintSet {
+            constraints: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Constraint> for ConstraintSet {
+    fn extend<I: IntoIterator<Item = Constraint>>(&mut self, iter: I) {
+        self.constraints.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    /// Two hosts, two services (os, wb), two products each.
+    fn fixture() -> (Network, Catalog) {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let wb = c.add_service("wb");
+        let win = c.add_product("win", os).unwrap();
+        let lin = c.add_product("lin", os).unwrap();
+        let ie = c.add_product("ie", wb).unwrap();
+        let ch = c.add_product("ch", wb).unwrap();
+        let mut b = NetworkBuilder::new();
+        let h0 = b.add_host("h0");
+        let h1 = b.add_host("h1");
+        for &h in &[h0, h1] {
+            b.add_service(h, os, vec![win, lin]).unwrap();
+            b.add_service(h, wb, vec![ie, ch]).unwrap();
+        }
+        b.add_link(h0, h1).unwrap();
+        (b.build(&c).unwrap(), c)
+    }
+
+    fn ids(c: &Catalog) -> (ServiceId, ServiceId, ProductId, ProductId, ProductId, ProductId) {
+        (
+            c.service_by_name("os").unwrap(),
+            c.service_by_name("wb").unwrap(),
+            c.product_by_name("win").unwrap(),
+            c.product_by_name("lin").unwrap(),
+            c.product_by_name("ie").unwrap(),
+            c.product_by_name("ch").unwrap(),
+        )
+    }
+
+    #[test]
+    fn fix_constraint_satisfaction() {
+        let (net, c) = fixture();
+        let (os, _, win, lin, ie, ch) = ids(&c);
+        let fix = Constraint::fix(HostId(0), os, win);
+        let good = Assignment::from_slots(vec![vec![win, ie], vec![lin, ch]]);
+        let bad = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ch]]);
+        assert!(fix.is_satisfied(&net, &good));
+        assert_eq!(fix.violations(&net, &bad), vec![HostId(0)]);
+    }
+
+    #[test]
+    fn forbid_combination_local() {
+        let (net, c) = fixture();
+        let (os, wb, win, lin, ie, ch) = ids(&c);
+        // At h1: if os=lin then wb must not be ie.
+        let forbid =
+            Constraint::forbid_combination(Scope::Host(HostId(1)), (os, lin), (wb, ie));
+        let violating = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ie]]);
+        assert_eq!(forbid.violations(&net, &violating), vec![HostId(1)]);
+        // Trigger not met: vacuous.
+        let vacuous = Assignment::from_slots(vec![vec![lin, ie], vec![win, ie]]);
+        assert!(forbid.is_satisfied(&net, &vacuous));
+        // Trigger met, combination avoided.
+        let fine = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ch]]);
+        assert!(forbid.is_satisfied(&net, &fine));
+    }
+
+    #[test]
+    fn forbid_combination_global() {
+        let (net, c) = fixture();
+        let (os, wb, _, lin, ie, _) = ids(&c);
+        let forbid = Constraint::forbid_combination(Scope::All, (os, lin), (wb, ie));
+        let violating = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ie]]);
+        assert_eq!(
+            forbid.violations(&net, &violating),
+            vec![HostId(0), HostId(1)]
+        );
+    }
+
+    #[test]
+    fn require_combination() {
+        let (net, c) = fixture();
+        let (os, wb, win, lin, ie, ch) = ids(&c);
+        // Globally: if os=win then wb must be ie.
+        let require = Constraint::require_combination(Scope::All, (os, win), (wb, ie));
+        let good = Assignment::from_slots(vec![vec![win, ie], vec![lin, ch]]);
+        assert!(require.is_satisfied(&net, &good));
+        let bad = Assignment::from_slots(vec![vec![win, ch], vec![lin, ch]]);
+        assert_eq!(require.violations(&net, &bad), vec![HostId(0)]);
+    }
+
+    #[test]
+    fn constraint_set_aggregates_violations() {
+        let (net, c) = fixture();
+        let (os, wb, win, lin, ie, ch) = ids(&c);
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::fix(HostId(0), os, win));
+        set.push(Constraint::forbid_combination(Scope::All, (os, lin), (wb, ch)));
+        let a = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ch]]);
+        let violations = set.violations(&net, &a);
+        assert_eq!(violations, vec![(0, HostId(0)), (1, HostId(1))]);
+        assert!(!set.is_satisfied(&net, &a));
+    }
+
+    #[test]
+    fn restrict_candidates_applies_fixes() {
+        let (_, c) = fixture();
+        let (os, _, win, lin, _, _) = ids(&c);
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::fix(HostId(0), os, win));
+        assert_eq!(set.restrict_candidates(HostId(0), os, &[win, lin]), vec![win]);
+        // Other slots unaffected.
+        assert_eq!(
+            set.restrict_candidates(HostId(1), os, &[win, lin]),
+            vec![win, lin]
+        );
+        // Pinned product outside candidates -> infeasible.
+        assert!(set.restrict_candidates(HostId(0), os, &[lin]).is_empty());
+        // Contradictory fixes -> infeasible.
+        set.push(Constraint::fix(HostId(0), os, lin));
+        assert!(set.restrict_candidates(HostId(0), os, &[win, lin]).is_empty());
+    }
+
+    #[test]
+    fn render_uses_paper_notation() {
+        let (_, c) = fixture();
+        let (os, wb, _, lin, ie, _) = ids(&c);
+        let forbid = Constraint::forbid_combination(Scope::All, (os, lin), (wb, ie));
+        let s = forbid.render(&c);
+        assert!(s.contains("ALL"));
+        assert!(s.contains("+lin"));
+        assert!(s.contains("−ie"));
+        let fix = Constraint::fix(HostId(2), os, lin);
+        assert!(fix.render(&c).contains(":= lin"));
+    }
+
+    #[test]
+    fn vacuous_on_hosts_missing_the_service() {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let wb = c.add_service("wb");
+        let win = c.add_product("win", os).unwrap();
+        let ie = c.add_product("ie", wb).unwrap();
+        let mut b = NetworkBuilder::new();
+        let h = b.add_host("h");
+        b.add_service(h, os, vec![win]).unwrap(); // no browser at h
+        let net = b.build(&c).unwrap();
+        let forbid = Constraint::forbid_combination(Scope::All, (os, win), (wb, ie));
+        let a = Assignment::from_slots(vec![vec![win]]);
+        assert!(forbid.is_satisfied(&net, &a));
+    }
+}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+use crate::{HostId, ProductId, ServiceId};
+
+/// Errors produced while building or validating networks and assignments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A referenced host does not exist.
+    UnknownHost(HostId),
+    /// A referenced service does not exist in the catalog.
+    UnknownService(ServiceId),
+    /// A referenced product does not exist in the catalog.
+    UnknownProduct(ProductId),
+    /// A product was registered for, or assigned to, a service it does not provide.
+    ServiceMismatch {
+        /// The product in question.
+        product: ProductId,
+        /// The service the product actually provides.
+        provides: ServiceId,
+        /// The service it was used for.
+        requested: ServiceId,
+    },
+    /// A product name was registered twice in the catalog.
+    DuplicateProduct(String),
+    /// A host already runs an instance of this service.
+    DuplicateService {
+        /// The host.
+        host: HostId,
+        /// The duplicated service.
+        service: ServiceId,
+    },
+    /// A service instance was declared with no candidate products.
+    EmptyCandidates {
+        /// The host.
+        host: HostId,
+        /// The service with an empty candidate set.
+        service: ServiceId,
+    },
+    /// A link connects a host to itself.
+    SelfLoop(HostId),
+    /// The same undirected link was added twice.
+    DuplicateLink(HostId, HostId),
+    /// An assignment is missing a product for a (host, service) pair.
+    MissingAssignment {
+        /// The host.
+        host: HostId,
+        /// The unassigned service.
+        service: ServiceId,
+    },
+    /// An assignment chose a product outside the candidate set.
+    NotACandidate {
+        /// The host.
+        host: HostId,
+        /// The service.
+        service: ServiceId,
+        /// The out-of-range product.
+        product: ProductId,
+    },
+    /// A similarity table is missing a product name needed by the catalog.
+    MissingSimilarity(String),
+    /// A constraint references a service the host does not run.
+    ConstraintServiceAbsent {
+        /// The host.
+        host: HostId,
+        /// The missing service.
+        service: ServiceId,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownHost(h) => write!(f, "unknown host {h}"),
+            Error::UnknownService(s) => write!(f, "unknown service {s}"),
+            Error::UnknownProduct(p) => write!(f, "unknown product {p}"),
+            Error::ServiceMismatch {
+                product,
+                provides,
+                requested,
+            } => write!(
+                f,
+                "product {product} provides service {provides}, not {requested}"
+            ),
+            Error::DuplicateProduct(name) => write!(f, "duplicate product name {name:?}"),
+            Error::DuplicateService { host, service } => {
+                write!(f, "host {host} already runs service {service}")
+            }
+            Error::EmptyCandidates { host, service } => {
+                write!(f, "service {service} at host {host} has no candidate products")
+            }
+            Error::SelfLoop(h) => write!(f, "link connects host {h} to itself"),
+            Error::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
+            Error::MissingAssignment { host, service } => {
+                write!(f, "no product assigned for service {service} at host {host}")
+            }
+            Error::NotACandidate {
+                host,
+                service,
+                product,
+            } => write!(
+                f,
+                "product {product} is not a candidate for service {service} at host {host}"
+            ),
+            Error::MissingSimilarity(name) => {
+                write!(f, "similarity table has no entry for product {name:?}")
+            }
+            Error::ConstraintServiceAbsent { host, service } => {
+                write!(f, "constraint references service {service} absent at host {host}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

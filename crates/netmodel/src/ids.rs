@@ -1,0 +1,108 @@
+//! Typed identifiers for hosts, services and products.
+//!
+//! Newtypes keep the three index spaces statically distinct: an assignment
+//! indexed by a [`HostId`] cannot accidentally be indexed by a product.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host in a [`crate::network::Network`] (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct HostId(pub u32);
+
+/// Identifier of a service in a [`crate::catalog::Catalog`] (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ServiceId(pub u16);
+
+/// Identifier of a product in a [`crate::catalog::Catalog`] (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ProductId(pub u16);
+
+impl HostId {
+    /// The dense index of this host.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ServiceId {
+    /// The dense index of this service.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ProductId {
+    /// The dense index of this product.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for ProductId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+impl From<u16> for ServiceId {
+    fn from(v: u16) -> Self {
+        ServiceId(v)
+    }
+}
+
+impl From<u16> for ProductId {
+    fn from(v: u16) -> Self {
+        ProductId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HostId(3).to_string(), "h3");
+        assert_eq!(ServiceId(1).to_string(), "s1");
+        assert_eq!(ProductId(9).to_string(), "p9");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(HostId::from(7u32).index(), 7);
+        assert_eq!(ServiceId::from(2u16).index(), 2);
+        assert_eq!(ProductId::from(5u16).index(), 5);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(HostId(1) < HostId(2));
+        assert!(ProductId(0) < ProductId(1));
+    }
+}

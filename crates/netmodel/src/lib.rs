@@ -1,0 +1,65 @@
+//! The network / service / product model of the diversity-assignment problem.
+//!
+//! This crate implements Section IV of the DSN 2020 paper *"Scalable
+//! Approach to Enhancing ICS Resilience by Network Diversity"*: a network
+//! `N = ⟨H, L, S, P⟩` of hosts and undirected links, where every host runs a
+//! set of services and each service must be provided by exactly one product
+//! chosen from a host-specific candidate set.
+//!
+//! * [`catalog`] — the global universe of services and products, and the
+//!   per-product-pair vulnerability similarity (imported from an
+//!   [`nvd::similarity::SimilarityTable`]).
+//! * [`network`] — hosts, per-host service instances with candidate product
+//!   sets, undirected links (CSR adjacency) and validation.
+//! * [`assignment`] — the assignment `α : H × S → P` (paper Definition 3)
+//!   with diversity statistics.
+//! * [`constraints`] — local/global configuration constraints (Definition 4)
+//!   and fixed-product (legacy host) constraints, with satisfaction checks.
+//! * [`topology`] — seeded random network generators used by the scalability
+//!   analysis (Section VIII).
+//! * [`casestudy`] — the Stuxnet-inspired IT/OT converged ICS of Section VII
+//!   (Fig. 3 topology, Table IV product catalogue, constraint sets C1/C2).
+//! * [`strategies`] — baseline assignments: homogeneous `α_m` and uniformly
+//!   random `α_r` (Table V/VI baselines).
+//!
+//! # Quick start
+//!
+//! ```
+//! use netmodel::catalog::Catalog;
+//! use netmodel::network::NetworkBuilder;
+//!
+//! # fn main() -> Result<(), netmodel::Error> {
+//! let mut catalog = Catalog::new();
+//! let web = catalog.add_service("web_browser");
+//! let ie = catalog.add_product("IE10", web)?;
+//! let chrome = catalog.add_product("Chrome50", web)?;
+//!
+//! let mut builder = NetworkBuilder::new();
+//! let a = builder.add_host("a");
+//! let b = builder.add_host("b");
+//! builder.add_service(a, web, vec![ie, chrome])?;
+//! builder.add_service(b, web, vec![ie, chrome])?;
+//! builder.add_link(a, b)?;
+//! let network = builder.build(&catalog)?;
+//! assert_eq!(network.host_count(), 2);
+//! assert_eq!(network.link_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod assignment;
+pub mod casestudy;
+pub mod catalog;
+pub mod constraints;
+pub mod network;
+pub mod strategies;
+pub mod topology;
+
+mod error;
+mod ids;
+
+pub use error::Error;
+pub use ids::{HostId, ProductId, ServiceId};
+
+/// Convenient result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,159 @@
+//! Baseline assignment strategies.
+//!
+//! Table V and Table VI of the paper compare the optimal assignment against
+//! two baselines: a homogeneous *mono* assignment `α_m` ("the same operating
+//! system, the same web browser and the same database server for all
+//! non-constrained hosts") and a uniformly *random* assignment `α_r`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::assignment::Assignment;
+use crate::network::Network;
+use crate::{ProductId, ServiceId};
+
+/// The homogeneous assignment `α_m`: for every service, all hosts run the
+/// same product wherever their candidate set allows it.
+///
+/// The shared product per service is the candidate that can be deployed on
+/// the greatest number of hosts (ties broken by lower product id); hosts
+/// whose candidate set excludes it (legacy/fixed hosts) fall back to their
+/// first candidate. This realizes "the worst possible diversity" subject to
+/// per-host feasibility, as in the paper's case study.
+pub fn mono_assignment(network: &Network) -> Assignment {
+    // Count, per (service, product), how many hosts could adopt it.
+    let mut votes: std::collections::BTreeMap<(ServiceId, ProductId), usize> =
+        std::collections::BTreeMap::new();
+    for (_, host) in network.iter_hosts() {
+        for inst in host.services() {
+            for &p in inst.candidates() {
+                *votes.entry((inst.service(), p)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut best: std::collections::BTreeMap<ServiceId, (usize, ProductId)> =
+        std::collections::BTreeMap::new();
+    for (&(s, p), &count) in &votes {
+        match best.get(&s) {
+            Some(&(c, bp)) if c > count || (c == count && bp <= p) => {}
+            _ => {
+                best.insert(s, (count, p));
+            }
+        }
+    }
+    let slots = network
+        .iter_hosts()
+        .map(|(_, host)| {
+            host.services()
+                .iter()
+                .map(|inst| {
+                    let chosen = best.get(&inst.service()).map(|&(_, p)| p);
+                    match chosen {
+                        Some(p) if inst.candidates().contains(&p) => p,
+                        _ => inst.candidates()[0],
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Assignment::from_slots(slots)
+}
+
+/// A uniformly random assignment `α_r`: every slot independently picks one
+/// of its candidates. Deterministic per seed.
+pub fn random_assignment(network: &Network, seed: u64) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots = network
+        .iter_hosts()
+        .map(|(_, host)| {
+            host.services()
+                .iter()
+                .map(|inst| {
+                    let c = inst.candidates();
+                    c[rng.gen_range(0..c.len())]
+                })
+                .collect()
+        })
+        .collect();
+    Assignment::from_slots(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::network::NetworkBuilder;
+
+    fn fixture() -> (Network, Catalog) {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let a = c.add_product("a", os).unwrap();
+        let b = c.add_product("b", os).unwrap();
+        let legacy = c.add_product("legacy", os).unwrap();
+        let mut builder = NetworkBuilder::new();
+        for i in 0..4 {
+            let h = builder.add_host(&format!("h{i}"));
+            builder.add_service(h, os, vec![a, b]).unwrap();
+        }
+        // A legacy host that can only run `legacy`.
+        let h = builder.add_host("old");
+        builder.add_service(h, os, vec![legacy]).unwrap();
+        (builder.build(&c).unwrap(), c)
+    }
+
+    #[test]
+    fn mono_uses_one_product_where_possible() {
+        let (net, c) = fixture();
+        let m = mono_assignment(&net);
+        m.validate(&net).unwrap();
+        let a = c.product_by_name("a").unwrap();
+        let legacy = c.product_by_name("legacy").unwrap();
+        for i in 0..4 {
+            assert_eq!(m.products_at(crate::HostId(i))[0], a);
+        }
+        assert_eq!(m.products_at(crate::HostId(4))[0], legacy);
+    }
+
+    #[test]
+    fn mono_picks_most_deployable_product() {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let rare = c.add_product("rare", os).unwrap();
+        let common = c.add_product("common", os).unwrap();
+        let mut builder = NetworkBuilder::new();
+        let h0 = builder.add_host("h0");
+        builder.add_service(h0, os, vec![rare, common]).unwrap();
+        let h1 = builder.add_host("h1");
+        builder.add_service(h1, os, vec![common]).unwrap();
+        let net = builder.build(&c).unwrap();
+        let m = mono_assignment(&net);
+        // `common` is deployable on both hosts, `rare` on one.
+        assert_eq!(m.products_at(h0)[0], common);
+        assert_eq!(m.products_at(h1)[0], common);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_valid() {
+        let (net, _) = fixture();
+        let r1 = random_assignment(&net, 99);
+        let r2 = random_assignment(&net, 99);
+        assert_eq!(r1, r2);
+        r1.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn random_varies_across_seeds() {
+        let (net, _) = fixture();
+        let distinct: std::collections::HashSet<_> =
+            (0..20).map(|s| random_assignment(&net, s).products_at(crate::HostId(0))[0]).collect();
+        assert!(distinct.len() > 1, "20 seeds should produce at least two choices");
+    }
+
+    #[test]
+    fn random_is_typically_more_diverse_than_mono() {
+        let (net, _) = fixture();
+        let m = mono_assignment(&net);
+        let r = random_assignment(&net, 3);
+        assert!(r.effective_diversity() >= m.effective_diversity());
+    }
+}

@@ -1,0 +1,360 @@
+//! Seeded random network generators (paper Section VIII).
+//!
+//! The scalability analysis runs the optimizer on randomly generated
+//! networks parameterized by host count, mean degree and services per host.
+//! [`generate`] produces a complete problem instance — network, catalog and
+//! a synthetic product-similarity matrix — from a configuration and a seed.
+//!
+//! The synthetic similarity reproduces the structure Section III observes in
+//! NVD data: each service's products are split among *vendors*; products of
+//! the same vendor share substantial similarity, products of different
+//! vendors share almost none.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::catalog::{Catalog, ProductSimilarity};
+use crate::network::{Network, NetworkBuilder};
+use crate::{HostId, ProductId};
+
+/// The shape of generated link structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// A random spanning path plus uniformly random extra links (connected
+    /// Erdős–Rényi-like graph with a target mean degree).
+    Random,
+    /// Barabási–Albert preferential attachment (hub-heavy, like real
+    /// enterprise networks).
+    ScaleFree,
+    /// A simple cycle (degree 2); useful for analytical sanity checks.
+    Ring,
+    /// A balanced binary tree; TRW-S is exact on trees, so this topology is
+    /// the solver-validation workhorse.
+    Tree,
+}
+
+/// Configuration of a generated problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomNetworkConfig {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Target mean degree (ignored for `Ring`/`Tree`).
+    pub mean_degree: usize,
+    /// Number of services; every host runs all of them.
+    pub services: usize,
+    /// Products available per service.
+    pub products_per_service: usize,
+    /// Vendors per service (similarity clusters); clamped to
+    /// `products_per_service`.
+    pub vendors_per_service: usize,
+    /// Link structure.
+    pub topology: TopologyKind,
+}
+
+impl Default for RandomNetworkConfig {
+    fn default() -> RandomNetworkConfig {
+        RandomNetworkConfig {
+            hosts: 100,
+            mean_degree: 20,
+            services: 15,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        }
+    }
+}
+
+/// A generated problem instance.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetwork {
+    /// The network topology with per-host service instances.
+    pub network: Network,
+    /// The service/product universe.
+    pub catalog: Catalog,
+    /// Synthetic pairwise product similarity.
+    pub similarity: ProductSimilarity,
+}
+
+/// Generates a problem instance from `config` and `seed`.
+///
+/// Deterministic: equal inputs produce equal instances.
+///
+/// # Panics
+///
+/// Panics if `config.hosts == 0`, `config.services == 0` or
+/// `config.products_per_service == 0`.
+pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
+    assert!(config.hosts > 0, "need at least one host");
+    assert!(config.services > 0, "need at least one service");
+    assert!(config.products_per_service > 0, "need at least one product per service");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Catalog: `services` services with `products_per_service` products each.
+    let mut catalog = Catalog::new();
+    let mut service_ids = Vec::with_capacity(config.services);
+    for s in 0..config.services {
+        let sid = catalog.add_service(&format!("service{s}"));
+        for p in 0..config.products_per_service {
+            catalog
+                .add_product(&format!("s{s}_p{p}"), sid)
+                .expect("generated names are unique");
+        }
+        service_ids.push(sid);
+    }
+    let similarity = synthetic_similarity(&catalog, config, &mut rng);
+
+    // Hosts with full candidate sets.
+    let mut builder = NetworkBuilder::new();
+    for h in 0..config.hosts {
+        let host = builder.add_host(&format!("n{h}"));
+        for &sid in &service_ids {
+            builder
+                .add_service(host, sid, catalog.products_of(sid).to_vec())
+                .expect("unique services per host");
+        }
+    }
+    add_links(&mut builder, config, &mut rng);
+    let network = builder.build(&catalog).expect("generated instance is valid");
+    GeneratedNetwork {
+        network,
+        catalog,
+        similarity,
+    }
+}
+
+fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &mut StdRng) {
+    let n = config.hosts;
+    if n < 2 {
+        return;
+    }
+    match config.topology {
+        TopologyKind::Ring => {
+            for i in 0..n {
+                let _ = builder.add_link(HostId(i as u32), HostId(((i + 1) % n) as u32));
+            }
+        }
+        TopologyKind::Tree => {
+            for i in 1..n {
+                builder
+                    .add_link(HostId(i as u32), HostId(((i - 1) / 2) as u32))
+                    .expect("tree links are unique");
+            }
+        }
+        TopologyKind::Random => {
+            // Spanning path through a random permutation keeps the instance
+            // connected, then top up to the target link count.
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            for i in (1..n).rev() {
+                perm.swap(i, rng.gen_range(0..=i));
+            }
+            for w in perm.windows(2) {
+                builder.add_link(HostId(w[0]), HostId(w[1])).expect("path links are unique");
+            }
+            let target = (n * config.mean_degree / 2).max(n - 1);
+            let mut added = n - 1;
+            let mut attempts = 0usize;
+            let max_attempts = target.saturating_mul(20) + 1000;
+            while added < target && attempts < max_attempts {
+                attempts += 1;
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b && builder.add_link(HostId(a), HostId(b)).is_ok() {
+                    added += 1;
+                }
+            }
+        }
+        TopologyKind::ScaleFree => {
+            // Barabási–Albert: each new node attaches to `m` distinct
+            // existing nodes chosen proportionally to degree.
+            let m = (config.mean_degree / 2).max(1);
+            // Repeated-endpoint list realizes preferential attachment.
+            let mut endpoints: Vec<u32> = vec![0];
+            for i in 1..n as u32 {
+                let mut chosen = std::collections::BTreeSet::new();
+                let attach = m.min(i as usize);
+                let mut guard = 0;
+                while chosen.len() < attach && guard < 100 * attach + 100 {
+                    guard += 1;
+                    let pick = endpoints[rng.gen_range(0..endpoints.len())];
+                    chosen.insert(pick);
+                }
+                // Fall back to uniform picks if the degree list is too
+                // concentrated to produce `attach` distinct endpoints.
+                while chosen.len() < attach {
+                    chosen.insert(rng.gen_range(0..i));
+                }
+                for &t in &chosen {
+                    let _ = builder.add_link(HostId(i), HostId(t));
+                    endpoints.push(t);
+                    endpoints.push(i);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the vendor-clustered synthetic similarity matrix (module docs).
+fn synthetic_similarity(
+    catalog: &Catalog,
+    config: &RandomNetworkConfig,
+    rng: &mut StdRng,
+) -> ProductSimilarity {
+    let n = catalog.product_count();
+    let vendors = config.vendors_per_service.clamp(1, config.products_per_service);
+    let vendor_of = |p: ProductId| -> usize {
+        // Products are registered service-major; position within the service
+        // determines the vendor bucket.
+        let within = p.index() % config.products_per_service;
+        within % vendors
+    };
+    let mut values = vec![0.0; n * n];
+    for (pa, a) in catalog.iter_products() {
+        values[pa.index() * n + pa.index()] = 1.0;
+        for (pb, b) in catalog.iter_products() {
+            if pb.index() <= pa.index() || a.service() != b.service() {
+                continue;
+            }
+            let s = if vendor_of(pa) == vendor_of(pb) {
+                rng.gen_range(0.2..0.7)
+            } else {
+                rng.gen_range(0.0..0.05)
+            };
+            values[pa.index() * n + pb.index()] = s;
+            values[pb.index() * n + pa.index()] = s;
+        }
+    }
+    ProductSimilarity::from_dense(n, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomNetworkConfig::default();
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.similarity, b.similarity);
+        let c = generate(&cfg, 43);
+        assert_ne!(a.network.links(), c.network.links());
+    }
+
+    #[test]
+    fn random_topology_hits_target_degree() {
+        let cfg = RandomNetworkConfig {
+            hosts: 500,
+            mean_degree: 10,
+            services: 2,
+            products_per_service: 3,
+            ..RandomNetworkConfig::default()
+        };
+        let g = generate(&cfg, 1);
+        assert_eq!(g.network.host_count(), 500);
+        let mean = g.network.mean_degree();
+        assert!((mean - 10.0).abs() < 1.0, "mean degree {mean} should be ≈10");
+        // Connected by construction.
+        assert_eq!(g.network.reachable_from(HostId(0)).len(), 500);
+    }
+
+    #[test]
+    fn ring_and_tree_shapes() {
+        let ring = generate(
+            &RandomNetworkConfig {
+                hosts: 10,
+                topology: TopologyKind::Ring,
+                services: 1,
+                products_per_service: 2,
+                ..RandomNetworkConfig::default()
+            },
+            0,
+        );
+        assert_eq!(ring.network.link_count(), 10);
+        assert!(ring.network.iter_hosts().all(|(id, _)| ring.network.degree(id) == 2));
+
+        let tree = generate(
+            &RandomNetworkConfig {
+                hosts: 15,
+                topology: TopologyKind::Tree,
+                services: 1,
+                products_per_service: 2,
+                ..RandomNetworkConfig::default()
+            },
+            0,
+        );
+        assert_eq!(tree.network.link_count(), 14); // n-1 edges
+        assert_eq!(tree.network.reachable_from(HostId(0)).len(), 15);
+    }
+
+    #[test]
+    fn scale_free_has_hubs() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 300,
+                mean_degree: 4,
+                services: 1,
+                products_per_service: 2,
+                topology: TopologyKind::ScaleFree,
+                ..RandomNetworkConfig::default()
+            },
+            7,
+        );
+        let max_degree =
+            g.network.iter_hosts().map(|(id, _)| g.network.degree(id)).max().unwrap();
+        let mean = g.network.mean_degree();
+        assert!(
+            max_degree as f64 > 4.0 * mean,
+            "scale-free max degree {max_degree} should dwarf mean {mean}"
+        );
+    }
+
+    #[test]
+    fn catalog_and_similarity_shape() {
+        let cfg = RandomNetworkConfig {
+            hosts: 10,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            ..RandomNetworkConfig::default()
+        };
+        let g = generate(&cfg, 5);
+        assert_eq!(g.catalog.service_count(), 3);
+        assert_eq!(g.catalog.product_count(), 12);
+        assert_eq!(g.similarity.len(), 12);
+        // Same-vendor similarity dominates cross-vendor within a service:
+        // products 0 and 2 of service 0 share vendor 0; 0 and 1 do not.
+        let same = g.similarity.get(ProductId(0), ProductId(2));
+        let cross = g.similarity.get(ProductId(0), ProductId(1));
+        assert!(same >= 0.2);
+        assert!(cross < 0.05);
+        // Cross-service is always zero.
+        assert_eq!(g.similarity.get(ProductId(0), ProductId(4)), 0.0);
+    }
+
+    #[test]
+    fn every_host_runs_every_service() {
+        let cfg = RandomNetworkConfig {
+            hosts: 20,
+            services: 5,
+            ..RandomNetworkConfig::default()
+        };
+        let g = generate(&cfg, 9);
+        for (_, host) in g.network.iter_hosts() {
+            assert_eq!(host.services().len(), 5);
+        }
+        assert_eq!(g.network.slot_count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_rejected() {
+        generate(
+            &RandomNetworkConfig {
+                hosts: 0,
+                ..RandomNetworkConfig::default()
+            },
+            0,
+        );
+    }
+}

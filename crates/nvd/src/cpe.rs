@@ -1,0 +1,321 @@
+//! Common Platform Enumeration (CPE) 2.2 URIs.
+//!
+//! NVD entries identify affected products by CPE names such as
+//! `cpe:/o:microsoft:windows_7` or `cpe:/a:google:chrome:50.0`. The paper
+//! (Section III) relies on CPE both to bucket vulnerabilities per product and
+//! to treat distinct versions as distinct products. This module implements
+//! the small, well-formed subset of CPE 2.2 that the pipeline needs: the
+//! `part`, `vendor`, `product` and optional `version` components.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// The `part` component of a CPE name: application, operating system or hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Part {
+    /// `a` — an application (browsers, database servers, SCADA software, ...).
+    Application,
+    /// `o` — an operating system.
+    OperatingSystem,
+    /// `h` — a hardware device (PLCs, RTUs, ...).
+    Hardware,
+}
+
+impl Part {
+    /// The single-letter CPE code for this part.
+    pub fn code(self) -> char {
+        match self {
+            Part::Application => 'a',
+            Part::OperatingSystem => 'o',
+            Part::Hardware => 'h',
+        }
+    }
+
+    /// Parses a single-letter CPE part code.
+    pub fn from_code(c: char) -> Option<Part> {
+        match c {
+            'a' => Some(Part::Application),
+            'o' => Some(Part::OperatingSystem),
+            'h' => Some(Part::Hardware),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Part {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// A parsed CPE 2.2 URI naming a product, e.g. `cpe:/o:microsoft:windows_7`.
+///
+/// The version component is optional; a CPE without a version (or with the
+/// NVD convention `-`) matches every version of the product under
+/// [`Cpe::matches`] prefix semantics.
+///
+/// ```
+/// use nvd::cpe::{Cpe, Part};
+///
+/// # fn main() -> Result<(), nvd::Error> {
+/// let cpe: Cpe = "cpe:/a:google:chrome:50.0".parse()?;
+/// assert_eq!(cpe.part(), Part::Application);
+/// assert_eq!(cpe.vendor(), "google");
+/// assert_eq!(cpe.product(), "chrome");
+/// assert_eq!(cpe.version(), Some("50.0"));
+/// assert_eq!(cpe.to_string(), "cpe:/a:google:chrome:50.0");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cpe {
+    part: Part,
+    vendor: String,
+    product: String,
+    version: Option<String>,
+}
+
+impl Cpe {
+    /// Creates a CPE from components. Components are lower-cased; spaces are
+    /// replaced with underscores, matching NVD conventions.
+    pub fn new(part: Part, vendor: &str, product: &str, version: Option<&str>) -> Cpe {
+        Cpe {
+            part,
+            vendor: normalize(vendor),
+            product: normalize(product),
+            version: version.map(normalize),
+        }
+    }
+
+    /// Convenience constructor for an application CPE.
+    pub fn application(vendor: &str, product: &str) -> Cpe {
+        Cpe::new(Part::Application, vendor, product, None)
+    }
+
+    /// Convenience constructor for an operating-system CPE.
+    pub fn operating_system(vendor: &str, product: &str) -> Cpe {
+        Cpe::new(Part::OperatingSystem, vendor, product, None)
+    }
+
+    /// Convenience constructor for a hardware CPE.
+    pub fn hardware(vendor: &str, product: &str) -> Cpe {
+        Cpe::new(Part::Hardware, vendor, product, None)
+    }
+
+    /// Returns a copy of this CPE with the given version component.
+    pub fn with_version(&self, version: &str) -> Cpe {
+        Cpe {
+            version: Some(normalize(version)),
+            ..self.clone()
+        }
+    }
+
+    /// The part (application / OS / hardware).
+    pub fn part(&self) -> Part {
+        self.part
+    }
+
+    /// The vendor component.
+    pub fn vendor(&self) -> &str {
+        &self.vendor
+    }
+
+    /// The product component.
+    pub fn product(&self) -> &str {
+        &self.product
+    }
+
+    /// The version component, if present. The NVD "any version" marker `-`
+    /// is normalized away at parse time and reported as `None`.
+    pub fn version(&self) -> Option<&str> {
+        self.version.as_deref()
+    }
+
+    /// Prefix matching: `query.matches(entry)` is true when every component
+    /// present in `query` equals the corresponding component of `entry`.
+    ///
+    /// A version-less query therefore matches all versions — this is exactly
+    /// how the paper buckets "Windows 7" vulnerabilities with a
+    /// `cpe:/o:microsoft:windows_7` query.
+    ///
+    /// ```
+    /// use nvd::cpe::Cpe;
+    /// # fn main() -> Result<(), nvd::Error> {
+    /// let query: Cpe = "cpe:/a:google:chrome".parse()?;
+    /// let entry: Cpe = "cpe:/a:google:chrome:50.0".parse()?;
+    /// assert!(query.matches(&entry));
+    /// assert!(!entry.matches(&query)); // versioned query requires the version
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matches(&self, entry: &Cpe) -> bool {
+        if self.part != entry.part || self.vendor != entry.vendor || self.product != entry.product
+        {
+            return false;
+        }
+        match &self.version {
+            None => true,
+            Some(v) => entry.version.as_deref() == Some(v.as_str()),
+        }
+    }
+
+    /// The version-less product key, used to group all versions of a product.
+    pub fn product_key(&self) -> Cpe {
+        Cpe {
+            part: self.part,
+            vendor: self.vendor.clone(),
+            product: self.product.clone(),
+            version: None,
+        }
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.trim().to_ascii_lowercase().replace([' ', '\t'], "_")
+}
+
+impl fmt::Display for Cpe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpe:/{}:{}:{}", self.part, self.vendor, self.product)?;
+        if let Some(v) = &self.version {
+            write!(f, ":{v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Cpe {
+    type Err = Error;
+
+    /// Parses a CPE 2.2 URI of the form
+    /// `cpe:/{part}:{vendor}:{product}[:{version}[:...]]`.
+    ///
+    /// Trailing components beyond the version (update, edition, language) are
+    /// accepted and ignored; the NVD "any" marker `-` or an empty version is
+    /// treated as no version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParseCpe`] if the prefix, part code, or a mandatory
+    /// component is missing.
+    fn from_str(s: &str) -> Result<Cpe, Error> {
+        let err = |reason| Error::ParseCpe {
+            input: s.to_owned(),
+            reason,
+        };
+        let rest = s
+            .trim()
+            .strip_prefix("cpe:/")
+            .ok_or_else(|| err("missing `cpe:/` prefix"))?;
+        let mut parts = rest.split(':');
+        let part_str = parts.next().ok_or_else(|| err("missing part"))?;
+        if part_str.chars().count() != 1 {
+            return Err(err("part must be a single character (a, o or h)"));
+        }
+        let part = Part::from_code(part_str.chars().next().unwrap())
+            .ok_or_else(|| err("part must be one of a, o, h"))?;
+        let vendor = parts.next().filter(|v| !v.is_empty()).ok_or_else(|| err("missing vendor"))?;
+        let product =
+            parts.next().filter(|p| !p.is_empty()).ok_or_else(|| err("missing product"))?;
+        let version = parts.next().filter(|v| !v.is_empty() && *v != "-");
+        Ok(Cpe::new(part, vendor, product, version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_os_cpe() {
+        let cpe: Cpe = "cpe:/o:microsoft:windows_7".parse().unwrap();
+        assert_eq!(cpe.part(), Part::OperatingSystem);
+        assert_eq!(cpe.vendor(), "microsoft");
+        assert_eq!(cpe.product(), "windows_7");
+        assert_eq!(cpe.version(), None);
+    }
+
+    #[test]
+    fn parse_versioned_cpe_and_roundtrip() {
+        let cpe: Cpe = "cpe:/a:mozilla:firefox:45.0".parse().unwrap();
+        assert_eq!(cpe.version(), Some("45.0"));
+        let reparsed: Cpe = cpe.to_string().parse().unwrap();
+        assert_eq!(cpe, reparsed);
+    }
+
+    #[test]
+    fn parse_dash_version_is_any() {
+        // NVD uses `-` as in `cpe:/a:microsoft:edge:-` for "any version".
+        let cpe: Cpe = "cpe:/a:microsoft:edge:-".parse().unwrap();
+        assert_eq!(cpe.version(), None);
+    }
+
+    #[test]
+    fn parse_ignores_trailing_components() {
+        let cpe: Cpe = "cpe:/o:canonical:ubuntu_linux:14.04:lts:~~~x64~~".parse().unwrap();
+        assert_eq!(cpe.version(), Some("14.04"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<Cpe>().is_err());
+        assert!("cpe:/x:a:b".parse::<Cpe>().is_err());
+        assert!("cpe:/a".parse::<Cpe>().is_err());
+        assert!("cpe:/a:vendor".parse::<Cpe>().is_err());
+        assert!("cpe:2.3:a:vendor:product".parse::<Cpe>().is_err());
+        assert!("cpe:/aa:vendor:product".parse::<Cpe>().is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_input() {
+        let err = "bogus".parse::<Cpe>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn normalization_lowercases_and_underscores() {
+        let cpe = Cpe::new(Part::Application, "Microsoft", "Internet Explorer", Some("8"));
+        assert_eq!(cpe.vendor(), "microsoft");
+        assert_eq!(cpe.product(), "internet_explorer");
+        assert_eq!(cpe.to_string(), "cpe:/a:microsoft:internet_explorer:8");
+    }
+
+    #[test]
+    fn prefix_matching_semantics() {
+        let any: Cpe = "cpe:/o:microsoft:windows_10".parse().unwrap();
+        let v1 = any.with_version("1607");
+        let v2 = any.with_version("1703");
+        assert!(any.matches(&v1));
+        assert!(any.matches(&v2));
+        assert!(any.matches(&any));
+        assert!(!v1.matches(&v2));
+        assert!(!v1.matches(&any));
+        let other: Cpe = "cpe:/o:microsoft:windows_8.1".parse().unwrap();
+        assert!(!any.matches(&other));
+    }
+
+    #[test]
+    fn product_key_strips_version() {
+        let v: Cpe = "cpe:/a:google:chrome:50.0".parse().unwrap();
+        assert_eq!(v.product_key().to_string(), "cpe:/a:google:chrome");
+    }
+
+    #[test]
+    fn part_codes_roundtrip() {
+        for part in [Part::Application, Part::OperatingSystem, Part::Hardware] {
+            assert_eq!(Part::from_code(part.code()), Some(part));
+        }
+        assert_eq!(Part::from_code('z'), None);
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let a: Cpe = "cpe:/a:google:chrome".parse().unwrap();
+        let o: Cpe = "cpe:/o:google:chrome".parse().unwrap();
+        assert!(a < o); // Application sorts before OperatingSystem
+    }
+}

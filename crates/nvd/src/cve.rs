@@ -1,0 +1,246 @@
+//! CVE identifiers and vulnerability entries.
+//!
+//! A [`CveEntry`] is the unit stored in the [`crate::database`]: an
+//! identifier, a publication year, the list of affected products (CPEs) and
+//! an optional severity score — the minimal slice of an NVD record that the
+//! paper's similarity pipeline consumes (cf. Table I of the paper, which
+//! shows CVE-2016-7153 affecting six different browsers).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::Cpe;
+use crate::Error;
+
+/// A CVE identifier, e.g. `CVE-2016-7153`.
+///
+/// ```
+/// use nvd::cve::CveId;
+/// # fn main() -> Result<(), nvd::Error> {
+/// let id: CveId = "CVE-2016-7153".parse()?;
+/// assert_eq!(id.year(), 2016);
+/// assert_eq!(id.sequence(), 7153);
+/// assert_eq!(id.to_string(), "CVE-2016-7153");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CveId {
+    year: u16,
+    sequence: u32,
+}
+
+impl CveId {
+    /// Creates a CVE identifier from its year and sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCveId`] when `year` is before 1988 (the first
+    /// CVE-numbered year) or the sequence is zero.
+    pub fn new(year: u16, sequence: u32) -> Result<CveId, Error> {
+        if year < 1988 || sequence == 0 {
+            return Err(Error::InvalidCveId { year, sequence });
+        }
+        Ok(CveId { year, sequence })
+    }
+
+    /// The year component.
+    pub fn year(self) -> u16 {
+        self.year
+    }
+
+    /// The sequence component.
+    pub fn sequence(self) -> u32 {
+        self.sequence
+    }
+}
+
+impl fmt::Display for CveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // NVD zero-pads sequences to at least four digits.
+        write!(f, "CVE-{}-{:04}", self.year, self.sequence)
+    }
+}
+
+impl FromStr for CveId {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<CveId, Error> {
+        let err = |reason| Error::ParseCveId {
+            input: s.to_owned(),
+            reason,
+        };
+        let rest = s
+            .trim()
+            .strip_prefix("CVE-")
+            .ok_or_else(|| err("missing `CVE-` prefix"))?;
+        let (year_str, seq_str) = rest.split_once('-').ok_or_else(|| err("missing sequence"))?;
+        let year: u16 = year_str.parse().map_err(|_| err("year is not a number"))?;
+        let sequence: u32 = seq_str.parse().map_err(|_| err("sequence is not a number"))?;
+        CveId::new(year, sequence)
+    }
+}
+
+/// Severity of a vulnerability on the CVSS 0–10 scale.
+///
+/// Stored but not interpreted by the similarity metric; kept so downstream
+/// consumers (e.g. weighting experiments) can use it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Cvss(f64);
+
+impl Cvss {
+    /// Creates a CVSS score, clamped into the valid `[0, 10]` range.
+    pub fn new(score: f64) -> Cvss {
+        Cvss(score.clamp(0.0, 10.0))
+    }
+
+    /// The numeric score.
+    pub fn score(self) -> f64 {
+        self.0
+    }
+}
+
+/// One vulnerability record: identifier, publication year, affected products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CveEntry {
+    id: CveId,
+    published: u16,
+    affected: Vec<Cpe>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    cvss: Option<Cvss>,
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    description: String,
+}
+
+impl CveEntry {
+    /// Creates an entry. Duplicate affected CPEs are removed, preserving the
+    /// first occurrence, so that an entry never double-counts a product.
+    pub fn new(id: CveId, published: u16, affected: Vec<Cpe>) -> CveEntry {
+        let mut seen = std::collections::HashSet::new();
+        let affected = affected.into_iter().filter(|c| seen.insert(c.clone())).collect();
+        CveEntry {
+            id,
+            published,
+            affected,
+            cvss: None,
+            description: String::new(),
+        }
+    }
+
+    /// Sets the CVSS severity score.
+    pub fn with_cvss(mut self, score: f64) -> CveEntry {
+        self.cvss = Some(Cvss::new(score));
+        self
+    }
+
+    /// Sets a human-readable description.
+    pub fn with_description(mut self, description: &str) -> CveEntry {
+        self.description = description.to_owned();
+        self
+    }
+
+    /// The CVE identifier.
+    pub fn id(&self) -> CveId {
+        self.id
+    }
+
+    /// Year the vulnerability was published.
+    pub fn published(&self) -> u16 {
+        self.published
+    }
+
+    /// The affected products (CPEs), deduplicated.
+    pub fn affected(&self) -> &[Cpe] {
+        &self.affected
+    }
+
+    /// The CVSS score, if recorded.
+    pub fn cvss(&self) -> Option<Cvss> {
+        self.cvss
+    }
+
+    /// The description (may be empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Whether any affected CPE is matched by `query` (prefix semantics).
+    pub fn affects(&self, query: &Cpe) -> bool {
+        self.affected.iter().any(|c| query.matches(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cve_id_parse_and_display() {
+        let id: CveId = "CVE-2016-7153".parse().unwrap();
+        assert_eq!(id, CveId::new(2016, 7153).unwrap());
+        assert_eq!(id.to_string(), "CVE-2016-7153");
+    }
+
+    #[test]
+    fn cve_id_zero_pads_short_sequences() {
+        let id = CveId::new(1999, 42).unwrap();
+        assert_eq!(id.to_string(), "CVE-1999-0042");
+        assert_eq!("CVE-1999-0042".parse::<CveId>().unwrap(), id);
+    }
+
+    #[test]
+    fn cve_id_rejects_garbage() {
+        assert!("CVE-".parse::<CveId>().is_err());
+        assert!("CVE-notayear-1".parse::<CveId>().is_err());
+        assert!("CVE-2016-".parse::<CveId>().is_err());
+        assert!("cve-2016-7153".parse::<CveId>().is_err());
+        assert!(CveId::new(1970, 1).is_err());
+        assert!(CveId::new(2016, 0).is_err());
+    }
+
+    #[test]
+    fn cve_ids_order_chronologically() {
+        let a = CveId::new(2015, 9999).unwrap();
+        let b = CveId::new(2016, 1).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn entry_deduplicates_affected() {
+        let chrome: Cpe = "cpe:/a:google:chrome".parse().unwrap();
+        let entry = CveEntry::new(
+            CveId::new(2016, 1).unwrap(),
+            2016,
+            vec![chrome.clone(), chrome.clone()],
+        );
+        assert_eq!(entry.affected().len(), 1);
+    }
+
+    #[test]
+    fn entry_affects_uses_prefix_matching() {
+        let versioned: Cpe = "cpe:/a:google:chrome:50.0".parse().unwrap();
+        let entry = CveEntry::new(CveId::new(2016, 2).unwrap(), 2016, vec![versioned]);
+        let query: Cpe = "cpe:/a:google:chrome".parse().unwrap();
+        assert!(entry.affects(&query));
+        let other: Cpe = "cpe:/a:mozilla:firefox".parse().unwrap();
+        assert!(!entry.affects(&other));
+    }
+
+    #[test]
+    fn cvss_clamps() {
+        assert_eq!(Cvss::new(11.0).score(), 10.0);
+        assert_eq!(Cvss::new(-3.0).score(), 0.0);
+        assert_eq!(Cvss::new(7.5).score(), 7.5);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let entry = CveEntry::new(CveId::new(2016, 7153).unwrap(), 2016, vec![])
+            .with_cvss(4.3)
+            .with_description("browser history sniffing");
+        assert_eq!(entry.cvss().unwrap().score(), 4.3);
+        assert!(entry.description().contains("sniffing"));
+    }
+}

@@ -1,0 +1,333 @@
+//! The indexed vulnerability store.
+//!
+//! [`VulnerabilityDatabase`] plays the role of the authors' CVE-SEARCH-based
+//! tooling: it ingests CVE entries and answers the two queries the similarity
+//! pipeline needs — *the vulnerability set of a product* (by CPE prefix
+//! query) and *the Jaccard similarity of two products* (paper Definition 1).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cpe::Cpe;
+use crate::cve::{CveEntry, CveId};
+use crate::similarity::{jaccard, weighted_jaccard, SimilarityTable};
+
+/// An in-memory NVD-like database indexed by product.
+///
+/// ```
+/// use nvd::cpe::Cpe;
+/// use nvd::cve::{CveEntry, CveId};
+/// use nvd::database::VulnerabilityDatabase;
+///
+/// # fn main() -> Result<(), nvd::Error> {
+/// let mut db = VulnerabilityDatabase::new();
+/// let ie: Cpe = "cpe:/a:microsoft:internet_explorer:8".parse()?;
+/// let edge: Cpe = "cpe:/a:microsoft:edge".parse()?;
+/// db.insert(CveEntry::new(CveId::new(2016, 7153)?, 2016, vec![ie.clone(), edge.clone()]));
+/// db.insert(CveEntry::new(CveId::new(2016, 3351)?, 2016, vec![ie.clone()]));
+///
+/// assert_eq!(db.vulnerabilities_of(&ie).len(), 2);
+/// assert_eq!(db.shared_count(&ie, &edge), 1);
+/// assert!((db.similarity(&ie, &edge) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VulnerabilityDatabase {
+    entries: BTreeMap<CveId, CveEntry>,
+    // Exact-CPE inverted index: CPE as stored in entries -> CVE ids.
+    by_cpe: BTreeMap<Cpe, BTreeSet<CveId>>,
+}
+
+impl VulnerabilityDatabase {
+    /// Creates an empty database.
+    pub fn new() -> VulnerabilityDatabase {
+        VulnerabilityDatabase::default()
+    }
+
+    /// Builds a database from an iterator of entries.
+    pub fn from_entries<I: IntoIterator<Item = CveEntry>>(entries: I) -> VulnerabilityDatabase {
+        let mut db = VulnerabilityDatabase::new();
+        db.extend(entries);
+        db
+    }
+
+    /// Inserts an entry, replacing any previous entry with the same id.
+    /// Returns the replaced entry, if any.
+    pub fn insert(&mut self, entry: CveEntry) -> Option<CveEntry> {
+        let prev = self.entries.remove(&entry.id());
+        if let Some(old) = &prev {
+            for cpe in old.affected() {
+                if let Some(set) = self.by_cpe.get_mut(cpe) {
+                    set.remove(&old.id());
+                    if set.is_empty() {
+                        self.by_cpe.remove(cpe);
+                    }
+                }
+            }
+        }
+        for cpe in entry.affected() {
+            self.by_cpe.entry(cpe.clone()).or_default().insert(entry.id());
+        }
+        self.entries.insert(entry.id(), entry);
+        prev
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by id.
+    pub fn get(&self, id: CveId) -> Option<&CveEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Iterates over all entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CveEntry> {
+        self.entries.values()
+    }
+
+    /// The set of CVE ids whose affected list contains a CPE matched by
+    /// `query` (prefix semantics — a version-less query aggregates all
+    /// versions, exactly like the paper's CPE search buckets).
+    pub fn vulnerabilities_of(&self, query: &Cpe) -> BTreeSet<CveId> {
+        // Range over the inverted index: all stored CPEs sharing the
+        // (part, vendor, product) triple sort contiguously because version
+        // is the last sort key.
+        let lo = query.product_key();
+        self.by_cpe
+            .range(lo.clone()..)
+            .take_while(|(cpe, _)| cpe.product_key() == lo)
+            .filter(|(cpe, _)| query.matches(cpe))
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+
+    /// Number of vulnerabilities affecting `query`.
+    pub fn vulnerability_count(&self, query: &Cpe) -> usize {
+        self.vulnerabilities_of(query).len()
+    }
+
+    /// Number of vulnerabilities shared by two products.
+    pub fn shared_count(&self, a: &Cpe, b: &Cpe) -> usize {
+        let va = self.vulnerabilities_of(a);
+        let vb = self.vulnerabilities_of(b);
+        va.intersection(&vb).count()
+    }
+
+    /// The Jaccard vulnerability similarity of two products
+    /// (paper Definition 1): `|Va ∩ Vb| / |Va ∪ Vb|`.
+    ///
+    /// Returns 0 when both products have empty vulnerability sets; the paper
+    /// never divides by zero because it only tabulates products with CVEs,
+    /// but a library must define the corner case.
+    pub fn similarity(&self, a: &Cpe, b: &Cpe) -> f64 {
+        let va = self.vulnerabilities_of(a);
+        let vb = self.vulnerabilities_of(b);
+        jaccard(&va, &vb)
+    }
+
+    /// CVSS-weighted vulnerability similarity: shared vulnerabilities count
+    /// proportionally to their severity score (unscored entries weigh 0).
+    /// See [`crate::similarity::weighted_jaccard`].
+    pub fn weighted_similarity(&self, a: &Cpe, b: &Cpe) -> f64 {
+        let va = self.vulnerabilities_of(a);
+        let vb = self.vulnerabilities_of(b);
+        let weights: std::collections::BTreeMap<CveId, f64> = va
+            .union(&vb)
+            .filter_map(|&id| {
+                self.get(id).and_then(|e| e.cvss()).map(|c| (id, c.score()))
+            })
+            .collect();
+        weighted_jaccard(&va, &vb, &weights)
+    }
+
+    /// Restricts the database to entries published in `[from, to]` inclusive
+    /// — the paper uses the 1999–2016 window.
+    pub fn filter_years(&self, from: u16, to: u16) -> VulnerabilityDatabase {
+        VulnerabilityDatabase::from_entries(
+            self.iter().filter(|e| e.published() >= from && e.published() <= to).cloned(),
+        )
+    }
+
+    /// Builds a dense similarity table over the given products (named by
+    /// display strings), the artifact the optimizer consumes. Product names
+    /// are the CPE display strings unless `names` supplies shorter labels.
+    pub fn similarity_table(&self, products: &[(String, Cpe)]) -> SimilarityTable {
+        let names: Vec<String> = products.iter().map(|(n, _)| n.clone()).collect();
+        let sets: Vec<BTreeSet<CveId>> =
+            products.iter().map(|(_, c)| self.vulnerabilities_of(c)).collect();
+        let mut table = SimilarityTable::identity(&names);
+        for i in 0..products.len() {
+            for j in (i + 1)..products.len() {
+                let s = jaccard(&sets[i], &sets[j]);
+                table.set(i, j, s);
+            }
+        }
+        for (i, set) in sets.iter().enumerate() {
+            table.set_vuln_count(i, set.len());
+        }
+        table
+    }
+}
+
+impl Extend<CveEntry> for VulnerabilityDatabase {
+    fn extend<I: IntoIterator<Item = CveEntry>>(&mut self, entries: I) {
+        for e in entries {
+            self.insert(e);
+        }
+    }
+}
+
+impl FromIterator<CveEntry> for VulnerabilityDatabase {
+    fn from_iter<I: IntoIterator<Item = CveEntry>>(entries: I) -> Self {
+        VulnerabilityDatabase::from_entries(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cve::CveId;
+
+    fn cpe(s: &str) -> Cpe {
+        s.parse().unwrap()
+    }
+
+    fn entry(year: u16, seq: u32, affected: &[&str]) -> CveEntry {
+        CveEntry::new(
+            CveId::new(year, seq).unwrap(),
+            year,
+            affected.iter().map(|s| cpe(s)).collect(),
+        )
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = VulnerabilityDatabase::new();
+        assert!(db.is_empty());
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome")), 0);
+        assert_eq!(db.similarity(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")), 0.0);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/a:google:chrome:50.0", "cpe:/a:mozilla:firefox"]));
+        db.insert(entry(2016, 2, &["cpe:/a:google:chrome:49.0"]));
+        // Version-less query aggregates versions.
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome")), 2);
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome:50.0")), 1);
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:mozilla:firefox")), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_reindexes() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/a:google:chrome"]));
+        let prev = db.insert(entry(2016, 1, &["cpe:/a:mozilla:firefox"]));
+        assert!(prev.is_some());
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome")), 0);
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/a:mozilla:firefox")), 1);
+    }
+
+    #[test]
+    fn similarity_matches_hand_computation() {
+        let mut db = VulnerabilityDatabase::new();
+        // chrome: {1,2,3}; firefox: {2,3,4} -> intersection 2, union 4 -> 0.5
+        db.insert(entry(2016, 1, &["cpe:/a:google:chrome"]));
+        db.insert(entry(2016, 2, &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"]));
+        db.insert(entry(2016, 3, &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"]));
+        db.insert(entry(2016, 4, &["cpe:/a:mozilla:firefox"]));
+        let s = db.similarity(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox"));
+        assert!((s - 0.5).abs() < 1e-12);
+        assert_eq!(db.shared_count(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")), 2);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_reflexive() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/a:google:chrome", "cpe:/a:apple:safari"]));
+        db.insert(entry(2016, 2, &["cpe:/a:google:chrome"]));
+        let c = cpe("cpe:/a:google:chrome");
+        let s = cpe("cpe:/a:apple:safari");
+        assert_eq!(db.similarity(&c, &s), db.similarity(&s, &c));
+        assert_eq!(db.similarity(&c, &c), 1.0);
+    }
+
+    #[test]
+    fn filter_years_window() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(1998, 5, &["cpe:/o:microsoft:windows_xp"]));
+        db.insert(entry(2005, 6, &["cpe:/o:microsoft:windows_xp"]));
+        db.insert(entry(2020, 7, &["cpe:/o:microsoft:windows_xp"]));
+        let windowed = db.filter_years(1999, 2016);
+        assert_eq!(windowed.len(), 1);
+        assert_eq!(windowed.vulnerability_count(&cpe("cpe:/o:microsoft:windows_xp")), 1);
+    }
+
+    #[test]
+    fn similarity_table_construction() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/a:x:p1", "cpe:/a:x:p2"]));
+        db.insert(entry(2016, 2, &["cpe:/a:x:p1"]));
+        db.insert(entry(2016, 3, &["cpe:/a:x:p3"]));
+        let products = vec![
+            ("p1".to_owned(), cpe("cpe:/a:x:p1")),
+            ("p2".to_owned(), cpe("cpe:/a:x:p2")),
+            ("p3".to_owned(), cpe("cpe:/a:x:p3")),
+        ];
+        let table = db.similarity_table(&products);
+        assert!((table.get_by_name("p1", "p2").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(table.get_by_name("p1", "p3").unwrap(), 0.0);
+        assert_eq!(table.get_by_name("p1", "p1").unwrap(), 1.0);
+        assert_eq!(table.vuln_count(0), Some(2));
+        assert_eq!(table.vuln_count(2), Some(1));
+    }
+
+    #[test]
+    fn weighted_similarity_emphasizes_severe_overlap() {
+        let mut db = VulnerabilityDatabase::new();
+        // Shared critical CVE, plus one low-severity exclusive each.
+        db.insert(
+            entry(2016, 1, &["cpe:/a:x:p1", "cpe:/a:x:p2"]).with_cvss(9.8),
+        );
+        db.insert(entry(2016, 2, &["cpe:/a:x:p1"]).with_cvss(2.0));
+        db.insert(entry(2016, 3, &["cpe:/a:x:p2"]).with_cvss(2.0));
+        let p1 = cpe("cpe:/a:x:p1");
+        let p2 = cpe("cpe:/a:x:p2");
+        let plain = db.similarity(&p1, &p2);
+        let weighted = db.weighted_similarity(&p1, &p2);
+        assert!((plain - 1.0 / 3.0).abs() < 1e-12);
+        assert!((weighted - 9.8 / 13.8).abs() < 1e-12);
+        assert!(weighted > plain);
+        // Symmetry is preserved.
+        assert_eq!(weighted, db.weighted_similarity(&p2, &p1));
+    }
+
+    #[test]
+    fn weighted_similarity_without_scores_is_zero() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/a:x:p1", "cpe:/a:x:p2"]));
+        assert_eq!(
+            db.weighted_similarity(&cpe("cpe:/a:x:p1"), &cpe("cpe:/a:x:p2")),
+            0.0
+        );
+    }
+
+    #[test]
+    fn prefix_query_does_not_leak_into_other_products() {
+        let mut db = VulnerabilityDatabase::new();
+        db.insert(entry(2016, 1, &["cpe:/o:microsoft:windows_7"]));
+        db.insert(entry(2016, 2, &["cpe:/o:microsoft:windows_7:sp1"]));
+        db.insert(entry(2016, 3, &["cpe:/o:microsoft:windows_8.1"]));
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_7")), 2);
+        assert_eq!(db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_8.1")), 1);
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// Errors produced while parsing or manipulating vulnerability data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A CPE URI string did not conform to the `cpe:/part:vendor:product[:version]` shape.
+    ParseCpe {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason the parse failed.
+        reason: &'static str,
+    },
+    /// A CVE identifier string did not conform to `CVE-YYYY-NNNN`.
+    ParseCveId {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason the parse failed.
+        reason: &'static str,
+    },
+    /// A CVE identifier had an out-of-range component (e.g. year before 1999).
+    InvalidCveId {
+        /// The year component.
+        year: u16,
+        /// The sequence component.
+        sequence: u32,
+    },
+    /// A JSON feed could not be decoded.
+    Json(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParseCpe { input, reason } => {
+                write!(f, "invalid CPE URI {input:?}: {reason}")
+            }
+            Error::ParseCveId { input, reason } => {
+                write!(f, "invalid CVE identifier {input:?}: {reason}")
+            }
+            Error::InvalidCveId { year, sequence } => {
+                write!(f, "CVE identifier out of range: year {year}, sequence {sequence}")
+            }
+            Error::Json(msg) => write!(f, "invalid JSON feed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde_json::Error> for Error {
+    fn from(err: serde_json::Error) -> Self {
+        Error::Json(err.to_string())
+    }
+}

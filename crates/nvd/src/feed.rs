@@ -1,0 +1,235 @@
+//! Synthetic CVE feed generation.
+//!
+//! Tests and benchmarks need NVD-like corpora of arbitrary size with
+//! controllable overlap structure. [`FeedGenerator`] produces seeded,
+//! reproducible feeds that mimic the statistical shape Section III of the
+//! paper observes in real NVD data: products cluster into *families*
+//! (shared code bases: Windows releases, Gecko browsers, ...); a
+//! vulnerability usually affects one product, often several products of one
+//! family, and rarely leaks across families.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cpe::{Cpe, Part};
+use crate::cve::{CveEntry, CveId};
+use crate::database::VulnerabilityDatabase;
+
+/// Configuration for the synthetic feed generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeedConfig {
+    /// Number of product families (disjoint code bases).
+    pub families: usize,
+    /// Products per family (e.g. successive releases).
+    pub products_per_family: usize,
+    /// Total number of CVE entries to generate.
+    pub entries: usize,
+    /// Probability that a vulnerability spreads to each additional product
+    /// *within* the family of its primary product.
+    pub intra_family_spread: f64,
+    /// Probability that a vulnerability also affects one product of a
+    /// *different* family (the rare cross-vendor overlap the paper observes,
+    /// e.g. Fedora/MacOS sharing exactly one CVE).
+    pub cross_family_leak: f64,
+    /// Publication year range (inclusive) assigned uniformly.
+    pub years: (u16, u16),
+}
+
+impl Default for FeedConfig {
+    fn default() -> FeedConfig {
+        FeedConfig {
+            families: 4,
+            products_per_family: 4,
+            entries: 1000,
+            intra_family_spread: 0.3,
+            cross_family_leak: 0.01,
+            years: (1999, 2016),
+        }
+    }
+}
+
+/// A seeded generator of synthetic NVD feeds.
+#[derive(Debug, Clone)]
+pub struct FeedGenerator {
+    config: FeedConfig,
+    rng: StdRng,
+}
+
+impl FeedGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero families, zero products per
+    /// family, or an inverted year range.
+    pub fn new(config: FeedConfig, seed: u64) -> FeedGenerator {
+        assert!(config.families > 0, "feed needs at least one family");
+        assert!(config.products_per_family > 0, "feed needs at least one product per family");
+        assert!(config.years.0 <= config.years.1, "inverted year range");
+        FeedGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The full synthetic product universe, family-major: family `f`,
+    /// release `r` is `cpe:/a:vendor_f:product_f:r`.
+    pub fn products(&self) -> Vec<Cpe> {
+        let mut out = Vec::with_capacity(self.config.families * self.config.products_per_family);
+        for f in 0..self.config.families {
+            for r in 0..self.config.products_per_family {
+                out.push(
+                    Cpe::new(Part::Application, &format!("vendor{f}"), &format!("product{f}"), None)
+                        .with_version(&r.to_string()),
+                );
+            }
+        }
+        out
+    }
+
+    /// Generates the configured number of CVE entries.
+    pub fn generate(&mut self) -> Vec<CveEntry> {
+        let products = self.products();
+        let ppf = self.config.products_per_family;
+        let (y0, y1) = self.config.years;
+        let mut entries = Vec::with_capacity(self.config.entries);
+        for seq in 0..self.config.entries {
+            let year = self.rng.gen_range(y0..=y1);
+            let family = self.rng.gen_range(0..self.config.families);
+            let primary = self.rng.gen_range(0..ppf);
+            let mut affected = vec![products[family * ppf + primary].clone()];
+            for r in 0..ppf {
+                if r != primary && self.rng.gen_bool(self.config.intra_family_spread) {
+                    affected.push(products[family * ppf + r].clone());
+                }
+            }
+            if self.config.families > 1 && self.rng.gen_bool(self.config.cross_family_leak) {
+                let mut other = self.rng.gen_range(0..self.config.families - 1);
+                if other >= family {
+                    other += 1;
+                }
+                let release = self.rng.gen_range(0..ppf);
+                affected.push(products[other * ppf + release].clone());
+            }
+            affected.shuffle(&mut self.rng);
+            let id = CveId::new(year, seq as u32 + 1).expect("generated id is valid");
+            let severity = self.rng.gen_range(2.0..10.0);
+            entries.push(CveEntry::new(id, year, affected).with_cvss(severity));
+        }
+        entries
+    }
+
+    /// Generates and loads a database in one step.
+    pub fn generate_database(&mut self) -> VulnerabilityDatabase {
+        VulnerabilityDatabase::from_entries(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = FeedConfig {
+            entries: 200,
+            ..FeedConfig::default()
+        };
+        let a = FeedGenerator::new(cfg.clone(), 7).generate();
+        let b = FeedGenerator::new(cfg.clone(), 7).generate();
+        let c = FeedGenerator::new(cfg, 8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entry_count_and_year_window() {
+        let cfg = FeedConfig {
+            entries: 150,
+            years: (2005, 2010),
+            ..FeedConfig::default()
+        };
+        let entries = FeedGenerator::new(cfg, 1).generate();
+        assert_eq!(entries.len(), 150);
+        assert!(entries.iter().all(|e| (2005..=2010).contains(&e.published())));
+    }
+
+    #[test]
+    fn intra_family_similarity_exceeds_cross_family() {
+        let cfg = FeedConfig {
+            families: 3,
+            products_per_family: 3,
+            entries: 3000,
+            intra_family_spread: 0.4,
+            cross_family_leak: 0.02,
+            years: (1999, 2016),
+        };
+        let mut gen = FeedGenerator::new(cfg, 42);
+        let products = gen.products();
+        let db = gen.generate_database();
+        // Same-family pair (family 0, releases 0 and 1).
+        let intra = db.similarity(&products[0], &products[1]);
+        // Cross-family pair.
+        let cross = db.similarity(&products[0], &products[3]);
+        assert!(
+            intra > 5.0 * cross.max(1e-9),
+            "intra {intra} should dominate cross {cross}"
+        );
+        assert!(intra > 0.1);
+    }
+
+    #[test]
+    fn zero_leak_means_zero_cross_family_similarity() {
+        let cfg = FeedConfig {
+            families: 2,
+            products_per_family: 2,
+            entries: 500,
+            intra_family_spread: 0.5,
+            cross_family_leak: 0.0,
+            years: (1999, 2016),
+        };
+        let mut gen = FeedGenerator::new(cfg, 3);
+        let products = gen.products();
+        let db = gen.generate_database();
+        assert_eq!(db.similarity(&products[0], &products[2]), 0.0);
+        assert_eq!(db.similarity(&products[1], &products[3]), 0.0);
+    }
+
+    #[test]
+    fn products_universe_size() {
+        let cfg = FeedConfig {
+            families: 5,
+            products_per_family: 7,
+            ..FeedConfig::default()
+        };
+        let gen = FeedGenerator::new(cfg, 0);
+        assert_eq!(gen.products().len(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one family")]
+    fn zero_families_rejected() {
+        FeedGenerator::new(
+            FeedConfig {
+                families: 0,
+                ..FeedConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn similarity_table_from_synthetic_feed() {
+        let mut gen = FeedGenerator::new(FeedConfig::default(), 11);
+        let products = gen.products();
+        let db = gen.generate_database();
+        let named: Vec<(String, Cpe)> =
+            products.iter().map(|c| (c.to_string(), c.clone())).collect();
+        let table = db.similarity_table(&named);
+        assert_eq!(table.len(), products.len());
+        for i in 0..table.len() {
+            assert_eq!(table.get(i, i), 1.0);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! JSON feed import/export.
+//!
+//! NVD publishes its data as JSON feeds; this module provides a compact
+//! NVD-like JSON representation so databases can be persisted, shipped as
+//! fixtures and diffed. The schema is intentionally minimal:
+//!
+//! ```json
+//! {
+//!   "entries": [
+//!     {
+//!       "id": "CVE-2016-7153",
+//!       "published": 2016,
+//!       "affected": ["cpe:/a:microsoft:edge", "cpe:/a:google:chrome"],
+//!       "cvss": 4.3,
+//!       "description": "..."
+//!     }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpe::Cpe;
+use crate::cve::{CveEntry, CveId};
+use crate::database::VulnerabilityDatabase;
+use crate::{Error, Result};
+
+#[derive(Serialize, Deserialize)]
+struct FeedDoc {
+    entries: Vec<EntryDoc>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct EntryDoc {
+    id: String,
+    published: u16,
+    affected: Vec<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    cvss: Option<f64>,
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    description: String,
+}
+
+/// Serializes a database to the JSON feed format.
+///
+/// # Errors
+///
+/// Returns [`Error::Json`] if serialization fails (it cannot for well-formed
+/// databases; the error path exists for API completeness).
+pub fn to_json(db: &VulnerabilityDatabase) -> Result<String> {
+    let doc = FeedDoc {
+        entries: db
+            .iter()
+            .map(|e| EntryDoc {
+                id: e.id().to_string(),
+                published: e.published(),
+                affected: e.affected().iter().map(Cpe::to_string).collect(),
+                cvss: e.cvss().map(|c| c.score()),
+                description: e.description().to_owned(),
+            })
+            .collect(),
+    };
+    Ok(serde_json::to_string_pretty(&doc)?)
+}
+
+/// Parses a JSON feed into a database.
+///
+/// # Errors
+///
+/// Returns [`Error::Json`] for malformed JSON and [`Error::ParseCpe`] /
+/// [`Error::ParseCveId`] for malformed identifiers inside the feed.
+pub fn from_json(json: &str) -> Result<VulnerabilityDatabase> {
+    let doc: FeedDoc = serde_json::from_str(json)?;
+    let mut db = VulnerabilityDatabase::new();
+    for entry in doc.entries {
+        let id: CveId = entry.id.parse()?;
+        let affected = entry
+            .affected
+            .iter()
+            .map(|s| s.parse::<Cpe>())
+            .collect::<std::result::Result<Vec<_>, Error>>()?;
+        let mut e = CveEntry::new(id, entry.published, affected);
+        if let Some(score) = entry.cvss {
+            e = e.with_cvss(score);
+        }
+        if !entry.description.is_empty() {
+            e = e.with_description(&entry.description);
+        }
+        db.insert(e);
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feed::{FeedConfig, FeedGenerator};
+
+    #[test]
+    fn roundtrip_preserves_database() {
+        let mut gen = FeedGenerator::new(
+            FeedConfig {
+                entries: 50,
+                ..FeedConfig::default()
+            },
+            5,
+        );
+        let db = gen.generate_database();
+        let json = to_json(&db).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), db.len());
+        for entry in db.iter() {
+            let restored = back.get(entry.id()).expect("entry survives roundtrip");
+            assert_eq!(restored.published(), entry.published());
+            assert_eq!(restored.affected(), entry.affected());
+        }
+    }
+
+    #[test]
+    fn parses_nvd_style_document() {
+        let json = r#"{
+            "entries": [
+                {
+                    "id": "CVE-2016-7153",
+                    "published": 2016,
+                    "affected": [
+                        "cpe:/a:microsoft:edge:-",
+                        "cpe:/a:microsoft:internet_explorer:-",
+                        "cpe:/a:google:chrome:-",
+                        "cpe:/a:apple:safari",
+                        "cpe:/a:mozilla:firefox",
+                        "cpe:/a:opera:opera_browser:-"
+                    ],
+                    "cvss": 4.3,
+                    "description": "HEIST: HTTP encrypted information can be stolen"
+                }
+            ]
+        }"#;
+        let db = from_json(json).unwrap();
+        assert_eq!(db.len(), 1);
+        let edge: Cpe = "cpe:/a:microsoft:edge".parse().unwrap();
+        let chrome: Cpe = "cpe:/a:google:chrome".parse().unwrap();
+        assert_eq!(db.similarity(&edge, &chrome), 1.0);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{").is_err());
+        assert!(from_json(r#"{"entries": [{"id": "garbage", "published": 2000, "affected": []}]}"#)
+            .is_err());
+        assert!(from_json(
+            r#"{"entries": [{"id": "CVE-2016-1", "published": 2000, "affected": ["nope"]}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_feed() {
+        let db = from_json(r#"{"entries": []}"#).unwrap();
+        assert!(db.is_empty());
+        let json = to_json(&db).unwrap();
+        assert!(json.contains("entries"));
+    }
+}

@@ -1,0 +1,361 @@
+//! The vulnerability-similarity metric (paper Definition 1) and dense
+//! symmetric similarity tables.
+//!
+//! A [`SimilarityTable`] is the artifact the rest of the system consumes: a
+//! symmetric matrix of pairwise Jaccard similarities over a named product
+//! set, with 1.0 on the diagonal (a product is maximally similar to itself —
+//! one exploit compromises both endpoints).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Jaccard similarity coefficient of two sets: `|A ∩ B| / |A ∪ B|`.
+///
+/// Returns 0.0 when both sets are empty (the metric is undefined there; zero
+/// is the conservative "no evidence of shared vulnerabilities" choice).
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// let a: BTreeSet<u32> = [1, 2, 3].into_iter().collect();
+/// let b: BTreeSet<u32> = [2, 3, 4].into_iter().collect();
+/// assert_eq!(nvd::similarity::jaccard(&a, &b), 0.5);
+/// ```
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Severity-weighted Jaccard similarity: `Σ_{v ∈ A∩B} w(v) / Σ_{v ∈ A∪B} w(v)`.
+///
+/// The paper's future-work section calls for "a more systematic way to
+/// estimate the vulnerability similarity"; weighting shared vulnerabilities
+/// by severity (e.g. CVSS score) is the natural first refinement — two
+/// products sharing a handful of critical RCEs are more dangerous together
+/// than two sharing many low-severity issues. Missing weights default to 0
+/// (unscored vulnerabilities carry no mass).
+///
+/// Returns 0.0 when the union carries no weight.
+///
+/// ```
+/// use std::collections::{BTreeMap, BTreeSet};
+/// let a: BTreeSet<u32> = [1, 2].into_iter().collect();
+/// let b: BTreeSet<u32> = [2, 3].into_iter().collect();
+/// let weights: BTreeMap<u32, f64> = [(1, 1.0), (2, 9.8), (3, 1.0)].into_iter().collect();
+/// // The shared vulnerability is critical: weighted similarity ≈ 0.83
+/// // while plain Jaccard would report 1/3.
+/// let w = nvd::similarity::weighted_jaccard(&a, &b, &weights);
+/// assert!((w - 9.8 / 11.8).abs() < 1e-12);
+/// ```
+pub fn weighted_jaccard<T: Ord>(
+    a: &BTreeSet<T>,
+    b: &BTreeSet<T>,
+    weights: &BTreeMap<T, f64>,
+) -> f64 {
+    let weight = |v: &T| weights.get(v).copied().unwrap_or(0.0).max(0.0);
+    let inter: f64 = a.intersection(b).map(&weight).sum();
+    let union: f64 = a.union(b).map(&weight).sum();
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// A dense, symmetric table of pairwise product similarities in `[0, 1]`.
+///
+/// Rows/columns are identified both by index and by product name. The
+/// diagonal is fixed at 1.0. Optionally stores the per-product vulnerability
+/// count (the figures the paper prints on the diagonal of Tables II/III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityTable {
+    names: Vec<String>,
+    // Row-major symmetric matrix, n*n. Kept dense: product sets are small
+    // (tens of products), and the optimizer indexes it in hot loops.
+    values: Vec<f64>,
+    vuln_counts: Vec<Option<usize>>,
+}
+
+impl SimilarityTable {
+    /// Creates a table with 1.0 on the diagonal and 0.0 elsewhere.
+    pub fn identity(names: &[String]) -> SimilarityTable {
+        let n = names.len();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = 1.0;
+        }
+        SimilarityTable {
+            names: names.to_vec(),
+            values,
+            vuln_counts: vec![None; n],
+        }
+    }
+
+    /// Creates a table from string-slice names, convenient for literals.
+    pub fn with_names(names: &[&str]) -> SimilarityTable {
+        SimilarityTable::identity(&names.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    /// Number of products.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Product names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of a product by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Similarity between products `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let n = self.names.len();
+        assert!(i < n && j < n, "similarity index out of bounds: ({i}, {j}) with {n} products");
+        self.values[i * n + j]
+    }
+
+    /// Similarity by product names; `None` if a name is unknown.
+    pub fn get_by_name(&self, a: &str, b: &str) -> Option<f64> {
+        Some(self.get(self.index_of(a)?, self.index_of(b)?))
+    }
+
+    /// Sets the symmetric similarity of products `i` and `j`.
+    ///
+    /// Values are clamped into `[0, 1]`. Setting a diagonal entry is a no-op:
+    /// the self-similarity of a product is definitionally 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, similarity: f64) {
+        let n = self.names.len();
+        assert!(i < n && j < n, "similarity index out of bounds: ({i}, {j}) with {n} products");
+        if i == j {
+            return;
+        }
+        let s = similarity.clamp(0.0, 1.0);
+        self.values[i * n + j] = s;
+        self.values[j * n + i] = s;
+    }
+
+    /// Sets the symmetric similarity by product names. Returns `false` if a
+    /// name is unknown.
+    pub fn set_by_name(&mut self, a: &str, b: &str, similarity: f64) -> bool {
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(i), Some(j)) => {
+                self.set(i, j, similarity);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records the total vulnerability count of product `i` (diagonal figures
+    /// of the paper's tables).
+    pub fn set_vuln_count(&mut self, i: usize, count: usize) {
+        self.vuln_counts[i] = Some(count);
+    }
+
+    /// The recorded vulnerability count of product `i`, if any.
+    pub fn vuln_count(&self, i: usize) -> Option<usize> {
+        self.vuln_counts.get(i).copied().flatten()
+    }
+
+    /// Mean off-diagonal similarity — a scalar summary of how much overlap a
+    /// product family carries. 0.0 for tables with fewer than two products.
+    pub fn mean_off_diagonal(&self) -> f64 {
+        let n = self.names.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                sum += self.get(i, j);
+            }
+        }
+        sum / (n * (n - 1) / 2) as f64
+    }
+
+    /// Merges another table into this one: products are concatenated and
+    /// cross-family similarities default to 0 (products of disjoint service
+    /// families share no vulnerability bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a product name occurs in both tables.
+    pub fn disjoint_union(&self, other: &SimilarityTable) -> SimilarityTable {
+        for name in other.names() {
+            assert!(
+                self.index_of(name).is_none(),
+                "product {name:?} present in both tables"
+            );
+        }
+        let mut names = self.names.clone();
+        names.extend(other.names.iter().cloned());
+        let mut merged = SimilarityTable::identity(&names);
+        let a = self.len();
+        for i in 0..a {
+            for j in (i + 1)..a {
+                merged.set(i, j, self.get(i, j));
+            }
+            merged.vuln_counts[i] = self.vuln_counts[i];
+        }
+        for i in 0..other.len() {
+            for j in (i + 1)..other.len() {
+                merged.set(a + i, a + j, other.get(i, j));
+            }
+            merged.vuln_counts[a + i] = other.vuln_counts[i];
+        }
+        merged
+    }
+}
+
+impl fmt::Display for SimilarityTable {
+    /// Renders the lower triangle in the paper's style:
+    /// `sim (shared)` entries with vulnerability totals on the diagonal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.names.iter().map(|n| n.len()).max().unwrap_or(4).max(6);
+        write!(f, "{:width$}", "")?;
+        for name in &self.names {
+            write!(f, " {name:>width$}")?;
+        }
+        writeln!(f)?;
+        for (i, name) in self.names.iter().enumerate() {
+            write!(f, "{name:width$}")?;
+            for j in 0..=i {
+                if i == j {
+                    match self.vuln_count(i) {
+                        Some(c) => write!(f, " {:>width$}", format!("1.0({c})"))?,
+                        None => write!(f, " {:>width$}", "1.0")?,
+                    }
+                } else {
+                    write!(f, " {:>width$.3}", self.get(i, j))?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        let empty: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        let a: BTreeSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let b: BTreeSet<u32> = [2, 3].into_iter().collect();
+        assert!((jaccard(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_table() {
+        let t = SimilarityTable::with_names(&["a", "b", "c"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn set_is_symmetric_and_clamped() {
+        let mut t = SimilarityTable::with_names(&["a", "b"]);
+        t.set(0, 1, 0.7);
+        assert_eq!(t.get(1, 0), 0.7);
+        t.set(0, 1, 1.5);
+        assert_eq!(t.get(0, 1), 1.0);
+        t.set(0, 1, -0.5);
+        assert_eq!(t.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn diagonal_is_immutable() {
+        let mut t = SimilarityTable::with_names(&["a"]);
+        t.set(0, 0, 0.3);
+        assert_eq!(t.get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let t = SimilarityTable::with_names(&["a"]);
+        t.get(0, 1);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let mut t = SimilarityTable::with_names(&["win7", "ubuntu"]);
+        assert!(t.set_by_name("win7", "ubuntu", 0.2));
+        assert_eq!(t.get_by_name("ubuntu", "win7"), Some(0.2));
+        assert_eq!(t.get_by_name("win7", "nope"), None);
+        assert!(!t.set_by_name("nope", "win7", 0.1));
+    }
+
+    #[test]
+    fn mean_off_diagonal() {
+        let mut t = SimilarityTable::with_names(&["a", "b", "c"]);
+        t.set(0, 1, 0.6);
+        t.set(0, 2, 0.0);
+        t.set(1, 2, 0.3);
+        assert!((t.mean_off_diagonal() - 0.3).abs() < 1e-12);
+        let single = SimilarityTable::with_names(&["a"]);
+        assert_eq!(single.mean_off_diagonal(), 0.0);
+    }
+
+    #[test]
+    fn disjoint_union_blocks() {
+        let mut os = SimilarityTable::with_names(&["win7", "win10"]);
+        os.set(0, 1, 0.124);
+        os.set_vuln_count(0, 1028);
+        let mut wb = SimilarityTable::with_names(&["ie8", "chrome"]);
+        wb.set(0, 1, 0.0);
+        let merged = os.disjoint_union(&wb);
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.get_by_name("win7", "win10"), Some(0.124));
+        assert_eq!(merged.get_by_name("win7", "chrome"), Some(0.0));
+        assert_eq!(merged.vuln_count(0), Some(1028));
+        assert_eq!(merged.get_by_name("ie8", "chrome"), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "present in both")]
+    fn disjoint_union_rejects_duplicates() {
+        let a = SimilarityTable::with_names(&["x"]);
+        let b = SimilarityTable::with_names(&["x"]);
+        a.disjoint_union(&b);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut t = SimilarityTable::with_names(&["a", "b"]);
+        t.set(0, 1, 0.5);
+        t.set_vuln_count(0, 42);
+        let rendered = t.to_string();
+        assert!(rendered.contains("0.500"));
+        assert!(rendered.contains("1.0(42)"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the vulnerability-data substrate.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use nvd::cpe::{Cpe, Part};
+use nvd::cve::{CveEntry, CveId};
+use nvd::database::VulnerabilityDatabase;
+use nvd::feed::{FeedConfig, FeedGenerator};
+use nvd::similarity::{jaccard, SimilarityTable};
+
+fn component() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.]{0,12}"
+}
+
+fn arb_cpe() -> impl Strategy<Value = Cpe> {
+    (
+        prop_oneof![
+            Just(Part::Application),
+            Just(Part::OperatingSystem),
+            Just(Part::Hardware)
+        ],
+        component(),
+        component(),
+        proptest::option::of(component()),
+    )
+        .prop_map(|(part, vendor, product, version)| {
+            Cpe::new(part, &vendor, &product, version.as_deref())
+        })
+}
+
+proptest! {
+    /// CPE display → parse is the identity.
+    #[test]
+    fn cpe_roundtrips_through_display(cpe in arb_cpe()) {
+        let reparsed: Cpe = cpe.to_string().parse().unwrap();
+        prop_assert_eq!(cpe, reparsed);
+    }
+
+    /// Prefix matching is reflexive and the product key matches everything
+    /// with the same triple.
+    #[test]
+    fn cpe_matching_laws(cpe in arb_cpe()) {
+        prop_assert!(cpe.matches(&cpe));
+        prop_assert!(cpe.product_key().matches(&cpe));
+    }
+
+    /// Jaccard is symmetric, bounded, and 1 exactly on equal non-empty sets.
+    #[test]
+    fn jaccard_laws(a in proptest::collection::btree_set(0u32..50, 0..20),
+                    b in proptest::collection::btree_set(0u32..50, 0..20)) {
+        let ab = jaccard(&a, &b);
+        let ba = jaccard(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &a), 1.0);
+        }
+        // Disjoint non-empty sets score 0.
+        let disjoint: BTreeSet<u32> = a.iter().map(|x| x + 1000).collect();
+        if !a.is_empty() {
+            prop_assert_eq!(jaccard(&a, &disjoint), 0.0);
+        }
+    }
+
+    /// Similarity-table writes are symmetric and clamped; the diagonal is
+    /// immutable.
+    #[test]
+    fn similarity_table_laws(
+        n in 2usize..8,
+        i in 0usize..8,
+        j in 0usize..8,
+        value in -1.0f64..2.0,
+    ) {
+        let names: Vec<String> = (0..n).map(|k| format!("p{k}")).collect();
+        let mut t = SimilarityTable::identity(&names);
+        let (i, j) = (i % n, j % n);
+        t.set(i, j, value);
+        prop_assert_eq!(t.get(i, j), t.get(j, i));
+        prop_assert!((0.0..=1.0).contains(&t.get(i, j)));
+        prop_assert_eq!(t.get(i, i), 1.0);
+    }
+
+    /// Database similarity equals the set-level Jaccard of the per-product
+    /// CVE id sets, for arbitrary small corpora.
+    #[test]
+    fn database_similarity_matches_set_jaccard(
+        assignments in proptest::collection::vec(
+            (1u32..40, proptest::collection::btree_set(0usize..4, 1..4)), 1..25),
+    ) {
+        let products: Vec<Cpe> = (0..4)
+            .map(|i| Cpe::application("vendor", &format!("prod{i}")))
+            .collect();
+        let mut db = VulnerabilityDatabase::new();
+        let mut sets: Vec<BTreeSet<CveId>> = vec![BTreeSet::new(); 4];
+        for (seq, affected) in &assignments {
+            let id = CveId::new(2016, *seq).unwrap();
+            let cpes: Vec<Cpe> = affected.iter().map(|&i| products[i].clone()).collect();
+            db.insert(CveEntry::new(id, 2016, cpes));
+            // Rebuild the oracle from scratch below (inserts may overwrite).
+        }
+        for entry in db.iter() {
+            for cpe in entry.affected() {
+                let idx = products.iter().position(|p| p == cpe).unwrap();
+                sets[idx].insert(entry.id());
+            }
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = jaccard(&sets[i], &sets[j]);
+                let got = db.similarity(&products[i], &products[j]);
+                prop_assert!((expected - got).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Feed generation is a pure function of (config, seed).
+    #[test]
+    fn feed_is_deterministic(seed in 0u64..500, entries in 1usize..60) {
+        let cfg = FeedConfig { entries, ..FeedConfig::default() };
+        let a = FeedGenerator::new(cfg.clone(), seed).generate();
+        let b = FeedGenerator::new(cfg, seed).generate();
+        prop_assert_eq!(a, b);
+    }
+}

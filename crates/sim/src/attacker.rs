@@ -1,0 +1,197 @@
+//! Exploit-selection strategies.
+//!
+//! At each propagation attempt the attacker holds one zero-day exploit per
+//! service type and must pick which one to fire across an edge. The paper's
+//! NetLogo evaluation models "sophisticated attackers who conduct
+//! reconnaissance activities before launching attacks, and hence at each
+//! step ... always choose the exploits with the highest success rate"; its
+//! BN evaluation instead has attackers "evenly choose one" among feasible
+//! exploits. Both strategies are provided.
+
+use serde::{Deserialize, Serialize};
+
+/// How the attacker picks an exploit when several services are shared
+/// across an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackerStrategy {
+    /// Reconnaissance first: always fire the exploit with the highest
+    /// success probability (paper §VII-C2).
+    Sophisticated,
+    /// Pick uniformly at random among services with non-zero success
+    /// (paper §VI's "evenly choose one to use").
+    Uniform,
+    /// Partial-knowledge reconnaissance — the paper's future-work
+    /// "adversarial perspective, subject to different levels of attacker's
+    /// knowledge about the network configuration": the attacker ranks
+    /// exploits by success probability *perturbed* by uniform noise of the
+    /// given amplitude (in thousandths; 0 ≡ `Sophisticated`, large values
+    /// approach `Uniform`).
+    NoisyRecon {
+        /// Noise amplitude in thousandths of probability (e.g. 300 = ±0.3).
+        noise_permille: u16,
+    },
+}
+
+impl AttackerStrategy {
+    /// Selects from per-candidate success probabilities; returns the index
+    /// of the chosen candidate and its success probability, or `None` when
+    /// no candidate gives any chance at all.
+    ///
+    /// `pick_uniform` supplies the randomness as an index into the eligible
+    /// candidates (callers pass `rng.gen_range(0..count)`; the two-phase
+    /// shape keeps this function deterministic and testable). The
+    /// sophisticated attacker uses it to break ties among equally-good
+    /// exploits — without random tie-breaking a mono-culture neighborhood
+    /// would always be attacked in index order.
+    ///
+    /// [`AttackerStrategy::NoisyRecon`] additionally needs per-candidate
+    /// noise; use [`AttackerStrategy::choose_noisy`] for it (calling
+    /// `choose` on it degrades to the noiseless `Sophisticated` pick).
+    pub fn choose(
+        self,
+        success: &[f64],
+        pick_uniform: impl FnOnce(usize) -> usize,
+    ) -> Option<(usize, f64)> {
+        match self {
+            AttackerStrategy::NoisyRecon { .. } => {
+                AttackerStrategy::Sophisticated.choose(success, pick_uniform)
+            }
+            AttackerStrategy::Sophisticated => {
+                let best = success
+                    .iter()
+                    .copied()
+                    .filter(|p| *p > 0.0)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if !best.is_finite() {
+                    return None;
+                }
+                let tied: Vec<usize> = success
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| **p == best)
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick = tied[pick_uniform(tied.len()) % tied.len()];
+                Some((pick, best))
+            }
+            AttackerStrategy::Uniform => {
+                let candidates: Vec<(usize, f64)> = success
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(_, p)| *p > 0.0)
+                    .collect();
+                if candidates.is_empty() {
+                    None
+                } else {
+                    Some(candidates[pick_uniform(candidates.len()) % candidates.len()])
+                }
+            }
+        }
+    }
+}
+
+impl AttackerStrategy {
+    /// Full selection including reconnaissance noise: `sample` supplies
+    /// uniform draws in `[0, 1)` (one per candidate plus one for
+    /// tie-breaking). For the noiseless strategies this delegates to
+    /// [`AttackerStrategy::choose`].
+    pub fn choose_noisy(
+        self,
+        success: &[f64],
+        mut sample: impl FnMut() -> f64,
+    ) -> Option<(usize, f64)> {
+        match self {
+            AttackerStrategy::NoisyRecon { noise_permille } => {
+                let amplitude = noise_permille as f64 / 1000.0;
+                let mut best: Option<(usize, f64, f64)> = None; // (idx, p, score)
+                for (i, &p) in success.iter().enumerate() {
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let score = p + amplitude * (sample() - 0.5);
+                    match best {
+                        Some((_, _, s)) if s >= score => {}
+                        _ => best = Some((i, p, score)),
+                    }
+                }
+                best.map(|(i, p, _)| (i, p))
+            }
+            other => {
+                let n = success.len().max(1);
+                other.choose(success, |count| (sample() * count as f64) as usize % n.max(1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sophisticated_picks_the_best() {
+        let chosen = AttackerStrategy::Sophisticated.choose(&[0.1, 0.7, 0.3], |_| 0);
+        assert_eq!(chosen, Some((1, 0.7)));
+    }
+
+    #[test]
+    fn sophisticated_ignores_zero_entries() {
+        let chosen = AttackerStrategy::Sophisticated.choose(&[0.0, 0.0, 0.2], |_| 0);
+        assert_eq!(chosen, Some((2, 0.2)));
+        assert_eq!(AttackerStrategy::Sophisticated.choose(&[0.0, 0.0], |_| 0), None);
+        assert_eq!(AttackerStrategy::Sophisticated.choose(&[], |_| 0), None);
+    }
+
+    #[test]
+    fn noisy_recon_degrades_with_amplitude() {
+        // Zero noise: identical to sophisticated.
+        let zero = AttackerStrategy::NoisyRecon { noise_permille: 0 };
+        let mut k = 0usize;
+        let mut sample = || {
+            k += 1;
+            0.5
+        };
+        assert_eq!(zero.choose_noisy(&[0.1, 0.7, 0.3], &mut sample), Some((1, 0.7)));
+        // Huge noise with adversarially chosen draws can flip the ranking.
+        let loud = AttackerStrategy::NoisyRecon { noise_permille: 1000 };
+        let mut draws = [0.99f64, 0.0, 0.0].into_iter();
+        let chosen = loud.choose_noisy(&[0.1, 0.7, 0.3], || draws.next().unwrap());
+        // Candidate 0 scored 0.1 + 1.0*(0.49) = 0.59; candidate 1 scored
+        // 0.7 - 0.5 = 0.2; candidate 2 scored 0.3 - 0.5 -> candidate 0 wins.
+        assert_eq!(chosen, Some((0, 0.1)));
+        // No feasible candidate: None.
+        assert_eq!(loud.choose_noisy(&[0.0, 0.0], || 0.5), None);
+        // choose() on a noisy strategy degrades to the noiseless pick.
+        assert_eq!(
+            AttackerStrategy::NoisyRecon { noise_permille: 500 }.choose(&[0.2, 0.9], |_| 0),
+            Some((1, 0.9))
+        );
+    }
+
+    #[test]
+    fn choose_noisy_delegates_for_noiseless_strategies() {
+        let mut draws = [0.0f64].into_iter();
+        assert_eq!(
+            AttackerStrategy::Sophisticated.choose_noisy(&[0.2, 0.9], || draws.next().unwrap()),
+            Some((1, 0.9))
+        );
+        let mut draws = [0.6f64].into_iter();
+        // Uniform with draw 0.6 over 2 candidates -> index 1.
+        assert_eq!(
+            AttackerStrategy::Uniform.choose_noisy(&[0.2, 0.9], || draws.next().unwrap()),
+            Some((1, 0.9))
+        );
+    }
+
+    #[test]
+    fn uniform_picks_among_nonzero() {
+        // Candidates are (0, 0.5) and (2, 0.25); index 1 selects the second.
+        let chosen = AttackerStrategy::Uniform.choose(&[0.5, 0.0, 0.25], |n| {
+            assert_eq!(n, 2);
+            1
+        });
+        assert_eq!(chosen, Some((2, 0.25)));
+        assert_eq!(AttackerStrategy::Uniform.choose(&[0.0], |_| 0), None);
+    }
+}

@@ -1,0 +1,461 @@
+//! The tick-based propagation engine.
+//!
+//! State: the set of compromised hosts, initially `{entry}`. Each tick,
+//! every compromised host attempts each of its clean neighbors once: the
+//! attacker picks one exploit per neighbor per its strategy (see
+//! [`crate::attacker`]) and a Bernoulli draw with success probability
+//! `baseline_rate + (1 − baseline_rate) × exploit_success × sim(α(u,s), α(v,s))`
+//! (the same floored similarity model the BN evaluation uses) decides the
+//! attempt. Infections land simultaneously at the end of the tick
+//! (synchronous update, as in the NetLogo model). A run ends when the
+//! target is compromised or the tick budget is exhausted.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::ProductSimilarity;
+use netmodel::network::Network;
+use netmodel::HostId;
+
+use crate::scenario::Scenario;
+
+/// One infection event in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfectionEvent {
+    /// Tick at which the infection landed.
+    pub tick: u32,
+    /// The newly compromised host.
+    pub host: HostId,
+    /// The host the worm came from.
+    pub from: HostId,
+    /// Index of the exploited service in the *victim's* service list.
+    pub service_slot: usize,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Tick at which the target fell, or `None` if the run was censored.
+    pub compromised_at: Option<u32>,
+    /// Number of hosts compromised by the end of the run (including entry).
+    pub infected_count: usize,
+    /// Infection events, only recorded by [`Simulation::run_traced`].
+    pub events: Vec<InfectionEvent>,
+}
+
+impl RunOutcome {
+    /// Whether the target was compromised.
+    pub fn succeeded(&self) -> bool {
+        self.compromised_at.is_some()
+    }
+}
+
+/// A configured simulation, reusable across seeded runs.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    network: &'a Network,
+    assignment: &'a Assignment,
+    similarity: &'a ProductSimilarity,
+    scenario: &'a Scenario,
+}
+
+impl<'a> Simulation<'a> {
+    /// Binds a simulation to its inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's entry or target host is out of range.
+    pub fn new(
+        network: &'a Network,
+        assignment: &'a Assignment,
+        similarity: &'a ProductSimilarity,
+        scenario: &'a Scenario,
+    ) -> Simulation<'a> {
+        assert!(
+            scenario.entry.index() < network.host_count(),
+            "entry host out of range"
+        );
+        assert!(
+            scenario.target.index() < network.host_count(),
+            "target host out of range"
+        );
+        Simulation {
+            network,
+            assignment,
+            similarity,
+            scenario,
+        }
+    }
+
+    /// Runs once with the given seed (deterministic per seed).
+    pub fn run(&self, seed: u64) -> RunOutcome {
+        self.run_inner(seed, false)
+    }
+
+    /// Runs once, recording every infection event.
+    pub fn run_traced(&self, seed: u64) -> RunOutcome {
+        self.run_inner(seed, true)
+    }
+
+    fn run_inner(&self, seed: u64, traced: bool) -> RunOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.network.host_count();
+        let mut infected = vec![false; n];
+        infected[self.scenario.entry.index()] = true;
+        let mut frontier: Vec<HostId> = vec![self.scenario.entry];
+        let mut infected_count = 1usize;
+        let mut events = Vec::new();
+        if self.scenario.entry == self.scenario.target {
+            return RunOutcome {
+                compromised_at: Some(0),
+                infected_count,
+                events,
+            };
+        }
+        // Per-attempt success probabilities are scratch, reused per neighbor.
+        let mut success: Vec<f64> = Vec::new();
+        let mut newly: Vec<(HostId, HostId, usize)> = Vec::new();
+        for tick in 1..=self.scenario.max_ticks {
+            newly.clear();
+            for &u in &frontier {
+                for &v in self.network.neighbors(u) {
+                    if infected[v.index()] {
+                        continue;
+                    }
+                    let victim = self.network.host(v).expect("neighbor exists");
+                    success.clear();
+                    success.extend(victim.services().iter().map(|inst| {
+                        match (
+                            self.assignment.product_for(self.network, u, inst.service()),
+                            self.assignment.product_for(self.network, v, inst.service()),
+                        ) {
+                            (Some(pu), Some(pv)) => {
+                                self.scenario.baseline_rate
+                                    + (1.0 - self.scenario.baseline_rate)
+                                        * self.scenario.exploit_success
+                                        * self.similarity.get(pu, pv)
+                            }
+                            _ => 0.0,
+                        }
+                    }));
+                    let chosen = self
+                        .scenario
+                        .attacker
+                        .choose_noisy(&success, || rng.gen::<f64>());
+                    if let Some((slot, p)) = chosen {
+                        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                            newly.push((v, u, slot));
+                        }
+                    }
+                }
+            }
+            let mut target_hit = false;
+            for &(v, from, slot) in &newly {
+                if !infected[v.index()] {
+                    infected[v.index()] = true;
+                    infected_count += 1;
+                    frontier.push(v);
+                    if traced {
+                        events.push(InfectionEvent {
+                            tick,
+                            host: v,
+                            from,
+                            service_slot: slot,
+                        });
+                    }
+                    if v == self.scenario.target {
+                        target_hit = true;
+                    }
+                }
+            }
+            if target_hit {
+                return RunOutcome {
+                    compromised_at: Some(tick),
+                    infected_count,
+                    events,
+                };
+            }
+            // Prune fully-surrounded hosts lazily: keep frontier as-is; the
+            // inner loop already skips infected neighbors.
+        }
+        RunOutcome {
+            compromised_at: None,
+            infected_count,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::catalog::Catalog;
+    use netmodel::network::NetworkBuilder;
+    use netmodel::ProductId;
+    use crate::attacker::AttackerStrategy;
+
+    /// Line of `n` hosts, one service, two products with given similarity.
+    fn line(n: usize, sim01: f64) -> (Network, ProductSimilarity) {
+        let mut c = Catalog::new();
+        let s = c.add_service("os");
+        let p0 = c.add_product("p0", s).unwrap();
+        let p1 = c.add_product("p1", s).unwrap();
+        let mut b = NetworkBuilder::new();
+        let hosts: Vec<HostId> = (0..n).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &hosts {
+            b.add_service(h, s, vec![p0, p1]).unwrap();
+        }
+        for w in hosts.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        let net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::from_dense(2, vec![1.0, sim01, sim01, 1.0]);
+        (net, sim)
+    }
+
+    fn mono(n: usize) -> Assignment {
+        Assignment::from_slots(vec![vec![ProductId(0)]; n])
+    }
+
+    #[test]
+    fn certain_infection_takes_distance_ticks() {
+        let (net, sim) = line(5, 0.5);
+        let a = mono(5);
+        let scenario = Scenario::new(HostId(0), HostId(4)).with_exploit_success(1.0);
+        let s = Simulation::new(&net, &a, &sim, &scenario);
+        // Identical products and success 1.0: one hop per tick.
+        let out = s.run(1);
+        assert_eq!(out.compromised_at, Some(4));
+        assert_eq!(out.infected_count, 5);
+    }
+
+    #[test]
+    fn entry_equals_target() {
+        let (net, sim) = line(2, 0.5);
+        let a = mono(2);
+        let scenario = Scenario::new(HostId(0), HostId(0));
+        let s = Simulation::new(&net, &a, &sim, &scenario);
+        assert_eq!(s.run(1).compromised_at, Some(0));
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let (net, sim) = line(6, 0.4);
+        let a = mono(6);
+        let scenario = Scenario::new(HostId(0), HostId(5)).with_exploit_success(0.5);
+        let s = Simulation::new(&net, &a, &sim, &scenario);
+        assert_eq!(s.run(42), s.run(42));
+        // Different seeds usually differ.
+        let distinct: std::collections::HashSet<_> =
+            (0..10).map(|seed| s.run(seed).compromised_at).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn zero_similarity_censors_the_run() {
+        let (net, sim) = line(3, 0.0);
+        // Alternating products: every edge has similarity 0 -> impassable.
+        let a = Assignment::from_slots(vec![
+            vec![ProductId(0)],
+            vec![ProductId(1)],
+            vec![ProductId(0)],
+        ]);
+        let scenario = Scenario::new(HostId(0), HostId(2)).with_max_ticks(50).with_baseline_rate(0.0);
+        let s = Simulation::new(&net, &a, &sim, &scenario);
+        let out = s.run(7);
+        assert_eq!(out.compromised_at, None);
+        assert_eq!(out.infected_count, 1);
+        assert!(!out.succeeded());
+    }
+
+    #[test]
+    fn diverse_assignment_slows_the_worm() {
+        let (net, sim) = line(6, 0.2);
+        let mono_a = mono(6);
+        let diverse = Assignment::from_slots(
+            (0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect(),
+        );
+        let scenario = Scenario::new(HostId(0), HostId(5))
+            .with_exploit_success(0.9)
+            .with_baseline_rate(0.0);
+        let runs = 300;
+        let mean = |a: &Assignment| -> f64 {
+            let s = Simulation::new(&net, a, &sim, &scenario);
+            let mut total = 0u64;
+            let mut ok = 0u64;
+            for seed in 0..runs {
+                if let Some(t) = s.run(seed).compromised_at {
+                    total += t as u64;
+                    ok += 1;
+                }
+            }
+            total as f64 / ok.max(1) as f64
+        };
+        let m_mono = mean(&mono_a);
+        let m_div = mean(&diverse);
+        assert!(
+            m_div > 2.0 * m_mono,
+            "diverse MTTC {m_div} should far exceed mono {m_mono}"
+        );
+    }
+
+    #[test]
+    fn sophisticated_attacker_is_at_least_as_fast_as_uniform() {
+        // Two-service network where one service is far more similar: the
+        // sophisticated attacker always fires the good exploit.
+        let mut c = Catalog::new();
+        let s1 = c.add_service("os");
+        let s2 = c.add_service("db");
+        let o0 = c.add_product("o0", s1).unwrap();
+        let o1 = c.add_product("o1", s1).unwrap();
+        let d0 = c.add_product("d0", s2).unwrap();
+        let d1 = c.add_product("d1", s2).unwrap();
+        let mut b = NetworkBuilder::new();
+        let hosts: Vec<HostId> = (0..5).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &hosts {
+            b.add_service(h, s1, vec![o0, o1]).unwrap();
+            b.add_service(h, s2, vec![d0, d1]).unwrap();
+        }
+        for w in hosts.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        let net = b.build(&c).unwrap();
+        // os pair sim 0.9; db pair sim 0.1.
+        let mut vals = vec![0.0; 16];
+        for i in 0..4 {
+            vals[i * 4 + i] = 1.0;
+        }
+        vals[o0.index() * 4 + o1.index()] = 0.9;
+        vals[o1.index() * 4 + o0.index()] = 0.9;
+        vals[d0.index() * 4 + d1.index()] = 0.1;
+        vals[d1.index() * 4 + d0.index()] = 0.1;
+        let sim = ProductSimilarity::from_dense(4, vals);
+        // Alternate both services.
+        let a = Assignment::from_slots(
+            (0..5)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        vec![o0, d0]
+                    } else {
+                        vec![o1, d1]
+                    }
+                })
+                .collect(),
+        );
+        let mean = |strategy: AttackerStrategy| -> f64 {
+            let scenario = Scenario::new(HostId(0), HostId(4))
+                .with_attacker(strategy)
+                .with_exploit_success(1.0);
+            let s = Simulation::new(&net, &a, &sim, &scenario);
+            let mut total = 0u64;
+            let mut ok = 0u64;
+            for seed in 0..400 {
+                if let Some(t) = s.run(seed).compromised_at {
+                    total += t as u64;
+                    ok += 1;
+                }
+            }
+            total as f64 / ok.max(1) as f64
+        };
+        let fast = mean(AttackerStrategy::Sophisticated);
+        let slow = mean(AttackerStrategy::Uniform);
+        assert!(
+            fast < slow,
+            "sophisticated MTTC {fast} should beat uniform {slow}"
+        );
+    }
+
+    #[test]
+    fn noisy_recon_is_no_faster_than_perfect_recon() {
+        // Two services with very different similarities: imperfect
+        // reconnaissance sometimes fires the weak exploit, so the noisy
+        // attacker cannot beat the fully-informed one on average.
+        let mut c = Catalog::new();
+        let s1 = c.add_service("os");
+        let s2 = c.add_service("db");
+        let o0 = c.add_product("o0", s1).unwrap();
+        let o1 = c.add_product("o1", s1).unwrap();
+        let d0 = c.add_product("d0", s2).unwrap();
+        let d1 = c.add_product("d1", s2).unwrap();
+        let mut b = NetworkBuilder::new();
+        let hosts: Vec<HostId> = (0..6).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &hosts {
+            b.add_service(h, s1, vec![o0, o1]).unwrap();
+            b.add_service(h, s2, vec![d0, d1]).unwrap();
+        }
+        for w in hosts.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        let net = b.build(&c).unwrap();
+        let mut vals = vec![0.0; 16];
+        for i in 0..4 {
+            vals[i * 4 + i] = 1.0;
+        }
+        vals[o0.index() * 4 + o1.index()] = 0.8;
+        vals[o1.index() * 4 + o0.index()] = 0.8;
+        vals[d0.index() * 4 + d1.index()] = 0.05;
+        vals[d1.index() * 4 + d0.index()] = 0.05;
+        let sim = ProductSimilarity::from_dense(4, vals);
+        let a = Assignment::from_slots(
+            (0..6)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        vec![o0, d0]
+                    } else {
+                        vec![o1, d1]
+                    }
+                })
+                .collect(),
+        );
+        let mean = |strategy: AttackerStrategy| -> f64 {
+            let scenario = Scenario::new(HostId(0), HostId(5))
+                .with_attacker(strategy)
+                .with_exploit_success(1.0)
+                .with_baseline_rate(0.0);
+            let s = Simulation::new(&net, &a, &sim, &scenario);
+            let mut total = 0u64;
+            let mut ok = 0u64;
+            for seed in 0..400 {
+                if let Some(t) = s.run(seed).compromised_at {
+                    total += t as u64;
+                    ok += 1;
+                }
+            }
+            total as f64 / ok.max(1) as f64
+        };
+        let perfect = mean(AttackerStrategy::Sophisticated);
+        let noisy = mean(AttackerStrategy::NoisyRecon { noise_permille: 900 });
+        assert!(
+            noisy >= perfect,
+            "noisy recon MTTC {noisy} should not beat perfect recon {perfect}"
+        );
+    }
+
+    #[test]
+    fn trace_records_a_causal_chain() {
+        let (net, sim) = line(4, 1.0);
+        let a = mono(4);
+        let scenario = Scenario::new(HostId(0), HostId(3)).with_exploit_success(1.0);
+        let s = Simulation::new(&net, &a, &sim, &scenario);
+        let out = s.run_traced(3);
+        assert_eq!(out.events.len(), 3);
+        // Events are in tick order and each source was infected earlier.
+        let mut infected: Vec<HostId> = vec![HostId(0)];
+        for e in &out.events {
+            assert!(infected.contains(&e.from), "source must already be infected");
+            infected.push(e.host);
+        }
+        // Untraced runs record no events.
+        assert!(s.run(3).events.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "target host out of range")]
+    fn bad_target_panics() {
+        let (net, sim) = line(2, 0.5);
+        let a = mono(2);
+        let scenario = Scenario::new(HostId(0), HostId(9));
+        Simulation::new(&net, &a, &sim, &scenario);
+    }
+}

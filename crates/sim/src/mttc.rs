@@ -1,0 +1,277 @@
+//! Mean-time-to-compromise estimation over batched runs.
+//!
+//! Table VI of the paper reports, for each (assignment, entry point) pair,
+//! the MTTC in ticks averaged over 1 000 NetLogo runs. [`estimate_mttc`]
+//! reproduces that: `runs` independent seeded simulations (seeds derived
+//! from a master seed), aggregated into mean / standard deviation / success
+//! rate, parallelized across threads with deterministic results regardless
+//! of thread count.
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::ProductSimilarity;
+use netmodel::network::Network;
+
+use crate::engine::Simulation;
+use crate::scenario::Scenario;
+
+/// Batch options for MTTC estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MttcOptions {
+    /// Number of independent runs (the paper uses 1 000).
+    pub runs: usize,
+    /// Master seed; run `i` uses `master_seed ⊕ splitmix(i)`.
+    pub master_seed: u64,
+    /// Worker threads (1 = sequential; results are identical either way).
+    pub threads: usize,
+}
+
+impl Default for MttcOptions {
+    fn default() -> MttcOptions {
+        MttcOptions {
+            runs: 1000,
+            master_seed: 0x1C5_D1FF,
+            threads: 4,
+        }
+    }
+}
+
+/// Aggregated MTTC statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MttcEstimate {
+    runs: usize,
+    successes: usize,
+    mean: f64,
+    std_dev: f64,
+    min: Option<u32>,
+    max: Option<u32>,
+}
+
+impl MttcEstimate {
+    /// Total runs executed.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Runs in which the target was compromised within the tick budget.
+    pub fn successes(&self) -> usize {
+        self.successes
+    }
+
+    /// Fraction of successful runs.
+    pub fn success_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.runs as f64
+        }
+    }
+
+    /// Mean ticks to compromise over successful runs; `None` if the target
+    /// was never compromised.
+    pub fn mean_ticks(&self) -> Option<f64> {
+        (self.successes > 0).then_some(self.mean)
+    }
+
+    /// Sample standard deviation over successful runs (0 for < 2 samples).
+    pub fn std_dev_ticks(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Fastest observed compromise.
+    pub fn min_ticks(&self) -> Option<u32> {
+        self.min
+    }
+
+    /// Slowest observed compromise.
+    pub fn max_ticks(&self) -> Option<u32> {
+        self.max
+    }
+}
+
+/// SplitMix64 — decorrelates per-run seeds from the master seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs the batch and aggregates (see module docs).
+pub fn estimate_mttc(
+    network: &Network,
+    assignment: &Assignment,
+    similarity: &ProductSimilarity,
+    scenario: &Scenario,
+    options: &MttcOptions,
+) -> MttcEstimate {
+    let sim = Simulation::new(network, assignment, similarity, scenario);
+    let runs = options.runs;
+    let threads = options.threads.max(1).min(runs.max(1));
+    let mut ticks: Vec<Option<u32>> = vec![None; runs];
+    if threads <= 1 || runs < 8 {
+        for (i, slot) in ticks.iter_mut().enumerate() {
+            *slot = sim.run(options.master_seed ^ splitmix(i as u64)).compromised_at;
+        }
+    } else {
+        let chunk = runs.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (t, slice) in ticks.chunks_mut(chunk).enumerate() {
+                let sim = &sim;
+                let master = options.master_seed;
+                scope.spawn(move |_| {
+                    for (j, slot) in slice.iter_mut().enumerate() {
+                        let i = t * chunk + j;
+                        *slot = sim.run(master ^ splitmix(i as u64)).compromised_at;
+                    }
+                });
+            }
+        })
+        .expect("mttc worker panicked");
+    }
+    let successes: Vec<u32> = ticks.iter().flatten().copied().collect();
+    let count = successes.len();
+    let mean = if count > 0 {
+        successes.iter().map(|&t| t as f64).sum::<f64>() / count as f64
+    } else {
+        0.0
+    };
+    let std_dev = if count > 1 {
+        let var = successes
+            .iter()
+            .map(|&t| (t as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (count - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    MttcEstimate {
+        runs,
+        successes: count,
+        mean,
+        std_dev,
+        min: successes.iter().min().copied(),
+        max: successes.iter().max().copied(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::catalog::Catalog;
+    use netmodel::network::NetworkBuilder;
+    use netmodel::{HostId, ProductId};
+
+    fn line(n: usize, sim01: f64) -> (Network, ProductSimilarity) {
+        let mut c = Catalog::new();
+        let s = c.add_service("os");
+        let p0 = c.add_product("p0", s).unwrap();
+        let p1 = c.add_product("p1", s).unwrap();
+        let mut b = NetworkBuilder::new();
+        let hosts: Vec<HostId> = (0..n).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &hosts {
+            b.add_service(h, s, vec![p0, p1]).unwrap();
+        }
+        for w in hosts.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        (
+            b.build(&c).unwrap(),
+            ProductSimilarity::from_dense(2, vec![1.0, sim01, sim01, 1.0]),
+        )
+    }
+
+    #[test]
+    fn deterministic_and_thread_invariant() {
+        let (net, sim) = line(6, 0.5);
+        let a = Assignment::from_slots(vec![vec![ProductId(0)]; 6]);
+        let scenario = Scenario::new(HostId(0), HostId(5)).with_exploit_success(0.6);
+        let opts1 = MttcOptions {
+            runs: 200,
+            threads: 1,
+            ..MttcOptions::default()
+        };
+        let opts4 = MttcOptions {
+            runs: 200,
+            threads: 4,
+            ..MttcOptions::default()
+        };
+        let e1 = estimate_mttc(&net, &a, &sim, &scenario, &opts1);
+        let e4 = estimate_mttc(&net, &a, &sim, &scenario, &opts4);
+        assert_eq!(e1, e4, "thread count must not change results");
+        let e1b = estimate_mttc(&net, &a, &sim, &scenario, &opts1);
+        assert_eq!(e1, e1b);
+    }
+
+    #[test]
+    fn certain_propagation_yields_exact_distance() {
+        let (net, sim) = line(4, 1.0);
+        let a = Assignment::from_slots(vec![vec![ProductId(0)]; 4]);
+        let scenario = Scenario::new(HostId(0), HostId(3)).with_exploit_success(1.0);
+        let est = estimate_mttc(
+            &net,
+            &a,
+            &sim,
+            &scenario,
+            &MttcOptions {
+                runs: 50,
+                ..MttcOptions::default()
+            },
+        );
+        assert_eq!(est.successes(), 50);
+        assert_eq!(est.mean_ticks(), Some(3.0));
+        assert_eq!(est.std_dev_ticks(), 0.0);
+        assert_eq!(est.min_ticks(), Some(3));
+        assert_eq!(est.max_ticks(), Some(3));
+        assert_eq!(est.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn censored_runs_are_counted() {
+        let (net, sim) = line(3, 0.0);
+        let a = Assignment::from_slots(vec![
+            vec![ProductId(0)],
+            vec![ProductId(1)],
+            vec![ProductId(0)],
+        ]);
+        let scenario = Scenario::new(HostId(0), HostId(2)).with_max_ticks(20).with_baseline_rate(0.0);
+        let est = estimate_mttc(
+            &net,
+            &a,
+            &sim,
+            &scenario,
+            &MttcOptions {
+                runs: 30,
+                ..MttcOptions::default()
+            },
+        );
+        assert_eq!(est.successes(), 0);
+        assert_eq!(est.mean_ticks(), None);
+        assert_eq!(est.success_rate(), 0.0);
+        assert_eq!(est.min_ticks(), None);
+    }
+
+    #[test]
+    fn lower_similarity_increases_mttc() {
+        let a6 = Assignment::from_slots(
+            (0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect::<Vec<_>>(),
+        );
+        let scenario = Scenario::new(HostId(0), HostId(5))
+            .with_exploit_success(1.0)
+            .with_baseline_rate(0.0);
+        let opts = MttcOptions {
+            runs: 400,
+            ..MttcOptions::default()
+        };
+        let (net_hi, sim_hi) = line(6, 0.8);
+        let (_, sim_lo) = line(6, 0.3);
+        let hi = estimate_mttc(&net_hi, &a6, &sim_hi, &scenario, &opts);
+        let lo = estimate_mttc(&net_hi, &a6, &sim_lo, &scenario, &opts);
+        assert!(
+            lo.mean_ticks().unwrap() > hi.mean_ticks().unwrap(),
+            "lower similarity must slow the worm: {:?} vs {:?}",
+            lo.mean_ticks(),
+            hi.mean_ticks()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulation scenarios: who attacks what, with which parameters.
+
+use serde::{Deserialize, Serialize};
+
+use netmodel::HostId;
+
+use crate::attacker::AttackerStrategy;
+
+/// The attack scenario of one simulation campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The initially compromised host.
+    pub entry: HostId,
+    /// The host whose compromise ends a run.
+    pub target: HostId,
+    /// Exploit-selection strategy.
+    pub attacker: AttackerStrategy,
+    /// Success probability of re-using an exploit across identical products
+    /// (`sim = 1`); per-service success scales linearly with similarity.
+    /// Matches the BN evaluation's `exploit_success`.
+    pub exploit_success: f64,
+    /// Residual zero-day success rate against fully dissimilar products:
+    /// per-service success is
+    /// `baseline_rate + (1 − baseline_rate) · exploit_success · sim`.
+    /// Matches the BN evaluation's `baseline_rate`.
+    pub baseline_rate: f64,
+    /// Tick budget after which a run is recorded as censored (the worm
+    /// failed to reach the target; e.g. all paths were cut by diversity).
+    pub max_ticks: u32,
+}
+
+impl Scenario {
+    /// Creates a scenario with the paper's sophisticated attacker and
+    /// default parameters (`exploit_success = 0.9`, 10 000-tick budget).
+    pub fn new(entry: HostId, target: HostId) -> Scenario {
+        Scenario {
+            entry,
+            target,
+            attacker: AttackerStrategy::Sophisticated,
+            exploit_success: 0.9,
+            baseline_rate: 0.1,
+            max_ticks: 10_000,
+        }
+    }
+
+    /// Replaces the attacker strategy.
+    pub fn with_attacker(mut self, attacker: AttackerStrategy) -> Scenario {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Replaces the exploit success scale.
+    pub fn with_exploit_success(mut self, p: f64) -> Scenario {
+        self.exploit_success = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replaces the residual zero-day baseline rate.
+    pub fn with_baseline_rate(mut self, p: f64) -> Scenario {
+        self.baseline_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replaces the tick budget.
+    pub fn with_max_ticks(mut self, max_ticks: u32) -> Scenario {
+        self.max_ticks = max_ticks;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let s = Scenario::new(HostId(1), HostId(2))
+            .with_attacker(AttackerStrategy::Uniform)
+            .with_exploit_success(0.5)
+            .with_max_ticks(99);
+        assert_eq!(s.entry, HostId(1));
+        assert_eq!(s.target, HostId(2));
+        assert_eq!(s.attacker, AttackerStrategy::Uniform);
+        assert_eq!(s.exploit_success, 0.5);
+        assert_eq!(s.max_ticks, 99);
+    }
+
+    #[test]
+    fn exploit_success_is_clamped() {
+        let s = Scenario::new(HostId(0), HostId(1)).with_exploit_success(7.0);
+        assert_eq!(s.exploit_success, 1.0);
+    }
+}

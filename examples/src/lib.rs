@@ -1,0 +1,1 @@
+//! Example package; runnable binaries live under `[[example]]` targets.

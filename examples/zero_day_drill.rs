@@ -1,0 +1,75 @@
+//! A zero-day incident drill: trace a worm through the ICS case study step
+//! by step, then quantify how diversification changes attacker dwell time
+//! for different attacker sophistication levels.
+//!
+//! ```sh
+//! cargo run --release -p examples --example zero_day_drill
+//! ```
+
+use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+use netmodel::casestudy::CaseStudy;
+use netmodel::strategies::mono_assignment;
+use sim::attacker::AttackerStrategy;
+use sim::engine::Simulation;
+use sim::mttc::{estimate_mttc, MttcOptions};
+use sim::scenario::Scenario;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cs = CaseStudy::build();
+    let mono = mono_assignment(&cs.network);
+
+    // --- 1. One traced run against the homogeneous deployment.
+    let scenario = Scenario::new(cs.host("c4"), cs.target);
+    let sim = Simulation::new(&cs.network, &mono, &cs.similarity, &scenario);
+    let outcome = sim.run_traced(42);
+    println!("worm trace (mono-culture, entry c4, target t5, seed 42):");
+    for event in &outcome.events {
+        let victim = cs.network.host(event.host)?;
+        let from = cs.network.host(event.from)?.name();
+        let service = victim.services()[event.service_slot].service();
+        println!(
+            "  tick {:>3}: {} → {} via {}",
+            event.tick,
+            from,
+            victim.name(),
+            cs.catalog.service(service)?.name()
+        );
+        if event.host == cs.target {
+            break;
+        }
+    }
+    match outcome.compromised_at {
+        Some(t) => println!("target compromised at tick {t}; {} hosts infected", outcome.infected_count),
+        None => println!("target survived the tick budget"),
+    }
+
+    // --- 2. Dwell time vs diversification and attacker sophistication.
+    let optimizer = DiversityOptimizer::new().with_solver(SolverKind::Exact(Default::default()));
+    let optimal = optimizer.optimize(&cs.network, &cs.similarity)?.into_assignment();
+    let opts = MttcOptions {
+        runs: 400,
+        ..MttcOptions::default()
+    };
+    println!("\nmean time to compromise t5 from c4 (400 runs):");
+    for (label, assignment) in [("mono-culture", &mono), ("optimal diversification", &optimal)] {
+        for (attacker, aname) in [
+            (AttackerStrategy::Sophisticated, "sophisticated"),
+            (AttackerStrategy::Uniform, "uniform"),
+        ] {
+            let scenario = Scenario::new(cs.host("c4"), cs.target).with_attacker(attacker);
+            let est = estimate_mttc(&cs.network, assignment, &cs.similarity, &scenario, &opts);
+            match est.mean_ticks() {
+                Some(m) => println!(
+                    "  {label:<24} vs {aname:<13} attacker: {m:>8.2} ticks (min {} / max {})",
+                    est.min_ticks().unwrap(),
+                    est.max_ticks().unwrap()
+                ),
+                None => println!("  {label:<24} vs {aname:<13} attacker: never compromised"),
+            }
+        }
+    }
+    println!("\nreading: diversification multiplies attacker dwell time; reconnaissance");
+    println!("(the sophisticated strategy) recovers part of it, which is exactly the");
+    println!("paper's argument for optimizing against the strongest attacker.");
+    Ok(())
+}

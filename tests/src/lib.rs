@@ -1,0 +1,1 @@
+//! Integration test package; see `tests/` for the tests.

@@ -1,0 +1,114 @@
+//! Cross-crate property-based tests (proptest).
+
+use proptest::prelude::*;
+
+use bayesnet::attack::{diversity_metric, AttackModelConfig};
+use ics_diversity::optimizer::DiversityOptimizer;
+use netmodel::strategies::{mono_assignment, random_assignment};
+use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+use netmodel::HostId;
+use sim::mttc::{estimate_mttc, MttcOptions};
+use sim::scenario::Scenario;
+
+fn small_config() -> impl Strategy<Value = RandomNetworkConfig> {
+    (4usize..20, 2usize..5, 1usize..4, 2usize..4).prop_map(
+        |(hosts, degree, services, products)| RandomNetworkConfig {
+            hosts,
+            mean_degree: degree,
+            services,
+            products_per_service: products,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The optimizer always produces a valid assignment whose edge
+    /// similarity does not exceed the baselines'.
+    #[test]
+    fn optimizer_output_is_valid_and_no_worse_than_baselines(
+        config in small_config(),
+        seed in 0u64..1000,
+    ) {
+        let g = generate(&config, seed);
+        let solved = DiversityOptimizer::new().optimize(&g.network, &g.similarity).unwrap();
+        prop_assert!(solved.assignment().validate(&g.network).is_ok());
+        let opt = solved.assignment().total_edge_similarity(&g.network, &g.similarity);
+        let mono = mono_assignment(&g.network).total_edge_similarity(&g.network, &g.similarity);
+        let rand = random_assignment(&g.network, seed)
+            .total_edge_similarity(&g.network, &g.similarity);
+        prop_assert!(opt <= mono + 1e-9, "optimal {opt} worse than mono {mono}");
+        prop_assert!(opt <= rand + 1e-9, "optimal {opt} worse than random {rand}");
+        // The certified bound brackets the objective.
+        if let Some(lb) = solved.lower_bound() {
+            prop_assert!(lb <= solved.objective() + 1e-9);
+        }
+    }
+
+    /// dbn is a proper metric: in (0, 1], with P' independent of the
+    /// assignment, and the optimal assignment scores at least the mono one.
+    #[test]
+    fn dbn_metric_properties(config in small_config(), seed in 0u64..1000) {
+        let g = generate(&config, seed);
+        let entry = HostId(0);
+        let target = HostId((g.network.host_count() - 1) as u32);
+        let cfg = AttackModelConfig::default();
+        let solved = DiversityOptimizer::new()
+            .optimize(&g.network, &g.similarity)
+            .unwrap()
+            .into_assignment();
+        let mono = mono_assignment(&g.network);
+        let m_opt = diversity_metric(&g.network, &solved, &g.similarity, entry, target, cfg)
+            .unwrap();
+        let m_mono = diversity_metric(&g.network, &mono, &g.similarity, entry, target, cfg)
+            .unwrap();
+        prop_assert!(m_opt.dbn > 0.0 && m_opt.dbn <= 1.0 + 1e-9);
+        prop_assert!(m_mono.dbn > 0.0 && m_mono.dbn <= 1.0 + 1e-9);
+        prop_assert!((m_opt.p_without_similarity - m_mono.p_without_similarity).abs() < 1e-12);
+        prop_assert!(m_opt.dbn >= m_mono.dbn - 1e-9,
+            "optimal dbn {} must be at least mono dbn {}", m_opt.dbn, m_mono.dbn);
+    }
+
+    /// The simulator respects structure: entry==target compromises at tick
+    /// 0, and MTTC estimates are deterministic per seed.
+    #[test]
+    fn simulator_determinism_and_degeneracy(config in small_config(), seed in 0u64..1000) {
+        let g = generate(&config, seed);
+        let mono = mono_assignment(&g.network);
+        let trivial = Scenario::new(HostId(0), HostId(0));
+        let opts = MttcOptions { runs: 20, threads: 2, ..MttcOptions::default() };
+        let est = estimate_mttc(&g.network, &mono, &g.similarity, &trivial, &opts);
+        prop_assert_eq!(est.mean_ticks(), Some(0.0));
+        let scenario = Scenario::new(HostId(0), HostId((g.network.host_count() - 1) as u32));
+        let a = estimate_mttc(&g.network, &mono, &g.similarity, &scenario, &opts);
+        let b = estimate_mttc(&g.network, &mono, &g.similarity, &scenario, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Generated instances are internally consistent: every candidate's
+    /// service matches its slot, and similarity is symmetric in [0, 1].
+    #[test]
+    fn generated_instances_are_consistent(config in small_config(), seed in 0u64..1000) {
+        let g = generate(&config, seed);
+        for (_, host) in g.network.iter_hosts() {
+            for inst in host.services() {
+                prop_assert!(!inst.candidates().is_empty());
+                for &p in inst.candidates() {
+                    prop_assert_eq!(g.catalog.product(p).unwrap().service(), inst.service());
+                }
+            }
+        }
+        let n = g.catalog.product_count();
+        for i in 0..n {
+            for j in 0..n {
+                let s = g.similarity.get(netmodel::ProductId(i as u16), netmodel::ProductId(j as u16));
+                let t = g.similarity.get(netmodel::ProductId(j as u16), netmodel::ProductId(i as u16));
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((s - t).abs() < 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-solver validation on generated instances: the exact eliminator is
+//! the oracle; TRW-S must certify or land close; baselines must be ordered.
+
+use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+use mrf::elimination::EliminationOptions;
+use mrf::trws::TrwsOptions;
+use netmodel::strategies::{mono_assignment, random_assignment};
+use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+
+fn config(hosts: usize, degree: usize, topology: TopologyKind) -> RandomNetworkConfig {
+    RandomNetworkConfig {
+        hosts,
+        mean_degree: degree,
+        services: 2,
+        products_per_service: 3,
+        vendors_per_service: 2,
+        topology,
+    }
+}
+
+#[test]
+fn trws_matches_exact_on_trees() {
+    for seed in 0..6 {
+        let g = generate(&config(40, 0, TopologyKind::Tree), seed);
+        let trws = DiversityOptimizer::new()
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        let exact = DiversityOptimizer::new()
+            .with_solver(SolverKind::Exact(EliminationOptions::default()))
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        assert!(
+            (trws.objective() - exact.objective()).abs() < 1e-6,
+            "seed {seed}: trws {} vs exact {}",
+            trws.objective(),
+            exact.objective()
+        );
+        // TRW-S is provably exact on trees: the gap must close.
+        assert!(trws.gap().unwrap() < 1e-6, "seed {seed}: gap {:?}", trws.gap());
+    }
+}
+
+#[test]
+fn trws_is_near_exact_on_sparse_loopy_networks() {
+    let mut total_excess = 0.0;
+    for seed in 0..5 {
+        let g = generate(&config(30, 4, TopologyKind::Random), seed);
+        let trws = DiversityOptimizer::new()
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        let exact = DiversityOptimizer::new()
+            .with_solver(SolverKind::Exact(EliminationOptions::default()))
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        assert!(trws.objective() >= exact.objective() - 1e-9);
+        // Exact lower bound must also bound the TRW-S bound's claim.
+        assert!(trws.lower_bound().unwrap() <= exact.objective() + 1e-6);
+        total_excess +=
+            (trws.objective() - exact.objective()) / exact.objective().abs().max(1.0);
+    }
+    let mean_excess = total_excess / 5.0;
+    assert!(
+        mean_excess < 0.10,
+        "TRW-S mean relative excess {mean_excess} too large over 5 seeds"
+    );
+}
+
+#[test]
+fn optimal_dominates_baselines_across_topologies() {
+    for topology in [TopologyKind::Random, TopologyKind::ScaleFree, TopologyKind::Ring] {
+        let g = generate(&config(60, 6, topology), 3);
+        let optimal = DiversityOptimizer::new()
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        let opt_sim = optimal.assignment().total_edge_similarity(&g.network, &g.similarity);
+        let rand_sim =
+            random_assignment(&g.network, 9).total_edge_similarity(&g.network, &g.similarity);
+        let mono_sim =
+            mono_assignment(&g.network).total_edge_similarity(&g.network, &g.similarity);
+        assert!(
+            opt_sim < rand_sim && rand_sim < mono_sim,
+            "{topology:?}: {opt_sim} < {rand_sim} < {mono_sim} violated"
+        );
+    }
+}
+
+#[test]
+fn iteration_budget_trades_quality_monotonically() {
+    let g = generate(&config(80, 8, TopologyKind::Random), 11);
+    let run = |iters: usize| {
+        DiversityOptimizer::new()
+            .with_solver(SolverKind::Trws(TrwsOptions {
+                max_iterations: iters,
+                patience: usize::MAX,
+                ..TrwsOptions::default()
+            }))
+            .with_refinement(None)
+            .optimize(&g.network, &g.similarity)
+            .unwrap()
+    };
+    let short = run(1);
+    let long = run(40);
+    // More iterations: bound can only be as good or better.
+    assert!(long.lower_bound().unwrap() >= short.lower_bound().unwrap() - 1e-9);
+    assert!(long.objective() <= short.objective() + 1e-9);
+}
+
+#[test]
+fn refinement_never_hurts() {
+    for seed in 0..4 {
+        let g = generate(&config(50, 6, TopologyKind::Random), seed);
+        let with = DiversityOptimizer::new().optimize(&g.network, &g.similarity).unwrap();
+        let without = DiversityOptimizer::new()
+            .with_refinement(None)
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        assert!(with.objective() <= without.objective() + 1e-9);
+    }
+}
