@@ -138,9 +138,9 @@ impl AttackBn {
     /// Returns [`Error::HostUnreachable`] if the host is not connected to
     /// the entry.
     pub fn compromise_probability(&self, host: HostId) -> Result<f64> {
-        let node = self.node_of(host).ok_or(Error::HostUnreachable {
-            host: host.index(),
-        })?;
+        let node = self
+            .node_of(host)
+            .ok_or(Error::HostUnreachable { host: host.index() })?;
         VariableElimination::new(&self.bn).probability(node, 1, &[])
     }
 }
@@ -338,10 +338,7 @@ mod tests {
         b.add_link(h0, h1).unwrap();
         b.add_link(h1, h2).unwrap();
         let net = b.build(&c).unwrap();
-        let sim = ProductSimilarity::from_dense(
-            2,
-            vec![1.0, 0.5, 0.5, 1.0],
-        );
+        let sim = ProductSimilarity::from_dense(2, vec![1.0, 0.5, 0.5, 1.0]);
         (net, c, sim)
     }
 
@@ -400,7 +397,12 @@ mod tests {
         let mono = Assignment::from_slots(vec![vec![ProductId(0)]; 3]);
         let md = diversity_metric(&net, &diverse, &sim, HostId(0), HostId(2), cfg()).unwrap();
         let mm = diversity_metric(&net, &mono, &sim, HostId(0), HostId(2), cfg()).unwrap();
-        assert!(md.dbn > mm.dbn, "diverse {} should beat mono {}", md.dbn, mm.dbn);
+        assert!(
+            md.dbn > mm.dbn,
+            "diverse {} should beat mono {}",
+            md.dbn,
+            mm.dbn
+        );
         // Same baseline numerator.
         assert!((md.p_without_similarity - mm.p_without_similarity).abs() < 1e-12);
         // dbn in (0, 1] for these parameterizations.
@@ -457,8 +459,7 @@ mod tests {
         let net = b.build(&c).unwrap();
         let sim = ProductSimilarity::from_dense(1, vec![1.0]);
         let mono = Assignment::from_slots(vec![vec![p0]; 2]);
-        let err =
-            diversity_metric(&net, &mono, &sim, entry, island, cfg()).unwrap_err();
+        let err = diversity_metric(&net, &mono, &sim, entry, island, cfg()).unwrap_err();
         assert!(matches!(err, Error::HostUnreachable { .. }));
     }
 
@@ -501,8 +502,7 @@ mod tests {
         let target = HostId(19);
         let mono = mono_assignment(&g.network);
         let random = random_assignment(&g.network, 5);
-        let mm =
-            diversity_metric(&g.network, &mono, &g.similarity, entry, target, cfg()).unwrap();
+        let mm = diversity_metric(&g.network, &mono, &g.similarity, entry, target, cfg()).unwrap();
         let mr =
             diversity_metric(&g.network, &random, &g.similarity, entry, target, cfg()).unwrap();
         assert!(

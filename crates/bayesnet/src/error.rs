@@ -66,21 +66,36 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownNode(n) => write!(f, "unknown node {}", n.0),
             Error::BadCardinality { name, cardinality } => {
-                write!(f, "node {name:?} needs at least 2 states, got {cardinality}")
+                write!(
+                    f,
+                    "node {name:?} needs at least 2 states, got {cardinality}"
+                )
             }
             Error::CptShape {
                 name,
                 expected,
                 got,
-            } => write!(f, "CPT of {name:?} needs {expected} probabilities, got {got}"),
+            } => write!(
+                f,
+                "CPT of {name:?} needs {expected} probabilities, got {got}"
+            ),
             Error::CptInvalid { name, row } => {
-                write!(f, "CPT row {row} of {name:?} is not a probability distribution")
+                write!(
+                    f,
+                    "CPT row {row} of {name:?} is not a probability distribution"
+                )
             }
             Error::NoisyOrInvalid { name } => {
-                write!(f, "noisy-OR CPT of {name:?} needs a binary node and weights in [0,1]")
+                write!(
+                    f,
+                    "noisy-OR CPT of {name:?} needs a binary node and weights in [0,1]"
+                )
             }
             Error::Cycle { name } => {
-                write!(f, "node {name:?} lists a parent that was not added before it")
+                write!(
+                    f,
+                    "node {name:?} lists a parent that was not added before it"
+                )
             }
             Error::BadValue { node, value } => {
                 write!(f, "value {value} out of range for node {}", node.0)
@@ -90,7 +105,10 @@ impl fmt::Display for Error {
                 write!(f, "host h{host} is not reachable from the attack entry")
             }
             Error::DegenerateMetric => {
-                write!(f, "diversity metric undefined: target compromise probability is zero")
+                write!(
+                    f,
+                    "diversity metric undefined: target compromise probability is zero"
+                )
             }
         }
     }

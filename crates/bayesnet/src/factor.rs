@@ -29,7 +29,11 @@ impl Factor {
         let mut sorted = vars.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), vars.len(), "factor variables must be distinct");
+        assert_eq!(
+            sorted.len(),
+            vars.len(),
+            "factor variables must be distinct"
+        );
         Factor {
             vars,
             cards,
@@ -105,6 +109,12 @@ impl Factor {
         self.values.len()
     }
 
+    /// Whether the table has no entries (impossible for built factors;
+    /// provided for `len`/`is_empty` API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
     /// Whether this is a scalar factor over no variables.
     pub fn is_scalar(&self) -> bool {
         self.vars.is_empty()
@@ -116,7 +126,11 @@ impl Factor {
     ///
     /// Panics on arity mismatch or out-of-range values.
     pub fn value_at(&self, assignment: &[usize]) -> f64 {
-        assert_eq!(assignment.len(), self.vars.len(), "assignment arity mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.vars.len(),
+            "assignment arity mismatch"
+        );
         let mut idx = 0usize;
         for (v, c) in assignment.iter().zip(&self.cards) {
             assert!(v < c, "assignment value out of range");
@@ -282,7 +296,11 @@ mod tests {
 
     #[test]
     fn construction_and_lookup() {
-        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 3], (0..6).map(f64::from).collect());
+        let f = Factor::new(
+            vec![nid(0), nid(1)],
+            vec![2, 3],
+            (0..6).map(f64::from).collect(),
+        );
         assert_eq!(f.value_at(&[0, 0]), 0.0);
         assert_eq!(f.value_at(&[0, 2]), 2.0);
         assert_eq!(f.value_at(&[1, 0]), 3.0);
@@ -343,7 +361,11 @@ mod tests {
 
     #[test]
     fn reduce_applies_evidence() {
-        let f = Factor::new(vec![nid(0), nid(1)], vec![2, 3], (0..6).map(f64::from).collect());
+        let f = Factor::new(
+            vec![nid(0), nid(1)],
+            vec![2, 3],
+            (0..6).map(f64::from).collect(),
+        );
         let r = f.reduce(nid(1), 2);
         assert_eq!(r.vars(), &[nid(0)]);
         assert_eq!(r.values(), &[2.0, 5.0]);
@@ -361,7 +383,9 @@ mod tests {
     #[test]
     fn from_cpt_matches_node_probabilities() {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4]))
+            .unwrap();
         let b = bn
             .add_node("b", 2, vec![a], Cpt::tabular(vec![0.9, 0.1, 0.3, 0.7]))
             .unwrap();
@@ -377,8 +401,12 @@ mod tests {
     #[test]
     fn from_cpt_noisy_or() {
         let mut bn = BayesNet::new();
-        let p = bn.add_node("p", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
-        let c = bn.add_node("c", 2, vec![p], Cpt::noisy_or(0.0, vec![0.8])).unwrap();
+        let p = bn
+            .add_node("p", 2, vec![], Cpt::tabular(vec![0.5, 0.5]))
+            .unwrap();
+        let c = bn
+            .add_node("c", 2, vec![p], Cpt::noisy_or(0.0, vec![0.8]))
+            .unwrap();
         let f = Factor::from_cpt(&bn, c);
         assert_eq!(f.value_at(&[0, 1]), 0.0); // parent off, no leak
         assert!((f.value_at(&[1, 1]) - 0.8).abs() < 1e-12);

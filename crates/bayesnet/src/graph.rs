@@ -82,7 +82,11 @@ impl Node {
     ///
     /// Panics if arities or state indices are out of range.
     pub fn prob(&self, parent_values: &[usize], parent_cards: &[usize], value: usize) -> f64 {
-        assert_eq!(parent_values.len(), self.parents.len(), "parent arity mismatch");
+        assert_eq!(
+            parent_values.len(),
+            self.parents.len(),
+            "parent arity mismatch"
+        );
         assert!(value < self.cardinality, "value out of range");
         match &self.cpt {
             Cpt::Tabular { probs } => {
@@ -155,7 +159,10 @@ impl BayesNet {
         }
         match &cpt {
             Cpt::Tabular { probs } => {
-                let rows: usize = parents.iter().map(|&p| self.nodes[p.0].cardinality).product();
+                let rows: usize = parents
+                    .iter()
+                    .map(|&p| self.nodes[p.0].cardinality)
+                    .product();
                 let expected = rows * cardinality;
                 if probs.len() != expected {
                     return Err(Error::CptShape {
@@ -167,7 +174,9 @@ impl BayesNet {
                 for row in 0..rows {
                     let slice = &probs[row * cardinality..(row + 1) * cardinality];
                     let sum: f64 = slice.iter().sum();
-                    if (sum - 1.0).abs() > 1e-6 || slice.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p)) {
+                    if (sum - 1.0).abs() > 1e-6
+                        || slice.iter().any(|p| !(0.0..=1.0 + 1e-9).contains(p))
+                    {
                         return Err(Error::CptInvalid {
                             name: name.to_owned(),
                             row,
@@ -176,8 +185,7 @@ impl BayesNet {
                 }
             }
             Cpt::NoisyOr { leak, weights } => {
-                let parents_binary =
-                    parents.iter().all(|&p| self.nodes[p.0].cardinality == 2);
+                let parents_binary = parents.iter().all(|&p| self.nodes[p.0].cardinality == 2);
                 if cardinality != 2
                     || !parents_binary
                     || weights.len() != parents.len()
@@ -242,10 +250,12 @@ impl BayesNet {
         assert_eq!(values.len(), self.nodes.len(), "assignment arity mismatch");
         let mut p = 1.0;
         for (i, node) in self.nodes.iter().enumerate() {
-            let parent_values: Vec<usize> =
-                node.parents.iter().map(|&pid| values[pid.0]).collect();
-            let parent_cards: Vec<usize> =
-                node.parents.iter().map(|&pid| self.nodes[pid.0].cardinality).collect();
+            let parent_values: Vec<usize> = node.parents.iter().map(|&pid| values[pid.0]).collect();
+            let parent_cards: Vec<usize> = node
+                .parents
+                .iter()
+                .map(|&pid| self.nodes[pid.0].cardinality)
+                .collect();
             p *= node.prob(&parent_values, &parent_cards, values[i]);
         }
         p
@@ -259,9 +269,16 @@ mod tests {
     #[test]
     fn add_and_query_structure() {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.7, 0.3])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![0.7, 0.3]))
+            .unwrap();
         let b = bn
-            .add_node("b", 3, vec![a], Cpt::tabular(vec![0.2, 0.3, 0.5, 1.0, 0.0, 0.0]))
+            .add_node(
+                "b",
+                3,
+                vec![a],
+                Cpt::tabular(vec![0.2, 0.3, 0.5, 1.0, 0.0, 0.0]),
+            )
             .unwrap();
         assert_eq!(bn.len(), 2);
         assert_eq!(bn.node(b).unwrap().parents(), &[a]);
@@ -294,8 +311,12 @@ mod tests {
     #[test]
     fn noisy_or_semantics() {
         let mut bn = BayesNet::new();
-        let p1 = bn.add_node("p1", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
-        let p2 = bn.add_node("p2", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        let p1 = bn
+            .add_node("p1", 2, vec![], Cpt::tabular(vec![0.5, 0.5]))
+            .unwrap();
+        let p2 = bn
+            .add_node("p2", 2, vec![], Cpt::tabular(vec![0.5, 0.5]))
+            .unwrap();
         let child = bn
             .add_node("c", 2, vec![p1, p2], Cpt::noisy_or(0.1, vec![0.8, 0.5]))
             .unwrap();
@@ -313,7 +334,9 @@ mod tests {
     #[test]
     fn noisy_or_validation() {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.5, 0.5])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![0.5, 0.5]))
+            .unwrap();
         // Wrong weight arity.
         assert!(matches!(
             bn.add_node("x", 2, vec![a], Cpt::noisy_or(0.0, vec![])),
@@ -334,7 +357,9 @@ mod tests {
     #[test]
     fn joint_probability_factorizes() {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![0.6, 0.4]))
+            .unwrap();
         let _b = bn
             .add_node("b", 2, vec![a], Cpt::tabular(vec![0.9, 0.1, 0.3, 0.7]))
             .unwrap();

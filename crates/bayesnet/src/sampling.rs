@@ -33,10 +33,8 @@ impl<'a> Sampler<'a> {
         let cards = self.bn.cardinalities();
         let mut values = vec![0usize; self.bn.len()];
         for (id, node) in self.bn.iter() {
-            let parent_values: Vec<usize> =
-                node.parents().iter().map(|&p| values[p.0]).collect();
-            let parent_cards: Vec<usize> =
-                node.parents().iter().map(|&p| cards[p.0]).collect();
+            let parent_values: Vec<usize> = node.parents().iter().map(|&p| values[p.0]).collect();
+            let parent_cards: Vec<usize> = node.parents().iter().map(|&p| cards[p.0]).collect();
             let u: f64 = self.rng.gen();
             let mut acc = 0.0;
             let mut chosen = node.cardinality() - 1;
@@ -82,8 +80,7 @@ impl<'a> Sampler<'a> {
             for (id, node) in self.bn.iter() {
                 let parent_values: Vec<usize> =
                     node.parents().iter().map(|&p| values[p.0]).collect();
-                let parent_cards: Vec<usize> =
-                    node.parents().iter().map(|&p| cards[p.0]).collect();
+                let parent_cards: Vec<usize> = node.parents().iter().map(|&p| cards[p.0]).collect();
                 if let Some(&(_, v)) = evidence.iter().find(|&&(n, _)| n == id) {
                     values[id.0] = v;
                     weight *= node.prob(&parent_values, &parent_cards, v);
@@ -121,7 +118,9 @@ mod tests {
 
     fn chain() -> (BayesNet, NodeId, NodeId) {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![0.3, 0.7])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![0.3, 0.7]))
+            .unwrap();
         let b = bn
             .add_node("b", 2, vec![a], Cpt::tabular(vec![0.8, 0.2, 0.1, 0.9]))
             .unwrap();
@@ -135,11 +134,10 @@ mod tests {
         let n = 40_000;
         let hits = (0..n).filter(|_| s.sample()[b.0] == 1).count();
         let est = hits as f64 / n as f64;
-        let exact = VariableElimination::new(&bn).probability(b, 1, &[]).unwrap();
-        assert!(
-            (est - exact).abs() < 0.01,
-            "sampled {est} vs exact {exact}"
-        );
+        let exact = VariableElimination::new(&bn)
+            .probability(b, 1, &[])
+            .unwrap();
+        assert!((est - exact).abs() < 0.01, "sampled {est} vs exact {exact}");
     }
 
     #[test]
@@ -164,7 +162,9 @@ mod tests {
     #[test]
     fn impossible_evidence_yields_zeros() {
         let mut bn = BayesNet::new();
-        let a = bn.add_node("a", 2, vec![], Cpt::tabular(vec![1.0, 0.0])).unwrap();
+        let a = bn
+            .add_node("a", 2, vec![], Cpt::tabular(vec![1.0, 0.0]))
+            .unwrap();
         let b = bn
             .add_node("b", 2, vec![a], Cpt::tabular(vec![1.0, 0.0, 0.0, 1.0]))
             .unwrap();

@@ -116,10 +116,9 @@ impl<'a> VariableElimination<'a> {
         evidence: &[(NodeId, usize)],
     ) -> Result<f64> {
         let dist = self.query(query, evidence)?;
-        dist.get(value).copied().ok_or(Error::BadValue {
-            node: query,
-            value,
-        })
+        dist.get(value)
+            .copied()
+            .ok_or(Error::BadValue { node: query, value })
     }
 
     /// Min-fill heuristic: pick the eliminable variable whose neighborhood
@@ -181,9 +180,16 @@ mod tests {
 
     fn sprinkler() -> (BayesNet, NodeId, NodeId, NodeId) {
         let mut bn = BayesNet::new();
-        let rain = bn.add_node("rain", 2, vec![], Cpt::tabular(vec![0.8, 0.2])).unwrap();
+        let rain = bn
+            .add_node("rain", 2, vec![], Cpt::tabular(vec![0.8, 0.2]))
+            .unwrap();
         let sprinkler = bn
-            .add_node("sprinkler", 2, vec![rain], Cpt::tabular(vec![0.6, 0.4, 0.99, 0.01]))
+            .add_node(
+                "sprinkler",
+                2,
+                vec![rain],
+                Cpt::tabular(vec![0.6, 0.4, 0.99, 0.01]),
+            )
             .unwrap();
         let wet = bn
             .add_node(
@@ -221,8 +227,9 @@ mod tests {
         let (bn, rain, sprinkler, wet) = sprinkler();
         let ve = VariableElimination::new(&bn);
         let p_rain_given_wet = ve.probability(rain, 1, &[(wet, 1)]).unwrap();
-        let p_rain_given_wet_and_sprinkler =
-            ve.probability(rain, 1, &[(wet, 1), (sprinkler, 1)]).unwrap();
+        let p_rain_given_wet_and_sprinkler = ve
+            .probability(rain, 1, &[(wet, 1), (sprinkler, 1)])
+            .unwrap();
         assert!(p_rain_given_wet_and_sprinkler < p_rain_given_wet);
     }
 
@@ -238,9 +245,15 @@ mod tests {
         // entry -> a -> b with noisy-OR weights 0.5 and 0.4:
         // P(b) = 0.5 * 0.4 = 0.2.
         let mut bn = BayesNet::new();
-        let entry = bn.add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
-        let a = bn.add_node("a", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
-        let b = bn.add_node("b", 2, vec![a], Cpt::noisy_or(0.0, vec![0.4])).unwrap();
+        let entry = bn
+            .add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0]))
+            .unwrap();
+        let a = bn
+            .add_node("a", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5]))
+            .unwrap();
+        let b = bn
+            .add_node("b", 2, vec![a], Cpt::noisy_or(0.0, vec![0.4]))
+            .unwrap();
         let ve = VariableElimination::new(&bn);
         assert!((ve.probability(a, 1, &[]).unwrap() - 0.5).abs() < 1e-12);
         assert!((ve.probability(b, 1, &[]).unwrap() - 0.2).abs() < 1e-12);
@@ -250,11 +263,22 @@ mod tests {
     fn diamond_paths_combine_by_noisy_or() {
         // entry splits into two paths that rejoin: P(target) combines them.
         let mut bn = BayesNet::new();
-        let entry = bn.add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
-        let left = bn.add_node("l", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
-        let right = bn.add_node("r", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5])).unwrap();
+        let entry = bn
+            .add_node("entry", 2, vec![], Cpt::tabular(vec![0.0, 1.0]))
+            .unwrap();
+        let left = bn
+            .add_node("l", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5]))
+            .unwrap();
+        let right = bn
+            .add_node("r", 2, vec![entry], Cpt::noisy_or(0.0, vec![0.5]))
+            .unwrap();
         let target = bn
-            .add_node("t", 2, vec![left, right], Cpt::noisy_or(0.0, vec![1.0, 1.0]))
+            .add_node(
+                "t",
+                2,
+                vec![left, right],
+                Cpt::noisy_or(0.0, vec![1.0, 1.0]),
+            )
             .unwrap();
         let ve = VariableElimination::new(&bn);
         // P(t) = 1 - P(neither path fires) = 1 - 0.5*0.5 = 0.75.
@@ -302,7 +326,9 @@ mod tests {
                     probs.push(1.0 - p);
                     probs.push(p);
                 }
-                let id = bn.add_node(&format!("n{i}"), 2, parents, Cpt::tabular(probs)).unwrap();
+                let id = bn
+                    .add_node(&format!("n{i}"), 2, parents, Cpt::tabular(probs))
+                    .unwrap();
                 ids.push(id);
             }
             let ve = VariableElimination::new(&bn);

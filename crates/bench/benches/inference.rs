@@ -37,16 +37,25 @@ fn bench_ve_chain(c: &mut Criterion) {
     let mut group = c.benchmark_group("ve_noisy_or_chain");
     for n in [16usize, 64, 256] {
         let mut bn = BayesNet::new();
-        let mut prev = bn.add_node("n0", 2, vec![], Cpt::tabular(vec![0.0, 1.0])).unwrap();
+        let mut prev = bn
+            .add_node("n0", 2, vec![], Cpt::tabular(vec![0.0, 1.0]))
+            .unwrap();
         for i in 1..n {
             prev = bn
-                .add_node(&format!("n{i}"), 2, vec![prev], Cpt::noisy_or(0.0, vec![0.7]))
+                .add_node(
+                    &format!("n{i}"),
+                    2,
+                    vec![prev],
+                    Cpt::noisy_or(0.0, vec![0.7]),
+                )
                 .unwrap();
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &bn, |b, bn| {
             let last = bayesnet::NodeId(n - 1);
             b.iter(|| {
-                VariableElimination::new(bn).probability(last, 1, &[]).expect("valid query")
+                VariableElimination::new(bn)
+                    .probability(last, 1, &[])
+                    .expect("valid query")
             });
         });
     }

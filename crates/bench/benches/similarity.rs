@@ -38,8 +38,11 @@ fn bench_similarity_table(c: &mut Criterion) {
             },
             42,
         );
-        let products: Vec<(String, Cpe)> =
-            gen.products().iter().map(|p| (p.to_string(), p.clone())).collect();
+        let products: Vec<(String, Cpe)> = gen
+            .products()
+            .iter()
+            .map(|p| (p.to_string(), p.clone()))
+            .collect();
         let db = gen.generate_database();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{}products_{entries}cves", products.len())),

@@ -1,6 +1,7 @@
 //! Criterion benchmarks for the MAP solvers (§V): TRW-S vs loopy BP vs ICM
 //! on identical random-network energies — the ablation behind the paper's
-//! choice of TRW-S.
+//! choice of TRW-S — plus single-solver vs parallel-portfolio wall time on
+//! the §VIII random-network sizes (the perf trajectory for scaling PRs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -48,7 +49,11 @@ fn bench_solvers(c: &mut Criterion) {
     for (name, solver) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &solver, |b, s| {
             let optimizer = DiversityOptimizer::new().with_solver(s.clone());
-            b.iter(|| optimizer.optimize(&g.network, &g.similarity).expect("solves"));
+            b.iter(|| {
+                optimizer
+                    .optimize(&g.network, &g.similarity)
+                    .expect("solves")
+            });
         });
     }
     group.finish();
@@ -64,11 +69,58 @@ fn bench_trws_scaling(c: &mut Criterion) {
             ..TrwsOptions::default()
         }));
         group.bench_with_input(BenchmarkId::from_parameter(hosts), &g, |b, g| {
-            b.iter(|| optimizer.optimize(&g.network, &g.similarity).expect("solves"));
+            b.iter(|| {
+                optimizer
+                    .optimize(&g.network, &g.similarity)
+                    .expect("solves")
+            });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_trws_scaling);
+/// Single solver vs portfolio on the §VIII sizes: measures what the
+/// concurrent race costs (or saves) in wall time at fixed iteration caps.
+fn bench_portfolio_vs_single(c: &mut Criterion) {
+    let trws = || {
+        SolverKind::Trws(TrwsOptions {
+            max_iterations: 20,
+            ..TrwsOptions::default()
+        })
+    };
+    let portfolio = SolverKind::Portfolio(vec![
+        trws(),
+        SolverKind::Bp(BpOptions {
+            max_iterations: 20,
+            ..BpOptions::default()
+        }),
+        SolverKind::Icm(IcmOptions::default()),
+    ]);
+    let mut group = c.benchmark_group("portfolio_vs_single");
+    group.sample_size(10);
+    // §VIII Table VII host counts (reduced grid).
+    for hosts in [100usize, 400, 1000] {
+        let g = instance(hosts);
+        for (label, kind) in [("single_trws", trws()), ("portfolio", portfolio.clone())] {
+            let optimizer = DiversityOptimizer::new()
+                .with_solver(kind)
+                .with_refinement(None);
+            group.bench_with_input(BenchmarkId::new(label, hosts), &g, |b, g| {
+                b.iter(|| {
+                    optimizer
+                        .optimize(&g.network, &g.similarity)
+                        .expect("solves")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_trws_scaling,
+    bench_portfolio_vs_single
+);
 criterion_main!(benches);

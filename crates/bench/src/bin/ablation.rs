@@ -2,9 +2,9 @@
 //! TRW-S (§V-C discusses graph-cuts/BP alternatives). For the exactly
 //! solvable case study and a mid-scale random network, compares objective
 //! quality, certified bounds and wall-clock across every solver in the
-//! crate, with and without ILS refinement.
-
-use std::time::Instant;
+//! crate — including the parallel `SolverPortfolio` — with and without ILS
+//! refinement. Wall time and exact-fallback telemetry come straight from
+//! `OptimizedAssignment`.
 
 use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
 use ics_diversity::report::TextTable;
@@ -27,8 +27,11 @@ fn run(
 ) {
     let optimizer = DiversityOptimizer::new()
         .with_solver(solver)
-        .with_refinement(if refine { Some(Default::default()) } else { None });
-    let start = Instant::now();
+        .with_refinement(if refine {
+            Some(Default::default())
+        } else {
+            None
+        });
     match optimizer.optimize(network, similarity) {
         Ok(solved) => {
             table.add_row_owned(vec![
@@ -43,35 +46,112 @@ fn run(
                     .gap()
                     .map(|g| format!("{g:.4}"))
                     .unwrap_or_else(|| "—".to_owned()),
-                format!("{:.3}", start.elapsed().as_secs_f64()),
+                format!("{:.3}", solved.wall_time().as_secs_f64()),
+                solved
+                    .exact_fallback()
+                    .map(|_| "fallback!")
+                    .unwrap_or("—")
+                    .to_owned(),
             ]);
         }
         Err(e) => {
-            table.add_row_owned(vec![label.to_owned(), "—".into(), format!("error: {e}"), String::new(), String::new(), String::new()]);
+            table.add_row_owned(vec![
+                label.to_owned(),
+                "—".into(),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]);
         }
     }
 }
 
+/// The portfolio raced in the ablation: every approximate solver at once.
+/// The elimination member gets a small table cap so it certifies the
+/// low-treewidth case study but fails fast (falling back internally) on
+/// dense instances — a portfolio without a deadline waits for its slowest
+/// member when nobody certifies, so keep members bounded.
+fn portfolio_kind() -> SolverKind {
+    SolverKind::Portfolio(vec![
+        SolverKind::Trws(TrwsOptions::default()),
+        SolverKind::Bp(BpOptions::default()),
+        SolverKind::Icm(IcmOptions::default()),
+        SolverKind::Exact(EliminationOptions {
+            max_table_entries: 50_000,
+        }),
+    ])
+}
+
 fn ablate(name: &str, network: &Network, similarity: &ProductSimilarity, with_exact: bool) {
-    println!("\n=== {name} ({} hosts, {} links) ===\n", network.host_count(), network.link_count());
-    let mut t = TextTable::new(&["solver", "ILS", "objective", "bound", "gap", "seconds"]);
+    println!(
+        "\n=== {name} ({} hosts, {} links) ===\n",
+        network.host_count(),
+        network.link_count()
+    );
+    let mut t = TextTable::new(&[
+        "solver",
+        "ILS",
+        "objective",
+        "bound",
+        "gap",
+        "seconds",
+        "exact",
+    ]);
     if with_exact {
-        run(&mut t, "exact elimination", network, similarity, SolverKind::Exact(EliminationOptions::default()), false);
+        run(
+            &mut t,
+            "exact elimination",
+            network,
+            similarity,
+            SolverKind::Exact(EliminationOptions::default()),
+            false,
+        );
     }
     for refine in [false, true] {
-        run(&mut t, "trws", network, similarity, SolverKind::Trws(TrwsOptions::default()), refine);
+        run(
+            &mut t,
+            "trws",
+            network,
+            similarity,
+            SolverKind::Trws(TrwsOptions::default()),
+            refine,
+        );
     }
     for refine in [false, true] {
-        run(&mut t, "bp", network, similarity, SolverKind::Bp(BpOptions::default()), refine);
+        run(
+            &mut t,
+            "bp",
+            network,
+            similarity,
+            SolverKind::Bp(BpOptions::default()),
+            refine,
+        );
     }
     for refine in [false, true] {
-        run(&mut t, "icm", network, similarity, SolverKind::Icm(IcmOptions::default()), refine);
+        run(
+            &mut t,
+            "icm",
+            network,
+            similarity,
+            SolverKind::Icm(IcmOptions::default()),
+            refine,
+        );
     }
+    run(
+        &mut t,
+        "portfolio (all)",
+        network,
+        similarity,
+        portfolio_kind(),
+        true,
+    );
     println!("{t}");
 }
 
 fn main() {
-    println!("Solver ablation (design-choice comparison; see DESIGN.md §5)");
+    println!("Solver ablation (design-choice comparison behind the paper’s pick of TRW-S)");
     let cs = CaseStudy::build();
     ablate("ICS case study", &cs.network, &cs.similarity, true);
 
@@ -106,7 +186,11 @@ mod tests {
         let obj = |solver: SolverKind, refine: bool| {
             DiversityOptimizer::new()
                 .with_solver(solver)
-                .with_refinement(if refine { Some(Default::default()) } else { None })
+                .with_refinement(if refine {
+                    Some(Default::default())
+                } else {
+                    None
+                })
                 .optimize(&cs.network, &cs.similarity)
                 .unwrap()
                 .objective()
@@ -118,5 +202,11 @@ mod tests {
         assert!(exact <= trws + 1e-9);
         assert!(trws <= bp + 1e-9, "trws {trws} vs bp {bp}");
         assert!(trws <= icm + 1e-9, "trws {trws} vs icm {icm}");
+        // The portfolio contains the exact solver, so it must match it.
+        let portfolio = obj(portfolio_kind(), false);
+        assert!(
+            (portfolio - exact).abs() < 1e-6,
+            "portfolio {portfolio} vs exact {exact}"
+        );
     }
 }

@@ -75,7 +75,13 @@ fn build(circle_sim: f64, squares: bool) -> Model {
             let circle = if id.index() % 2 == 0 { c0 } else { c1 };
             host.services()
                 .iter()
-                .map(|inst| if inst.service() == circle_svc { circle } else { sq })
+                .map(|inst| {
+                    if inst.service() == circle_svc {
+                        circle
+                    } else {
+                        sq
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -102,17 +108,27 @@ fn probability(model: &Model) -> f64 {
         HostId(0),
         config,
     );
-    abn.compromise_probability(model.target).expect("target reachable")
+    abn.compromise_probability(model.target)
+        .expect("target reachable")
 }
 
 fn main() {
     println!("Fig. 1 — motivational example: P(target compromised)\n");
     let a = build(0.0, false);
-    println!("(a) single-label hosts, zero shared vulnerabilities : {:.3}", probability(&a));
+    println!(
+        "(a) single-label hosts, zero shared vulnerabilities : {:.3}",
+        probability(&a)
+    );
     let b = build(0.5, false);
-    println!("(b) single-label hosts, similarity 0.5              : {:.3}", probability(&b));
+    println!(
+        "(b) single-label hosts, similarity 0.5              : {:.3}",
+        probability(&b)
+    );
     let c = build(0.5, true);
-    println!("(c) multi-label hosts, two zero-day exploits        : {:.3}", probability(&c));
+    println!(
+        "(c) multi-label hosts, two zero-day exploits        : {:.3}",
+        probability(&c)
+    );
     println!("\npaper reports: (a) 0, (b) ~0.125, (c) ~0.5");
 }
 

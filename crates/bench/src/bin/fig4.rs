@@ -15,9 +15,8 @@ fn main() {
     println!("(C1 plus: no Internet Explorer on Linux, globally)\n");
     print!("{}", a.constrained_c2.render(&cs.network, &cs.catalog));
 
-    let sim_of = |x: &netmodel::assignment::Assignment| {
-        x.total_edge_similarity(&cs.network, &cs.similarity)
-    };
+    let sim_of =
+        |x: &netmodel::assignment::Assignment| x.total_edge_similarity(&cs.network, &cs.similarity);
     println!("\ntotal edge similarity (lower = more diverse):");
     println!("  α̂    {:.3}", sim_of(&a.optimal));
     println!("  α̂C1  {:.3}", sim_of(&a.constrained_c1));
@@ -37,13 +36,18 @@ mod tests {
         // Pinned products appear in the constrained solutions.
         let z4 = cs.host("z4");
         assert_eq!(
-            a.constrained_c1.product_for(&cs.network, z4, cs.services.wb),
+            a.constrained_c1
+                .product_for(&cs.network, z4, cs.services.wb),
             Some(cs.product("IE10"))
         );
         // C2 eliminates IE10-on-Linux everywhere.
         for (id, _) in cs.network.iter_hosts() {
-            let os = a.constrained_c2.product_for(&cs.network, id, cs.services.os);
-            let wb = a.constrained_c2.product_for(&cs.network, id, cs.services.wb);
+            let os = a
+                .constrained_c2
+                .product_for(&cs.network, id, cs.services.os);
+            let wb = a
+                .constrained_c2
+                .product_for(&cs.network, id, cs.services.wb);
             if os == Some(cs.product("Ubuntu14.04")) || os == Some(cs.product("Debian8.0")) {
                 assert_ne!(wb, Some(cs.product("IE10")), "host {id} runs IE10 on Linux");
             }

@@ -15,12 +15,7 @@ fn entry() -> CveEntry {
     .iter()
     .map(|s| s.parse().expect("table I CPEs are well-formed"))
     .collect();
-    CveEntry::new(
-        CveId::new(2016, 7153).expect("valid id"),
-        2016,
-        affected,
-    )
-    .with_description(
+    CveEntry::new(CveId::new(2016, 7153).expect("valid id"), 2016, affected).with_description(
         "HEIST: HTTP-encrypted information can be stolen through TCP-windows \
          (affects all major browsers)",
     )

@@ -64,15 +64,19 @@ mod tests {
         .unwrap();
         let dbn: Vec<f64> = rows.iter().map(|r| r.metric.dbn).collect();
         // Paper's ordering: optimal > constrained (≈ equal pair) > random > mono.
-        assert!(dbn[0] >= dbn[1] - 1e-9, "optimal {} vs C1 {}", dbn[0], dbn[1]);
+        assert!(
+            dbn[0] >= dbn[1] - 1e-9,
+            "optimal {} vs C1 {}",
+            dbn[0],
+            dbn[1]
+        );
         assert!(dbn[1] > dbn[3], "C1 {} vs random {}", dbn[1], dbn[3]);
         assert!(dbn[2] > dbn[3], "C2 {} vs random {}", dbn[2], dbn[3]);
         assert!(dbn[3] > dbn[4], "random {} vs mono {}", dbn[3], dbn[4]);
         // P' constant across assignments.
         for r in &rows[1..] {
             assert!(
-                (r.metric.p_without_similarity - rows[0].metric.p_without_similarity).abs()
-                    < 1e-12
+                (r.metric.p_without_similarity - rows[0].metric.p_without_similarity).abs() < 1e-12
             );
         }
         // All metrics in (0, 1].

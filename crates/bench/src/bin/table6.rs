@@ -29,14 +29,20 @@ fn main() {
     let cells = mttc_report(
         &cs.network,
         &cs.similarity,
-        &assignments.iter().map(|(l, x)| (*l, *x)).collect::<Vec<_>>(),
+        &assignments
+            .iter()
+            .map(|(l, x)| (*l, *x))
+            .collect::<Vec<_>>(),
         &cs.entry_points,
         cs.target,
         &config,
     );
 
     println!("Table VI — MTTC (in ticks) against different assignments");
-    println!("({} runs per cell; target t5; censored runs excluded from the mean)\n", runs);
+    println!(
+        "({} runs per cell; target t5; censored runs excluded from the mean)\n",
+        runs
+    );
     let entry_names: Vec<String> = cs
         .entry_points
         .iter()
@@ -124,6 +130,9 @@ mod tests {
             strictly_better >= 3,
             "optimal should decisively out-survive mono on most entries"
         );
-        assert!(opt_total > 2.0 * mono_total, "aggregate MTTC must strongly favor optimal");
+        assert!(
+            opt_total > 2.0 * mono_total,
+            "aggregate MTTC must strongly favor optimal"
+        );
     }
 }

@@ -17,10 +17,7 @@ fn main() {
         vec![100, 200, 400, 600, 800, 1000]
     };
     let optimizer = DiversityOptimizer::new();
-    let rows = [
-        ("mid-density", 20usize, 15usize),
-        ("high-density", 40, 25),
-    ];
+    let rows = [("mid-density", 20usize, 15usize), ("high-density", 40, 25)];
 
     println!("Table VII — computational time (seconds) over #hosts");
     println!("(TRW-S on CPU; the paper's numbers come from a GTX-750-accelerated C++ build,");

@@ -174,13 +174,13 @@ pub fn build_energy(
             };
             for h in hosts {
                 let Ok(host) = network.host(h) else { continue };
-                let (Some(sm), Some(sn)) =
-                    (host.service_slot(if_service), host.service_slot(then_service))
-                else {
+                let (Some(sm), Some(sn)) = (
+                    host.service_slot(if_service),
+                    host.service_slot(then_service),
+                ) else {
                     continue; // vacuous at hosts missing either service
                 };
-                let trigger_fixed =
-                    domains[h.index()][sm] == vec![if_product];
+                let trigger_fixed = domains[h.index()][sm] == vec![if_product];
                 let trigger_possible = domains[h.index()][sm].contains(&if_product);
                 if is_forbid {
                     // If the trigger is certain, the forbidden product goes.
@@ -227,8 +227,7 @@ pub fn build_energy(
     let mut slots: Vec<Vec<SlotBinding>> = Vec::with_capacity(network.host_count());
     for (host_id, host) in network.iter_hosts() {
         let mut host_slots = Vec::with_capacity(host.services().len());
-        for slot in 0..host.services().len() {
-            let domain = &domains[host_id.index()][slot];
+        for domain in domains[host_id.index()].iter().take(host.services().len()) {
             if domain.len() == 1 {
                 host_slots.push(SlotBinding::Fixed(domain[0]));
             } else {
@@ -327,9 +326,10 @@ pub fn build_energy(
         };
         for h in hosts {
             let Ok(host) = network.host(h) else { continue };
-            let (Some(sm), Some(sn)) =
-                (host.service_slot(if_service), host.service_slot(then_service))
-            else {
+            let (Some(sm), Some(sn)) = (
+                host.service_slot(if_service),
+                host.service_slot(then_service),
+            ) else {
                 continue;
             };
             let (
@@ -405,7 +405,16 @@ mod tests {
         (net, c, ProductSimilarity::from_dense(4, vals))
     }
 
-    fn ids(c: &Catalog) -> (ServiceId, ServiceId, ProductId, ProductId, ProductId, ProductId) {
+    fn ids(
+        c: &Catalog,
+    ) -> (
+        ServiceId,
+        ServiceId,
+        ProductId,
+        ProductId,
+        ProductId,
+        ProductId,
+    ) {
         (
             c.service_by_name("os").unwrap(),
             c.service_by_name("wb").unwrap(),
@@ -513,7 +522,11 @@ mod tests {
         let (net, c, sim) = fixture();
         let (os, wb, _, lin, ie, _) = ids(&c);
         let mut cs = ConstraintSet::new();
-        cs.push(Constraint::forbid_combination(Scope::All, (os, lin), (wb, ie)));
+        cs.push(Constraint::forbid_combination(
+            Scope::All,
+            (os, lin),
+            (wb, ie),
+        ));
         let e = build_energy(&net, &sim, &cs, EnergyParams::default()).unwrap();
         // Two extra intra-host edges (h0 and h1; h2 has no browser).
         assert_eq!(e.model().edge_count(), 4);

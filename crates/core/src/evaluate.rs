@@ -159,8 +159,10 @@ mod tests {
         )
         .unwrap();
         // P' identical across rows; dbn strictly ordered optimal > random > mono.
-        assert!((rows[0].metric.p_without_similarity - rows[2].metric.p_without_similarity).abs()
-            < 1e-12);
+        assert!(
+            (rows[0].metric.p_without_similarity - rows[2].metric.p_without_similarity).abs()
+                < 1e-12
+        );
         assert!(
             rows[0].metric.dbn > rows[1].metric.dbn,
             "optimal {} vs random {}",
@@ -191,7 +193,11 @@ mod tests {
         assert_eq!(cells.len(), 2 * cs.entry_points.len());
         // Every mono cell should reach the target easily.
         for c in cells.iter().filter(|c| c.label == "mono") {
-            assert!(c.estimate.success_rate() > 0.9, "mono from {} failed", c.entry);
+            assert!(
+                c.estimate.success_rate() > 0.9,
+                "mono from {} failed",
+                c.entry
+            );
         }
     }
 

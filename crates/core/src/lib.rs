@@ -16,8 +16,13 @@
 //!
 //! * [`energy`] — translates a network + constraints into the discrete
 //!   pairwise MRF of paper Eq. 1 (one variable per (host, service) slot).
-//! * [`optimizer`] — the solver facade: TRW-S (default), loopy BP, ICM or
-//!   exhaustive search over the constructed energy.
+//! * [`optimizer`] — the solver facade, built on the open
+//!   [`mrf::MapSolver`] trait: TRW-S (default), loopy BP, ICM, ILS, exact
+//!   elimination with a *recorded* fallback, brute force, parallel solver
+//!   portfolios, or any user-supplied `MapSolver`. Runs accept wall-clock
+//!   budgets, cancellation flags and progress callbacks
+//!   ([`mrf::SolveControl`]), chain refinement stages, and report
+//!   telemetry (solver name, wall time, fallback cause).
 //! * [`evaluate`] — `dbn` and MTTC reports for any assignment.
 //! * [`metrics`] — the complementary diversity metrics of the framework the
 //!   paper adapts: effective richness and least attacking effort.
@@ -40,6 +45,30 @@
 //!     optimizer.optimize_constrained(&cs.network, &cs.similarity, &cs.constraints_c1())?;
 //! assert!(constrained.assignment().total_edge_similarity(&cs.network, &cs.similarity)
 //!     >= optimal.assignment().total_edge_similarity(&cs.network, &cs.similarity) - 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Budgeted portfolio solves
+//!
+//! ```
+//! use std::time::Duration;
+//! use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+//! use netmodel::casestudy::CaseStudy;
+//!
+//! # fn main() -> Result<(), ics_diversity::Error> {
+//! let cs = CaseStudy::build();
+//! // Race TRW-S against exact elimination under a 250 ms budget; the
+//! // lowest-energy member wins, and telemetry says who and how long.
+//! let solved = DiversityOptimizer::new()
+//!     .with_solver(SolverKind::Portfolio(vec![
+//!         SolverKind::Trws(Default::default()),
+//!         SolverKind::Exact(Default::default()),
+//!     ]))
+//!     .with_time_budget(Duration::from_millis(250))
+//!     .optimize(&cs.network, &cs.similarity)?;
+//! assert!(solved.solver_name().starts_with("portfolio["));
+//! assert!(solved.assignment().validate(&cs.network).is_ok());
 //! # Ok(())
 //! # }
 //! ```

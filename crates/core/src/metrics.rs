@@ -58,9 +58,7 @@ fn edge_rate(
         if let (Some(pa), Some(pb)) = (pa, pb) {
             shared += 1;
             total += config.baseline_rate
-                + (1.0 - config.baseline_rate)
-                    * config.exploit_success
-                    * similarity.get(pa, pb);
+                + (1.0 - config.baseline_rate) * config.exploit_success * similarity.get(pa, pb);
         }
     }
     if shared == 0 {
@@ -130,10 +128,7 @@ pub fn least_attack_effort(
             if nd < dist[nb.index()] {
                 dist[nb.index()] = nd;
                 prev[nb.index()] = Some(host);
-                heap.push(HeapEntry {
-                    dist: nd,
-                    host: nb,
-                });
+                heap.push(HeapEntry { dist: nd, host: nb });
             }
         }
     }
@@ -162,7 +157,11 @@ pub fn least_attack_effort(
 pub fn effective_richness(network: &Network, assignment: &Assignment) -> f64 {
     let deployable: std::collections::BTreeSet<_> = network
         .iter_hosts()
-        .flat_map(|(_, h)| h.services().iter().flat_map(|s| s.candidates().iter().copied()))
+        .flat_map(|(_, h)| {
+            h.services()
+                .iter()
+                .flat_map(|s| s.candidates().iter().copied())
+        })
         .collect();
     if deployable.is_empty() {
         return 0.0;
@@ -209,12 +208,11 @@ mod tests {
     fn least_effort_on_a_line_is_the_line() {
         let (net, sim) = line(4, 0.5);
         let mono = Assignment::from_slots(vec![vec![ProductId(0)]; 4]);
-        let path =
-            least_attack_effort(&net, &mono, &sim, HostId(0), HostId(3), cfg()).unwrap();
+        let path = least_attack_effort(&net, &mono, &sim, HostId(0), HostId(3), cfg()).unwrap();
         assert_eq!(path.hosts.len(), 4);
         // Three hops at rate 0.5 each.
         assert!((path.success_probability - 0.125).abs() < 1e-12);
-        assert!((path.effort - -(0.125f64.ln().abs() * -1.0)).abs() < 1.0); // effort = -ln(0.125)
+        assert!((path.effort - 0.125f64.ln().abs()).abs() < 1.0); // effort = -ln(0.125)
         assert!((path.effort - 2.0794415).abs() < 1e-6);
     }
 
@@ -270,7 +268,9 @@ mod tests {
         let (net, sim) = line(5, 0.3);
         let mono = Assignment::from_slots(vec![vec![ProductId(0)]; 5]);
         let alt = Assignment::from_slots(
-            (0..5).map(|i| vec![ProductId((i % 2) as u16)]).collect::<Vec<_>>(),
+            (0..5)
+                .map(|i| vec![ProductId((i % 2) as u16)])
+                .collect::<Vec<_>>(),
         );
         let c = cfg();
         let pm = least_attack_effort(&net, &mono, &sim, HostId(0), HostId(4), c).unwrap();
@@ -287,7 +287,9 @@ mod tests {
         // Mono-culture with 2 deployable products: 1/2.
         assert!((r - 0.5).abs() < 1e-9);
         let alt = Assignment::from_slots(
-            (0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect::<Vec<_>>(),
+            (0..6)
+                .map(|i| vec![ProductId((i % 2) as u16)])
+                .collect::<Vec<_>>(),
         );
         assert!((effective_richness(&net, &alt) - 1.0).abs() < 1e-9);
     }

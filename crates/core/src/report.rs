@@ -29,7 +29,8 @@ impl TextTable {
     /// Appends a row. Shorter rows are padded with empty cells; longer rows
     /// extend the table width.
     pub fn add_row(&mut self, cells: &[&str]) -> &mut TextTable {
-        self.rows.push(cells.iter().map(|c| (*c).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|c| (*c).to_owned()).collect());
         self
     }
 

@@ -34,6 +34,10 @@ pub struct SweepPoint {
     pub lower_bound: Option<f64>,
     /// Whether the solver converged before its iteration cap.
     pub converged: bool,
+    /// Name of the solver that produced the point.
+    pub solver: String,
+    /// Cause of the exact-elimination fallback, when one fired.
+    pub fallback: Option<String>,
 }
 
 /// Generates an instance from `config` (seeded) and times `optimizer` on it.
@@ -61,6 +65,8 @@ pub fn time_optimization(
         objective: solved.objective(),
         lower_bound: solved.lower_bound(),
         converged: solved.converged(),
+        solver: solved.solver_name().to_string(),
+        fallback: solved.exact_fallback().map(str::to_string),
     })
 }
 
@@ -90,8 +96,8 @@ pub fn sweep<T: Copy>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrf::trws::TrwsOptions;
     use crate::optimizer::SolverKind;
+    use mrf::trws::TrwsOptions;
 
     fn fast_optimizer() -> DiversityOptimizer {
         DiversityOptimizer::new().with_solver(SolverKind::Trws(TrwsOptions {
@@ -120,6 +126,8 @@ mod tests {
         // Every link carries `services` MRF edges (full service overlap).
         assert_eq!(p.edges, p.links * p.services);
         assert!(p.lower_bound.unwrap() <= p.objective + 1e-9);
+        assert_eq!(p.solver, "trws");
+        assert!(p.fallback.is_none());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
+use crate::solver::{MapSolver, SolveControl};
 
 /// Options controlling a BP run.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,9 +45,18 @@ impl Bp {
     pub fn new(options: BpOptions) -> Bp {
         Bp { options }
     }
+}
+
+impl MapSolver for Bp {
+    fn name(&self) -> String {
+        "bp".to_string()
+    }
 
     /// Runs BP on `model`, decoding by per-variable belief minimization.
-    pub fn solve(&self, model: &MrfModel) -> Solution {
+    /// Honors the control's deadline/cancellation at iteration granularity;
+    /// an early stop decodes the current messages (the unary argmin when
+    /// stopped before the first update).
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
         let n = model.var_count();
         if n == 0 {
             return Solution::new(Vec::new(), 0.0, None, 0, true);
@@ -70,6 +80,9 @@ impl Bp {
         let mut converged = false;
         let damping = self.options.damping.clamp(0.0, 0.999);
         for iter in 0..self.options.max_iterations {
+            if ctl.should_stop() {
+                break;
+            }
             iterations = iter + 1;
             // Per-variable total incoming message sums (beliefs minus unary).
             let totals = incoming_totals(model, &to_a, &to_b, &off_a, &off_b);
@@ -87,32 +100,50 @@ impl Bp {
             );
             std::mem::swap(&mut to_a, &mut new_to_a);
             std::mem::swap(&mut to_b, &mut new_to_b);
+            if ctl.has_progress() {
+                // Decoding is O(labels); only pay for it when someone is
+                // watching.
+                let labels = decode(model, &to_a, &to_b, &off_a, &off_b);
+                ctl.report(iterations, model.energy(&labels), None);
+            }
             if delta <= self.options.tolerance {
                 converged = true;
                 break;
             }
         }
 
-        // Decode: x_i = argmin (unary + Σ incoming).
-        let totals = incoming_totals(model, &to_a, &to_b, &off_a, &off_b);
-        let mut labels = vec![0usize; n];
-        let mut offset = 0usize;
-        for i in 0..n {
-            let l = model.labels(VarId(i));
-            let u = model.unary(VarId(i));
-            let mut best = f64::INFINITY;
-            for x in 0..l {
-                let c = u[x] + totals[offset + x];
-                if c < best {
-                    best = c;
-                    labels[i] = x;
-                }
-            }
-            offset += l;
-        }
+        let labels = decode(model, &to_a, &to_b, &off_a, &off_b);
         let energy = model.energy(&labels);
         Solution::new(labels, energy, None, iterations, converged)
     }
+}
+
+/// Decode: `x_i = argmin (unary + Σ incoming)`.
+fn decode(
+    model: &MrfModel,
+    to_a: &[f64],
+    to_b: &[f64],
+    off_a: &[usize],
+    off_b: &[usize],
+) -> Vec<usize> {
+    let n = model.var_count();
+    let totals = incoming_totals(model, to_a, to_b, off_a, off_b);
+    let mut labels = vec![0usize; n];
+    let mut offset = 0usize;
+    for (i, label) in labels.iter_mut().enumerate() {
+        let l = model.labels(VarId(i));
+        let u = model.unary(VarId(i));
+        let mut best = f64::INFINITY;
+        for x in 0..l {
+            let c = u[x] + totals[offset + x];
+            if c < best {
+                best = c;
+                *label = x;
+            }
+        }
+        offset += l;
+    }
+    labels
 }
 
 /// Per-variable sums of incoming messages, flattened by variable label
@@ -175,7 +206,7 @@ fn update_messages(
         let ub = model.unary(b);
         let mut delta = 0.0f64;
         // a -> b: exclude the message b sent to a.
-        for xb in 0..lb {
+        for (xb, out) in out_b.iter_mut().enumerate().take(lb) {
             let mut best = f64::INFINITY;
             for xa in 0..la {
                 let base = ua[xa] + totals[var_off[a.0] + xa] - to_a[off_a[eidx] + xa];
@@ -184,7 +215,7 @@ fn update_messages(
                     best = c;
                 }
             }
-            out_b[xb] = best;
+            *out = best;
         }
         normalize(out_b);
         for (xb, nb) in out_b.iter_mut().enumerate() {
@@ -193,7 +224,7 @@ fn update_messages(
             delta = delta.max((*nb - old).abs());
         }
         // b -> a.
-        for xa in 0..la {
+        for (xa, out) in out_a.iter_mut().enumerate().take(la) {
             let mut best = f64::INFINITY;
             for xb in 0..lb {
                 let base = ub[xb] + totals[var_off[b.0] + xb] - to_b[off_b[eidx] + xb];
@@ -202,7 +233,7 @@ fn update_messages(
                     best = c;
                 }
             }
-            out_a[xa] = best;
+            *out = best;
         }
         normalize(out_a);
         for (xa, na) in out_a.iter_mut().enumerate() {
@@ -239,12 +270,12 @@ fn update_messages(
     // owns contiguous disjoint slices of the new buffers.
     let chunk = ecount.div_ceil(threads);
     let mut deltas = vec![0.0f64; threads];
-    crossbeam::scope(|scope| {
+    let update_edge = &update_edge;
+    std::thread::scope(|scope| {
         let mut rest_a: &mut [f64] = new_to_a;
         let mut rest_b: &mut [f64] = new_to_b;
         let mut consumed_a = 0usize;
         let mut consumed_b = 0usize;
-        let mut handles = Vec::new();
         for (t, delta_slot) in deltas.iter_mut().enumerate() {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(ecount);
@@ -261,7 +292,7 @@ fn update_messages(
             let base_b = consumed_b;
             consumed_a += take_a;
             consumed_b += take_b;
-            handles.push(scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = 0.0f64;
                 for eidx in lo..hi {
                     let oa = &mut mine_a[off_a[eidx] - base_a..off_a[eidx + 1] - base_a];
@@ -273,13 +304,9 @@ fn update_messages(
                     local = local.max(update_edge(eidx, oa, ob));
                 }
                 *delta_slot = local;
-            }));
+            });
         }
-        for h in handles {
-            h.join().expect("bp worker panicked");
-        }
-    })
-    .expect("bp thread scope failed");
+    });
     deltas.into_iter().fold(0.0, f64::max)
 }
 
@@ -300,8 +327,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    fn ctl() -> SolveControl {
+        SolveControl::new()
+    }
+
     fn solve(model: &MrfModel) -> Solution {
-        Bp::new(BpOptions::default()).solve(model)
+        Bp::new(BpOptions::default()).solve(model, &ctl())
     }
 
     #[test]
@@ -322,15 +353,20 @@ mod tests {
             let mut b = MrfBuilder::new();
             let vars: Vec<_> = (0..5).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect())
+                    .unwrap();
             }
             for w in vars.windows(2) {
-                b.add_edge_dense(w[0], w[1], (0..9).map(|_| rng.gen_range(0.0..3.0)).collect())
-                    .unwrap();
+                b.add_edge_dense(
+                    w[0],
+                    w[1],
+                    (0..9).map(|_| rng.gen_range(0.0..3.0)).collect(),
+                )
+                .unwrap();
             }
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = Exhaustive::new().solve(&m, &ctl());
             assert!((s.energy() - opt.energy()).abs() < 1e-6);
             assert!(s.converged());
         }
@@ -345,7 +381,8 @@ mod tests {
             let n = 6;
             let vars: Vec<_> = (0..n).map(|_| b.add_variable(2)).collect();
             for &v in &vars {
-                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)])
+                    .unwrap();
             }
             for i in 0..n {
                 b.add_edge_dense(
@@ -357,10 +394,13 @@ mod tests {
             }
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = Exhaustive::new().solve(&m, &ctl());
             total_gap += s.energy() - opt.energy();
         }
-        assert!(total_gap < 1.0, "BP total excess energy {total_gap} too large");
+        assert!(
+            total_gap < 1.0,
+            "BP total excess energy {total_gap} too large"
+        );
     }
 
     #[test]
@@ -370,7 +410,8 @@ mod tests {
         let n = 40;
         let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
         for &v in &vars {
-            b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+            b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect())
+                .unwrap();
         }
         for i in 0..n {
             for j in (i + 1)..n {
@@ -390,13 +431,13 @@ mod tests {
             max_iterations: 30,
             ..BpOptions::default()
         })
-        .solve(&m);
+        .solve(&m, &ctl());
         let par = Bp::new(BpOptions {
             threads: 4,
             max_iterations: 30,
             ..BpOptions::default()
         })
-        .solve(&m);
+        .solve(&m, &ctl());
         // Same deterministic updates regardless of thread count.
         assert_eq!(seq.labels(), par.labels());
         assert_eq!(seq.energy(), par.energy());
@@ -412,7 +453,8 @@ mod tests {
         b.set_unary(vars[0], vec![0.0, 0.01]).unwrap();
         b.set_unary(vars[1], vec![0.01, 0.0]).unwrap();
         for i in 0..3 {
-            b.add_edge_dense(vars[i], vars[(i + 1) % 3], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+            b.add_edge_dense(vars[i], vars[(i + 1) % 3], vec![1.0, 0.0, 0.0, 1.0])
+                .unwrap();
         }
         let m = b.build();
         let damped = Bp::new(BpOptions {
@@ -420,9 +462,9 @@ mod tests {
             max_iterations: 500,
             ..BpOptions::default()
         })
-        .solve(&m);
+        .solve(&m, &ctl());
         // One edge must agree in any labeling: optimum is 1.0 (+0.0 unary).
-        let opt = Exhaustive::new().solve(&m);
+        let opt = Exhaustive::new().solve(&m, &ctl());
         assert!(
             damped.energy() <= opt.energy() + 0.02,
             "damped BP energy {} vs optimum {}",

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
+use crate::solver::{best_effort, MapSolver, SolveControl};
 use crate::{Error, Result};
 
 /// Options for the exact eliminator.
@@ -73,14 +74,20 @@ impl Elimination {
         Elimination { options }
     }
 
-    /// Solves `model` to global optimality.
+    /// Solves `model` to global optimality, with the error surface exposed.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::TreewidthExceeded`] when an intermediate table would
-    /// exceed the configured cap; the model is untouched and the caller can
-    /// fall back to an approximate solver.
-    pub fn solve(&self, model: &MrfModel) -> Result<Solution> {
+    /// * [`Error::TreewidthExceeded`] — an intermediate table would exceed
+    ///   the configured cap; the model is untouched and the caller can fall
+    ///   back to an approximate solver.
+    /// * [`Error::Interrupted`] — the control's deadline passed or the run
+    ///   was cancelled mid-elimination (checked once per eliminated
+    ///   variable). Elimination has no meaningful partial labeling, so this
+    ///   surfaces as an error rather than a degraded solution; the
+    ///   [`MapSolver`] impl and [`crate::solver::ExactFallback`] translate
+    ///   it into a best-effort fallback.
+    pub fn solve_exact(&self, model: &MrfModel, ctl: &SolveControl) -> Result<Solution> {
         let n = model.var_count();
         if n == 0 {
             return Ok(Solution::new(Vec::new(), 0.0, Some(0.0), 0, true));
@@ -116,6 +123,9 @@ impl Elimination {
         let mut constant = 0.0f64;
 
         while let Some(var) = pick_min_degree(&tables, &remaining) {
+            if ctl.should_stop() {
+                return Err(Error::Interrupted);
+            }
             remaining.remove(&var);
             let (mentioning, rest): (Vec<CostTable>, Vec<CostTable>) =
                 tables.into_iter().partition(|t| t.scope.contains(&var));
@@ -212,7 +222,26 @@ impl Elimination {
             (energy - constant).abs() < 1e-6 * energy.abs().max(1.0),
             "back-substituted energy {energy} disagrees with eliminated optimum {constant}"
         );
+        ctl.report(n, energy, Some(constant));
         Ok(Solution::new(labels, energy, Some(constant), 1, true))
+    }
+}
+
+impl MapSolver for Elimination {
+    fn name(&self) -> String {
+        "elimination".to_string()
+    }
+
+    /// Exact elimination with a silent best-effort degradation: when the
+    /// treewidth cap or the budget is hit, a bounded greedy descent from the
+    /// unary argmin is returned (`converged() == false`, no bound). Use
+    /// [`Elimination::solve_exact`] for the error surface, or
+    /// [`crate::solver::ExactFallback`] to both fall back *and* record why.
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
+        match self.solve_exact(model, ctl) {
+            Ok(solution) => solution,
+            Err(_) => best_effort(model, ctl),
+        }
     }
 }
 
@@ -244,8 +273,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    fn ctl() -> SolveControl {
+        SolveControl::new()
+    }
+
     fn solve(model: &MrfModel) -> Solution {
-        Elimination::default().solve(model).expect("within cap")
+        Elimination::default()
+            .solve_exact(model, &ctl())
+            .expect("within cap")
     }
 
     #[test]
@@ -269,7 +304,8 @@ mod tests {
             let n = 8;
             let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                    .unwrap();
             }
             for i in 0..n {
                 for j in (i + 1)..n {
@@ -285,7 +321,7 @@ mod tests {
             }
             let m = b.build();
             let exact = solve(&m);
-            let brute = Exhaustive::new().solve(&m);
+            let brute = Exhaustive::new().solve(&m, &ctl());
             assert!(
                 (exact.energy() - brute.energy()).abs() < 1e-9,
                 "trial {trial}: elimination {} vs brute {}",
@@ -337,7 +373,7 @@ mod tests {
         let err = Elimination::new(EliminationOptions {
             max_table_entries: 1000,
         })
-        .solve(&m)
+        .solve_exact(&m, &ctl())
         .unwrap_err();
         assert!(matches!(err, Error::TreewidthExceeded { .. }));
     }

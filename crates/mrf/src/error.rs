@@ -48,6 +48,10 @@ pub enum Error {
         /// The configured cap.
         limit: usize,
     },
+    /// A solve was stopped by its deadline or a cancellation request before
+    /// the algorithm could produce a meaningful result (only raised by
+    /// solvers without anytime semantics, i.e. exact elimination).
+    Interrupted,
 }
 
 impl fmt::Display for Error {
@@ -79,6 +83,12 @@ impl fmt::Display for Error {
                 f,
                 "exact elimination needs a table of {entries} entries, above the {limit} cap"
             ),
+            Error::Interrupted => {
+                write!(
+                    f,
+                    "solve interrupted by deadline or cancellation before completion"
+                )
+            }
         }
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::model::MrfModel;
 use crate::solution::Solution;
+use crate::solver::{MapSolver, SolveControl};
 
 /// Default cap on the number of labelings [`Exhaustive`] will enumerate.
 pub const DEFAULT_LIMIT: f64 = 2e7;
@@ -34,13 +35,27 @@ impl Exhaustive {
     pub fn with_limit(limit: f64) -> Exhaustive {
         Exhaustive { limit }
     }
+}
 
-    /// Finds the global optimum by enumeration.
+/// Deadline/cancellation is polled every this many evaluated labelings.
+const CHECK_EVERY: u64 = 4096;
+
+impl MapSolver for Exhaustive {
+    fn name(&self) -> String {
+        "exhaustive".to_string()
+    }
+
+    /// Finds the global optimum by enumeration. Honors the control's
+    /// deadline/cancellation every [`CHECK_EVERY`] labelings, returning the
+    /// best labeling seen so far (uncertified, `converged() == false`) when
+    /// stopped early.
     ///
     /// # Panics
     ///
-    /// Panics if the labeling space exceeds the configured limit.
-    pub fn solve(&self, model: &MrfModel) -> Solution {
+    /// Panics if the labeling space exceeds the configured limit — this
+    /// solver is the test oracle; do not put it in portfolios over large
+    /// instances.
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
         let space = model.search_space();
         assert!(
             space <= self.limit,
@@ -54,7 +69,16 @@ impl Exhaustive {
         let mut current = vec![0usize; n];
         let mut best = current.clone();
         let mut best_energy = model.energy(&current);
+        let mut evaluated = 1u64;
+        let mut stopped = false;
         'outer: loop {
+            if evaluated.is_multiple_of(CHECK_EVERY) {
+                if ctl.should_stop() {
+                    stopped = true;
+                    break 'outer;
+                }
+                ctl.report(evaluated as usize, best_energy, None);
+            }
             // Odometer increment.
             let mut i = 0;
             loop {
@@ -69,12 +93,14 @@ impl Exhaustive {
                 }
             }
             let e = model.energy(&current);
+            evaluated += 1;
             if e < best_energy {
                 best_energy = e;
                 best = current.clone();
             }
         }
-        Solution::new(best, best_energy, Some(best_energy), 1, true)
+        let bound = (!stopped).then_some(best_energy);
+        Solution::new(best, best_energy, bound, 1, !stopped)
     }
 }
 
@@ -82,6 +108,10 @@ impl Exhaustive {
 mod tests {
     use super::*;
     use crate::model::MrfBuilder;
+
+    fn ctl() -> SolveControl {
+        SolveControl::new()
+    }
 
     #[test]
     fn finds_global_optimum() {
@@ -92,7 +122,7 @@ mod tests {
         b.set_unary(y, vec![0.0, 0.2]).unwrap();
         // Strong disagreement preference overrides the unary pull to (0, 0).
         b.add_edge_dense(x, y, vec![5.0, 0.0, 0.0, 5.0]).unwrap();
-        let s = Exhaustive::new().solve(&b.build());
+        let s = Exhaustive::new().solve(&b.build(), &ctl());
         assert_eq!(s.energy(), 0.2);
         assert_ne!(s.labels()[0], s.labels()[1]);
         assert_eq!(s.lower_bound(), Some(0.2));
@@ -100,7 +130,7 @@ mod tests {
 
     #[test]
     fn empty_model() {
-        let s = Exhaustive::new().solve(&MrfBuilder::new().build());
+        let s = Exhaustive::new().solve(&MrfBuilder::new().build(), &ctl());
         assert_eq!(s.energy(), 0.0);
     }
 
@@ -111,7 +141,7 @@ mod tests {
         let y = b.add_variable(4);
         b.set_unary(x, vec![2.0, 1.0, 3.0]).unwrap();
         b.set_unary(y, vec![5.0, 4.0, 0.5, 6.0]).unwrap();
-        let s = Exhaustive::new().solve(&b.build());
+        let s = Exhaustive::new().solve(&b.build(), &ctl());
         assert_eq!(s.labels(), &[1, 2]);
         assert_eq!(s.energy(), 1.5);
     }
@@ -123,7 +153,7 @@ mod tests {
         for _ in 0..40 {
             b.add_variable(4);
         }
-        Exhaustive::new().solve(&b.build());
+        Exhaustive::new().solve(&b.build(), &ctl());
     }
 
     #[test]
@@ -131,7 +161,7 @@ mod tests {
         let mut b = MrfBuilder::new();
         b.add_variable(2);
         b.add_variable(2);
-        let s = Exhaustive::with_limit(4.0).solve(&b.build());
+        let s = Exhaustive::with_limit(4.0).solve(&b.build(), &ctl());
         assert_eq!(s.labels().len(), 2);
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
+use crate::solver::{MapSolver, SolveControl};
 
 /// Options controlling an ICM run.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,17 +34,19 @@ impl Icm {
         Icm { options }
     }
 
-    /// Runs ICM from the unary-argmin labeling.
-    pub fn solve(&self, model: &MrfModel) -> Solution {
-        self.solve_from(model, model.unary_argmin())
-    }
-
-    /// Runs ICM from a caller-supplied initial labeling.
+    /// Runs ICM from a caller-supplied initial labeling, honoring the
+    /// control's deadline/cancellation at sweep granularity (the start
+    /// labeling is returned unchanged if the budget is already spent).
     ///
     /// # Panics
     ///
     /// Panics if `labels` has the wrong arity or out-of-range labels.
-    pub fn solve_from(&self, model: &MrfModel, mut labels: Vec<usize>) -> Solution {
+    pub fn solve_from(
+        &self,
+        model: &MrfModel,
+        mut labels: Vec<usize>,
+        ctl: &SolveControl,
+    ) -> Solution {
         assert_eq!(labels.len(), model.var_count(), "labeling arity mismatch");
         let n = model.var_count();
         if n == 0 {
@@ -53,6 +56,9 @@ impl Icm {
         let mut sweeps = 0usize;
         let mut converged = false;
         for sweep in 0..self.options.max_sweeps {
+            if ctl.should_stop() {
+                break;
+            }
             sweeps = sweep + 1;
             let mut changed = false;
             for i in 0..n {
@@ -90,7 +96,24 @@ impl Icm {
             }
         }
         let energy = model.energy(&labels);
+        ctl.report(sweeps, energy, None);
         Solution::new(labels, energy, None, sweeps, converged)
+    }
+}
+
+impl MapSolver for Icm {
+    fn name(&self) -> String {
+        "icm".to_string()
+    }
+
+    /// Runs ICM from the unary-argmin labeling.
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
+        self.solve_from(model, model.unary_argmin(), ctl)
+    }
+
+    /// ICM genuinely warm-starts: descends from `start` directly.
+    fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
+        self.solve_from(model, start, ctl)
     }
 }
 
@@ -99,15 +122,20 @@ mod tests {
     use super::*;
     use crate::exhaustive::Exhaustive;
     use crate::model::MrfBuilder;
+
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn ctl() -> SolveControl {
+        SolveControl::new()
+    }
 
     #[test]
     fn single_variable() {
         let mut b = MrfBuilder::new();
         let x = b.add_variable(3);
         b.set_unary(x, vec![2.0, 0.0, 1.0]).unwrap();
-        let s = Icm::default().solve(&b.build());
+        let s = Icm::default().solve(&b.build(), &ctl());
         assert_eq!(s.labels(), &[1]);
         assert!(s.converged());
     }
@@ -119,7 +147,8 @@ mod tests {
             let mut b = MrfBuilder::new();
             let vars: Vec<_> = (0..8).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect())
+                    .unwrap();
             }
             for i in 0..8 {
                 b.add_edge_dense(
@@ -132,7 +161,7 @@ mod tests {
             let m = b.build();
             let start = m.unary_argmin();
             let start_energy = m.energy(&start);
-            let s = Icm::default().solve_from(&m, start);
+            let s = Icm::default().solve_from(&m, start, &ctl());
             assert!(s.energy() <= start_energy + 1e-12);
         }
     }
@@ -142,11 +171,12 @@ mod tests {
         let mut b = MrfBuilder::new();
         for i in 0..5 {
             let v = b.add_variable(4);
-            b.set_unary(v, (0..4).map(|l| ((l + i) % 4) as f64).collect()).unwrap();
+            b.set_unary(v, (0..4).map(|l| ((l + i) % 4) as f64).collect())
+                .unwrap();
         }
         let m = b.build();
-        let s = Icm::default().solve(&m);
-        let opt = Exhaustive::new().solve(&m);
+        let s = Icm::default().solve(&m, &ctl());
+        let opt = Exhaustive::new().solve(&m, &ctl());
         assert_eq!(s.energy(), opt.energy());
     }
 
@@ -158,7 +188,7 @@ mod tests {
         b.set_unary(x, vec![0.0, 0.1]).unwrap();
         b.set_unary(y, vec![0.0, 0.1]).unwrap();
         b.add_edge_dense(x, y, vec![10.0, 0.0, 0.0, 10.0]).unwrap();
-        let s = Icm::default().solve(&b.build());
+        let s = Icm::default().solve(&b.build(), &ctl());
         assert_ne!(s.labels()[0], s.labels()[1]);
     }
 
@@ -175,8 +205,8 @@ mod tests {
         // flips are worse but the double flip wins.
         b.add_edge_dense(x, y, vec![1.0, 1.1, 1.1, 0.0]).unwrap();
         let m = b.build();
-        let s = Icm::default().solve(&m);
-        let opt = Exhaustive::new().solve(&m);
+        let s = Icm::default().solve(&m, &ctl());
+        let opt = Exhaustive::new().solve(&m, &ctl());
         assert_eq!(opt.labels(), &[1, 1]);
         assert!(s.energy() >= opt.energy());
         assert_eq!(s.labels(), &[0, 0], "ICM should be trapped by design here");
@@ -187,6 +217,6 @@ mod tests {
     fn wrong_arity_panics() {
         let mut b = MrfBuilder::new();
         b.add_variable(2);
-        Icm::default().solve_from(&b.build(), vec![]);
+        Icm::default().solve_from(&b.build(), vec![], &ctl());
     }
 }

@@ -11,6 +11,7 @@
 use crate::icm::{Icm, IcmOptions};
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
+use crate::solver::{MapSolver, SolveControl};
 
 /// Options controlling an ILS refinement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,13 +77,26 @@ impl Ils {
     pub fn new(options: IlsOptions) -> Ils {
         Ils { options }
     }
+}
+
+impl MapSolver for Ils {
+    fn name(&self) -> String {
+        "ils".to_string()
+    }
+
+    /// Runs ILS from the unary-argmin labeling.
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
+        self.refine(model, model.unary_argmin(), ctl)
+    }
 
     /// Refines `start`, returning a labeling with energy ≤ the start's.
+    /// Honors the control's deadline/cancellation at kick granularity; a
+    /// stopped run reports `converged() == false`.
     ///
     /// # Panics
     ///
     /// Panics if `start` has the wrong arity or out-of-range labels.
-    pub fn refine(&self, model: &MrfModel, start: Vec<usize>) -> Solution {
+    fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
         let n = model.var_count();
         if n == 0 {
@@ -92,18 +106,32 @@ impl Ils {
             max_sweeps: self.options.sweeps,
         });
         let mut rng = SplitMix64::new(self.options.seed);
-        let descended = icm.solve_from(model, start);
-        let mut best = descended.labels().to_vec();
-        let mut best_energy = descended.energy();
+        let start_energy = model.energy(&start);
+        let descended = icm.solve_from(model, start.clone(), ctl);
+        // ICM cannot worsen its start (and under an expired budget returns
+        // it unchanged); the guard keeps the anytime contract robust against
+        // floating-point re-summation drift.
+        let (mut best, mut best_energy) = if descended.energy() <= start_energy {
+            (descended.labels().to_vec(), descended.energy())
+        } else {
+            (start, start_energy)
+        };
         let kick_size = ((n as f64 * self.options.kick_fraction).ceil() as usize).clamp(1, n);
+        let mut kicks_run = 0usize;
+        let mut stopped = false;
         for _ in 0..self.options.kicks {
+            if ctl.should_stop() {
+                stopped = true;
+                break;
+            }
+            kicks_run += 1;
             let mut candidate = best.clone();
             for _ in 0..kick_size {
                 let v = rng.below(n);
                 let labels = model.labels(VarId(v));
                 candidate[v] = rng.below(labels);
             }
-            let descended = icm.solve_from(model, candidate);
+            let descended = icm.solve_from(model, candidate, ctl);
             let accept = if self.options.plateau {
                 descended.energy() <= best_energy + 1e-12
             } else {
@@ -113,8 +141,9 @@ impl Ils {
                 best_energy = best_energy.min(descended.energy());
                 best = descended.labels().to_vec();
             }
+            ctl.report(kicks_run, best_energy, None);
         }
-        Solution::new(best, best_energy, None, self.options.kicks, true)
+        Solution::new(best, best_energy, None, kicks_run, !stopped)
     }
 }
 
@@ -138,8 +167,8 @@ mod tests {
     #[test]
     fn escapes_the_icm_trap() {
         let m = frustrated();
-        let opt = Exhaustive::new().solve(&m);
-        let refined = Ils::default().refine(&m, vec![0, 0]);
+        let opt = Exhaustive::new().solve(&m, &SolveControl::new());
+        let refined = Ils::default().refine(&m, vec![0, 0], &SolveControl::new());
         assert_eq!(refined.energy(), opt.energy());
         assert_eq!(refined.labels(), &[1, 1]);
     }
@@ -153,7 +182,8 @@ mod tests {
             let mut b = MrfBuilder::new();
             let vars: Vec<_> = (0..10).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect())
+                    .unwrap();
             }
             for i in 0..10 {
                 b.add_edge_dense(
@@ -166,7 +196,7 @@ mod tests {
             let m = b.build();
             let start: Vec<usize> = (0..10).map(|_| rng.gen_range(0..3)).collect();
             let start_energy = m.energy(&start);
-            let refined = Ils::default().refine(&m, start);
+            let refined = Ils::default().refine(&m, start, &SolveControl::new());
             assert!(refined.energy() <= start_energy + 1e-12);
         }
     }
@@ -174,8 +204,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let m = frustrated();
-        let a = Ils::default().refine(&m, vec![0, 0]);
-        let b = Ils::default().refine(&m, vec![0, 0]);
+        let a = Ils::default().refine(&m, vec![0, 0], &SolveControl::new());
+        let b = Ils::default().refine(&m, vec![0, 0], &SolveControl::new());
         assert_eq!(a, b);
     }
 
@@ -199,8 +229,15 @@ mod tests {
                 }
             }
             let m = b.build();
-            let opt = Exhaustive::new().solve(&m);
-            let refined = Ils::default().refine(&m, vec![0; 4]);
+            let opt = Exhaustive::new().solve(&m, &SolveControl::new());
+            // Two-variable kicks: escaping a frustrated K4 coloring needs
+            // coordinated moves a single re-randomized variable cannot make.
+            let ils = Ils::new(IlsOptions {
+                kicks: 200,
+                kick_fraction: 0.5,
+                ..IlsOptions::default()
+            });
+            let refined = ils.refine(&m, vec![0; 4], &SolveControl::new());
             assert!(
                 (refined.energy() - opt.energy()).abs() < 1e-9,
                 "ils {} vs optimum {}",
@@ -213,7 +250,7 @@ mod tests {
     #[test]
     fn empty_model() {
         let m = MrfBuilder::new().build();
-        let s = Ils::default().refine(&m, vec![]);
+        let s = Ils::default().refine(&m, vec![], &SolveControl::new());
         assert_eq!(s.energy(), 0.0);
     }
 }

@@ -1,11 +1,21 @@
-//! Discrete pairwise Markov Random Fields and MAP solvers.
+//! Discrete pairwise Markov Random Fields and anytime MAP solvers.
 //!
 //! Section V of the DSN 2020 paper *"Scalable Approach to Enhancing ICS
 //! Resilience by Network Diversity"* casts optimal product assignment as MAP
 //! inference in a discrete pairwise MRF, minimized with the sequential
 //! tree-reweighted message passing algorithm (**TRW-S**, Kolmogorov). This
-//! crate is a self-contained implementation of that machinery:
+//! crate is a self-contained implementation of that machinery, unified
+//! behind one open interface:
 //!
+//! * [`solver`] — the [`MapSolver`] trait every solver implements:
+//!   `solve(&model, &SolveControl)` with wall-clock deadlines, atomic
+//!   cancellation and progress callbacks, all honored at iteration
+//!   granularity with anytime (best-so-far) semantics. Also home to
+//!   [`solver::ExactFallback`], which composes exact elimination with an
+//!   approximate fallback and records *why* the fallback fired.
+//! * [`portfolio`] — [`SolverPortfolio`]: N solvers racing on scoped
+//!   threads, first certified winner cancels the rest, per-member
+//!   telemetry.
 //! * [`model`] — the energy function: variables with finite label sets,
 //!   per-variable unary costs, and pairwise potentials on edges. Potentials
 //!   are *shared*: thousands of edges can reference one cost matrix, which
@@ -16,7 +26,8 @@
 //!   graphs.
 //! * [`bp`] — loopy min-sum belief propagation (damped, optionally
 //!   multi-threaded) as the baseline the paper compares TRW-S against.
-//! * [`icm`] — iterated conditional modes, a fast greedy baseline.
+//! * [`icm`] — iterated conditional modes, a fast greedy baseline and the
+//!   warm-start refiner other solvers build on.
 //! * [`ils`] — iterated local search, the refinement stage that closes the
 //!   primal gap the message-passing decode leaves on frustrated energies.
 //! * [`elimination`] — exact MAP by min-sum bucket elimination, feasible
@@ -28,7 +39,8 @@
 //!
 //! ```
 //! use mrf::model::MrfBuilder;
-//! use mrf::trws::{Trws, TrwsOptions};
+//! use mrf::solver::{MapSolver, SolveControl};
+//! use mrf::trws::Trws;
 //!
 //! # fn main() -> Result<(), mrf::Error> {
 //! // Two variables with two labels each; disagreeing labels are cheaper.
@@ -38,9 +50,35 @@
 //! b.add_edge_dense(x, y, vec![1.0, 0.0, 0.0, 1.0])?; // cost(xa, xb)
 //! let model = b.build();
 //!
-//! let solution = Trws::new(TrwsOptions::default()).solve(&model);
+//! let solution = Trws::default().solve(&model, &SolveControl::new());
 //! assert_ne!(solution.labels()[0], solution.labels()[1]);
 //! assert_eq!(solution.energy(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Budgets and portfolios
+//!
+//! ```
+//! use std::time::Duration;
+//! use mrf::model::MrfBuilder;
+//! use mrf::portfolio::SolverPortfolio;
+//! use mrf::solver::{MapSolver, SolveControl};
+//!
+//! # fn main() -> Result<(), mrf::Error> {
+//! let mut b = MrfBuilder::new();
+//! let vars: Vec<_> = (0..10).map(|_| b.add_variable(3)).collect();
+//! for w in vars.windows(2) {
+//!     b.add_edge_dense(w[0], w[1], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0])?;
+//! }
+//! let model = b.build();
+//!
+//! // Race TRW-S, BP, exact elimination and ILS under a 100 ms budget; the
+//! // first member to certify optimality cancels the others.
+//! let ctl = SolveControl::new().with_budget(Duration::from_millis(100));
+//! let outcome = SolverPortfolio::standard().solve_detailed(&model, &ctl);
+//! assert_eq!(outcome.solution.energy(), 0.0);
+//! assert!(outcome.reports.iter().any(|r| r.winner));
 //! # Ok(())
 //! # }
 //! ```
@@ -51,14 +89,18 @@ pub mod exhaustive;
 pub mod icm;
 pub mod ils;
 pub mod model;
+pub mod portfolio;
 pub mod solution;
+pub mod solver;
 pub mod trws;
 
 mod error;
 
 pub use error::Error;
 pub use model::{MrfBuilder, MrfModel, PotentialId, VarId};
+pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;
+pub use solver::{ExactFallback, MapSolver, ProgressEvent, SolveControl};
 
 /// Convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, Error>;

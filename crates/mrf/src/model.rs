@@ -205,8 +205,10 @@ impl MrfBuilder {
     ///
     /// Returns [`Error::UnknownVariable`] or [`Error::UnaryArity`].
     pub fn set_unary(&mut self, v: VarId, costs: Vec<f64>) -> Result<()> {
-        let labels =
-            *self.label_counts.get(v.0).ok_or(Error::UnknownVariable(v))? as usize;
+        let labels = *self
+            .label_counts
+            .get(v.0)
+            .ok_or(Error::UnknownVariable(v))? as usize;
         if costs.len() != labels {
             return Err(Error::UnaryArity {
                 var: v,
@@ -225,8 +227,10 @@ impl MrfBuilder {
     /// Returns [`Error::UnknownVariable`] or [`Error::UnaryArity`] (label out
     /// of range).
     pub fn add_unary(&mut self, v: VarId, label: usize, delta: f64) -> Result<()> {
-        let labels =
-            *self.label_counts.get(v.0).ok_or(Error::UnknownVariable(v))? as usize;
+        let labels = *self
+            .label_counts
+            .get(v.0)
+            .ok_or(Error::UnknownVariable(v))? as usize;
         if label >= labels {
             return Err(Error::UnaryArity {
                 var: v,
@@ -268,8 +272,14 @@ impl MrfBuilder {
     /// Returns [`Error::UnknownVariable`], [`Error::UnknownPotential`],
     /// [`Error::SelfEdge`] or [`Error::PotentialShape`].
     pub fn add_edge(&mut self, a: VarId, b: VarId, potential: PotentialId) -> Result<()> {
-        let la = *self.label_counts.get(a.0).ok_or(Error::UnknownVariable(a))? as usize;
-        let lb = *self.label_counts.get(b.0).ok_or(Error::UnknownVariable(b))? as usize;
+        let la = *self
+            .label_counts
+            .get(a.0)
+            .ok_or(Error::UnknownVariable(a))? as usize;
+        let lb = *self
+            .label_counts
+            .get(b.0)
+            .ok_or(Error::UnknownVariable(b))? as usize;
         if a == b {
             return Err(Error::SelfEdge(a));
         }
@@ -308,8 +318,14 @@ impl MrfBuilder {
     ///
     /// See [`MrfBuilder::add_edge`] and [`MrfBuilder::add_potential`].
     pub fn add_edge_dense(&mut self, a: VarId, b: VarId, costs: Vec<f64>) -> Result<()> {
-        let la = *self.label_counts.get(a.0).ok_or(Error::UnknownVariable(a))? as usize;
-        let lb = *self.label_counts.get(b.0).ok_or(Error::UnknownVariable(b))? as usize;
+        let la = *self
+            .label_counts
+            .get(a.0)
+            .ok_or(Error::UnknownVariable(a))? as usize;
+        let lb = *self
+            .label_counts
+            .get(b.0)
+            .ok_or(Error::UnknownVariable(b))? as usize;
         let p = self.add_potential(la, lb, costs)?;
         self.add_edge(a, b, p)
     }
@@ -369,7 +385,8 @@ mod tests {
         let y = b.add_variable(3);
         b.set_unary(x, vec![1.0, 2.0]).unwrap();
         b.set_unary(y, vec![0.0, 5.0, 1.0]).unwrap();
-        b.add_edge_dense(x, y, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        b.add_edge_dense(x, y, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
         let m = b.build();
         assert_eq!(m.var_count(), 2);
         assert_eq!(m.edge_count(), 1);
@@ -483,7 +500,10 @@ mod tests {
             b.add_edge(x, y, PotentialId(9)),
             Err(Error::UnknownPotential(_))
         ));
-        assert!(matches!(b.add_unary(x, 5, 1.0), Err(Error::UnaryArity { .. })));
+        assert!(matches!(
+            b.add_unary(x, 5, 1.0),
+            Err(Error::UnaryArity { .. })
+        ));
     }
 
     #[test]

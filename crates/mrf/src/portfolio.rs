@@ -1,0 +1,391 @@
+//! A parallel portfolio of MAP solvers.
+//!
+//! Different solvers win on different instances: TRW-S dominates on sparse
+//! loopy graphs, exact elimination on low-treewidth ones, ILS on small
+//! frustrated cliques, ICM when the budget is tiny. [`SolverPortfolio`]
+//! runs several [`MapSolver`]s concurrently on scoped threads, returns the
+//! lowest-energy solution, and reports per-member telemetry
+//! ([`MemberReport`]). Members share the caller's deadline and observe the
+//! caller's cancellation; as soon as one member *certifies* optimality
+//! (gap ≤ tolerance) the remaining members are cancelled, so easy
+//! instances cost one solver, not N.
+//!
+//! The portfolio itself implements [`MapSolver`], so portfolios nest and
+//! drop into any API accepting the trait.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use crate::bp::Bp;
+use crate::icm::Icm;
+use crate::ils::Ils;
+use crate::model::MrfModel;
+use crate::solution::Solution;
+use crate::solver::{ExactFallback, MapSolver, SolveControl};
+use crate::trws::Trws;
+
+/// Telemetry for one portfolio member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberReport {
+    /// The member's [`MapSolver::name`].
+    pub name: String,
+    /// Final energy the member reached (`f64::INFINITY` if it panicked).
+    pub energy: f64,
+    /// The member's certified lower bound, if any.
+    pub lower_bound: Option<f64>,
+    /// Iterations the member ran.
+    pub iterations: usize,
+    /// Whether the member converged (vs. being stopped early).
+    pub converged: bool,
+    /// The member's wall-clock time.
+    pub wall: Duration,
+    /// Whether this member produced the returned solution.
+    pub winner: bool,
+}
+
+/// The full result of a portfolio solve.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// The lowest-energy solution across members, with the tightest lower
+    /// bound any member certified.
+    pub solution: Solution,
+    /// Name of the winning member.
+    pub winner: String,
+    /// Per-member telemetry, in member order.
+    pub reports: Vec<MemberReport>,
+}
+
+/// Runs N [`MapSolver`]s concurrently and keeps the best answer.
+#[derive(Default)]
+pub struct SolverPortfolio {
+    members: Vec<Box<dyn MapSolver>>,
+    certify_tolerance: f64,
+}
+
+impl fmt::Debug for SolverPortfolio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolverPortfolio")
+            .field("members", &self.member_names())
+            .field("certify_tolerance", &self.certify_tolerance)
+            .finish()
+    }
+}
+
+impl SolverPortfolio {
+    /// An empty portfolio; add members with [`SolverPortfolio::with_member`].
+    pub fn new() -> SolverPortfolio {
+        SolverPortfolio {
+            members: Vec::new(),
+            certify_tolerance: 1e-9,
+        }
+    }
+
+    /// The standard mix: certified message passing (TRW-S), damped loopy BP,
+    /// exact-with-fallback, and ILS local search. A good default for
+    /// instances of unknown structure.
+    pub fn standard() -> SolverPortfolio {
+        SolverPortfolio::new()
+            .with_member(Box::new(Trws::default()))
+            .with_member(Box::new(Bp::default()))
+            .with_member(Box::new(ExactFallback::default()))
+            .with_member(Box::new(Ils::default()))
+    }
+
+    /// A budget-friendly mix for tiny time budgets: greedy ICM plus TRW-S.
+    pub fn quick() -> SolverPortfolio {
+        SolverPortfolio::new()
+            .with_member(Box::new(Icm::default()))
+            .with_member(Box::new(Trws::default()))
+    }
+
+    /// Adds a member.
+    pub fn with_member(mut self, member: Box<dyn MapSolver>) -> SolverPortfolio {
+        self.members.push(member);
+        self
+    }
+
+    /// Adds a member in place.
+    pub fn push(&mut self, member: Box<dyn MapSolver>) {
+        self.members.push(member);
+    }
+
+    /// Sets the gap tolerance below which a member's solution counts as
+    /// certified optimal and cancels the remaining members.
+    pub fn with_certify_tolerance(mut self, tolerance: f64) -> SolverPortfolio {
+        self.certify_tolerance = tolerance;
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the portfolio has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members' names, in order.
+    pub fn member_names(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+
+    /// Runs every member concurrently and returns the best solution plus
+    /// per-member telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the portfolio is empty, or if *every* member panicked.
+    pub fn solve_detailed(&self, model: &MrfModel, ctl: &SolveControl) -> PortfolioOutcome {
+        assert!(!self.is_empty(), "cannot solve with an empty portfolio");
+        // One shared child control: members observe the caller's deadline
+        // and cancellation; the first certified member cancels the rest
+        // without touching the caller's flag.
+        let child = ctl.child();
+        let tolerance = self.certify_tolerance;
+        let results: Vec<Option<(Solution, Duration)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter()
+                .map(|member| {
+                    let child = &child;
+                    scope.spawn(move || {
+                        let start = Instant::now();
+                        let solution = member.solve(model, child);
+                        let wall = start.elapsed();
+                        if solution.is_certified_optimal(tolerance) {
+                            child.cancel();
+                        }
+                        (solution, wall)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().ok()).collect()
+        });
+
+        let mut reports: Vec<MemberReport> = Vec::with_capacity(self.members.len());
+        let mut best: Option<(usize, Solution)> = None;
+        let mut best_bound: Option<f64> = None;
+        for (idx, (member, result)) in self.members.iter().zip(&results).enumerate() {
+            match result {
+                Some((solution, wall)) => {
+                    reports.push(MemberReport {
+                        name: member.name(),
+                        energy: solution.energy(),
+                        lower_bound: solution.lower_bound(),
+                        iterations: solution.iterations(),
+                        converged: solution.converged(),
+                        wall: *wall,
+                        winner: false,
+                    });
+                    if let Some(lb) = solution.lower_bound() {
+                        // Any member's certified bound is a valid global
+                        // bound; keep the tightest.
+                        best_bound = Some(best_bound.map_or(lb, |b: f64| b.max(lb)));
+                    }
+                    if best
+                        .as_ref()
+                        .is_none_or(|(_, incumbent)| solution.energy() < incumbent.energy())
+                    {
+                        best = Some((idx, solution.clone()));
+                    }
+                }
+                None => reports.push(MemberReport {
+                    name: member.name(),
+                    energy: f64::INFINITY,
+                    lower_bound: None,
+                    iterations: 0,
+                    converged: false,
+                    wall: Duration::ZERO,
+                    winner: false,
+                }),
+            }
+        }
+        let (winner_idx, winner_solution) =
+            best.expect("every portfolio member panicked; nothing to return");
+        reports[winner_idx].winner = true;
+        let winner = reports[winner_idx].name.clone();
+        let solution = Solution::new(
+            winner_solution.labels().to_vec(),
+            winner_solution.energy(),
+            best_bound,
+            winner_solution.iterations(),
+            winner_solution.converged(),
+        );
+        PortfolioOutcome {
+            solution,
+            winner,
+            reports,
+        }
+    }
+}
+
+impl MapSolver for SolverPortfolio {
+    fn name(&self) -> String {
+        format!("portfolio[{}]", self.member_names().join("+"))
+    }
+
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
+        self.solve_detailed(model, ctl).solution
+    }
+
+    /// Aggregates member fallback causes (e.g. an [`ExactFallback`] member
+    /// that degraded to its approximate stage), prefixed by member name.
+    fn fallback_cause(&self) -> Option<String> {
+        let causes: Vec<String> = self
+            .members
+            .iter()
+            .filter_map(|m| m.fallback_cause().map(|c| format!("{}: {c}", m.name())))
+            .collect();
+        if causes.is_empty() {
+            None
+        } else {
+            Some(causes.join("; "))
+        }
+    }
+
+    /// Refines by running every member's `refine` concurrently from the
+    /// same start and keeping the best result.
+    fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
+        assert!(!self.is_empty(), "cannot refine with an empty portfolio");
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let child = ctl.child();
+        let start_energy = model.energy(&start);
+        let results: Vec<Option<Solution>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .members
+                .iter()
+                .map(|member| {
+                    let child = &child;
+                    let start = start.clone();
+                    scope.spawn(move || member.refine(model, start, child))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().ok()).collect()
+        });
+        results
+            .into_iter()
+            .flatten()
+            .min_by(|a, b| a.energy().total_cmp(&b.energy()))
+            .filter(|s| s.energy() <= start_energy)
+            .unwrap_or_else(|| Solution::new(start, start_energy, None, 0, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::Exhaustive;
+    use crate::model::MrfBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_model(rng: &mut StdRng, n: usize, labels: usize) -> MrfModel {
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..n).map(|_| b.add_variable(labels)).collect();
+        for &v in &vars {
+            b.set_unary(v, (0..labels).map(|_| rng.gen_range(0.0..2.0)).collect())
+                .unwrap();
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.4) {
+                    b.add_edge_dense(
+                        vars[i],
+                        vars[j],
+                        (0..labels * labels)
+                            .map(|_| rng.gen_range(0.0..1.5))
+                            .collect(),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn portfolio_beats_or_matches_every_member() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for _ in 0..6 {
+            let model = random_model(&mut rng, 7, 3);
+            let portfolio = SolverPortfolio::standard();
+            let outcome = portfolio.solve_detailed(&model, &SolveControl::new());
+            for report in &outcome.reports {
+                assert!(
+                    outcome.solution.energy() <= report.energy + 1e-9,
+                    "portfolio energy {} worse than member {} at {}",
+                    outcome.solution.energy(),
+                    report.name,
+                    report.energy
+                );
+            }
+            assert_eq!(outcome.reports.iter().filter(|r| r.winner).count(), 1);
+            let winner = outcome.reports.iter().find(|r| r.winner).unwrap();
+            assert_eq!(winner.name, outcome.winner);
+            assert!((winner.energy - outcome.solution.energy()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_exhaustive_on_small_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..4 {
+            let model = random_model(&mut rng, 6, 2);
+            let outcome = SolverPortfolio::standard().solve_detailed(&model, &SolveControl::new());
+            let opt = Exhaustive::new().solve(&model, &SolveControl::new());
+            // The standard mix contains the exact eliminator, which always
+            // succeeds at this size.
+            assert!(
+                (outcome.solution.energy() - opt.energy()).abs() < 1e-9,
+                "portfolio {} vs optimum {}",
+                outcome.solution.energy(),
+                opt.energy()
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_complete_labeling() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = random_model(&mut rng, 30, 3);
+        let ctl = SolveControl::new().with_budget(Duration::ZERO);
+        let outcome = SolverPortfolio::standard().solve_detailed(&model, &ctl);
+        assert_eq!(outcome.solution.labels().len(), model.var_count());
+        for (i, &l) in outcome.solution.labels().iter().enumerate() {
+            assert!(l < model.labels(crate::VarId(i)));
+        }
+        let recomputed = model.energy(outcome.solution.labels());
+        assert!((recomputed - outcome.solution.energy()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_portfolios_work() {
+        let inner = SolverPortfolio::quick();
+        let outer = SolverPortfolio::new()
+            .with_member(Box::new(inner))
+            .with_member(Box::new(Trws::default()));
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = random_model(&mut rng, 5, 2);
+        let solution = outer.solve(&model, &SolveControl::new());
+        assert_eq!(solution.labels().len(), 5);
+        assert!(outer.name().starts_with("portfolio["));
+    }
+
+    #[test]
+    fn refine_never_worsens_the_start() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = random_model(&mut rng, 8, 3);
+        let start: Vec<usize> = (0..8).map(|_| rng.gen_range(0..3)).collect();
+        let start_energy = model.energy(&start);
+        let refined = SolverPortfolio::standard().refine(&model, start, &SolveControl::new());
+        assert!(refined.energy() <= start_energy + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty portfolio")]
+    fn empty_portfolio_panics() {
+        SolverPortfolio::new().solve(&MrfBuilder::new().build(), &SolveControl::new());
+    }
+}

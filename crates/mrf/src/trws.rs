@@ -23,6 +23,7 @@
 use crate::icm::{Icm, IcmOptions};
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
+use crate::solver::{MapSolver, SolveControl};
 
 /// Options controlling a TRW-S run.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,10 +66,19 @@ impl Trws {
     pub fn new(options: TrwsOptions) -> Trws {
         Trws { options }
     }
+}
+
+impl MapSolver for Trws {
+    fn name(&self) -> String {
+        "trws".to_string()
+    }
 
     /// Runs TRW-S on `model` and returns the best labeling found, its
-    /// energy, and the tightest certified lower bound.
-    pub fn solve(&self, model: &MrfModel) -> Solution {
+    /// energy, and the tightest certified lower bound. Honors the control's
+    /// deadline/cancellation at iteration granularity, returning the best
+    /// labeling seen so far (the unary argmin if stopped before the first
+    /// pass completes).
+    fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
         let n = model.var_count();
         if n == 0 {
             return Solution::new(Vec::new(), 0.0, Some(0.0), 0, true);
@@ -80,18 +90,21 @@ impl Trws {
         let mut stall = 0usize;
         let mut iterations = 0usize;
         let mut converged = false;
+        let polish = Icm::new(IcmOptions {
+            max_sweeps: self.options.polish_sweeps,
+        });
 
         for iter in 0..self.options.max_iterations {
+            if ctl.should_stop() {
+                break;
+            }
             iterations = iter + 1;
             state.forward_pass(model);
             let bound = state.backward_pass(model);
             let mut labels = state.decode(model);
             let mut energy = model.energy(&labels);
             if self.options.polish_sweeps > 0 {
-                let polished = Icm::new(IcmOptions {
-                    max_sweeps: self.options.polish_sweeps,
-                })
-                .solve_from(model, labels);
+                let polished = polish.solve_from(model, labels, ctl);
                 energy = polished.energy();
                 labels = polished.labels().to_vec();
             }
@@ -103,6 +116,7 @@ impl Trws {
             if bound > best_bound {
                 best_bound = bound;
             }
+            ctl.report(iterations, best_energy, Some(best_bound));
             // Converged: the gap certifies optimality, or the bound stopped
             // improving for `patience` iterations.
             if (best_energy - best_bound).abs() <= self.options.tolerance {
@@ -119,7 +133,8 @@ impl Trws {
                 stall = 0;
             }
         }
-        Solution::new(best_labels, best_energy, Some(best_bound), iterations, converged)
+        let bound = best_bound.is_finite().then_some(best_bound);
+        Solution::new(best_labels, best_energy, bound, iterations, converged)
     }
 }
 
@@ -154,7 +169,9 @@ impl State {
             fwd[e.a().0] += 1;
             bwd[e.b().0] += 1;
         }
-        let gamma = (0..n).map(|i| 1.0 / fwd[i].max(bwd[i]).max(1) as f64).collect();
+        let gamma = (0..n)
+            .map(|i| 1.0 / fwd[i].max(bwd[i]).max(1) as f64)
+            .collect();
         State {
             msg_to_a: vec![0.0; *off_a.last().unwrap()],
             off_a,
@@ -200,8 +217,7 @@ impl State {
                 // m_{a→b}(xb) = min_xa base(xa) + cost(xa, xb), then normalize.
                 let mut mins = vec![f64::INFINITY; lb];
                 for xa in 0..la {
-                    let base = gamma * self.scratch[xa]
-                        - self.msg_to_a[self.off_a[eidx] + xa];
+                    let base = gamma * self.scratch[xa] - self.msg_to_a[self.off_a[eidx] + xa];
                     for (xb, m) in mins.iter_mut().enumerate() {
                         let c = base + model.edge_cost(&e, xa, xb);
                         if c < *m {
@@ -245,8 +261,7 @@ impl State {
                 let la = model.labels(e.a());
                 let mut mins = vec![f64::INFINITY; la];
                 for xb in 0..lb_count {
-                    let base = gamma * self.scratch[xb]
-                        - self.msg_to_b[self.off_b[eidx] + xb];
+                    let base = gamma * self.scratch[xb] - self.msg_to_b[self.off_b[eidx] + xb];
                     for (xa, m) in mins.iter_mut().enumerate() {
                         let c = base + model.edge_cost(&e, xa, xb);
                         if c < *m {
@@ -343,7 +358,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn solve(model: &MrfModel) -> Solution {
-        Trws::new(TrwsOptions::default()).solve(model)
+        Trws::new(TrwsOptions::default()).solve(model, &SolveControl::new())
+    }
+
+    fn brute(model: &MrfModel) -> Solution {
+        Exhaustive::new().solve(model, &SolveControl::new())
     }
 
     #[test]
@@ -385,22 +404,31 @@ mod tests {
             let mut b = MrfBuilder::new();
             let vars: Vec<_> = (0..6).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..4.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..4.0)).collect())
+                    .unwrap();
             }
             for w in vars.windows(2) {
-                b.add_edge_dense(w[0], w[1], (0..9).map(|_| rng.gen_range(0.0..4.0)).collect())
-                    .unwrap();
+                b.add_edge_dense(
+                    w[0],
+                    w[1],
+                    (0..9).map(|_| rng.gen_range(0.0..4.0)).collect(),
+                )
+                .unwrap();
             }
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = brute(&m);
             assert!(
                 (s.energy() - opt.energy()).abs() < 1e-7,
                 "trial {trial}: trws {} vs exhaustive {}",
                 s.energy(),
                 opt.energy()
             );
-            assert!(s.is_certified_optimal(1e-6), "trial {trial}: gap {:?}", s.gap());
+            assert!(
+                s.is_certified_optimal(1e-6),
+                "trial {trial}: gap {:?}",
+                s.gap()
+            );
         }
     }
 
@@ -411,7 +439,8 @@ mod tests {
             let mut b = MrfBuilder::new();
             let vars: Vec<_> = (0..9).map(|_| b.add_variable(2)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect()).unwrap();
+                b.set_unary(v, (0..2).map(|_| rng.gen_range(-2.0..2.0)).collect())
+                    .unwrap();
             }
             // Balanced binary tree edges.
             for i in 1..vars.len() {
@@ -424,7 +453,7 @@ mod tests {
             }
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = brute(&m);
             assert!(
                 (s.energy() - opt.energy()).abs() < 1e-7,
                 "trial {trial}: trws {} vs exhaustive {}",
@@ -442,7 +471,8 @@ mod tests {
             let n = 6;
             let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
             for &v in &vars {
-                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect()).unwrap();
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect())
+                    .unwrap();
             }
             // Ring plus a chord: loopy.
             for i in 0..n {
@@ -453,11 +483,15 @@ mod tests {
                 )
                 .unwrap();
             }
-            b.add_edge_dense(vars[0], vars[3], (0..9).map(|_| rng.gen_range(0.0..3.0)).collect())
-                .unwrap();
+            b.add_edge_dense(
+                vars[0],
+                vars[3],
+                (0..9).map(|_| rng.gen_range(0.0..3.0)).collect(),
+            )
+            .unwrap();
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = brute(&m);
             let lb = s.lower_bound().unwrap();
             assert!(
                 lb <= opt.energy() + 1e-7,
@@ -491,10 +525,12 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 if c + 1 < 3 {
-                    b.add_edge(vars[r * 3 + c], vars[r * 3 + c + 1], pot).unwrap();
+                    b.add_edge(vars[r * 3 + c], vars[r * 3 + c + 1], pot)
+                        .unwrap();
                 }
                 if r + 1 < 3 {
-                    b.add_edge(vars[r * 3 + c], vars[(r + 1) * 3 + c], pot).unwrap();
+                    b.add_edge(vars[r * 3 + c], vars[(r + 1) * 3 + c], pot)
+                        .unwrap();
                 }
             }
         }
@@ -543,7 +579,8 @@ mod tests {
             let n = 7;
             let vars: Vec<_> = (0..n).map(|_| b.add_variable(2)).collect();
             for &v in &vars {
-                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)]).unwrap();
+                b.set_unary(v, vec![rng.gen_range(0.0..2.0), rng.gen_range(0.0..2.0)])
+                    .unwrap();
             }
             for i in 0..n {
                 for j in (i + 1)..n {
@@ -559,7 +596,7 @@ mod tests {
             }
             let m = b.build();
             let s = solve(&m);
-            let opt = Exhaustive::new().solve(&m);
+            let opt = brute(&m);
             let rel = (s.energy() - opt.energy()) / opt.energy().abs().max(1.0);
             assert!(
                 rel < 0.15,
@@ -575,13 +612,14 @@ mod tests {
         let mut b = MrfBuilder::new();
         let vars: Vec<_> = (0..20).map(|_| b.add_variable(3)).collect();
         for i in 0..20 {
-            b.add_edge_dense(vars[i], vars[(i + 1) % 20], vec![0.5; 9]).unwrap();
+            b.add_edge_dense(vars[i], vars[(i + 1) % 20], vec![0.5; 9])
+                .unwrap();
         }
         let s = Trws::new(TrwsOptions {
             max_iterations: 2,
             ..TrwsOptions::default()
         })
-        .solve(&b.build());
+        .solve(&b.build(), &SolveControl::new());
         assert!(s.iterations() <= 2);
     }
 }

@@ -9,6 +9,7 @@ use mrf::exhaustive::Exhaustive;
 use mrf::icm::Icm;
 use mrf::ils::Ils;
 use mrf::model::{MrfBuilder, MrfModel};
+use mrf::solver::{MapSolver, SolveControl};
 use mrf::trws::{Trws, TrwsOptions};
 
 /// A random model with ≤7 variables of 2–3 labels and random edges —
@@ -49,8 +50,8 @@ proptest! {
     /// Bucket elimination is exact: always equals the brute-force optimum.
     #[test]
     fn elimination_is_exact(model in arb_model()) {
-        let exact = Elimination::default().solve(&model).unwrap();
-        let brute = Exhaustive::new().solve(&model);
+        let exact = Elimination::default().solve_exact(&model, &SolveControl::new()).unwrap();
+        let brute = Exhaustive::new().solve(&model, &SolveControl::new());
         prop_assert!((exact.energy() - brute.energy()).abs() < 1e-9,
             "elimination {} vs brute {}", exact.energy(), brute.energy());
         prop_assert!(exact.is_certified_optimal(1e-9));
@@ -60,8 +61,8 @@ proptest! {
     /// decoded energy never beats it.
     #[test]
     fn trws_bound_brackets_the_optimum(model in arb_model()) {
-        let brute = Exhaustive::new().solve(&model);
-        let s = Trws::new(TrwsOptions::default()).solve(&model);
+        let brute = Exhaustive::new().solve(&model, &SolveControl::new());
+        let s = Trws::new(TrwsOptions::default()).solve(&model, &SolveControl::new());
         prop_assert!(s.lower_bound().unwrap() <= brute.energy() + 1e-7,
             "bound {} exceeds optimum {}", s.lower_bound().unwrap(), brute.energy());
         prop_assert!(s.energy() >= brute.energy() - 1e-9);
@@ -78,7 +79,7 @@ proptest! {
                 % model.labels(mrf::VarId(i)))
             .collect();
         let start_energy = model.energy(&start);
-        let s = Icm::default().solve_from(&model, start);
+        let s = Icm::default().solve_from(&model, start, &SolveControl::new());
         prop_assert!(s.energy() <= start_energy + 1e-12);
     }
 
@@ -86,17 +87,17 @@ proptest! {
     #[test]
     fn ils_refines_at_least_as_well_as_icm(model in arb_model()) {
         let start = model.unary_argmin();
-        let icm = Icm::default().solve_from(&model, start.clone());
-        let ils = Ils::default().refine(&model, start);
+        let icm = Icm::default().solve_from(&model, start.clone(), &SolveControl::new());
+        let ils = Ils::default().refine(&model, start, &SolveControl::new());
         prop_assert!(ils.energy() <= icm.energy() + 1e-12);
     }
 
     /// BP decodes a labeling whose energy the model confirms.
     #[test]
     fn bp_energy_is_consistent(model in arb_model()) {
-        let s = Bp::new(BpOptions::default()).solve(&model);
+        let s = Bp::new(BpOptions::default()).solve(&model, &SolveControl::new());
         prop_assert!((model.energy(s.labels()) - s.energy()).abs() < 1e-9);
-        let brute = Exhaustive::new().solve(&model);
+        let brute = Exhaustive::new().solve(&model, &SolveControl::new());
         prop_assert!(s.energy() >= brute.energy() - 1e-9);
     }
 
@@ -104,10 +105,10 @@ proptest! {
     #[test]
     fn solvers_respect_domains(model in arb_model()) {
         for labels in [
-            Trws::new(TrwsOptions::default()).solve(&model).labels().to_vec(),
-            Bp::new(BpOptions::default()).solve(&model).labels().to_vec(),
-            Icm::default().solve(&model).labels().to_vec(),
-            Elimination::default().solve(&model).unwrap().labels().to_vec(),
+            Trws::new(TrwsOptions::default()).solve(&model, &SolveControl::new()).labels().to_vec(),
+            Bp::new(BpOptions::default()).solve(&model, &SolveControl::new()).labels().to_vec(),
+            Icm::default().solve(&model, &SolveControl::new()).labels().to_vec(),
+            Elimination::default().solve_exact(&model, &SolveControl::new()).unwrap().labels().to_vec(),
         ] {
             prop_assert_eq!(labels.len(), model.var_count());
             for (i, &l) in labels.iter().enumerate() {

@@ -82,7 +82,12 @@ impl Assignment {
 
     /// The product assigned to `service` at `host`, or `None` if the host
     /// does not run the service.
-    pub fn product_for(&self, network: &Network, host: HostId, service: ServiceId) -> Option<ProductId> {
+    pub fn product_for(
+        &self,
+        network: &Network,
+        host: HostId,
+        service: ServiceId,
+    ) -> Option<ProductId> {
         let h = network.host(host).ok()?;
         let slot = h.service_slot(service)?;
         self.products.get(host.index())?.get(slot).copied()
@@ -90,17 +95,16 @@ impl Assignment {
 
     /// The products assigned at `host`, in service declaration order.
     pub fn products_at(&self, host: HostId) -> &[ProductId] {
-        self.products.get(host.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.products
+            .get(host.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Paper Eq. 3: the total pairwise similarity over all links and shared
     /// services — the quantity the optimizer minimizes (up to the constant
     /// unary term). Lower is more diverse.
-    pub fn total_edge_similarity(
-        &self,
-        network: &Network,
-        similarity: &ProductSimilarity,
-    ) -> f64 {
+    pub fn total_edge_similarity(&self, network: &Network, similarity: &ProductSimilarity) -> f64 {
         let mut total = 0.0;
         for &(a, b) in network.links() {
             total += self.edge_similarity(network, similarity, a, b);

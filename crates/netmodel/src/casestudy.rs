@@ -103,7 +103,11 @@ impl CaseStudy {
         let mut set = ConstraintSet::new();
         set.push(Constraint::fix(self.host("z4"), os, self.product("Win7")));
         set.push(Constraint::fix(self.host("z4"), wb, self.product("IE10")));
-        set.push(Constraint::fix(self.host("z4"), db, self.product("MSSQL14")));
+        set.push(Constraint::fix(
+            self.host("z4"),
+            db,
+            self.product("MSSQL14"),
+        ));
         for h in ["e1", "r1"] {
             set.push(Constraint::fix(self.host(h), os, self.product("Win7")));
             set.push(Constraint::fix(self.host(h), wb, self.product("IE8")));
@@ -195,9 +199,9 @@ fn build_case_study() -> Result<CaseStudy> {
     // --- Hosts (Table IV roles) --------------------------------------------
     let mut b = NetworkBuilder::new();
     let add = |b: &mut NetworkBuilder,
-                   name: &str,
-                   zone: &str,
-                   services: Vec<(ServiceId, Vec<ProductId>)>|
+               name: &str,
+               zone: &str,
+               services: Vec<(ServiceId, Vec<ProductId>)>|
      -> Result<HostId> {
         let h = b.add_host_in_zone(name, zone);
         for (s, candidates) in services {
@@ -207,55 +211,171 @@ fn build_case_study() -> Result<CaseStudy> {
     };
 
     // Corporate sub-network.
-    let c1 = add(&mut b, "c1", "Corporate", vec![(os, windows_any.clone()), (wb, ie_any.clone())])?;
-    let c2 = add(&mut b, "c2", "Corporate", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
-    let c3 = add(&mut b, "c3", "Corporate", vec![(os, os_modern.clone()), (wb, wb_all.clone())])?;
-    let c4 = add(&mut b, "c4", "Corporate", vec![(os, os_modern.clone()), (wb, wb_all.clone())])?;
+    let c1 = add(
+        &mut b,
+        "c1",
+        "Corporate",
+        vec![(os, windows_any.clone()), (wb, ie_any.clone())],
+    )?;
+    let c2 = add(
+        &mut b,
+        "c2",
+        "Corporate",
+        vec![(os, os_modern.clone()), (wb, wb_modern.clone())],
+    )?;
+    let c3 = add(
+        &mut b,
+        "c3",
+        "Corporate",
+        vec![(os, os_modern.clone()), (wb, wb_all.clone())],
+    )?;
+    let c4 = add(
+        &mut b,
+        "c4",
+        "Corporate",
+        vec![(os, os_modern.clone()), (wb, wb_all.clone())],
+    )?;
     // DMZ.
-    let z1 = add(&mut b, "z1", "DMZ", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
-    let z2 = add(&mut b, "z2", "DMZ", vec![(os, vec![win7]), (db, vec![mssql08, mssql14])])?;
+    let z1 = add(
+        &mut b,
+        "z1",
+        "DMZ",
+        vec![(os, os_modern.clone()), (db, db_modern.clone())],
+    )?;
+    let z2 = add(
+        &mut b,
+        "z2",
+        "DMZ",
+        vec![(os, vec![win7]), (db, vec![mssql08, mssql14])],
+    )?;
     let z3 = add(
         &mut b,
         "z3",
         "DMZ",
-        vec![(os, vec![win7]), (wb, ie_any.clone()), (db, vec![mssql08, mssql14])],
+        vec![
+            (os, vec![win7]),
+            (wb, ie_any.clone()),
+            (db, vec![mssql08, mssql14]),
+        ],
     )?;
     let z4 = add(
         &mut b,
         "z4",
         "DMZ",
-        vec![(os, os_modern.clone()), (wb, wb_modern.clone()), (db, db_modern.clone())],
+        vec![
+            (os, os_modern.clone()),
+            (wb, wb_modern.clone()),
+            (db, db_modern.clone()),
+        ],
     )?;
     // Operations network (legacy, fixed).
-    let p1 = add(&mut b, "p1", "Operations", vec![(os, vec![win7]), (wb, vec![ie8])])?;
-    let p2 = add(&mut b, "p2", "Operations", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
-    let p3 = add(&mut b, "p3", "Operations", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
+    let p1 = add(
+        &mut b,
+        "p1",
+        "Operations",
+        vec![(os, vec![win7]), (wb, vec![ie8])],
+    )?;
+    let p2 = add(
+        &mut b,
+        "p2",
+        "Operations",
+        vec![(os, vec![win_xp]), (db, vec![mssql08])],
+    )?;
+    let p3 = add(
+        &mut b,
+        "p3",
+        "Operations",
+        vec![(os, vec![win_xp]), (db, vec![mssql08])],
+    )?;
     // Control network (legacy, fixed).
-    let t1 = add(&mut b, "t1", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
-    let t2 = add(&mut b, "t2", "Control", vec![(os, vec![win_xp]), (wb, vec![ie8])])?;
-    let t3 = add(&mut b, "t3", "Control", vec![(os, vec![win7]), (wb, vec![ie8])])?;
-    let t4 = add(&mut b, "t4", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
-    let t5 = add(&mut b, "t5", "Control", vec![(os, vec![win7]), (db, vec![mssql08])])?;
-    let t6 = add(&mut b, "t6", "Control", vec![(os, vec![win_xp]), (db, vec![mssql08])])?;
+    let t1 = add(
+        &mut b,
+        "t1",
+        "Control",
+        vec![(os, vec![win7]), (db, vec![mssql08])],
+    )?;
+    let t2 = add(
+        &mut b,
+        "t2",
+        "Control",
+        vec![(os, vec![win_xp]), (wb, vec![ie8])],
+    )?;
+    let t3 = add(
+        &mut b,
+        "t3",
+        "Control",
+        vec![(os, vec![win7]), (wb, vec![ie8])],
+    )?;
+    let t4 = add(
+        &mut b,
+        "t4",
+        "Control",
+        vec![(os, vec![win7]), (db, vec![mssql08])],
+    )?;
+    let t5 = add(
+        &mut b,
+        "t5",
+        "Control",
+        vec![(os, vec![win7]), (db, vec![mssql08])],
+    )?;
+    let t6 = add(
+        &mut b,
+        "t6",
+        "Control",
+        vec![(os, vec![win_xp]), (db, vec![mssql08])],
+    )?;
     // Clients network.
     let e1 = add(
         &mut b,
         "e1",
         "Clients",
-        vec![(os, windows_any.clone()), (wb, ie_any.clone()), (db, db_modern.clone())],
+        vec![
+            (os, windows_any.clone()),
+            (wb, ie_any.clone()),
+            (db, db_modern.clone()),
+        ],
     )?;
-    let e2 = add(&mut b, "e2", "Clients", vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())])?;
-    let e3 = add(&mut b, "e3", "Clients", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
-    let e4 = add(&mut b, "e4", "Clients", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
+    let e2 = add(
+        &mut b,
+        "e2",
+        "Clients",
+        vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())],
+    )?;
+    let e3 = add(
+        &mut b,
+        "e3",
+        "Clients",
+        vec![(os, os_modern.clone()), (wb, wb_modern.clone())],
+    )?;
+    let e4 = add(
+        &mut b,
+        "e4",
+        "Clients",
+        vec![(os, os_modern.clone()), (db, db_modern.clone())],
+    )?;
     // Remote clients.
     let r1 = add(
         &mut b,
         "r1",
         "Remote",
-        vec![(os, windows_any.clone()), (wb, ie_any.clone()), (db, db_modern.clone())],
+        vec![
+            (os, windows_any.clone()),
+            (wb, ie_any.clone()),
+            (db, db_modern.clone()),
+        ],
     )?;
-    let r2 = add(&mut b, "r2", "Remote", vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())])?;
-    let r3 = add(&mut b, "r3", "Remote", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    let r2 = add(
+        &mut b,
+        "r2",
+        "Remote",
+        vec![(os, vec![win7, ubuntu]), (wb, wb_all.clone())],
+    )?;
+    let r3 = add(
+        &mut b,
+        "r3",
+        "Remote",
+        vec![(os, os_modern.clone()), (wb, wb_modern.clone())],
+    )?;
     // r4 is the Linux client workstation of Fig. 4 (Ubuntu/Chrome in all
     // three published solutions): no Windows candidate.
     let r4 = add(
@@ -264,11 +384,31 @@ fn build_case_study() -> Result<CaseStudy> {
         "Remote",
         vec![(os, vec![ubuntu, debian]), (wb, wb_modern.clone())],
     )?;
-    let r5 = add(&mut b, "r5", "Remote", vec![(os, os_modern.clone()), (db, db_modern.clone())])?;
+    let r5 = add(
+        &mut b,
+        "r5",
+        "Remote",
+        vec![(os, os_modern.clone()), (db, db_modern.clone())],
+    )?;
     // Vendors support network.
-    let v1 = add(&mut b, "v1", "Vendors", vec![(os, windows_any.clone()), (wb, ie_any.clone())])?;
-    let v2 = add(&mut b, "v2", "Vendors", vec![(os, vec![win7, ubuntu]), (wb, wb_modern.clone())])?;
-    let v3 = add(&mut b, "v3", "Vendors", vec![(os, os_modern.clone()), (wb, wb_modern.clone())])?;
+    let v1 = add(
+        &mut b,
+        "v1",
+        "Vendors",
+        vec![(os, windows_any.clone()), (wb, ie_any.clone())],
+    )?;
+    let v2 = add(
+        &mut b,
+        "v2",
+        "Vendors",
+        vec![(os, vec![win7, ubuntu]), (wb, wb_modern.clone())],
+    )?;
+    let v3 = add(
+        &mut b,
+        "v3",
+        "Vendors",
+        vec![(os, os_modern.clone()), (wb, wb_modern.clone())],
+    )?;
     // Field devices (PLCs) — no diversifiable services.
     let f1 = b.add_host_in_zone("f1", "Field");
     let f2 = b.add_host_in_zone("f2", "Field");
@@ -447,9 +587,7 @@ mod tests {
         let mut slots: Vec<Vec<ProductId>> = cs
             .network
             .iter_hosts()
-            .map(|(_, host)| {
-                host.services().iter().map(|s| s.candidates()[0]).collect()
-            })
+            .map(|(_, host)| host.services().iter().map(|s| s.candidates()[0]).collect())
             .collect();
         let v2 = cs.host("v2");
         slots[v2.index()] = vec![cs.product("Ubuntu14.04"), cs.product("IE10")];
@@ -461,7 +599,9 @@ mod tests {
     fn baselines_are_valid_assignments() {
         let cs = CaseStudy::build();
         mono_assignment(&cs.network).validate(&cs.network).unwrap();
-        random_assignment(&cs.network, 1).validate(&cs.network).unwrap();
+        random_assignment(&cs.network, 1)
+            .validate(&cs.network)
+            .unwrap();
     }
 
     #[test]
@@ -477,14 +617,26 @@ mod tests {
             0.386
         );
         // Cross-service always zero.
-        assert_eq!(cs.similarity.get(cs.product("Win7"), cs.product("IE8")), 0.0);
+        assert_eq!(
+            cs.similarity.get(cs.product("Win7"), cs.product("IE8")),
+            0.0
+        );
     }
 
     #[test]
     fn zones_are_labelled() {
         let cs = CaseStudy::build();
-        assert_eq!(cs.network.host(cs.host("c1")).unwrap().zone(), Some("Corporate"));
-        assert_eq!(cs.network.host(cs.host("t5")).unwrap().zone(), Some("Control"));
-        assert_eq!(cs.network.host(cs.host("f1")).unwrap().zone(), Some("Field"));
+        assert_eq!(
+            cs.network.host(cs.host("c1")).unwrap().zone(),
+            Some("Corporate")
+        );
+        assert_eq!(
+            cs.network.host(cs.host("t5")).unwrap().zone(),
+            Some("Control")
+        );
+        assert_eq!(
+            cs.network.host(cs.host("f1")).unwrap().zone(),
+            Some("Field")
+        );
     }
 }

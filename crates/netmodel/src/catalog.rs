@@ -120,7 +120,9 @@ impl Catalog {
     ///
     /// Returns [`Error::UnknownService`] for out-of-range ids.
     pub fn service(&self, id: ServiceId) -> Result<&Service> {
-        self.services.get(id.index()).ok_or(Error::UnknownService(id))
+        self.services
+            .get(id.index())
+            .ok_or(Error::UnknownService(id))
     }
 
     /// Looks up a product definition.
@@ -129,33 +131,50 @@ impl Catalog {
     ///
     /// Returns [`Error::UnknownProduct`] for out-of-range ids.
     pub fn product(&self, id: ProductId) -> Result<&Product> {
-        self.products.get(id.index()).ok_or(Error::UnknownProduct(id))
+        self.products
+            .get(id.index())
+            .ok_or(Error::UnknownProduct(id))
     }
 
     /// All products providing `service`, in registration order. Empty for
     /// unknown services.
     pub fn products_of(&self, service: ServiceId) -> &[ProductId] {
-        self.by_service.get(service.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.by_service
+            .get(service.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Finds a service id by name.
     pub fn service_by_name(&self, name: &str) -> Option<ServiceId> {
-        self.services.iter().position(|s| s.name == name).map(|i| ServiceId(i as u16))
+        self.services
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| ServiceId(i as u16))
     }
 
     /// Finds a product id by name.
     pub fn product_by_name(&self, name: &str) -> Option<ProductId> {
-        self.products.iter().position(|p| p.name == name).map(|i| ProductId(i as u16))
+        self.products
+            .iter()
+            .position(|p| p.name == name)
+            .map(|i| ProductId(i as u16))
     }
 
     /// Iterates over `(id, product)` pairs.
     pub fn iter_products(&self) -> impl Iterator<Item = (ProductId, &Product)> {
-        self.products.iter().enumerate().map(|(i, p)| (ProductId(i as u16), p))
+        self.products
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProductId(i as u16), p))
     }
 
     /// Iterates over `(id, service)` pairs.
     pub fn iter_services(&self) -> impl Iterator<Item = (ServiceId, &Service)> {
-        self.services.iter().enumerate().map(|(i, s)| (ServiceId(i as u16), s))
+        self.services
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ServiceId(i as u16), s))
     }
 }
 
@@ -290,13 +309,19 @@ mod tests {
     #[test]
     fn duplicate_product_name_rejected() {
         let (mut c, os, _) = demo_catalog();
-        assert!(matches!(c.add_product("Win7", os), Err(Error::DuplicateProduct(_))));
+        assert!(matches!(
+            c.add_product("Win7", os),
+            Err(Error::DuplicateProduct(_))
+        ));
     }
 
     #[test]
     fn unknown_service_rejected() {
         let mut c = Catalog::new();
-        assert!(matches!(c.add_product("X", ServiceId(3)), Err(Error::UnknownService(_))));
+        assert!(matches!(
+            c.add_product("X", ServiceId(3)),
+            Err(Error::UnknownService(_))
+        ));
         assert!(c.service(ServiceId(0)).is_err());
         assert!(c.product(ProductId(0)).is_err());
     }

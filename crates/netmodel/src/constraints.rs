@@ -187,10 +187,16 @@ impl Constraint {
     /// Renders the constraint in the paper's tuple notation.
     pub fn render(&self, catalog: &Catalog) -> String {
         let pname = |p: ProductId| {
-            catalog.product(p).map(|pr| pr.name().to_owned()).unwrap_or_else(|_| p.to_string())
+            catalog
+                .product(p)
+                .map(|pr| pr.name().to_owned())
+                .unwrap_or_else(|_| p.to_string())
         };
         let sname = |s: ServiceId| {
-            catalog.service(s).map(|sv| sv.name().to_owned()).unwrap_or_else(|_| s.to_string())
+            catalog
+                .service(s)
+                .map(|sv| sv.name().to_owned())
+                .unwrap_or_else(|_| s.to_string())
         };
         match *self {
             Constraint::Fix {
@@ -262,23 +268,23 @@ impl ConstraintSet {
     }
 
     /// All (constraint index, violating host) pairs for an assignment.
-    pub fn violations(
-        &self,
-        network: &Network,
-        assignment: &Assignment,
-    ) -> Vec<(usize, HostId)> {
+    pub fn violations(&self, network: &Network, assignment: &Assignment) -> Vec<(usize, HostId)> {
         self.constraints
             .iter()
             .enumerate()
             .flat_map(|(i, c)| {
-                c.violations(network, assignment).into_iter().map(move |h| (i, h))
+                c.violations(network, assignment)
+                    .into_iter()
+                    .map(move |h| (i, h))
             })
             .collect()
     }
 
     /// Whether `assignment` satisfies every constraint.
     pub fn is_satisfied(&self, network: &Network, assignment: &Assignment) -> bool {
-        self.constraints.iter().all(|c| c.is_satisfied(network, assignment))
+        self.constraints
+            .iter()
+            .all(|c| c.is_satisfied(network, assignment))
     }
 
     /// The effective candidate set for a (host, service) slot after applying
@@ -362,7 +368,16 @@ mod tests {
         (b.build(&c).unwrap(), c)
     }
 
-    fn ids(c: &Catalog) -> (ServiceId, ServiceId, ProductId, ProductId, ProductId, ProductId) {
+    fn ids(
+        c: &Catalog,
+    ) -> (
+        ServiceId,
+        ServiceId,
+        ProductId,
+        ProductId,
+        ProductId,
+        ProductId,
+    ) {
         (
             c.service_by_name("os").unwrap(),
             c.service_by_name("wb").unwrap(),
@@ -389,8 +404,7 @@ mod tests {
         let (net, c) = fixture();
         let (os, wb, win, lin, ie, ch) = ids(&c);
         // At h1: if os=lin then wb must not be ie.
-        let forbid =
-            Constraint::forbid_combination(Scope::Host(HostId(1)), (os, lin), (wb, ie));
+        let forbid = Constraint::forbid_combination(Scope::Host(HostId(1)), (os, lin), (wb, ie));
         let violating = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ie]]);
         assert_eq!(forbid.violations(&net, &violating), vec![HostId(1)]);
         // Trigger not met: vacuous.
@@ -431,7 +445,11 @@ mod tests {
         let (os, wb, win, lin, ie, ch) = ids(&c);
         let mut set = ConstraintSet::new();
         set.push(Constraint::fix(HostId(0), os, win));
-        set.push(Constraint::forbid_combination(Scope::All, (os, lin), (wb, ch)));
+        set.push(Constraint::forbid_combination(
+            Scope::All,
+            (os, lin),
+            (wb, ch),
+        ));
         let a = Assignment::from_slots(vec![vec![lin, ie], vec![lin, ch]]);
         let violations = set.violations(&net, &a);
         assert_eq!(violations, vec![(0, HostId(0)), (1, HostId(1))]);
@@ -444,7 +462,10 @@ mod tests {
         let (os, _, win, lin, _, _) = ids(&c);
         let mut set = ConstraintSet::new();
         set.push(Constraint::fix(HostId(0), os, win));
-        assert_eq!(set.restrict_candidates(HostId(0), os, &[win, lin]), vec![win]);
+        assert_eq!(
+            set.restrict_candidates(HostId(0), os, &[win, lin]),
+            vec![win]
+        );
         // Other slots unaffected.
         assert_eq!(
             set.restrict_candidates(HostId(1), os, &[win, lin]),
@@ -454,7 +475,9 @@ mod tests {
         assert!(set.restrict_candidates(HostId(0), os, &[lin]).is_empty());
         // Contradictory fixes -> infeasible.
         set.push(Constraint::fix(HostId(0), os, lin));
-        assert!(set.restrict_candidates(HostId(0), os, &[win, lin]).is_empty());
+        assert!(set
+            .restrict_candidates(HostId(0), os, &[win, lin])
+            .is_empty());
     }
 
     #[test]

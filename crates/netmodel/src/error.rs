@@ -87,12 +87,18 @@ impl fmt::Display for Error {
                 write!(f, "host {host} already runs service {service}")
             }
             Error::EmptyCandidates { host, service } => {
-                write!(f, "service {service} at host {host} has no candidate products")
+                write!(
+                    f,
+                    "service {service} at host {host} has no candidate products"
+                )
             }
             Error::SelfLoop(h) => write!(f, "link connects host {h} to itself"),
             Error::DuplicateLink(a, b) => write!(f, "duplicate link between {a} and {b}"),
             Error::MissingAssignment { host, service } => {
-                write!(f, "no product assigned for service {service} at host {host}")
+                write!(
+                    f,
+                    "no product assigned for service {service} at host {host}"
+                )
             }
             Error::NotACandidate {
                 host,
@@ -106,7 +112,10 @@ impl fmt::Display for Error {
                 write!(f, "similarity table has no entry for product {name:?}")
             }
             Error::ConstraintServiceAbsent { host, service } => {
-                write!(f, "constraint references service {service} absent at host {host}")
+                write!(
+                    f,
+                    "constraint references service {service} absent at host {host}"
+                )
             }
         }
     }

@@ -73,7 +73,8 @@ impl Host {
 
     /// The candidate products for `service` at this host, if the host runs it.
     pub fn candidates_for(&self, service: ServiceId) -> Option<&[ProductId]> {
-        self.service_slot(service).map(|i| self.services[i].candidates())
+        self.service_slot(service)
+            .map(|i| self.services[i].candidates())
     }
 }
 
@@ -109,12 +110,18 @@ impl Network {
 
     /// Finds a host id by name.
     pub fn host_by_name(&self, name: &str) -> Option<HostId> {
-        self.hosts.iter().position(|h| h.name == name).map(|i| HostId(i as u32))
+        self.hosts
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HostId(i as u32))
     }
 
     /// Iterates over `(id, host)` pairs.
     pub fn iter_hosts(&self) -> impl Iterator<Item = (HostId, &Host)> {
-        self.hosts.iter().enumerate().map(|(i, h)| (HostId(i as u32), h))
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| (HostId(i as u32), h))
     }
 
     /// The undirected links, each reported once with `a < b`.
@@ -221,7 +228,10 @@ impl NetworkBuilder {
         service: ServiceId,
         candidates: Vec<ProductId>,
     ) -> Result<()> {
-        let h = self.hosts.get_mut(host.index()).ok_or(Error::UnknownHost(host))?;
+        let h = self
+            .hosts
+            .get_mut(host.index())
+            .ok_or(Error::UnknownHost(host))?;
         if candidates.is_empty() {
             return Err(Error::EmptyCandidates { host, service });
         }
@@ -390,7 +400,10 @@ mod tests {
     fn unknown_host_in_link() {
         let mut b = NetworkBuilder::new();
         let a = b.add_host("a");
-        assert!(matches!(b.add_link(a, HostId(9)), Err(Error::UnknownHost(_))));
+        assert!(matches!(
+            b.add_link(a, HostId(9)),
+            Err(Error::UnknownHost(_))
+        ));
     }
 
     #[test]

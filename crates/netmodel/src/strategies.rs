@@ -144,9 +144,13 @@ mod tests {
     #[test]
     fn random_varies_across_seeds() {
         let (net, _) = fixture();
-        let distinct: std::collections::HashSet<_> =
-            (0..20).map(|s| random_assignment(&net, s).products_at(crate::HostId(0))[0]).collect();
-        assert!(distinct.len() > 1, "20 seeds should produce at least two choices");
+        let distinct: std::collections::HashSet<_> = (0..20)
+            .map(|s| random_assignment(&net, s).products_at(crate::HostId(0))[0])
+            .collect();
+        assert!(
+            distinct.len() > 1,
+            "20 seeds should produce at least two choices"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ pub struct GeneratedNetwork {
 pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
     assert!(config.hosts > 0, "need at least one host");
     assert!(config.services > 0, "need at least one service");
-    assert!(config.products_per_service > 0, "need at least one product per service");
+    assert!(
+        config.products_per_service > 0,
+        "need at least one product per service"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Catalog: `services` services with `products_per_service` products each.
@@ -114,7 +117,9 @@ pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
         }
     }
     add_links(&mut builder, config, &mut rng);
-    let network = builder.build(&catalog).expect("generated instance is valid");
+    let network = builder
+        .build(&catalog)
+        .expect("generated instance is valid");
     GeneratedNetwork {
         network,
         catalog,
@@ -148,7 +153,9 @@ fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &m
                 perm.swap(i, rng.gen_range(0..=i));
             }
             for w in perm.windows(2) {
-                builder.add_link(HostId(w[0]), HostId(w[1])).expect("path links are unique");
+                builder
+                    .add_link(HostId(w[0]), HostId(w[1]))
+                    .expect("path links are unique");
             }
             let target = (n * config.mean_degree / 2).max(n - 1);
             let mut added = n - 1;
@@ -200,7 +207,9 @@ fn synthetic_similarity(
     rng: &mut StdRng,
 ) -> ProductSimilarity {
     let n = catalog.product_count();
-    let vendors = config.vendors_per_service.clamp(1, config.products_per_service);
+    let vendors = config
+        .vendors_per_service
+        .clamp(1, config.products_per_service);
     let vendor_of = |p: ProductId| -> usize {
         // Products are registered service-major; position within the service
         // determines the vendor bucket.
@@ -253,7 +262,10 @@ mod tests {
         let g = generate(&cfg, 1);
         assert_eq!(g.network.host_count(), 500);
         let mean = g.network.mean_degree();
-        assert!((mean - 10.0).abs() < 1.0, "mean degree {mean} should be ≈10");
+        assert!(
+            (mean - 10.0).abs() < 1.0,
+            "mean degree {mean} should be ≈10"
+        );
         // Connected by construction.
         assert_eq!(g.network.reachable_from(HostId(0)).len(), 500);
     }
@@ -271,7 +283,10 @@ mod tests {
             0,
         );
         assert_eq!(ring.network.link_count(), 10);
-        assert!(ring.network.iter_hosts().all(|(id, _)| ring.network.degree(id) == 2));
+        assert!(ring
+            .network
+            .iter_hosts()
+            .all(|(id, _)| ring.network.degree(id) == 2));
 
         let tree = generate(
             &RandomNetworkConfig {
@@ -300,8 +315,12 @@ mod tests {
             },
             7,
         );
-        let max_degree =
-            g.network.iter_hosts().map(|(id, _)| g.network.degree(id)).max().unwrap();
+        let max_degree = g
+            .network
+            .iter_hosts()
+            .map(|(id, _)| g.network.degree(id))
+            .max()
+            .unwrap();
         let mean = g.network.mean_degree();
         assert!(
             max_degree as f64 > 4.0 * mean,

@@ -20,14 +20,16 @@ fn arb_config() -> impl Strategy<Value = RandomNetworkConfig> {
             Just(TopologyKind::Tree)
         ],
     )
-        .prop_map(|(hosts, degree, services, products, topology)| RandomNetworkConfig {
-            hosts,
-            mean_degree: degree,
-            services,
-            products_per_service: products,
-            vendors_per_service: 2,
-            topology,
-        })
+        .prop_map(
+            |(hosts, degree, services, products, topology)| RandomNetworkConfig {
+                hosts,
+                mean_degree: degree,
+                services,
+                products_per_service: products,
+                vendors_per_service: 2,
+                topology,
+            },
+        )
 }
 
 proptest! {
@@ -113,7 +115,7 @@ proptest! {
         let hist = a.product_histogram();
         let mass: usize = hist.values().sum();
         prop_assert_eq!(mass, g.network.slot_count());
-        for (&p, _) in &hist {
+        for &p in hist.keys() {
             prop_assert!(p.index() < g.catalog.product_count());
         }
         let _ = ProductId(0);

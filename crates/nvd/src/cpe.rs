@@ -153,8 +153,7 @@ impl Cpe {
     /// # }
     /// ```
     pub fn matches(&self, entry: &Cpe) -> bool {
-        if self.part != entry.part || self.vendor != entry.vendor || self.product != entry.product
-        {
+        if self.part != entry.part || self.vendor != entry.vendor || self.product != entry.product {
             return false;
         }
         match &self.version {
@@ -218,9 +217,14 @@ impl FromStr for Cpe {
         }
         let part = Part::from_code(part_str.chars().next().unwrap())
             .ok_or_else(|| err("part must be one of a, o, h"))?;
-        let vendor = parts.next().filter(|v| !v.is_empty()).ok_or_else(|| err("missing vendor"))?;
-        let product =
-            parts.next().filter(|p| !p.is_empty()).ok_or_else(|| err("missing product"))?;
+        let vendor = parts
+            .next()
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| err("missing vendor"))?;
+        let product = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| err("missing product"))?;
         let version = parts.next().filter(|v| !v.is_empty() && *v != "-");
         Ok(Cpe::new(part, vendor, product, version))
     }
@@ -256,7 +260,9 @@ mod tests {
 
     #[test]
     fn parse_ignores_trailing_components() {
-        let cpe: Cpe = "cpe:/o:canonical:ubuntu_linux:14.04:lts:~~~x64~~".parse().unwrap();
+        let cpe: Cpe = "cpe:/o:canonical:ubuntu_linux:14.04:lts:~~~x64~~"
+            .parse()
+            .unwrap();
         assert_eq!(cpe.version(), Some("14.04"));
     }
 
@@ -278,7 +284,12 @@ mod tests {
 
     #[test]
     fn normalization_lowercases_and_underscores() {
-        let cpe = Cpe::new(Part::Application, "Microsoft", "Internet Explorer", Some("8"));
+        let cpe = Cpe::new(
+            Part::Application,
+            "Microsoft",
+            "Internet Explorer",
+            Some("8"),
+        );
         assert_eq!(cpe.vendor(), "microsoft");
         assert_eq!(cpe.product(), "internet_explorer");
         assert_eq!(cpe.to_string(), "cpe:/a:microsoft:internet_explorer:8");

@@ -76,9 +76,13 @@ impl FromStr for CveId {
             .trim()
             .strip_prefix("CVE-")
             .ok_or_else(|| err("missing `CVE-` prefix"))?;
-        let (year_str, seq_str) = rest.split_once('-').ok_or_else(|| err("missing sequence"))?;
+        let (year_str, seq_str) = rest
+            .split_once('-')
+            .ok_or_else(|| err("missing sequence"))?;
         let year: u16 = year_str.parse().map_err(|_| err("year is not a number"))?;
-        let sequence: u32 = seq_str.parse().map_err(|_| err("sequence is not a number"))?;
+        let sequence: u32 = seq_str
+            .parse()
+            .map_err(|_| err("sequence is not a number"))?;
         CveId::new(year, sequence)
     }
 }
@@ -119,7 +123,10 @@ impl CveEntry {
     /// first occurrence, so that an entry never double-counts a product.
     pub fn new(id: CveId, published: u16, affected: Vec<Cpe>) -> CveEntry {
         let mut seen = std::collections::HashSet::new();
-        let affected = affected.into_iter().filter(|c| seen.insert(c.clone())).collect();
+        let affected = affected
+            .into_iter()
+            .filter(|c| seen.insert(c.clone()))
+            .collect();
         CveEntry {
             id,
             published,

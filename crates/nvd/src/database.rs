@@ -66,7 +66,10 @@ impl VulnerabilityDatabase {
             }
         }
         for cpe in entry.affected() {
-            self.by_cpe.entry(cpe.clone()).or_default().insert(entry.id());
+            self.by_cpe
+                .entry(cpe.clone())
+                .or_default()
+                .insert(entry.id());
         }
         self.entries.insert(entry.id(), entry);
         prev
@@ -140,9 +143,7 @@ impl VulnerabilityDatabase {
         let vb = self.vulnerabilities_of(b);
         let weights: std::collections::BTreeMap<CveId, f64> = va
             .union(&vb)
-            .filter_map(|&id| {
-                self.get(id).and_then(|e| e.cvss()).map(|c| (id, c.score()))
-            })
+            .filter_map(|&id| self.get(id).and_then(|e| e.cvss()).map(|c| (id, c.score())))
             .collect();
         weighted_jaccard(&va, &vb, &weights)
     }
@@ -151,7 +152,9 @@ impl VulnerabilityDatabase {
     /// — the paper uses the 1999–2016 window.
     pub fn filter_years(&self, from: u16, to: u16) -> VulnerabilityDatabase {
         VulnerabilityDatabase::from_entries(
-            self.iter().filter(|e| e.published() >= from && e.published() <= to).cloned(),
+            self.iter()
+                .filter(|e| e.published() >= from && e.published() <= to)
+                .cloned(),
         )
     }
 
@@ -160,8 +163,10 @@ impl VulnerabilityDatabase {
     /// are the CPE display strings unless `names` supplies shorter labels.
     pub fn similarity_table(&self, products: &[(String, Cpe)]) -> SimilarityTable {
         let names: Vec<String> = products.iter().map(|(n, _)| n.clone()).collect();
-        let sets: Vec<BTreeSet<CveId>> =
-            products.iter().map(|(_, c)| self.vulnerabilities_of(c)).collect();
+        let sets: Vec<BTreeSet<CveId>> = products
+            .iter()
+            .map(|(_, c)| self.vulnerabilities_of(c))
+            .collect();
         let mut table = SimilarityTable::identity(&names);
         for i in 0..products.len() {
             for j in (i + 1)..products.len() {
@@ -212,13 +217,20 @@ mod tests {
         let db = VulnerabilityDatabase::new();
         assert!(db.is_empty());
         assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome")), 0);
-        assert_eq!(db.similarity(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")), 0.0);
+        assert_eq!(
+            db.similarity(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")),
+            0.0
+        );
     }
 
     #[test]
     fn insert_and_query() {
         let mut db = VulnerabilityDatabase::new();
-        db.insert(entry(2016, 1, &["cpe:/a:google:chrome:50.0", "cpe:/a:mozilla:firefox"]));
+        db.insert(entry(
+            2016,
+            1,
+            &["cpe:/a:google:chrome:50.0", "cpe:/a:mozilla:firefox"],
+        ));
         db.insert(entry(2016, 2, &["cpe:/a:google:chrome:49.0"]));
         // Version-less query aggregates versions.
         assert_eq!(db.vulnerability_count(&cpe("cpe:/a:google:chrome")), 2);
@@ -242,18 +254,33 @@ mod tests {
         let mut db = VulnerabilityDatabase::new();
         // chrome: {1,2,3}; firefox: {2,3,4} -> intersection 2, union 4 -> 0.5
         db.insert(entry(2016, 1, &["cpe:/a:google:chrome"]));
-        db.insert(entry(2016, 2, &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"]));
-        db.insert(entry(2016, 3, &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"]));
+        db.insert(entry(
+            2016,
+            2,
+            &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"],
+        ));
+        db.insert(entry(
+            2016,
+            3,
+            &["cpe:/a:google:chrome", "cpe:/a:mozilla:firefox"],
+        ));
         db.insert(entry(2016, 4, &["cpe:/a:mozilla:firefox"]));
         let s = db.similarity(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox"));
         assert!((s - 0.5).abs() < 1e-12);
-        assert_eq!(db.shared_count(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")), 2);
+        assert_eq!(
+            db.shared_count(&cpe("cpe:/a:google:chrome"), &cpe("cpe:/a:mozilla:firefox")),
+            2
+        );
     }
 
     #[test]
     fn similarity_is_symmetric_and_reflexive() {
         let mut db = VulnerabilityDatabase::new();
-        db.insert(entry(2016, 1, &["cpe:/a:google:chrome", "cpe:/a:apple:safari"]));
+        db.insert(entry(
+            2016,
+            1,
+            &["cpe:/a:google:chrome", "cpe:/a:apple:safari"],
+        ));
         db.insert(entry(2016, 2, &["cpe:/a:google:chrome"]));
         let c = cpe("cpe:/a:google:chrome");
         let s = cpe("cpe:/a:apple:safari");
@@ -269,7 +296,10 @@ mod tests {
         db.insert(entry(2020, 7, &["cpe:/o:microsoft:windows_xp"]));
         let windowed = db.filter_years(1999, 2016);
         assert_eq!(windowed.len(), 1);
-        assert_eq!(windowed.vulnerability_count(&cpe("cpe:/o:microsoft:windows_xp")), 1);
+        assert_eq!(
+            windowed.vulnerability_count(&cpe("cpe:/o:microsoft:windows_xp")),
+            1
+        );
     }
 
     #[test]
@@ -295,9 +325,7 @@ mod tests {
     fn weighted_similarity_emphasizes_severe_overlap() {
         let mut db = VulnerabilityDatabase::new();
         // Shared critical CVE, plus one low-severity exclusive each.
-        db.insert(
-            entry(2016, 1, &["cpe:/a:x:p1", "cpe:/a:x:p2"]).with_cvss(9.8),
-        );
+        db.insert(entry(2016, 1, &["cpe:/a:x:p1", "cpe:/a:x:p2"]).with_cvss(9.8));
         db.insert(entry(2016, 2, &["cpe:/a:x:p1"]).with_cvss(2.0));
         db.insert(entry(2016, 3, &["cpe:/a:x:p2"]).with_cvss(2.0));
         let p1 = cpe("cpe:/a:x:p1");
@@ -327,7 +355,13 @@ mod tests {
         db.insert(entry(2016, 1, &["cpe:/o:microsoft:windows_7"]));
         db.insert(entry(2016, 2, &["cpe:/o:microsoft:windows_7:sp1"]));
         db.insert(entry(2016, 3, &["cpe:/o:microsoft:windows_8.1"]));
-        assert_eq!(db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_7")), 2);
-        assert_eq!(db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_8.1")), 1);
+        assert_eq!(
+            db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_7")),
+            2
+        );
+        assert_eq!(
+            db.vulnerability_count(&cpe("cpe:/o:microsoft:windows_8.1")),
+            1
+        );
     }
 }

@@ -172,7 +172,11 @@ pub fn case_study_table() -> SimilarityTable {
 pub fn project(table: &SimilarityTable, names: &[&str]) -> SimilarityTable {
     let idx: Vec<usize> = names
         .iter()
-        .map(|n| table.index_of(n).unwrap_or_else(|| panic!("unknown product {n:?}")))
+        .map(|n| {
+            table
+                .index_of(n)
+                .unwrap_or_else(|| panic!("unknown product {n:?}"))
+        })
         .collect();
     let mut out = SimilarityTable::with_names(names);
     for (a, &i) in idx.iter().enumerate() {

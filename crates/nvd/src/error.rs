@@ -39,7 +39,10 @@ impl fmt::Display for Error {
                 write!(f, "invalid CVE identifier {input:?}: {reason}")
             }
             Error::InvalidCveId { year, sequence } => {
-                write!(f, "CVE identifier out of range: year {year}, sequence {sequence}")
+                write!(
+                    f,
+                    "CVE identifier out of range: year {year}, sequence {sequence}"
+                )
             }
             Error::Json(msg) => write!(f, "invalid JSON feed: {msg}"),
         }
@@ -47,9 +50,3 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
-
-impl From<serde_json::Error> for Error {
-    fn from(err: serde_json::Error) -> Self {
-        Error::Json(err.to_string())
-    }
-}

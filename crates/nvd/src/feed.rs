@@ -65,7 +65,10 @@ impl FeedGenerator {
     /// family, or an inverted year range.
     pub fn new(config: FeedConfig, seed: u64) -> FeedGenerator {
         assert!(config.families > 0, "feed needs at least one family");
-        assert!(config.products_per_family > 0, "feed needs at least one product per family");
+        assert!(
+            config.products_per_family > 0,
+            "feed needs at least one product per family"
+        );
         assert!(config.years.0 <= config.years.1, "inverted year range");
         FeedGenerator {
             config,
@@ -80,8 +83,13 @@ impl FeedGenerator {
         for f in 0..self.config.families {
             for r in 0..self.config.products_per_family {
                 out.push(
-                    Cpe::new(Part::Application, &format!("vendor{f}"), &format!("product{f}"), None)
-                        .with_version(&r.to_string()),
+                    Cpe::new(
+                        Part::Application,
+                        &format!("vendor{f}"),
+                        &format!("product{f}"),
+                        None,
+                    )
+                    .with_version(&r.to_string()),
                 );
             }
         }
@@ -152,7 +160,9 @@ mod tests {
         };
         let entries = FeedGenerator::new(cfg, 1).generate();
         assert_eq!(entries.len(), 150);
-        assert!(entries.iter().all(|e| (2005..=2010).contains(&e.published())));
+        assert!(entries
+            .iter()
+            .all(|e| (2005..=2010).contains(&e.published())));
     }
 
     #[test]
@@ -224,8 +234,10 @@ mod tests {
         let mut gen = FeedGenerator::new(FeedConfig::default(), 11);
         let products = gen.products();
         let db = gen.generate_database();
-        let named: Vec<(String, Cpe)> =
-            products.iter().map(|c| (c.to_string(), c.clone())).collect();
+        let named: Vec<(String, Cpe)> = products
+            .iter()
+            .map(|c| (c.to_string(), c.clone()))
+            .collect();
         let table = db.similarity_table(&named);
         assert_eq!(table.len(), products.len());
         for i in 0..table.len() {

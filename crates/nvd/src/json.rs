@@ -17,29 +17,19 @@
 //!   ]
 //! }
 //! ```
+//!
+//! The codec is hand-rolled (the build environment is offline, so
+//! `serde_json` is unavailable): a recursive-descent parser into a small
+//! [`Value`] tree and a direct pretty-printer. Both are total over the
+//! schema above and reject anything malformed with [`Error::Json`].
 
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::cpe::Cpe;
 use crate::cve::{CveEntry, CveId};
 use crate::database::VulnerabilityDatabase;
 use crate::{Error, Result};
-
-#[derive(Serialize, Deserialize)]
-struct FeedDoc {
-    entries: Vec<EntryDoc>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct EntryDoc {
-    id: String,
-    published: u16,
-    affected: Vec<String>,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    cvss: Option<f64>,
-    #[serde(default, skip_serializing_if = "String::is_empty")]
-    description: String,
-}
 
 /// Serializes a database to the JSON feed format.
 ///
@@ -48,19 +38,37 @@ struct EntryDoc {
 /// Returns [`Error::Json`] if serialization fails (it cannot for well-formed
 /// databases; the error path exists for API completeness).
 pub fn to_json(db: &VulnerabilityDatabase) -> Result<String> {
-    let doc = FeedDoc {
-        entries: db
-            .iter()
-            .map(|e| EntryDoc {
-                id: e.id().to_string(),
-                published: e.published(),
-                affected: e.affected().iter().map(Cpe::to_string).collect(),
-                cvss: e.cvss().map(|c| c.score()),
-                description: e.description().to_owned(),
-            })
-            .collect(),
-    };
-    Ok(serde_json::to_string_pretty(&doc)?)
+    let mut out = String::from("{\n  \"entries\": [");
+    let mut first = true;
+    for e in db.iter() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    {\n");
+        let _ = writeln!(out, "      \"id\": {},", quote(&e.id().to_string()));
+        let _ = write!(out, "      \"published\": {}", e.published());
+        let mut affected = String::new();
+        for (i, cpe) in e.affected().iter().enumerate() {
+            if i > 0 {
+                affected.push_str(", ");
+            }
+            affected.push_str(&quote(&cpe.to_string()));
+        }
+        let _ = write!(out, ",\n      \"affected\": [{affected}]");
+        if let Some(cvss) = e.cvss() {
+            let _ = write!(out, ",\n      \"cvss\": {}", format_number(cvss.score()));
+        }
+        if !e.description().is_empty() {
+            let _ = write!(out, ",\n      \"description\": {}", quote(e.description()));
+        }
+        out.push_str("\n    }");
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    Ok(out)
 }
 
 /// Parses a JSON feed into a database.
@@ -70,25 +78,328 @@ pub fn to_json(db: &VulnerabilityDatabase) -> Result<String> {
 /// Returns [`Error::Json`] for malformed JSON and [`Error::ParseCpe`] /
 /// [`Error::ParseCveId`] for malformed identifiers inside the feed.
 pub fn from_json(json: &str) -> Result<VulnerabilityDatabase> {
-    let doc: FeedDoc = serde_json::from_str(json)?;
+    let doc = parse_value(json)?;
+    let obj = doc.as_object("feed document")?;
+    let entries = obj
+        .get("entries")
+        .ok_or_else(|| Error::Json("missing `entries` array".into()))?
+        .as_array("entries")?;
     let mut db = VulnerabilityDatabase::new();
-    for entry in doc.entries {
-        let id: CveId = entry.id.parse()?;
-        let affected = entry
-            .affected
-            .iter()
-            .map(|s| s.parse::<Cpe>())
-            .collect::<std::result::Result<Vec<_>, Error>>()?;
-        let mut e = CveEntry::new(id, entry.published, affected);
-        if let Some(score) = entry.cvss {
-            e = e.with_cvss(score);
+    for entry in entries {
+        let entry = entry.as_object("entry")?;
+        let id: CveId = entry
+            .get("id")
+            .ok_or_else(|| Error::Json("entry missing `id`".into()))?
+            .as_str("id")?
+            .parse()?;
+        let published = entry
+            .get("published")
+            .ok_or_else(|| Error::Json("entry missing `published`".into()))?
+            .as_number("published")?;
+        if published < 0.0 || published > u16::MAX as f64 || published.fract() != 0.0 {
+            return Err(Error::Json(format!("bad `published` year {published}")));
         }
-        if !entry.description.is_empty() {
-            e = e.with_description(&entry.description);
+        let affected = entry
+            .get("affected")
+            .ok_or_else(|| Error::Json("entry missing `affected`".into()))?
+            .as_array("affected")?
+            .iter()
+            .map(|v| v.as_str("affected entry")?.parse::<Cpe>())
+            .collect::<Result<Vec<_>>>()?;
+        let mut e = CveEntry::new(id, published as u16, affected);
+        if let Some(score) = entry.get("cvss") {
+            e = e.with_cvss(score.as_number("cvss")?);
+        }
+        if let Some(desc) = entry.get("description") {
+            let desc = desc.as_str("description")?;
+            if !desc.is_empty() {
+                e = e.with_description(desc);
+            }
         }
         db.insert(e);
     }
     Ok(db)
+}
+
+/// A parsed JSON value (internal; just enough for the feed schema).
+enum Value {
+    Null,
+    #[allow(dead_code)] // parsed for completeness; the feed schema has no booleans
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::Json(format!(
+                "{what}: expected object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value]> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(Error::Json(format!(
+                "{what}: expected array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error::Json(format!(
+                "{what}: expected string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::Json(format!(
+                "{what}: expected number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn format_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}.0", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn parse_value(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::Json(format!("trailing garbage at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::Json(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the feed
+                            // schema; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting one byte back.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("bad number"))
+    }
 }
 
 #[cfg(test)]
@@ -146,12 +457,20 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(from_json("{").is_err());
-        assert!(from_json(r#"{"entries": [{"id": "garbage", "published": 2000, "affected": []}]}"#)
-            .is_err());
+        assert!(from_json(
+            r#"{"entries": [{"id": "garbage", "published": 2000, "affected": []}]}"#
+        )
+        .is_err());
         assert!(from_json(
             r#"{"entries": [{"id": "CVE-2016-1", "published": 2000, "affected": ["nope"]}]}"#
         )
         .is_err());
+        // Type confusion and structural damage are JSON-level errors.
+        assert!(from_json(r#"{"entries": 3}"#).is_err());
+        assert!(
+            from_json(r#"{"entries": [{"id": 7, "published": 2000, "affected": []}]}"#).is_err()
+        );
+        assert!(from_json(r#"{"entries": []} trailing"#).is_err());
     }
 
     #[test]
@@ -160,5 +479,19 @@ mod tests {
         assert!(db.is_empty());
         let json = to_json(&db).unwrap();
         assert!(json.contains("entries"));
+    }
+
+    #[test]
+    fn escaped_strings_roundtrip() {
+        let quoted = quote("a\"b\\c\nd\te");
+        assert_eq!(quoted, r#""a\"b\\c\nd\te""#);
+        let v = parse_value(&format!("[{quoted}]")).unwrap();
+        match v {
+            Value::Array(items) => match &items[0] {
+                Value::String(s) => assert_eq!(s, "a\"b\\c\nd\te"),
+                _ => panic!("expected string"),
+            },
+            _ => panic!("expected array"),
+        }
     }
 }

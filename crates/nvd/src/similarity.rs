@@ -129,7 +129,10 @@ impl SimilarityTable {
     /// Panics if either index is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let n = self.names.len();
-        assert!(i < n && j < n, "similarity index out of bounds: ({i}, {j}) with {n} products");
+        assert!(
+            i < n && j < n,
+            "similarity index out of bounds: ({i}, {j}) with {n} products"
+        );
         self.values[i * n + j]
     }
 
@@ -148,7 +151,10 @@ impl SimilarityTable {
     /// Panics if either index is out of bounds.
     pub fn set(&mut self, i: usize, j: usize, similarity: f64) {
         let n = self.names.len();
-        assert!(i < n && j < n, "similarity index out of bounds: ({i}, {j}) with {n} products");
+        assert!(
+            i < n && j < n,
+            "similarity index out of bounds: ({i}, {j}) with {n} products"
+        );
         if i == j {
             return;
         }

@@ -119,7 +119,9 @@ impl AttackerStrategy {
             }
             other => {
                 let n = success.len().max(1);
-                other.choose(success, |count| (sample() * count as f64) as usize % n.max(1))
+                other.choose(success, |count| {
+                    (sample() * count as f64) as usize % n.max(1)
+                })
             }
         }
     }
@@ -139,7 +141,10 @@ mod tests {
     fn sophisticated_ignores_zero_entries() {
         let chosen = AttackerStrategy::Sophisticated.choose(&[0.0, 0.0, 0.2], |_| 0);
         assert_eq!(chosen, Some((2, 0.2)));
-        assert_eq!(AttackerStrategy::Sophisticated.choose(&[0.0, 0.0], |_| 0), None);
+        assert_eq!(
+            AttackerStrategy::Sophisticated.choose(&[0.0, 0.0], |_| 0),
+            None
+        );
         assert_eq!(AttackerStrategy::Sophisticated.choose(&[], |_| 0), None);
     }
 
@@ -152,9 +157,14 @@ mod tests {
             k += 1;
             0.5
         };
-        assert_eq!(zero.choose_noisy(&[0.1, 0.7, 0.3], &mut sample), Some((1, 0.7)));
+        assert_eq!(
+            zero.choose_noisy(&[0.1, 0.7, 0.3], &mut sample),
+            Some((1, 0.7))
+        );
         // Huge noise with adversarially chosen draws can flip the ranking.
-        let loud = AttackerStrategy::NoisyRecon { noise_permille: 1000 };
+        let loud = AttackerStrategy::NoisyRecon {
+            noise_permille: 1000,
+        };
         let mut draws = [0.99f64, 0.0, 0.0].into_iter();
         let chosen = loud.choose_noisy(&[0.1, 0.7, 0.3], || draws.next().unwrap());
         // Candidate 0 scored 0.1 + 1.0*(0.49) = 0.59; candidate 1 scored
@@ -164,7 +174,10 @@ mod tests {
         assert_eq!(loud.choose_noisy(&[0.0, 0.0], || 0.5), None);
         // choose() on a noisy strategy degrades to the noiseless pick.
         assert_eq!(
-            AttackerStrategy::NoisyRecon { noise_permille: 500 }.choose(&[0.2, 0.9], |_| 0),
+            AttackerStrategy::NoisyRecon {
+                noise_permille: 500
+            }
+            .choose(&[0.2, 0.9], |_| 0),
             Some((1, 0.9))
         );
     }

@@ -190,10 +190,10 @@ impl<'a> Simulation<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attacker::AttackerStrategy;
     use netmodel::catalog::Catalog;
     use netmodel::network::NetworkBuilder;
     use netmodel::ProductId;
-    use crate::attacker::AttackerStrategy;
 
     /// Line of `n` hosts, one service, two products with given similarity.
     fn line(n: usize, sim01: f64) -> (Network, ProductSimilarity) {
@@ -261,7 +261,9 @@ mod tests {
             vec![ProductId(1)],
             vec![ProductId(0)],
         ]);
-        let scenario = Scenario::new(HostId(0), HostId(2)).with_max_ticks(50).with_baseline_rate(0.0);
+        let scenario = Scenario::new(HostId(0), HostId(2))
+            .with_max_ticks(50)
+            .with_baseline_rate(0.0);
         let s = Simulation::new(&net, &a, &sim, &scenario);
         let out = s.run(7);
         assert_eq!(out.compromised_at, None);
@@ -273,9 +275,8 @@ mod tests {
     fn diverse_assignment_slows_the_worm() {
         let (net, sim) = line(6, 0.2);
         let mono_a = mono(6);
-        let diverse = Assignment::from_slots(
-            (0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect(),
-        );
+        let diverse =
+            Assignment::from_slots((0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect());
         let scenario = Scenario::new(HostId(0), HostId(5))
             .with_exploit_success(0.9)
             .with_baseline_rate(0.0);
@@ -425,7 +426,9 @@ mod tests {
             total as f64 / ok.max(1) as f64
         };
         let perfect = mean(AttackerStrategy::Sophisticated);
-        let noisy = mean(AttackerStrategy::NoisyRecon { noise_permille: 900 });
+        let noisy = mean(AttackerStrategy::NoisyRecon {
+            noise_permille: 900,
+        });
         assert!(
             noisy >= perfect,
             "noisy recon MTTC {noisy} should not beat perfect recon {perfect}"
@@ -443,7 +446,10 @@ mod tests {
         // Events are in tick order and each source was infected earlier.
         let mut infected: Vec<HostId> = vec![HostId(0)];
         for e in &out.events {
-            assert!(infected.contains(&e.from), "source must already be infected");
+            assert!(
+                infected.contains(&e.from),
+                "source must already be infected"
+            );
             infected.push(e.host);
         }
         // Untraced runs record no events.

@@ -110,23 +110,24 @@ pub fn estimate_mttc(
     let mut ticks: Vec<Option<u32>> = vec![None; runs];
     if threads <= 1 || runs < 8 {
         for (i, slot) in ticks.iter_mut().enumerate() {
-            *slot = sim.run(options.master_seed ^ splitmix(i as u64)).compromised_at;
+            *slot = sim
+                .run(options.master_seed ^ splitmix(i as u64))
+                .compromised_at;
         }
     } else {
         let chunk = runs.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (t, slice) in ticks.chunks_mut(chunk).enumerate() {
                 let sim = &sim;
                 let master = options.master_seed;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (j, slot) in slice.iter_mut().enumerate() {
                         let i = t * chunk + j;
                         *slot = sim.run(master ^ splitmix(i as u64)).compromised_at;
                     }
                 });
             }
-        })
-        .expect("mttc worker panicked");
+        });
     }
     let successes: Vec<u32> = ticks.iter().flatten().copied().collect();
     let count = successes.len();
@@ -234,7 +235,9 @@ mod tests {
             vec![ProductId(1)],
             vec![ProductId(0)],
         ]);
-        let scenario = Scenario::new(HostId(0), HostId(2)).with_max_ticks(20).with_baseline_rate(0.0);
+        let scenario = Scenario::new(HostId(0), HostId(2))
+            .with_max_ticks(20)
+            .with_baseline_rate(0.0);
         let est = estimate_mttc(
             &net,
             &a,
@@ -254,7 +257,9 @@ mod tests {
     #[test]
     fn lower_similarity_increases_mttc() {
         let a6 = Assignment::from_slots(
-            (0..6).map(|i| vec![ProductId((i % 2) as u16)]).collect::<Vec<_>>(),
+            (0..6)
+                .map(|i| vec![ProductId((i % 2) as u16)])
+                .collect::<Vec<_>>(),
         );
         let scenario = Scenario::new(HostId(0), HostId(5))
             .with_exploit_success(1.0)

@@ -69,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mono = mono_assignment(&network);
     println!(
         "\ntotal edge similarity: optimal {:.3} vs mono {:.3} (lower = harder for a worm)",
-        solved.assignment().total_edge_similarity(&network, &similarity),
+        solved
+            .assignment()
+            .total_edge_similarity(&network, &similarity),
         mono.total_edge_similarity(&network, &similarity),
     );
     Ok(())

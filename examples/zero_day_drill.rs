@@ -39,19 +39,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     match outcome.compromised_at {
-        Some(t) => println!("target compromised at tick {t}; {} hosts infected", outcome.infected_count),
+        Some(t) => println!(
+            "target compromised at tick {t}; {} hosts infected",
+            outcome.infected_count
+        ),
         None => println!("target survived the tick budget"),
     }
 
     // --- 2. Dwell time vs diversification and attacker sophistication.
     let optimizer = DiversityOptimizer::new().with_solver(SolverKind::Exact(Default::default()));
-    let optimal = optimizer.optimize(&cs.network, &cs.similarity)?.into_assignment();
+    let optimal = optimizer
+        .optimize(&cs.network, &cs.similarity)?
+        .into_assignment();
     let opts = MttcOptions {
         runs: 400,
         ..MttcOptions::default()
     };
     println!("\nmean time to compromise t5 from c4 (400 runs):");
-    for (label, assignment) in [("mono-culture", &mono), ("optimal diversification", &optimal)] {
+    for (label, assignment) in [
+        ("mono-culture", &mono),
+        ("optimal diversification", &optimal),
+    ] {
         for (attacker, aname) in [
             (AttackerStrategy::Sophisticated, "sophisticated"),
             (AttackerStrategy::Uniform, "uniform"),

@@ -1,0 +1,229 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Statistics are
+//! simple — median of per-sample mean iteration times — but deterministic
+//! in shape and cheap, which is what an offline CI wants. Set
+//! `CRITERION_SHIM_SAMPLES` to override the default sample count (10).
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-implements `criterion::black_box` on top of `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id rendering as `name/parameter`.
+    pub fn new<N: Into<String>, P: fmt::Display>(name: N, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the routine.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: run once to size the sample batches.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~10ms per sample, capped to keep totals bounded.
+        let per_sample = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let mut means: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            means.push(start.elapsed() / per_sample as u32);
+        }
+        means.sort_unstable();
+        self.result = Some(means[means.len() / 2]);
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+fn report(name: &str, result: Option<Duration>) {
+    match result {
+        Some(t) => println!("bench: {name:<50} {t:>12.3?}/iter"),
+        None => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Runs a benchmark over one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), b.result);
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.result);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion { samples: 3 };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        assert!(ran > 3, "routine should run at least once per sample");
+    }
+
+    #[test]
+    fn groups_and_ids_render() {
+        let mut c = Criterion { samples: 2 };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(42), &7usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("x", 3).to_string(), "x/3");
+    }
+}

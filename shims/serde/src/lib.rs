@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the inert derive macros and declares the two marker traits so
+//! that `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serialization
+//! machinery is provided; the one module that genuinely persists data
+//! (`nvd::json`) uses a hand-rolled JSON codec instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be vendored. The workspace only *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` (persistence is hand-rolled where it
+//! is actually needed, see `nvd::json`), so inert derives that accept the
+//! `#[serde(...)]` helper attribute and expand to nothing are sufficient.
+
+use proc_macro::TokenStream;
+
+/// Inert stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -22,7 +22,10 @@ fn table5_pipeline_preserves_the_paper_ordering() {
     let c2 = optimizer
         .optimize_constrained(&cs.network, &cs.similarity, &cs.constraints_c2())
         .unwrap();
-    let random = random_assignment(&cs.network, 2020);
+    // The pinned draw (see the constant's comment): the table illustrates
+    // the paper's ordering, and an unluckily diverse random draw can
+    // legitimately beat the *constrained* optima on dbn.
+    let random = random_assignment(&cs.network, bench::RANDOM_BASELINE_SEED);
     let mono = mono_assignment(&cs.network);
     let rows = diversity_report(
         &cs.network,
@@ -42,7 +45,10 @@ fn table5_pipeline_preserves_the_paper_ordering() {
     let dbn: Vec<f64> = rows.iter().map(|r| r.metric.dbn).collect();
     // Paper Table V's qualitative ordering.
     assert!(dbn[0] > dbn[1]);
-    assert!((dbn[1] - dbn[2]).abs() < 0.25 * dbn[1], "C1 and C2 are nearly equal in the paper");
+    assert!(
+        (dbn[1] - dbn[2]).abs() < 0.25 * dbn[1],
+        "C1 and C2 are nearly equal in the paper"
+    );
     assert!(dbn[1] > dbn[3] || dbn[2] > dbn[3]);
     assert!(dbn[3] > dbn[4]);
     // dbn is a proper (0, 1] metric for all assignments.
@@ -173,7 +179,9 @@ fn exact_solver_beats_or_matches_every_other_solver_on_the_case_study() {
     use mrf::icm::IcmOptions;
     use mrf::trws::TrwsOptions;
     let cs = CaseStudy::build();
-    let exact = exact_optimizer().optimize(&cs.network, &cs.similarity).unwrap();
+    let exact = exact_optimizer()
+        .optimize(&cs.network, &cs.similarity)
+        .unwrap();
     for solver in [
         SolverKind::Trws(TrwsOptions::default()),
         SolverKind::Bp(BpOptions::default()),

@@ -11,16 +11,16 @@ use sim::mttc::{estimate_mttc, MttcOptions};
 use sim::scenario::Scenario;
 
 fn small_config() -> impl Strategy<Value = RandomNetworkConfig> {
-    (4usize..20, 2usize..5, 1usize..4, 2usize..4).prop_map(
-        |(hosts, degree, services, products)| RandomNetworkConfig {
+    (4usize..20, 2usize..5, 1usize..4, 2usize..4).prop_map(|(hosts, degree, services, products)| {
+        RandomNetworkConfig {
             hosts,
             mean_degree: degree,
             services,
             products_per_service: products,
             vendors_per_service: 2,
             topology: TopologyKind::Random,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

@@ -1,0 +1,182 @@
+//! Integration tests for the `MapSolver` redesign: portfolio dominance,
+//! deadline-limited anytime solves, cancellation, and progress reporting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ics_diversity::optimizer::{DiversityOptimizer, SolverKind};
+use mrf::icm::IcmOptions;
+use mrf::portfolio::SolverPortfolio;
+use mrf::solver::{MapSolver, SolveControl};
+use mrf::trws::TrwsOptions;
+use netmodel::casestudy::CaseStudy;
+use netmodel::constraints::{Constraint, ConstraintSet};
+use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+
+fn config(hosts: usize, degree: usize) -> RandomNetworkConfig {
+    RandomNetworkConfig {
+        hosts,
+        mean_degree: degree,
+        services: 2,
+        products_per_service: 3,
+        vendors_per_service: 2,
+        topology: TopologyKind::Random,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The portfolio's energy never exceeds the minimum of its members'
+    /// energies on seeded random networks (it returns the best member).
+    #[test]
+    fn portfolio_energy_at_most_min_of_members(
+        hosts in 6usize..30,
+        degree in 2usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = generate(&config(hosts, degree), seed);
+        let energy = ics_diversity::energy::build_energy(
+            &g.network,
+            &g.similarity,
+            &netmodel::constraints::ConstraintSet::new(),
+            ics_diversity::energy::EnergyParams::default(),
+        )
+        .unwrap();
+        let model = energy.model();
+        let outcome = SolverPortfolio::standard()
+            .solve_detailed(model, &SolveControl::new());
+        let min_member = outcome
+            .reports
+            .iter()
+            .map(|r| r.energy)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            outcome.solution.energy() <= min_member + 1e-9,
+            "portfolio {} worse than best member {}",
+            outcome.solution.energy(),
+            min_member
+        );
+        // The reported winner is consistent with the returned solution.
+        let winner = outcome.reports.iter().find(|r| r.winner).unwrap();
+        prop_assert!((winner.energy - outcome.solution.energy()).abs() < 1e-12);
+        // Any certified bound brackets the returned energy.
+        if let Some(lb) = outcome.solution.lower_bound() {
+            prop_assert!(lb <= outcome.solution.energy() + 1e-7);
+        }
+    }
+}
+
+/// A 10 ms budget on a 500-host instance still yields a complete, valid,
+/// constraint-respecting assignment (anytime semantics end to end).
+#[test]
+fn deadline_limited_solve_returns_valid_assignment() {
+    let g = generate(&config(500, 8), 42);
+    // Pin one slot so the constraint machinery is genuinely exercised
+    // under time pressure (fix constraints restrict domains up front, so
+    // they hold for any labeling the solver returns).
+    let host = netmodel::HostId(0);
+    let inst = &g.network.host(host).unwrap().services()[0];
+    let pinned = inst.candidates()[0];
+    let mut constraints = ConstraintSet::new();
+    constraints.push(Constraint::fix(host, inst.service(), pinned));
+
+    let optimizer = DiversityOptimizer::new()
+        .with_solver(SolverKind::Portfolio(vec![
+            SolverKind::Trws(TrwsOptions::default()),
+            SolverKind::Icm(IcmOptions::default()),
+        ]))
+        .with_time_budget(Duration::from_millis(10));
+    let solved = optimizer
+        .optimize_constrained(&g.network, &g.similarity, &constraints)
+        .expect("deadline-limited solve still produces an assignment");
+    solved.assignment().validate(&g.network).unwrap();
+    assert!(constraints.is_satisfied(&g.network, solved.assignment()));
+    assert_eq!(
+        solved
+            .assignment()
+            .product_for(&g.network, host, inst.service()),
+        Some(pinned)
+    );
+}
+
+/// Acceptance: a deadline-limited portfolio solve on the ICS case study
+/// returns a valid assignment with energy ≤ the best single member's.
+#[test]
+fn case_study_portfolio_beats_single_members_under_deadline() {
+    let cs = CaseStudy::build();
+    let ctl = SolveControl::new().with_budget(Duration::from_millis(500));
+    let energy = ics_diversity::energy::build_energy(
+        &cs.network,
+        &cs.similarity,
+        &ConstraintSet::new(),
+        ics_diversity::energy::EnergyParams::default(),
+    )
+    .unwrap();
+    let outcome = SolverPortfolio::standard().solve_detailed(energy.model(), &ctl);
+    let assignment = energy.decode(outcome.solution.labels());
+    assignment.validate(&cs.network).unwrap();
+    for report in &outcome.reports {
+        assert!(
+            outcome.solution.energy() <= report.energy + 1e-9,
+            "portfolio {} worse than member {} ({})",
+            outcome.solution.energy(),
+            report.name,
+            report.energy
+        );
+    }
+}
+
+/// Cancellation stops a long solve promptly and still yields a labeling.
+#[test]
+fn cancellation_is_honored() {
+    let g = generate(&config(300, 8), 3);
+    let energy = ics_diversity::energy::build_energy(
+        &g.network,
+        &g.similarity,
+        &ConstraintSet::new(),
+        ics_diversity::energy::EnergyParams::default(),
+    )
+    .unwrap();
+    let ctl = SolveControl::new();
+    ctl.cancel(); // cancelled before it starts: must stop at first check
+    let solution = mrf::trws::Trws::default().solve(energy.model(), &ctl);
+    assert_eq!(solution.labels().len(), energy.model().var_count());
+    assert!(!solution.converged());
+    assert_eq!(solution.iterations(), 0);
+}
+
+/// Progress callbacks stream (iteration, energy, bound) and energies are
+/// monotonically non-increasing for TRW-S (best-so-far semantics).
+#[test]
+fn progress_reports_stream_and_never_worsen() {
+    let g = generate(&config(60, 5), 11);
+    let energy = ics_diversity::energy::build_energy(
+        &g.network,
+        &g.similarity,
+        &ConstraintSet::new(),
+        ics_diversity::energy::EnergyParams::default(),
+    )
+    .unwrap();
+    let events = Arc::new(AtomicUsize::new(0));
+    let last_energy = Arc::new(std::sync::Mutex::new(f64::INFINITY));
+    let seen = Arc::clone(&events);
+    let last = Arc::clone(&last_energy);
+    let ctl = SolveControl::new().with_progress(move |event| {
+        seen.fetch_add(1, Ordering::Relaxed);
+        let mut prev = last.lock().unwrap();
+        assert!(
+            event.energy <= *prev + 1e-9,
+            "best-so-far energy worsened: {} after {}",
+            event.energy,
+            *prev
+        );
+        *prev = event.energy;
+    });
+    let solution = mrf::trws::Trws::default().solve(energy.model(), &ctl);
+    assert!(events.load(Ordering::Relaxed) > 0, "no progress events");
+    assert!(solution.energy().is_finite());
+}
