@@ -1,0 +1,709 @@
+//! Incremental energy construction: rebuild only what a delta touched.
+//!
+//! [`crate::energy::build_energy`] translates a network into a pairwise MRF
+//! from scratch. A long-lived service applying a stream of
+//! [`netmodel::delta::NetworkDelta`]s would waste almost all of that work —
+//! after a single-host change, 99% of the filtered domains and every shared
+//! potential matrix are unchanged. [`EnergyCache`] is the stateful form of
+//! the same translation:
+//!
+//! * **Domain filtering is per-host and cached.** Constraint-driven domain
+//!   filtering (Fix restriction + the conditional-combination fixpoint) only
+//!   ever reads one host's slots, so the cache refilters exactly the hosts
+//!   whose [`netmodel::network::Network::host_revision`] moved since the
+//!   last refresh.
+//! * **Domains are interned.** Each distinct candidate list gets a
+//!   [`DomainId`]; slots reference domains by id. This also fixes the
+//!   original `build_energy` hot-path sin of keying the potential cache on
+//!   freshly allocated `(Vec<u16>, Vec<u16>)` pairs per edge.
+//! * **Potential matrices persist across revisions.** The `O(L²)`
+//!   similarity-lookup cost matrices are cached by `(DomainId, DomainId)`
+//!   and survive rebuilds; a rebuild only recomputes matrices for domain
+//!   pairs it has never seen.
+//!
+//! The MRF itself is still *assembled* per revision (variable ids are
+//! dense, so inserting a variable shifts its successors), but assembly is a
+//! cheap linear pass once filtering and matrix construction are cached; the
+//! expensive part of reacting to a delta — the re-solve — is warm-started
+//! by [`crate::engine::DiversityEngine`] from the previous MAP assignment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mrf::model::{MrfBuilder, PotentialId};
+
+use netmodel::catalog::ProductSimilarity;
+use netmodel::constraints::{ConstraintSet, Scope};
+use netmodel::network::Network;
+use netmodel::{HostId, ProductId};
+
+use crate::energy::{EnergyModel, EnergyParams, SlotBinding};
+use crate::{Error, Result};
+
+/// Handle to an interned candidate domain (a distinct `Vec<ProductId>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(u32);
+
+/// Interns candidate lists so equal domains share one id and one allocation.
+#[derive(Debug, Default)]
+struct DomainInterner {
+    by_key: HashMap<Vec<ProductId>, DomainId>,
+    domains: Vec<Arc<Vec<ProductId>>>,
+}
+
+impl DomainInterner {
+    fn intern(&mut self, domain: Vec<ProductId>) -> DomainId {
+        if let Some(&id) = self.by_key.get(&domain) {
+            return id;
+        }
+        let id = DomainId(self.domains.len() as u32);
+        self.domains.push(Arc::new(domain.clone()));
+        self.by_key.insert(domain, id);
+        id
+    }
+
+    fn resolve(&self, id: DomainId) -> &Arc<Vec<ProductId>> {
+        &self.domains[id.0 as usize]
+    }
+}
+
+/// What one [`EnergyCache::refresh`] did, for telemetry and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RebuildStats {
+    /// Whether the model was rebuilt at all (false: cache was current).
+    pub rebuilt: bool,
+    /// Hosts whose domains were refiltered (0 on a pure structural change).
+    pub hosts_refiltered: usize,
+    /// Shared potential matrices computed fresh this refresh.
+    pub potentials_computed: usize,
+    /// Shared potential matrices served from the cross-revision cache.
+    pub potentials_reused: usize,
+    /// Free variables in the rebuilt model.
+    pub variables: usize,
+    /// Edges in the rebuilt model.
+    pub edges: usize,
+}
+
+/// Constraint-driven domain filtering for one host: Fix restriction plus
+/// the conditional-combination fixpoint. Host-local by construction — both
+/// services of a combination constraint live on the same host — which is
+/// what makes per-host incremental refiltering exact.
+pub(crate) fn filter_host_domains(
+    network: &Network,
+    host_id: HostId,
+    constraints: &ConstraintSet,
+) -> Result<Vec<Vec<ProductId>>> {
+    let host = network.host(host_id).map_err(Error::Model)?;
+    let mut domains: Vec<Vec<ProductId>> = host
+        .services()
+        .iter()
+        .map(|inst| constraints.restrict_candidates(host_id, inst.service(), inst.candidates()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for c in constraints.iter() {
+            let Some(comb) = c.as_combination() else {
+                continue;
+            };
+            match comb.scope {
+                Scope::Host(h) if h != host_id => continue,
+                _ => {}
+            }
+            let (Some(sm), Some(sn)) = (
+                host.service_slot(comb.if_service),
+                host.service_slot(comb.then_service),
+            ) else {
+                continue; // vacuous at hosts missing either service
+            };
+            let other = comb.other;
+            let trigger_fixed = domains[sm] == vec![comb.if_product];
+            let trigger_possible = domains[sm].contains(&comb.if_product);
+            if comb.is_forbid {
+                // If the trigger is certain, the forbidden product goes.
+                if trigger_fixed && domains[sn].contains(&other) {
+                    domains[sn].retain(|&p| p != other);
+                    changed = true;
+                }
+                // If the forbidden product is certain, the trigger goes.
+                if domains[sn] == vec![other] && trigger_possible {
+                    domains[sm].retain(|&p| p != comb.if_product);
+                    changed = true;
+                }
+            } else {
+                // Require: trigger certain -> then-slot collapses to `other`.
+                if trigger_fixed && domains[sn] != vec![other] {
+                    domains[sn].retain(|&p| p == other);
+                    changed = true;
+                }
+                // `other` impossible -> the trigger is impossible.
+                if !domains[sn].contains(&other) && trigger_possible {
+                    domains[sm].retain(|&p| p != comb.if_product);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (slot, inst) in host.services().iter().enumerate() {
+        if domains[slot].is_empty() {
+            return Err(Error::Infeasible {
+                host: host_id,
+                service: inst.service(),
+            });
+        }
+    }
+    Ok(domains)
+}
+
+/// A stateful, revision-aware energy builder (module docs).
+#[derive(Debug)]
+pub struct EnergyCache {
+    params: EnergyParams,
+    constraints: ConstraintSet,
+    interner: DomainInterner,
+    /// Cross-revision cost-matrix cache, keyed by interned domain pair in
+    /// `(row, column)` orientation.
+    costs: HashMap<(DomainId, DomainId), Arc<Vec<f64>>>,
+    /// Filtered, interned domain per (host, slot).
+    domains: Vec<Vec<DomainId>>,
+    /// Per-host revision the cached domains correspond to.
+    host_revisions: Vec<u64>,
+    /// Network revision the cached *model* corresponds to; `None` forces a
+    /// rebuild at the next refresh.
+    synced: Option<u64>,
+    model: EnergyModel,
+}
+
+impl EnergyCache {
+    /// Builds the cache (and the initial model) for `network`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Infeasible`] — constraint filtering empties a slot's
+    ///   domain.
+    /// * [`Error::Mrf`] — internal model construction failure (never
+    ///   expected for validated networks).
+    pub fn new(
+        network: &Network,
+        similarity: &ProductSimilarity,
+        constraints: &ConstraintSet,
+        params: EnergyParams,
+    ) -> Result<EnergyCache> {
+        let mut cache = EnergyCache::deferred(constraints, params);
+        cache.refresh(network, similarity)?;
+        Ok(cache)
+    }
+
+    /// A cache with no model built yet: the first [`EnergyCache::refresh`]
+    /// does the full build. Lets callers layer configuration
+    /// (constraints, params) without paying for a build they would
+    /// immediately invalidate.
+    pub fn deferred(constraints: &ConstraintSet, params: EnergyParams) -> EnergyCache {
+        EnergyCache {
+            params,
+            constraints: constraints.clone(),
+            interner: DomainInterner::default(),
+            costs: HashMap::new(),
+            domains: Vec::new(),
+            host_revisions: Vec::new(),
+            synced: None,
+            model: EnergyModel::from_parts(MrfBuilder::new().build(), Vec::new(), 0.0),
+        }
+    }
+
+    /// The energy model for the last refreshed network revision.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Consumes the cache, returning the current model.
+    pub fn into_model(self) -> EnergyModel {
+        self.model
+    }
+
+    /// The energy parameters in use.
+    pub fn params(&self) -> EnergyParams {
+        self.params
+    }
+
+    /// The constraint set the cached domains were filtered under.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The cache's memory-footprint drivers: `(interned domains, cached
+    /// cost matrices)`. Compaction (automatic during refresh) keeps both
+    /// proportional to the domains the current revision references, so a
+    /// long-lived engine absorbing domain-churning deltas does not grow
+    /// without bound.
+    pub fn footprint(&self) -> (usize, usize) {
+        (self.interner.domains.len(), self.costs.len())
+    }
+
+    /// Drops interner entries and cost matrices no longer referenced by any
+    /// slot, remapping the live domain ids. Called by refresh once dead
+    /// entries dominate; a delta stream cycling candidate sets otherwise
+    /// accretes every domain ever seen for the process lifetime.
+    fn compact(&mut self) {
+        let mut interner = DomainInterner::default();
+        let mut remap: HashMap<DomainId, DomainId> = HashMap::new();
+        for row in &mut self.domains {
+            for id in row.iter_mut() {
+                let new_id = match remap.get(id) {
+                    Some(&n) => n,
+                    None => {
+                        let n = interner.intern(self.interner.resolve(*id).as_ref().clone());
+                        remap.insert(*id, n);
+                        n
+                    }
+                };
+                *id = new_id;
+            }
+        }
+        let old_costs = std::mem::take(&mut self.costs);
+        for ((a, b), costs) in old_costs {
+            if let (Some(&na), Some(&nb)) = (remap.get(&a), remap.get(&b)) {
+                self.costs.insert((na, nb), costs);
+            }
+        }
+        self.interner = interner;
+    }
+
+    /// Replaces the constraint set. All domains are refiltered at the next
+    /// [`EnergyCache::refresh`] (constraints are not host-diffable).
+    pub fn set_constraints(&mut self, constraints: &ConstraintSet) {
+        self.constraints = constraints.clone();
+        self.host_revisions.clear();
+        self.domains.clear();
+        self.synced = None;
+    }
+
+    /// Replaces the energy parameters, forcing a model rebuild at the next
+    /// refresh (domains are unaffected).
+    pub fn set_params(&mut self, params: EnergyParams) {
+        self.params = params;
+        self.synced = None;
+    }
+
+    /// Drops all cached cost matrices, forcing them to be recomputed at the
+    /// next refresh. Call after mutating pairwise similarities in place
+    /// (e.g. a CVE-feed refresh) — cached matrices would silently keep the
+    /// old values otherwise. Domains are unaffected.
+    pub fn invalidate_similarity(&mut self) {
+        self.costs.clear();
+        self.synced = None;
+    }
+
+    /// Brings the cached model up to `network.revision()`: refilters the
+    /// domains of hosts whose revision moved, then reassembles the MRF with
+    /// cached domains and cost matrices. A no-op when already current.
+    ///
+    /// Transactional with respect to failure: an [`Error::Infeasible`]
+    /// domain leaves the previously cached model intact.
+    ///
+    /// # Errors
+    ///
+    /// See [`EnergyCache::new`].
+    pub fn refresh(
+        &mut self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+    ) -> Result<RebuildStats> {
+        if self.synced == Some(network.revision()) {
+            return Ok(RebuildStats {
+                rebuilt: false,
+                variables: self.model.model().var_count(),
+                edges: self.model.model().edge_count(),
+                ..RebuildStats::default()
+            });
+        }
+        // Refilter changed hosts into a scratch list first so an infeasible
+        // host cannot leave half-committed domains behind.
+        let mut refiltered: Vec<(usize, Vec<DomainId>)> = Vec::new();
+        for (host_id, _) in network.iter_hosts() {
+            let i = host_id.index();
+            let current = network.host_revision(host_id);
+            if self.host_revisions.get(i) == Some(&current) {
+                continue;
+            }
+            let domains = filter_host_domains(network, host_id, &self.constraints)?;
+            let interned = domains
+                .into_iter()
+                .map(|d| self.interner.intern(d))
+                .collect();
+            refiltered.push((i, interned));
+        }
+        let hosts_refiltered = refiltered.len();
+        if self.domains.len() < network.host_count() {
+            self.domains.resize(network.host_count(), Vec::new());
+            self.host_revisions.resize(network.host_count(), u64::MAX);
+        }
+        for (i, interned) in refiltered {
+            self.domains[i] = interned;
+            self.host_revisions[i] = network.host_revision(HostId(i as u32));
+        }
+        // Evict dead interner entries (domains no slot references anymore)
+        // once they outnumber the live set.
+        let live = self
+            .domains
+            .iter()
+            .flatten()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        if self.interner.domains.len() >= 64 && self.interner.domains.len() > 2 * live {
+            self.compact();
+        }
+        let (potentials_computed, potentials_reused) = self.rebuild(network, similarity)?;
+        self.synced = Some(network.revision());
+        Ok(RebuildStats {
+            rebuilt: true,
+            hosts_refiltered,
+            potentials_computed,
+            potentials_reused,
+            variables: self.model.model().var_count(),
+            edges: self.model.model().edge_count(),
+        })
+    }
+
+    /// Reassembles the MRF from cached domains and cost matrices (steps 3-5
+    /// of the original monolithic `build_energy`).
+    fn rebuild(
+        &mut self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+    ) -> Result<(usize, usize)> {
+        // --- Variables. -----------------------------------------------------
+        let mut builder = MrfBuilder::new();
+        let mut slots: Vec<Vec<SlotBinding>> = Vec::with_capacity(network.host_count());
+        for (host_id, host) in network.iter_hosts() {
+            let mut host_slots = Vec::with_capacity(host.services().len());
+            for &did in &self.domains[host_id.index()] {
+                let domain = self.interner.resolve(did);
+                if domain.len() == 1 {
+                    host_slots.push(SlotBinding::Fixed(domain[0]));
+                } else {
+                    let var = builder.add_variable(domain.len());
+                    builder.set_unary(var, vec![self.params.preference_cost; domain.len()])?;
+                    host_slots.push(SlotBinding::Variable {
+                        var,
+                        candidates: Arc::clone(domain),
+                    });
+                }
+            }
+            slots.push(host_slots);
+        }
+
+        // --- Inter-host similarity edges (paper Eq. 3). ---------------------
+        let mut base_energy = 0.0;
+        let mut registered: HashMap<(DomainId, DomainId), PotentialId> = HashMap::new();
+        let mut computed = 0usize;
+        let mut reused = 0usize;
+        for &(a, b) in network.links() {
+            let host_a = network.host(a).expect("validated network");
+            let host_b = network.host(b).expect("validated network");
+            for (slot_a, inst) in host_a.services().iter().enumerate() {
+                let Some(slot_b) = host_b.service_slot(inst.service()) else {
+                    continue;
+                };
+                match (&slots[a.index()][slot_a], &slots[b.index()][slot_b]) {
+                    (SlotBinding::Fixed(pa), SlotBinding::Fixed(pb)) => {
+                        base_energy += similarity.get(*pa, *pb);
+                    }
+                    (SlotBinding::Fixed(pa), SlotBinding::Variable { var, candidates }) => {
+                        for (label, &pb) in candidates.iter().enumerate() {
+                            builder.add_unary(*var, label, similarity.get(*pa, pb))?;
+                        }
+                    }
+                    (SlotBinding::Variable { var, candidates }, SlotBinding::Fixed(pb)) => {
+                        for (label, &pa) in candidates.iter().enumerate() {
+                            builder.add_unary(*var, label, similarity.get(pa, *pb))?;
+                        }
+                    }
+                    (
+                        SlotBinding::Variable { var: va, .. },
+                        SlotBinding::Variable { var: vb, .. },
+                    ) => {
+                        let key = (
+                            self.domains[a.index()][slot_a],
+                            self.domains[b.index()][slot_b],
+                        );
+                        let pot = match registered.get(&key) {
+                            Some(&p) => p,
+                            None => {
+                                let ca = self.interner.resolve(key.0);
+                                let cb = self.interner.resolve(key.1);
+                                let costs = match self.costs.get(&key) {
+                                    Some(costs) => {
+                                        reused += 1;
+                                        Arc::clone(costs)
+                                    }
+                                    None => {
+                                        computed += 1;
+                                        let mut costs = Vec::with_capacity(ca.len() * cb.len());
+                                        for &pa in ca.iter() {
+                                            for &pb in cb.iter() {
+                                                costs.push(similarity.get(pa, pb));
+                                            }
+                                        }
+                                        let costs = Arc::new(costs);
+                                        self.costs.insert(key, Arc::clone(&costs));
+                                        costs
+                                    }
+                                };
+                                let p = builder.add_potential(
+                                    ca.len(),
+                                    cb.len(),
+                                    costs.as_ref().clone(),
+                                )?;
+                                registered.insert(key, p);
+                                p
+                            }
+                        };
+                        builder.add_edge(*va, *vb, pot)?;
+                    }
+                }
+            }
+        }
+
+        // --- Intra-host combination constraints on two free slots. ----------
+        for c in self.constraints.iter() {
+            let Some(comb) = c.as_combination() else {
+                continue;
+            };
+            let hosts: Vec<HostId> = match comb.scope {
+                Scope::Host(h) => vec![h],
+                Scope::All => network.iter_hosts().map(|(id, _)| id).collect(),
+            };
+            for h in hosts {
+                let Ok(host) = network.host(h) else { continue };
+                let (Some(sm), Some(sn)) = (
+                    host.service_slot(comb.if_service),
+                    host.service_slot(comb.then_service),
+                ) else {
+                    continue;
+                };
+                let (
+                    SlotBinding::Variable {
+                        var: va,
+                        candidates: ca,
+                    },
+                    SlotBinding::Variable {
+                        var: vb,
+                        candidates: cb,
+                    },
+                ) = (&slots[h.index()][sm], &slots[h.index()][sn])
+                else {
+                    continue; // fixed sides were resolved by the fixpoint
+                };
+                let Some(trigger) = ca.iter().position(|&p| p == comb.if_product) else {
+                    continue; // trigger filtered out: vacuous
+                };
+                let mut costs = vec![0.0; ca.len() * cb.len()];
+                for (j, &pb) in cb.iter().enumerate() {
+                    let violates = if comb.is_forbid {
+                        pb == comb.other
+                    } else {
+                        pb != comb.other
+                    };
+                    if violates {
+                        costs[trigger * cb.len() + j] = self.params.constraint_cost;
+                    }
+                }
+                builder.add_edge_dense(*va, *vb, costs)?;
+            }
+        }
+
+        self.model = EnergyModel::from_parts(builder.build(), slots, base_energy);
+        Ok((computed, reused))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::catalog::Catalog;
+    use netmodel::constraints::Constraint;
+    use netmodel::delta::NetworkDelta;
+    use netmodel::network::NetworkBuilder;
+
+    fn instance(hosts: usize) -> (Network, Catalog, ProductSimilarity) {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let products: Vec<_> = (0..3)
+            .map(|i| c.add_product(&format!("p{i}"), os).unwrap())
+            .collect();
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<HostId> = (0..hosts).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &ids {
+            b.add_service(h, os, products.clone()).unwrap();
+        }
+        for w in ids.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        let net = b.build(&c).unwrap();
+        let mut vals = vec![0.0; 9];
+        for i in 0..3 {
+            for j in 0..3 {
+                vals[i * 3 + j] = if i == j { 1.0 } else { 0.1 * (i + j) as f64 };
+            }
+        }
+        (net, c, ProductSimilarity::from_dense(3, vals))
+    }
+
+    #[test]
+    fn refresh_is_idempotent_and_cheap_when_current() {
+        let (net, _, sim) = instance(6);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let stats = cache.refresh(&net, &sim).unwrap();
+        assert!(!stats.rebuilt);
+        assert_eq!(stats.hosts_refiltered, 0);
+        assert_eq!(stats.variables, 6);
+    }
+
+    #[test]
+    fn delta_refilters_only_touched_hosts_and_reuses_potentials() {
+        let (mut net, c, sim) = instance(8);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        net.apply_delta(&NetworkDelta::fix_slot(HostId(3), os, p0), &c)
+            .unwrap();
+        let stats = cache.refresh(&net, &sim).unwrap();
+        assert!(stats.rebuilt);
+        assert_eq!(stats.hosts_refiltered, 1, "only the fixed host refilters");
+        assert_eq!(
+            stats.potentials_computed, 0,
+            "the full-domain matrix is cached from the initial build"
+        );
+        assert!(stats.potentials_reused >= 1);
+        assert_eq!(stats.variables, 7);
+        // The fixed slot folded into its neighbors' unaries.
+        assert_eq!(cache.model().slots()[3][0], SlotBinding::Fixed(p0));
+    }
+
+    #[test]
+    fn matches_scratch_build_after_deltas() {
+        let (mut net, c, sim) = instance(6);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let os = c.service_by_name("os").unwrap();
+        let p1 = c.product_by_name("p1").unwrap();
+        for delta in [
+            NetworkDelta::add_link(HostId(0), HostId(3)),
+            NetworkDelta::fix_slot(HostId(2), os, p1),
+            NetworkDelta::remove_host(HostId(5)),
+            NetworkDelta::add_host("h6", vec![(os, vec![p1])], vec![HostId(0)]),
+        ] {
+            net.apply_delta(&delta, &c).unwrap();
+            cache.refresh(&net, &sim).unwrap();
+            let scratch = crate::energy::build_energy(
+                &net,
+                &sim,
+                &ConstraintSet::new(),
+                EnergyParams::default(),
+            )
+            .unwrap();
+            let inc = cache.model();
+            assert_eq!(inc.slots(), scratch.slots(), "after {delta}");
+            assert_eq!(inc.base_energy(), scratch.base_energy());
+            assert_eq!(inc.model().var_count(), scratch.model().var_count());
+            assert_eq!(inc.model().edge_count(), scratch.model().edge_count());
+            let labels = vec![0usize; inc.model().var_count()];
+            assert!((inc.model().energy(&labels) - scratch.model().energy(&labels)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn infeasible_refresh_keeps_previous_model() {
+        let (mut net, c, sim) = instance(4);
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        let p1 = c.product_by_name("p1").unwrap();
+        let mut constraints = ConstraintSet::new();
+        constraints.push(Constraint::fix(HostId(1), os, p0));
+        let mut cache =
+            EnergyCache::new(&net, &sim, &constraints, EnergyParams::default()).unwrap();
+        let vars_before = cache.model().model().var_count();
+        // Narrow host 1 to p1 only: the Fix(p0) constraint empties the domain.
+        net.apply_delta(&NetworkDelta::unfix_slot(HostId(1), os, vec![p1]), &c)
+            .unwrap();
+        let err = cache.refresh(&net, &sim).unwrap_err();
+        assert!(matches!(err, Error::Infeasible { .. }));
+        assert_eq!(cache.model().model().var_count(), vars_before);
+    }
+
+    #[test]
+    fn domain_churn_does_not_grow_the_cache_without_bound() {
+        // One service with 8 products; cycle one host's candidate set
+        // through many distinct subsets. Every subset is a new domain, so
+        // without compaction the interner would hold all ~150 of them.
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let products: Vec<_> = (0..8)
+            .map(|i| c.add_product(&format!("p{i}"), os).unwrap())
+            .collect();
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<HostId> = (0..4).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &ids {
+            b.add_service(h, os, products.clone()).unwrap();
+        }
+        b.add_link(ids[0], ids[1]).unwrap();
+        b.add_link(ids[1], ids[2]).unwrap();
+        b.add_link(ids[2], ids[3]).unwrap();
+        let mut net = b.build(&c).unwrap();
+        let sim = ProductSimilarity::uniform(&c, 0.3);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let mut peak = 0usize;
+        for i in 0..150u32 {
+            // A distinct 2-3 product subset per revision.
+            let subset: Vec<_> = (0..8)
+                .filter(|bit| (i + 7) & (1 << bit) != 0)
+                .map(|bit| products[bit as usize])
+                .take(3)
+                .collect();
+            let subset = if subset.len() < 2 {
+                products[..2].to_vec()
+            } else {
+                subset
+            };
+            net.apply_delta(&NetworkDelta::unfix_slot(ids[0], os, subset), &c)
+                .unwrap();
+            cache.refresh(&net, &sim).unwrap();
+            peak = peak.max(cache.footprint().0);
+        }
+        assert!(
+            peak < 100,
+            "interner grew to {peak} entries; compaction failed"
+        );
+        // Compaction must not corrupt the model: compare against scratch.
+        let scratch =
+            crate::energy::build_energy(&net, &sim, &ConstraintSet::new(), EnergyParams::default())
+                .unwrap();
+        assert_eq!(cache.model().slots(), scratch.slots());
+    }
+
+    #[test]
+    fn similarity_invalidation_recomputes_matrices() {
+        let (net, _, mut sim) = instance(5);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        sim.set(ProductId(0), ProductId(1), 0.9);
+        cache.invalidate_similarity();
+        let stats = cache.refresh(&net, &sim).unwrap();
+        assert!(stats.rebuilt);
+        assert_eq!(stats.potentials_reused, 0);
+        assert!(stats.potentials_computed >= 1);
+        let scratch =
+            crate::energy::build_energy(&net, &sim, &ConstraintSet::new(), EnergyParams::default())
+                .unwrap();
+        let labels = vec![0usize, 1, 0, 1, 0];
+        assert!(
+            (cache.model().model().energy(&labels) - scratch.model().energy(&labels)).abs() < 1e-12
+        );
+    }
+}

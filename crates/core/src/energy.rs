@@ -19,17 +19,18 @@
 //!   domain-filtering fixpoint resolves every combination with an
 //!   already-fixed side.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use mrf::model::{MrfBuilder, MrfModel, PotentialId, VarId};
+use mrf::model::{MrfModel, VarId};
 
 use netmodel::assignment::Assignment;
 use netmodel::catalog::ProductSimilarity;
-use netmodel::constraints::{Constraint, ConstraintSet, Scope};
+use netmodel::constraints::ConstraintSet;
 use netmodel::network::Network;
-use netmodel::{HostId, ProductId};
+use netmodel::ProductId;
 
-use crate::{Error, Result};
+use crate::cache::EnergyCache;
+use crate::Result;
 
 /// Cost parameters of the energy function.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,8 +61,10 @@ pub enum SlotBinding {
     Variable {
         /// The MRF variable.
         var: VarId,
-        /// Label → product mapping.
-        candidates: Vec<ProductId>,
+        /// Label → product mapping. Shared with the energy cache's domain
+        /// interner, so rebuilds reference-count instead of deep-cloning
+        /// one candidate list per free slot.
+        candidates: Arc<Vec<ProductId>>,
     },
 }
 
@@ -75,6 +78,19 @@ pub struct EnergyModel {
 }
 
 impl EnergyModel {
+    /// Assembles a model from its parts (used by [`EnergyCache`] rebuilds).
+    pub(crate) fn from_parts(
+        model: MrfModel,
+        slots: Vec<Vec<SlotBinding>>,
+        base_energy: f64,
+    ) -> EnergyModel {
+        EnergyModel {
+            model,
+            slots,
+            base_energy,
+        }
+    }
+
     /// The underlying MRF.
     pub fn model(&self) -> &MrfModel {
         &self.model
@@ -120,258 +136,37 @@ impl EnergyModel {
     }
 }
 
-/// Builds the MRF energy for `network` under `constraints`.
+/// Builds the MRF energy for `network` under `constraints` from scratch.
+///
+/// This is the one-shot form of [`EnergyCache`]: construction happens in
+/// stages — per-host constraint-driven domain filtering, variable layout,
+/// similarity edges with interned-domain potential sharing, constraint
+/// edges — and the cache keeps those stages' products across network
+/// revisions. Batch callers get the same model without holding the state.
 ///
 /// # Errors
 ///
-/// * [`Error::Infeasible`] — constraint filtering empties a slot's domain.
-/// * [`Error::Mrf`] — internal model construction failure (never expected
-///   for validated networks).
+/// * [`crate::Error::Infeasible`] — constraint filtering empties a slot's
+///   domain.
+/// * [`crate::Error::Mrf`] — internal model construction failure (never
+///   expected for validated networks).
 pub fn build_energy(
     network: &Network,
     similarity: &ProductSimilarity,
     constraints: &ConstraintSet,
     params: EnergyParams,
 ) -> Result<EnergyModel> {
-    // --- 1. Initial domains: candidates restricted by Fix constraints. ----
-    let mut domains: Vec<Vec<Vec<ProductId>>> = network
-        .iter_hosts()
-        .map(|(host_id, host)| {
-            host.services()
-                .iter()
-                .map(|inst| {
-                    constraints.restrict_candidates(host_id, inst.service(), inst.candidates())
-                })
-                .collect()
-        })
-        .collect();
-
-    // --- 2. Fixpoint of conditional-constraint domain filtering. ----------
-    // Resolves every combination constraint with one side already decided.
-    loop {
-        let mut changed = false;
-        for c in constraints.iter() {
-            let (scope, if_service, if_product, then_service, other, is_forbid) = match *c {
-                Constraint::ForbidCombination {
-                    scope,
-                    if_service,
-                    if_product,
-                    then_service,
-                    forbidden,
-                } => (scope, if_service, if_product, then_service, forbidden, true),
-                Constraint::RequireCombination {
-                    scope,
-                    if_service,
-                    if_product,
-                    then_service,
-                    required,
-                } => (scope, if_service, if_product, then_service, required, false),
-                Constraint::Fix { .. } => continue,
-            };
-            let hosts: Vec<HostId> = match scope {
-                Scope::Host(h) => vec![h],
-                Scope::All => network.iter_hosts().map(|(id, _)| id).collect(),
-            };
-            for h in hosts {
-                let Ok(host) = network.host(h) else { continue };
-                let (Some(sm), Some(sn)) = (
-                    host.service_slot(if_service),
-                    host.service_slot(then_service),
-                ) else {
-                    continue; // vacuous at hosts missing either service
-                };
-                let trigger_fixed = domains[h.index()][sm] == vec![if_product];
-                let trigger_possible = domains[h.index()][sm].contains(&if_product);
-                if is_forbid {
-                    // If the trigger is certain, the forbidden product goes.
-                    if trigger_fixed && domains[h.index()][sn].contains(&other) {
-                        domains[h.index()][sn].retain(|&p| p != other);
-                        changed = true;
-                    }
-                    // If the forbidden product is certain, the trigger goes.
-                    if domains[h.index()][sn] == vec![other] && trigger_possible {
-                        domains[h.index()][sm].retain(|&p| p != if_product);
-                        changed = true;
-                    }
-                } else {
-                    // Require: trigger certain -> then-slot collapses to `other`.
-                    if trigger_fixed && domains[h.index()][sn] != vec![other] {
-                        domains[h.index()][sn].retain(|&p| p == other);
-                        changed = true;
-                    }
-                    // `other` impossible -> the trigger is impossible.
-                    if !domains[h.index()][sn].contains(&other) && trigger_possible {
-                        domains[h.index()][sm].retain(|&p| p != if_product);
-                        changed = true;
-                    }
-                }
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
-    for (host_id, host) in network.iter_hosts() {
-        for (slot, inst) in host.services().iter().enumerate() {
-            if domains[host_id.index()][slot].is_empty() {
-                return Err(Error::Infeasible {
-                    host: host_id,
-                    service: inst.service(),
-                });
-            }
-        }
-    }
-
-    // --- 3. Variables. -----------------------------------------------------
-    let mut builder = MrfBuilder::new();
-    let mut slots: Vec<Vec<SlotBinding>> = Vec::with_capacity(network.host_count());
-    for (host_id, host) in network.iter_hosts() {
-        let mut host_slots = Vec::with_capacity(host.services().len());
-        for domain in domains[host_id.index()].iter().take(host.services().len()) {
-            if domain.len() == 1 {
-                host_slots.push(SlotBinding::Fixed(domain[0]));
-            } else {
-                let var = builder.add_variable(domain.len());
-                builder.set_unary(var, vec![params.preference_cost; domain.len()])?;
-                host_slots.push(SlotBinding::Variable {
-                    var,
-                    candidates: domain.clone(),
-                });
-            }
-        }
-        slots.push(host_slots);
-    }
-
-    // --- 4. Inter-host similarity edges (paper Eq. 3). ----------------------
-    let mut base_energy = 0.0;
-    // Cache shared potentials by the candidate lists they connect.
-    let mut potential_cache: HashMap<(Vec<u16>, Vec<u16>), PotentialId> = HashMap::new();
-    for &(a, b) in network.links() {
-        let host_a = network.host(a).expect("validated network");
-        let host_b = network.host(b).expect("validated network");
-        for (slot_a, inst) in host_a.services().iter().enumerate() {
-            let Some(slot_b) = host_b.service_slot(inst.service()) else {
-                continue;
-            };
-            match (&slots[a.index()][slot_a], &slots[b.index()][slot_b]) {
-                (SlotBinding::Fixed(pa), SlotBinding::Fixed(pb)) => {
-                    base_energy += similarity.get(*pa, *pb);
-                }
-                (SlotBinding::Fixed(pa), SlotBinding::Variable { var, candidates }) => {
-                    for (label, &pb) in candidates.iter().enumerate() {
-                        builder.add_unary(*var, label, similarity.get(*pa, pb))?;
-                    }
-                }
-                (SlotBinding::Variable { var, candidates }, SlotBinding::Fixed(pb)) => {
-                    for (label, &pa) in candidates.iter().enumerate() {
-                        builder.add_unary(*var, label, similarity.get(pa, *pb))?;
-                    }
-                }
-                (
-                    SlotBinding::Variable {
-                        var: va,
-                        candidates: ca,
-                    },
-                    SlotBinding::Variable {
-                        var: vb,
-                        candidates: cb,
-                    },
-                ) => {
-                    let key = (
-                        ca.iter().map(|p| p.0).collect::<Vec<u16>>(),
-                        cb.iter().map(|p| p.0).collect::<Vec<u16>>(),
-                    );
-                    let pot = match potential_cache.get(&key) {
-                        Some(&p) => p,
-                        None => {
-                            let mut costs = Vec::with_capacity(ca.len() * cb.len());
-                            for &pa in ca {
-                                for &pb in cb {
-                                    costs.push(similarity.get(pa, pb));
-                                }
-                            }
-                            let p = builder.add_potential(ca.len(), cb.len(), costs)?;
-                            potential_cache.insert(key, p);
-                            p
-                        }
-                    };
-                    builder.add_edge(*va, *vb, pot)?;
-                }
-            }
-        }
-    }
-
-    // --- 5. Intra-host combination constraints on two free slots. ----------
-    for c in constraints.iter() {
-        let (scope, if_service, if_product, then_service, other, is_forbid) = match *c {
-            Constraint::ForbidCombination {
-                scope,
-                if_service,
-                if_product,
-                then_service,
-                forbidden,
-            } => (scope, if_service, if_product, then_service, forbidden, true),
-            Constraint::RequireCombination {
-                scope,
-                if_service,
-                if_product,
-                then_service,
-                required,
-            } => (scope, if_service, if_product, then_service, required, false),
-            Constraint::Fix { .. } => continue,
-        };
-        let hosts: Vec<HostId> = match scope {
-            Scope::Host(h) => vec![h],
-            Scope::All => network.iter_hosts().map(|(id, _)| id).collect(),
-        };
-        for h in hosts {
-            let Ok(host) = network.host(h) else { continue };
-            let (Some(sm), Some(sn)) = (
-                host.service_slot(if_service),
-                host.service_slot(then_service),
-            ) else {
-                continue;
-            };
-            let (
-                SlotBinding::Variable {
-                    var: va,
-                    candidates: ca,
-                },
-                SlotBinding::Variable {
-                    var: vb,
-                    candidates: cb,
-                },
-            ) = (&slots[h.index()][sm], &slots[h.index()][sn])
-            else {
-                continue; // fixed sides were resolved by the fixpoint
-            };
-            let Some(trigger) = ca.iter().position(|&p| p == if_product) else {
-                continue; // trigger filtered out: vacuous
-            };
-            let mut costs = vec![0.0; ca.len() * cb.len()];
-            for (j, &pb) in cb.iter().enumerate() {
-                let violates = if is_forbid { pb == other } else { pb != other };
-                if violates {
-                    costs[trigger * cb.len() + j] = params.constraint_cost;
-                }
-            }
-            builder.add_edge_dense(*va, *vb, costs)?;
-        }
-    }
-
-    Ok(EnergyModel {
-        model: builder.build(),
-        slots,
-        base_energy,
-    })
+    EnergyCache::new(network, similarity, constraints, params).map(EnergyCache::into_model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Error;
     use netmodel::catalog::Catalog;
+    use netmodel::constraints::{Constraint, Scope};
     use netmodel::network::NetworkBuilder;
-    use netmodel::ServiceId;
+    use netmodel::{HostId, ServiceId};
 
     /// 3-host line; two services; host 2's OS is legacy-fixed.
     fn fixture() -> (Network, Catalog, ProductSimilarity) {

@@ -1,0 +1,603 @@
+//! The incremental serving facade: own the problem, absorb deltas, re-solve
+//! warm.
+//!
+//! [`crate::optimizer::DiversityOptimizer`] is the batch API: network in,
+//! assignment out, all state discarded. [`DiversityEngine`] is its
+//! long-lived counterpart for dynamic deployments. It owns the network,
+//! catalog, similarity matrix, constraint set, the [`EnergyCache`] built
+//! over them, and the last MAP assignment; [`DiversityEngine::apply`]
+//! pushes one [`NetworkDelta`] through the whole pipeline:
+//!
+//! 1. the delta is validated and applied to the network (revision bumped),
+//! 2. the energy cache refilters only the touched hosts' domains and
+//!    reassembles the MRF from cached pieces,
+//! 3. the previous MAP assignment is *projected* onto the new model
+//!    (product identity per slot; vanished products fall back per-variable)
+//!    and the re-solve warm-starts from it via [`MapSolver::refine`],
+//! 4. the result is decoded, checked against the constraints, and returned
+//!    as a [`ReassignmentReport`]: which hosts changed products, the
+//!    objective before/after the re-solve, and solver/rebuild telemetry.
+//!
+//! [`NetworkDelta`]: netmodel::delta::NetworkDelta
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mrf::icm::Icm;
+use mrf::projection::project_labels;
+use mrf::solver::{MapSolver, SolveControl};
+use mrf::trws::Trws;
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::{Catalog, ProductSimilarity};
+use netmodel::constraints::ConstraintSet;
+use netmodel::delta::{DeltaEffect, NetworkDelta};
+use netmodel::network::Network;
+use netmodel::{HostId, ProductId, ServiceId};
+
+use crate::cache::{EnergyCache, RebuildStats};
+use crate::energy::{EnergyParams, SlotBinding};
+use crate::optimizer::SolverKind;
+use crate::{Error, Result};
+
+/// What one engine step (a delta application or an explicit solve) did.
+#[derive(Debug, Clone)]
+pub struct ReassignmentReport {
+    /// The network revision this report corresponds to.
+    pub revision: u64,
+    /// Kind label of the applied delta (`None` for an explicit solve).
+    pub delta_kind: Option<&'static str>,
+    /// Hosts the delta touched structurally (empty for an explicit solve).
+    pub touched: Vec<HostId>,
+    /// Hosts whose product assignment differs from before the step
+    /// (includes hosts added by the delta, excludes removed ones).
+    pub changed_hosts: Vec<HostId>,
+    /// Objective of the carried-forward (projected, pre-re-solve)
+    /// assignment on the *new* model; `None` on a cold solve.
+    pub objective_before: Option<f64>,
+    /// Objective after the re-solve.
+    pub objective_after: f64,
+    /// The carried-forward assignment itself (what the deployment would run
+    /// if it did not re-optimize); `None` on a cold solve.
+    pub carried: Option<Assignment>,
+    /// Whether the solve warm-started from the previous MAP assignment.
+    pub warm_started: bool,
+    /// Name of the solver that ran (refiner when warm, solver when cold).
+    pub solver: String,
+    /// Energy-cache rebuild telemetry.
+    pub rebuild: RebuildStats,
+    /// Wall-clock time of the cache refresh.
+    pub rebuild_wall: Duration,
+    /// Wall-clock time of the (re-)solve.
+    pub solve_wall: Duration,
+    /// Solver iterations.
+    pub iterations: usize,
+    /// Whether the solver converged (vs. budget/iteration cap).
+    pub converged: bool,
+    /// Certified lower bound on the objective, when the solver provides one.
+    pub lower_bound: Option<f64>,
+}
+
+impl ReassignmentReport {
+    /// How much the re-solve improved on carrying the old assignment
+    /// forward (`None` on a cold solve). Non-negative: refinement never
+    /// returns something worse than its start.
+    pub fn improvement(&self) -> Option<f64> {
+        self.objective_before.map(|b| b - self.objective_after)
+    }
+}
+
+impl fmt::Display for ReassignmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rev {:>4} {:<17} objective {:>9.4}",
+            self.revision,
+            self.delta_kind.unwrap_or("solve"),
+            self.objective_after,
+        )?;
+        if let Some(before) = self.objective_before {
+            write!(f, " (carried {before:.4})")?;
+        }
+        write!(
+            f,
+            " | {} hosts changed | {:?} rebuild + {:?} solve",
+            self.changed_hosts.len(),
+            self.rebuild_wall,
+            self.solve_wall
+        )
+    }
+}
+
+/// A long-lived diversity service over one evolving network (module docs).
+pub struct DiversityEngine {
+    network: Network,
+    catalog: Catalog,
+    similarity: ProductSimilarity,
+    cache: EnergyCache,
+    solver: Arc<dyn MapSolver>,
+    refiner: Arc<dyn MapSolver>,
+    budget: Option<Duration>,
+    last: Option<Assignment>,
+}
+
+impl fmt::Debug for DiversityEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiversityEngine")
+            .field("revision", &self.network.revision())
+            .field("hosts", &self.network.host_count())
+            .field("solver", &self.solver.name())
+            .field("refiner", &self.refiner.name())
+            .field("solved", &self.last.is_some())
+            .finish()
+    }
+}
+
+impl DiversityEngine {
+    /// Creates an engine over `network` (unconstrained, default parameters,
+    /// TRW-S cold solver, ICM warm-start refiner). Construction is lazy:
+    /// the energy model is built — under whatever constraints/params the
+    /// `with_*` builders set — at the first [`DiversityEngine::solve`] or
+    /// [`DiversityEngine::apply`], which is also where infeasibility
+    /// surfaces ([`Error::Infeasible`]).
+    pub fn new(
+        network: Network,
+        catalog: Catalog,
+        similarity: ProductSimilarity,
+    ) -> DiversityEngine {
+        DiversityEngine {
+            network,
+            catalog,
+            similarity,
+            cache: EnergyCache::deferred(&ConstraintSet::new(), EnergyParams::default()),
+            solver: Arc::new(Trws::default()),
+            refiner: Arc::new(Icm::default()),
+            budget: None,
+            last: None,
+        }
+    }
+
+    /// Replaces the constraint set; the next step refilters every domain
+    /// and solves cold (cached assignments may be infeasible under the new
+    /// constraints).
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> DiversityEngine {
+        self.cache.set_constraints(&constraints);
+        self.last = None;
+        self
+    }
+
+    /// Replaces the energy parameters; the next step rebuilds and solves
+    /// cold.
+    pub fn with_params(mut self, params: EnergyParams) -> DiversityEngine {
+        self.cache.set_params(params);
+        self.last = None;
+        self
+    }
+
+    /// Replaces the cold-start solver.
+    pub fn with_solver(self, kind: SolverKind) -> DiversityEngine {
+        self.with_map_solver(kind.build())
+    }
+
+    /// Replaces the cold-start solver with any [`MapSolver`].
+    pub fn with_map_solver(mut self, solver: Box<dyn MapSolver>) -> DiversityEngine {
+        self.solver = Arc::from(solver);
+        self
+    }
+
+    /// Replaces the warm-start refiner (the solver whose
+    /// [`MapSolver::refine`] runs after each delta).
+    pub fn with_refiner(mut self, refiner: Box<dyn MapSolver>) -> DiversityEngine {
+        self.refiner = Arc::from(refiner);
+        self
+    }
+
+    /// Sets a wall-clock budget for each subsequent (re-)solve.
+    pub fn with_time_budget(mut self, budget: Duration) -> DiversityEngine {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The current network (with revision counters).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The catalog backing delta validation.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The similarity matrix in use.
+    pub fn similarity(&self) -> &ProductSimilarity {
+        &self.similarity
+    }
+
+    /// The current network revision.
+    pub fn revision(&self) -> u64 {
+        self.network.revision()
+    }
+
+    /// The last computed MAP assignment, if any step has run.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        self.last.as_ref()
+    }
+
+    /// Registers a new product in the catalog and grows the similarity
+    /// matrix, seeding the given pairwise similarities (all other pairs of
+    /// the new product default to 0). Existing cached potentials stay valid
+    /// because existing pair values are untouched; the new product only
+    /// enters the model once a delta makes it a candidate somewhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`Catalog::add_product`].
+    pub fn add_product(
+        &mut self,
+        name: &str,
+        service: ServiceId,
+        similarities: &[(ProductId, f64)],
+    ) -> Result<ProductId> {
+        let id = self
+            .catalog
+            .add_product(name, service)
+            .map_err(Error::Model)?;
+        self.similarity.grow(self.catalog.product_count());
+        for &(other, s) in similarities {
+            self.similarity.set(id, other, s);
+        }
+        Ok(id)
+    }
+
+    /// Updates one pairwise similarity in place (a CVE-feed refresh) and
+    /// invalidates the cached cost matrices so the next step rebuilds them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn update_similarity(&mut self, a: ProductId, b: ProductId, similarity: f64) {
+        self.similarity.set(a, b, similarity);
+        self.cache.invalidate_similarity();
+    }
+
+    /// Applies one delta end to end: network mutation, incremental model
+    /// rebuild, warm-started re-solve, report.
+    ///
+    /// # Errors
+    ///
+    /// * Delta validation errors (see
+    ///   [`netmodel::network::Network::apply_delta`]) — the engine is
+    ///   untouched.
+    /// * [`Error::Infeasible`] — the delta made a slot's domain empty under
+    ///   the constraints; the network keeps the delta but the model and
+    ///   assignment remain at the previous revision.
+    /// * [`Error::UnsatisfiableConstraints`] — the re-solved assignment
+    ///   violates a hard constraint.
+    pub fn apply(&mut self, delta: &NetworkDelta) -> Result<ReassignmentReport> {
+        let effect = self
+            .network
+            .apply_delta(delta, &self.catalog)
+            .map_err(Error::Model)?;
+        self.step(Some((delta.kind(), effect)))
+    }
+
+    /// Solves (or re-solves) the current revision without a delta: cold the
+    /// first time, warm-started afterwards.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiversityEngine::apply`].
+    pub fn solve(&mut self) -> Result<ReassignmentReport> {
+        self.step(None)
+    }
+
+    fn control(&self) -> SolveControl {
+        match self.budget {
+            Some(budget) => SolveControl::new().with_budget(budget),
+            None => SolveControl::new(),
+        }
+    }
+
+    /// Shared pipeline behind [`DiversityEngine::apply`] and
+    /// [`DiversityEngine::solve`].
+    fn step(&mut self, delta: Option<(&'static str, DeltaEffect)>) -> Result<ReassignmentReport> {
+        let rebuild_start = Instant::now();
+        let rebuild = self.cache.refresh(&self.network, &self.similarity)?;
+        let rebuild_wall = rebuild_start.elapsed();
+        let energy = self.cache.model();
+        let ctl = self.control();
+
+        let solve_start = Instant::now();
+        let (solution, warm_started, carried, objective_before) = match &self.last {
+            Some(prev) => {
+                let seeds = seed_labels(energy.slots(), prev);
+                let start = project_labels(energy.model(), &seeds);
+                let carried_objective = energy.model().energy(&start) + energy.base_energy();
+                let carried = energy.decode(&start);
+                let solution = self.refiner.refine(energy.model(), start, &ctl);
+                (solution, true, Some(carried), Some(carried_objective))
+            }
+            None => (self.solver.solve(energy.model(), &ctl), false, None, None),
+        };
+        let solve_wall = solve_start.elapsed();
+
+        let assignment = energy.decode(solution.labels());
+        debug_assert!(assignment.validate(&self.network).is_ok());
+        let violations = self
+            .cache
+            .constraints()
+            .violations(&self.network, &assignment);
+        if !violations.is_empty() {
+            // The model and network moved on; the stale assignment must not
+            // seed future warm starts.
+            self.last = None;
+            return Err(Error::UnsatisfiableConstraints {
+                violations: violations.len(),
+            });
+        }
+
+        let changed_hosts = changed_hosts(&self.network, self.last.as_ref(), &assignment);
+        let solver_name = if warm_started {
+            self.refiner.name()
+        } else {
+            self.solver.name()
+        };
+        let (delta_kind, touched) = match delta {
+            Some((kind, effect)) => (Some(kind), effect.touched),
+            None => (None, Vec::new()),
+        };
+        let report = ReassignmentReport {
+            revision: self.network.revision(),
+            delta_kind,
+            touched,
+            changed_hosts,
+            objective_before,
+            objective_after: solution.energy() + energy.base_energy(),
+            carried,
+            warm_started,
+            solver: solver_name,
+            rebuild,
+            rebuild_wall,
+            solve_wall,
+            iterations: solution.iterations(),
+            converged: solution.converged(),
+            lower_bound: solution.lower_bound().map(|lb| lb + energy.base_energy()),
+        };
+        self.last = Some(assignment);
+        Ok(report)
+    }
+}
+
+/// Per-variable seed labels encoding "the product this slot ran before".
+fn seed_labels(slots: &[Vec<SlotBinding>], previous: &Assignment) -> Vec<Option<usize>> {
+    let var_count = slots
+        .iter()
+        .flatten()
+        .filter(|b| matches!(b, SlotBinding::Variable { .. }))
+        .count();
+    let mut seeds = vec![None; var_count];
+    for (host, host_slots) in slots.iter().enumerate() {
+        let old_row = previous.products_at(HostId(host as u32));
+        for (slot, binding) in host_slots.iter().enumerate() {
+            if let SlotBinding::Variable { var, candidates } = binding {
+                seeds[var.0] = old_row
+                    .get(slot)
+                    .and_then(|old| candidates.iter().position(|p| p == old));
+            }
+        }
+    }
+    seeds
+}
+
+/// Hosts whose product row differs between `previous` and `current`
+/// (removed hosts excluded; hosts new since `previous` included).
+fn changed_hosts(
+    network: &Network,
+    previous: Option<&Assignment>,
+    current: &Assignment,
+) -> Vec<HostId> {
+    network
+        .iter_hosts()
+        .filter(|(_, host)| !host.is_removed())
+        .filter(|(id, _)| match previous {
+            Some(prev) => prev.products_at(*id) != current.products_at(*id),
+            None => true,
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::constraints::Constraint;
+    use netmodel::delta::random_delta;
+    use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::optimizer::DiversityOptimizer;
+
+    fn engine(hosts: usize, seed: u64) -> DiversityEngine {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            seed,
+        );
+        DiversityEngine::new(g.network, g.catalog, g.similarity)
+    }
+
+    #[test]
+    fn cold_solve_matches_batch_optimizer() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 30,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            3,
+        );
+        let batch = DiversityOptimizer::new()
+            .with_refinement(None)
+            .optimize(&g.network, &g.similarity)
+            .unwrap();
+        let mut eng = DiversityEngine::new(g.network.clone(), g.catalog, g.similarity.clone());
+        let report = eng.solve().unwrap();
+        assert!(!report.warm_started);
+        assert_eq!(report.solver, "trws");
+        assert!((report.objective_after - batch.objective()).abs() < 1e-9);
+        assert_eq!(
+            report.changed_hosts.len(),
+            g.network.host_count(),
+            "a cold solve reports every host as changed"
+        );
+        eng.assignment().unwrap().validate(&g.network).unwrap();
+    }
+
+    #[test]
+    fn warm_resolve_improves_on_carrying_the_old_assignment() {
+        let mut eng = engine(40, 5);
+        eng.solve().unwrap();
+        let os = eng.catalog().service_by_name("service0").unwrap();
+        // Mandate a product on one host and re-solve.
+        let host = HostId(7);
+        let p = eng
+            .network()
+            .host(host)
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[1];
+        let report = eng.apply(&NetworkDelta::fix_slot(host, os, p)).unwrap();
+        assert!(report.warm_started);
+        assert_eq!(report.delta_kind, Some("fix-slot"));
+        assert_eq!(report.touched, vec![host]);
+        assert_eq!(report.rebuild.hosts_refiltered, 1);
+        assert!(report.improvement().unwrap() >= -1e-9);
+        assert!(report.objective_after <= report.objective_before.unwrap() + 1e-9);
+        let carried = report.carried.as_ref().unwrap();
+        carried.validate(eng.network()).unwrap();
+        // The mandated product holds in both the carried and the re-solved
+        // assignment (service0 is slot 0 on generated hosts).
+        assert_eq!(carried.products_at(host)[0], p);
+        assert_eq!(eng.assignment().unwrap().products_at(host)[0], p);
+    }
+
+    #[test]
+    fn apply_survives_a_long_random_delta_stream() {
+        let mut eng = engine(20, 11);
+        eng.solve().unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for step in 0..60 {
+            let delta = random_delta(eng.network(), eng.catalog(), &mut rng, &[HostId(0)]);
+            let report = eng
+                .apply(&delta)
+                .unwrap_or_else(|e| panic!("step {step} ({delta}): {e}"));
+            assert!(report.warm_started);
+            assert!(report.improvement().unwrap() >= -1e-9);
+            eng.assignment().unwrap().validate(eng.network()).unwrap();
+        }
+        assert_eq!(eng.revision(), 60);
+    }
+
+    #[test]
+    fn constraints_are_enforced_across_deltas() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 12,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            9,
+        );
+        let os = g.catalog.service_by_name("service0").unwrap();
+        let p = g.catalog.products_of(os)[0];
+        let mut constraints = ConstraintSet::new();
+        constraints.push(Constraint::fix(HostId(2), os, p));
+        let mut eng = DiversityEngine::new(g.network, g.catalog, g.similarity)
+            .with_constraints(constraints.clone());
+        eng.solve().unwrap();
+        assert!(constraints.is_satisfied(eng.network(), eng.assignment().unwrap()));
+        // Drop an existing link and re-solve; the fix must keep holding.
+        let (a, b) = eng.network().links()[0];
+        eng.apply(&NetworkDelta::remove_link(a, b)).unwrap();
+        assert!(constraints.is_satisfied(eng.network(), eng.assignment().unwrap()));
+    }
+
+    #[test]
+    fn infeasible_delta_surfaces_and_engine_recovers() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 8,
+                mean_degree: 3,
+                services: 1,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Ring,
+            },
+            1,
+        );
+        let os = g.catalog.service_by_name("service0").unwrap();
+        let ps = g.catalog.products_of(os).to_vec();
+        let mut constraints = ConstraintSet::new();
+        constraints.push(Constraint::fix(HostId(1), os, ps[0]));
+        let mut eng =
+            DiversityEngine::new(g.network, g.catalog, g.similarity).with_constraints(constraints);
+        eng.solve().unwrap();
+        // Narrowing host 1 to a different product contradicts the fix.
+        let err = eng
+            .apply(&NetworkDelta::unfix_slot(HostId(1), os, vec![ps[1]]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Infeasible { .. }));
+        // A corrective delta restores service.
+        let report = eng
+            .apply(&NetworkDelta::unfix_slot(HostId(1), os, ps.clone()))
+            .unwrap();
+        assert!(report.objective_after.is_finite());
+    }
+
+    #[test]
+    fn catalog_extension_flows_into_the_model() {
+        let mut eng = engine(10, 2);
+        eng.solve().unwrap();
+        let os = eng.catalog().service_by_name("service0").unwrap();
+        let before = eng.assignment().unwrap().clone();
+        // A brand-new product with zero similarity to everything is a
+        // strictly better label wherever similarity was being paid.
+        let fresh = eng.add_product("fresh0", os, &[]).unwrap();
+        for h in 0..eng.network().host_count() as u32 {
+            eng.apply(&NetworkDelta::extend_candidates(HostId(h), os, vec![fresh]))
+                .unwrap();
+        }
+        let after = eng.assignment().unwrap();
+        let adopted = (0..eng.network().host_count() as u32)
+            .filter(|&h| after.products_at(HostId(h)).contains(&fresh))
+            .count();
+        assert!(adopted > 0, "nobody adopted the zero-similarity product");
+        assert!(before != *after);
+    }
+
+    #[test]
+    fn similarity_update_changes_the_objective() {
+        let mut eng = engine(10, 8);
+        let r0 = eng.solve().unwrap();
+        let a = ProductId(0);
+        let b = ProductId(1);
+        eng.update_similarity(a, b, 1.0);
+        let r1 = eng.solve().unwrap();
+        assert!(r1.rebuild.rebuilt, "similarity update must force a rebuild");
+        assert!(r1.objective_after >= r0.objective_after - 1e-9);
+    }
+}

@@ -6,7 +6,7 @@
 //!
 //! Given a network of hosts, the services each host must run, the candidate
 //! products for each service, and the pairwise **vulnerability similarity**
-//! of products (Jaccard overlap of their CVE sets, crate [`nvd`]), this
+//! of products (Jaccard overlap of their CVE sets, crate `nvd`), this
 //! crate computes the product assignment that minimizes a zero-day worm's
 //! ability to propagate — optionally subject to real-world configuration
 //! constraints (legacy hosts, mandated products, (un)desirable product
@@ -16,6 +16,17 @@
 //!
 //! * [`energy`] — translates a network + constraints into the discrete
 //!   pairwise MRF of paper Eq. 1 (one variable per (host, service) slot).
+//! * [`cache`] — the incremental form of that translation:
+//!   [`cache::EnergyCache`] retains filtered domains, interned candidate
+//!   sets and shared potential matrices across network revisions, rebuilding
+//!   only what a [`netmodel::delta::NetworkDelta`] touched.
+//! * [`engine`] — [`DiversityEngine`], the long-lived serving facade:
+//!   `apply(delta)` mutates the network, refreshes the cached model, and
+//!   warm-starts the re-solve from the previous MAP assignment, returning a
+//!   [`ReassignmentReport`] (changed hosts, objective before/after, solver
+//!   telemetry).
+//! * [`churn`] — the dynamic-churn scenario: replay a random delta stream
+//!   and measure MTTC before/after each re-optimization.
 //! * [`optimizer`] — the solver facade, built on the open
 //!   [`mrf::MapSolver`] trait: TRW-S (default), loopy BP, ICM, ILS, exact
 //!   elimination with a *recorded* fallback, brute force, parallel solver
@@ -73,7 +84,10 @@
 //! # }
 //! ```
 
+pub mod cache;
+pub mod churn;
 pub mod energy;
+pub mod engine;
 pub mod evaluate;
 pub mod metrics;
 pub mod optimizer;
@@ -82,6 +96,7 @@ pub mod scalability;
 
 mod error;
 
+pub use engine::{DiversityEngine, ReassignmentReport};
 pub use error::Error;
 pub use optimizer::{DiversityOptimizer, OptimizedAssignment, SolverKind};
 

@@ -2,7 +2,7 @@
 //!
 //! The paper's evaluation uses the *average attacking effort* metric `dbn`
 //! (our [`crate::evaluate`]); the network-diversity framework it adapts
-//! (Zhang et al., cited as [16]) defines two more, which this module
+//! (Zhang et al., cited as \[16\]) defines two more, which this module
 //! provides for completeness and for the ablation benchmarks:
 //!
 //! * **d1 — effective richness**: the (entropy-based) effective number of

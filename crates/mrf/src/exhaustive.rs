@@ -46,7 +46,7 @@ impl MapSolver for Exhaustive {
     }
 
     /// Finds the global optimum by enumeration. Honors the control's
-    /// deadline/cancellation every [`CHECK_EVERY`] labelings, returning the
+    /// deadline/cancellation every `CHECK_EVERY` labelings, returning the
     /// best labeling seen so far (uncertified, `converged() == false`) when
     /// stopped early.
     ///

@@ -30,6 +30,9 @@
 //!   warm-start refiner other solvers build on.
 //! * [`ils`] — iterated local search, the refinement stage that closes the
 //!   primal gap the message-passing decode leaves on frustrated energies.
+//! * [`projection`] — projecting a stale labeling onto a rebuilt model, the
+//!   safe warm-start path for incremental re-solves
+//!   ([`MapSolver::refine_projected`]).
 //! * [`elimination`] — exact MAP by min-sum bucket elimination, feasible
 //!   whenever the instance's treewidth is small (the ICS case study is).
 //! * [`exhaustive`] — brute force, the test oracle for small instances.
@@ -90,6 +93,7 @@ pub mod icm;
 pub mod ils;
 pub mod model;
 pub mod portfolio;
+pub mod projection;
 pub mod solution;
 pub mod solver;
 pub mod trws;

@@ -1,0 +1,89 @@
+//! Projecting stale labelings onto a rebuilt model.
+//!
+//! Incremental pipelines re-solve a model that was *rebuilt* after a small
+//! change: variables may have appeared, disappeared, or changed label
+//! counts. The previous MAP labeling is still an excellent starting point —
+//! but feeding it to [`MapSolver::refine`] directly is a footgun, because
+//! `refine` panics on arity mismatches and out-of-range labels.
+//!
+//! [`project_labels`] is the safe bridge: the caller supplies, per *new*
+//! variable, an optional seed label (typically "the label encoding the
+//! product this slot ran before the change"); every missing or out-of-range
+//! seed falls back to that variable's unary argmin. The result is always a
+//! complete, in-domain labeling, so the [`MapSolver::refine_projected`]
+//! convenience can never panic on stale input.
+//!
+//! [`MapSolver::refine`]: crate::solver::MapSolver::refine
+//! [`MapSolver::refine_projected`]: crate::solver::MapSolver::refine_projected
+
+use crate::model::{MrfModel, VarId};
+
+/// Builds a complete, in-domain labeling for `model` from per-variable seed
+/// labels.
+///
+/// `seeds[i]`, when present and `< model.labels(VarId(i))`, becomes variable
+/// `i`'s label; anything else (a `None`, an out-of-range label, or a seeds
+/// slice shorter than the variable count) falls back to the variable's
+/// unary argmin. Extra seed entries beyond the variable count are ignored.
+pub fn project_labels(model: &MrfModel, seeds: &[Option<usize>]) -> Vec<usize> {
+    (0..model.var_count())
+        .map(|i| {
+            let v = VarId(i);
+            match seeds.get(i).copied().flatten() {
+                Some(label) if label < model.labels(v) => label,
+                _ => model
+                    .unary(v)
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(label, _)| label)
+                    .unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icm::Icm;
+    use crate::model::MrfBuilder;
+    use crate::solver::{MapSolver, SolveControl};
+
+    fn model() -> MrfModel {
+        let mut b = MrfBuilder::new();
+        let x = b.add_variable(2);
+        let y = b.add_variable(3);
+        b.set_unary(x, vec![0.5, 0.0]).unwrap();
+        b.set_unary(y, vec![1.0, 0.2, 3.0]).unwrap();
+        b.add_edge_dense(x, y, vec![0.0; 6]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn valid_seeds_pass_through() {
+        let m = model();
+        assert_eq!(project_labels(&m, &[Some(0), Some(2)]), vec![0, 2]);
+    }
+
+    #[test]
+    fn missing_and_out_of_range_seeds_fall_back_to_argmin() {
+        let m = model();
+        // x has no seed, y's seed is out of range -> unary argmins (1, 1).
+        assert_eq!(project_labels(&m, &[None, Some(9)]), vec![1, 1]);
+        // Short and over-long seed slices are both fine.
+        assert_eq!(project_labels(&m, &[]), vec![1, 1]);
+        assert_eq!(project_labels(&m, &[Some(0), Some(0), Some(7)]), vec![0, 0]);
+    }
+
+    #[test]
+    fn refine_projected_never_panics_on_stale_arity() {
+        let m = model();
+        // A labeling from a "previous model" with a different variable count
+        // would panic in refine; refine_projected handles it.
+        let stale = [Some(1), None, Some(4), Some(0)];
+        let s = Icm::default().refine_projected(&m, &stale, &SolveControl::new());
+        assert_eq!(s.labels().len(), m.var_count());
+        assert!(s.labels()[1] < 3);
+    }
+}

@@ -237,6 +237,23 @@ pub trait MapSolver: Send + Sync {
         }
     }
 
+    /// Warm-starts from per-variable *seed* labels that may be stale: seeds
+    /// are projected onto the model first (see
+    /// [`crate::projection::project_labels`]), with missing or out-of-range
+    /// entries falling back to the unary argmin, then refined via
+    /// [`MapSolver::refine`]. Unlike `refine`, this never panics on a seed
+    /// slice from an older model revision — the safe path for incremental
+    /// re-solves.
+    fn refine_projected(
+        &self,
+        model: &MrfModel,
+        seeds: &[Option<usize>],
+        ctl: &SolveControl,
+    ) -> Solution {
+        let start = crate::projection::project_labels(model, seeds);
+        self.refine(model, start, ctl)
+    }
+
     /// If the most recent [`MapSolver::solve`] on this instance had to fall
     /// back from an exact method, the human-readable cause. `None` for
     /// solvers without a fallback stage (the default).
@@ -258,6 +275,15 @@ impl<S: MapSolver + ?Sized> MapSolver for Box<S> {
         (**self).refine(model, start, ctl)
     }
 
+    fn refine_projected(
+        &self,
+        model: &MrfModel,
+        seeds: &[Option<usize>],
+        ctl: &SolveControl,
+    ) -> Solution {
+        (**self).refine_projected(model, seeds, ctl)
+    }
+
     fn fallback_cause(&self) -> Option<String> {
         (**self).fallback_cause()
     }
@@ -274,6 +300,15 @@ impl<S: MapSolver + ?Sized> MapSolver for Arc<S> {
 
     fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         (**self).refine(model, start, ctl)
+    }
+
+    fn refine_projected(
+        &self,
+        model: &MrfModel,
+        seeds: &[Option<usize>],
+        ctl: &SolveControl,
+    ) -> Solution {
+        (**self).refine_projected(model, seeds, ctl)
     }
 
     fn fallback_cause(&self) -> Option<String> {

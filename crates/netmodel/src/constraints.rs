@@ -86,6 +86,25 @@ pub enum Constraint {
     },
 }
 
+/// The shared shape of the two conditional-combination constraint forms:
+/// wherever `if_service` runs `if_product`, `then_service` must avoid
+/// (`is_forbid`) or run (`!is_forbid`) `other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Combination {
+    /// One host or all hosts.
+    pub scope: Scope,
+    /// The trigger service (`sm`).
+    pub if_service: ServiceId,
+    /// The trigger product (`pj`).
+    pub if_product: ProductId,
+    /// The constrained service (`sn`).
+    pub then_service: ServiceId,
+    /// The forbidden (`pk`) or required (`pl`) product.
+    pub other: ProductId,
+    /// `true` for Forbid (`other` must not run), `false` for Require.
+    pub is_forbid: bool,
+}
+
 impl Constraint {
     /// Pins `service` at `host` to `product` (C1-style host constraint).
     pub fn fix(host: HostId, service: ServiceId, product: ProductId) -> Constraint {
@@ -123,6 +142,43 @@ impl Constraint {
             if_product,
             then_service,
             required,
+        }
+    }
+
+    /// Views a conditional-combination constraint uniformly; `None` for
+    /// [`Constraint::Fix`]. Spares consumers (energy construction, domain
+    /// filtering) from destructuring the two variants in lockstep.
+    pub fn as_combination(&self) -> Option<Combination> {
+        match *self {
+            Constraint::Fix { .. } => None,
+            Constraint::ForbidCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                forbidden,
+            } => Some(Combination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                other: forbidden,
+                is_forbid: true,
+            }),
+            Constraint::RequireCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                required,
+            } => Some(Combination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                other: required,
+                is_forbid: false,
+            }),
         }
     }
 

@@ -66,6 +66,26 @@ pub enum Error {
         /// The missing service.
         service: ServiceId,
     },
+    /// A delta targets a host that was removed from the network.
+    RemovedHost(HostId),
+    /// A delta removes a link that does not exist.
+    UnknownLink(HostId, HostId),
+    /// A delta targets a service the host does not run.
+    AbsentService {
+        /// The host.
+        host: HostId,
+        /// The service absent at the host.
+        service: ServiceId,
+    },
+    /// A delta adds a candidate product the slot already offers.
+    DuplicateCandidate {
+        /// The host.
+        host: HostId,
+        /// The service.
+        service: ServiceId,
+        /// The already-present candidate.
+        product: ProductId,
+    },
 }
 
 impl fmt::Display for Error {
@@ -117,6 +137,19 @@ impl fmt::Display for Error {
                     "constraint references service {service} absent at host {host}"
                 )
             }
+            Error::RemovedHost(h) => write!(f, "host {h} was removed from the network"),
+            Error::UnknownLink(a, b) => write!(f, "no link between {a} and {b}"),
+            Error::AbsentService { host, service } => {
+                write!(f, "host {host} does not run service {service}")
+            }
+            Error::DuplicateCandidate {
+                host,
+                service,
+                product,
+            } => write!(
+                f,
+                "product {product} is already a candidate for service {service} at host {host}"
+            ),
         }
     }
 }

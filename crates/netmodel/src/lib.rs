@@ -15,6 +15,8 @@
 //!   with diversity statistics.
 //! * [`constraints`] — local/global configuration constraints (Definition 4)
 //!   and fixed-product (legacy host) constraints, with satisfaction checks.
+//! * [`delta`] — validated, revision-counted network mutations
+//!   ([`delta::NetworkDelta`]) for long-lived services whose networks churn.
 //! * [`topology`] — seeded random network generators used by the scalability
 //!   analysis (Section VIII).
 //! * [`casestudy`] — the Stuxnet-inspired IT/OT converged ICS of Section VII
@@ -51,6 +53,7 @@ pub mod assignment;
 pub mod casestudy;
 pub mod catalog;
 pub mod constraints;
+pub mod delta;
 pub mod network;
 pub mod strategies;
 pub mod topology;

@@ -7,9 +7,16 @@
 //! hosts that cannot be diversified.
 //!
 //! Networks are built through [`NetworkBuilder`] and validated at
-//! [`NetworkBuilder::build`]; a built network is immutable, with adjacency
-//! stored in CSR form for cache-friendly traversal by the optimizer, the
-//! Bayesian-network constructor and the simulator.
+//! [`NetworkBuilder::build`]; adjacency is stored in CSR form for
+//! cache-friendly traversal by the optimizer, the Bayesian-network
+//! constructor and the simulator.
+//!
+//! A built network is *structurally stable* rather than frozen: a long-lived
+//! service evolves it through validated [`crate::delta::NetworkDelta`]
+//! mutations (applied via [`Network::apply_delta`]), which keep host ids
+//! stable (removal tombstones a host instead of reindexing) and bump
+//! per-host and network-wide revision counters so downstream caches can
+//! rebuild only what a change actually touched.
 
 use std::collections::BTreeSet;
 
@@ -21,8 +28,8 @@ use crate::{Error, HostId, ProductId, Result, ServiceId};
 /// One service instance at a host: the service and its candidate products.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceInstance {
-    service: ServiceId,
-    candidates: Vec<ProductId>,
+    pub(crate) service: ServiceId,
+    pub(crate) candidates: Vec<ProductId>,
 }
 
 impl ServiceInstance {
@@ -45,9 +52,12 @@ impl ServiceInstance {
 /// A host: name, optional zone label and its service instances.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Host {
-    name: String,
-    zone: Option<String>,
-    services: Vec<ServiceInstance>,
+    pub(crate) name: String,
+    pub(crate) zone: Option<String>,
+    pub(crate) services: Vec<ServiceInstance>,
+    /// Tombstone flag: removed hosts keep their id (so downstream indexing
+    /// stays valid) but carry no services and no links.
+    pub(crate) removed: bool,
 }
 
 impl Host {
@@ -76,22 +86,79 @@ impl Host {
         self.service_slot(service)
             .map(|i| self.services[i].candidates())
     }
+
+    /// Whether the host was removed by a [`crate::delta::NetworkDelta`].
+    /// Removed hosts keep their id but run no services and have no links.
+    pub fn is_removed(&self) -> bool {
+        self.removed
+    }
 }
 
-/// An immutable, validated network.
+/// A validated network, evolvable through [`Network::apply_delta`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
-    hosts: Vec<Host>,
-    links: Vec<(HostId, HostId)>,
+    pub(crate) hosts: Vec<Host>,
+    /// Undirected links, kept sorted with `a < b`.
+    pub(crate) links: Vec<(HostId, HostId)>,
     // CSR adjacency.
-    offsets: Vec<u32>,
-    neighbors: Vec<HostId>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) neighbors: Vec<HostId>,
+    /// Total number of deltas ever applied.
+    pub(crate) revision: u64,
+    /// Per-host revision: the network revision at which the host's *model
+    /// contribution* (services, candidate domains, existence) last changed.
+    /// Link-only changes do not bump it.
+    pub(crate) host_revisions: Vec<u64>,
 }
 
 impl Network {
-    /// Number of hosts.
+    /// Number of hosts ever added, including removed (tombstoned) ones.
     pub fn host_count(&self) -> usize {
         self.hosts.len()
+    }
+
+    /// Number of hosts that are not removed.
+    pub fn active_host_count(&self) -> usize {
+        self.hosts.iter().filter(|h| !h.removed).count()
+    }
+
+    /// The number of deltas applied to this network since it was built.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The network revision at which `id`'s services or candidate domains
+    /// last changed (0 for untouched hosts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn host_revision(&self, id: HostId) -> u64 {
+        self.host_revisions[id.index()]
+    }
+
+    /// Rebuilds the CSR adjacency from `self.links`.
+    pub(crate) fn rebuild_adjacency(&mut self) {
+        let n = self.hosts.len();
+        let mut degree = vec![0u32; n];
+        for (a, b) in &self.links {
+            degree[a.index()] += 1;
+            degree[b.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut neighbors = vec![HostId(0); offsets[n] as usize];
+        let mut cursor = offsets[..n].to_vec();
+        for &(a, b) in &self.links {
+            neighbors[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            neighbors[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        self.offsets = offsets;
+        self.neighbors = neighbors;
     }
 
     /// Number of undirected links.
@@ -204,6 +271,7 @@ impl NetworkBuilder {
             name: name.to_owned(),
             zone: None,
             services: Vec::new(),
+            removed: false,
         });
         id
     }
@@ -300,31 +368,18 @@ impl NetworkBuilder {
                 let _ = host_id; // errors above carry product/service context
             }
         }
-        // CSR adjacency from the deduplicated link set.
+        // CSR adjacency from the deduplicated (sorted) link set.
         let n = self.hosts.len();
-        let mut degree = vec![0u32; n];
-        for (a, b) in &self.links {
-            degree[a.index()] += 1;
-            degree[b.index()] += 1;
-        }
-        let mut offsets = vec![0u32; n + 1];
-        for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
-        }
-        let mut neighbors = vec![HostId(0); offsets[n] as usize];
-        let mut cursor = offsets[..n].to_vec();
-        for &(a, b) in &self.links {
-            neighbors[cursor[a.index()] as usize] = b;
-            cursor[a.index()] += 1;
-            neighbors[cursor[b.index()] as usize] = a;
-            cursor[b.index()] += 1;
-        }
-        Ok(Network {
+        let mut network = Network {
             hosts: self.hosts,
             links: self.links.into_iter().collect(),
-            offsets,
-            neighbors,
-        })
+            offsets: Vec::new(),
+            neighbors: Vec::new(),
+            revision: 0,
+            host_revisions: vec![0; n],
+        };
+        network.rebuild_adjacency();
+        Ok(network)
     }
 }
 

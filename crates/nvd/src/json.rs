@@ -20,7 +20,7 @@
 //!
 //! The codec is hand-rolled (the build environment is offline, so
 //! `serde_json` is unavailable): a recursive-descent parser into a small
-//! [`Value`] tree and a direct pretty-printer. Both are total over the
+//! `Value` tree and a direct pretty-printer. Both are total over the
 //! schema above and reject anything malformed with [`Error::Json`].
 
 use std::collections::BTreeMap;

@@ -43,6 +43,18 @@ impl Scenario {
         }
     }
 
+    /// Replaces the entry host (re-pointing a campaign as a network churns).
+    pub fn with_entry(mut self, entry: HostId) -> Scenario {
+        self.entry = entry;
+        self
+    }
+
+    /// Replaces the target host.
+    pub fn with_target(mut self, target: HostId) -> Scenario {
+        self.target = target;
+        self
+    }
+
     /// Replaces the attacker strategy.
     pub fn with_attacker(mut self, attacker: AttackerStrategy) -> Scenario {
         self.attacker = attacker;
@@ -74,7 +86,9 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let s = Scenario::new(HostId(1), HostId(2))
+        let s = Scenario::new(HostId(7), HostId(9))
+            .with_entry(HostId(1))
+            .with_target(HostId(2))
             .with_attacker(AttackerStrategy::Uniform)
             .with_exploit_success(0.5)
             .with_max_ticks(99);

@@ -1,0 +1,190 @@
+//! Property tests for the incremental pipeline: a cache that absorbed an
+//! arbitrary delta stream must be indistinguishable from a scratch build.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ics_diversity::cache::EnergyCache;
+use ics_diversity::energy::{build_energy, EnergyModel, EnergyParams};
+use ics_diversity::engine::DiversityEngine;
+use netmodel::constraints::{Constraint, ConstraintSet, Scope};
+use netmodel::delta::random_delta;
+use netmodel::topology::{generate, GeneratedNetwork, RandomNetworkConfig, TopologyKind};
+use netmodel::{HostId, ServiceId};
+
+/// Structural + energetic equivalence of two models (same variable layout,
+/// same base energy, matching energies on random complete labelings).
+fn assert_models_match(
+    incremental: &EnergyModel,
+    scratch: &EnergyModel,
+    rng: &mut StdRng,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(incremental.slots(), scratch.slots());
+    prop_assert_eq!(incremental.model().var_count(), scratch.model().var_count());
+    prop_assert_eq!(
+        incremental.model().edge_count(),
+        scratch.model().edge_count()
+    );
+    prop_assert!((incremental.base_energy() - scratch.base_energy()).abs() < 1e-12);
+    for _ in 0..8 {
+        let labels: Vec<usize> = (0..incremental.model().var_count())
+            .map(|i| {
+                let l = incremental.model().labels(mrf::VarId(i));
+                rng.gen_range(0..l)
+            })
+            .collect();
+        let a = incremental.model().energy(&labels);
+        let b = scratch.model().energy(&labels);
+        prop_assert!((a - b).abs() < 1e-9, "energy mismatch: {} vs {}", a, b);
+    }
+    Ok(())
+}
+
+/// A small random constraint set over the generated catalog: one Fix plus a
+/// forbid and a require combination (needs ≥ 2 services to be non-vacuous).
+fn random_constraints(g: &GeneratedNetwork, rng: &mut StdRng) -> ConstraintSet {
+    let pick = |s: ServiceId, rng: &mut StdRng| {
+        let ps = g.catalog.products_of(s);
+        ps[rng.gen_range(0..ps.len())]
+    };
+    let s0 = ServiceId(0);
+    let mut set = ConstraintSet::new();
+    let host = HostId(rng.gen_range(0..g.network.host_count() as u32));
+    set.push(Constraint::fix(host, s0, pick(s0, rng)));
+    if g.catalog.service_count() >= 2 {
+        let s1 = ServiceId(1);
+        set.push(Constraint::forbid_combination(
+            Scope::All,
+            (s0, pick(s0, rng)),
+            (s1, pick(s1, rng)),
+        ));
+        let h = HostId(rng.gen_range(0..g.network.host_count() as u32));
+        set.push(Constraint::require_combination(
+            Scope::Host(h),
+            (s1, pick(s1, rng)),
+            (s0, pick(s0, rng)),
+        ));
+    }
+    set
+}
+
+fn arb_config() -> impl Strategy<Value = RandomNetworkConfig> {
+    (2usize..16, 1usize..5, 1usize..4, 2usize..5).prop_map(|(hosts, degree, services, products)| {
+        RandomNetworkConfig {
+            hosts,
+            mean_degree: degree,
+            services,
+            products_per_service: products,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random delta sequence pushed through `EnergyCache::refresh`
+    /// yields a model whose structure and energies match a from-scratch
+    /// `build_energy` on the resulting network.
+    #[test]
+    fn cache_matches_scratch_after_any_delta_sequence(
+        config in arb_config(),
+        net_seed in 0u64..200,
+        delta_seed in 0u64..200,
+        steps in 1usize..12,
+    ) {
+        let g = generate(&config, net_seed);
+        let mut network = g.network;
+        let params = EnergyParams::default();
+        let constraints = ConstraintSet::new();
+        let mut cache = EnergyCache::new(&network, &g.similarity, &constraints, params)
+            .expect("generated instances are feasible");
+        let mut rng = StdRng::seed_from_u64(delta_seed);
+        for _ in 0..steps {
+            let delta = random_delta(&network, &g.catalog, &mut rng, &[]);
+            network.apply_delta(&delta, &g.catalog).expect("generated deltas are valid");
+            cache.refresh(&network, &g.similarity).expect("unconstrained refresh succeeds");
+        }
+        let scratch = build_energy(&network, &g.similarity, &constraints, params)
+            .expect("scratch build succeeds");
+        assert_models_match(cache.model(), &scratch, &mut rng)?;
+    }
+
+    /// The same equivalence under a non-trivial constraint set — covering
+    /// the per-host rewrite of the old global constraint-filtering
+    /// fixpoint. Constraints can make a revision (or the initial build)
+    /// infeasible; cache and scratch must then *agree* on infeasibility.
+    #[test]
+    fn cache_matches_scratch_under_constraints(
+        config in arb_config(),
+        net_seed in 0u64..120,
+        delta_seed in 0u64..120,
+        steps in 1usize..10,
+    ) {
+        let g = generate(&config, net_seed);
+        let mut rng = StdRng::seed_from_u64(delta_seed ^ 0xC0FFEE);
+        let constraints = random_constraints(&g, &mut rng);
+        let params = EnergyParams::default();
+        let mut network = g.network.clone();
+        let cache = EnergyCache::new(&network, &g.similarity, &constraints, params);
+        let mut cache = match (cache, build_energy(&network, &g.similarity, &constraints, params)) {
+            (Ok(cache), Ok(scratch)) => {
+                assert_models_match(cache.model(), &scratch, &mut rng)?;
+                cache
+            }
+            (Err(_), Err(_)) => return Ok(()), // agree: infeasible instance
+            (c, s) => {
+                return Err(TestCaseError::Fail(format!(
+                    "feasibility disagreement at build: cache {:?} vs scratch {:?}",
+                    c.map(|_| ()), s.map(|_| ())
+                )));
+            }
+        };
+        for _ in 0..steps {
+            let delta = random_delta(&network, &g.catalog, &mut rng, &[]);
+            network.apply_delta(&delta, &g.catalog).expect("generated deltas are valid");
+            let refreshed = cache.refresh(&network, &g.similarity);
+            let scratch = build_energy(&network, &g.similarity, &constraints, params);
+            match (refreshed, scratch) {
+                (Ok(_), Ok(scratch)) => assert_models_match(cache.model(), &scratch, &mut rng)?,
+                // Both sides reject the revision: the (kept) cached model
+                // stays at the previous revision; stop the sequence here.
+                (Err(_), Err(_)) => return Ok(()),
+                (c, s) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "feasibility disagreement after {delta}: cache {:?} vs scratch {:?}",
+                        c.map(|_| ()), s.map(|_| ())
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The engine's warm re-solve never does worse than carrying the old
+    /// assignment forward, and its assignments always validate.
+    #[test]
+    fn engine_resolve_dominates_carrying_forward(
+        config in arb_config(),
+        net_seed in 0u64..100,
+        delta_seed in 0u64..100,
+        steps in 1usize..8,
+    ) {
+        let g = generate(&config, net_seed);
+        let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
+        engine.solve().expect("cold solve succeeds");
+        let mut rng = StdRng::seed_from_u64(delta_seed);
+        for _ in 0..steps {
+            let delta = random_delta(engine.network(), engine.catalog(), &mut rng, &[HostId(0)]);
+            let report = engine.apply(&delta).expect("unconstrained deltas apply");
+            prop_assert!(report.warm_started);
+            prop_assert!(report.improvement().expect("warm step") >= -1e-9);
+            engine
+                .assignment()
+                .expect("solved")
+                .validate(engine.network())
+                .expect("assignment is valid");
+        }
+    }
+}
