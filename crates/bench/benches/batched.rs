@@ -1,0 +1,104 @@
+//! Criterion benchmark: absorbing a 16-delta burst via one
+//! `DiversityEngine::apply_batch` (one cache refresh, one localized warm
+//! re-solve) vs. 16 sequential `DiversityEngine::apply` calls (16 refreshes
+//! and re-solves) — the ISSUE 3 acceptance comparison, on the 240-host
+//! configuration the incremental bench uses.
+//!
+//! Both sides absorb the *same* burst: a fix/unfix toggle on 16 distinct
+//! hosts' first service slot, alternated per iteration so the workload is
+//! steady-state. The batched path is expected to be well over 5× faster:
+//! rebuild and re-solve costs are paid once per burst instead of once per
+//! delta, and the localized refinement sweeps only the frontier around the
+//! touched hosts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ics_diversity::engine::DiversityEngine;
+use netmodel::delta::NetworkDelta;
+use netmodel::topology::{generate, GeneratedNetwork, RandomNetworkConfig, TopologyKind};
+use netmodel::HostId;
+
+const HOSTS: usize = 240;
+const BURST: usize = 16;
+
+fn instance() -> GeneratedNetwork {
+    generate(
+        &RandomNetworkConfig {
+            hosts: HOSTS,
+            mean_degree: 8,
+            services: 4,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+        777,
+    )
+}
+
+/// The 16-delta burst both sides absorb: mandate (or lift the mandate on) a
+/// product on 16 spread-out hosts' first service slot.
+fn burst(g: &GeneratedNetwork, fix: bool) -> Vec<NetworkDelta> {
+    let service = g.catalog.service_by_name("service0").expect("generated");
+    let products = g.catalog.products_of(service).to_vec();
+    (0..BURST)
+        .map(|i| {
+            let host = HostId((i * 13 + 5) as u32);
+            if fix {
+                NetworkDelta::fix_slot(host, service, products[0])
+            } else {
+                NetworkDelta::unfix_slot(host, service, products.clone())
+            }
+        })
+        .collect()
+}
+
+fn warm_engine(g: &GeneratedNetwork) -> DiversityEngine {
+    let mut engine =
+        DiversityEngine::new(g.network.clone(), g.catalog.clone(), g.similarity.clone());
+    engine.solve().expect("cold solve");
+    engine
+}
+
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    let g = instance();
+    let mut group = c.benchmark_group("burst_absorption_240_hosts");
+    group.sample_size(10);
+
+    // Sequential: one refresh + one warm re-solve per delta, 16 times.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential_16_applies"),
+        &g,
+        |b, g| {
+            let mut engine = warm_engine(g);
+            let mut fix = true;
+            b.iter(|| {
+                let deltas = burst(g, fix);
+                fix = !fix;
+                let mut last = None;
+                for delta in &deltas {
+                    last = Some(engine.apply(delta).expect("delta applies").objective_after);
+                }
+                last
+            });
+        },
+    );
+
+    // Batched: one refresh + one localized warm re-solve for all 16.
+    group.bench_with_input(BenchmarkId::from_parameter("apply_batch_16"), &g, |b, g| {
+        let mut engine = warm_engine(g);
+        let mut fix = true;
+        b.iter(|| {
+            let deltas = burst(g, fix);
+            fix = !fix;
+            engine
+                .apply_batch(&deltas)
+                .expect("batch applies")
+                .objective_after
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_vs_sequential);
+criterion_main!(benches);

@@ -5,15 +5,23 @@
 //! This is the workload the batch pipeline cannot serve: hosts join and
 //! leave, links change, products get mandated — and after each change the
 //! engine refilters only the touched hosts, reuses cached potential
-//! matrices, and warm-starts the re-solve from the previous MAP
-//! assignment. Default is a 60-host network and 12 deltas; `--full` runs
-//! 300 hosts and 30 deltas.
+//! matrices, and warm-starts a *localized* re-solve from the previous MAP
+//! assignment.
+//!
+//! Flags:
+//!
+//! * `--steps N` — number of churn steps (default 12; `--full` defaults to
+//!   30 on a 300-host network).
+//! * `--batch N` — batched churn: each step absorbs a Poisson(N)-sized
+//!   burst of deltas through one `apply_batch` call (default: sequential,
+//!   one delta per step).
+//! * `--full` — the paper-scale 300-host grid.
 
-use ics_diversity::churn::{run_churn, ChurnConfig};
+use ics_diversity::churn::{run_churn, ChurnConfig, ChurnMode, MttcGain};
 use ics_diversity::engine::DiversityEngine;
 use ics_diversity::report::TextTable;
 
-use bench::full_mode;
+use bench::{flag_value, full_mode};
 use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
 use netmodel::HostId;
 use sim::mttc::{MttcEstimate, MttcOptions};
@@ -26,10 +34,17 @@ fn fmt_mttc(e: &MttcEstimate) -> String {
 }
 
 fn main() {
-    let (hosts, steps, runs) = if full_mode() {
+    let (hosts, default_steps, runs) = if full_mode() {
         (300usize, 30usize, 400usize)
     } else {
         (60, 12, 150)
+    };
+    let steps = flag_value("--steps").unwrap_or(default_steps);
+    let mode = match flag_value("--batch") {
+        Some(mean) if mean > 0 => ChurnMode::Batched {
+            mean_burst: mean as f64,
+        },
+        _ => ChurnMode::Sequential,
     };
     let g = generate(
         &RandomNetworkConfig {
@@ -46,10 +61,13 @@ fn main() {
     let target = HostId(hosts as u32 - 1);
     let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
     let cold = engine.solve().expect("instance solves");
+    let mode_label = match mode {
+        ChurnMode::Sequential => "sequential".to_owned(),
+        ChurnMode::Batched { mean_burst } => format!("Poisson({mean_burst:.0}) bursts"),
+    };
     println!(
-        "Dynamic churn — {hosts} hosts, {steps} deltas, worm {entry}→{target} \
-         ({} MTTC runs/estimate)\n",
-        runs
+        "Dynamic churn — {hosts} hosts, {steps} steps ({mode_label}), worm {entry}→{target} \
+         ({runs} MTTC runs/estimate)\n"
     );
     println!("cold solve: {cold}\n");
 
@@ -59,32 +77,47 @@ fn main() {
             runs,
             ..MttcOptions::default()
         },
+        mode,
         ..ChurnConfig::default()
     };
     let replay = run_churn(&mut engine, entry, target, &config).expect("churn replays");
 
     let mut t = TextTable::new(&[
         "step",
-        "delta",
+        "deltas",
         "touched",
+        "frontier",
+        "swept",
         "changed",
         "obj carry",
         "obj resolve",
         "mttc carry",
         "mttc resolve",
+        "gain",
         "rebuild",
         "solve",
     ]);
     for s in &replay {
+        let label = match &s.deltas[..] {
+            [single] => single.to_string(),
+            many => format!("burst of {}", many.len()),
+        };
         t.add_row_owned(vec![
             s.step.to_string(),
-            s.delta.to_string(),
+            label,
             s.report.touched.len().to_string(),
+            if s.report.localized {
+                s.report.frontier_hosts.to_string()
+            } else {
+                format!("{} (full)", s.report.frontier_hosts)
+            },
+            s.report.swept_vars.to_string(),
             s.report.changed_hosts.len().to_string(),
             format!("{:.3}", s.report.objective_before.unwrap_or(f64::NAN)),
             format!("{:.3}", s.report.objective_after),
             fmt_mttc(&s.mttc_before),
             fmt_mttc(&s.mttc_after),
+            s.mttc_gain().to_string(),
             format!("{:.2?}", s.report.rebuild_wall),
             format!("{:.2?}", s.report.solve_wall),
         ]);
@@ -95,6 +128,15 @@ fn main() {
         .iter()
         .filter(|s| s.report.improvement().unwrap_or(0.0) > 1e-9)
         .count();
+    let favor = replay
+        .iter()
+        .filter(|s| s.mttc_gain().favors_reopt())
+        .count();
+    let censored = replay
+        .iter()
+        .filter(|s| matches!(s.mttc_gain(), MttcGain::BothCensored))
+        .count();
+    let deltas_total: usize = replay.iter().map(|s| s.deltas.len()).sum();
     let refiltered: usize = replay
         .iter()
         .map(|s| s.report.rebuild.hosts_refiltered)
@@ -107,10 +149,13 @@ fn main() {
         .iter()
         .map(|s| s.report.rebuild.potentials_reused)
         .sum();
+    let localized = replay.iter().filter(|s| s.report.localized).count();
     println!(
-        "re-solve improved the carried objective on {improved}/{} steps; \
-         {refiltered} host domains refiltered total; \
+        "{deltas_total} deltas in {} steps; re-solve improved the carried objective on \
+         {improved}/{} steps, MTTC favored re-optimizing on {favor} (both censored on {censored}); \
+         {localized} localized re-solves; {refiltered} host domains refiltered total; \
          potential matrices: {reused} reused, {computed} computed",
+        replay.len(),
         replay.len()
     );
     println!(

@@ -84,6 +84,26 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// The integer value following `flag` on the command line (`--steps 5`),
+/// or `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag is present but its value is missing or not an
+/// integer — a typo'd value must not silently run the default scenario.
+pub fn flag_value(flag: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(i + 1)
+        .unwrap_or_else(|| panic!("{flag} requires an integer value"));
+    Some(
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} value {value:?} is not an integer")),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -311,6 +311,28 @@ impl EnergyCache {
         network: &Network,
         similarity: &ProductSimilarity,
     ) -> Result<RebuildStats> {
+        self.refresh_hinted(network, similarity, None)
+    }
+
+    /// [`EnergyCache::refresh`] with a *batch-revision fast path*: when the
+    /// caller knows exactly which hosts a delta batch touched (a merged
+    /// [`netmodel::delta::BatchEffect::touched`] set), the per-host revision
+    /// scan is restricted to those hosts instead of walking every host.
+    ///
+    /// Correctness requires the hint to cover every host whose revision
+    /// moved since the last refresh — which `touched` sets do by
+    /// construction. The hint is ignored (full scan) while the cache has no
+    /// synced model, e.g. after [`EnergyCache::set_constraints`].
+    ///
+    /// # Errors
+    ///
+    /// See [`EnergyCache::new`].
+    pub fn refresh_hinted(
+        &mut self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+        changed: Option<&[HostId]>,
+    ) -> Result<RebuildStats> {
         if self.synced == Some(network.revision()) {
             return Ok(RebuildStats {
                 rebuilt: false,
@@ -321,8 +343,12 @@ impl EnergyCache {
         }
         // Refilter changed hosts into a scratch list first so an infeasible
         // host cannot leave half-committed domains behind.
+        let scan: Vec<HostId> = match changed {
+            Some(hint) if self.synced.is_some() => hint.to_vec(),
+            _ => network.iter_hosts().map(|(id, _)| id).collect(),
+        };
         let mut refiltered: Vec<(usize, Vec<DomainId>)> = Vec::new();
-        for (host_id, _) in network.iter_hosts() {
+        for host_id in scan {
             let i = host_id.index();
             let current = network.host_revision(host_id);
             if self.host_revisions.get(i) == Some(&current) {
@@ -583,6 +609,48 @@ mod tests {
         assert_eq!(stats.variables, 7);
         // The fixed slot folded into its neighbors' unaries.
         assert_eq!(cache.model().slots()[3][0], SlotBinding::Fixed(p0));
+    }
+
+    #[test]
+    fn hinted_refresh_matches_full_scan() {
+        let (mut net, c, sim) = instance(8);
+        let mut hinted =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let mut full =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        let p1 = c.product_by_name("p1").unwrap();
+        let effect = net
+            .apply_batch(
+                &[
+                    NetworkDelta::fix_slot(HostId(2), os, p0),
+                    NetworkDelta::fix_slot(HostId(5), os, p1),
+                    NetworkDelta::add_host("h8", vec![(os, vec![p0, p1])], vec![HostId(0)]),
+                ],
+                &c,
+            )
+            .unwrap();
+        let stats = hinted
+            .refresh_hinted(&net, &sim, Some(&effect.touched))
+            .unwrap();
+        assert_eq!(stats.hosts_refiltered, 3, "two fixes + the new host");
+        full.refresh(&net, &sim).unwrap();
+        assert_eq!(hinted.model().slots(), full.model().slots());
+        assert_eq!(hinted.model().base_energy(), full.model().base_energy());
+        assert_eq!(
+            hinted.model().model().var_count(),
+            full.model().model().var_count()
+        );
+        assert_eq!(
+            hinted.model().model().edge_count(),
+            full.model().model().edge_count()
+        );
+        let labels = vec![0usize; hinted.model().model().var_count()];
+        assert!(
+            (hinted.model().model().energy(&labels) - full.model().model().energy(&labels)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -13,11 +13,19 @@
 //!   network, what a non-reoptimizing deployment would run, and
 //! * the **re-optimized** assignment the engine's warm re-solve produced.
 //!
+//! Churn comes in two modes ([`ChurnMode`]): **sequential** — one delta,
+//! one re-optimization, the classic stream — and **batched** — each step
+//! absorbs a Poisson-sized *burst* of deltas through
+//! [`DiversityEngine::apply_batch`], paying one rebuild and one localized
+//! re-solve per burst, the shape of real CVE-feed updates.
+//!
 //! The entry and target hosts are protected from removal so the scenario
 //! stays well-posed across the stream.
 
+use std::fmt;
+
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use netmodel::delta::{random_delta, NetworkDelta};
 use netmodel::HostId;
@@ -28,12 +36,27 @@ use sim::scenario::Scenario;
 use crate::engine::{DiversityEngine, ReassignmentReport};
 use crate::Result;
 
+/// How each churn step feeds deltas to the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnMode {
+    /// One delta per step, absorbed via [`DiversityEngine::apply`].
+    Sequential,
+    /// A burst of deltas per step — burst sizes drawn from a Poisson
+    /// distribution with the given mean, clamped to at least 1 — absorbed
+    /// via one [`DiversityEngine::apply_batch`] call each.
+    Batched {
+        /// Mean burst size (the Poisson λ).
+        mean_burst: f64,
+    },
+}
+
 /// Parameters of a churn replay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnConfig {
-    /// Number of deltas to replay.
+    /// Number of steps to replay (one delta per step in sequential mode,
+    /// one burst per step in batched mode).
     pub steps: usize,
-    /// Seed for the delta stream.
+    /// Seed for the delta stream (and the burst sizes).
     pub seed: u64,
     /// MTTC batch options per evaluation (two evaluations per step).
     pub mttc: MttcOptions,
@@ -43,6 +66,8 @@ pub struct ChurnConfig {
     pub baseline_rate: f64,
     /// Tick budget per simulated run.
     pub max_ticks: u32,
+    /// Sequential or batched delta feeding.
+    pub mode: ChurnMode,
 }
 
 impl Default for ChurnConfig {
@@ -57,6 +82,64 @@ impl Default for ChurnConfig {
             exploit_success: 0.9,
             baseline_rate: 0.02,
             max_ticks: 2_000,
+            mode: ChurnMode::Sequential,
+        }
+    }
+}
+
+/// The MTTC effect of re-optimizing after a churn step, censoring-aware.
+///
+/// An MTTC estimate is *censored* when no simulated run compromised the
+/// target within the tick budget — the worm failed entirely. The old
+/// `Option<f64>` gain collapsed two opposite outcomes into `None`: the
+/// carried assignment being censored (re-optimization has nothing left to
+/// demonstrate) and the re-optimized assignment being censored (the best
+/// possible outcome). This enum keeps them apart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MttcGain {
+    /// Both sides have a mean: `mttc_after − mttc_before` in ticks
+    /// (positive: re-optimizing slowed the worm down).
+    Gain(f64),
+    /// The *carried* assignment already stopped the worm within the budget;
+    /// the re-optimized one did not. Re-optimization cannot show a gain
+    /// here — and, on this sample, looks like a regression.
+    CarriedCensored,
+    /// The *re-optimized* assignment stopped the worm within the budget
+    /// while the carried one was compromised — the best outcome.
+    ReoptCensored,
+    /// Neither assignment was compromised within the budget; the step is
+    /// uninformative about the gain.
+    BothCensored,
+}
+
+impl MttcGain {
+    /// The numeric gain, when both sides were compromised.
+    pub fn gain(self) -> Option<f64> {
+        match self {
+            MttcGain::Gain(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome is evidence *for* re-optimizing: a positive
+    /// numeric gain, or the re-optimized assignment stopping the worm the
+    /// carried one let through.
+    pub fn favors_reopt(self) -> bool {
+        match self {
+            MttcGain::Gain(g) => g > 0.0,
+            MttcGain::ReoptCensored => true,
+            MttcGain::CarriedCensored | MttcGain::BothCensored => false,
+        }
+    }
+}
+
+impl fmt::Display for MttcGain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MttcGain::Gain(g) => write!(f, "{g:+.1}"),
+            MttcGain::CarriedCensored => write!(f, "carried censored"),
+            MttcGain::ReoptCensored => write!(f, "reopt censored (worm stopped)"),
+            MttcGain::BothCensored => write!(f, "both censored"),
         }
     }
 }
@@ -66,8 +149,8 @@ impl Default for ChurnConfig {
 pub struct ChurnStep {
     /// Step index (0-based).
     pub step: usize,
-    /// The delta that was applied.
-    pub delta: NetworkDelta,
+    /// The delta burst that was applied (length 1 in sequential mode).
+    pub deltas: Vec<NetworkDelta>,
     /// The engine's reassignment report (rebuild + warm re-solve telemetry).
     pub report: ReassignmentReport,
     /// MTTC of the carried (non-reoptimized) assignment on the new network.
@@ -77,25 +160,44 @@ pub struct ChurnStep {
 }
 
 impl ChurnStep {
-    /// MTTC gain of re-optimizing, in ticks (`None` when either side never
-    /// compromised the target within the budget — censored runs mean the
-    /// worm failed entirely, the best outcome).
-    pub fn mttc_gain(&self) -> Option<f64> {
-        Some(self.mttc_after.mean_ticks()? - self.mttc_before.mean_ticks()?)
+    /// MTTC effect of re-optimizing after this step, in ticks, with the
+    /// censored outcomes told apart (see [`MttcGain`]).
+    pub fn mttc_gain(&self) -> MttcGain {
+        match (self.mttc_before.mean_ticks(), self.mttc_after.mean_ticks()) {
+            (Some(before), Some(after)) => MttcGain::Gain(after - before),
+            (None, Some(_)) => MttcGain::CarriedCensored,
+            (Some(_), None) => MttcGain::ReoptCensored,
+            (None, None) => MttcGain::BothCensored,
+        }
     }
 }
 
-/// Replays `config.steps` random deltas through `engine`, estimating MTTC
-/// for the carried and re-optimized assignment after each (module docs).
+/// Draws from a Poisson distribution with mean `mean` (Knuth's product
+/// method; fine for the small burst means churn uses). Capped at 64 to
+/// bound the loop for extreme means.
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    let threshold = (-mean).exp();
+    let mut k = 0usize;
+    let mut p: f64 = rng.gen_range(0.0..1.0);
+    while p > threshold && k < 64 {
+        k += 1;
+        p *= rng.gen_range(0.0..1.0);
+    }
+    k
+}
+
+/// Replays `config.steps` random delta steps through `engine`, estimating
+/// MTTC for the carried and re-optimized assignment after each (module
+/// docs).
 ///
 /// Runs a cold solve first if the engine has none. `entry` and `target` are
 /// protected from removal by the generated stream.
 ///
 /// # Errors
 ///
-/// See [`DiversityEngine::apply`]; the replay stops at the first failing
-/// step (generated deltas validate by construction, so only constraint
-/// infeasibility can fail).
+/// See [`DiversityEngine::apply`] / [`DiversityEngine::apply_batch`]; the
+/// replay stops at the first failing step (generated deltas validate by
+/// construction, so only constraint infeasibility can fail).
 pub fn run_churn(
     engine: &mut DiversityEngine,
     entry: HostId,
@@ -113,8 +215,30 @@ pub fn run_churn(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut steps = Vec::with_capacity(config.steps);
     for step in 0..config.steps {
-        let delta = random_delta(engine.network(), engine.catalog(), &mut rng, &protect);
-        let report = engine.apply(&delta)?;
+        let (deltas, report) = match config.mode {
+            ChurnMode::Sequential => {
+                let delta = random_delta(engine.network(), engine.catalog(), &mut rng, &protect);
+                let report = engine.apply(&delta)?;
+                (vec![delta], report)
+            }
+            ChurnMode::Batched { mean_burst } => {
+                let burst_size = poisson(&mut rng, mean_burst).max(1);
+                // Generate the burst against a scratch copy so each delta is
+                // valid after its predecessors — the same staging
+                // apply_batch validates against.
+                let mut scratch = engine.network().clone();
+                let mut deltas = Vec::with_capacity(burst_size);
+                for _ in 0..burst_size {
+                    let delta = random_delta(&scratch, engine.catalog(), &mut rng, &protect);
+                    scratch
+                        .apply_delta(&delta, engine.catalog())
+                        .expect("generated deltas are valid against their staging state");
+                    deltas.push(delta);
+                }
+                let report = engine.apply_batch(&deltas)?;
+                (deltas, report)
+            }
+        };
         let carried = report
             .carried
             .as_ref()
@@ -135,7 +259,7 @@ pub fn run_churn(
         );
         steps.push(ChurnStep {
             step,
-            delta,
+            deltas,
             report,
             mttc_before,
             mttc_after,
@@ -150,22 +274,23 @@ mod tests {
     use crate::engine::DiversityEngine;
     use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
 
+    fn make_engine(hosts: usize) -> DiversityEngine {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            4,
+        );
+        DiversityEngine::new(g.network, g.catalog, g.similarity)
+    }
+
     #[test]
     fn churn_replay_is_deterministic_and_sound() {
-        let make_engine = || {
-            let g = generate(
-                &RandomNetworkConfig {
-                    hosts: 15,
-                    mean_degree: 3,
-                    services: 2,
-                    products_per_service: 3,
-                    vendors_per_service: 2,
-                    topology: TopologyKind::Random,
-                },
-                4,
-            );
-            DiversityEngine::new(g.network, g.catalog, g.similarity)
-        };
         let config = ChurnConfig {
             steps: 6,
             mttc: MttcOptions {
@@ -177,22 +302,143 @@ mod tests {
         };
         let entry = HostId(0);
         let target = HostId(14);
-        let mut e1 = make_engine();
+        let mut e1 = make_engine(15);
         let steps = run_churn(&mut e1, entry, target, &config).unwrap();
         assert_eq!(steps.len(), 6);
         for s in &steps {
+            assert_eq!(s.deltas.len(), 1, "sequential mode: one delta per step");
             // Re-optimizing never loses objective vs. carrying forward.
             assert!(s.report.improvement().unwrap() >= -1e-9, "step {}", s.step);
             assert!(!e1.network().host(entry).unwrap().is_removed());
             assert!(!e1.network().host(target).unwrap().is_removed());
         }
         // Same seeds, same stream, same estimates.
-        let mut e2 = make_engine();
+        let mut e2 = make_engine(15);
         let again = run_churn(&mut e2, entry, target, &config).unwrap();
         for (a, b) in steps.iter().zip(&again) {
-            assert_eq!(a.delta, b.delta);
+            assert_eq!(a.deltas, b.deltas);
             assert_eq!(a.mttc_before, b.mttc_before);
             assert_eq!(a.mttc_after, b.mttc_after);
         }
+    }
+
+    #[test]
+    fn batched_churn_absorbs_bursts() {
+        let config = ChurnConfig {
+            steps: 4,
+            mttc: MttcOptions {
+                runs: 30,
+                ..MttcOptions::default()
+            },
+            max_ticks: 400,
+            mode: ChurnMode::Batched { mean_burst: 3.0 },
+            ..ChurnConfig::default()
+        };
+        let entry = HostId(0);
+        let target = HostId(19);
+        let mut engine = make_engine(20);
+        let steps = run_churn(&mut engine, entry, target, &config).unwrap();
+        assert_eq!(steps.len(), 4);
+        let total_deltas: usize = steps.iter().map(|s| s.deltas.len()).sum();
+        assert!(
+            steps.iter().any(|s| s.deltas.len() > 1),
+            "Poisson(3) bursts should exceed 1 delta at least once"
+        );
+        assert_eq!(
+            engine.revision() as usize,
+            total_deltas,
+            "every burst delta must have been committed"
+        );
+        for s in &steps {
+            assert_eq!(s.report.deltas_applied, s.deltas.len());
+            assert!(s.report.warm_started);
+            assert!(s.report.improvement().unwrap() >= -1e-9);
+            // The gain classification is total: every step maps somewhere.
+            match s.mttc_gain() {
+                MttcGain::Gain(g) => assert!(g.is_finite()),
+                MttcGain::CarriedCensored | MttcGain::ReoptCensored | MttcGain::BothCensored => {}
+            }
+        }
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+    }
+
+    #[test]
+    fn mttc_gain_tells_censored_outcomes_apart() {
+        use sim::mttc::MttcEstimate;
+        let compromised = |mean: f64| MttcEstimate::from_parts(10, 10, mean * 10.0);
+        let censored = MttcEstimate::from_parts(10, 0, 0.0);
+        let mk = |before: MttcEstimate, after: MttcEstimate| {
+            // Only the estimates matter for the gain classification.
+            ChurnStep {
+                step: 0,
+                deltas: Vec::new(),
+                report: dummy_report(),
+                mttc_before: before,
+                mttc_after: after,
+            }
+        };
+        assert_eq!(
+            mk(compromised(5.0), compromised(8.0)).mttc_gain(),
+            MttcGain::Gain(30.0)
+        );
+        assert_eq!(
+            mk(censored.clone(), compromised(8.0)).mttc_gain(),
+            MttcGain::CarriedCensored
+        );
+        assert_eq!(
+            mk(compromised(5.0), censored.clone()).mttc_gain(),
+            MttcGain::ReoptCensored
+        );
+        assert_eq!(
+            mk(censored.clone(), censored.clone()).mttc_gain(),
+            MttcGain::BothCensored
+        );
+        assert!(MttcGain::ReoptCensored.favors_reopt());
+        assert!(!MttcGain::CarriedCensored.favors_reopt());
+        assert_eq!(MttcGain::Gain(30.0).gain(), Some(30.0));
+        assert_eq!(MttcGain::BothCensored.gain(), None);
+    }
+
+    fn dummy_report() -> ReassignmentReport {
+        ReassignmentReport {
+            revision: 0,
+            delta_kind: None,
+            deltas_applied: 0,
+            touched: Vec::new(),
+            changed_hosts: Vec::new(),
+            objective_before: None,
+            objective_after: 0.0,
+            carried: None,
+            warm_started: false,
+            solver: String::new(),
+            rebuild: Default::default(),
+            rebuild_wall: std::time::Duration::ZERO,
+            solve_wall: std::time::Duration::ZERO,
+            iterations: 0,
+            converged: true,
+            lower_bound: None,
+            frontier_hosts: 0,
+            swept_vars: 0,
+            localized: false,
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_is_sane() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 4000;
+        let mean = 3.0;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, mean)).sum();
+        let empirical = total as f64 / n as f64;
+        assert!(
+            (empirical - mean).abs() < 0.25,
+            "empirical mean {empirical} too far from {mean}"
+        );
+        // Degenerate mean: always 0 (callers clamp to ≥ 1 for bursts).
+        assert_eq!(poisson(&mut rng, 0.0), 0);
     }
 }

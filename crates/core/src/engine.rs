@@ -6,17 +6,25 @@
 //! long-lived counterpart for dynamic deployments. It owns the network,
 //! catalog, similarity matrix, constraint set, the [`EnergyCache`] built
 //! over them, and the last MAP assignment; [`DiversityEngine::apply`]
-//! pushes one [`NetworkDelta`] through the whole pipeline:
+//! pushes one [`NetworkDelta`] — and [`DiversityEngine::apply_batch`] a
+//! whole burst of them — through the whole pipeline:
 //!
-//! 1. the delta is validated and applied to the network (revision bumped),
-//! 2. the energy cache refilters only the touched hosts' domains and
-//!    reassembles the MRF from cached pieces,
+//! 1. the deltas are validated and applied to a *staged* copy of the
+//!    network (all-or-nothing: a failing delta leaves the engine exactly
+//!    as it was),
+//! 2. the energy cache refilters only the touched hosts' domains (the
+//!    merged `touched` set steers the revision scan) and reassembles the
+//!    MRF from cached pieces — **once per batch**, not per delta; only
+//!    then is the staged network committed,
 //! 3. the previous MAP assignment is *projected* onto the new model
-//!    (product identity per slot; vanished products fall back per-variable)
-//!    and the re-solve warm-starts from it via [`MapSolver::refine`],
+//!    (product identity per slot; vanished products fall back
+//!    per-variable) and the re-solve warm-starts from it — restricted to a
+//!    k-hop ball around the touched hosts via [`MapSolver::refine_local`],
+//!    expanding only while labels keep flipping (see [`mrf::local`]),
 //! 4. the result is decoded, checked against the constraints, and returned
 //!    as a [`ReassignmentReport`]: which hosts changed products, the
-//!    objective before/after the re-solve, and solver/rebuild telemetry.
+//!    objective before/after the re-solve, locality telemetry
+//!    (`frontier_hosts`, `swept_vars`), and solver/rebuild telemetry.
 //!
 //! [`NetworkDelta`]: netmodel::delta::NetworkDelta
 
@@ -25,6 +33,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mrf::icm::Icm;
+use mrf::model::VarId;
 use mrf::projection::project_labels;
 use mrf::solver::{MapSolver, SolveControl};
 use mrf::trws::Trws;
@@ -32,7 +41,7 @@ use mrf::trws::Trws;
 use netmodel::assignment::Assignment;
 use netmodel::catalog::{Catalog, ProductSimilarity};
 use netmodel::constraints::ConstraintSet;
-use netmodel::delta::{DeltaEffect, NetworkDelta};
+use netmodel::delta::{BatchEffect, NetworkDelta};
 use netmodel::network::Network;
 use netmodel::{HostId, ProductId, ServiceId};
 
@@ -41,14 +50,19 @@ use crate::energy::{EnergyParams, SlotBinding};
 use crate::optimizer::SolverKind;
 use crate::{Error, Result};
 
-/// What one engine step (a delta application or an explicit solve) did.
+/// What one engine step (a delta application, a batch absorption, or an
+/// explicit solve) did.
 #[derive(Debug, Clone)]
 pub struct ReassignmentReport {
     /// The network revision this report corresponds to.
     pub revision: u64,
-    /// Kind label of the applied delta (`None` for an explicit solve).
+    /// Kind label of the applied delta (`None` for an explicit solve,
+    /// `"batch"` for a multi-delta batch).
     pub delta_kind: Option<&'static str>,
-    /// Hosts the delta touched structurally (empty for an explicit solve).
+    /// Number of deltas this step absorbed (0 for an explicit solve).
+    pub deltas_applied: usize,
+    /// Hosts the delta(s) touched structurally (deduplicated union for a
+    /// batch; empty for an explicit solve).
     pub touched: Vec<HostId>,
     /// Hosts whose product assignment differs from before the step
     /// (includes hosts added by the delta, excludes removed ones).
@@ -77,6 +91,16 @@ pub struct ReassignmentReport {
     pub converged: bool,
     /// Certified lower bound on the objective, when the solver provides one.
     pub lower_bound: Option<f64>,
+    /// Hosts in the k-hop frontier ball the warm re-solve was restricted to
+    /// (the active host count for a cold or deliberately full solve).
+    pub frontier_hosts: usize,
+    /// Variables the re-solve actually swept: the final active-region size
+    /// of a localized refinement, or the full variable count otherwise.
+    pub swept_vars: usize,
+    /// Whether the re-solve stayed frontier-restricted (false for cold
+    /// solves, engines with locality disabled, and localized refinements
+    /// that fell back to a full sweep).
+    pub localized: bool,
 }
 
 impl ReassignmentReport {
@@ -106,9 +130,27 @@ impl fmt::Display for ReassignmentReport {
             self.changed_hosts.len(),
             self.rebuild_wall,
             self.solve_wall
-        )
+        )?;
+        if self.deltas_applied > 1 {
+            write!(f, " | {} deltas", self.deltas_applied)?;
+        }
+        if self.localized {
+            write!(
+                f,
+                " | local: {} frontier hosts, {} vars swept",
+                self.frontier_hosts, self.swept_vars
+            )?;
+        }
+        Ok(())
     }
 }
+
+/// Default k-hop radius of the frontier ball localized re-solves start
+/// from. Deliberately tight: the refinement *expands* the ball on its own
+/// while labels keep flipping, so a 1-hop seed loses nothing on quality —
+/// a generous seed only makes dense networks trip the half-the-model
+/// full-sweep fallback immediately.
+pub const DEFAULT_LOCALITY_HOPS: usize = 1;
 
 /// A long-lived diversity service over one evolving network (module docs).
 pub struct DiversityEngine {
@@ -119,7 +161,17 @@ pub struct DiversityEngine {
     solver: Arc<dyn MapSolver>,
     refiner: Arc<dyn MapSolver>,
     budget: Option<Duration>,
+    locality: Option<usize>,
     last: Option<Assignment>,
+}
+
+/// A validated-but-uncommitted delta batch: the mutated network copy plus
+/// the merged effect, handed from `apply_batch` to `step`, which commits it
+/// only once the model refresh has succeeded.
+struct StagedDeltas {
+    network: Network,
+    kind: &'static str,
+    effect: BatchEffect,
 }
 
 impl fmt::Debug for DiversityEngine {
@@ -154,6 +206,7 @@ impl DiversityEngine {
             solver: Arc::new(Trws::default()),
             refiner: Arc::new(Icm::default()),
             budget: None,
+            locality: Some(DEFAULT_LOCALITY_HOPS),
             last: None,
         }
     }
@@ -196,6 +249,15 @@ impl DiversityEngine {
     /// Sets a wall-clock budget for each subsequent (re-)solve.
     pub fn with_time_budget(mut self, budget: Duration) -> DiversityEngine {
         self.budget = Some(budget);
+        self
+    }
+
+    /// Sets the k-hop radius of the frontier ball warm re-solves are
+    /// restricted to after a delta (`Some(k)`), or disables localization
+    /// entirely (`None`: every warm re-solve sweeps the full model via
+    /// [`MapSolver::refine`]). Default: `Some(`[`DEFAULT_LOCALITY_HOPS`]`)`.
+    pub fn with_locality(mut self, k_hops: Option<usize>) -> DiversityEngine {
+        self.locality = k_hops;
         self
     }
 
@@ -261,8 +323,10 @@ impl DiversityEngine {
         self.cache.invalidate_similarity();
     }
 
-    /// Applies one delta end to end: network mutation, incremental model
-    /// rebuild, warm-started re-solve, report.
+    /// Applies one delta end to end: staged network mutation, incremental
+    /// model rebuild, warm-started (localized) re-solve, report. Equivalent
+    /// to a one-delta [`DiversityEngine::apply_batch`], except that errors
+    /// surface unwrapped (no [`netmodel::Error::BatchRejected`] envelope).
     ///
     /// # Errors
     ///
@@ -270,16 +334,63 @@ impl DiversityEngine {
     ///   [`netmodel::network::Network::apply_delta`]) — the engine is
     ///   untouched.
     /// * [`Error::Infeasible`] — the delta made a slot's domain empty under
-    ///   the constraints; the network keeps the delta but the model and
-    ///   assignment remain at the previous revision.
+    ///   the constraints; the engine is untouched: network, cached model
+    ///   and assignment all remain at the previous revision.
     /// * [`Error::UnsatisfiableConstraints`] — the re-solved assignment
-    ///   violates a hard constraint.
+    ///   violates a hard constraint. The delta *is* committed (the network
+    ///   and model advance), but the engine holds no valid assignment until
+    ///   a later step succeeds (which then solves cold).
     pub fn apply(&mut self, delta: &NetworkDelta) -> Result<ReassignmentReport> {
-        let effect = self
-            .network
-            .apply_delta(delta, &self.catalog)
+        self.apply_batch(std::slice::from_ref(delta)).map_err(|e| {
+            match e {
+                // A one-delta batch can only be rejected by that delta;
+                // surface the underlying cause, as `apply` always has.
+                Error::Model(m) => Error::Model(m.into_batch_cause()),
+                other => other,
+            }
+        })
+    }
+
+    /// Absorbs a whole batch of deltas with **one** model rebuild and
+    /// **one** warm re-solve, instead of paying both per delta:
+    ///
+    /// * the batch is validated transactionally against a staged copy of
+    ///   the network (each delta against the state after its predecessors);
+    ///   a failing delta leaves network, cache and assignment untouched,
+    /// * the per-delta effects are merged and their `touched` union steers
+    ///   one [`EnergyCache::refresh_hinted`],
+    /// * the staged network is committed and the re-solve warm-starts from
+    ///   the projected previous assignment, restricted to the k-hop
+    ///   frontier ball around the merged touched set (see
+    ///   [`DiversityEngine::with_locality`]).
+    ///
+    /// An empty batch degenerates to [`DiversityEngine::solve`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Model`] wrapping [`netmodel::Error::BatchRejected`] (the
+    ///   failing delta's index and cause) — the engine is untouched.
+    /// * [`Error::Infeasible`] — the batched domains empty a slot under the
+    ///   constraints; the engine is untouched.
+    /// * [`Error::UnsatisfiableConstraints`] — see
+    ///   [`DiversityEngine::apply`].
+    pub fn apply_batch(&mut self, deltas: &[NetworkDelta]) -> Result<ReassignmentReport> {
+        if deltas.is_empty() {
+            return self.step(None);
+        }
+        let mut staged = self.network.clone();
+        let effect = staged
+            .apply_all(deltas, &self.catalog)
             .map_err(Error::Model)?;
-        self.step(Some((delta.kind(), effect)))
+        let kind = match deltas {
+            [single] => single.kind(),
+            _ => "batch",
+        };
+        self.step(Some(StagedDeltas {
+            network: staged,
+            kind,
+            effect,
+        }))
     }
 
     /// Solves (or re-solves) the current revision without a delta: cold the
@@ -299,28 +410,76 @@ impl DiversityEngine {
         }
     }
 
-    /// Shared pipeline behind [`DiversityEngine::apply`] and
-    /// [`DiversityEngine::solve`].
-    fn step(&mut self, delta: Option<(&'static str, DeltaEffect)>) -> Result<ReassignmentReport> {
+    /// Shared pipeline behind [`DiversityEngine::apply`],
+    /// [`DiversityEngine::apply_batch`] and [`DiversityEngine::solve`].
+    ///
+    /// Ordering is what makes the error paths transactional: the cache
+    /// refreshes against the *staged* network first, and only a successful
+    /// refresh commits the staged network — so validation errors and
+    /// [`Error::Infeasible`] leave every piece of engine state (network
+    /// revision, cached model, last assignment) at the previous revision.
+    fn step(&mut self, staged: Option<StagedDeltas>) -> Result<ReassignmentReport> {
         let rebuild_start = Instant::now();
-        let rebuild = self.cache.refresh(&self.network, &self.similarity)?;
+        let target = staged.as_ref().map_or(&self.network, |s| &s.network);
+        let hint = staged.as_ref().map(|s| s.effect.touched.as_slice());
+        let rebuild = self.cache.refresh_hinted(target, &self.similarity, hint)?;
         let rebuild_wall = rebuild_start.elapsed();
+        // The model matches the staged revision: commit the network.
+        let (delta_kind, touched, deltas_applied) = match staged {
+            Some(s) => {
+                self.network = s.network;
+                (Some(s.kind), s.effect.touched, s.effect.applied)
+            }
+            None => (None, Vec::new(), 0),
+        };
         let energy = self.cache.model();
         let ctl = self.control();
 
         let solve_start = Instant::now();
-        let (solution, warm_started, carried, objective_before) = match &self.last {
+        let full_model_sweep = (self.network.active_host_count(), energy.model().var_count());
+        let (solution, warm_started, carried, objective_before, locality) = match &self.last {
             Some(prev) => {
                 let seeds = seed_labels(energy.slots(), prev);
                 let start = project_labels(energy.model(), &seeds);
                 let carried_objective = energy.model().energy(&start) + energy.base_energy();
                 let carried = energy.decode(&start);
-                let solution = self.refiner.refine(energy.model(), start, &ctl);
-                (solution, true, Some(carried), Some(carried_objective))
+                let (solution, locality) = match self.locality {
+                    Some(k) if !touched.is_empty() => {
+                        let ball = frontier_ball(&self.network, &touched, k);
+                        let frontier = frontier_vars(energy.slots(), &ball);
+                        let local =
+                            self.refiner
+                                .refine_local(energy.model(), start, &frontier, &ctl);
+                        let locality = if local.full_sweep {
+                            (full_model_sweep.0, full_model_sweep.1, false)
+                        } else {
+                            (ball.len(), local.swept_vars, true)
+                        };
+                        (local.solution, locality)
+                    }
+                    _ => (
+                        self.refiner.refine(energy.model(), start, &ctl),
+                        (full_model_sweep.0, full_model_sweep.1, false),
+                    ),
+                };
+                (
+                    solution,
+                    true,
+                    Some(carried),
+                    Some(carried_objective),
+                    locality,
+                )
             }
-            None => (self.solver.solve(energy.model(), &ctl), false, None, None),
+            None => (
+                self.solver.solve(energy.model(), &ctl),
+                false,
+                None,
+                None,
+                (full_model_sweep.0, full_model_sweep.1, false),
+            ),
         };
         let solve_wall = solve_start.elapsed();
+        let (frontier_hosts, swept_vars, localized) = locality;
 
         let assignment = energy.decode(solution.labels());
         debug_assert!(assignment.validate(&self.network).is_ok());
@@ -343,13 +502,10 @@ impl DiversityEngine {
         } else {
             self.solver.name()
         };
-        let (delta_kind, touched) = match delta {
-            Some((kind, effect)) => (Some(kind), effect.touched),
-            None => (None, Vec::new()),
-        };
         let report = ReassignmentReport {
             revision: self.network.revision(),
             delta_kind,
+            deltas_applied,
             touched,
             changed_hosts,
             objective_before,
@@ -363,10 +519,62 @@ impl DiversityEngine {
             iterations: solution.iterations(),
             converged: solution.converged(),
             lower_bound: solution.lower_bound().map(|lb| lb + energy.base_energy()),
+            frontier_hosts,
+            swept_vars,
+            localized,
         };
         self.last = Some(assignment);
         Ok(report)
     }
+}
+
+/// The hosts within `k` hops of any host in `touched` (including the
+/// touched hosts themselves), by BFS over the committed network. Removed
+/// hosts have no links left, so a tombstone in `touched` contributes only
+/// itself — its former neighbors are already in the touched set (the delta
+/// layer records them).
+fn frontier_ball(network: &Network, touched: &[HostId], k: usize) -> Vec<HostId> {
+    let mut depth = vec![usize::MAX; network.host_count()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut ball = Vec::new();
+    for &h in touched {
+        if h.index() < depth.len() && depth[h.index()] == usize::MAX {
+            depth[h.index()] = 0;
+            ball.push(h);
+            queue.push_back(h);
+        }
+    }
+    while let Some(h) = queue.pop_front() {
+        let d = depth[h.index()];
+        if d == k {
+            continue;
+        }
+        for &n in network.neighbors(h) {
+            if depth[n.index()] == usize::MAX {
+                depth[n.index()] = d + 1;
+                ball.push(n);
+                queue.push_back(n);
+            }
+        }
+    }
+    ball
+}
+
+/// The free variables of every slot on the given hosts — the frontier
+/// handed to [`MapSolver::refine_local`].
+fn frontier_vars(slots: &[Vec<SlotBinding>], hosts: &[HostId]) -> Vec<VarId> {
+    let mut vars = Vec::new();
+    for &h in hosts {
+        let Some(host_slots) = slots.get(h.index()) else {
+            continue;
+        };
+        for binding in host_slots {
+            if let SlotBinding::Variable { var, .. } = binding {
+                vars.push(*var);
+            }
+        }
+    }
+    vars
 }
 
 /// Per-variable seed labels encoding "the product this slot ran before".
@@ -566,6 +774,173 @@ mod tests {
             .apply(&NetworkDelta::unfix_slot(HostId(1), os, ps.clone()))
             .unwrap();
         assert!(report.objective_after.is_finite());
+    }
+
+    #[test]
+    fn failed_apply_is_fully_transactional() {
+        // Regression: `apply` used to commit the delta to the network even
+        // when the cache refresh then failed with Infeasible, leaving the
+        // network one revision ahead of the model and the assignment.
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 8,
+                mean_degree: 3,
+                services: 1,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Ring,
+            },
+            1,
+        );
+        let os = g.catalog.service_by_name("service0").unwrap();
+        let ps = g.catalog.products_of(os).to_vec();
+        let mut constraints = ConstraintSet::new();
+        constraints.push(Constraint::fix(HostId(1), os, ps[0]));
+        let mut eng =
+            DiversityEngine::new(g.network, g.catalog, g.similarity).with_constraints(constraints);
+        let baseline = eng.solve().unwrap();
+        let revision_before = eng.revision();
+        let assignment_before = eng.assignment().unwrap().clone();
+
+        // Narrowing host 1 to a different product contradicts the fix.
+        let err = eng
+            .apply(&NetworkDelta::unfix_slot(HostId(1), os, vec![ps[1]]))
+            .unwrap_err();
+        assert!(matches!(err, Error::Infeasible { .. }));
+        assert_eq!(
+            eng.network().revision(),
+            revision_before,
+            "the failed delta must not reach the network"
+        );
+        assert_eq!(eng.assignment(), Some(&assignment_before));
+
+        // A subsequent no-delta solve sees a current cache (no rebuild) and
+        // the unchanged objective.
+        let after = eng.solve().unwrap();
+        assert!(!after.rebuild.rebuilt, "cache must still be synced");
+        assert!((after.objective_after - baseline.objective_after).abs() < 1e-9);
+        assert_eq!(
+            after.objective_before,
+            Some(baseline.objective_after),
+            "the carried objective continues from the pre-failure assignment"
+        );
+
+        // And a valid delta still applies cleanly afterwards.
+        let report = eng
+            .apply(&NetworkDelta::unfix_slot(HostId(2), os, vec![ps[0], ps[1]]))
+            .unwrap();
+        assert_eq!(report.revision, revision_before + 1);
+        assert!(report.improvement().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn batch_absorbs_many_deltas_with_one_rebuild_and_resolve() {
+        let mut eng = engine(40, 5);
+        eng.solve().unwrap();
+        let os = eng.catalog().service_by_name("service0").unwrap();
+        let mut deltas = Vec::new();
+        let mut expected_touched = Vec::new();
+        for h in [3u32, 11, 27, 33] {
+            let host = HostId(h);
+            let p = eng
+                .network()
+                .host(host)
+                .unwrap()
+                .candidates_for(os)
+                .unwrap()[0];
+            deltas.push(NetworkDelta::fix_slot(host, os, p));
+            expected_touched.push(host);
+        }
+        let revision_before = eng.revision();
+        let report = eng.apply_batch(&deltas).unwrap();
+        assert_eq!(report.delta_kind, Some("batch"));
+        assert_eq!(report.deltas_applied, 4);
+        assert_eq!(report.revision, revision_before + 4);
+        assert_eq!(report.touched, expected_touched);
+        assert_eq!(
+            report.rebuild.hosts_refiltered, 4,
+            "one refresh refilters exactly the touched hosts"
+        );
+        assert!(report.warm_started);
+        assert!(report.improvement().unwrap() >= -1e-9);
+        eng.assignment().unwrap().validate(eng.network()).unwrap();
+        // The mandated products hold.
+        for (host, delta) in expected_touched.iter().zip(&deltas) {
+            let NetworkDelta::FixSlot { product, .. } = delta else {
+                unreachable!()
+            };
+            assert_eq!(eng.assignment().unwrap().products_at(*host)[0], *product);
+        }
+    }
+
+    #[test]
+    fn rejected_batch_leaves_the_engine_untouched() {
+        let mut eng = engine(20, 7);
+        eng.solve().unwrap();
+        let os = eng.catalog().service_by_name("service0").unwrap();
+        let p = eng
+            .network()
+            .host(HostId(2))
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[0];
+        let revision_before = eng.revision();
+        let assignment_before = eng.assignment().unwrap().clone();
+        let candidates_before = eng
+            .network()
+            .host(HostId(2))
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()
+            .to_vec();
+        let err = eng
+            .apply_batch(&[
+                NetworkDelta::fix_slot(HostId(2), os, p),
+                NetworkDelta::add_link(HostId(4), HostId(4)), // self-loop
+            ])
+            .unwrap_err();
+        let Error::Model(netmodel::Error::BatchRejected { index, .. }) = err else {
+            panic!("expected a wrapped BatchRejected, got {err}");
+        };
+        assert_eq!(index, 1);
+        assert_eq!(eng.revision(), revision_before);
+        assert_eq!(eng.assignment(), Some(&assignment_before));
+        assert_eq!(
+            eng.network().host(HostId(2)).unwrap().candidates_for(os),
+            Some(&candidates_before[..]),
+            "the valid prefix (the fix) must have rolled back too"
+        );
+    }
+
+    #[test]
+    fn single_host_delta_resolves_locally() {
+        let mut eng = engine(120, 13);
+        eng.solve().unwrap();
+        let os = eng.catalog().service_by_name("service0").unwrap();
+        let host = HostId(60);
+        let p = eng
+            .network()
+            .host(host)
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[1];
+        let report = eng.apply(&NetworkDelta::fix_slot(host, os, p)).unwrap();
+        assert!(report.localized, "a one-host mandate must stay local");
+        assert!(
+            report.frontier_hosts < eng.network().active_host_count() / 2,
+            "{} frontier hosts on a {}-host network",
+            report.frontier_hosts,
+            eng.network().active_host_count()
+        );
+        assert!(report.swept_vars < report.rebuild.variables);
+        assert!(report.improvement().unwrap() >= -1e-9);
+        eng.assignment().unwrap().validate(eng.network()).unwrap();
+        // Disabling locality sweeps everything and reports it.
+        let mut full = engine(120, 13).with_locality(None);
+        full.solve().unwrap();
+        let report = full.apply(&NetworkDelta::fix_slot(host, os, p)).unwrap();
+        assert!(!report.localized);
+        assert_eq!(report.frontier_hosts, full.network().active_host_count());
     }
 
     #[test]

@@ -5,9 +5,39 @@
 //! terminates at a local optimum; fast but easily trapped, which is exactly
 //! why it is a useful contrast to TRW-S in the ablation benchmarks.
 
+use crate::local::{ActiveRegion, LocalRefine};
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
 use crate::solver::{MapSolver, SolveControl};
+
+/// Fills `cost[..labels(i)]` with variable `i`'s conditional energies given
+/// `labels` and returns the argmin — the one ICM move, shared by the full
+/// and the frontier-restricted sweep.
+fn conditional_argmin(model: &MrfModel, labels: &[usize], i: usize, cost: &mut [f64]) -> usize {
+    let v = VarId(i);
+    let l = model.labels(v);
+    cost[..l].copy_from_slice(model.unary(v));
+    for &eidx in model.incident_edges(v) {
+        let e = model.edges()[eidx as usize];
+        if e.a().0 == i {
+            let xb = labels[e.b().0];
+            for (xa, c) in cost[..l].iter_mut().enumerate() {
+                *c += model.edge_cost(&e, xa, xb);
+            }
+        } else {
+            let xa = labels[e.a().0];
+            for (xb, c) in cost[..l].iter_mut().enumerate() {
+                *c += model.edge_cost(&e, xa, xb);
+            }
+        }
+    }
+    cost[..l]
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(x, _)| x)
+        .unwrap_or(0)
+}
 
 /// Options controlling an ICM run.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,29 +92,7 @@ impl Icm {
             sweeps = sweep + 1;
             let mut changed = false;
             for i in 0..n {
-                let v = VarId(i);
-                let l = model.labels(v);
-                cost[..l].copy_from_slice(model.unary(v));
-                for &eidx in model.incident_edges(v) {
-                    let e = model.edges()[eidx as usize];
-                    if e.a().0 == i {
-                        let xb = labels[e.b().0];
-                        for (xa, c) in cost[..l].iter_mut().enumerate() {
-                            *c += model.edge_cost(&e, xa, xb);
-                        }
-                    } else {
-                        let xa = labels[e.a().0];
-                        for (xb, c) in cost[..l].iter_mut().enumerate() {
-                            *c += model.edge_cost(&e, xa, xb);
-                        }
-                    }
-                }
-                let best = cost[..l]
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(x, _)| x)
-                    .unwrap_or(0);
+                let best = conditional_argmin(model, &labels, i, &mut cost);
                 if best != labels[i] && cost[best] < cost[labels[i]] {
                     labels[i] = best;
                     changed = true;
@@ -114,6 +122,76 @@ impl MapSolver for Icm {
     /// ICM genuinely warm-starts: descends from `start` directly.
     fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         self.solve_from(model, start, ctl)
+    }
+
+    /// Masked coordinate descent: sweeps only the active region, activating
+    /// every flipped variable's neighbors (a flip can create pressure one
+    /// hop further out). Falls back to a full [`Icm::solve_from`] when the
+    /// region grows past half the model (see [`crate::local`]).
+    fn refine_local(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let n = model.var_count();
+        let mut region = ActiveRegion::new(n, frontier);
+        if region.count == 0 {
+            return LocalRefine::noop(model, start);
+        }
+        if region.should_fall_back() {
+            return LocalRefine::full(self.solve_from(model, start, ctl), n);
+        }
+        let mut labels = start;
+        let mut cost = vec![0.0f64; model.max_labels()];
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        for sweep in 0..self.options.max_sweeps {
+            if ctl.should_stop() {
+                break;
+            }
+            sweeps = sweep + 1;
+            let mut changed = false;
+            for i in 0..n {
+                if !region.mask[i] {
+                    continue;
+                }
+                let best = conditional_argmin(model, &labels, i, &mut cost);
+                if best != labels[i] && cost[best] < cost[labels[i]] {
+                    labels[i] = best;
+                    changed = true;
+                    if region.activate_neighbors(model, i) > 0 {
+                        region.expansions += 1;
+                        if region.should_fall_back() {
+                            // The wave stopped being local: finish with an
+                            // unmasked descent from where we got to.
+                            let expansions = region.expansions;
+                            let full = self.solve_from(model, labels, ctl);
+                            return LocalRefine {
+                                solution: full,
+                                swept_vars: n,
+                                expansions,
+                                full_sweep: true,
+                            };
+                        }
+                    }
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        let energy = model.energy(&labels);
+        ctl.report(sweeps, energy, None);
+        LocalRefine {
+            solution: Solution::new(labels, energy, None, sweeps, converged),
+            swept_vars: region.count,
+            expansions: region.expansions,
+            full_sweep: false,
+        }
     }
 }
 

@@ -33,6 +33,10 @@
 //! * [`projection`] — projecting a stale labeling onto a rebuilt model, the
 //!   safe warm-start path for incremental re-solves
 //!   ([`MapSolver::refine_projected`]).
+//! * [`local`] — frontier-restricted refinement
+//!   ([`MapSolver::refine_local`]): masked sweeps around a localized
+//!   change, expanding while labels keep flipping, with a full-sweep
+//!   fallback.
 //! * [`elimination`] — exact MAP by min-sum bucket elimination, feasible
 //!   whenever the instance's treewidth is small (the ICS case study is).
 //! * [`exhaustive`] — brute force, the test oracle for small instances.
@@ -91,6 +95,7 @@ pub mod elimination;
 pub mod exhaustive;
 pub mod icm;
 pub mod ils;
+pub mod local;
 pub mod model;
 pub mod portfolio;
 pub mod projection;
@@ -101,6 +106,7 @@ pub mod trws;
 mod error;
 
 pub use error::Error;
+pub use local::LocalRefine;
 pub use model::{MrfBuilder, MrfModel, PotentialId, VarId};
 pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;

@@ -1,0 +1,382 @@
+//! Frontier-restricted refinement: re-solve only the region a change can
+//! plausibly reach.
+//!
+//! After a localized model change (one host's domain, one link), the
+//! previous MAP labeling is near-optimal everywhere except around the
+//! change. [`MapSolver::refine_local`] exploits that: the caller supplies a
+//! *frontier* — the variables inside a k-hop ball around the change — and
+//! the solver restricts its sweeps to that active region, **expanding** the
+//! region through a variable's neighbors whenever the variable flips label
+//! (a flip can propagate pressure one hop further), and **falling back to a
+//! full sweep** when the active region stops being local (it grows past
+//! half the model — at that point masked bookkeeping costs more than it
+//! saves).
+//!
+//! Two real implementations exist:
+//!
+//! * **ICM** sweeps the active set directly with the same coordinate
+//!   descent as [`crate::icm::Icm::solve_from`], activating neighbors of
+//!   every flipped variable.
+//! * **TRW-S** runs message passing on a *conditioned submodel*: active
+//!   variables keep their domains, edges to inactive variables fold into
+//!   unaries at the inactive side's current label, and the sub-solution is
+//!   spliced back (kept only if it improves the full-model energy).
+//!   Boundary flips expand the region and the conditioning repeats.
+//!
+//! Every other solver inherits the default [`MapSolver::refine_local`],
+//! which ignores the frontier and runs a full [`MapSolver::refine`] — the
+//! conservative, always-correct behavior.
+//!
+//! [`MapSolver::refine_local`]: crate::solver::MapSolver::refine_local
+//! [`MapSolver::refine`]: crate::solver::MapSolver::refine
+
+use crate::model::{MrfBuilder, MrfModel, VarId};
+use crate::solution::Solution;
+
+/// The outcome of a frontier-restricted refinement
+/// ([`crate::solver::MapSolver::refine_local`]): the solution plus the
+/// locality telemetry serving layers surface as "did the sweep stay local".
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalRefine {
+    /// The refined solution. Its energy is never worse than the start
+    /// labeling's (same contract as [`crate::solver::MapSolver::refine`]).
+    pub solution: Solution,
+    /// Variables inside the final active region (equals the model's
+    /// variable count when the refinement fell back to a full sweep).
+    pub swept_vars: usize,
+    /// How many times the active region expanded beyond the initial
+    /// frontier ball.
+    pub expansions: usize,
+    /// Whether the refinement abandoned locality and swept the full model.
+    pub full_sweep: bool,
+}
+
+impl LocalRefine {
+    /// Wraps a full-model refinement outcome (the default-impl and fallback
+    /// path).
+    pub fn full(solution: Solution, var_count: usize) -> LocalRefine {
+        LocalRefine {
+            solution,
+            swept_vars: var_count,
+            expansions: 0,
+            full_sweep: true,
+        }
+    }
+
+    /// The empty-frontier outcome: nothing to sweep, `start` returned
+    /// unchanged as a converged solution.
+    pub fn noop(model: &MrfModel, start: Vec<usize>) -> LocalRefine {
+        let energy = model.energy(&start);
+        LocalRefine {
+            solution: Solution::new(start, energy, None, 0, true),
+            swept_vars: 0,
+            expansions: 0,
+            full_sweep: false,
+        }
+    }
+}
+
+/// The mutable active-region state shared by the masked refiners: a dense
+/// membership mask plus the expansion counters the telemetry reports.
+pub(crate) struct ActiveRegion {
+    pub(crate) mask: Vec<bool>,
+    pub(crate) count: usize,
+    pub(crate) expansions: usize,
+}
+
+impl ActiveRegion {
+    /// Seeds the region with the frontier ball (out-of-range frontier
+    /// entries are ignored — they can only come from a stale caller and
+    /// there is nothing local to sweep for them).
+    pub(crate) fn new(var_count: usize, frontier: &[VarId]) -> ActiveRegion {
+        let mut mask = vec![false; var_count];
+        let mut count = 0;
+        for v in frontier {
+            if let Some(m) = mask.get_mut(v.0) {
+                if !*m {
+                    *m = true;
+                    count += 1;
+                }
+            }
+        }
+        ActiveRegion {
+            mask,
+            count,
+            expansions: 0,
+        }
+    }
+
+    /// Activates every neighbor of `v`; returns how many were new.
+    pub(crate) fn activate_neighbors(&mut self, model: &MrfModel, v: usize) -> usize {
+        let mut added = 0;
+        for &eidx in model.incident_edges(VarId(v)) {
+            let e = model.edges()[eidx as usize];
+            let other = if e.a().0 == v { e.b().0 } else { e.a().0 };
+            if !self.mask[other] {
+                self.mask[other] = true;
+                self.count += 1;
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Whether the region has grown past the point where locality pays:
+    /// more than half the model active means a masked sweep does nearly
+    /// the work of a full one while still risking further expansions.
+    pub(crate) fn should_fall_back(&self) -> bool {
+        2 * self.count > self.mask.len()
+    }
+}
+
+/// Builds the submodel conditioned on `labels` outside `active`: one
+/// variable per active variable (same label count, ascending original
+/// order), unaries augmented with the pairwise cost against each inactive
+/// neighbor's current label, and a dense edge per original edge whose
+/// endpoints are both active. Returns the submodel and the map from
+/// sub-variable index to original variable index.
+///
+/// For any labeling `x` that agrees with `labels` outside `active`,
+/// `E_full(x) = E_sub(x|active) + C` for a constant `C` (the inactive
+/// unaries and inactive-inactive edges) — so minimizing the submodel
+/// minimizes the full model over the active coordinates.
+pub(crate) fn condition_submodel(
+    model: &MrfModel,
+    labels: &[usize],
+    active: &[bool],
+) -> (MrfModel, Vec<usize>) {
+    debug_assert_eq!(labels.len(), model.var_count());
+    debug_assert_eq!(active.len(), model.var_count());
+    let mut sub_index = vec![usize::MAX; model.var_count()];
+    let mut map = Vec::new();
+    let mut builder = MrfBuilder::new();
+    for i in 0..model.var_count() {
+        if !active[i] {
+            continue;
+        }
+        sub_index[i] = map.len();
+        map.push(i);
+        let v = builder.add_variable(model.labels(VarId(i)));
+        let mut unary = model.unary(VarId(i)).to_vec();
+        for &eidx in model.incident_edges(VarId(i)) {
+            let e = model.edges()[eidx as usize];
+            let (other, i_is_a) = if e.a().0 == i {
+                (e.b().0, true)
+            } else {
+                (e.a().0, false)
+            };
+            if active[other] {
+                continue; // becomes a sub-edge below
+            }
+            let xo = labels[other];
+            for (x, u) in unary.iter_mut().enumerate() {
+                *u += if i_is_a {
+                    model.edge_cost(&e, x, xo)
+                } else {
+                    model.edge_cost(&e, xo, x)
+                };
+            }
+        }
+        builder
+            .set_unary(v, unary)
+            .expect("fresh variable accepts its own arity");
+    }
+    for e in model.edges() {
+        let (a, b) = (e.a().0, e.b().0);
+        if !active[a] || !active[b] {
+            continue;
+        }
+        let (la, lb) = (model.labels(e.a()), model.labels(e.b()));
+        let mut costs = Vec::with_capacity(la * lb);
+        for xa in 0..la {
+            for xb in 0..lb {
+                costs.push(model.edge_cost(e, xa, xb));
+            }
+        }
+        builder
+            .add_edge_dense(VarId(sub_index[a]), VarId(sub_index[b]), costs)
+            .expect("active endpoints were added in order");
+    }
+    (builder.build(), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icm::Icm;
+    use crate::solver::{MapSolver, SolveControl};
+    use crate::trws::Trws;
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctl() -> SolveControl {
+        SolveControl::new()
+    }
+
+    /// An attractive (Potts) chain whose optimum is all-ones: var 0 is
+    /// strongly biased to 1, every other variable weakly so, and adjacent
+    /// variables pay 1.0 for disagreeing. From an all-zeros start each flip
+    /// *strictly* improves its successor's conditional energy, so a
+    /// correction wave propagates one hop per activation — the expansion
+    /// workload (strict, so greedy descent cannot stall on a tie).
+    fn biased_chain(n: usize) -> MrfModel {
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..n).map(|_| b.add_variable(2)).collect();
+        b.set_unary(vars[0], vec![10.0, 0.0]).unwrap();
+        for &v in &vars[1..] {
+            b.set_unary(v, vec![0.1, 0.0]).unwrap();
+        }
+        for w in vars.windows(2) {
+            b.add_edge_dense(w[0], w[1], vec![0.0, 1.0, 1.0, 0.0])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn conditioned_submodel_preserves_energy_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = MrfBuilder::new();
+        let vars: Vec<_> = (0..8).map(|_| b.add_variable(3)).collect();
+        for &v in &vars {
+            b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect())
+                .unwrap();
+        }
+        for i in 0..8 {
+            b.add_edge_dense(
+                vars[i],
+                vars[(i + 1) % 8],
+                (0..9).map(|_| rng.gen_range(0.0..2.0)).collect(),
+            )
+            .unwrap();
+        }
+        let m = b.build();
+        let labels: Vec<usize> = (0..8).map(|_| rng.gen_range(0..3)).collect();
+        let mut active = vec![false; 8];
+        for i in [2usize, 3, 4] {
+            active[i] = true;
+        }
+        let (sub, map) = condition_submodel(&m, &labels, &active);
+        assert_eq!(map, vec![2, 3, 4]);
+        assert_eq!(sub.var_count(), 3);
+        // E_full and E_sub must differ by the same constant for any two
+        // labelings that agree outside the active set.
+        let sub_labels_a: Vec<usize> = map.iter().map(|&i| labels[i]).collect();
+        let mut labels_b = labels.clone();
+        labels_b[3] = (labels[3] + 1) % 3;
+        let sub_labels_b: Vec<usize> = map.iter().map(|&i| labels_b[i]).collect();
+        let diff_full = m.energy(&labels_b) - m.energy(&labels);
+        let diff_sub = sub.energy(&sub_labels_b) - sub.energy(&sub_labels_a);
+        assert!((diff_full - diff_sub).abs() < 1e-12);
+    }
+
+    #[test]
+    fn icm_local_expands_until_the_wave_settles() {
+        // Start from all-zeros (bad: var 0 pays the 10.0 bias and every
+        // variable its weak bias). Frontier = var 0 only; fixing it flips
+        // var 1, which flips var 2, … the expansion must carry the wave
+        // (and, the wave covering the whole chain, eventually hand off to
+        // the full-sweep fallback).
+        let n = 12;
+        let m = biased_chain(n);
+        let start = vec![0usize; n];
+        let out = Icm::default().refine_local(&m, start.clone(), &[VarId(0)], &ctl());
+        assert!(out.solution.energy() < m.energy(&start));
+        assert_eq!(out.solution.energy(), 0.0, "optimum is all-ones");
+        assert!(out.expansions > 0, "the wave must have expanded the region");
+        assert!(out.solution.labels().iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn icm_local_stays_local_when_the_change_is_contained() {
+        // A long chain that is already optimal except at the far end: the
+        // active region must not grow to cover the model.
+        let n = 40;
+        let m = biased_chain(n);
+        let mut start = vec![1usize; n];
+        start[n - 1] = 0; // one local defect
+        let out = Icm::default().refine_local(&m, start, &[VarId(n - 1)], &ctl());
+        assert_eq!(out.solution.energy(), 0.0);
+        assert!(!out.full_sweep);
+        assert!(
+            out.swept_vars < n / 2,
+            "swept {} of {} vars for a one-variable defect",
+            out.swept_vars,
+            n
+        );
+    }
+
+    #[test]
+    fn local_refiners_never_return_worse_than_start() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..10 {
+            let mut b = MrfBuilder::new();
+            let n = 10;
+            let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
+            for &v in &vars {
+                b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..2.0)).collect())
+                    .unwrap();
+            }
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        b.add_edge_dense(
+                            vars[i],
+                            vars[j],
+                            (0..9).map(|_| rng.gen_range(0.0..2.0)).collect(),
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            let m = b.build();
+            let start: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let start_energy = m.energy(&start);
+            let frontier = [VarId(rng.gen_range(0..n))];
+            for solver in [&Icm::default() as &dyn MapSolver, &Trws::default()] {
+                let out = solver.refine_local(&m, start.clone(), &frontier, &ctl());
+                assert!(
+                    out.solution.energy() <= start_energy + 1e-12,
+                    "trial {trial}: {} worsened the start",
+                    solver.name()
+                );
+                assert_eq!(out.solution.labels().len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frontier_falls_back_to_a_full_sweep() {
+        let n = 6;
+        let m = biased_chain(n);
+        let frontier: Vec<VarId> = (0..n).map(VarId).collect();
+        let start = vec![0usize; n];
+        let out = Icm::default().refine_local(&m, start, &frontier, &ctl());
+        assert!(out.full_sweep);
+        assert_eq!(out.swept_vars, n);
+        assert_eq!(out.solution.energy(), 0.0);
+    }
+
+    #[test]
+    fn trws_local_fixes_a_defect_through_conditioning() {
+        let n = 30;
+        let m = biased_chain(n);
+        let mut start = vec![1usize; n];
+        start[14] = 0; // defect mid-chain
+        let out = Trws::default().refine_local(&m, start, &[VarId(14)], &ctl());
+        assert_eq!(out.solution.energy(), 0.0);
+        assert!(!out.full_sweep, "a mid-chain defect must be fixed locally");
+        assert!(out.swept_vars < n);
+    }
+
+    #[test]
+    fn empty_frontier_is_a_no_op() {
+        let m = biased_chain(5);
+        let start = vec![0usize; 5];
+        let out = Icm::default().refine_local(&m, start.clone(), &[], &ctl());
+        assert_eq!(out.solution.labels(), &start[..]);
+        assert_eq!(out.swept_vars, 0);
+        assert!(!out.full_sweep);
+    }
+}

@@ -27,7 +27,8 @@ use std::time::{Duration, Instant};
 
 use crate::elimination::{Elimination, EliminationOptions};
 use crate::icm::{Icm, IcmOptions};
-use crate::model::MrfModel;
+use crate::local::LocalRefine;
+use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
 use crate::trws::Trws;
 
@@ -254,6 +255,35 @@ pub trait MapSolver: Send + Sync {
         self.refine(model, start, ctl)
     }
 
+    /// Refines `start` while restricting sweeps to the *frontier* — the
+    /// variables a localized model change can plausibly have affected (a
+    /// k-hop ball around the change) — expanding the active region through
+    /// flipped variables' neighbors and falling back to a full sweep when
+    /// the region stops being local (see [`crate::local`]). Returns the
+    /// solution plus locality telemetry ([`LocalRefine`]).
+    ///
+    /// The energy contract matches [`MapSolver::refine`]: never worse than
+    /// `start`. The default implementation ignores the frontier and runs a
+    /// full `refine` — always correct, never local; [`crate::icm::Icm`] and
+    /// [`crate::trws::Trws`] override it with genuinely masked sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `start` has the wrong arity or
+    /// out-of-range labels (project stale labelings first, e.g. via
+    /// [`crate::projection::project_labels`]).
+    fn refine_local(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        let _ = frontier;
+        let var_count = model.var_count();
+        LocalRefine::full(self.refine(model, start, ctl), var_count)
+    }
+
     /// If the most recent [`MapSolver::solve`] on this instance had to fall
     /// back from an exact method, the human-readable cause. `None` for
     /// solvers without a fallback stage (the default).
@@ -284,6 +314,16 @@ impl<S: MapSolver + ?Sized> MapSolver for Box<S> {
         (**self).refine_projected(model, seeds, ctl)
     }
 
+    fn refine_local(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        (**self).refine_local(model, start, frontier, ctl)
+    }
+
     fn fallback_cause(&self) -> Option<String> {
         (**self).fallback_cause()
     }
@@ -309,6 +349,16 @@ impl<S: MapSolver + ?Sized> MapSolver for Arc<S> {
         ctl: &SolveControl,
     ) -> Solution {
         (**self).refine_projected(model, seeds, ctl)
+    }
+
+    fn refine_local(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        (**self).refine_local(model, start, frontier, ctl)
     }
 
     fn fallback_cause(&self) -> Option<String> {

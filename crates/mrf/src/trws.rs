@@ -21,6 +21,7 @@
 //! from higher neighbors.
 
 use crate::icm::{Icm, IcmOptions};
+use crate::local::{condition_submodel, ActiveRegion, LocalRefine};
 use crate::model::{MrfModel, VarId};
 use crate::solution::Solution;
 use crate::solver::{MapSolver, SolveControl};
@@ -135,6 +136,89 @@ impl MapSolver for Trws {
         }
         let bound = best_bound.is_finite().then_some(best_bound);
         Solution::new(best_labels, best_energy, bound, iterations, converged)
+    }
+
+    /// Message passing on a *conditioned submodel*: active variables keep
+    /// their domains, edges to the frozen outside fold into unaries at the
+    /// outside's current label, and the sub-solution is spliced back only
+    /// if it improves the full-model energy. Variables flipped at the
+    /// region boundary expand the region and the conditioning repeats;
+    /// past half the model the refinement falls back to a full
+    /// [`MapSolver::refine`] (see [`crate::local`]).
+    ///
+    /// No lower bound is reported: the submodel's bound conditions on the
+    /// frozen exterior and does not bound the full model's optimum.
+    fn refine_local(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let n = model.var_count();
+        let mut region = ActiveRegion::new(n, frontier);
+        if region.count == 0 {
+            return LocalRefine::noop(model, start);
+        }
+        let mut labels = start;
+        let mut energy = model.energy(&labels);
+        let mut iterations = 0usize;
+        let mut converged = false;
+        // Each round re-conditions on the expanded region; the region is
+        // monotone, so the loop is bounded by the expansion count anyway —
+        // the cap only guards pathological flip/unflip cycling.
+        const MAX_ROUNDS: usize = 16;
+        for _ in 0..MAX_ROUNDS {
+            if region.should_fall_back() {
+                let expansions = region.expansions;
+                let refined = self.refine(model, labels, ctl);
+                return LocalRefine {
+                    solution: refined,
+                    swept_vars: n,
+                    expansions,
+                    full_sweep: true,
+                };
+            }
+            if ctl.should_stop() {
+                break;
+            }
+            let (sub, map) = condition_submodel(model, &labels, &region.mask);
+            let sub_solution = self.solve(&sub, ctl);
+            iterations += sub_solution.iterations();
+            let mut candidate = labels.clone();
+            for (si, &fi) in map.iter().enumerate() {
+                candidate[fi] = sub_solution.labels()[si];
+            }
+            let candidate_energy = model.energy(&candidate);
+            if candidate_energy >= energy {
+                converged = sub_solution.converged();
+                break;
+            }
+            let flipped: Vec<usize> = map
+                .iter()
+                .copied()
+                .filter(|&fi| candidate[fi] != labels[fi])
+                .collect();
+            labels = candidate;
+            energy = candidate_energy;
+            let mut added = 0;
+            for &v in &flipped {
+                added += region.activate_neighbors(model, v);
+            }
+            if added == 0 {
+                converged = sub_solution.converged();
+                break;
+            }
+            region.expansions += 1;
+        }
+        ctl.report(iterations, energy, None);
+        LocalRefine {
+            solution: Solution::new(labels, energy, None, iterations, converged),
+            swept_vars: region.count,
+            expansions: region.expansions,
+            full_sweep: false,
+        }
     }
 }
 

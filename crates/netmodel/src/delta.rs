@@ -238,6 +238,36 @@ pub struct DeltaEffect {
     pub topology_changed: bool,
 }
 
+/// The merged effect of a successfully applied delta *batch* — what one
+/// [`Network::apply_batch`] call did, in the same vocabulary downstream
+/// caches consume for single deltas ([`DeltaEffect`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchEffect {
+    /// The network revision after the whole batch.
+    pub revision: u64,
+    /// Union of the per-delta [`DeltaEffect::touched`] sets, deduplicated
+    /// and sorted.
+    pub touched: Vec<HostId>,
+    /// Hosts created by the batch's [`NetworkDelta::AddHost`] deltas, in
+    /// application order.
+    pub added_hosts: Vec<HostId>,
+    /// Whether any delta changed the host/link structure.
+    pub topology_changed: bool,
+    /// Number of deltas applied (the batch length).
+    pub applied: usize,
+}
+
+impl BatchEffect {
+    /// Folds one more delta's effect into the running batch effect.
+    fn absorb(&mut self, effect: DeltaEffect) {
+        self.revision = effect.revision;
+        self.touched.extend(effect.touched);
+        self.added_hosts.extend(effect.added_host);
+        self.topology_changed |= effect.topology_changed;
+        self.applied += 1;
+    }
+}
+
 impl Network {
     fn live_host(&self, id: HostId) -> Result<&Host> {
         let host = self.host(id)?;
@@ -396,8 +426,13 @@ impl Network {
                 })
             }
             NetworkDelta::RemoveLink { a, b } => {
-                self.host(*a)?;
-                self.host(*b)?;
+                // `live_host`, not `host`: links to tombstoned hosts are
+                // unrepresentable (RemoveHost drops them, AddLink refuses
+                // them), so a RemoveLink naming a removed endpoint is a
+                // stale-feed error worth surfacing as such instead of the
+                // misleading UnknownLink.
+                self.live_host(*a)?;
+                self.live_host(*b)?;
                 let key = if a < b { (*a, *b) } else { (*b, *a) };
                 let Ok(pos) = self.links.binary_search(&key) else {
                     return Err(Error::UnknownLink(key.0, key.1));
@@ -514,6 +549,75 @@ impl Network {
                 })
             }
         }
+    }
+
+    /// Applies a whole batch of deltas transactionally: every delta is
+    /// validated (against the network state after its predecessors) and
+    /// applied on a *staged copy*; only a fully valid batch is committed.
+    /// A rejected batch leaves the network untouched — unlike a sequential
+    /// loop over [`Network::apply_delta`], which commits the prefix before
+    /// the failing delta.
+    ///
+    /// An empty batch is a no-op (`revision` unchanged, nothing touched).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BatchRejected`] wrapping the failing delta's index and its
+    /// validation error (see [`Network::apply_delta`] for the causes).
+    pub fn apply_batch(
+        &mut self,
+        deltas: &[NetworkDelta],
+        catalog: &Catalog,
+    ) -> Result<BatchEffect> {
+        if deltas.is_empty() {
+            return Ok(BatchEffect {
+                revision: self.revision,
+                touched: Vec::new(),
+                added_hosts: Vec::new(),
+                topology_changed: false,
+                applied: 0,
+            });
+        }
+        let mut staged = self.clone();
+        let merged = staged.apply_all(deltas, catalog)?;
+        *self = staged;
+        Ok(merged)
+    }
+
+    /// Applies `deltas` in order, merging their effects, **committing the
+    /// valid prefix**: a rejected delta leaves its predecessors applied.
+    /// This is the streaming building block — callers wanting all-or-nothing
+    /// semantics use [`Network::apply_batch`], which runs this on a staged
+    /// copy (the incremental engine stages its own copy and calls this
+    /// directly to avoid staging twice).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BatchRejected`] wrapping the failing delta's index and its
+    /// validation error; the network then holds revision
+    /// `initial + index`.
+    pub fn apply_all(&mut self, deltas: &[NetworkDelta], catalog: &Catalog) -> Result<BatchEffect> {
+        let mut merged = BatchEffect {
+            revision: self.revision,
+            touched: Vec::new(),
+            added_hosts: Vec::new(),
+            topology_changed: false,
+            applied: 0,
+        };
+        for (index, delta) in deltas.iter().enumerate() {
+            match self.apply_delta(delta, catalog) {
+                Ok(effect) => merged.absorb(effect),
+                Err(cause) => {
+                    return Err(Error::BatchRejected {
+                        index,
+                        cause: Box::new(cause),
+                    })
+                }
+            }
+        }
+        merged.touched.sort_unstable();
+        merged.touched.dedup();
+        Ok(merged)
     }
 }
 
@@ -848,6 +952,101 @@ mod tests {
             .candidates_for(os)
             .unwrap()
             .contains(&vx));
+    }
+
+    #[test]
+    fn remove_link_rejects_tombstoned_endpoints() {
+        let (mut net, c) = fixture();
+        net.apply_delta(&NetworkDelta::remove_host(HostId(1)), &c)
+            .unwrap();
+        // Links to the tombstone are unrepresentable; naming one in a
+        // RemoveLink must surface the removed endpoint, either order.
+        for delta in [
+            NetworkDelta::remove_link(HostId(0), HostId(1)),
+            NetworkDelta::remove_link(HostId(1), HostId(0)),
+        ] {
+            assert!(matches!(
+                net.apply_delta(&delta, &c),
+                Err(Error::RemovedHost(HostId(1)))
+            ));
+        }
+        // Sanity: no link involving the tombstone survived the removal.
+        assert!(net
+            .links()
+            .iter()
+            .all(|&(a, b)| a != HostId(1) && b != HostId(1)));
+    }
+
+    #[test]
+    fn apply_batch_merges_effects() {
+        let (mut net, c) = fixture();
+        let os = sid(&c, "os");
+        let win = pid(&c, "win");
+        let effect = net
+            .apply_batch(
+                &[
+                    NetworkDelta::fix_slot(HostId(0), os, win),
+                    NetworkDelta::add_link(HostId(0), HostId(2)),
+                    NetworkDelta::add_host("h3", vec![(os, vec![win])], vec![HostId(2)]),
+                ],
+                &c,
+            )
+            .unwrap();
+        assert_eq!(effect.applied, 3);
+        assert_eq!(effect.revision, 3);
+        assert_eq!(net.revision(), 3);
+        assert!(effect.topology_changed);
+        assert_eq!(effect.added_hosts, vec![HostId(3)]);
+        assert_eq!(
+            effect.touched,
+            vec![HostId(0), HostId(2), HostId(3)],
+            "touched is the deduplicated, sorted union"
+        );
+        assert!(net.linked(HostId(0), HostId(2)));
+        assert!(net.linked(HostId(2), HostId(3)));
+    }
+
+    #[test]
+    fn apply_batch_validates_against_the_staged_state() {
+        let (mut net, c) = fixture();
+        // The second delta is only valid because the first added the host.
+        net.apply_batch(
+            &[
+                NetworkDelta::add_host("h3", vec![], vec![]),
+                NetworkDelta::add_link(HostId(0), HostId(3)),
+            ],
+            &c,
+        )
+        .unwrap();
+        assert!(net.linked(HostId(0), HostId(3)));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_the_network_untouched() {
+        let (mut net, c) = fixture();
+        let os = sid(&c, "os");
+        let win = pid(&c, "win");
+        let before = net.clone();
+        let err = net
+            .apply_batch(
+                &[
+                    NetworkDelta::fix_slot(HostId(0), os, win),
+                    NetworkDelta::add_link(HostId(1), HostId(1)), // self-loop
+                ],
+                &c,
+            )
+            .unwrap_err();
+        let Error::BatchRejected { index, cause } = err else {
+            panic!("expected BatchRejected");
+        };
+        assert_eq!(index, 1);
+        assert!(matches!(*cause, Error::SelfLoop(HostId(1))));
+        assert_eq!(net, before, "all-or-nothing: the valid prefix rolled back");
+        // An empty batch is a committed no-op.
+        let effect = net.apply_batch(&[], &c).unwrap();
+        assert_eq!(effect.applied, 0);
+        assert_eq!(effect.revision, 0);
+        assert_eq!(net.revision(), 0);
     }
 
     #[test]

@@ -86,6 +86,27 @@ pub enum Error {
         /// The already-present candidate.
         product: ProductId,
     },
+    /// A batch application was rejected by one of its deltas (validated
+    /// against the network state after its predecessors); nothing in the
+    /// batch was applied.
+    BatchRejected {
+        /// Position of the rejected delta within the batch.
+        index: usize,
+        /// Why that delta was rejected.
+        cause: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Unwraps a [`Error::BatchRejected`] to the underlying cause (itself
+    /// for every other variant) — the error a caller applying the batch's
+    /// deltas one by one would have seen.
+    pub fn into_batch_cause(self) -> Error {
+        match self {
+            Error::BatchRejected { cause, .. } => *cause,
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -150,8 +171,18 @@ impl fmt::Display for Error {
                 f,
                 "product {product} is already a candidate for service {service} at host {host}"
             ),
+            Error::BatchRejected { index, cause } => {
+                write!(f, "batch rejected at delta {index}: {cause}")
+            }
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::BatchRejected { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}

@@ -47,6 +47,20 @@ pub struct MttcEstimate {
 }
 
 impl MttcEstimate {
+    /// Assembles an estimate from aggregate parts — synthetic estimates for
+    /// tests and tooling ([`estimate_mttc`] is the real producer). The
+    /// spread and extrema are left empty.
+    pub fn from_parts(runs: usize, successes: usize, mean: f64) -> MttcEstimate {
+        MttcEstimate {
+            runs,
+            successes,
+            mean,
+            std_dev: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
     /// Total runs executed.
     pub fn runs(&self) -> usize {
         self.runs
