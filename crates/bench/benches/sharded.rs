@@ -1,0 +1,155 @@
+//! Criterion benchmark: absorbing a 16-delta burst confined to one zone
+//! through the zone-sharded [`ShardedEngine`] vs. the single-network
+//! [`DiversityEngine`] — the ISSUE 4 acceptance comparison, on a 960-host
+//! §VIII-scale configuration split into 2 and 4 zones.
+//!
+//! Both sides absorb the *same* burst: a fix/unfix toggle on 16 interior
+//! (non-boundary) hosts of zone 0, alternated per iteration so the workload
+//! is steady-state. Since PR 3, the *re-solve* is already localized to the
+//! touched region on both sides; what sharding buys is everything that
+//! stays O(network) on the single engine — the model reassembly and the
+//! staging clone — which the sharded path pays only on the owning shard
+//! (1/N of the network). Boundary coordination stays in cheap Light mode
+//! (a greedy boundary sweep) because the burst is interior. Expected:
+//! ≥ 1.5× faster with 2 shards, more with 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ics_diversity::engine::DiversityEngine;
+use ics_diversity::shard::ShardedEngine;
+use netmodel::delta::NetworkDelta;
+use netmodel::partition::partition_by_zone;
+use netmodel::topology::{generate_zoned, GeneratedNetwork, TopologyKind, ZonedNetworkConfig};
+use netmodel::{HostId, ProductId, ServiceId};
+
+const HOSTS: usize = 960;
+const BURST: usize = 16;
+
+fn instance(zones: usize) -> GeneratedNetwork {
+    generate_zoned(
+        &ZonedNetworkConfig {
+            zones,
+            hosts_per_zone: HOSTS / zones,
+            gateway_links: 2,
+            mean_degree: 16,
+            services: 4,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+        777,
+    )
+}
+
+/// The burst targets: 16 interior (non-boundary) hosts of zone 0, plus the
+/// toggled service and its products — precomputed so the timed loop
+/// measures burst *absorption*, not burst construction.
+struct BurstPlan {
+    hosts: Vec<HostId>,
+    service: ServiceId,
+    products: Vec<ProductId>,
+}
+
+impl BurstPlan {
+    fn new(g: &GeneratedNetwork) -> BurstPlan {
+        let partition = partition_by_zone(&g.network);
+        let service = g.catalog.service_by_name("service0").expect("generated");
+        let products = g.catalog.products_of(service).to_vec();
+        let interior: Vec<HostId> = partition.shards()[0]
+            .members
+            .iter()
+            .copied()
+            .filter(|&h| !partition.is_boundary(h))
+            .collect();
+        assert!(interior.len() >= BURST, "zone 0 interior too small");
+        let hosts = (0..BURST)
+            .map(|i| interior[(i * 7) % interior.len()])
+            .collect();
+        BurstPlan {
+            hosts,
+            service,
+            products,
+        }
+    }
+
+    fn burst(&self, fix: bool) -> Vec<NetworkDelta> {
+        self.hosts
+            .iter()
+            .map(|&host| {
+                if fix {
+                    NetworkDelta::fix_slot(host, self.service, self.products[0])
+                } else {
+                    NetworkDelta::unfix_slot(host, self.service, self.products.clone())
+                }
+            })
+            .collect()
+    }
+}
+
+fn bench_sharded_vs_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zone_confined_burst_960_hosts");
+    group.sample_size(10);
+
+    let g = instance(2);
+    let plan = BurstPlan::new(&g);
+
+    // Single engine: one full-network rebuild + localized warm re-solve.
+    group.bench_with_input(
+        BenchmarkId::from_parameter("single_engine_16_burst"),
+        &g,
+        |b, g| {
+            let mut engine =
+                DiversityEngine::new(g.network.clone(), g.catalog.clone(), g.similarity.clone());
+            engine.solve().expect("cold solve");
+            let mut fix = true;
+            // Two warmup toggles reach the steady state the serving path
+            // lives in (the first post-cold refinement sweeps far more).
+            for _ in 0..2 {
+                engine.apply_batch(&plan.burst(fix)).expect("warmup");
+                fix = !fix;
+            }
+            b.iter(|| {
+                let deltas = plan.burst(fix);
+                fix = !fix;
+                engine
+                    .apply_batch(&deltas)
+                    .expect("batch applies")
+                    .objective_after
+            });
+        },
+    );
+
+    // Sharded: the burst routes to shard 0 only; rebuild + re-solve on a
+    // half-size (quarter-size) network, coordination in Light mode.
+    for zones in [2usize, 4] {
+        let g = instance(zones);
+        let plan = BurstPlan::new(&g);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sharded_{zones}_zones_16_burst")),
+            &g,
+            |b, g| {
+                let mut engine =
+                    ShardedEngine::new(g.network.clone(), g.catalog.clone(), g.similarity.clone());
+                engine.solve().expect("cold solve");
+                let mut fix = true;
+                for _ in 0..2 {
+                    engine.apply_batch(&plan.burst(fix)).expect("warmup");
+                    fix = !fix;
+                }
+                b.iter(|| {
+                    let deltas = plan.burst(fix);
+                    fix = !fix;
+                    engine
+                        .apply_batch(&deltas)
+                        .expect("batch applies")
+                        .objective
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_vs_single);
+criterion_main!(benches);

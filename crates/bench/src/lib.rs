@@ -84,6 +84,11 @@ pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// True when the CLI args request usage help (`--help` or `-h`).
+pub fn help_requested() -> bool {
+    std::env::args().any(|a| a == "--help" || a == "-h")
+}
+
 /// The integer value following `flag` on the command line (`--steps 5`),
 /// or `None` when the flag is absent.
 ///

@@ -34,6 +34,7 @@ use sim::mttc::{estimate_mttc, MttcEstimate, MttcOptions};
 use sim::scenario::Scenario;
 
 use crate::engine::{DiversityEngine, ReassignmentReport};
+use crate::shard::{ShardReport, ShardedEngine};
 use crate::Result;
 
 /// How each churn step feeds deltas to the engine.
@@ -163,12 +164,18 @@ impl ChurnStep {
     /// MTTC effect of re-optimizing after this step, in ticks, with the
     /// censored outcomes told apart (see [`MttcGain`]).
     pub fn mttc_gain(&self) -> MttcGain {
-        match (self.mttc_before.mean_ticks(), self.mttc_after.mean_ticks()) {
-            (Some(before), Some(after)) => MttcGain::Gain(after - before),
-            (None, Some(_)) => MttcGain::CarriedCensored,
-            (Some(_), None) => MttcGain::ReoptCensored,
-            (None, None) => MttcGain::BothCensored,
-        }
+        classify_gain(&self.mttc_before, &self.mttc_after)
+    }
+}
+
+/// Classifies the before/after MTTC pair into an [`MttcGain`] (total: every
+/// combination of censored and uncensored estimates maps somewhere).
+fn classify_gain(before: &MttcEstimate, after: &MttcEstimate) -> MttcGain {
+    match (before.mean_ticks(), after.mean_ticks()) {
+        (Some(before), Some(after)) => MttcGain::Gain(after - before),
+        (None, Some(_)) => MttcGain::CarriedCensored,
+        (Some(_), None) => MttcGain::ReoptCensored,
+        (None, None) => MttcGain::BothCensored,
     }
 }
 
@@ -258,6 +265,107 @@ pub fn run_churn(
             &config.mttc,
         );
         steps.push(ChurnStep {
+            step,
+            deltas,
+            report,
+            mttc_before,
+            mttc_after,
+        });
+    }
+    Ok(steps)
+}
+
+/// One step of a *sharded* churn replay: the burst, the sharded engine's
+/// report (routing, per-shard solves, coordination telemetry) and the MTTC
+/// of the carried vs. re-optimized global assignment.
+#[derive(Debug, Clone)]
+pub struct ShardedChurnStep {
+    /// Step index (0-based).
+    pub step: usize,
+    /// The delta burst that was applied (length 1 in sequential mode).
+    pub deltas: Vec<NetworkDelta>,
+    /// The sharded engine's step report.
+    pub report: ShardReport,
+    /// MTTC of the carried (non-reoptimized) assignment on the new network.
+    pub mttc_before: MttcEstimate,
+    /// MTTC of the re-optimized assignment on the new network.
+    pub mttc_after: MttcEstimate,
+}
+
+impl ShardedChurnStep {
+    /// MTTC effect of re-optimizing after this step (see [`MttcGain`]).
+    pub fn mttc_gain(&self) -> MttcGain {
+        classify_gain(&self.mttc_before, &self.mttc_after)
+    }
+}
+
+/// [`run_churn`] over a [`ShardedEngine`]: the same seeded delta stream and
+/// MTTC instrumentation, but bursts are routed to their owning shards and
+/// the boundary-coordination loop reconciles cross-shard effects. `AddHost`
+/// deltas drawn by the generator are assigned a random *existing* zone so
+/// the router always has an owning shard.
+///
+/// # Errors
+///
+/// See [`ShardedEngine::apply_batch`]; the replay stops at the first
+/// failing step.
+pub fn run_churn_sharded(
+    engine: &mut ShardedEngine,
+    entry: HostId,
+    target: HostId,
+    config: &ChurnConfig,
+) -> Result<Vec<ShardedChurnStep>> {
+    if engine.assignment().is_none() {
+        engine.solve()?;
+    }
+    let scenario = Scenario::new(entry, target)
+        .with_exploit_success(config.exploit_success)
+        .with_baseline_rate(config.baseline_rate)
+        .with_max_ticks(config.max_ticks);
+    let protect = [entry, target];
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut steps = Vec::with_capacity(config.steps);
+    for step in 0..config.steps {
+        let burst_size = match config.mode {
+            ChurnMode::Sequential => 1,
+            ChurnMode::Batched { mean_burst } => poisson(&mut rng, mean_burst).max(1),
+        };
+        // Generate the burst against a scratch copy so each delta is valid
+        // after its predecessors — the same staging apply_batch validates
+        // against — and pin AddHost deltas to one of the engine's zones.
+        let mut scratch = engine.network().clone();
+        let mut deltas = Vec::with_capacity(burst_size);
+        for _ in 0..burst_size {
+            let mut delta = random_delta(&scratch, engine.catalog(), &mut rng, &protect);
+            if let NetworkDelta::AddHost { zone, .. } = &mut delta {
+                let shards = engine.partition().shards();
+                *zone = shards[rng.gen_range(0..shards.len())].zone.clone();
+            }
+            scratch
+                .apply_delta(&delta, engine.catalog())
+                .expect("generated deltas are valid against their staging state");
+            deltas.push(delta);
+        }
+        let report = engine.apply_batch(&deltas)?;
+        let carried = report
+            .carried
+            .as_ref()
+            .expect("warm step always carries the previous assignment");
+        let mttc_before = estimate_mttc(
+            engine.network(),
+            carried,
+            engine.similarity(),
+            &scenario,
+            &config.mttc,
+        );
+        let mttc_after = estimate_mttc(
+            engine.network(),
+            engine.assignment().expect("step solved"),
+            engine.similarity(),
+            &scenario,
+            &config.mttc,
+        );
+        steps.push(ShardedChurnStep {
             step,
             deltas,
             report,
@@ -364,6 +472,79 @@ mod tests {
             .unwrap()
             .validate(engine.network())
             .unwrap();
+    }
+
+    #[test]
+    fn sharded_churn_replays_bursts_across_zones() {
+        use netmodel::topology::{generate_zoned, ZonedNetworkConfig};
+        let g = generate_zoned(
+            &ZonedNetworkConfig {
+                zones: 2,
+                hosts_per_zone: 10,
+                gateway_links: 2,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            6,
+        );
+        let mut engine = ShardedEngine::new(g.network, g.catalog, g.similarity);
+        let config = ChurnConfig {
+            steps: 4,
+            mttc: MttcOptions {
+                runs: 25,
+                ..MttcOptions::default()
+            },
+            max_ticks: 300,
+            mode: ChurnMode::Batched { mean_burst: 3.0 },
+            ..ChurnConfig::default()
+        };
+        let entry = HostId(0);
+        let target = HostId(19);
+        let steps = run_churn_sharded(&mut engine, entry, target, &config).unwrap();
+        assert_eq!(steps.len(), 4);
+        let total_deltas: usize = steps.iter().map(|s| s.deltas.len()).sum();
+        assert_eq!(engine.revision() as usize, total_deltas);
+        for s in &steps {
+            assert_eq!(s.report.deltas_applied, s.deltas.len());
+            assert!(s.report.improvement().unwrap() >= -1e-9, "step {}", s.step);
+            // Generated AddHost deltas must have been pinned to a real zone.
+            for d in &s.deltas {
+                if let NetworkDelta::AddHost { zone, .. } = d {
+                    assert!(engine.partition().shard_of_zone(zone.as_deref()).is_some());
+                }
+            }
+            let _ = s.mttc_gain();
+        }
+        assert!(!engine.network().host(entry).unwrap().is_removed());
+        assert!(!engine.network().host(target).unwrap().is_removed());
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+        // Determinism: same seeds, same stream.
+        let g2 = generate_zoned(
+            &ZonedNetworkConfig {
+                zones: 2,
+                hosts_per_zone: 10,
+                gateway_links: 2,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            6,
+        );
+        let mut engine2 = ShardedEngine::new(g2.network, g2.catalog, g2.similarity);
+        let again = run_churn_sharded(&mut engine2, entry, target, &config).unwrap();
+        for (a, b) in steps.iter().zip(&again) {
+            assert_eq!(a.deltas, b.deltas);
+            assert_eq!(a.mttc_before, b.mttc_before);
+        }
     }
 
     #[test]

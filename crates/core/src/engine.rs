@@ -46,7 +46,7 @@ use netmodel::network::Network;
 use netmodel::{HostId, ProductId, ServiceId};
 
 use crate::cache::{EnergyCache, RebuildStats};
-use crate::energy::{EnergyParams, SlotBinding};
+use crate::energy::{EnergyModel, EnergyParams, SlotBinding};
 use crate::optimizer::SolverKind;
 use crate::{Error, Result};
 
@@ -162,6 +162,10 @@ pub struct DiversityEngine {
     refiner: Arc<dyn MapSolver>,
     budget: Option<Duration>,
     locality: Option<usize>,
+    /// Hosts whose variables warm re-solves must not move (crate-internal:
+    /// the sharded engine pins its boundary hosts — see
+    /// [`DiversityEngine::set_pinned_hosts`]).
+    pinned: Vec<HostId>,
     last: Option<Assignment>,
 }
 
@@ -207,6 +211,7 @@ impl DiversityEngine {
             refiner: Arc::new(Icm::default()),
             budget: None,
             locality: Some(DEFAULT_LOCALITY_HOPS),
+            pinned: Vec::new(),
             last: None,
         }
     }
@@ -284,6 +289,33 @@ impl DiversityEngine {
     /// The last computed MAP assignment, if any step has run.
     pub fn assignment(&self) -> Option<&Assignment> {
         self.last.as_ref()
+    }
+
+    /// The energy model backing the current revision (meaningful once a
+    /// step has run — before that it is the empty deferred model). The
+    /// shard coordinator conditions cross-shard costs onto it.
+    pub(crate) fn energy(&self) -> &EnergyModel {
+        self.cache.model()
+    }
+
+    /// Overwrites the cached MAP assignment — the write-back path of the
+    /// shard coordinator, which improves a shard's labeling against
+    /// cross-shard costs the shard model cannot see. The caller guarantees
+    /// `assignment` decodes from the engine's current model (coordinated
+    /// labelings do: they are decoded via [`EnergyModel::decode`] on this
+    /// engine's own model).
+    pub(crate) fn set_assignment(&mut self, assignment: Assignment) {
+        self.last = Some(assignment);
+    }
+
+    /// Pins hosts against warm re-solves: their variables are conditioned
+    /// out of every warm refinement (crate-internal — the sharded engine
+    /// pins its boundary hosts so that only the boundary-coordination
+    /// loop, which sees the cross-shard costs, moves them; a plain local
+    /// re-solve would otherwise undo coordinated labels it cannot value).
+    /// Cold solves ignore pins — something must produce the first labels.
+    pub(crate) fn set_pinned_hosts(&mut self, pinned: Vec<HostId>) {
+        self.pinned = pinned;
     }
 
     /// Registers a new product in the catalog and grows the similarity
@@ -443,24 +475,70 @@ impl DiversityEngine {
                 let start = project_labels(energy.model(), &seeds);
                 let carried_objective = energy.model().energy(&start) + energy.base_energy();
                 let carried = energy.decode(&start);
-                let (solution, locality) = match self.locality {
-                    Some(k) if !touched.is_empty() => {
-                        let ball = frontier_ball(&self.network, &touched, k);
-                        let frontier = frontier_vars(energy.slots(), &ball);
-                        let local =
-                            self.refiner
-                                .refine_local(energy.model(), start, &frontier, &ctl);
-                        let locality = if local.full_sweep {
-                            (full_model_sweep.0, full_model_sweep.1, false)
-                        } else {
-                            (ball.len(), local.swept_vars, true)
-                        };
-                        (local.solution, locality)
+                let (solution, locality) = if self.pinned.is_empty() {
+                    match self.locality {
+                        Some(k) if !touched.is_empty() => {
+                            let ball = frontier_ball(&self.network, &touched, k);
+                            let frontier = frontier_vars(energy.slots(), &ball);
+                            let local =
+                                self.refiner
+                                    .refine_local(energy.model(), start, &frontier, &ctl);
+                            let locality = if local.full_sweep {
+                                (full_model_sweep.0, full_model_sweep.1, false)
+                            } else {
+                                (ball.len(), local.swept_vars, true)
+                            };
+                            (local.solution, locality)
+                        }
+                        _ => (
+                            self.refiner.refine(energy.model(), start, &ctl),
+                            (full_model_sweep.0, full_model_sweep.1, false),
+                        ),
                     }
-                    _ => (
-                        self.refiner.refine(energy.model(), start, &ctl),
-                        (full_model_sweep.0, full_model_sweep.1, false),
-                    ),
+                } else {
+                    // Pinned hosts: their variables are *sealed* — the warm
+                    // re-solve may never move them (the shard coordinator,
+                    // which owns the pins, moves them with cross-shard
+                    // knowledge this engine does not have). With the ICM
+                    // refiner this is a pure mask on the in-place sweep; no
+                    // submodel is built.
+                    let sealed = frontier_vars(energy.slots(), &self.pinned);
+                    match self.locality {
+                        Some(k) if !touched.is_empty() => {
+                            let ball = frontier_ball(&self.network, &touched, k);
+                            let frontier = frontier_vars(energy.slots(), &ball);
+                            let local = self.refiner.refine_local_sealed(
+                                energy.model(),
+                                start,
+                                &frontier,
+                                &sealed,
+                                &ctl,
+                            );
+                            let locality = if local.full_sweep {
+                                (full_model_sweep.0, local.swept_vars, false)
+                            } else {
+                                (ball.len(), local.swept_vars, true)
+                            };
+                            (local.solution, locality)
+                        }
+                        _ => {
+                            // A deliberate full (but seal-respecting)
+                            // re-sweep: seed the whole model as frontier.
+                            let all: Vec<VarId> =
+                                (0..energy.model().var_count()).map(VarId).collect();
+                            let local = self.refiner.refine_local_sealed(
+                                energy.model(),
+                                start,
+                                &all,
+                                &sealed,
+                                &ctl,
+                            );
+                            (
+                                local.solution,
+                                (full_model_sweep.0, local.swept_vars, false),
+                            )
+                        }
+                    }
                 };
                 (
                     solution,

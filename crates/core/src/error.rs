@@ -20,6 +20,14 @@ pub enum Error {
         /// Number of violated (constraint, host) pairs.
         violations: usize,
     },
+    /// A sharded engine received an `AddHost` delta naming a zone no shard
+    /// owns. Sharded engines partition by the zones present at
+    /// construction; hosts can only join existing zones.
+    UnknownZone {
+        /// The zone label the delta carried (`None`: an unzoned host, with
+        /// no unzoned shard to route it to).
+        zone: Option<String>,
+    },
     /// An error from the network model layer.
     Model(netmodel::Error),
     /// An error from the MRF layer.
@@ -39,6 +47,12 @@ impl fmt::Display for Error {
                 f,
                 "constraint system unsatisfiable: optimal assignment violates {violations} constraint instance(s)"
             ),
+            Error::UnknownZone { zone: Some(zone) } => {
+                write!(f, "no shard owns zone {zone:?}")
+            }
+            Error::UnknownZone { zone: None } => {
+                write!(f, "no shard owns unzoned hosts")
+            }
             Error::Model(e) => write!(f, "network model error: {e}"),
             Error::Mrf(e) => write!(f, "mrf error: {e}"),
             Error::Bayes(e) => write!(f, "bayesian network error: {e}"),

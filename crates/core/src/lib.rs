@@ -25,6 +25,12 @@
 //!   warm-starts the re-solve from the previous MAP assignment, returning a
 //!   [`ReassignmentReport`] (changed hosts, objective before/after, solver
 //!   telemetry).
+//! * [`shard`] — [`ShardedEngine`], the zone-sharded form of the engine:
+//!   one `DiversityEngine` per zone, delta bursts routed to their owning
+//!   shard(s), cross-shard links reconciled by a monotone
+//!   boundary-coordination loop (freeze neighbors' boundary labels, fold
+//!   them into unaries, solve locally in parallel, splice back only on
+//!   improvement).
 //! * [`churn`] — the dynamic-churn scenario: replay a random delta stream
 //!   and measure MTTC before/after each re-optimization.
 //! * [`optimizer`] — the solver facade, built on the open
@@ -83,6 +89,82 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Incremental serving: absorb a delta
+//!
+//! ```
+//! use ics_diversity::engine::DiversityEngine;
+//! use netmodel::delta::NetworkDelta;
+//! use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+//!
+//! # fn main() -> Result<(), ics_diversity::Error> {
+//! let g = generate(
+//!     &RandomNetworkConfig {
+//!         hosts: 12,
+//!         mean_degree: 3,
+//!         services: 2,
+//!         products_per_service: 3,
+//!         vendors_per_service: 2,
+//!         topology: TopologyKind::Random,
+//!     },
+//!     7,
+//! );
+//! let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
+//! engine.solve()?;
+//!
+//! // A product mandate arrives: one delta, one incremental step — the
+//! // cache refilters only the touched host and the re-solve warm-starts
+//! // from the previous MAP assignment.
+//! let os = engine.catalog().service_by_name("service0").unwrap();
+//! let host = netmodel::HostId(3);
+//! let product = engine.network().host(host).unwrap().candidates_for(os).unwrap()[0];
+//! let report = engine.apply(&NetworkDelta::fix_slot(host, os, product))?;
+//! assert!(report.warm_started);
+//! assert_eq!(report.rebuild.hosts_refiltered, 1);
+//! assert!(report.improvement().unwrap() >= -1e-9);
+//! assert_eq!(engine.assignment().unwrap().products_at(host)[0], product);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Sharded serving: one engine per zone
+//!
+//! ```
+//! use ics_diversity::shard::ShardedEngine;
+//! use netmodel::delta::NetworkDelta;
+//! use netmodel::topology::{generate_zoned, TopologyKind, ZonedNetworkConfig};
+//!
+//! # fn main() -> Result<(), ics_diversity::Error> {
+//! let g = generate_zoned(
+//!     &ZonedNetworkConfig {
+//!         zones: 2,
+//!         hosts_per_zone: 8,
+//!         gateway_links: 1,
+//!         mean_degree: 3,
+//!         services: 2,
+//!         products_per_service: 3,
+//!         vendors_per_service: 2,
+//!         topology: TopologyKind::Random,
+//!     },
+//!     3,
+//! );
+//! let mut engine = ShardedEngine::new(g.network, g.catalog, g.similarity);
+//! let cold = engine.solve()?;
+//! assert_eq!(engine.shard_count(), 2);
+//!
+//! // A burst confined to zone 0 pays only shard 0's rebuild + re-solve.
+//! let os = engine.catalog().service_by_name("service0").unwrap();
+//! let host = netmodel::HostId(2);
+//! let product = engine.network().host(host).unwrap().candidates_for(os).unwrap()[0];
+//! let report = engine.apply(&NetworkDelta::fix_slot(host, os, product))?;
+//! assert_eq!(report.shards_touched, vec![0]);
+//! assert!(report.shard_reports[1].is_none(), "zone 1 did no work");
+//! // Re-optimizing never loses to carrying the old assignment forward.
+//! assert!(report.improvement().unwrap() >= -1e-9);
+//! # let _ = cold;
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod cache;
 pub mod churn;
@@ -93,12 +175,14 @@ pub mod metrics;
 pub mod optimizer;
 pub mod report;
 pub mod scalability;
+pub mod shard;
 
 mod error;
 
 pub use engine::{DiversityEngine, ReassignmentReport};
 pub use error::Error;
 pub use optimizer::{DiversityOptimizer, OptimizedAssignment, SolverKind};
+pub use shard::{ShardReport, ShardedEngine};
 
 /// Convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,1801 @@
+//! Sharded serving: one [`DiversityEngine`] per zone, coordinated at the
+//! boundary.
+//!
+//! [`crate::engine::DiversityEngine`] owns one network. Real deployments —
+//! the paper's case study included — are *zoned*: a Corporate sub-network
+//! and a Control sub-network joined by a handful of firewall-mediated
+//! links. [`ShardedEngine`] exploits that shape:
+//!
+//! * the network is partitioned by zone
+//!   ([`netmodel::partition::partition_by_zone`]) into N shards, each a
+//!   full [`DiversityEngine`] over the zone's induced sub-network, plus an
+//!   explicit **boundary set** — the hosts with cross-shard links,
+//! * delta bursts are routed to the owning shard(s): a burst confined to
+//!   one zone pays that shard's rebuild and localized re-solve only, on a
+//!   network a fraction of the full size — and bursts spanning shards are
+//!   absorbed by the owners *in parallel* (`std::thread::scope`),
+//! * cross-shard links live in **no** shard's model. They are accounted
+//!   for by the **boundary-coordination loop**: each round, every shard
+//!   with boundary hosts builds a [`mrf::local::condition_submodel`] of
+//!   its boundary region (interior labels frozen and folded into unaries),
+//!   folds the cross-shard edge costs against its neighbors' *current*
+//!   boundary labels into the same unaries, and re-solves that small
+//!   submodel — all shards in parallel — and the proposals are then
+//!   spliced back one shard at a time, each **accepted only if the global
+//!   objective improves**. Rounds repeat until no proposal is accepted or
+//!   [`ShardedEngine::with_max_rounds`] is reached.
+//!
+//! The accept-only-if-better splice is what makes the loop *monotone*: the
+//! global objective (shard model energies + cross-link similarity residual)
+//! never increases during coordination, and since each accepted splice
+//! strictly decreases it over a finite labeling space, the loop reaches a
+//! fixpoint — a labeling no single shard can improve given the others'
+//! boundary labels — in finitely many rounds (the round cap bounds the
+//! worst case; [`ShardReport::rounds`] says when it bit).
+//!
+//! The coordination loop is *skipped* entirely when it cannot matter: no
+//! cross-shard links, or a burst that neither changed any boundary host's
+//! label nor touched a boundary host nor rewired a cross link. That skip is
+//! what keeps an interior-confined burst as cheap as its owning shard.
+//!
+//! # Objective decomposition
+//!
+//! For any assignment `α`, the full-network objective decomposes exactly:
+//!
+//! ```text
+//! E_full(α) = Σ_shards (E_shard(α|shard) + base_shard) + Σ_cross-links sim(α)
+//! ```
+//!
+//! because every unary, every intra-shard edge and every folded fixed-slot
+//! cost appears in exactly one shard model, and every cross-shard link
+//! appears in exactly one residual term. [`ShardReport::objective`] is that
+//! quantity — directly comparable to
+//! [`crate::engine::ReassignmentReport::objective_after`] on the unsharded
+//! engine.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mrf::ils::{Ils, IlsOptions};
+use mrf::model::{MrfBuilder, MrfModel, VarId};
+use mrf::solver::{MapSolver, SolveControl};
+
+use netmodel::assignment::Assignment;
+use netmodel::catalog::{Catalog, ProductSimilarity};
+use netmodel::delta::NetworkDelta;
+use netmodel::network::Network;
+use netmodel::partition::{extract_shard, partition_by_zone, ZonePartition};
+use netmodel::HostId;
+
+use crate::energy::SlotBinding;
+use crate::engine::{DiversityEngine, ReassignmentReport};
+use crate::optimizer::SolverKind;
+use crate::{Error, Result};
+
+/// Default cap on boundary-coordination rounds per step. Coordination
+/// normally converges in one or two rounds (a boundary label flips, the
+/// neighbor re-responds, done); the cap bounds pathological ping-pong on
+/// frustrated boundaries.
+pub const DEFAULT_COORDINATION_ROUNDS: usize = 8;
+
+/// Kick budget of the default Strong-pass coordinator (a bounded ILS).
+/// The Strong pass doubles as the post-TRW-S polish stage: per-shard
+/// message-passing decodes leave a primal gap that iterated local search
+/// closes, so the sharded fixpoint typically lands *below* a plain
+/// single-engine solve, at a bounded one-time cost per cold solve or
+/// cross-topology change.
+pub const DEFAULT_COORDINATOR_KICKS: usize = 20;
+
+/// What one sharded step (a delta burst, or an explicit solve) did.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The master-network revision this report corresponds to.
+    pub revision: u64,
+    /// Number of deltas the step absorbed (0 for an explicit solve).
+    pub deltas_applied: usize,
+    /// Indices of the shards whose sub-network the burst mutated, in shard
+    /// order (empty for an explicit solve and for cross-link-only bursts).
+    pub shards_touched: Vec<usize>,
+    /// Per-shard engine reports for this step (`None` for shards the step
+    /// did not re-solve locally).
+    pub shard_reports: Vec<Option<ReassignmentReport>>,
+    /// Wall-clock time each shard spent in its local step (`ZERO` for
+    /// shards that did no local work). Shards run in parallel: the step's
+    /// local-solve latency is the *maximum*, not the sum.
+    pub per_shard_solve: Vec<Duration>,
+    /// Boundary-coordination rounds run (0: coordination was skipped or
+    /// unnecessary).
+    pub rounds: usize,
+    /// Boundary hosts whose product assignment changed during coordination,
+    /// summed over rounds.
+    pub boundary_flips: usize,
+    /// Size of the boundary set after the step.
+    pub boundary_hosts: usize,
+    /// Number of cross-shard links after the step.
+    pub cross_links: usize,
+    /// Global objective of the carried-forward assignment (the old products
+    /// projected onto the new network; what a non-reoptimizing deployment
+    /// would run). `None` on the first solve.
+    pub objective_before: Option<f64>,
+    /// Global objective after local re-solves and coordination (see module
+    /// docs for the decomposition).
+    pub objective: f64,
+    /// The carried-forward global assignment itself (`None` on the first
+    /// solve).
+    pub carried: Option<Assignment>,
+    /// Wall-clock time of the coordination loop (zero when skipped).
+    pub coordination_wall: Duration,
+    /// Wall-clock time of the whole step.
+    pub total_wall: Duration,
+}
+
+impl ShardReport {
+    /// How much the step improved on carrying the old assignment forward
+    /// (`None` on the first solve). Non-negative: local refinement and
+    /// coordination both only ever accept improvements.
+    pub fn improvement(&self) -> Option<f64> {
+        self.objective_before.map(|b| b - self.objective)
+    }
+}
+
+impl fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rev {:>4} objective {:>9.4} | {} deltas -> shards {:?} | {} rounds, {} boundary flips | {:?}",
+            self.revision,
+            self.objective,
+            self.deltas_applied,
+            self.shards_touched,
+            self.rounds,
+            self.boundary_flips,
+            self.total_wall,
+        )
+    }
+}
+
+/// One shard: a per-zone engine plus the local→global host-id mapping.
+struct Shard {
+    engine: DiversityEngine,
+    /// Local host id → master host id (index = local id).
+    to_global: Vec<HostId>,
+}
+
+/// How hard a step's boundary coordination works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoordinationMode {
+    /// Nothing the step did can have leaked across shards: evaluate the
+    /// objective, run no rounds.
+    Skip,
+    /// Boundary labels moved but the cross structure did not: proposals
+    /// re-solve only the conditioned boundary region (cheap, the
+    /// steady-state serving path).
+    Light,
+    /// The cross structure changed or the engine is solving from cold:
+    /// proposals run [`MapSolver::refine_local`] on the shard's *full*
+    /// cross-augmented model, free to expand as far as flips carry
+    /// (expensive, the quality path).
+    Strong,
+}
+
+/// A zone-sharded diversity service over one evolving network (module
+/// docs).
+///
+/// The sharded engine is **unconstrained**: constraint sets are scoped to
+/// the single-engine pipeline ([`DiversityEngine::with_constraints`]) —
+/// remapping global constraint scopes into shard-local ones is future work.
+pub struct ShardedEngine {
+    master: Network,
+    catalog: Catalog,
+    similarity: ProductSimilarity,
+    partition: ZonePartition,
+    shards: Vec<Shard>,
+    /// Master host id → (shard index, local host id). Total: every master
+    /// host is owned by exactly one shard.
+    locator: Vec<(usize, HostId)>,
+    coordinator: Arc<dyn MapSolver>,
+    max_rounds: usize,
+    budget: Option<Duration>,
+    /// The composed global assignment of the last step.
+    last: Option<Assignment>,
+    /// Cached per-shard objective (model energy + base) of the current
+    /// labeling — kept in sync by every step so the global objective is a
+    /// sum plus the cross residual, not an O(model) re-encode per burst.
+    shard_objectives: Vec<f64>,
+}
+
+impl fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("revision", &self.master.revision())
+            .field("hosts", &self.master.host_count())
+            .field("shards", &self.shards.len())
+            .field("boundary_hosts", &self.partition.boundary().len())
+            .field("cross_links", &self.partition.cross_links().len())
+            .field("solved", &self.last.is_some())
+            .finish()
+    }
+}
+
+/// What routing one delta burst produced: the per-shard local sub-batches
+/// plus the shard/local-id assignments of hosts the burst adds.
+struct RoutePlan {
+    per_shard: Vec<Vec<NetworkDelta>>,
+    /// For each shard, the position in the *original* batch of each routed
+    /// delta — how a shard-local rejection maps back to the caller's
+    /// indices.
+    per_shard_indices: Vec<Vec<usize>>,
+    /// `(shard, local id)` per added host, in global-id order starting at
+    /// the pre-batch master host count.
+    new_hosts: Vec<(usize, HostId)>,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine over `network`, one shard per distinct zone
+    /// label (hosts without a label form one implicit shard). Construction
+    /// is lazy like [`DiversityEngine::new`]: shard models are built at the
+    /// first [`ShardedEngine::solve`] or [`ShardedEngine::apply_batch`].
+    ///
+    /// A single-zone network degenerates to one shard with an empty
+    /// boundary — the coordination loop never runs and results match the
+    /// unsharded engine exactly.
+    pub fn new(network: Network, catalog: Catalog, similarity: ProductSimilarity) -> ShardedEngine {
+        let partition = partition_by_zone(&network);
+        let mut locator = vec![(usize::MAX, HostId(0)); network.host_count()];
+        let mut shards = Vec::with_capacity(partition.shard_count());
+        for (idx, zone_shard) in partition.shards().iter().enumerate() {
+            let view = extract_shard(&network, &zone_shard.members);
+            for (local, &global) in view.to_global.iter().enumerate() {
+                locator[global.index()] = (idx, HostId(local as u32));
+            }
+            shards.push(Shard {
+                engine: DiversityEngine::new(view.network, catalog.clone(), similarity.clone()),
+                to_global: view.to_global,
+            });
+        }
+        let shard_count = shards.len();
+        let mut engine = ShardedEngine {
+            master: network,
+            catalog,
+            similarity,
+            partition,
+            shards,
+            locator,
+            coordinator: Arc::new(Ils::new(IlsOptions {
+                kicks: DEFAULT_COORDINATOR_KICKS,
+                ..IlsOptions::default()
+            })),
+            max_rounds: DEFAULT_COORDINATION_ROUNDS,
+            budget: None,
+            last: None,
+            shard_objectives: vec![0.0; shard_count],
+        };
+        engine.refresh_pinned();
+        engine
+    }
+
+    /// Re-pins every shard's boundary hosts against local warm re-solves:
+    /// a shard engine cannot value the cross-shard edges its boundary
+    /// hosts sit on, so only the coordination loop may move them (see
+    /// [`DiversityEngine::set_pinned_hosts`]). Called whenever the
+    /// partition changes.
+    fn refresh_pinned(&mut self) {
+        for s in 0..self.shards.len() {
+            let pinned: Vec<HostId> = self
+                .partition
+                .boundary_of_shard(s)
+                .map(|g| self.locator[g.index()].1)
+                .collect();
+            self.shards[s].engine.set_pinned_hosts(pinned);
+        }
+    }
+
+    /// Caps the boundary-coordination rounds per step (default
+    /// [`DEFAULT_COORDINATION_ROUNDS`]). `0` disables coordination
+    /// entirely — shards then ignore cross-shard links, trading objective
+    /// quality for latency.
+    pub fn with_max_rounds(mut self, rounds: usize) -> ShardedEngine {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets a wall-clock budget for each shard (re-)solve and each
+    /// coordination round's proposal solves.
+    pub fn with_time_budget(mut self, budget: Duration) -> ShardedEngine {
+        self.budget = Some(budget);
+        self.map_engines(|e| e.with_time_budget(budget))
+    }
+
+    /// Replaces every shard's cold-start solver (see
+    /// [`DiversityEngine::with_solver`]).
+    pub fn with_solver(self, kind: SolverKind) -> ShardedEngine {
+        self.map_engines(|e| e.with_solver(kind.clone()))
+    }
+
+    /// Sets the k-hop locality of every shard's warm re-solves (see
+    /// [`DiversityEngine::with_locality`]).
+    pub fn with_locality(self, k_hops: Option<usize>) -> ShardedEngine {
+        self.map_engines(|e| e.with_locality(k_hops))
+    }
+
+    /// Replaces the solver that refines *Strong* coordination proposals
+    /// (default: a bounded ILS, [`DEFAULT_COORDINATOR_KICKS`], whose
+    /// refinement both responds to cross-shard costs and closes the primal
+    /// gap the shards' TRW-S decodes leave). Light steady-state proposals
+    /// always use a greedy boundary sweep — they sit on every burst's
+    /// serving path.
+    pub fn with_coordinator(mut self, coordinator: Box<dyn MapSolver>) -> ShardedEngine {
+        self.coordinator = Arc::from(coordinator);
+        self
+    }
+
+    fn map_engines(mut self, f: impl Fn(DiversityEngine) -> DiversityEngine) -> ShardedEngine {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| Shard {
+                engine: f(s.engine),
+                to_global: s.to_global,
+            })
+            .collect();
+        self
+    }
+
+    /// The master network (all zones, cross-shard links included).
+    pub fn network(&self) -> &Network {
+        &self.master
+    }
+
+    /// The catalog backing delta validation.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The similarity matrix in use.
+    pub fn similarity(&self) -> &ProductSimilarity {
+        &self.similarity
+    }
+
+    /// The current zone partition (boundary set, cross links, ownership).
+    pub fn partition(&self) -> &ZonePartition {
+        &self.partition
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The master-network revision.
+    pub fn revision(&self) -> u64 {
+        self.master.revision()
+    }
+
+    /// The sub-network one shard serves (for inspection and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_network(&self, shard: usize) -> &Network {
+        self.shards[shard].engine.network()
+    }
+
+    /// The composed global MAP assignment, if any step has run. Indexed by
+    /// master host ids.
+    pub fn assignment(&self) -> Option<&Assignment> {
+        self.last.as_ref()
+    }
+
+    /// Solves every shard (cold the first time, warm afterwards) — in
+    /// parallel — and coordinates the boundary.
+    ///
+    /// # Errors
+    ///
+    /// Shard model construction errors (see [`DiversityEngine::solve`];
+    /// with no constraints, none arise for validated networks).
+    pub fn solve(&mut self) -> Result<ShardReport> {
+        let start = Instant::now();
+        let carried = self.last.clone();
+        let cached_previous = self.shard_objectives.clone();
+        let (reports, walls) = self.run_shards(None).map_err(|(_, e)| e)?;
+        self.refresh_cached_objectives(&reports);
+        let current = self.compose();
+        let (coordinated, coordination_changed, telemetry) =
+            self.coordinate(current, CoordinationMode::Strong, None);
+        self.commit_assignment(coordinated, coordination_changed);
+        let objective_before = carried
+            .as_ref()
+            .map(|c| self.carried_objective(&cached_previous, &reports, c));
+        Ok(self.report(
+            0,
+            Vec::new(),
+            reports,
+            walls,
+            telemetry,
+            objective_before,
+            carried,
+            start,
+        ))
+    }
+
+    /// Applies one delta end to end (routing, local re-solve, boundary
+    /// coordination). Equivalent to a one-delta
+    /// [`ShardedEngine::apply_batch`], except that validation errors
+    /// surface unwrapped (no [`netmodel::Error::BatchRejected`] envelope).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedEngine::apply_batch`].
+    pub fn apply(&mut self, delta: &NetworkDelta) -> Result<ShardReport> {
+        self.apply_batch(std::slice::from_ref(delta))
+            .map_err(|e| match e {
+                Error::Model(m) => Error::Model(m.into_batch_cause()),
+                other => other,
+            })
+    }
+
+    /// Absorbs a delta burst: validates it against the master network
+    /// (all-or-nothing), routes each delta to its owning shard (cross-shard
+    /// link deltas update the master and the partition only), lets the
+    /// touched shards absorb their sub-batches in parallel, and runs the
+    /// boundary-coordination loop when the burst could have affected other
+    /// shards (module docs).
+    ///
+    /// An empty batch degenerates to [`ShardedEngine::solve`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Model`] wrapping [`netmodel::Error::BatchRejected`] — a
+    ///   delta failed validation; the engine is untouched.
+    /// * [`Error::UnknownZone`] — an `AddHost` delta names a zone no shard
+    ///   owns; the engine is untouched.
+    pub fn apply_batch(&mut self, deltas: &[NetworkDelta]) -> Result<ShardReport> {
+        if deltas.is_empty() {
+            return self.solve();
+        }
+        if self.last.is_none() {
+            // Establish per-shard models and a carried baseline first, so
+            // the burst itself is measured as a warm absorption.
+            self.solve()?;
+        }
+        let start = Instant::now();
+        let slot_only = deltas.iter().all(|d| {
+            matches!(
+                d,
+                NetworkDelta::FixSlot { .. }
+                    | NetworkDelta::UnfixSlot { .. }
+                    | NetworkDelta::ExtendCandidates { .. }
+            )
+        });
+        let plan = self.route(deltas)?;
+        let cached_previous = self.shard_objectives.clone();
+        let old_cross = self.partition.cross_links().to_vec();
+        let old_boundary_rows = self.boundary_rows();
+
+        let shards_touched: Vec<usize> = plan
+            .per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(s, _)| s)
+            .collect();
+        let (reports, walls, effect) = if slot_only {
+            // Fast path: slot deltas never change topology or zones, and
+            // each one is validated transactionally by its owning shard —
+            // the master applies in place afterwards, skipping the
+            // full-network staging clone (the dominant fixed cost on the
+            // burst serving path).
+            if shards_touched.len() > 1 {
+                // Pre-validate every sub-batch so a late shard rejection
+                // cannot leave an earlier shard committed.
+                for &s in &shards_touched {
+                    let mut scratch = self.shards[s].engine.network().clone();
+                    if let Err(e) = scratch.apply_all(&plan.per_shard[s], &self.catalog) {
+                        return Err(remap_shard_error(&plan, s, Error::Model(e)));
+                    }
+                }
+            }
+            let (reports, walls) = self
+                .run_shards(Some(&plan.per_shard))
+                .map_err(|(s, e)| remap_shard_error(&plan, s, e))?;
+            let effect = self
+                .master
+                .apply_all(deltas, &self.catalog)
+                .expect("slot burst was validated by its owning shards");
+            (reports, walls, effect)
+        } else {
+            let mut staged = self.master.clone();
+            let effect = staged
+                .apply_all(deltas, &self.catalog)
+                .map_err(Error::Model)?;
+            let (reports, walls) = self
+                .run_shards(Some(&plan.per_shard))
+                .map_err(|(s, e)| remap_shard_error(&plan, s, e))?;
+            self.master = staged;
+            (reports, walls, effect)
+        };
+        // Every fallible step is behind us: from here on the burst commits.
+        // Move the previous assignment out instead of cloning it — it
+        // becomes the base of the carried composition, and `self.last` is
+        // rewritten by `commit_assignment` at the end of the step. (Taking
+        // it any earlier would leak it on a rejected burst, breaking the
+        // engine-is-untouched error contract.)
+        let carried_previous = self.last.take();
+        self.refresh_cached_objectives(&reports);
+
+        // Commit id mappings and the partition (the partition is a pure
+        // function of links and zones — slot-only bursts reuse it).
+        for (i, &(shard, local)) in plan.new_hosts.iter().enumerate() {
+            debug_assert_eq!(self.shards[shard].to_global.len(), local.index());
+            let global = HostId(self.locator.len() as u32);
+            debug_assert_eq!(
+                global.index(),
+                self.master.host_count() - plan.new_hosts.len() + i
+            );
+            self.locator.push((shard, local));
+            self.shards[shard].to_global.push(global);
+        }
+        if effect.topology_changed {
+            self.partition = partition_by_zone(&self.master);
+            self.refresh_pinned();
+        }
+
+        // Coordinate only when the burst could have leaked across shards —
+        // and only as hard as the leak warrants: a rewired cross structure
+        // gets the full-model Strong pass, while a mere boundary-label
+        // wobble (a local re-solve moving a boundary host) gets the cheap
+        // conditioned-region Light pass.
+        let current = self.compose();
+        let cross_changed = old_cross != self.partition.cross_links();
+        let touched_boundary = effect
+            .touched
+            .iter()
+            .any(|&h| self.partition.is_boundary(h));
+        let boundary_label_changed = {
+            let new_rows = self.boundary_rows_of(&current);
+            new_rows != old_boundary_rows
+        };
+        // Boundary hosts are pinned against local re-solves, so their own
+        // labels only move here — but a re-solve changing their *interior
+        // neighbors* (or a structural touch at the boundary itself) shifts
+        // what that shard's boundary best response is. `stale` flags
+        // exactly those shards, per shard.
+        let stale: Vec<bool> = {
+            let mut changed = std::collections::HashSet::new();
+            for (s, report) in reports.iter().enumerate() {
+                let Some(report) = report else { continue };
+                for &local in &report.changed_hosts {
+                    changed.insert(self.shards[s].to_global[local.index()]);
+                }
+            }
+            (0..self.shards.len())
+                .map(|s| {
+                    self.partition.boundary_of_shard(s).any(|b| {
+                        effect.touched.contains(&b)
+                            || self.master.neighbors(b).iter().any(|n| changed.contains(n))
+                    })
+                })
+                .collect()
+        };
+        let mode = if cross_changed {
+            CoordinationMode::Strong
+        } else if touched_boundary || boundary_label_changed || stale.iter().any(|&s| s) {
+            CoordinationMode::Light
+        } else {
+            CoordinationMode::Skip
+        };
+        // A trigger outside the per-shard stale flags (a boundary row that
+        // moved structurally) re-opens every shard.
+        let stale_filter = (!(touched_boundary || boundary_label_changed)
+            && mode == CoordinationMode::Light)
+            .then_some(stale.as_slice());
+        let (coordinated, coordination_changed, telemetry) =
+            self.coordinate(current, mode, stale_filter);
+        self.commit_assignment(coordinated, coordination_changed);
+
+        // The carried composition: touched shards contribute their
+        // projected old assignment, untouched shards their (unchanged)
+        // previous one.
+        let carried = carried_previous.map(|previous| {
+            let mut rows = previous.into_slots();
+            rows.resize(self.master.host_count(), Vec::new());
+            for (s, report) in reports.iter().enumerate() {
+                let Some(report) = report else { continue };
+                if let Some(shard_carried) = &report.carried {
+                    for (local, &global) in self.shards[s].to_global.iter().enumerate() {
+                        rows[global.index()] =
+                            shard_carried.products_at(HostId(local as u32)).to_vec();
+                    }
+                }
+            }
+            Assignment::from_slots(rows)
+        });
+        let objective_before = carried
+            .as_ref()
+            .map(|c| self.carried_objective(&cached_previous, &reports, c));
+        Ok(self.report(
+            effect.applied,
+            shards_touched,
+            reports,
+            walls,
+            telemetry,
+            objective_before,
+            carried,
+            start,
+        ))
+    }
+
+    /// The global objective of any assignment over the master network:
+    /// shard model energies plus the cross-link similarity residual
+    /// (module docs). Meaningful once every shard has a model (i.e. after
+    /// any step).
+    pub fn global_objective(&self, assignment: &Assignment) -> f64 {
+        let mut total = self.cross_residual(assignment);
+        for (s, shard) in self.shards.iter().enumerate() {
+            let energy = shard.engine.energy();
+            let labels = self.encode_shard(s, assignment);
+            total += energy.model().energy(&labels) + energy.base_energy();
+        }
+        total
+    }
+
+    fn control(&self) -> SolveControl {
+        match self.budget {
+            Some(budget) => SolveControl::new().with_budget(budget),
+            None => SolveControl::new(),
+        }
+    }
+
+    /// Syncs the cached per-shard objectives with the shards that just
+    /// re-solved.
+    fn refresh_cached_objectives(&mut self, reports: &[Option<ReassignmentReport>]) {
+        for (s, report) in reports.iter().enumerate() {
+            if let Some(report) = report {
+                self.shard_objectives[s] = report.objective_after;
+            }
+        }
+    }
+
+    /// The global objective of the carried composition, from cached parts:
+    /// shards that re-solved contribute the carried objective their own
+    /// report measured; untouched shards contribute their pre-step cached
+    /// objective (their model and labels did not move).
+    fn carried_objective(
+        &self,
+        cached_previous: &[f64],
+        reports: &[Option<ReassignmentReport>],
+        carried: &Assignment,
+    ) -> f64 {
+        let mut total = self.cross_residual(carried);
+        for s in 0..self.shards.len() {
+            total += match &reports[s] {
+                Some(report) => report.objective_before.unwrap_or(cached_previous[s]),
+                None => cached_previous[s],
+            };
+        }
+        total
+    }
+
+    /// Runs the shards' local steps in parallel: `solve()` on every shard
+    /// when `batches` is `None`, `apply_batch(batch)` on shards with a
+    /// non-empty sub-batch otherwise. An error is tagged with the shard it
+    /// came from so the caller can map sub-batch indices back to the
+    /// original burst.
+    #[allow(clippy::type_complexity)]
+    fn run_shards(
+        &mut self,
+        batches: Option<&[Vec<NetworkDelta>]>,
+    ) -> std::result::Result<(Vec<Option<ReassignmentReport>>, Vec<Duration>), (usize, Error)> {
+        // A burst confined to one shard needs no threads — spawn/join would
+        // cost more than they buy on the serving path.
+        if let Some(per_shard) = batches {
+            let working: Vec<usize> = per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .map(|(s, _)| s)
+                .collect();
+            if let [only] = working[..] {
+                let mut reports = vec![None; self.shards.len()];
+                let mut walls = vec![Duration::ZERO; self.shards.len()];
+                let t = Instant::now();
+                let report = self.shards[only]
+                    .engine
+                    .apply_batch(&per_shard[only])
+                    .map_err(|e| (only, e))?;
+                walls[only] = t.elapsed();
+                reports[only] = Some(report);
+                return Ok((reports, walls));
+            }
+        }
+        let mut outcomes: Vec<Option<(Result<ReassignmentReport>, Duration)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(s, shard)| {
+                    let work: Option<Option<&[NetworkDelta]>> = match batches {
+                        None => Some(None),
+                        Some(per_shard) if !per_shard[s].is_empty() => {
+                            Some(Some(per_shard[s].as_slice()))
+                        }
+                        Some(_) => None,
+                    };
+                    work.map(|batch| {
+                        scope.spawn(move || {
+                            let t = Instant::now();
+                            let result = match batch {
+                                None => shard.engine.solve(),
+                                Some(deltas) => shard.engine.apply_batch(deltas),
+                            };
+                            (result, t.elapsed())
+                        })
+                    })
+                })
+                .collect();
+            outcomes = handles
+                .into_iter()
+                .map(|h| h.map(|h| h.join().expect("shard step does not panic")))
+                .collect();
+        });
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut walls = Vec::with_capacity(outcomes.len());
+        for (s, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some((result, wall)) => {
+                    reports.push(Some(result.map_err(|e| (s, e))?));
+                    walls.push(wall);
+                }
+                None => {
+                    reports.push(None);
+                    walls.push(Duration::ZERO);
+                }
+            }
+        }
+        Ok((reports, walls))
+    }
+
+    /// Splits a burst into per-shard local sub-batches (host ids
+    /// remapped), leaving cross-shard link deltas to the master. Rejects
+    /// unknown zones and out-of-range host references; everything else is
+    /// validated by the shard (and, for structural bursts, master) apply.
+    fn route(&self, deltas: &[NetworkDelta]) -> Result<RoutePlan> {
+        let mut per_shard: Vec<Vec<NetworkDelta>> = vec![Vec::new(); self.shards.len()];
+        let mut per_shard_indices: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut new_hosts: Vec<(usize, HostId)> = Vec::new();
+        let mut next_local: Vec<u32> = self
+            .shards
+            .iter()
+            .map(|s| s.engine.network().host_count() as u32)
+            .collect();
+        let base_global = self.master.host_count();
+        let lookup = |h: HostId, new_hosts: &[(usize, HostId)]| -> Result<(usize, HostId)> {
+            if h.index() < self.locator.len() {
+                Ok(self.locator[h.index()])
+            } else {
+                // Hosts this very burst added, or a bogus reference.
+                new_hosts
+                    .get(h.index() - base_global)
+                    .copied()
+                    .ok_or(Error::Model(netmodel::Error::UnknownHost(h)))
+            }
+        };
+        for (index, delta) in deltas.iter().enumerate() {
+            let routed: Option<(usize, NetworkDelta)> = match delta {
+                NetworkDelta::AddHost {
+                    name,
+                    zone,
+                    services,
+                    links,
+                } => {
+                    let shard = self
+                        .partition
+                        .shard_of_zone(zone.as_deref())
+                        .ok_or_else(|| Error::UnknownZone { zone: zone.clone() })?;
+                    // Same-shard links join the shard sub-network; links to
+                    // other shards exist only in the master and surface as
+                    // cross links (boundary promotion) after the commit.
+                    let mut local_links = Vec::new();
+                    for &peer in links {
+                        let (s, local) = lookup(peer, &new_hosts)?;
+                        if s == shard {
+                            local_links.push(local);
+                        }
+                    }
+                    new_hosts.push((shard, HostId(next_local[shard])));
+                    next_local[shard] += 1;
+                    Some((
+                        shard,
+                        NetworkDelta::AddHost {
+                            name: name.clone(),
+                            zone: zone.clone(),
+                            services: services.clone(),
+                            links: local_links,
+                        },
+                    ))
+                }
+                NetworkDelta::RemoveHost { host } => {
+                    let (s, local) = lookup(*host, &new_hosts)?;
+                    Some((s, NetworkDelta::remove_host(local)))
+                }
+                NetworkDelta::AddLink { a, b } | NetworkDelta::RemoveLink { a, b } => {
+                    let (sa, la) = lookup(*a, &new_hosts)?;
+                    let (sb, lb) = lookup(*b, &new_hosts)?;
+                    if sa == sb {
+                        Some((
+                            sa,
+                            match delta {
+                                NetworkDelta::AddLink { .. } => NetworkDelta::add_link(la, lb),
+                                _ => NetworkDelta::remove_link(la, lb),
+                            },
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                NetworkDelta::FixSlot {
+                    host,
+                    service,
+                    product,
+                } => {
+                    let (s, local) = lookup(*host, &new_hosts)?;
+                    Some((s, NetworkDelta::fix_slot(local, *service, *product)))
+                }
+                NetworkDelta::UnfixSlot {
+                    host,
+                    service,
+                    candidates,
+                } => {
+                    let (s, local) = lookup(*host, &new_hosts)?;
+                    Some((
+                        s,
+                        NetworkDelta::unfix_slot(local, *service, candidates.clone()),
+                    ))
+                }
+                NetworkDelta::ExtendCandidates {
+                    host,
+                    service,
+                    products,
+                } => {
+                    let (s, local) = lookup(*host, &new_hosts)?;
+                    Some((
+                        s,
+                        NetworkDelta::extend_candidates(local, *service, products.clone()),
+                    ))
+                }
+            };
+            if let Some((s, local_delta)) = routed {
+                per_shard[s].push(local_delta);
+                per_shard_indices[s].push(index);
+            }
+        }
+        Ok(RoutePlan {
+            per_shard,
+            per_shard_indices,
+            new_hosts,
+        })
+    }
+
+    /// Composes the global assignment from the shards' current ones.
+    fn compose(&self) -> Assignment {
+        let mut rows: Vec<Vec<netmodel::ProductId>> = vec![Vec::new(); self.master.host_count()];
+        for shard in &self.shards {
+            let assignment = shard
+                .engine
+                .assignment()
+                .expect("compose runs only after every shard has solved");
+            for (local, &global) in shard.to_global.iter().enumerate() {
+                rows[global.index()] = assignment.products_at(HostId(local as u32)).to_vec();
+            }
+        }
+        Assignment::from_slots(rows)
+    }
+
+    /// Writes the step's global assignment back: the whole into
+    /// `self.last`, and — only when coordination actually changed labels —
+    /// each shard's slice into its engine so the next warm start continues
+    /// from the coordinated labeling (when nothing changed, the engines
+    /// already hold exactly these labels).
+    fn commit_assignment(&mut self, global: Assignment, coordination_changed: bool) {
+        if coordination_changed {
+            for shard in &mut self.shards {
+                let rows: Vec<Vec<netmodel::ProductId>> = shard
+                    .to_global
+                    .iter()
+                    .map(|&g| global.products_at(g).to_vec())
+                    .collect();
+                shard.engine.set_assignment(Assignment::from_slots(rows));
+            }
+        }
+        self.last = Some(global);
+    }
+
+    /// The boundary hosts' current product rows (the state compared across
+    /// a step to decide whether coordination is needed).
+    fn boundary_rows(&self) -> Vec<(HostId, Vec<netmodel::ProductId>)> {
+        match &self.last {
+            Some(assignment) => self.boundary_rows_of(assignment),
+            None => Vec::new(),
+        }
+    }
+
+    fn boundary_rows_of(&self, assignment: &Assignment) -> Vec<(HostId, Vec<netmodel::ProductId>)> {
+        self.partition
+            .boundary()
+            .iter()
+            .map(|&h| (h, assignment.products_at(h).to_vec()))
+            .collect()
+    }
+
+    /// Encodes `assignment`'s products at shard `s`'s hosts into that
+    /// shard's model labels.
+    fn encode_shard(&self, s: usize, assignment: &Assignment) -> Vec<usize> {
+        let shard = &self.shards[s];
+        let energy = shard.engine.energy();
+        let mut labels = vec![0usize; energy.model().var_count()];
+        for (local, host_slots) in energy.slots().iter().enumerate() {
+            let global = shard.to_global[local];
+            let row = assignment.products_at(global);
+            for (slot, binding) in host_slots.iter().enumerate() {
+                if let SlotBinding::Variable { var, candidates } = binding {
+                    labels[var.0] = candidates
+                        .iter()
+                        .position(|p| Some(p) == row.get(slot))
+                        .expect("assignment product is a current candidate");
+                }
+            }
+        }
+        labels
+    }
+
+    /// Σ over cross-shard links of the assignment-level similarity — the
+    /// part of the objective no shard model sees.
+    fn cross_residual(&self, assignment: &Assignment) -> f64 {
+        self.partition
+            .cross_links()
+            .iter()
+            .map(|&(a, b)| assignment.edge_similarity(&self.master, &self.similarity, a, b))
+            .sum()
+    }
+
+    /// The shard's boundary slot variables with what the cross-cost fold
+    /// needs to know about each: the owning (global) host, the slot's
+    /// service, and its candidate list.
+    #[allow(clippy::type_complexity)]
+    fn boundary_entries(
+        &self,
+        s: usize,
+    ) -> Vec<(
+        VarId,
+        HostId,
+        netmodel::ServiceId,
+        Arc<Vec<netmodel::ProductId>>,
+    )> {
+        let shard = &self.shards[s];
+        let energy = shard.engine.energy();
+        let mut entries = Vec::new();
+        for global in self.partition.boundary_of_shard(s) {
+            let (_, local) = self.locator[global.index()];
+            let Ok(host) = shard.engine.network().host(local) else {
+                continue;
+            };
+            let Some(host_slots) = energy.slots().get(local.index()) else {
+                continue;
+            };
+            for (slot, binding) in host_slots.iter().enumerate() {
+                if let SlotBinding::Variable { var, candidates } = binding {
+                    entries.push((
+                        *var,
+                        global,
+                        host.services()[slot].service(),
+                        Arc::clone(candidates),
+                    ));
+                }
+            }
+        }
+        entries
+    }
+
+    /// A Light coordination proposal: a greedy masked sweep *in place* on
+    /// the shard model, seeded at the boundary variables, with the
+    /// cross-shard edge costs against the neighbors' frozen labels added
+    /// as per-variable cost addons. Flips activate intra-shard neighbors
+    /// (which carry no addon — their cross cost is zero by definition of
+    /// the boundary), so the sweep expands exactly as far as the response
+    /// wave carries. No submodel, no allocation beyond the label vector:
+    /// cheap enough to run on every burst.
+    fn light_proposal(
+        &self,
+        s: usize,
+        start: &[usize],
+        global: &Assignment,
+        boundary: &[(
+            VarId,
+            HostId,
+            netmodel::ServiceId,
+            Arc<Vec<netmodel::ProductId>>,
+        )],
+    ) -> Vec<usize> {
+        let shard = &self.shards[s];
+        let model = shard.engine.energy().model();
+        let n = model.var_count();
+        let addon = self.cross_addons(n, global, boundary);
+        let mut labels = start.to_vec();
+        let mut active = vec![false; n];
+        for (var, ..) in boundary {
+            if var.0 < n {
+                active[var.0] = true;
+            }
+        }
+        let mut cost = vec![0.0f64; model.max_labels()];
+        const LIGHT_SWEEPS: usize = 8;
+        for _ in 0..LIGHT_SWEEPS {
+            let mut changed = false;
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                let l = model.labels(VarId(i));
+                cost[..l].copy_from_slice(model.unary(VarId(i)));
+                for &eidx in model.incident_edges(VarId(i)) {
+                    let edge = model.edges()[eidx as usize];
+                    if edge.a().0 == i {
+                        let xb = labels[edge.b().0];
+                        for (xa, c) in cost[..l].iter_mut().enumerate() {
+                            *c += model.edge_cost(&edge, xa, xb);
+                        }
+                    } else {
+                        let xa = labels[edge.a().0];
+                        for (xb, c) in cost[..l].iter_mut().enumerate() {
+                            *c += model.edge_cost(&edge, xa, xb);
+                        }
+                    }
+                }
+                if let Some(extra) = &addon[i] {
+                    for (x, c) in cost[..l].iter_mut().enumerate() {
+                        *c += extra[x];
+                    }
+                }
+                let best = cost[..l]
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(x, _)| x)
+                    .unwrap_or(0);
+                if best != labels[i] && cost[best] < cost[labels[i]] {
+                    labels[i] = best;
+                    changed = true;
+                    for &eidx in model.incident_edges(VarId(i)) {
+                        let edge = model.edges()[eidx as usize];
+                        let other = if edge.a().0 == i {
+                            edge.b().0
+                        } else {
+                            edge.a().0
+                        };
+                        active[other] = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        labels
+    }
+
+    /// The cross-shard cost addon per variable of a shard, against the
+    /// neighbors' current (frozen) labels in `global`: for each boundary
+    /// variable, the extra unary cost each candidate pays over that host's
+    /// cross links. The single source of truth for the residual fold — the
+    /// Strong augmentation and the Light sweep must optimize the same
+    /// objective or the accept-only-if-better invariant silently breaks.
+    #[allow(clippy::type_complexity)]
+    fn cross_addons(
+        &self,
+        var_count: usize,
+        global: &Assignment,
+        boundary: &[(
+            VarId,
+            HostId,
+            netmodel::ServiceId,
+            Arc<Vec<netmodel::ProductId>>,
+        )],
+    ) -> Vec<Option<Vec<f64>>> {
+        let mut addon: Vec<Option<Vec<f64>>> = vec![None; var_count];
+        for (var, ghost, service, candidates) in boundary {
+            let mut extra = vec![0.0; candidates.len()];
+            let mut any = false;
+            for &(a, b) in self.partition.cross_links() {
+                let peer = if a == *ghost {
+                    b
+                } else if b == *ghost {
+                    a
+                } else {
+                    continue;
+                };
+                let Some(pb) = global.product_for(&self.master, peer, *service) else {
+                    continue;
+                };
+                for (label, &candidate) in candidates.iter().enumerate() {
+                    extra[label] += self.similarity.get(candidate, pb);
+                }
+                any = true;
+            }
+            if any {
+                addon[var.0] = Some(extra);
+            }
+        }
+        addon
+    }
+
+    /// Builds shard `s`'s *full* model with the cross-shard edge costs
+    /// against the neighbors' current labels folded into the boundary
+    /// variables' unaries — the Strong coordination path's model, on which
+    /// [`MapSolver::refine_local`] is free to expand from the boundary as
+    /// far as flips carry (up to a full shard sweep).
+    fn augmented_full_model(&self, s: usize, global: &Assignment) -> MrfModel {
+        let shard = &self.shards[s];
+        let energy = shard.engine.energy();
+        let model = energy.model();
+        let addons = self.cross_addons(model.var_count(), global, &self.boundary_entries(s));
+        let mut builder = MrfBuilder::new();
+        for v in 0..model.var_count() {
+            builder.add_variable(model.labels(VarId(v)));
+        }
+        for (v, addon) in addons.iter().enumerate() {
+            let mut unary = model.unary(VarId(v)).to_vec();
+            if let Some(extra) = addon {
+                for (label, u) in unary.iter_mut().enumerate() {
+                    *u += extra[label];
+                }
+            }
+            builder
+                .set_unary(VarId(v), unary)
+                .expect("arity is copied from the shard model");
+        }
+        for edge in model.edges() {
+            let (la, lb) = (model.labels(edge.a()), model.labels(edge.b()));
+            let mut costs = Vec::with_capacity(la * lb);
+            for xa in 0..la {
+                for xb in 0..lb {
+                    costs.push(model.edge_cost(edge, xa, xb));
+                }
+            }
+            builder
+                .add_edge_dense(edge.a(), edge.b(), costs)
+                .expect("edges are copied from the shard model");
+        }
+        builder.build()
+    }
+
+    /// The boundary-coordination loop (module docs). Returns the (possibly
+    /// improved) global assignment, whether any proposal was accepted, and
+    /// `(rounds, boundary flips, wall, objective)`; syncs the cached
+    /// per-shard objectives. With mode `Skip` (or no cross links, or a
+    /// zero round cap) it only evaluates the objective from the cached
+    /// parts. `stale`, when given, restricts the *first* round's proposals
+    /// to the flagged shards — the only ones whose boundary best-response
+    /// can have changed; an accepted proposal re-opens every shard for the
+    /// following rounds.
+    #[allow(clippy::type_complexity)]
+    fn coordinate(
+        &mut self,
+        current: Assignment,
+        mode: CoordinationMode,
+        stale: Option<&[bool]>,
+    ) -> (Assignment, bool, (usize, usize, Duration, f64)) {
+        let wall = Instant::now();
+        let mut global = current;
+        if mode == CoordinationMode::Skip
+            || self.partition.cross_links().is_empty()
+            || self.max_rounds == 0
+        {
+            let objective =
+                self.shard_objectives.iter().sum::<f64>() + self.cross_residual(&global);
+            return (global, false, (0, 0, wall.elapsed(), objective));
+        }
+        let shard_count = self.shards.len();
+        let mut labels: Vec<Option<Vec<usize>>> = vec![None; shard_count];
+        let mut shard_energies = self.shard_objectives.clone();
+        let mut residual = self.cross_residual(&global);
+        let mut total: f64 = shard_energies.iter().sum::<f64>() + residual;
+        let boundary_entries: Vec<_> = (0..shard_count).map(|s| self.boundary_entries(s)).collect();
+        let mut rounds = 0usize;
+        let mut flips = 0usize;
+        let mut any_accepted = false;
+        for round in 0..self.max_rounds {
+            rounds += 1;
+            // A fresh control per round: the configured wall-clock budget
+            // bounds each round's proposal solves, not the whole loop.
+            let ctl = self.control();
+            let proposes = |s: usize| {
+                !boundary_entries[s].is_empty() && (round > 0 || stale.is_none_or(|st| st[s]))
+            };
+            for s in (0..shard_count).filter(|&s| proposes(s)) {
+                if labels[s].is_none() {
+                    labels[s] = Some(self.encode_shard(s, &global));
+                }
+            }
+            // Proposals: each boundary shard re-solves against its
+            // neighbors' frozen labels. Strong mode refines the full
+            // cross-augmented shard model on parallel threads (quality);
+            // Light mode runs a greedy in-place boundary sweep inline —
+            // it sits on every burst's serving path, and at that size
+            // thread spawns would cost more than the work.
+            let mut proposals: Vec<Option<Vec<usize>>> = vec![None; shard_count];
+            match mode {
+                CoordinationMode::Strong => {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..shard_count)
+                            .map(|s| {
+                                if !proposes(s) {
+                                    return None;
+                                }
+                                let start_labels = labels[s].clone().expect("encoded above");
+                                let global_ref = &global;
+                                let coordinator = Arc::clone(&self.coordinator);
+                                let ctl = ctl.clone();
+                                let this = &*self;
+                                let frontier: Vec<VarId> =
+                                    boundary_entries[s].iter().map(|e| e.0).collect();
+                                Some(scope.spawn(move || {
+                                    let augmented = this.augmented_full_model(s, global_ref);
+                                    coordinator
+                                        .refine_local(&augmented, start_labels, &frontier, &ctl)
+                                        .solution
+                                        .labels()
+                                        .to_vec()
+                                }))
+                            })
+                            .collect();
+                        for (s, handle) in handles.into_iter().enumerate() {
+                            if let Some(handle) = handle {
+                                proposals[s] =
+                                    Some(handle.join().expect("proposal does not panic"));
+                            }
+                        }
+                    });
+                }
+                _ => {
+                    for s in 0..shard_count {
+                        if !proposes(s) {
+                            continue;
+                        }
+                        proposals[s] = Some(self.light_proposal(
+                            s,
+                            labels[s].as_ref().expect("encoded above"),
+                            &global,
+                            &boundary_entries[s],
+                        ));
+                    }
+                }
+            }
+            // Sequential splice, accepted only on strict global
+            // improvement — the monotonicity guarantee.
+            let mut accepted = 0usize;
+            for (s, proposal) in proposals.into_iter().enumerate() {
+                let Some(proposal) = proposal else { continue };
+                if Some(&proposal) == labels[s].as_ref() {
+                    continue;
+                }
+                let energy = self.shards[s].engine.energy();
+                let candidate_shard_energy =
+                    energy.model().energy(&proposal) + energy.base_energy();
+                let local_rows = energy.decode(&proposal);
+                let mut candidate_rows = global.clone().into_slots();
+                candidate_rows.resize(self.master.host_count(), Vec::new());
+                for (local, &g) in self.shards[s].to_global.iter().enumerate() {
+                    candidate_rows[g.index()] =
+                        local_rows.products_at(HostId(local as u32)).to_vec();
+                }
+                let candidate = Assignment::from_slots(candidate_rows);
+                let candidate_residual = self.cross_residual(&candidate);
+                let candidate_total = total - shard_energies[s] - residual
+                    + candidate_shard_energy
+                    + candidate_residual;
+                if candidate_total < total - 1e-12 {
+                    flips += self
+                        .partition
+                        .boundary_of_shard(s)
+                        .filter(|&h| global.products_at(h) != candidate.products_at(h))
+                        .count();
+                    labels[s] = Some(proposal);
+                    shard_energies[s] = candidate_shard_energy;
+                    residual = candidate_residual;
+                    total = candidate_total;
+                    global = candidate;
+                    accepted += 1;
+                }
+            }
+            if accepted == 0 {
+                break;
+            }
+            any_accepted = true;
+        }
+        self.shard_objectives = shard_energies;
+        (global, any_accepted, (rounds, flips, wall.elapsed(), total))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        deltas_applied: usize,
+        shards_touched: Vec<usize>,
+        shard_reports: Vec<Option<ReassignmentReport>>,
+        per_shard_solve: Vec<Duration>,
+        telemetry: (usize, usize, Duration, f64),
+        objective_before: Option<f64>,
+        carried: Option<Assignment>,
+        start: Instant,
+    ) -> ShardReport {
+        let (rounds, boundary_flips, coordination_wall, objective) = telemetry;
+        ShardReport {
+            revision: self.master.revision(),
+            deltas_applied,
+            shards_touched,
+            shard_reports,
+            per_shard_solve,
+            rounds,
+            boundary_flips,
+            boundary_hosts: self.partition.boundary().len(),
+            cross_links: self.partition.cross_links().len(),
+            objective_before,
+            objective,
+            carried,
+            coordination_wall,
+            total_wall: start.elapsed(),
+        }
+    }
+}
+
+/// Maps a shard-local [`netmodel::Error::BatchRejected`] index back to the
+/// caller's position in the original burst.
+fn remap_shard_error(plan: &RoutePlan, shard: usize, error: Error) -> Error {
+    match error {
+        Error::Model(netmodel::Error::BatchRejected { index, cause }) => {
+            Error::Model(netmodel::Error::BatchRejected {
+                index: plan.per_shard_indices[shard]
+                    .get(index)
+                    .copied()
+                    .unwrap_or(index),
+                cause,
+            })
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::catalog::Catalog;
+    use netmodel::network::NetworkBuilder;
+    use netmodel::topology::{generate_zoned, TopologyKind, ZonedNetworkConfig};
+
+    fn zoned(zones: usize, hosts_per_zone: usize, seed: u64) -> ShardedEngine {
+        let g = generate_zoned(
+            &ZonedNetworkConfig {
+                zones,
+                hosts_per_zone,
+                gateway_links: 2,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            seed,
+        );
+        ShardedEngine::new(g.network, g.catalog, g.similarity)
+    }
+
+    /// Two single-host zones joined by one cross link; one service with two
+    /// products whose similarity strongly punishes agreement. Local solves
+    /// cannot see the cross link, so both shards pick the (identical)
+    /// unary-argmin product — only coordination can break the tie.
+    fn two_host_gateway() -> ShardedEngine {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let p0 = c.add_product("p0", os).unwrap();
+        let p1 = c.add_product("p1", os).unwrap();
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host_in_zone("a", "A");
+        let z = b.add_host_in_zone("z", "B");
+        b.add_service(a, os, vec![p0, p1]).unwrap();
+        b.add_service(z, os, vec![p0, p1]).unwrap();
+        b.add_link(a, z).unwrap();
+        let net = b.build(&c).unwrap();
+        // sim(p,p) = 1, sim(p0,p1) = 0.1.
+        let sim = netmodel::catalog::ProductSimilarity::from_dense(2, vec![1.0, 0.1, 0.1, 1.0]);
+        ShardedEngine::new(net, c, sim)
+    }
+
+    fn single_engine_of(sharded: &ShardedEngine) -> DiversityEngine {
+        DiversityEngine::new(
+            sharded.network().clone(),
+            sharded.catalog().clone(),
+            sharded.similarity().clone(),
+        )
+    }
+
+    /// The objective identity of the module docs: the sharded
+    /// decomposition evaluated on the sharded assignment equals the full
+    /// single-network model's energy on the same assignment.
+    fn full_model_objective(sharded: &ShardedEngine, assignment: &Assignment) -> f64 {
+        use crate::energy::build_energy;
+        use netmodel::constraints::ConstraintSet;
+        let energy = build_energy(
+            sharded.network(),
+            sharded.similarity(),
+            &ConstraintSet::new(),
+            crate::energy::EnergyParams::default(),
+        )
+        .unwrap();
+        let mut labels = vec![0usize; energy.model().var_count()];
+        for (host, host_slots) in energy.slots().iter().enumerate() {
+            let row = assignment.products_at(HostId(host as u32));
+            for (slot, binding) in host_slots.iter().enumerate() {
+                if let SlotBinding::Variable { var, candidates } = binding {
+                    labels[var.0] = candidates
+                        .iter()
+                        .position(|p| Some(p) == row.get(slot))
+                        .expect("assignment product is a candidate");
+                }
+            }
+        }
+        energy.model().energy(&labels) + energy.base_energy()
+    }
+
+    #[test]
+    fn coordination_breaks_the_gateway_tie() {
+        let mut engine = two_host_gateway();
+        let report = engine.solve().unwrap();
+        assert_eq!(engine.shard_count(), 2);
+        assert_eq!(report.cross_links, 1);
+        assert_eq!(report.boundary_hosts, 2);
+        assert!(report.rounds >= 1, "cross links must trigger coordination");
+        assert!(
+            report.boundary_flips >= 1,
+            "one endpoint must flip away from the shared argmin"
+        );
+        let assignment = engine.assignment().unwrap();
+        assert_ne!(
+            assignment.products_at(HostId(0)),
+            assignment.products_at(HostId(1)),
+            "coordinated endpoints must diversify"
+        );
+        // Prconst × 2 + sim(p0, p1).
+        assert!((report.objective - (0.02 + 0.1)).abs() < 1e-9);
+        // And the decomposition matches the full single-network model.
+        let full = full_model_objective(&engine, assignment);
+        assert!((full - report.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_objective_matches_single_engine_within_tolerance() {
+        for seed in [3u64, 7, 21] {
+            let mut sharded = zoned(2, 20, seed);
+            let mut single = single_engine_of(&sharded);
+            let sharded_report = sharded.solve().unwrap();
+            let single_report = single.solve().unwrap();
+            // Identity: the reported objective is the true full-model
+            // objective of the composed assignment.
+            let full = full_model_objective(&sharded, sharded.assignment().unwrap());
+            assert!(
+                (full - sharded_report.objective).abs() < 1e-9,
+                "decomposition identity broke: {} vs {}",
+                full,
+                sharded_report.objective
+            );
+            // Quality: close to the single-engine solve. At these tiny
+            // 20-host zones the gap is dominated by decode variance, so
+            // the bound is loose; the binding 1% acceptance check runs at
+            // §VIII scale in `tests/tests/sharded.rs`, where the ILS
+            // Strong pass typically lands *below* the single engine.
+            let gap = (sharded_report.objective - single_report.objective_after)
+                / single_report.objective_after.abs().max(1e-9);
+            assert!(
+                gap < 0.05,
+                "seed {seed}: sharded {:.4} vs single {:.4} (gap {:.2}%)",
+                sharded_report.objective,
+                single_report.objective_after,
+                100.0 * gap
+            );
+        }
+    }
+
+    #[test]
+    fn interior_burst_routes_to_one_shard_and_leaves_the_other_untouched() {
+        let mut engine = zoned(2, 20, 5);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        // Interior hosts of zone 0 (not boundary).
+        let targets: Vec<HostId> = (0..20u32)
+            .map(HostId)
+            .filter(|&h| !engine.partition().is_boundary(h))
+            .take(4)
+            .collect();
+        let deltas: Vec<NetworkDelta> = targets
+            .iter()
+            .map(|&h| {
+                let p = engine
+                    .network()
+                    .host(h)
+                    .unwrap()
+                    .candidates_for(os)
+                    .unwrap()[1];
+                NetworkDelta::fix_slot(h, os, p)
+            })
+            .collect();
+        let other_before = engine.shard_network(1).clone();
+        let other_revision = engine.shard_network(1).revision();
+        let report = engine.apply_batch(&deltas).unwrap();
+        assert_eq!(report.deltas_applied, 4);
+        assert_eq!(report.shards_touched, vec![0]);
+        assert!(report.shard_reports[0].is_some());
+        assert!(report.shard_reports[1].is_none(), "shard 1 did no work");
+        assert_eq!(
+            engine.shard_network(1).revision(),
+            other_revision,
+            "the burst must never reach shard 1's network"
+        );
+        assert_eq!(engine.shard_network(1), &other_before);
+        assert!(report.improvement().unwrap() >= -1e-9);
+        // Master and shard views stay consistent.
+        assert_eq!(engine.revision(), 4);
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+    }
+
+    #[test]
+    fn interior_burst_skips_coordination() {
+        let mut engine = zoned(2, 20, 9);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let target = (0..20u32)
+            .map(HostId)
+            .find(|&h| {
+                !engine.partition().is_boundary(h)
+                    && engine
+                        .partition()
+                        .cross_links()
+                        .iter()
+                        .all(|&(a, b)| a != h && b != h)
+            })
+            .unwrap();
+        // Re-mandating the host's current product changes no label at all.
+        let current = engine.assignment().unwrap().products_at(target)[0];
+        let report = engine
+            .apply(&NetworkDelta::fix_slot(target, os, current))
+            .unwrap();
+        assert_eq!(
+            report.rounds, 0,
+            "an interior no-label-change burst must skip coordination"
+        );
+        assert_eq!(report.boundary_flips, 0);
+    }
+
+    #[test]
+    fn cross_link_deltas_update_partition_and_objective() {
+        let mut engine = two_host_gateway();
+        engine.solve().unwrap();
+        // Removing the only cross link empties the boundary...
+        let report = engine
+            .apply(&NetworkDelta::remove_link(HostId(0), HostId(1)))
+            .unwrap();
+        assert_eq!(report.cross_links, 0);
+        assert_eq!(report.boundary_hosts, 0);
+        assert_eq!(engine.shard_network(0).link_count(), 0);
+        assert!((report.objective - 0.02).abs() < 1e-9, "residual vanished");
+        // ...and re-adding it restores coordination pressure.
+        let report = engine
+            .apply(&NetworkDelta::add_link(HostId(0), HostId(1)))
+            .unwrap();
+        assert_eq!(report.cross_links, 1);
+        assert_eq!(report.boundary_hosts, 2);
+        assert!((report.objective - 0.12).abs() < 1e-9);
+        let assignment = engine.assignment().unwrap();
+        assert_ne!(
+            assignment.products_at(HostId(0)),
+            assignment.products_at(HostId(1))
+        );
+    }
+
+    #[test]
+    fn add_host_routes_by_zone_and_unknown_zone_is_rejected() {
+        let mut engine = zoned(2, 6, 13);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let ps = engine.catalog().products_of(os).to_vec();
+        // A new zone-1 host linked into both zones: shard 1 grows, the
+        // zone-0 link becomes a cross link.
+        let delta = NetworkDelta::AddHost {
+            name: "newcomer".into(),
+            zone: Some("zone1".into()),
+            services: vec![(os, ps.clone())],
+            links: vec![HostId(0), HostId(6)],
+        };
+        let shard0_hosts = engine.shard_network(0).host_count();
+        let report = engine.apply(&delta).unwrap();
+        let newcomer = HostId(12);
+        assert_eq!(engine.partition().shard_of(newcomer), Some(1));
+        assert_eq!(engine.shard_network(0).host_count(), shard0_hosts);
+        assert_eq!(engine.shard_network(1).host_count(), 7);
+        assert!(engine
+            .partition()
+            .cross_links()
+            .contains(&(HostId(0), newcomer)));
+        assert!(engine.partition().is_boundary(newcomer));
+        assert!(report.shard_reports[1].is_some());
+        // The newcomer got a product.
+        assert_eq!(engine.assignment().unwrap().products_at(newcomer).len(), 1);
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+
+        // Unknown zones are rejected before anything mutates.
+        let revision = engine.revision();
+        let err = engine
+            .apply(&NetworkDelta::AddHost {
+                name: "lost".into(),
+                zone: Some("zone9".into()),
+                services: vec![(os, ps)],
+                links: vec![],
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownZone { .. }));
+        assert_eq!(engine.revision(), revision);
+    }
+
+    #[test]
+    fn rejected_batch_leaves_master_and_shards_untouched() {
+        let mut engine = zoned(2, 6, 17);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let p = engine
+            .network()
+            .host(HostId(1))
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[0];
+        let revision = engine.revision();
+        let shard0 = engine.shard_network(0).clone();
+        let assignment_before = engine.assignment().unwrap().clone();
+        let err = engine
+            .apply_batch(&[
+                NetworkDelta::fix_slot(HostId(1), os, p),
+                NetworkDelta::add_link(HostId(2), HostId(2)), // self-loop
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Model(netmodel::Error::BatchRejected { index: 1, .. })
+        ));
+        assert_eq!(engine.revision(), revision);
+        assert_eq!(engine.shard_network(0), &shard0, "no shard saw the batch");
+        // Regression: the assignment must survive a rejected burst too — an
+        // early `self.last.take()` used to leak it, degrading the next
+        // apply into a cold solve.
+        assert_eq!(engine.assignment(), Some(&assignment_before));
+
+        // A slot-only burst rejected mid-batch exercises the fast path's
+        // shard-side validation (no master staging); same contract, and
+        // the reported index maps back to the original batch position.
+        let other = engine
+            .network()
+            .host(HostId(1))
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[1];
+        let err = engine
+            .apply_batch(&[
+                NetworkDelta::fix_slot(HostId(1), os, p),
+                // After the fix, `other` is no longer a candidate.
+                NetworkDelta::fix_slot(HostId(1), os, other),
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Model(netmodel::Error::BatchRejected { index: 1, .. })
+        ));
+        assert_eq!(engine.revision(), revision);
+        assert_eq!(engine.shard_network(0), &shard0);
+        assert_eq!(engine.assignment(), Some(&assignment_before));
+    }
+
+    #[test]
+    fn remove_host_tombstones_across_views() {
+        let mut engine = zoned(2, 6, 23);
+        engine.solve().unwrap();
+        // Remove an interior zone-1 host.
+        let victim = (6..12u32)
+            .map(HostId)
+            .find(|&h| !engine.partition().is_boundary(h))
+            .unwrap();
+        let report = engine.apply(&NetworkDelta::remove_host(victim)).unwrap();
+        assert!(engine.network().host(victim).unwrap().is_removed());
+        let (shard, local) = (
+            1usize,
+            engine.shards[1]
+                .to_global
+                .iter()
+                .position(|&g| g == victim)
+                .unwrap(),
+        );
+        assert!(engine
+            .shard_network(shard)
+            .host(HostId(local as u32))
+            .unwrap()
+            .is_removed());
+        assert!(report.shard_reports[1].is_some());
+        assert!(engine.assignment().unwrap().products_at(victim).is_empty());
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+    }
+
+    #[test]
+    fn single_zone_degenerates_to_the_unsharded_engine() {
+        let g = netmodel::topology::generate(
+            &netmodel::topology::RandomNetworkConfig {
+                hosts: 18,
+                mean_degree: 4,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            31,
+        );
+        let mut sharded =
+            ShardedEngine::new(g.network.clone(), g.catalog.clone(), g.similarity.clone());
+        let mut single = DiversityEngine::new(g.network, g.catalog, g.similarity);
+        let sr = sharded.solve().unwrap();
+        let br = single.solve().unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sr.rounds, 0, "no cross links, no coordination");
+        assert!((sr.objective - br.objective_after).abs() < 1e-9);
+        assert_eq!(sharded.assignment(), single.assignment());
+    }
+
+    #[test]
+    fn objective_is_monotone_across_a_coordinated_stream() {
+        let mut engine = zoned(3, 8, 41);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service1").unwrap();
+        for h in [1u32, 9, 17, 3, 11] {
+            let host = HostId(h);
+            let p = engine
+                .network()
+                .host(host)
+                .unwrap()
+                .candidates_for(os)
+                .unwrap()[0];
+            let report = engine.apply(&NetworkDelta::fix_slot(host, os, p)).unwrap();
+            assert!(
+                report.improvement().unwrap() >= -1e-9,
+                "step at {host} regressed on carrying forward"
+            );
+            let full = full_model_objective(&engine, engine.assignment().unwrap());
+            assert!((full - report.objective).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn report_display_is_total() {
+        let mut engine = two_host_gateway();
+        let report = engine.solve().unwrap();
+        let text = report.to_string();
+        assert!(text.contains("objective"));
+        assert!(text.contains("rounds") || text.contains("boundary"));
+    }
+}

@@ -193,6 +193,107 @@ impl MapSolver for Icm {
             full_sweep: false,
         }
     }
+
+    /// Masked coordinate descent with a hard freeze: sealed variables are
+    /// never swept and never activated, and the past-half-the-model
+    /// fallback widens the region to *every unsealed* variable instead of
+    /// handing off to an unmasked full descent. No submodel is built — the
+    /// seal is just a mask on the in-place sweep, which is what makes
+    /// pinned warm re-solves as cheap as unpinned ones.
+    fn refine_local_sealed(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        sealed: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        if sealed.is_empty() {
+            return self.refine_local(model, start, frontier, ctl);
+        }
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let n = model.var_count();
+        let mut sealed_mask = vec![false; n];
+        for v in sealed {
+            if let Some(m) = sealed_mask.get_mut(v.0) {
+                *m = true;
+            }
+        }
+        let unsealed_total = sealed_mask.iter().filter(|&&m| !m).count();
+        let unsealed_frontier: Vec<VarId> = frontier
+            .iter()
+            .copied()
+            .filter(|v| v.0 < n && !sealed_mask[v.0])
+            .collect();
+        let mut region = ActiveRegion::new(n, &unsealed_frontier);
+        if region.count == 0 {
+            return LocalRefine::noop(model, start);
+        }
+        let mut full_sweep = 2 * region.count > unsealed_total;
+        if full_sweep {
+            for (i, active) in region.mask.iter_mut().enumerate() {
+                *active = !sealed_mask[i];
+            }
+            region.count = unsealed_total;
+        }
+        let mut labels = start;
+        let mut cost = vec![0.0f64; model.max_labels()];
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        for sweep in 0..self.options.max_sweeps {
+            if ctl.should_stop() {
+                break;
+            }
+            sweeps = sweep + 1;
+            let mut changed = false;
+            for i in 0..n {
+                if !region.mask[i] || sealed_mask[i] {
+                    continue;
+                }
+                let best = conditional_argmin(model, &labels, i, &mut cost);
+                if best != labels[i] && cost[best] < cost[labels[i]] {
+                    labels[i] = best;
+                    changed = true;
+                    if !full_sweep {
+                        let mut added = 0;
+                        for &eidx in model.incident_edges(VarId(i)) {
+                            let e = model.edges()[eidx as usize];
+                            let other = if e.a().0 == i { e.b().0 } else { e.a().0 };
+                            if !sealed_mask[other] && !region.mask[other] {
+                                region.mask[other] = true;
+                                region.count += 1;
+                                added += 1;
+                            }
+                        }
+                        if added > 0 {
+                            region.expansions += 1;
+                            if 2 * region.count > unsealed_total {
+                                // The wave stopped being local: widen to
+                                // every unsealed variable and keep going.
+                                full_sweep = true;
+                                for (v, active) in region.mask.iter_mut().enumerate() {
+                                    *active = !sealed_mask[v];
+                                }
+                                region.count = unsealed_total;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        let energy = model.energy(&labels);
+        ctl.report(sweeps, energy, None);
+        LocalRefine {
+            solution: Solution::new(labels, energy, None, sweeps, converged),
+            swept_vars: region.count,
+            expansions: region.expansions,
+            full_sweep,
+        }
+    }
 }
 
 #[cfg(test)]

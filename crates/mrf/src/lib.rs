@@ -36,7 +36,8 @@
 //! * [`local`] — frontier-restricted refinement
 //!   ([`MapSolver::refine_local`]): masked sweeps around a localized
 //!   change, expanding while labels keep flipping, with a full-sweep
-//!   fallback.
+//!   fallback. Exposes [`condition_submodel`], the freeze-and-fold
+//!   mechanism shard coordinators build on.
 //! * [`elimination`] — exact MAP by min-sum bucket elimination, feasible
 //!   whenever the instance's treewidth is small (the ICS case study is).
 //! * [`exhaustive`] — brute force, the test oracle for small instances.
@@ -106,7 +107,7 @@ pub mod trws;
 mod error;
 
 pub use error::Error;
-pub use local::LocalRefine;
+pub use local::{condition_submodel, LocalRefine};
 pub use model::{MrfBuilder, MrfModel, PotentialId, VarId};
 pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;

@@ -27,6 +27,13 @@
 //! which ignores the frontier and runs a full [`MapSolver::refine`] — the
 //! conservative, always-correct behavior.
 //!
+//! The conditioning step itself — freeze a set of variables at given
+//! labels, fold the frozen edges into the unaries of the free side, and get
+//! a submodel whose energy differences equal the full model's — is exposed
+//! as [`condition_submodel`] for callers that orchestrate partial solves
+//! themselves (the sharded engine's boundary coordination in
+//! `ics-diversity` is built on it).
+//!
 //! [`MapSolver::refine_local`]: crate::solver::MapSolver::refine_local
 //! [`MapSolver::refine`]: crate::solver::MapSolver::refine
 
@@ -140,7 +147,51 @@ impl ActiveRegion {
 /// `E_full(x) = E_sub(x|active) + C` for a constant `C` (the inactive
 /// unaries and inactive-inactive edges) — so minimizing the submodel
 /// minimizes the full model over the active coordinates.
-pub(crate) fn condition_submodel(
+///
+/// This is the boundary-freezing mechanism behind the TRW-S
+/// [`crate::solver::MapSolver::refine_local`] implementation, exposed for
+/// callers that coordinate partial solves themselves — e.g. a shard
+/// coordinator that freezes the neighboring shards' boundary labels, solves
+/// its own region, and splices the result back (keeping it only if the full
+/// energy improved).
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `labels` or `active` do not match the
+/// model's variable count, and for out-of-range labels at inactive
+/// variables adjacent to active ones.
+///
+/// ```
+/// use mrf::local::condition_submodel;
+/// use mrf::model::MrfBuilder;
+///
+/// # fn main() -> Result<(), mrf::Error> {
+/// // A 3-chain: x0 — x1 — x2, each edge preferring agreement.
+/// let mut b = MrfBuilder::new();
+/// let vars: Vec<_> = (0..3).map(|_| b.add_variable(2)).collect();
+/// for w in vars.windows(2) {
+///     b.add_edge_dense(w[0], w[1], vec![0.0, 1.0, 1.0, 0.0])?;
+/// }
+/// let model = b.build();
+///
+/// // Freeze x0 = 1 and x2 = 1; condition the middle variable on them.
+/// let labels = vec![1, 0, 1];
+/// let active = vec![false, true, false];
+/// let (sub, map) = condition_submodel(&model, &labels, &active);
+/// assert_eq!(map, vec![1]);
+/// assert_eq!(sub.var_count(), 1);
+/// // Disagreeing with both frozen neighbors costs 2, agreeing costs 0 —
+/// // the frozen edges were folded into x1's unary.
+/// assert_eq!(sub.unary(mrf::VarId(0)), &[2.0, 0.0]);
+/// // Energy differences transfer exactly: E_full(x) - E_sub(x|active) is
+/// // constant over labelings agreeing with `labels` outside `active`.
+/// let e_sub = |l: usize| sub.energy(&[l]);
+/// let e_full = |l: usize| model.energy(&[1, l, 1]);
+/// assert_eq!(e_full(1) - e_full(0), e_sub(1) - e_sub(0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn condition_submodel(
     model: &MrfModel,
     labels: &[usize],
     active: &[bool],
@@ -378,5 +429,61 @@ mod tests {
         assert_eq!(out.solution.labels(), &start[..]);
         assert_eq!(out.swept_vars, 0);
         assert!(!out.full_sweep);
+    }
+
+    #[test]
+    fn sealed_variables_never_move() {
+        // The all-ones wave from var 0 must stop dead at the sealed var 6:
+        // everything before it flips, everything at and after it stays.
+        let n = 12;
+        let m = biased_chain(n);
+        let start = vec![0usize; n];
+        for solver in [&Icm::default() as &dyn MapSolver, &Trws::default()] {
+            let out =
+                solver.refine_local_sealed(&m, start.clone(), &[VarId(0)], &[VarId(6)], &ctl());
+            assert_eq!(
+                out.solution.labels()[6],
+                0,
+                "{}: sealed variable moved",
+                solver.name()
+            );
+            assert!(
+                out.solution.energy() <= m.energy(&start) + 1e-12,
+                "{}: energy contract broken",
+                solver.name()
+            );
+            // The wave reached the seal from the left...
+            assert!(out.solution.labels()[..6].iter().all(|&l| l == 1));
+            // ...and could not jump it: var 7 pays 1.0 to disagree with the
+            // frozen var 6 but only saves its 0.1 bias, so it stays 0.
+            assert!(out.solution.labels()[7..].iter().all(|&l| l == 0));
+        }
+    }
+
+    #[test]
+    fn sealed_refinement_survives_the_widening_fallback() {
+        // An oversized frontier forces the ICM override onto its widened
+        // (all-unsealed) path immediately; the seal must still hold.
+        let n = 8;
+        let m = biased_chain(n);
+        let frontier: Vec<VarId> = (0..n).map(VarId).collect();
+        let start = vec![0usize; n];
+        let out = Icm::default().refine_local_sealed(&m, start, &frontier, &[VarId(3)], &ctl());
+        assert!(out.full_sweep);
+        assert_eq!(out.swept_vars, n - 1, "everything but the sealed var");
+        assert_eq!(out.solution.labels()[3], 0);
+        assert!(out.solution.labels()[..3].iter().all(|&l| l == 1));
+    }
+
+    #[test]
+    fn empty_seal_matches_refine_local() {
+        let n = 10;
+        let m = biased_chain(n);
+        let start = vec![0usize; n];
+        let sealed =
+            Icm::default().refine_local_sealed(&m, start.clone(), &[VarId(0)], &[], &ctl());
+        let unsealed = Icm::default().refine_local(&m, start, &[VarId(0)], &ctl());
+        assert_eq!(sealed.solution.labels(), unsealed.solution.labels());
+        assert_eq!(sealed.solution.energy(), unsealed.solution.energy());
     }
 }

@@ -284,6 +284,65 @@ pub trait MapSolver: Send + Sync {
         LocalRefine::full(self.refine(model, start, ctl), var_count)
     }
 
+    /// [`MapSolver::refine_local`] with a hard freeze: the `sealed`
+    /// variables keep their `start` labels no matter what — they are never
+    /// swept, never activated by expansion, and survive any full-sweep
+    /// fallback. This is the serving primitive for shard boundaries: a
+    /// shard engine cannot value the cross-shard edges its boundary hosts
+    /// sit on, so its re-solves must leave them to the coordinator.
+    ///
+    /// The energy contract matches [`MapSolver::refine`] (never worse than
+    /// `start`); sealed variables aside, locality telemetry matches
+    /// [`MapSolver::refine_local`]. The default implementation conditions
+    /// the model on the sealed variables' start labels
+    /// ([`crate::local::condition_submodel`]) and refines the unsealed
+    /// submodel in full — always correct; [`crate::icm::Icm`] overrides it
+    /// with a masked in-place sweep that skips the submodel construction.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `start` has the wrong arity or
+    /// out-of-range labels.
+    fn refine_local_sealed(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        sealed: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        if sealed.is_empty() {
+            return self.refine_local(model, start, frontier, ctl);
+        }
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let mut active = vec![true; model.var_count()];
+        for v in sealed {
+            if let Some(a) = active.get_mut(v.0) {
+                *a = false;
+            }
+        }
+        let (sub, map) = crate::local::condition_submodel(model, &start, &active);
+        let sub_start: Vec<usize> = map.iter().map(|&v| start[v]).collect();
+        let refined = self.refine(&sub, sub_start, ctl);
+        let mut labels = start;
+        for (i, &orig) in map.iter().enumerate() {
+            labels[orig] = refined.labels()[i];
+        }
+        let energy = model.energy(&labels);
+        LocalRefine {
+            solution: Solution::new(
+                labels,
+                energy,
+                None,
+                refined.iterations(),
+                refined.converged(),
+            ),
+            swept_vars: map.len(),
+            expansions: 0,
+            full_sweep: true,
+        }
+    }
+
     /// If the most recent [`MapSolver::solve`] on this instance had to fall
     /// back from an exact method, the human-readable cause. `None` for
     /// solvers without a fallback stage (the default).
@@ -324,6 +383,17 @@ impl<S: MapSolver + ?Sized> MapSolver for Box<S> {
         (**self).refine_local(model, start, frontier, ctl)
     }
 
+    fn refine_local_sealed(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        sealed: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        (**self).refine_local_sealed(model, start, frontier, sealed, ctl)
+    }
+
     fn fallback_cause(&self) -> Option<String> {
         (**self).fallback_cause()
     }
@@ -359,6 +429,17 @@ impl<S: MapSolver + ?Sized> MapSolver for Arc<S> {
         ctl: &SolveControl,
     ) -> LocalRefine {
         (**self).refine_local(model, start, frontier, ctl)
+    }
+
+    fn refine_local_sealed(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        sealed: &[VarId],
+        ctl: &SolveControl,
+    ) -> LocalRefine {
+        (**self).refine_local_sealed(model, start, frontier, sealed, ctl)
     }
 
     fn fallback_cause(&self) -> Option<String> {

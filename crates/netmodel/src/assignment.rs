@@ -28,6 +28,14 @@ impl Assignment {
         Assignment { products }
     }
 
+    /// Consumes the assignment, returning the per-host product table — the
+    /// inverse of [`Assignment::from_slots`], for callers that splice rows
+    /// without paying a deep clone (e.g. the sharded engine composing a
+    /// carried assignment from the previous one plus touched-shard rows).
+    pub fn into_slots(self) -> Vec<Vec<ProductId>> {
+        self.products
+    }
+
     /// Creates an assignment and validates it against the network: every
     /// (host, service) slot must be filled with one of its candidates.
     ///

@@ -17,8 +17,12 @@
 //!   and fixed-product (legacy host) constraints, with satisfaction checks.
 //! * [`delta`] — validated, revision-counted network mutations
 //!   ([`delta::NetworkDelta`]) for long-lived services whose networks churn.
+//! * [`partition`] — zone-aware sharding: group hosts by zone label,
+//!   classify cross-zone links, compute the boundary host set, and extract
+//!   per-zone sub-networks for sharded engines.
 //! * [`topology`] — seeded random network generators used by the scalability
-//!   analysis (Section VIII).
+//!   analysis (Section VIII), including zoned instances
+//!   ([`topology::generate_zoned`]) for sharding workloads.
 //! * [`casestudy`] — the Stuxnet-inspired IT/OT converged ICS of Section VII
 //!   (Fig. 3 topology, Table IV product catalogue, constraint sets C1/C2).
 //! * [`strategies`] — baseline assignments: homogeneous `α_m` and uniformly
@@ -48,6 +52,52 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Evolving a built network with delta batches
+//!
+//! A built network is structurally stable, not frozen: validated
+//! [`delta::NetworkDelta`] mutations evolve it in place, and
+//! [`network::Network::apply_batch`] absorbs a whole burst atomically —
+//! every delta is validated against the state after its predecessors, and a
+//! failing delta rolls the entire batch back:
+//!
+//! ```
+//! use netmodel::catalog::Catalog;
+//! use netmodel::delta::NetworkDelta;
+//! use netmodel::network::NetworkBuilder;
+//!
+//! # fn main() -> Result<(), netmodel::Error> {
+//! let mut catalog = Catalog::new();
+//! let web = catalog.add_service("web_browser");
+//! let ie = catalog.add_product("IE10", web)?;
+//! let chrome = catalog.add_product("Chrome50", web)?;
+//!
+//! let mut builder = NetworkBuilder::new();
+//! let a = builder.add_host("a");
+//! builder.add_service(a, web, vec![ie, chrome])?;
+//! let mut network = builder.build(&catalog)?;
+//!
+//! // One atomic burst: add a host, link it to `a`, mandate its browser.
+//! let effect = network.apply_batch(
+//!     &[
+//!         NetworkDelta::add_host("b", vec![(web, vec![ie, chrome])], vec![a]),
+//!         NetworkDelta::fix_slot(a, web, chrome),
+//!     ],
+//!     &catalog,
+//! )?;
+//! assert_eq!(effect.applied, 2);
+//! assert_eq!(network.revision(), 2);
+//! assert_eq!(network.link_count(), 1);
+//!
+//! // A batch with an invalid delta is rejected whole: revision unchanged.
+//! let err = network
+//!     .apply_batch(&[NetworkDelta::add_link(a, a)], &catalog)
+//!     .unwrap_err();
+//! assert!(matches!(err, netmodel::Error::BatchRejected { index: 0, .. }));
+//! assert_eq!(network.revision(), 2);
+//! # Ok(())
+//! # }
+//! ```
 
 pub mod assignment;
 pub mod casestudy;
@@ -55,6 +105,7 @@ pub mod catalog;
 pub mod constraints;
 pub mod delta;
 pub mod network;
+pub mod partition;
 pub mod strategies;
 pub mod topology;
 

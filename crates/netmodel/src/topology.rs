@@ -128,20 +128,41 @@ pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
 }
 
 fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &mut StdRng) {
-    let n = config.hosts;
+    add_links_in_range(
+        builder,
+        0,
+        config.hosts,
+        config.topology,
+        config.mean_degree,
+        rng,
+    );
+}
+
+/// Wires the `n` hosts starting at id `base` with the given topology —
+/// [`add_links`] restricted to a contiguous id range, so zoned generation
+/// can wire each zone independently.
+fn add_links_in_range(
+    builder: &mut NetworkBuilder,
+    base: u32,
+    n: usize,
+    topology: TopologyKind,
+    mean_degree: usize,
+    rng: &mut StdRng,
+) {
     if n < 2 {
         return;
     }
-    match config.topology {
+    match topology {
         TopologyKind::Ring => {
             for i in 0..n {
-                let _ = builder.add_link(HostId(i as u32), HostId(((i + 1) % n) as u32));
+                let _ =
+                    builder.add_link(HostId(base + i as u32), HostId(base + ((i + 1) % n) as u32));
             }
         }
         TopologyKind::Tree => {
             for i in 1..n {
                 builder
-                    .add_link(HostId(i as u32), HostId(((i - 1) / 2) as u32))
+                    .add_link(HostId(base + i as u32), HostId(base + ((i - 1) / 2) as u32))
                     .expect("tree links are unique");
             }
         }
@@ -154,10 +175,10 @@ fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &m
             }
             for w in perm.windows(2) {
                 builder
-                    .add_link(HostId(w[0]), HostId(w[1]))
+                    .add_link(HostId(base + w[0]), HostId(base + w[1]))
                     .expect("path links are unique");
             }
-            let target = (n * config.mean_degree / 2).max(n - 1);
+            let target = (n * mean_degree / 2).max(n - 1);
             let mut added = n - 1;
             let mut attempts = 0usize;
             let max_attempts = target.saturating_mul(20) + 1000;
@@ -165,7 +186,7 @@ fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &m
                 attempts += 1;
                 let a = rng.gen_range(0..n as u32);
                 let b = rng.gen_range(0..n as u32);
-                if a != b && builder.add_link(HostId(a), HostId(b)).is_ok() {
+                if a != b && builder.add_link(HostId(base + a), HostId(base + b)).is_ok() {
                     added += 1;
                 }
             }
@@ -173,7 +194,7 @@ fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &m
         TopologyKind::ScaleFree => {
             // Barabási–Albert: each new node attaches to `m` distinct
             // existing nodes chosen proportionally to degree.
-            let m = (config.mean_degree / 2).max(1);
+            let m = (mean_degree / 2).max(1);
             // Repeated-endpoint list realizes preferential attachment.
             let mut endpoints: Vec<u32> = vec![0];
             for i in 1..n as u32 {
@@ -191,12 +212,143 @@ fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &m
                     chosen.insert(rng.gen_range(0..i));
                 }
                 for &t in &chosen {
-                    let _ = builder.add_link(HostId(i), HostId(t));
+                    let _ = builder.add_link(HostId(base + i), HostId(base + t));
                     endpoints.push(t);
                     endpoints.push(i);
                 }
             }
         }
+    }
+}
+
+/// Configuration of a *zoned* problem instance: `zones` independent
+/// sub-networks (one per zone label) joined by a small number of gateway
+/// links — the shape of the paper's Corporate/Control case study, scaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZonedNetworkConfig {
+    /// Number of zones (labelled `"zone0"`, `"zone1"`, …); ≥ 1.
+    pub zones: usize,
+    /// Hosts per zone.
+    pub hosts_per_zone: usize,
+    /// Inter-zone links added between each *adjacent* zone pair (zone `i`
+    /// to zone `i+1`) — the firewall-mediated gateways. Endpoints are drawn
+    /// randomly inside each zone, so `gateway_links` bounds the boundary
+    /// size per zone pair.
+    pub gateway_links: usize,
+    /// Target mean degree of each zone's internal wiring.
+    pub mean_degree: usize,
+    /// Number of services; every host runs all of them.
+    pub services: usize,
+    /// Products available per service.
+    pub products_per_service: usize,
+    /// Vendors per service (similarity clusters).
+    pub vendors_per_service: usize,
+    /// Link structure *within* each zone.
+    pub topology: TopologyKind,
+}
+
+impl Default for ZonedNetworkConfig {
+    fn default() -> ZonedNetworkConfig {
+        ZonedNetworkConfig {
+            zones: 2,
+            hosts_per_zone: 50,
+            gateway_links: 2,
+            mean_degree: 6,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        }
+    }
+}
+
+/// Generates a zoned problem instance (see [`ZonedNetworkConfig`]): hosts
+/// of zone `z` are named `"z{z}n{i}"` and carry the zone label `"zone{z}"`;
+/// each zone is wired internally with the configured topology; adjacent
+/// zones are joined by `gateway_links` random cross-zone links.
+///
+/// Deterministic: equal inputs produce equal instances.
+///
+/// # Panics
+///
+/// Panics if `zones`, `hosts_per_zone`, `services` or
+/// `products_per_service` is zero.
+pub fn generate_zoned(config: &ZonedNetworkConfig, seed: u64) -> GeneratedNetwork {
+    assert!(config.zones > 0, "need at least one zone");
+    assert!(config.hosts_per_zone > 0, "need at least one host per zone");
+    assert!(config.services > 0, "need at least one service");
+    assert!(
+        config.products_per_service > 0,
+        "need at least one product per service"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let flat = RandomNetworkConfig {
+        hosts: config.zones * config.hosts_per_zone,
+        mean_degree: config.mean_degree,
+        services: config.services,
+        products_per_service: config.products_per_service,
+        vendors_per_service: config.vendors_per_service,
+        topology: config.topology,
+    };
+
+    let mut catalog = Catalog::new();
+    let mut service_ids = Vec::with_capacity(config.services);
+    for s in 0..config.services {
+        let sid = catalog.add_service(&format!("service{s}"));
+        for p in 0..config.products_per_service {
+            catalog
+                .add_product(&format!("s{s}_p{p}"), sid)
+                .expect("generated names are unique");
+        }
+        service_ids.push(sid);
+    }
+    let similarity = synthetic_similarity(&catalog, &flat, &mut rng);
+
+    let mut builder = NetworkBuilder::new();
+    for z in 0..config.zones {
+        let zone = format!("zone{z}");
+        for i in 0..config.hosts_per_zone {
+            let host = builder.add_host_in_zone(&format!("z{z}n{i}"), &zone);
+            for &sid in &service_ids {
+                builder
+                    .add_service(host, sid, catalog.products_of(sid).to_vec())
+                    .expect("unique services per host");
+            }
+        }
+    }
+    for z in 0..config.zones {
+        add_links_in_range(
+            &mut builder,
+            (z * config.hosts_per_zone) as u32,
+            config.hosts_per_zone,
+            config.topology,
+            config.mean_degree,
+            &mut rng,
+        );
+    }
+    // Gateways between adjacent zones: a bounded number of random
+    // cross-zone links per pair.
+    let per_zone = config.hosts_per_zone as u32;
+    for z in 0..config.zones.saturating_sub(1) {
+        let (lo_a, lo_b) = (z as u32 * per_zone, (z as u32 + 1) * per_zone);
+        let mut added = 0usize;
+        let mut attempts = 0usize;
+        while added < config.gateway_links && attempts < 20 * config.gateway_links + 100 {
+            attempts += 1;
+            let a = HostId(lo_a + rng.gen_range(0..per_zone));
+            let b = HostId(lo_b + rng.gen_range(0..per_zone));
+            if builder.add_link(a, b).is_ok() {
+                added += 1;
+            }
+        }
+    }
+    let network = builder
+        .build(&catalog)
+        .expect("generated instance is valid");
+    GeneratedNetwork {
+        network,
+        catalog,
+        similarity,
     }
 }
 
@@ -363,6 +515,50 @@ mod tests {
             assert_eq!(host.services().len(), 5);
         }
         assert_eq!(g.network.slot_count(), 100);
+    }
+
+    #[test]
+    fn zoned_generation_shapes_and_labels() {
+        let cfg = ZonedNetworkConfig {
+            zones: 3,
+            hosts_per_zone: 20,
+            gateway_links: 2,
+            ..ZonedNetworkConfig::default()
+        };
+        let g = generate_zoned(&cfg, 11);
+        assert_eq!(g.network.host_count(), 60);
+        for (id, host) in g.network.iter_hosts() {
+            let zone = (id.index() / 20).to_string();
+            assert_eq!(host.zone(), Some(format!("zone{zone}").as_str()));
+        }
+        // Exactly `gateway_links` cross-zone links per adjacent pair.
+        let cross = g
+            .network
+            .links()
+            .iter()
+            .filter(|(a, b)| a.index() / 20 != b.index() / 20)
+            .count();
+        assert_eq!(cross, 4, "2 adjacent pairs × 2 gateway links");
+        // Non-adjacent zones are never linked directly.
+        assert!(g
+            .network
+            .links()
+            .iter()
+            .all(|(a, b)| (a.index() / 20).abs_diff(b.index() / 20) <= 1));
+        // Deterministic.
+        assert_eq!(g.network, generate_zoned(&cfg, 11).network);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one zone")]
+    fn zero_zones_rejected() {
+        generate_zoned(
+            &ZonedNetworkConfig {
+                zones: 0,
+                ..ZonedNetworkConfig::default()
+            },
+            0,
+        );
     }
 
     #[test]
