@@ -1,0 +1,117 @@
+//! Criterion benchmark: in-place model *edit* vs. linear model reassembly
+//! (the ISSUE 5 acceptance comparison).
+//!
+//! Both sides absorb the same single-host delta on a 960-host network
+//! through an [`ics_diversity::cache::EnergyCache`] whose domains and
+//! potential matrices are already warm — so the measured difference is
+//! exactly the *model-maintenance* phase:
+//!
+//! * **model_rebuild** — in-place edits disabled: every refresh reassembles
+//!   the MRF linearly (one variable layout pass plus one edge pass over
+//!   every link), `O(V + E)` regardless of how small the delta was. This
+//!   was the only path before the mutable model and the dominant cost of
+//!   `apply_batch` at this scale.
+//! * **model_edit** — the hinted refresh edits the model in place: only the
+//!   touched host's variables and incident factors are re-derived and its
+//!   neighbors' folded unaries refreshed, `O(touched · degree)`.
+//!
+//! The acceptance target is the edit path ≥ 5× faster than reassembly for
+//! a single-host delta at 960 hosts. A second pair measures the same
+//! comparison end-to-end through `DiversityEngine::apply` (delta staging +
+//! model maintenance + localized warm re-solve), where the model phase is
+//! the dominant term at this size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ics_diversity::cache::EnergyCache;
+use ics_diversity::energy::EnergyParams;
+use ics_diversity::engine::DiversityEngine;
+use netmodel::constraints::ConstraintSet;
+use netmodel::delta::NetworkDelta;
+use netmodel::topology::{generate, GeneratedNetwork, RandomNetworkConfig, TopologyKind};
+use netmodel::HostId;
+
+const HOSTS: usize = 960;
+
+fn instance() -> GeneratedNetwork {
+    generate(
+        &RandomNetworkConfig {
+            hosts: HOSTS,
+            mean_degree: 8,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+        4242,
+    )
+}
+
+/// The single-host delta both sides absorb: alternately mandate and lift a
+/// product on one host's first service slot.
+fn toggle_delta(g: &GeneratedNetwork, fix: bool) -> NetworkDelta {
+    let host = HostId(480);
+    let service = g.catalog.service_by_name("service0").expect("generated");
+    let products = g.catalog.products_of(service).to_vec();
+    if fix {
+        NetworkDelta::fix_slot(host, service, products[0])
+    } else {
+        NetworkDelta::unfix_slot(host, service, products)
+    }
+}
+
+fn bench_model_maintenance(c: &mut Criterion) {
+    let g = instance();
+    let mut group = c.benchmark_group("mutable_model_960_hosts");
+    group.sample_size(10);
+
+    // Cache-level: exactly the model-maintenance phase, with domains and
+    // cost matrices warm on both sides.
+    for (label, edits) in [("model_edit", true), ("model_rebuild", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            let mut network = g.network.clone();
+            let mut cache = EnergyCache::new(
+                &network,
+                &g.similarity,
+                &ConstraintSet::new(),
+                EnergyParams::default(),
+            )
+            .expect("instance builds");
+            cache.set_in_place_edits(edits);
+            let mut fix = true;
+            b.iter(|| {
+                let effect = network
+                    .apply_delta(&toggle_delta(g, fix), &g.catalog)
+                    .expect("valid toggle");
+                fix = !fix;
+                let stats = cache
+                    .refresh_hinted(&network, &g.similarity, Some(&effect.touched))
+                    .expect("feasible refresh");
+                assert_eq!(stats.edited, edits);
+                stats.variables
+            });
+        });
+    }
+
+    // Engine-level: the same comparison end-to-end through apply() (staged
+    // delta + model maintenance + localized warm re-solve).
+    for (label, edits) in [("engine_apply_edit", true), ("engine_apply_rebuild", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            let mut engine =
+                DiversityEngine::new(g.network.clone(), g.catalog.clone(), g.similarity.clone())
+                    .with_in_place_edits(edits);
+            engine.solve().expect("cold solve");
+            let mut fix = true;
+            b.iter(|| {
+                let report = engine.apply(&toggle_delta(g, fix)).expect("delta applies");
+                fix = !fix;
+                report.objective_after
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_maintenance);
+criterion_main!(benches);

@@ -59,7 +59,13 @@ COLUMNS (sequential/batched mode):
     mttc resolve MTTC of the re-optimized assignment.
     gain         mttc resolve − mttc carry in ticks, or which side was
                  censored (see MttcGain).
-    rebuild      Wall-clock time of the incremental model rebuild.
+    model edit   Wall-clock time of the in-place model edit, when the step
+                 absorbed its deltas by editing the cached MRF (only the
+                 touched hosts' variables and incident factors re-derived;
+                 the usual path). \"-\" when the step reassembled instead.
+    model rebuild Wall-clock time of the linear model reassembly, on steps
+                 that could not edit in place (cold builds, compaction, a
+                 similarity invalidation). \"-\" when the step edited.
     solve        Wall-clock time of the (localized) warm re-solve.
 
 EXTRA COLUMNS (sharded mode, replacing frontier/swept):
@@ -169,7 +175,8 @@ fn run_single(
         "mttc carry",
         "mttc resolve",
         "gain",
-        "rebuild",
+        "model edit",
+        "model rebuild",
         "solve",
     ]);
     for s in &replay {
@@ -193,7 +200,16 @@ fn run_single(
             fmt_mttc(&s.mttc_before),
             fmt_mttc(&s.mttc_after),
             s.mttc_gain().to_string(),
-            format!("{:.2?}", s.report.rebuild_wall),
+            if s.report.rebuild.edited {
+                format!("{:.2?}", s.report.rebuild_wall)
+            } else {
+                "-".to_owned()
+            },
+            if s.report.rebuild.edited {
+                "-".to_owned()
+            } else {
+                format!("{:.2?}", s.report.rebuild_wall)
+            },
             format!("{:.2?}", s.report.solve_wall),
         ]);
     }
@@ -225,6 +241,17 @@ fn run_single(
         .map(|s| s.report.rebuild.potentials_reused)
         .sum();
     let localized = replay.iter().filter(|s| s.report.localized).count();
+    let edited = replay.iter().filter(|s| s.report.rebuild.edited).count();
+    let edit_wall: std::time::Duration = replay
+        .iter()
+        .filter(|s| s.report.rebuild.edited)
+        .map(|s| s.report.rebuild_wall)
+        .sum();
+    let rebuild_wall: std::time::Duration = replay
+        .iter()
+        .filter(|s| !s.report.rebuild.edited)
+        .map(|s| s.report.rebuild_wall)
+        .sum();
     println!(
         "{deltas_total} deltas in {} steps; re-solve improved the carried objective on \
          {improved}/{} steps, MTTC favored re-optimizing on {favor} (both censored on {censored}); \
@@ -232,6 +259,11 @@ fn run_single(
          potential matrices: {reused} reused, {computed} computed",
         replay.len(),
         replay.len()
+    );
+    println!(
+        "model maintenance: {edited} in-place edits ({edit_wall:.2?} total), {} linear \
+         reassemblies ({rebuild_wall:.2?} total)",
+        replay.len() - edited
     );
     println!(
         "expected shape: obj resolve ≤ obj carry per step, mttc resolve ≥ mttc carry on average"

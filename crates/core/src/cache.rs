@@ -1,11 +1,11 @@
-//! Incremental energy construction: rebuild only what a delta touched.
+//! Incremental energy construction: edit only what a delta touched.
 //!
 //! [`crate::energy::build_energy`] translates a network into a pairwise MRF
 //! from scratch. A long-lived service applying a stream of
 //! [`netmodel::delta::NetworkDelta`]s would waste almost all of that work —
-//! after a single-host change, 99% of the filtered domains and every shared
-//! potential matrix are unchanged. [`EnergyCache`] is the stateful form of
-//! the same translation:
+//! after a single-host change, 99% of the filtered domains, every shared
+//! potential matrix, *and every MRF variable and edge* are unchanged.
+//! [`EnergyCache`] is the stateful form of the same translation:
 //!
 //! * **Domain filtering is per-host and cached.** Constraint-driven domain
 //!   filtering (Fix restriction + the conditional-combination fixpoint) only
@@ -18,14 +18,29 @@
 //!   freshly allocated `(Vec<u16>, Vec<u16>)` pairs per edge.
 //! * **Potential matrices persist across revisions.** The `O(L²)`
 //!   similarity-lookup cost matrices are cached by `(DomainId, DomainId)`
-//!   and survive rebuilds; a rebuild only recomputes matrices for domain
-//!   pairs it has never seen.
+//!   and survive rebuilds; a refresh only recomputes matrices for domain
+//!   pairs it has never seen. [`EnergyCache::invalidate_similarity_pair`]
+//!   drops exactly the matrices a single similarity update touched.
+//! * **The MRF is edited in place.** `mrf`'s [`mrf::model::MrfModel`] keeps stable
+//!   variable handles across mutations (tombstones + free lists), so a
+//!   *hinted* refresh ([`EnergyCache::refresh_hinted`]) removes and
+//!   re-creates only the touched hosts' variables and incident factors,
+//!   refreshes the folded unaries of their direct neighbors, and adjusts
+//!   the fixed–fixed base energy by the affected links — `O(touched ·
+//!   degree)` model-maintenance work instead of the old `O(V + E)` linear
+//!   reassembly, which ROADMAP had flagged as the dominant cost of
+//!   `apply_batch` on large networks. Untouched hosts' variables keep
+//!   their [`mrf::VarId`]s, which is also what keeps warm-start seeds
+//!   valid across revisions.
 //!
-//! The MRF itself is still *assembled* per revision (variable ids are
-//! dense, so inserting a variable shifts its successors), but assembly is a
-//! cheap linear pass once filtering and matrix construction are cached; the
-//! expensive part of reacting to a delta — the re-solve — is warm-started
-//! by [`crate::engine::DiversityEngine`] from the previous MAP assignment.
+//! Un-hinted refreshes (no touched set: a cold build, a constraint or
+//! parameter change, a similarity invalidation) still reassemble linearly,
+//! as does any refresh once the edited model's fragmentation crosses
+//! [`mrf::model::MrfModel::should_compact`]'s threshold — the rebuild doubles as the
+//! compaction, restoring a dense model. The expensive part of reacting to
+//! a delta — the re-solve — is warm-started by
+//! [`crate::engine::DiversityEngine`] from the previous MAP assignment
+//! either way.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,17 +85,21 @@ impl DomainInterner {
 /// What one [`EnergyCache::refresh`] did, for telemetry and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RebuildStats {
-    /// Whether the model was rebuilt at all (false: cache was current).
+    /// Whether the model changed at all (false: cache was current).
     pub rebuilt: bool,
+    /// Whether the change was applied as an in-place model *edit* (only
+    /// touched hosts' variables and incident factors moved) rather than a
+    /// linear reassembly. Always false when `rebuilt` is false.
+    pub edited: bool,
     /// Hosts whose domains were refiltered (0 on a pure structural change).
     pub hosts_refiltered: usize,
     /// Shared potential matrices computed fresh this refresh.
     pub potentials_computed: usize,
     /// Shared potential matrices served from the cross-revision cache.
     pub potentials_reused: usize,
-    /// Free variables in the rebuilt model.
+    /// Live free variables in the refreshed model.
     pub variables: usize,
-    /// Edges in the rebuilt model.
+    /// Live edges in the refreshed model.
     pub edges: usize,
 }
 
@@ -174,6 +193,20 @@ pub struct EnergyCache {
     /// rebuild at the next refresh.
     synced: Option<u64>,
     model: EnergyModel,
+    /// Domain pair → potential registered in the *current* model. Valid as
+    /// long as the model lives (its potential ids are append-only); cleared
+    /// on every reassembly and on interner compaction.
+    registered: HashMap<(DomainId, DomainId), PotentialId>,
+    /// Per-link fixed–fixed similarity sums currently folded into the base
+    /// energy, keyed with `a < b` — what an in-place edit subtracts before
+    /// re-deriving the touched links.
+    fixed_pairs: HashMap<(HostId, HostId), f64>,
+    /// Partner index over `fixed_pairs` so an edit finds a host's entries
+    /// without scanning the map.
+    fixed_adj: HashMap<HostId, Vec<HostId>>,
+    /// Whether hinted refreshes may edit the model in place (default true;
+    /// benches disable it to measure the linear-reassembly baseline).
+    edit_enabled: bool,
 }
 
 impl EnergyCache {
@@ -210,6 +243,10 @@ impl EnergyCache {
             host_revisions: Vec::new(),
             synced: None,
             model: EnergyModel::from_parts(MrfBuilder::new().build(), Vec::new(), 0.0),
+            registered: HashMap::new(),
+            fixed_pairs: HashMap::new(),
+            fixed_adj: HashMap::new(),
+            edit_enabled: true,
         }
     }
 
@@ -231,6 +268,14 @@ impl EnergyCache {
     /// The constraint set the cached domains were filtered under.
     pub fn constraints(&self) -> &ConstraintSet {
         &self.constraints
+    }
+
+    /// Enables or disables in-place model edits on hinted refreshes.
+    /// Disabled, every refresh reassembles the model linearly — the
+    /// pre-mutable-model behavior, kept as the measurable baseline for the
+    /// `mutable_model` bench and as an escape hatch.
+    pub fn set_in_place_edits(&mut self, enabled: bool) {
+        self.edit_enabled = enabled;
     }
 
     /// The cache's memory-footprint drivers: `(interned domains, cached
@@ -269,6 +314,9 @@ impl EnergyCache {
             }
         }
         self.interner = interner;
+        // The registered map is keyed by the old domain ids; the next
+        // refresh reassembles and repopulates it.
+        self.registered.clear();
     }
 
     /// Replaces the constraint set. All domains are refiltered at the next
@@ -288,12 +336,40 @@ impl EnergyCache {
     }
 
     /// Drops all cached cost matrices, forcing them to be recomputed at the
-    /// next refresh. Call after mutating pairwise similarities in place
-    /// (e.g. a CVE-feed refresh) — cached matrices would silently keep the
-    /// old values otherwise. Domains are unaffected.
+    /// next refresh. Call after bulk-mutating pairwise similarities in
+    /// place (e.g. a whole CVE-feed refresh) — cached matrices would
+    /// silently keep the old values otherwise. Domains are unaffected. For
+    /// a *single* pair update, [`EnergyCache::invalidate_similarity_pair`]
+    /// drops only the affected matrices.
     pub fn invalidate_similarity(&mut self) {
         self.costs.clear();
         self.synced = None;
+    }
+
+    /// Invalidates exactly the cached cost matrices that reference the
+    /// product pair `(a, b)` — the matrices whose row domain contains one
+    /// product and whose column domain contains the other — and forces a
+    /// reassembly at the next refresh (folded unaries and fixed–fixed base
+    /// terms involving the pair must be recomputed too, and those live in
+    /// the model, not the matrix cache). Every *untouched* matrix survives
+    /// and is reused by that reassembly. Returns the number of matrices
+    /// dropped.
+    pub fn invalidate_similarity_pair(&mut self, a: ProductId, b: ProductId) -> usize {
+        let affected: Vec<(DomainId, DomainId)> = self
+            .costs
+            .keys()
+            .filter(|(da, db)| {
+                let ca = self.interner.resolve(*da);
+                let cb = self.interner.resolve(*db);
+                (ca.contains(&a) && cb.contains(&b)) || (ca.contains(&b) && cb.contains(&a))
+            })
+            .copied()
+            .collect();
+        for key in &affected {
+            self.costs.remove(key);
+        }
+        self.synced = None;
+        affected.len()
     }
 
     /// Brings the cached model up to `network.revision()`: refilters the
@@ -314,15 +390,22 @@ impl EnergyCache {
         self.refresh_hinted(network, similarity, None)
     }
 
-    /// [`EnergyCache::refresh`] with a *batch-revision fast path*: when the
+    /// [`EnergyCache::refresh`] with a *touched-set fast path*: when the
     /// caller knows exactly which hosts a delta batch touched (a merged
-    /// [`netmodel::delta::BatchEffect::touched`] set), the per-host revision
-    /// scan is restricted to those hosts instead of walking every host.
+    /// [`netmodel::delta::BatchEffect::touched`] set), the per-host
+    /// revision scan is restricted to those hosts **and the model is edited
+    /// in place** — only the touched hosts' variables and incident factors
+    /// are re-derived, their neighbors' folded unaries refreshed, and the
+    /// fixed–fixed base energy adjusted by the affected links. Untouched
+    /// variables keep their ids (see [`mrf::model`]'s stability contract).
     ///
     /// Correctness requires the hint to cover every host whose revision
-    /// moved since the last refresh — which `touched` sets do by
-    /// construction. The hint is ignored (full scan) while the cache has no
-    /// synced model, e.g. after [`EnergyCache::set_constraints`].
+    /// moved *and* every endpoint of a changed link since the last refresh
+    /// — which `touched` sets do by construction. The hint is ignored
+    /// (full scan + reassembly) while the cache has no synced model, e.g.
+    /// after [`EnergyCache::set_constraints`], and the edit falls back to
+    /// reassembly when the edited model's fragmentation crosses the
+    /// compaction threshold ([`mrf::model::MrfModel::should_compact`]).
     ///
     /// # Errors
     ///
@@ -336,19 +419,20 @@ impl EnergyCache {
         if self.synced == Some(network.revision()) {
             return Ok(RebuildStats {
                 rebuilt: false,
-                variables: self.model.model().var_count(),
+                variables: self.model.model().live_var_count(),
                 edges: self.model.model().edge_count(),
                 ..RebuildStats::default()
             });
         }
+        let hinted = changed.is_some() && self.synced.is_some();
         // Refilter changed hosts into a scratch list first so an infeasible
         // host cannot leave half-committed domains behind.
         let scan: Vec<HostId> = match changed {
-            Some(hint) if self.synced.is_some() => hint.to_vec(),
+            Some(hint) if hinted => hint.to_vec(),
             _ => network.iter_hosts().map(|(id, _)| id).collect(),
         };
         let mut refiltered: Vec<(usize, Vec<DomainId>)> = Vec::new();
-        for host_id in scan {
+        for &host_id in &scan {
             let i = host_id.index();
             let current = network.host_revision(host_id);
             if self.host_revisions.get(i) == Some(&current) {
@@ -371,35 +455,123 @@ impl EnergyCache {
             self.host_revisions[i] = network.host_revision(HostId(i as u32));
         }
         // Evict dead interner entries (domains no slot references anymore)
-        // once they outnumber the live set.
+        // once they outnumber the live set. Compaction remaps domain ids,
+        // so the refresh that runs it must reassemble.
         let live = self
             .domains
             .iter()
             .flatten()
             .collect::<std::collections::HashSet<_>>()
             .len();
+        let mut reassemble = !hinted || !self.edit_enabled;
         if self.interner.domains.len() >= 64 && self.interner.domains.len() > 2 * live {
             self.compact();
+            reassemble = true;
         }
-        let (potentials_computed, potentials_reused) = self.rebuild(network, similarity)?;
+        // A shrinking model accretes tombstones and dead potentials; past
+        // the threshold the reassembly doubles as the compaction.
+        if self.model.model().should_compact() {
+            reassemble = true;
+        }
+        let (potentials_computed, potentials_reused, edited) = if reassemble {
+            let (c, r) = self.rebuild(network, similarity)?;
+            (c, r, false)
+        } else {
+            let mut dirty: Vec<HostId> = scan;
+            dirty.sort_unstable();
+            dirty.dedup();
+            let (c, r) = self.edit(network, similarity, &dirty)?;
+            (c, r, true)
+        };
         self.synced = Some(network.revision());
         Ok(RebuildStats {
             rebuilt: true,
+            edited,
             hosts_refiltered,
             potentials_computed,
             potentials_reused,
-            variables: self.model.model().var_count(),
+            variables: self.model.model().live_var_count(),
             edges: self.model.model().edge_count(),
         })
     }
 
+    /// Looks up (or computes, caches and registers) the shared potential
+    /// for a variable–variable domain pair, bumping the compute/reuse
+    /// counters. Shared by the reassembly and the in-place edit.
+    #[allow(clippy::too_many_arguments)]
+    fn shared_potential(
+        interner: &DomainInterner,
+        costs: &mut HashMap<(DomainId, DomainId), Arc<Vec<f64>>>,
+        registered: &mut HashMap<(DomainId, DomainId), PotentialId>,
+        similarity: &ProductSimilarity,
+        key: (DomainId, DomainId),
+        mut register: impl FnMut(usize, usize, Vec<f64>) -> Result<PotentialId>,
+        computed: &mut usize,
+        reused: &mut usize,
+    ) -> Result<PotentialId> {
+        if let Some(&p) = registered.get(&key) {
+            return Ok(p);
+        }
+        let ca = interner.resolve(key.0);
+        let cb = interner.resolve(key.1);
+        let matrix = match costs.get(&key) {
+            Some(matrix) => {
+                *reused += 1;
+                Arc::clone(matrix)
+            }
+            None => {
+                *computed += 1;
+                let mut matrix = Vec::with_capacity(ca.len() * cb.len());
+                for &pa in ca.iter() {
+                    for &pb in cb.iter() {
+                        matrix.push(similarity.get(pa, pb));
+                    }
+                }
+                let matrix = Arc::new(matrix);
+                costs.insert(key, Arc::clone(&matrix));
+                matrix
+            }
+        };
+        let p = register(ca.len(), cb.len(), matrix.as_ref().clone())?;
+        registered.insert(key, p);
+        Ok(p)
+    }
+
+    /// The intra-host combination-constraint cost matrix for a pair of free
+    /// slots, or `None` when the constraint is vacuous there.
+    fn combination_costs(
+        params: &EnergyParams,
+        comb: &netmodel::constraints::Combination,
+        ca: &[ProductId],
+        cb: &[ProductId],
+    ) -> Option<Vec<f64>> {
+        let trigger = ca.iter().position(|&p| p == comb.if_product)?;
+        let mut matrix = vec![0.0; ca.len() * cb.len()];
+        for (j, &pb) in cb.iter().enumerate() {
+            let violates = if comb.is_forbid {
+                pb == comb.other
+            } else {
+                pb != comb.other
+            };
+            if violates {
+                matrix[trigger * cb.len() + j] = params.constraint_cost;
+            }
+        }
+        Some(matrix)
+    }
+
     /// Reassembles the MRF from cached domains and cost matrices (steps 3-5
-    /// of the original monolithic `build_energy`).
+    /// of the original monolithic `build_energy`) and re-derives the edit
+    /// bookkeeping (registered potentials, fixed-pair base terms) along the
+    /// way. Also the compaction path: the produced model is dense.
     fn rebuild(
         &mut self,
         network: &Network,
         similarity: &ProductSimilarity,
     ) -> Result<(usize, usize)> {
+        self.registered.clear();
+        self.fixed_pairs.clear();
+        self.fixed_adj.clear();
         // --- Variables. -----------------------------------------------------
         let mut builder = MrfBuilder::new();
         let mut slots: Vec<Vec<SlotBinding>> = Vec::with_capacity(network.host_count());
@@ -423,19 +595,21 @@ impl EnergyCache {
 
         // --- Inter-host similarity edges (paper Eq. 3). ---------------------
         let mut base_energy = 0.0;
-        let mut registered: HashMap<(DomainId, DomainId), PotentialId> = HashMap::new();
         let mut computed = 0usize;
         let mut reused = 0usize;
         for &(a, b) in network.links() {
             let host_a = network.host(a).expect("validated network");
             let host_b = network.host(b).expect("validated network");
+            let mut link_fixed = 0.0;
+            let mut any_fixed = false;
             for (slot_a, inst) in host_a.services().iter().enumerate() {
                 let Some(slot_b) = host_b.service_slot(inst.service()) else {
                     continue;
                 };
                 match (&slots[a.index()][slot_a], &slots[b.index()][slot_b]) {
                     (SlotBinding::Fixed(pa), SlotBinding::Fixed(pb)) => {
-                        base_energy += similarity.get(*pa, *pb);
+                        link_fixed += similarity.get(*pa, *pb);
+                        any_fixed = true;
                     }
                     (SlotBinding::Fixed(pa), SlotBinding::Variable { var, candidates }) => {
                         for (label, &pb) in candidates.iter().enumerate() {
@@ -455,41 +629,25 @@ impl EnergyCache {
                             self.domains[a.index()][slot_a],
                             self.domains[b.index()][slot_b],
                         );
-                        let pot = match registered.get(&key) {
-                            Some(&p) => p,
-                            None => {
-                                let ca = self.interner.resolve(key.0);
-                                let cb = self.interner.resolve(key.1);
-                                let costs = match self.costs.get(&key) {
-                                    Some(costs) => {
-                                        reused += 1;
-                                        Arc::clone(costs)
-                                    }
-                                    None => {
-                                        computed += 1;
-                                        let mut costs = Vec::with_capacity(ca.len() * cb.len());
-                                        for &pa in ca.iter() {
-                                            for &pb in cb.iter() {
-                                                costs.push(similarity.get(pa, pb));
-                                            }
-                                        }
-                                        let costs = Arc::new(costs);
-                                        self.costs.insert(key, Arc::clone(&costs));
-                                        costs
-                                    }
-                                };
-                                let p = builder.add_potential(
-                                    ca.len(),
-                                    cb.len(),
-                                    costs.as_ref().clone(),
-                                )?;
-                                registered.insert(key, p);
-                                p
-                            }
-                        };
+                        let pot = EnergyCache::shared_potential(
+                            &self.interner,
+                            &mut self.costs,
+                            &mut self.registered,
+                            similarity,
+                            key,
+                            |rows, cols, matrix| Ok(builder.add_potential(rows, cols, matrix)?),
+                            &mut computed,
+                            &mut reused,
+                        )?;
                         builder.add_edge(*va, *vb, pot)?;
                     }
                 }
+            }
+            if any_fixed {
+                base_energy += link_fixed;
+                self.fixed_pairs.insert((a, b), link_fixed);
+                self.fixed_adj.entry(a).or_default().push(b);
+                self.fixed_adj.entry(b).or_default().push(a);
             }
         }
 
@@ -523,25 +681,238 @@ impl EnergyCache {
                 else {
                     continue; // fixed sides were resolved by the fixpoint
                 };
-                let Some(trigger) = ca.iter().position(|&p| p == comb.if_product) else {
+                let Some(matrix) = EnergyCache::combination_costs(&self.params, &comb, ca, cb)
+                else {
                     continue; // trigger filtered out: vacuous
                 };
-                let mut costs = vec![0.0; ca.len() * cb.len()];
-                for (j, &pb) in cb.iter().enumerate() {
-                    let violates = if comb.is_forbid {
-                        pb == comb.other
-                    } else {
-                        pb != comb.other
-                    };
-                    if violates {
-                        costs[trigger * cb.len() + j] = self.params.constraint_cost;
-                    }
-                }
-                builder.add_edge_dense(*va, *vb, costs)?;
+                builder.add_edge_dense(*va, *vb, matrix)?;
             }
         }
 
         self.model = EnergyModel::from_parts(builder.build(), slots, base_energy);
+        Ok((computed, reused))
+    }
+
+    /// Edits the cached model in place for a touched-host set (module
+    /// docs): per dirty host, removes its variables (their incident edges
+    /// go with them), re-derives its slot bindings from the committed
+    /// domains, recomputes the folded unaries of the host and its direct
+    /// neighbors, re-adds the similarity edges and fixed–fixed base terms
+    /// of every link incident to the dirty set, and re-adds the dirty
+    /// hosts' combination-constraint edges. `O(touched · degree)` model
+    /// work; everything else keeps its variable ids.
+    fn edit(
+        &mut self,
+        network: &Network,
+        similarity: &ProductSimilarity,
+        dirty: &[HostId],
+    ) -> Result<(usize, usize)> {
+        let params = self.params;
+        let (model, slots, base_energy) = self.model.parts_mut();
+        if slots.len() < network.host_count() {
+            slots.resize(network.host_count(), Vec::new());
+        }
+        let mut dirty_mask = vec![false; network.host_count()];
+        for &h in dirty {
+            dirty_mask[h.index()] = true;
+        }
+
+        // 1. Retract the fixed–fixed base terms of every link that touched
+        //    a dirty host at the previous revision (removed links' endpoints
+        //    are always in the dirty set, so the partner index covers them).
+        for &h in dirty {
+            for g in self.fixed_adj.remove(&h).unwrap_or_default() {
+                let key = if h < g { (h, g) } else { (g, h) };
+                if let Some(v) = self.fixed_pairs.remove(&key) {
+                    *base_energy -= v;
+                }
+                if let Some(list) = self.fixed_adj.get_mut(&g) {
+                    list.retain(|&x| x != h);
+                }
+            }
+        }
+
+        // 2. Remove the dirty hosts' variables; incident edges (similarity
+        //    and constraint alike, including edges into clean neighbors) go
+        //    with them.
+        for &h in dirty {
+            for binding in &slots[h.index()] {
+                if let SlotBinding::Variable { var, .. } = binding {
+                    model.remove_var(*var).map_err(Error::Mrf)?;
+                }
+            }
+            slots[h.index()].clear();
+        }
+
+        // 3. Re-derive the dirty hosts' slot bindings from the committed
+        //    domains (removed hosts have none and stay empty).
+        for &h in dirty {
+            let host_domains = &self.domains[h.index()];
+            let mut host_slots = Vec::with_capacity(host_domains.len());
+            for &did in host_domains {
+                let domain = self.interner.resolve(did);
+                if domain.len() == 1 {
+                    host_slots.push(SlotBinding::Fixed(domain[0]));
+                } else {
+                    let var = model.add_var(domain.len()).map_err(Error::Mrf)?;
+                    host_slots.push(SlotBinding::Variable {
+                        var,
+                        candidates: Arc::clone(domain),
+                    });
+                }
+            }
+            slots[h.index()] = host_slots;
+        }
+
+        // 4. Recompute the unaries of every free slot on a dirty host or a
+        //    direct neighbor of one: the folded contributions from fixed
+        //    neighbors are the only unary terms that can have changed, and
+        //    they never reach further than one hop.
+        let mut unary_mask = dirty_mask.clone();
+        let mut unary_hosts = dirty.to_vec();
+        for &h in dirty {
+            for &g in network.neighbors(h) {
+                if !unary_mask[g.index()] {
+                    unary_mask[g.index()] = true;
+                    unary_hosts.push(g);
+                }
+            }
+        }
+        for &h in &unary_hosts {
+            let host = network.host(h).map_err(Error::Model)?;
+            for (slot, binding) in slots[h.index()].iter().enumerate() {
+                let SlotBinding::Variable { var, candidates } = binding else {
+                    continue;
+                };
+                let service = host.services()[slot].service();
+                let mut unary = vec![params.preference_cost; candidates.len()];
+                for &g in network.neighbors(h) {
+                    let peer = network.host(g).map_err(Error::Model)?;
+                    let Some(slot_g) = peer.service_slot(service) else {
+                        continue;
+                    };
+                    let SlotBinding::Fixed(p) = slots[g.index()][slot_g] else {
+                        continue;
+                    };
+                    // Match the reassembly's (lower host, higher host)
+                    // similarity orientation exactly.
+                    if h < g {
+                        for (label, &cand) in candidates.iter().enumerate() {
+                            unary[label] += similarity.get(cand, p);
+                        }
+                    } else {
+                        for (label, &cand) in candidates.iter().enumerate() {
+                            unary[label] += similarity.get(p, cand);
+                        }
+                    }
+                }
+                model.set_unary(*var, unary).map_err(Error::Mrf)?;
+            }
+        }
+
+        // 5. Similarity edges and fixed–fixed base terms for every link
+        //    incident to the dirty set (each link once).
+        let mut computed = 0usize;
+        let mut reused = 0usize;
+        for &h in dirty {
+            for &g in network.neighbors(h) {
+                if dirty_mask[g.index()] && g < h {
+                    continue; // both dirty: the lower id owns the link
+                }
+                let (a, b) = if h < g { (h, g) } else { (g, h) };
+                let host_a = network.host(a).map_err(Error::Model)?;
+                let host_b = network.host(b).map_err(Error::Model)?;
+                let mut link_fixed = 0.0;
+                let mut any_fixed = false;
+                for (slot_a, inst) in host_a.services().iter().enumerate() {
+                    let Some(slot_b) = host_b.service_slot(inst.service()) else {
+                        continue;
+                    };
+                    match (&slots[a.index()][slot_a], &slots[b.index()][slot_b]) {
+                        (SlotBinding::Fixed(pa), SlotBinding::Fixed(pb)) => {
+                            link_fixed += similarity.get(*pa, *pb);
+                            any_fixed = true;
+                        }
+                        (SlotBinding::Fixed(_), SlotBinding::Variable { .. })
+                        | (SlotBinding::Variable { .. }, SlotBinding::Fixed(_)) => {
+                            // Folded into the variable side by step 4.
+                        }
+                        (
+                            SlotBinding::Variable { var: va, .. },
+                            SlotBinding::Variable { var: vb, .. },
+                        ) => {
+                            let key = (
+                                self.domains[a.index()][slot_a],
+                                self.domains[b.index()][slot_b],
+                            );
+                            let pot = EnergyCache::shared_potential(
+                                &self.interner,
+                                &mut self.costs,
+                                &mut self.registered,
+                                similarity,
+                                key,
+                                |rows, cols, matrix| {
+                                    model.add_potential(rows, cols, matrix).map_err(Error::Mrf)
+                                },
+                                &mut computed,
+                                &mut reused,
+                            )?;
+                            model.add_pairwise(*va, *vb, pot).map_err(Error::Mrf)?;
+                        }
+                    }
+                }
+                if any_fixed {
+                    *base_energy += link_fixed;
+                    self.fixed_pairs.insert((a, b), link_fixed);
+                    self.fixed_adj.entry(a).or_default().push(b);
+                    self.fixed_adj.entry(b).or_default().push(a);
+                }
+            }
+        }
+
+        // 6. Combination-constraint edges of the dirty hosts (they were
+        //    removed with the hosts' variables in step 2).
+        for c in self.constraints.iter() {
+            let Some(comb) = c.as_combination() else {
+                continue;
+            };
+            let hosts: Vec<HostId> = match comb.scope {
+                Scope::Host(h) if dirty_mask.get(h.index()).copied().unwrap_or(false) => {
+                    vec![h]
+                }
+                Scope::Host(_) => Vec::new(),
+                Scope::All => dirty.to_vec(),
+            };
+            for h in hosts {
+                let Ok(host) = network.host(h) else { continue };
+                let (Some(sm), Some(sn)) = (
+                    host.service_slot(comb.if_service),
+                    host.service_slot(comb.then_service),
+                ) else {
+                    continue;
+                };
+                let (
+                    SlotBinding::Variable {
+                        var: va,
+                        candidates: ca,
+                    },
+                    SlotBinding::Variable {
+                        var: vb,
+                        candidates: cb,
+                    },
+                ) = (&slots[h.index()][sm], &slots[h.index()][sn])
+                else {
+                    continue; // fixed sides were resolved by the fixpoint
+                };
+                let Some(matrix) = EnergyCache::combination_costs(&params, &comb, ca, cb) else {
+                    continue; // trigger filtered out: vacuous
+                };
+                model
+                    .add_pairwise_dense(*va, *vb, matrix)
+                    .map_err(Error::Mrf)?;
+            }
+        }
+
         Ok((computed, reused))
     }
 }
@@ -578,6 +949,53 @@ mod tests {
         (net, c, ProductSimilarity::from_dense(3, vals))
     }
 
+    /// Semantic equivalence of two energy models that may disagree on
+    /// variable *ids* (the edit path recycles slots; scratch assembly is
+    /// dense): same binding structure and candidates per slot, same live
+    /// counts, and identical objectives for random slot assignments encoded
+    /// through each model's own variables.
+    fn assert_equivalent(a: &EnergyModel, b: &EnergyModel) {
+        assert_eq!(a.slots().len(), b.slots().len(), "host count");
+        for (host, (ra, rb)) in a.slots().iter().zip(b.slots().iter()).enumerate() {
+            assert_eq!(ra.len(), rb.len(), "slot count at host {host}");
+            for (slot, (ba, bb)) in ra.iter().zip(rb.iter()).enumerate() {
+                match (ba, bb) {
+                    (SlotBinding::Fixed(pa), SlotBinding::Fixed(pb)) => {
+                        assert_eq!(pa, pb, "fixed product at ({host}, {slot})")
+                    }
+                    (
+                        SlotBinding::Variable { candidates: ca, .. },
+                        SlotBinding::Variable { candidates: cb, .. },
+                    ) => assert_eq!(ca, cb, "candidates at ({host}, {slot})"),
+                    _ => panic!("binding kind mismatch at ({host}, {slot}): {ba:?} vs {bb:?}"),
+                }
+            }
+        }
+        assert_eq!(a.model().live_var_count(), b.model().live_var_count());
+        assert_eq!(a.model().edge_count(), b.model().edge_count());
+        assert!((a.base_energy() - b.base_energy()).abs() < 1e-9);
+        let encode = |m: &EnergyModel, pick: &dyn Fn(usize, usize) -> usize| {
+            let mut labels = vec![0usize; m.model().var_count()];
+            for (host, row) in m.slots().iter().enumerate() {
+                for (slot, binding) in row.iter().enumerate() {
+                    if let SlotBinding::Variable { var, candidates } = binding {
+                        labels[var.0] = pick(host, slot) % candidates.len();
+                    }
+                }
+            }
+            labels
+        };
+        for trial in 0..5usize {
+            let pick = move |host: usize, slot: usize| host.wrapping_mul(31) + slot + trial * 7;
+            let ea = a.model().energy(&encode(a, &pick)) + a.base_energy();
+            let eb = b.model().energy(&encode(b, &pick)) + b.base_energy();
+            assert!(
+                (ea - eb).abs() < 1e-9,
+                "objective mismatch on trial {trial}: {ea} vs {eb}"
+            );
+        }
+    }
+
     #[test]
     fn refresh_is_idempotent_and_cheap_when_current() {
         let (net, _, sim) = instance(6);
@@ -585,6 +1003,7 @@ mod tests {
             EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
         let stats = cache.refresh(&net, &sim).unwrap();
         assert!(!stats.rebuilt);
+        assert!(!stats.edited);
         assert_eq!(stats.hosts_refiltered, 0);
         assert_eq!(stats.variables, 6);
     }
@@ -600,6 +1019,7 @@ mod tests {
             .unwrap();
         let stats = cache.refresh(&net, &sim).unwrap();
         assert!(stats.rebuilt);
+        assert!(!stats.edited, "un-hinted refreshes reassemble");
         assert_eq!(stats.hosts_refiltered, 1, "only the fixed host refilters");
         assert_eq!(
             stats.potentials_computed, 0,
@@ -612,7 +1032,7 @@ mod tests {
     }
 
     #[test]
-    fn hinted_refresh_matches_full_scan() {
+    fn hinted_refresh_edits_in_place_and_matches_full_scan() {
         let (mut net, c, sim) = instance(8);
         let mut hinted =
             EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
@@ -635,22 +1055,86 @@ mod tests {
             .refresh_hinted(&net, &sim, Some(&effect.touched))
             .unwrap();
         assert_eq!(stats.hosts_refiltered, 3, "two fixes + the new host");
+        assert!(stats.edited, "hinted refreshes edit the model in place");
         full.refresh(&net, &sim).unwrap();
-        assert_eq!(hinted.model().slots(), full.model().slots());
-        assert_eq!(hinted.model().base_energy(), full.model().base_energy());
-        assert_eq!(
-            hinted.model().model().var_count(),
-            full.model().model().var_count()
-        );
-        assert_eq!(
-            hinted.model().model().edge_count(),
-            full.model().model().edge_count()
-        );
-        let labels = vec![0usize; hinted.model().model().var_count()];
-        assert!(
-            (hinted.model().model().energy(&labels) - full.model().model().energy(&labels)).abs()
-                < 1e-12
-        );
+        assert_equivalent(hinted.model(), full.model());
+    }
+
+    #[test]
+    fn edit_path_keeps_untouched_variable_ids_stable() {
+        let (mut net, c, sim) = instance(8);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let before: Vec<_> = cache.model().slots().to_vec();
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        let effect = net
+            .apply_delta(&NetworkDelta::fix_slot(HostId(3), os, p0), &c)
+            .unwrap();
+        cache
+            .refresh_hinted(&net, &sim, Some(&effect.touched))
+            .unwrap();
+        for (host, (old_row, new_row)) in
+            before.iter().zip(cache.model().slots().iter()).enumerate()
+        {
+            if host == 3 {
+                continue; // the touched host legitimately re-derives
+            }
+            assert_eq!(old_row, new_row, "host {host} bindings must not move");
+        }
+    }
+
+    #[test]
+    fn edit_path_tracks_a_delta_stream_against_scratch() {
+        let (mut net, c, sim) = instance(6);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let os = c.service_by_name("os").unwrap();
+        let p1 = c.product_by_name("p1").unwrap();
+        for delta in [
+            NetworkDelta::add_link(HostId(0), HostId(3)),
+            NetworkDelta::fix_slot(HostId(2), os, p1),
+            NetworkDelta::remove_host(HostId(5)),
+            NetworkDelta::add_host("h6", vec![(os, vec![p1])], vec![HostId(0)]),
+            NetworkDelta::remove_link(HostId(0), HostId(3)),
+            NetworkDelta::unfix_slot(HostId(2), os, vec![p1, c.product_by_name("p0").unwrap()]),
+        ] {
+            let effect = net.apply_delta(&delta, &c).unwrap();
+            let stats = cache
+                .refresh_hinted(&net, &sim, Some(&effect.touched))
+                .unwrap();
+            assert!(stats.edited, "after {delta}");
+            let scratch = crate::energy::build_energy(
+                &net,
+                &sim,
+                &ConstraintSet::new(),
+                EnergyParams::default(),
+            )
+            .unwrap();
+            assert_equivalent(cache.model(), &scratch);
+        }
+    }
+
+    #[test]
+    fn disabled_edits_fall_back_to_reassembly() {
+        let (mut net, c, sim) = instance(6);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        cache.set_in_place_edits(false);
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        let effect = net
+            .apply_delta(&NetworkDelta::fix_slot(HostId(1), os, p0), &c)
+            .unwrap();
+        let stats = cache
+            .refresh_hinted(&net, &sim, Some(&effect.touched))
+            .unwrap();
+        assert!(stats.rebuilt);
+        assert!(!stats.edited);
+        let scratch =
+            crate::energy::build_energy(&net, &sim, &ConstraintSet::new(), EnergyParams::default())
+                .unwrap();
+        assert_equivalent(cache.model(), &scratch);
     }
 
     #[test]
@@ -695,13 +1179,21 @@ mod tests {
         constraints.push(Constraint::fix(HostId(1), os, p0));
         let mut cache =
             EnergyCache::new(&net, &sim, &constraints, EnergyParams::default()).unwrap();
-        let vars_before = cache.model().model().var_count();
+        let vars_before = cache.model().model().live_var_count();
         // Narrow host 1 to p1 only: the Fix(p0) constraint empties the domain.
-        net.apply_delta(&NetworkDelta::unfix_slot(HostId(1), os, vec![p1]), &c)
+        let effect = net
+            .apply_delta(&NetworkDelta::unfix_slot(HostId(1), os, vec![p1]), &c)
             .unwrap();
+        // Both the hinted (edit) and un-hinted (reassembly) paths must leave
+        // the previous model intact.
+        let err = cache
+            .refresh_hinted(&net, &sim, Some(&effect.touched))
+            .unwrap_err();
+        assert!(matches!(err, Error::Infeasible { .. }));
+        assert_eq!(cache.model().model().live_var_count(), vars_before);
         let err = cache.refresh(&net, &sim).unwrap_err();
         assert!(matches!(err, Error::Infeasible { .. }));
-        assert_eq!(cache.model().model().var_count(), vars_before);
+        assert_eq!(cache.model().model().live_var_count(), vars_before);
     }
 
     #[test]
@@ -739,9 +1231,18 @@ mod tests {
             } else {
                 subset
             };
-            net.apply_delta(&NetworkDelta::unfix_slot(ids[0], os, subset), &c)
+            let effect = net
+                .apply_delta(&NetworkDelta::unfix_slot(ids[0], os, subset), &c)
                 .unwrap();
-            cache.refresh(&net, &sim).unwrap();
+            // Alternate the hinted (edit) and un-hinted (reassembly) paths;
+            // compaction has to stay sound through both.
+            if i % 2 == 0 {
+                cache
+                    .refresh_hinted(&net, &sim, Some(&effect.touched))
+                    .unwrap();
+            } else {
+                cache.refresh(&net, &sim).unwrap();
+            }
             peak = peak.max(cache.footprint().0);
         }
         assert!(
@@ -752,7 +1253,7 @@ mod tests {
         let scratch =
             crate::energy::build_energy(&net, &sim, &ConstraintSet::new(), EnergyParams::default())
                 .unwrap();
-        assert_eq!(cache.model().slots(), scratch.slots());
+        assert_equivalent(cache.model(), &scratch);
     }
 
     #[test]
@@ -773,5 +1274,52 @@ mod tests {
         assert!(
             (cache.model().model().energy(&labels) - scratch.model().energy(&labels)).abs() < 1e-12
         );
+    }
+
+    #[test]
+    fn pair_invalidation_drops_only_affected_matrices() {
+        // Two services with disjoint product sets: updating an OS pair must
+        // not touch the browser matrices.
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let wb = c.add_service("wb");
+        let os_products: Vec<_> = (0..3)
+            .map(|i| c.add_product(&format!("os{i}"), os).unwrap())
+            .collect();
+        let wb_products: Vec<_> = (0..3)
+            .map(|i| c.add_product(&format!("wb{i}"), wb).unwrap())
+            .collect();
+        let mut b = NetworkBuilder::new();
+        let ids: Vec<HostId> = (0..4).map(|i| b.add_host(&format!("h{i}"))).collect();
+        for &h in &ids {
+            b.add_service(h, os, os_products.clone()).unwrap();
+            b.add_service(h, wb, wb_products.clone()).unwrap();
+        }
+        for w in ids.windows(2) {
+            b.add_link(w[0], w[1]).unwrap();
+        }
+        let net = b.build(&c).unwrap();
+        let mut sim = ProductSimilarity::uniform(&c, 0.4);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let matrices_before = cache.footprint().1;
+        assert!(matrices_before >= 2, "one matrix per service domain");
+
+        sim.set(os_products[0], os_products[1], 0.95);
+        cache.invalidate_similarity_pair(os_products[0], os_products[1]);
+        let stats = cache.refresh(&net, &sim).unwrap();
+        assert!(stats.rebuilt);
+        assert_eq!(
+            stats.potentials_computed, 1,
+            "only the OS matrix is recomputed"
+        );
+        assert!(
+            stats.potentials_reused >= 1,
+            "the browser matrix survives the pair invalidation"
+        );
+        let scratch =
+            crate::energy::build_energy(&net, &sim, &ConstraintSet::new(), EnergyParams::default())
+                .unwrap();
+        assert_equivalent(cache.model(), &scratch);
     }
 }

@@ -96,6 +96,13 @@ impl EnergyModel {
         &self.model
     }
 
+    /// Mutable access for [`EnergyCache`]'s in-place edits: the model, the
+    /// slot bindings, and the fixed–fixed base energy, borrowed together so
+    /// an edit can keep all three consistent.
+    pub(crate) fn parts_mut(&mut self) -> (&mut MrfModel, &mut Vec<Vec<SlotBinding>>, &mut f64) {
+        (&mut self.model, &mut self.slots, &mut self.base_energy)
+    }
+
     /// The binding of each (host, slot index).
     pub fn slots(&self) -> &[Vec<SlotBinding>] {
         &self.slots

@@ -266,6 +266,17 @@ impl DiversityEngine {
         self
     }
 
+    /// Enables or disables in-place model edits on delta absorption
+    /// (default: enabled). Disabled, every absorbed delta reassembles the
+    /// model linearly — the pre-mutable-model behavior, kept as the
+    /// measurable baseline for the `mutable_model` bench (the
+    /// [`ReassignmentReport::rebuild`]`.edited` flag reports which path a
+    /// step took either way).
+    pub fn with_in_place_edits(mut self, enabled: bool) -> DiversityEngine {
+        self.cache.set_in_place_edits(enabled);
+        self
+    }
+
     /// The current network (with revision counters).
     pub fn network(&self) -> &Network {
         &self.network
@@ -345,14 +356,17 @@ impl DiversityEngine {
     }
 
     /// Updates one pairwise similarity in place (a CVE-feed refresh) and
-    /// invalidates the cached cost matrices so the next step rebuilds them.
+    /// invalidates exactly the cached cost matrices whose domain pair
+    /// references `(a, b)` — every other matrix survives and is reused by
+    /// the next step's rebuild
+    /// ([`EnergyCache::invalidate_similarity_pair`]).
     ///
     /// # Panics
     ///
     /// Panics if either id is out of range.
     pub fn update_similarity(&mut self, a: ProductId, b: ProductId, similarity: f64) {
         self.similarity.set(a, b, similarity);
-        self.cache.invalidate_similarity();
+        self.cache.invalidate_similarity_pair(a, b);
     }
 
     /// Applies one delta end to end: staged network mutation, incremental
@@ -468,10 +482,13 @@ impl DiversityEngine {
         let ctl = self.control();
 
         let solve_start = Instant::now();
-        let full_model_sweep = (self.network.active_host_count(), energy.model().var_count());
+        let full_model_sweep = (
+            self.network.active_host_count(),
+            energy.model().live_var_count(),
+        );
         let (solution, warm_started, carried, objective_before, locality) = match &self.last {
             Some(prev) => {
-                let seeds = seed_labels(energy.slots(), prev);
+                let seeds = seed_labels(energy.slots(), energy.model().var_count(), prev);
                 let start = project_labels(energy.model(), &seeds);
                 let carried_objective = energy.model().energy(&start) + energy.base_energy();
                 let carried = energy.decode(&start);
@@ -523,9 +540,8 @@ impl DiversityEngine {
                         }
                         _ => {
                             // A deliberate full (but seal-respecting)
-                            // re-sweep: seed the whole model as frontier.
-                            let all: Vec<VarId> =
-                                (0..energy.model().var_count()).map(VarId).collect();
+                            // re-sweep: seed every live variable as frontier.
+                            let all: Vec<VarId> = energy.model().live_vars().collect();
                             let local = self.refiner.refine_local_sealed(
                                 energy.model(),
                                 start,
@@ -606,11 +622,11 @@ impl DiversityEngine {
     }
 }
 
-/// The hosts within `k` hops of any host in `touched` (including the
+/// The live hosts within `k` hops of any host in `touched` (including the
 /// touched hosts themselves), by BFS over the committed network. Removed
-/// hosts have no links left, so a tombstone in `touched` contributes only
-/// itself — its former neighbors are already in the touched set (the delta
-/// layer records them).
+/// hosts have no links and no variables left, so a tombstone in `touched`
+/// is excluded from the ball — its former neighbors are already in the
+/// touched set (the delta layer records them).
 fn frontier_ball(network: &Network, touched: &[HostId], k: usize) -> Vec<HostId> {
     let mut depth = vec![usize::MAX; network.host_count()];
     let mut queue = std::collections::VecDeque::new();
@@ -618,7 +634,9 @@ fn frontier_ball(network: &Network, touched: &[HostId], k: usize) -> Vec<HostId>
     for &h in touched {
         if h.index() < depth.len() && depth[h.index()] == usize::MAX {
             depth[h.index()] = 0;
-            ball.push(h);
+            if network.host(h).is_ok_and(|host| !host.is_removed()) {
+                ball.push(h);
+            }
             queue.push_back(h);
         }
     }
@@ -656,12 +674,14 @@ fn frontier_vars(slots: &[Vec<SlotBinding>], hosts: &[HostId]) -> Vec<VarId> {
 }
 
 /// Per-variable seed labels encoding "the product this slot ran before".
-fn seed_labels(slots: &[Vec<SlotBinding>], previous: &Assignment) -> Vec<Option<usize>> {
-    let var_count = slots
-        .iter()
-        .flatten()
-        .filter(|b| matches!(b, SlotBinding::Variable { .. }))
-        .count();
+/// Indexed by variable *slot* (`var_count` is the model's slot count, which
+/// under the mutable model exceeds the live-variable count when tombstones
+/// are present); seeds at dead slots stay `None`.
+fn seed_labels(
+    slots: &[Vec<SlotBinding>],
+    var_count: usize,
+    previous: &Assignment,
+) -> Vec<Option<usize>> {
     let mut seeds = vec![None; var_count];
     for (host, host_slots) in slots.iter().enumerate() {
         let old_row = previous.products_at(HostId(host as u32));
@@ -1052,5 +1072,13 @@ mod tests {
         let r1 = eng.solve().unwrap();
         assert!(r1.rebuild.rebuilt, "similarity update must force a rebuild");
         assert!(r1.objective_after >= r0.objective_after - 1e-9);
+        // The invalidation is targeted: products 0 and 1 belong to
+        // service0, so service1's cost matrix must have been reused, and
+        // only the matrices referencing the pair recomputed.
+        assert!(
+            r1.rebuild.potentials_reused >= 1,
+            "matrices not referencing the updated pair must survive"
+        );
+        assert!(r1.rebuild.potentials_computed >= 1);
     }
 }

@@ -1141,10 +1141,16 @@ impl ShardedEngine {
         let model = energy.model();
         let addons = self.cross_addons(model.var_count(), global, &self.boundary_entries(s));
         let mut builder = MrfBuilder::new();
+        // Mirror the shard model's slot layout so labelings transfer
+        // verbatim; tombstoned slots become inert 1-label placeholders
+        // (their label in any transferred labeling is ignored either way).
         for v in 0..model.var_count() {
-            builder.add_variable(model.labels(VarId(v)));
+            builder.add_variable(model.labels(VarId(v)).max(1));
         }
         for (v, addon) in addons.iter().enumerate() {
+            if !model.is_live(VarId(v)) {
+                continue;
+            }
             let mut unary = model.unary(VarId(v)).to_vec();
             if let Some(extra) = addon {
                 for (label, u) in unary.iter_mut().enumerate() {
@@ -1155,7 +1161,7 @@ impl ShardedEngine {
                 .set_unary(VarId(v), unary)
                 .expect("arity is copied from the shard model");
         }
-        for edge in model.edges() {
+        for (_, edge) in model.live_edges() {
             let (la, lb) = (model.labels(edge.a()), model.labels(edge.b()));
             let mut costs = Vec::with_capacity(la * lb);
             for xa in 0..la {

@@ -61,15 +61,21 @@ impl MapSolver for Bp {
         if n == 0 {
             return Solution::new(Vec::new(), 0.0, None, 0, true);
         }
-        let ecount = model.edge_count();
-        // Flat message storage, double-buffered.
+        let ecount = model.edge_slots();
+        // Flat message storage, double-buffered; offsets are per edge
+        // *slot*, tombstoned slots carrying zero-length messages.
         let mut off_a = Vec::with_capacity(ecount + 1);
         let mut off_b = Vec::with_capacity(ecount + 1);
         off_a.push(0usize);
         off_b.push(0usize);
         for e in model.edges() {
-            off_a.push(off_a.last().unwrap() + model.labels(e.a()));
-            off_b.push(off_b.last().unwrap() + model.labels(e.b()));
+            let (la, lb) = if e.is_live() {
+                (model.labels(e.a()), model.labels(e.b()))
+            } else {
+                (0, 0)
+            };
+            off_a.push(off_a.last().unwrap() + la);
+            off_b.push(off_b.last().unwrap() + lb);
         }
         let mut to_a = vec![0.0f64; *off_a.last().unwrap()];
         let mut to_b = vec![0.0f64; *off_b.last().unwrap()];
@@ -161,7 +167,7 @@ fn incoming_totals(
         var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
     }
     let mut totals = vec![0.0; *var_off.last().unwrap()];
-    for (eidx, e) in model.edges().iter().enumerate() {
+    for (eidx, e) in model.live_edges() {
         let a = e.a().0;
         let b = e.b().0;
         for (x, m) in to_a[off_a[eidx]..off_a[eidx + 1]].iter().enumerate() {
@@ -193,13 +199,17 @@ fn update_messages(
     for i in 0..model.var_count() {
         var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
     }
-    let ecount = model.edge_count();
+    let ecount = model.edge_slots();
     let threads = threads.max(1).min(ecount.max(1));
 
     // The per-edge update: compute both direction messages for edge `eidx`,
-    // writing into the (disjoint) slices of the new buffers.
+    // writing into the (disjoint) slices of the new buffers. Tombstoned
+    // slots own zero-length slices and are skipped.
     let update_edge = |eidx: usize, out_a: &mut [f64], out_b: &mut [f64]| -> f64 {
         let e = model.edges()[eidx];
+        if !e.is_live() {
+            return 0.0;
+        }
         let (a, b) = (e.a(), e.b());
         let (la, lb) = (model.labels(a), model.labels(b));
         let ua = model.unary(a);

@@ -89,19 +89,22 @@ impl Elimination {
     ///   it into a best-effort fallback.
     pub fn solve_exact(&self, model: &MrfModel, ctl: &SolveControl) -> Result<Solution> {
         let n = model.var_count();
-        if n == 0 {
-            return Ok(Solution::new(Vec::new(), 0.0, Some(0.0), 0, true));
+        if model.live_var_count() == 0 {
+            let labels = vec![0usize; n];
+            let energy = model.energy(&labels);
+            return Ok(Solution::new(labels, energy, Some(energy), 0, true));
         }
-        // Initial tables: unaries and pairwise potentials.
+        // Initial tables: unaries and pairwise potentials (live slots only;
+        // tombstones carry no cost and keep label 0 in the output).
         let mut tables: Vec<CostTable> = Vec::with_capacity(n + model.edge_count());
-        for i in 0..n {
+        for v in model.live_vars() {
             tables.push(CostTable {
-                scope: vec![i],
-                cards: vec![model.labels(VarId(i))],
-                costs: model.unary(VarId(i)).to_vec(),
+                scope: vec![v.0],
+                cards: vec![model.labels(v)],
+                costs: model.unary(v).to_vec(),
             });
         }
-        for e in model.edges() {
+        for (_, e) in model.live_edges() {
             let (a, b) = (e.a().0, e.b().0);
             let (la, lb) = (model.labels(e.a()), model.labels(e.b()));
             let mut costs = Vec::with_capacity(la * lb);
@@ -119,7 +122,7 @@ impl Elimination {
         }
 
         let mut records: Vec<EliminationRecord> = Vec::with_capacity(n);
-        let mut remaining: BTreeSet<usize> = (0..n).collect();
+        let mut remaining: BTreeSet<usize> = model.live_vars().map(|v| v.0).collect();
         let mut constant = 0.0f64;
 
         while let Some(var) = pick_min_degree(&tables, &remaining) {

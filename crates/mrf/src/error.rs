@@ -1,15 +1,19 @@
 use std::fmt;
 
-use crate::{PotentialId, VarId};
+use crate::{EdgeId, PotentialId, VarId};
 
-/// Errors produced while constructing MRF models.
+/// Errors produced while constructing or mutating MRF models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Error {
-    /// A referenced variable does not exist.
+    /// A referenced variable does not exist (out of range, or tombstoned by
+    /// [`crate::model::MrfModel::remove_var`]).
     UnknownVariable(VarId),
     /// A referenced potential does not exist.
     UnknownPotential(PotentialId),
+    /// A referenced edge does not exist (out of range, or tombstoned by
+    /// [`crate::model::MrfModel::remove_pairwise`]).
+    UnknownEdge(EdgeId),
     /// A unary cost vector has the wrong number of entries.
     UnaryArity {
         /// The variable.
@@ -59,6 +63,7 @@ impl fmt::Display for Error {
         match self {
             Error::UnknownVariable(v) => write!(f, "unknown variable {}", v.0),
             Error::UnknownPotential(p) => write!(f, "unknown potential {}", p.0),
+            Error::UnknownEdge(e) => write!(f, "unknown or removed edge {}", e.0),
             Error::UnaryArity { var, labels, got } => write!(
                 f,
                 "variable {} has {labels} labels but {got} unary costs were supplied",

@@ -92,6 +92,9 @@ impl Icm {
             sweeps = sweep + 1;
             let mut changed = false;
             for i in 0..n {
+                if !model.is_live(VarId(i)) {
+                    continue;
+                }
                 let best = conditional_argmin(model, &labels, i, &mut cost);
                 if best != labels[i] && cost[best] < cost[labels[i]] {
                     labels[i] = best;
@@ -137,12 +140,12 @@ impl MapSolver for Icm {
     ) -> LocalRefine {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
         let n = model.var_count();
-        let mut region = ActiveRegion::new(n, frontier);
+        let mut region = ActiveRegion::new(model, frontier);
         if region.count == 0 {
             return LocalRefine::noop(model, start);
         }
         if region.should_fall_back() {
-            return LocalRefine::full(self.solve_from(model, start, ctl), n);
+            return LocalRefine::full(self.solve_from(model, start, ctl), model.live_var_count());
         }
         let mut labels = start;
         let mut cost = vec![0.0f64; model.max_labels()];
@@ -171,7 +174,7 @@ impl MapSolver for Icm {
                             let full = self.solve_from(model, labels, ctl);
                             return LocalRefine {
                                 solution: full,
-                                swept_vars: n,
+                                swept_vars: model.live_var_count(),
                                 expansions,
                                 full_sweep: true,
                             };
@@ -219,20 +222,22 @@ impl MapSolver for Icm {
                 *m = true;
             }
         }
-        let unsealed_total = sealed_mask.iter().filter(|&&m| !m).count();
+        let unsealed_total = (0..n)
+            .filter(|&i| !sealed_mask[i] && model.is_live(VarId(i)))
+            .count();
         let unsealed_frontier: Vec<VarId> = frontier
             .iter()
             .copied()
             .filter(|v| v.0 < n && !sealed_mask[v.0])
             .collect();
-        let mut region = ActiveRegion::new(n, &unsealed_frontier);
+        let mut region = ActiveRegion::new(model, &unsealed_frontier);
         if region.count == 0 {
             return LocalRefine::noop(model, start);
         }
         let mut full_sweep = 2 * region.count > unsealed_total;
         if full_sweep {
             for (i, active) in region.mask.iter_mut().enumerate() {
-                *active = !sealed_mask[i];
+                *active = !sealed_mask[i] && model.is_live(VarId(i));
             }
             region.count = unsealed_total;
         }
@@ -269,10 +274,11 @@ impl MapSolver for Icm {
                             region.expansions += 1;
                             if 2 * region.count > unsealed_total {
                                 // The wave stopped being local: widen to
-                                // every unsealed variable and keep going.
+                                // every live unsealed variable and keep
+                                // going.
                                 full_sweep = true;
                                 for (v, active) in region.mask.iter_mut().enumerate() {
-                                    *active = !sealed_mask[v];
+                                    *active = !sealed_mask[v] && model.is_live(VarId(v));
                                 }
                                 region.count = unsealed_total;
                             }

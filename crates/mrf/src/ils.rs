@@ -98,9 +98,10 @@ impl MapSolver for Ils {
     /// Panics if `start` has the wrong arity or out-of-range labels.
     fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
-        let n = model.var_count();
-        if n == 0 {
-            return Solution::new(start, 0.0, None, 0, true);
+        let live: Vec<VarId> = model.live_vars().collect();
+        if live.is_empty() {
+            let energy = model.energy(&start);
+            return Solution::new(start, energy, None, 0, true);
         }
         let icm = Icm::new(IcmOptions {
             max_sweeps: self.options.sweeps,
@@ -116,6 +117,7 @@ impl MapSolver for Ils {
         } else {
             (start, start_energy)
         };
+        let n = live.len();
         let kick_size = ((n as f64 * self.options.kick_fraction).ceil() as usize).clamp(1, n);
         let mut kicks_run = 0usize;
         let mut stopped = false;
@@ -127,9 +129,9 @@ impl MapSolver for Ils {
             kicks_run += 1;
             let mut candidate = best.clone();
             for _ in 0..kick_size {
-                let v = rng.below(n);
-                let labels = model.labels(VarId(v));
-                candidate[v] = rng.below(labels);
+                let v = live[rng.below(n)];
+                let labels = model.labels(v);
+                candidate[v.0] = rng.below(labels);
             }
             let descended = icm.solve_from(model, candidate, ctl);
             let accept = if self.options.plateau {

@@ -20,7 +20,10 @@
 //!   per-variable unary costs, and pairwise potentials on edges. Potentials
 //!   are *shared*: thousands of edges can reference one cost matrix, which
 //!   is what keeps 6000-host × 25-service instances (several million MRF
-//!   edges) in memory.
+//!   edges) in memory. Models are **mutable with stable variable handles**
+//!   (tombstones + free lists): incremental pipelines edit variables and
+//!   factors in place after a localized change instead of reassembling the
+//!   whole model — see the module docs and the example below.
 //! * [`trws`] — sequential tree-reweighted message passing with a certified
 //!   lower bound; exact on trees, state-of-the-art approximate on loopy
 //!   graphs.
@@ -90,6 +93,50 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Mutable models: build, mutate, re-solve
+//!
+//! A model is not frozen at build time: [`MrfModel`] exposes
+//! `add_var` / `remove_var` / `set_unary` / `add_pairwise` /
+//! `remove_pairwise` mutators whose handles stay stable across mutations
+//! of *other* variables (removal tombstones a slot; a free list recycles
+//! it). Solvers sweep live variables only, and the previous solution
+//! remains a valid warm start because labeling arity is the slot count:
+//!
+//! ```
+//! use mrf::model::MrfModel;
+//! use mrf::solver::{MapSolver, SolveControl};
+//! use mrf::trws::Trws;
+//!
+//! # fn main() -> Result<(), mrf::Error> {
+//! // Build: a 3-chain preferring disagreement along each edge.
+//! let mut model = MrfModel::new();
+//! let vars: Vec<_> = (0..3).map(|_| model.add_var(2)).collect::<Result<_, _>>()?;
+//! for w in vars.windows(2) {
+//!     model.add_pairwise_dense(w[0], w[1], vec![1.0, 0.0, 0.0, 1.0])?;
+//! }
+//! let ctl = SolveControl::new();
+//! let first = Trws::default().solve(&model, &ctl);
+//! assert_eq!(first.energy(), 0.0);
+//!
+//! // Mutate: drop the middle variable (its edges go with it), grow a new
+//! // one linked to both survivors. Handles of untouched variables — and
+//! // their labels in `first` — stay valid; the tombstoned slot is reused.
+//! model.remove_var(vars[1])?;
+//! let fresh = model.add_var(2)?;
+//! assert_eq!(fresh, vars[1]);
+//! model.add_pairwise_dense(vars[0], fresh, vec![1.0, 0.0, 0.0, 1.0])?;
+//! model.add_pairwise_dense(fresh, vars[2], vec![1.0, 0.0, 0.0, 1.0])?;
+//! model.set_unary(fresh, vec![0.0, 0.1])?;
+//!
+//! // Re-solve warm from the previous labeling.
+//! let second = Trws::default().refine(&model, first.labels().to_vec(), &ctl);
+//! assert_eq!(second.energy(), 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod bp;
 pub mod elimination;
@@ -108,7 +155,7 @@ mod error;
 
 pub use error::Error;
 pub use local::{condition_submodel, LocalRefine};
-pub use model::{MrfBuilder, MrfModel, PotentialId, VarId};
+pub use model::{EdgeId, MrfBuilder, MrfModel, PotentialId, VarId};
 pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;
 pub use solver::{ExactFallback, MapSolver, ProgressEvent, SolveControl};

@@ -92,18 +92,19 @@ pub(crate) struct ActiveRegion {
 }
 
 impl ActiveRegion {
-    /// Seeds the region with the frontier ball (out-of-range frontier
-    /// entries are ignored — they can only come from a stale caller and
-    /// there is nothing local to sweep for them).
-    pub(crate) fn new(var_count: usize, frontier: &[VarId]) -> ActiveRegion {
-        let mut mask = vec![false; var_count];
+    /// Seeds the region with the frontier ball. Out-of-range and
+    /// tombstoned frontier entries are ignored — they can only come from a
+    /// stale caller and there is nothing local to sweep for them.
+    pub(crate) fn new(model: &MrfModel, frontier: &[VarId]) -> ActiveRegion {
+        let mut mask = vec![false; model.var_count()];
         let mut count = 0;
-        for v in frontier {
-            if let Some(m) = mask.get_mut(v.0) {
-                if !*m {
-                    *m = true;
-                    count += 1;
-                }
+        for &v in frontier {
+            if !model.is_live(v) {
+                continue;
+            }
+            if !mask[v.0] {
+                mask[v.0] = true;
+                count += 1;
             }
         }
         ActiveRegion {
@@ -131,6 +132,8 @@ impl ActiveRegion {
     /// Whether the region has grown past the point where locality pays:
     /// more than half the model active means a masked sweep does nearly
     /// the work of a full one while still risking further expansions.
+    /// (Measured against the slot count; a fragmented model trips slightly
+    /// later, which only errs on the side of staying local.)
     pub(crate) fn should_fall_back(&self) -> bool {
         2 * self.count > self.mask.len()
     }
@@ -202,7 +205,9 @@ pub fn condition_submodel(
     let mut map = Vec::new();
     let mut builder = MrfBuilder::new();
     for i in 0..model.var_count() {
-        if !active[i] {
+        // Tombstoned slots are conditioned out like inactive variables;
+        // they contribute no energy at any label.
+        if !active[i] || !model.is_live(VarId(i)) {
             continue;
         }
         sub_index[i] = map.len();
@@ -233,6 +238,9 @@ pub fn condition_submodel(
             .expect("fresh variable accepts its own arity");
     }
     for e in model.edges() {
+        if !e.is_live() {
+            continue;
+        }
         let (a, b) = (e.a().0, e.b().0);
         if !active[a] || !active[b] {
             continue;

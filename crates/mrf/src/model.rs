@@ -1,22 +1,95 @@
-//! The pairwise-MRF energy function (paper Eq. 1).
+//! The pairwise-MRF energy function (paper Eq. 1) — a *mutable* model with
+//! stable variable handles.
 //!
 //! `E(x) = Σ_i φ_i(x_i) + Σ_(i,j) ψ_ij(x_i, x_j)` over variables with finite
 //! label sets. Pairwise potentials are stored once and *referenced* by edges:
 //! in the diversity problem every inter-host edge for a given service uses
 //! the same similarity submatrix, so sharing reduces memory from
 //! O(edges · L²) to O(edges + services · L²).
+//!
+//! # Mutability and handle stability
+//!
+//! Incremental pipelines edit a model in place instead of reassembling it:
+//! after a localized change (one host's candidate domain, one link), 99% of
+//! the variables and factors are untouched, and rebuilding them linearly is
+//! the dominant cost of absorbing the change. [`MrfModel`] therefore keeps
+//! a **slot array with tombstones and a free list**, mirroring the host
+//! layer's design in `netmodel`:
+//!
+//! * [`MrfModel::add_var`] returns a [`VarId`] that stays valid across any
+//!   later mutation of *other* variables — removing a variable never
+//!   reindexes its survivors.
+//! * [`MrfModel::remove_var`] tombstones the slot (label count 0, incident
+//!   edges removed) and recycles it through a free list, so a churning
+//!   model's slot count stays bounded by its peak size.
+//! * Labelings are indexed by slot: their arity is [`MrfModel::var_count`]
+//!   (slots, including tombstones), and entries at dead slots are ignored
+//!   by [`MrfModel::energy`]. Live variables are enumerated with
+//!   [`MrfModel::live_vars`]; solvers sweep those only.
+//! * Edges have their own slots, handles ([`EdgeId`]) and free list;
+//!   [`MrfModel::incident_edges`] lists live edges only, so traversal never
+//!   sees a tombstone.
+//! * Mutations referencing a tombstoned slot **error**
+//!   ([`crate::Error::UnknownVariable`] / [`crate::Error::UnknownEdge`])
+//!   instead of corrupting the model.
+//!
+//! Slot recycling keeps fragmentation bounded under steady churn; a model
+//! that *shrinks* (many removals, few additions) accretes dead slots and
+//! unreferenced potentials instead. [`MrfModel::fragmentation`] measures
+//! that share and [`MrfModel::should_compact`] reports when it crosses the
+//! built-in threshold; [`MrfModel::compact`] then rewrites the model dense
+//! again, returning the slot remap (the one operation that moves handles —
+//! callers holding [`VarId`]s apply the remap or rebuild their index).
+//!
+//! ```
+//! use mrf::model::MrfModel;
+//!
+//! # fn main() -> Result<(), mrf::Error> {
+//! let mut m = MrfModel::new();
+//! let x = m.add_var(2)?;
+//! let y = m.add_var(2)?;
+//! let z = m.add_var(2)?;
+//! m.add_pairwise_dense(x, y, vec![1.0, 0.0, 0.0, 1.0])?;
+//! let yz = m.add_pairwise_dense(y, z, vec![1.0, 0.0, 0.0, 1.0])?;
+//!
+//! // Remove y: x and z keep their handles, y's edges go with it.
+//! m.remove_var(y)?;
+//! assert_eq!(m.live_var_count(), 2);
+//! assert_eq!(m.edge_count(), 0);
+//! assert_eq!(m.labels(x), 2);
+//!
+//! // Mutations against the tombstone error instead of corrupting.
+//! assert!(m.set_unary(y, vec![0.0, 0.0]).is_err());
+//! assert!(m.remove_pairwise(yz).is_err());
+//!
+//! // The slot is recycled: the next add_var reuses y's index.
+//! let w = m.add_var(3)?;
+//! assert_eq!(w, y);
+//! # Ok(())
+//! # }
+//! ```
 
 use serde::{Deserialize, Serialize};
 
 use crate::{Error, Result};
 
 /// Handle to a variable in an [`MrfModel`].
+///
+/// Stable across mutations of other variables: only removing the variable
+/// itself (which tombstones and eventually recycles the slot) or a
+/// [`MrfModel::compact`] invalidates a handle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VarId(pub usize);
 
 /// Handle to a shared pairwise potential in an [`MrfModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PotentialId(pub usize);
+
+/// Handle to an edge slot in an [`MrfModel`], as returned by
+/// [`MrfModel::add_pairwise`] and accepted by [`MrfModel::remove_pairwise`].
+/// Same stability contract as [`VarId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
 
 /// A shared pairwise cost matrix (row-major; `rows` labels of the first
 /// endpoint × `cols` labels of the second).
@@ -41,6 +114,9 @@ impl Potential {
     }
 }
 
+/// Sentinel potential index marking a tombstoned edge slot.
+const EDGE_TOMBSTONE: u32 = u32::MAX;
+
 /// One edge: endpoints, the shared potential, and whether the potential is
 /// applied transposed (its rows index `b`'s labels instead of `a`'s).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -61,33 +137,104 @@ impl Edge {
     pub fn b(&self) -> VarId {
         VarId(self.b as usize)
     }
+
+    /// Whether this edge slot is live (vs. tombstoned by
+    /// [`MrfModel::remove_pairwise`] / [`MrfModel::remove_var`]). Dead
+    /// slots linger in [`MrfModel::edges`] until recycled or compacted;
+    /// full-edge iterations must skip them (or use
+    /// [`MrfModel::live_edges`]).
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.potential != EDGE_TOMBSTONE
+    }
 }
 
-/// An immutable pairwise MRF.
+/// A pairwise MRF, mutable with stable handles (module docs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MrfModel {
+    /// Labels per variable slot; 0 marks a tombstone.
     label_counts: Vec<u32>,
-    unary_offsets: Vec<usize>,
-    unary: Vec<f64>,
+    /// Unary cost vector per variable slot (empty at tombstones).
+    unary: Vec<Vec<f64>>,
+    /// Shared potentials, append-only between compactions.
     potentials: Vec<Potential>,
+    /// Live-edge reference count per potential.
+    pot_refs: Vec<u32>,
+    /// Edge slots; dead slots carry the [`EDGE_TOMBSTONE`] potential.
     edges: Vec<Edge>,
-    // CSR of incident edge indices per variable.
-    incident_offsets: Vec<usize>,
-    incident: Vec<u32>,
+    /// Recyclable edge slots.
+    free_edges: Vec<u32>,
+    /// Live incident edge slots per variable slot.
+    incident: Vec<Vec<u32>>,
+    /// Recyclable variable slots.
+    free_vars: Vec<u32>,
+    /// Number of live edges.
+    live_edges: usize,
+}
+
+impl Default for MrfModel {
+    fn default() -> MrfModel {
+        MrfModel::new()
+    }
 }
 
 impl MrfModel {
-    /// Number of variables.
+    /// An empty model; grow it with [`MrfModel::add_var`] and the pairwise
+    /// mutators, or assemble one in bulk through [`MrfBuilder`].
+    pub fn new() -> MrfModel {
+        MrfModel {
+            label_counts: Vec::new(),
+            unary: Vec::new(),
+            potentials: Vec::new(),
+            pot_refs: Vec::new(),
+            edges: Vec::new(),
+            free_edges: Vec::new(),
+            incident: Vec::new(),
+            free_vars: Vec::new(),
+            live_edges: 0,
+        }
+    }
+
+    /// Number of variable *slots*, including tombstones — the arity of
+    /// labelings for this model (entries at dead slots are ignored). See
+    /// [`MrfModel::live_var_count`] for the number of actual variables.
     pub fn var_count(&self) -> usize {
         self.label_counts.len()
     }
 
-    /// Number of edges.
+    /// Number of live (non-tombstoned) variables.
+    pub fn live_var_count(&self) -> usize {
+        self.label_counts.len() - self.free_vars.len()
+    }
+
+    /// Whether `v` names a live variable (false for tombstoned slots and
+    /// out-of-range ids).
+    #[inline]
+    pub fn is_live(&self, v: VarId) -> bool {
+        self.label_counts.get(v.0).is_some_and(|&c| c > 0)
+    }
+
+    /// Iterates over the live variables in slot order.
+    pub fn live_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.label_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| VarId(i))
+    }
+
+    /// Number of live edges. See [`MrfModel::edge_slots`] for the raw slot
+    /// count (message buffers indexed by edge slot need that).
     pub fn edge_count(&self) -> usize {
+        self.live_edges
+    }
+
+    /// Number of edge *slots*, including tombstones.
+    pub fn edge_slots(&self) -> usize {
         self.edges.len()
     }
 
-    /// Number of labels of variable `v`.
+    /// Number of labels of variable `v` (0 for a tombstoned slot).
     ///
     /// # Panics
     ///
@@ -101,26 +248,35 @@ impl MrfModel {
         self.label_counts.iter().copied().max().unwrap_or(0) as usize
     }
 
-    /// The unary cost vector of variable `v`.
+    /// The unary cost vector of variable `v` (empty for tombstoned slots).
     #[inline]
     pub fn unary(&self, v: VarId) -> &[f64] {
-        &self.unary[self.unary_offsets[v.0]..self.unary_offsets[v.0 + 1]]
+        &self.unary[v.0]
     }
 
-    /// The edges, normalized so that `a < b`.
+    /// The edge slot array, normalized so that `a < b`. **Includes dead
+    /// slots** — full iterations must skip entries failing
+    /// [`Edge::is_live`], or use [`MrfModel::live_edges`]; indexed accesses
+    /// through [`MrfModel::incident_edges`] only ever see live slots.
     pub fn edges(&self) -> &[Edge] {
         &self.edges
     }
 
-    /// Indices of edges incident to `v`.
+    /// Iterates over the live edges as `(slot index, edge)`.
+    pub fn live_edges(&self) -> impl Iterator<Item = (usize, &Edge)> + '_ {
+        self.edges.iter().enumerate().filter(|(_, e)| e.is_live())
+    }
+
+    /// Slot indices of live edges incident to `v` (empty for tombstones).
     pub fn incident_edges(&self, v: VarId) -> &[u32] {
-        &self.incident[self.incident_offsets[v.0]..self.incident_offsets[v.0 + 1]]
+        &self.incident[v.0]
     }
 
     /// The pairwise cost of edge `e` for labels `(la, lb)` of its `(a, b)`
     /// endpoints.
     #[inline]
     pub fn edge_cost(&self, e: &Edge, la: usize, lb: usize) -> f64 {
+        debug_assert!(e.is_live(), "edge_cost on a tombstoned edge");
         let p = &self.potentials[e.potential as usize];
         if e.transposed {
             p.cost(lb, la)
@@ -129,32 +285,40 @@ impl MrfModel {
         }
     }
 
-    /// Evaluates the energy of a complete labeling.
+    /// Evaluates the energy of a complete labeling. Entries at tombstoned
+    /// slots are ignored.
     ///
     /// # Panics
     ///
-    /// Panics if `labels` has the wrong arity or a label is out of range.
+    /// Panics if `labels` has the wrong arity ([`MrfModel::var_count`]) or
+    /// a live variable's label is out of range.
     pub fn energy(&self, labels: &[usize]) -> f64 {
         assert_eq!(labels.len(), self.var_count(), "labeling arity mismatch");
         let mut total = 0.0;
         for (i, &l) in labels.iter().enumerate() {
-            let u = self.unary(VarId(i));
+            if self.label_counts[i] == 0 {
+                continue;
+            }
+            let u = &self.unary[i];
             assert!(l < u.len(), "label {l} out of range for variable {i}");
             total += u[l];
         }
         for e in &self.edges {
+            if !e.is_live() {
+                continue;
+            }
             total += self.edge_cost(e, labels[e.a as usize], labels[e.b as usize]);
         }
         total
     }
 
     /// The labeling that independently minimizes each unary term — the
-    /// natural ICM / BP starting point.
+    /// natural ICM / BP starting point. Tombstoned slots get label 0.
     pub fn unary_argmin(&self) -> Vec<usize> {
-        (0..self.var_count())
-            .map(|i| {
-                self.unary(VarId(i))
-                    .iter()
+        self.unary
+            .iter()
+            .map(|u| {
+                u.iter()
                     .enumerate()
                     .min_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(l, _)| l)
@@ -164,13 +328,373 @@ impl MrfModel {
     }
 
     /// Total size of the labeling space as f64 (to detect brute-forceable
-    /// instances without overflow).
+    /// instances without overflow). Tombstoned slots contribute factor 1.
     pub fn search_space(&self) -> f64 {
-        self.label_counts.iter().map(|&c| c as f64).product()
+        self.label_counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| c as f64)
+            .product()
+    }
+
+    // --- Mutation -------------------------------------------------------
+
+    /// Adds a variable with `labels` possible labels (unary costs default
+    /// to zero), recycling a tombstoned slot when one is free, and returns
+    /// its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyDomain`] if `labels == 0`.
+    pub fn add_var(&mut self, labels: usize) -> Result<VarId> {
+        if labels == 0 {
+            return Err(Error::EmptyDomain(VarId(self.label_counts.len())));
+        }
+        match self.free_vars.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                self.label_counts[i] = labels as u32;
+                self.unary[i] = vec![0.0; labels];
+                debug_assert!(self.incident[i].is_empty());
+                Ok(VarId(i))
+            }
+            None => {
+                let id = VarId(self.label_counts.len());
+                self.label_counts.push(labels as u32);
+                self.unary.push(vec![0.0; labels]);
+                self.incident.push(Vec::new());
+                Ok(id)
+            }
+        }
+    }
+
+    /// Tombstones variable `v`, removing its incident edges (shared
+    /// potentials losing their last reference become reclaimable by the
+    /// next compaction). All other handles stay valid; the slot is recycled
+    /// by a later [`MrfModel::add_var`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] for out-of-range or already
+    /// tombstoned variables.
+    pub fn remove_var(&mut self, v: VarId) -> Result<()> {
+        if !self.is_live(v) {
+            return Err(Error::UnknownVariable(v));
+        }
+        for eidx in std::mem::take(&mut self.incident[v.0]) {
+            self.drop_edge_slot(eidx, Some(v));
+        }
+        self.label_counts[v.0] = 0;
+        self.unary[v.0] = Vec::new();
+        self.free_vars.push(v.0 as u32);
+        Ok(())
+    }
+
+    /// Sets the unary cost vector of `v` (replacing any previous costs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] (out of range or tombstoned) or
+    /// [`Error::UnaryArity`].
+    pub fn set_unary(&mut self, v: VarId, costs: Vec<f64>) -> Result<()> {
+        if !self.is_live(v) {
+            return Err(Error::UnknownVariable(v));
+        }
+        let labels = self.label_counts[v.0] as usize;
+        if costs.len() != labels {
+            return Err(Error::UnaryArity {
+                var: v,
+                labels,
+                got: costs.len(),
+            });
+        }
+        self.unary[v.0] = costs;
+        Ok(())
+    }
+
+    /// Adds `delta` to one unary entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] (out of range or tombstoned) or
+    /// [`Error::UnaryArity`] (label out of range).
+    pub fn add_unary(&mut self, v: VarId, label: usize, delta: f64) -> Result<()> {
+        if !self.is_live(v) {
+            return Err(Error::UnknownVariable(v));
+        }
+        let labels = self.label_counts[v.0] as usize;
+        if label >= labels {
+            return Err(Error::UnaryArity {
+                var: v,
+                labels,
+                got: label + 1,
+            });
+        }
+        self.unary[v.0][label] += delta;
+        Ok(())
+    }
+
+    /// Registers a shared `rows × cols` potential (row-major costs).
+    /// Potential ids are stable until [`MrfModel::compact`]; potentials no
+    /// live edge references linger until then.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CostLength`] if `costs.len() != rows * cols`.
+    pub fn add_potential(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        costs: Vec<f64>,
+    ) -> Result<PotentialId> {
+        if costs.len() != rows * cols {
+            return Err(Error::CostLength {
+                expected: rows * cols,
+                got: costs.len(),
+            });
+        }
+        let id = PotentialId(self.potentials.len());
+        self.potentials.push(Potential { rows, cols, costs });
+        self.pot_refs.push(0);
+        Ok(id)
+    }
+
+    /// Adds an edge between `a` and `b` using a shared potential whose rows
+    /// index `a`'s labels and columns `b`'s labels, recycling a tombstoned
+    /// edge slot when one is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] (out of range or tombstoned),
+    /// [`Error::UnknownPotential`], [`Error::SelfEdge`] or
+    /// [`Error::PotentialShape`].
+    pub fn add_pairwise(&mut self, a: VarId, b: VarId, potential: PotentialId) -> Result<EdgeId> {
+        if !self.is_live(a) {
+            return Err(Error::UnknownVariable(a));
+        }
+        if !self.is_live(b) {
+            return Err(Error::UnknownVariable(b));
+        }
+        if a == b {
+            return Err(Error::SelfEdge(a));
+        }
+        let (la, lb) = (self.labels(a), self.labels(b));
+        let p = self
+            .potentials
+            .get(potential.0)
+            .ok_or(Error::UnknownPotential(potential))?;
+        if p.shape() != (la, lb) {
+            return Err(Error::PotentialShape {
+                a,
+                b,
+                expected: (la, lb),
+                got: p.shape(),
+            });
+        }
+        // Normalize to a < b; the potential was given in (a, b) orientation,
+        // so flipping endpoints transposes it.
+        let (lo, hi, transposed) = if a.0 < b.0 {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
+        let edge = Edge {
+            a: lo.0 as u32,
+            b: hi.0 as u32,
+            potential: potential.0 as u32,
+            transposed,
+        };
+        let idx = match self.free_edges.pop() {
+            Some(slot) => {
+                self.edges[slot as usize] = edge;
+                slot
+            }
+            None => {
+                self.edges.push(edge);
+                (self.edges.len() - 1) as u32
+            }
+        };
+        self.incident[lo.0].push(idx);
+        self.incident[hi.0].push(idx);
+        self.pot_refs[potential.0] += 1;
+        self.live_edges += 1;
+        Ok(EdgeId(idx as usize))
+    }
+
+    /// Adds an edge with its own dense cost matrix (`labels(a) × labels(b)`,
+    /// row-major).
+    ///
+    /// # Errors
+    ///
+    /// See [`MrfModel::add_pairwise`] and [`MrfModel::add_potential`].
+    pub fn add_pairwise_dense(&mut self, a: VarId, b: VarId, costs: Vec<f64>) -> Result<EdgeId> {
+        // Validate everything add_pairwise would reject *before* registering
+        // the potential — a failed edit must leave the model untouched, not
+        // leak an orphan potential.
+        if !self.is_live(a) {
+            return Err(Error::UnknownVariable(a));
+        }
+        if !self.is_live(b) {
+            return Err(Error::UnknownVariable(b));
+        }
+        if a == b {
+            return Err(Error::SelfEdge(a));
+        }
+        let p = self.add_potential(self.labels(a), self.labels(b), costs)?;
+        self.add_pairwise(a, b, p)
+    }
+
+    /// Tombstones edge `e`; the slot is recycled by a later
+    /// [`MrfModel::add_pairwise`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownEdge`] for out-of-range or already
+    /// tombstoned edges.
+    pub fn remove_pairwise(&mut self, e: EdgeId) -> Result<()> {
+        if self.edges.get(e.0).is_none_or(|edge| !edge.is_live()) {
+            return Err(Error::UnknownEdge(e));
+        }
+        self.drop_edge_slot(e.0 as u32, None);
+        Ok(())
+    }
+
+    /// Tombstones a live edge slot, unlinking it from both incident lists
+    /// (`skip`'s list is left alone — its owner is being cleared wholesale
+    /// by [`MrfModel::remove_var`]).
+    fn drop_edge_slot(&mut self, eidx: u32, skip: Option<VarId>) {
+        let edge = self.edges[eidx as usize];
+        debug_assert!(edge.is_live());
+        for endpoint in [edge.a(), edge.b()] {
+            if Some(endpoint) == skip {
+                continue;
+            }
+            let list = &mut self.incident[endpoint.0];
+            if let Some(pos) = list.iter().position(|&i| i == eidx) {
+                list.swap_remove(pos);
+            }
+        }
+        self.pot_refs[edge.potential as usize] -= 1;
+        self.edges[eidx as usize] = Edge {
+            a: 0,
+            b: 0,
+            potential: EDGE_TOMBSTONE,
+            transposed: false,
+        };
+        self.free_edges.push(eidx);
+        self.live_edges -= 1;
+    }
+
+    // --- Compaction -----------------------------------------------------
+
+    /// The share of storage held by tombstones and unreferenced potentials:
+    /// the maximum over dead variable slots, dead edge slots, and dead
+    /// potentials, each as a fraction of their slot array. 0.0 for a dense
+    /// model.
+    pub fn fragmentation(&self) -> f64 {
+        let frac = |dead: usize, total: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                dead as f64 / total as f64
+            }
+        };
+        let dead_pots = self.pot_refs.iter().filter(|&&r| r == 0).count();
+        frac(self.free_vars.len(), self.label_counts.len())
+            .max(frac(self.free_edges.len(), self.edges.len()))
+            .max(frac(dead_pots, self.potentials.len()))
+    }
+
+    /// Dead slots a compaction would reclaim before the threshold trips.
+    /// Slot recycling keeps steady churn fragmentation-free; only a model
+    /// that shrank (or churned its shared potentials) accretes enough dead
+    /// weight to cross this.
+    const COMPACT_MIN_DEAD: usize = 32;
+
+    /// Whether fragmentation crossed the compaction threshold: at least 32
+    /// dead slots in some array *and* more than half of that array dead.
+    /// Callers owning handle indexes react by calling
+    /// [`MrfModel::compact`] (and remapping) or rebuilding.
+    pub fn should_compact(&self) -> bool {
+        let dead_pots = self.pot_refs.iter().filter(|&&r| r == 0).count();
+        let trips = |dead: usize, total: usize| dead >= Self::COMPACT_MIN_DEAD && 2 * dead > total;
+        trips(self.free_vars.len(), self.label_counts.len())
+            || trips(self.free_edges.len(), self.edges.len())
+            || trips(dead_pots, self.potentials.len())
+    }
+
+    /// Rewrites the model dense: drops tombstoned variable and edge slots
+    /// and unreferenced potentials, renumbering the survivors in slot
+    /// order. Returns the variable remap, indexed by old slot:
+    /// `remap[old.0] == Some(new)` for surviving variables, `None` for
+    /// tombstones. **This is the one operation that invalidates handles** —
+    /// all previously issued [`VarId`]s, [`EdgeId`]s and [`PotentialId`]s
+    /// refer to the new layout only through the remap.
+    pub fn compact(&mut self) -> Vec<Option<VarId>> {
+        let old_vars = self.label_counts.len();
+        let mut remap = vec![None; old_vars];
+        let mut next = 0usize;
+        for (i, &c) in self.label_counts.iter().enumerate() {
+            if c > 0 {
+                remap[i] = Some(VarId(next));
+                next += 1;
+            }
+        }
+        let mut pot_remap = vec![u32::MAX; self.potentials.len()];
+        let mut live_pots = Vec::new();
+        let mut live_refs = Vec::new();
+        for (i, pot) in self.potentials.drain(..).enumerate() {
+            if self.pot_refs[i] > 0 {
+                pot_remap[i] = live_pots.len() as u32;
+                live_refs.push(self.pot_refs[i]);
+                live_pots.push(pot);
+            }
+        }
+        self.potentials = live_pots;
+        self.pot_refs = live_refs;
+
+        let mut live_edges = Vec::with_capacity(self.live_edges);
+        for e in self.edges.drain(..) {
+            if !e.is_live() {
+                continue;
+            }
+            // The remap is monotone in slot order, so a < b is preserved.
+            live_edges.push(Edge {
+                a: remap[e.a as usize].expect("live edge endpoint").0 as u32,
+                b: remap[e.b as usize].expect("live edge endpoint").0 as u32,
+                potential: pot_remap[e.potential as usize],
+                transposed: e.transposed,
+            });
+        }
+        self.edges = live_edges;
+        self.free_edges.clear();
+        self.free_vars.clear();
+
+        let mut label_counts = Vec::with_capacity(next);
+        let mut unary = Vec::with_capacity(next);
+        for (i, &c) in self.label_counts.iter().enumerate() {
+            if c > 0 {
+                label_counts.push(c);
+                unary.push(std::mem::take(&mut self.unary[i]));
+            }
+        }
+        self.label_counts = label_counts;
+        self.unary = unary;
+
+        self.incident = vec![Vec::new(); next];
+        for (idx, e) in self.edges.iter().enumerate() {
+            self.incident[e.a as usize].push(idx as u32);
+            self.incident[e.b as usize].push(idx as u32);
+        }
+        self.live_edges = self.edges.len();
+        remap
     }
 }
 
-/// Incremental builder for [`MrfModel`].
+/// Bulk builder for [`MrfModel`] — the classic assemble-then-solve path.
+///
+/// Produces a dense model (no tombstones); incremental pipelines keep
+/// mutating it afterwards through the [`MrfModel`] mutators.
 #[derive(Debug, Clone, Default)]
 pub struct MrfBuilder {
     label_counts: Vec<u32>,
@@ -335,41 +859,28 @@ impl MrfBuilder {
         self.label_counts.len()
     }
 
-    /// Freezes the model, building flat unary storage and the incidence CSR.
+    /// Freezes the bulk phase, producing a dense [`MrfModel`] (which stays
+    /// mutable through its own slot-recycling mutators).
     pub fn build(self) -> MrfModel {
         let n = self.label_counts.len();
-        let mut unary_offsets = Vec::with_capacity(n + 1);
-        let mut unary = Vec::new();
-        unary_offsets.push(0);
-        for u in &self.unary {
-            unary.extend_from_slice(u);
-            unary_offsets.push(unary.len());
-        }
-        let mut deg = vec![0usize; n];
-        for e in &self.edges {
-            deg[e.a as usize] += 1;
-            deg[e.b as usize] += 1;
-        }
-        let mut incident_offsets = vec![0usize; n + 1];
-        for i in 0..n {
-            incident_offsets[i + 1] = incident_offsets[i] + deg[i];
-        }
-        let mut incident = vec![0u32; incident_offsets[n]];
-        let mut cursor = incident_offsets[..n].to_vec();
+        let mut incident = vec![Vec::new(); n];
+        let mut pot_refs = vec![0u32; self.potentials.len()];
         for (idx, e) in self.edges.iter().enumerate() {
-            incident[cursor[e.a as usize]] = idx as u32;
-            cursor[e.a as usize] += 1;
-            incident[cursor[e.b as usize]] = idx as u32;
-            cursor[e.b as usize] += 1;
+            incident[e.a as usize].push(idx as u32);
+            incident[e.b as usize].push(idx as u32);
+            pot_refs[e.potential as usize] += 1;
         }
+        let live_edges = self.edges.len();
         MrfModel {
             label_counts: self.label_counts,
-            unary_offsets,
-            unary,
+            unary: self.unary,
             potentials: self.potentials,
+            pot_refs,
             edges: self.edges,
-            incident_offsets,
+            free_edges: Vec::new(),
             incident,
+            free_vars: Vec::new(),
+            live_edges,
         }
     }
 }
@@ -527,5 +1038,232 @@ mod tests {
         let mut b = MrfBuilder::new();
         b.add_variable(2);
         b.build().energy(&[]);
+    }
+
+    // --- Mutable-model tests -------------------------------------------
+
+    /// A 4-chain with agreement-punishing edges; the workhorse fixture.
+    fn chain() -> (MrfModel, Vec<VarId>) {
+        let mut m = MrfModel::new();
+        let vars: Vec<VarId> = (0..4).map(|_| m.add_var(2).unwrap()).collect();
+        for w in vars.windows(2) {
+            m.add_pairwise_dense(w[0], w[1], vec![1.0, 0.0, 0.0, 1.0])
+                .unwrap();
+        }
+        (m, vars)
+    }
+
+    #[test]
+    fn remove_var_tombstones_and_drops_incident_edges() {
+        let (mut m, vars) = chain();
+        assert_eq!(m.live_var_count(), 4);
+        assert_eq!(m.edge_count(), 3);
+        m.remove_var(vars[1]).unwrap();
+        assert_eq!(m.var_count(), 4, "slot array keeps its size");
+        assert_eq!(m.live_var_count(), 3);
+        assert_eq!(m.edge_count(), 1, "both edges at v1 went with it");
+        assert!(!m.is_live(vars[1]));
+        assert_eq!(m.labels(vars[1]), 0);
+        assert!(m.incident_edges(vars[1]).is_empty());
+        assert!(m.incident_edges(vars[0]).is_empty());
+        // Energy ignores the tombstone's entry entirely.
+        assert_eq!(m.energy(&[0, 0, 0, 1]), 0.0);
+        assert_eq!(m.energy(&[0, 1, 0, 0]), 1.0, "only the v2-v3 edge counts");
+        // Live iteration skips it.
+        let live: Vec<VarId> = m.live_vars().collect();
+        assert_eq!(live, vec![vars[0], vars[2], vars[3]]);
+        assert_eq!(m.search_space(), 8.0);
+    }
+
+    #[test]
+    fn mutations_on_tombstones_error_not_corrupt() {
+        let (mut m, vars) = chain();
+        let e = m
+            .add_pairwise_dense(vars[0], vars[2], vec![0.0; 4])
+            .unwrap();
+        m.remove_var(vars[0]).unwrap();
+        let snapshot = m.clone();
+        assert!(matches!(
+            m.set_unary(vars[0], vec![0.0, 0.0]),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            m.add_unary(vars[0], 0, 1.0),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            m.remove_var(vars[0]),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(
+            m.add_pairwise_dense(vars[0], vars[2], vec![0.0; 4]),
+            Err(Error::UnknownVariable(_))
+        ));
+        assert!(matches!(m.remove_pairwise(e), Err(Error::UnknownEdge(_))));
+        assert!(matches!(
+            m.remove_pairwise(EdgeId(99)),
+            Err(Error::UnknownEdge(_))
+        ));
+        assert!(matches!(
+            m.add_pairwise_dense(vars[2], vars[2], vec![0.0; 4]),
+            Err(Error::SelfEdge(_))
+        ));
+        assert!(matches!(
+            m.add_pairwise_dense(vars[2], vars[3], vec![0.0; 3]),
+            Err(Error::CostLength { .. })
+        ));
+        assert_eq!(m, snapshot, "failed mutations must leave the model as-is");
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let (mut m, vars) = chain();
+        m.remove_var(vars[2]).unwrap();
+        let fresh = m.add_var(5).unwrap();
+        assert_eq!(fresh, vars[2], "the tombstoned slot is reused");
+        assert_eq!(m.var_count(), 4, "no slot growth under churn");
+        assert_eq!(m.labels(fresh), 5);
+        assert_eq!(m.unary(fresh), &[0.0; 5]);
+        assert!(m.incident_edges(fresh).is_empty());
+        // Edge slots recycle too.
+        let slots_before = m.edge_slots();
+        let e = m
+            .add_pairwise_dense(vars[0], vars[1], vec![0.0; 4])
+            .unwrap();
+        m.remove_pairwise(e).unwrap();
+        let e2 = m.add_pairwise_dense(vars[0], fresh, vec![0.0; 10]).unwrap();
+        assert_eq!(e2, e, "the tombstoned edge slot is reused");
+        assert_eq!(m.edge_slots(), slots_before);
+    }
+
+    #[test]
+    fn stable_handles_survive_neighbor_churn() {
+        let (mut m, vars) = chain();
+        m.set_unary(vars[3], vec![0.25, 0.75]).unwrap();
+        for _ in 0..10 {
+            let lowest = m.live_vars().next().unwrap();
+            m.remove_var(lowest).unwrap();
+            let v = m.add_var(2).unwrap();
+            let peer = m.live_vars().find(|&w| w != v).unwrap();
+            m.add_pairwise_dense(v, peer, vec![0.0; 4]).unwrap();
+        }
+        // vars[3] was churned away at some point? No: we always remove the
+        // lowest live slot, and vars[3] is the highest — it must have
+        // survived every round with its unary intact.
+        assert!(m.is_live(vars[3]));
+        assert_eq!(m.unary(vars[3]), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn remove_pairwise_leaves_endpoints() {
+        let (mut m, vars) = chain();
+        let shared = m.add_potential(2, 2, vec![0.5; 4]).unwrap();
+        let e = m.add_pairwise(vars[0], vars[3], shared).unwrap();
+        assert_eq!(m.edge_count(), 4);
+        m.remove_pairwise(e).unwrap();
+        assert_eq!(m.edge_count(), 3);
+        assert!(m.is_live(vars[0]) && m.is_live(vars[3]));
+        assert_eq!(m.energy(&[0, 1, 0, 1]), 0.0);
+        // Double removal errors.
+        assert!(matches!(m.remove_pairwise(e), Err(Error::UnknownEdge(_))));
+    }
+
+    #[test]
+    fn live_edges_iterator_skips_tombstones() {
+        let (mut m, vars) = chain();
+        m.remove_var(vars[1]).unwrap();
+        let live: Vec<usize> = m.live_edges().map(|(i, _)| i).collect();
+        assert_eq!(live.len(), 1);
+        assert_eq!(m.edges().len(), 3, "dead slots linger until recycled");
+        assert!(m.edges()[live[0]].is_live());
+    }
+
+    #[test]
+    fn incremental_equals_bulk_assembly() {
+        // The same model assembled through the builder and through the
+        // mutable API must agree everywhere the solvers look.
+        let mut b = MrfBuilder::new();
+        let bx = b.add_variable(2);
+        let by = b.add_variable(3);
+        b.set_unary(bx, vec![1.0, 2.0]).unwrap();
+        b.set_unary(by, vec![0.0, 5.0, 1.0]).unwrap();
+        b.add_edge_dense(bx, by, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+        let bulk = b.build();
+
+        let mut m = MrfModel::new();
+        let x = m.add_var(2).unwrap();
+        let y = m.add_var(3).unwrap();
+        m.set_unary(x, vec![1.0, 2.0]).unwrap();
+        m.set_unary(y, vec![0.0, 5.0, 1.0]).unwrap();
+        m.add_pairwise_dense(x, y, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+
+        assert_eq!(bulk, m);
+        assert_eq!(m.energy(&[1, 2]), 8.0);
+    }
+
+    #[test]
+    fn fragmentation_and_compaction() {
+        let mut m = MrfModel::new();
+        let vars: Vec<VarId> = (0..100).map(|_| m.add_var(2).unwrap()).collect();
+        for w in vars.windows(2) {
+            m.add_pairwise_dense(w[0], w[1], vec![1.0, 0.0, 0.0, 1.0])
+                .unwrap();
+        }
+        assert_eq!(m.fragmentation(), 0.0);
+        assert!(!m.should_compact());
+        // Shrink: remove 70 of the 100 variables.
+        for &v in &vars[30..] {
+            m.remove_var(v).unwrap();
+        }
+        assert!(m.fragmentation() > 0.5);
+        assert!(m.should_compact());
+        let energy_before = {
+            let labels: Vec<usize> = (0..m.var_count()).map(|i| i % 2).collect();
+            m.energy(&labels)
+        };
+        let remap = m.compact();
+        assert_eq!(m.var_count(), 30);
+        assert_eq!(m.live_var_count(), 30);
+        assert_eq!(m.edge_count(), 29);
+        assert_eq!(m.edge_slots(), 29);
+        assert_eq!(m.fragmentation(), 0.0);
+        assert!(!m.should_compact());
+        // The remap maps survivors in order and drops tombstones.
+        for (old, new) in remap.iter().enumerate() {
+            if old < 30 {
+                assert_eq!(*new, Some(VarId(old)));
+            } else {
+                assert_eq!(*new, None);
+            }
+        }
+        // Same energy through the remapped labeling.
+        let labels: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        assert_eq!(m.energy(&labels), energy_before);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_potentials() {
+        let mut m = MrfModel::new();
+        let x = m.add_var(2).unwrap();
+        let y = m.add_var(2).unwrap();
+        let keep = m.add_potential(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        m.add_pairwise(x, y, keep).unwrap();
+        for _ in 0..40 {
+            let e = m.add_pairwise_dense(x, y, vec![0.5; 4]).unwrap();
+            m.remove_pairwise(e).unwrap();
+        }
+        assert!(m.should_compact(), "40 dead potentials against 1 live");
+        m.compact();
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(m.energy(&[0, 1]), 0.0);
+        assert_eq!(m.energy(&[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn add_var_rejects_empty_domains() {
+        let mut m = MrfModel::new();
+        assert!(matches!(m.add_var(0), Err(Error::EmptyDomain(_))));
     }
 }

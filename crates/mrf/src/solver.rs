@@ -280,8 +280,8 @@ pub trait MapSolver: Send + Sync {
         ctl: &SolveControl,
     ) -> LocalRefine {
         let _ = frontier;
-        let var_count = model.var_count();
-        LocalRefine::full(self.refine(model, start, ctl), var_count)
+        let live = model.live_var_count();
+        LocalRefine::full(self.refine(model, start, ctl), live)
     }
 
     /// [`MapSolver::refine_local`] with a hard freeze: the `sealed`

@@ -156,8 +156,7 @@ impl MapSolver for Trws {
         ctl: &SolveControl,
     ) -> LocalRefine {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
-        let n = model.var_count();
-        let mut region = ActiveRegion::new(n, frontier);
+        let mut region = ActiveRegion::new(model, frontier);
         if region.count == 0 {
             return LocalRefine::noop(model, start);
         }
@@ -175,7 +174,7 @@ impl MapSolver for Trws {
                 let refined = self.refine(model, labels, ctl);
                 return LocalRefine {
                     solution: refined,
-                    swept_vars: n,
+                    swept_vars: model.live_var_count(),
                     expansions,
                     full_sweep: true,
                 };
@@ -238,18 +237,25 @@ struct State {
 
 impl State {
     fn new(model: &MrfModel) -> State {
-        let mut off_a = Vec::with_capacity(model.edge_count() + 1);
-        let mut off_b = Vec::with_capacity(model.edge_count() + 1);
+        // Offsets are per edge *slot* so incident indices address messages
+        // directly; tombstoned slots get zero-length messages.
+        let mut off_a = Vec::with_capacity(model.edge_slots() + 1);
+        let mut off_b = Vec::with_capacity(model.edge_slots() + 1);
         off_a.push(0);
         off_b.push(0);
         for e in model.edges() {
-            off_a.push(off_a.last().unwrap() + model.labels(e.a()));
-            off_b.push(off_b.last().unwrap() + model.labels(e.b()));
+            let (la, lb) = if e.is_live() {
+                (model.labels(e.a()), model.labels(e.b()))
+            } else {
+                (0, 0)
+            };
+            off_a.push(off_a.last().unwrap() + la);
+            off_b.push(off_b.last().unwrap() + lb);
         }
         let n = model.var_count();
         let mut fwd = vec![0usize; n];
         let mut bwd = vec![0usize; n];
-        for e in model.edges() {
+        for (_, e) in model.live_edges() {
             fwd[e.a().0] += 1;
             bwd[e.b().0] += 1;
         }
@@ -287,6 +293,9 @@ impl State {
 
     fn forward_pass(&mut self, model: &MrfModel) {
         for i in 0..model.var_count() {
+            if !model.is_live(VarId(i)) {
+                continue;
+            }
             self.theta_hat(model, i);
             let gamma = self.gamma[i];
             let la = model.labels(VarId(i));
@@ -324,6 +333,9 @@ impl State {
     fn backward_pass(&mut self, model: &MrfModel) -> f64 {
         let mut bound = 0.0;
         for i in (0..model.var_count()).rev() {
+            if !model.is_live(VarId(i)) {
+                continue;
+            }
             self.theta_hat(model, i);
             let gamma = self.gamma[i];
             let lb_count = model.labels(VarId(i));
@@ -377,7 +389,7 @@ impl State {
         let mut cost = vec![0.0f64; model.max_labels()];
         let mut queue = std::collections::VecDeque::new();
         for root in 0..n {
-            if decoded[root] {
+            if decoded[root] || !model.is_live(VarId(root)) {
                 continue;
             }
             queue.push_back(root);
