@@ -12,23 +12,32 @@
 //!
 //! Run `churn --help` for the flags and a key to every printed column.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
 use ics_diversity::churn::{run_churn, run_churn_sharded, ChurnConfig, ChurnMode, MttcGain};
 use ics_diversity::engine::DiversityEngine;
 use ics_diversity::report::TextTable;
+use ics_diversity::serve::{Enqueue, ServingEngine, WriterCore};
 use ics_diversity::shard::ShardedEngine;
 
 use bench::{flag_value, full_mode, help_requested};
+use netmodel::delta::random_delta;
 use netmodel::topology::{
     generate, generate_zoned, RandomNetworkConfig, TopologyKind, ZonedNetworkConfig,
 };
 use netmodel::HostId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sim::mttc::{MttcEstimate, MttcOptions};
 
 const HELP: &str = "\
 churn — dynamic-churn replay through the incremental diversity engine
 
 USAGE:
-    churn [--steps N] [--batch N] [--shards N] [--full]
+    churn [--steps N] [--batch N] [--shards N] [--serve [--readers N]] [--full]
 
 FLAGS:
     --steps N    Number of churn steps to replay (default 12; 30 with --full).
@@ -36,12 +45,25 @@ FLAGS:
     --batch N    Batched churn: each step absorbs a Poisson(N)-sized burst of
                  deltas through one apply_batch call, paying one model rebuild
                  and one localized re-solve per burst (default: sequential,
-                 one delta per step).
+                 one delta per step). With --serve: each submission carries N
+                 deltas (default 1).
     --shards N   Sharded churn: generate an N-zone network, shard the engine
                  by zone (one engine per zone plus boundary coordination) and
                  route every burst to its owning shard(s). Composes with
-                 --batch.
-    --full       Paper-scale instance (300 hosts, more MTTC runs).
+                 --batch and --serve.
+    --serve      Concurrent serving mode: the engine runs behind the
+                 epoch-versioned snapshot front-end (ics_diversity::serve).
+                 A writer thread absorbs the churn stream — submissions that
+                 pile up coalesce into one apply_batch — while --readers
+                 threads read the published snapshot continuously and
+                 lock-free. Prints serving telemetry instead of the per-step
+                 MTTC table and writes BENCH_serving.json to the working
+                 directory.
+    --readers N  Reader threads in --serve mode (default 4; the acceptance
+                 scenario is --serve --full --readers 8: 8 readers against a
+                 churning 960-host engine).
+    --full       Paper-scale instance (300 hosts, more MTTC runs; 960 hosts
+                 in --serve mode).
     --help       Print this help and exit.
 
 COLUMNS (sequential/batched mode):
@@ -76,6 +98,18 @@ EXTRA COLUMNS (sharded mode, replacing frontier/swept):
     shard solve  Wall-clock time of the slowest shard's local step (shards
                  run in parallel).
     coord        Wall-clock time of the coordination loop.
+
+SERVING TELEMETRY (--serve mode, replacing the per-step table):
+    submissions  submit() calls admitted, and how many of them coalesced
+                 (joined deltas already queued) or were rejected at the cap.
+    absorption   apply_batch calls the writer made vs. deltas absorbed;
+                 fewer batches than submissions is burst coalescing at work.
+    deltas/sec   Absorbed write throughput: deltas over the wall time from
+                 first submission to last publication.
+    read p50/p99 Median and 99th-percentile snapshot read latency across all
+                 reader threads (reader.current(): epoch check + Arc clone).
+    reads        Completed reads per reader thread — every one of them
+                 lock-free against the concurrently absorbing writer.
 ";
 
 fn fmt_mttc(e: &MttcEstimate) -> String {
@@ -103,6 +137,13 @@ fn main() {
         _ => ChurnMode::Sequential,
     };
     let shards = flag_value("--shards").filter(|&n| n > 1);
+    if std::env::args().any(|a| a == "--serve") {
+        let hosts = if full_mode() { 960 } else { hosts };
+        let readers = flag_value("--readers").unwrap_or(4).max(1);
+        let burst = flag_value("--batch").unwrap_or(1).max(1);
+        run_serving(hosts, steps, readers, burst, shards);
+        return;
+    }
     let mode_label = match mode {
         ChurnMode::Sequential => "sequential".to_owned(),
         ChurnMode::Batched { mean_burst } => format!("Poisson({mean_burst:.0}) bursts"),
@@ -377,4 +418,227 @@ fn run_sharded(
     println!(
         "expected shape: obj resolve ≤ obj carry per step; rounds 0 on interior-confined bursts"
     );
+}
+
+/// Serving-mode replay: put the engine behind the epoch-versioned snapshot
+/// front-end, churn the network from the main thread while reader threads
+/// hammer the published snapshot, then print serving telemetry and write
+/// `BENCH_serving.json` to the working directory.
+fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards: Option<usize>) {
+    use rand::Rng;
+
+    let (core, mut shadow, catalog, zones, label) = match shards {
+        Some(zone_count) => {
+            let g = generate_zoned(
+                &ZonedNetworkConfig {
+                    zones: zone_count,
+                    hosts_per_zone: hosts.div_ceil(zone_count),
+                    gateway_links: 2,
+                    mean_degree: 6,
+                    services: 3,
+                    products_per_service: 4,
+                    vendors_per_service: 2,
+                    topology: TopologyKind::Random,
+                },
+                2026,
+            );
+            let shadow = g.network.clone();
+            let catalog = g.catalog.clone();
+            // Generated AddHost deltas carry no zone; pin them to existing
+            // zones so the sharded router always has an owning shard.
+            let mut zones: Vec<Option<String>> = shadow
+                .iter_hosts()
+                .map(|(_, h)| h.zone().map(str::to_owned))
+                .collect();
+            zones.sort();
+            zones.dedup();
+            let label = format!(
+                "{} hosts, {zone_count}-zone sharded core",
+                shadow.host_count()
+            );
+            (
+                WriterCore::Sharded(ShardedEngine::new(g.network, g.catalog, g.similarity)),
+                shadow,
+                catalog,
+                zones,
+                label,
+            )
+        }
+        None => {
+            let g = generate(
+                &RandomNetworkConfig {
+                    hosts,
+                    mean_degree: 6,
+                    services: 3,
+                    products_per_service: 4,
+                    vendors_per_service: 2,
+                    topology: TopologyKind::Random,
+                },
+                2026,
+            );
+            let shadow = g.network.clone();
+            let catalog = g.catalog.clone();
+            let label = format!("{hosts} hosts, single-engine core");
+            (
+                WriterCore::Single(DiversityEngine::new(g.network, g.catalog, g.similarity)),
+                shadow,
+                catalog,
+                Vec::new(),
+                label,
+            )
+        }
+    };
+    let host_count = shadow.host_count();
+    println!(
+        "Concurrent serving churn — {label}; {steps} submissions × {burst} delta(s), \
+         {readers} reader threads\n"
+    );
+    let cold_start = Instant::now();
+    let serving = ServingEngine::start(core).expect("instance solves");
+    println!(
+        "cold solve + first publish: {:.2?} (objective {:.3})",
+        cold_start.elapsed(),
+        serving.snapshot().objective()
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let mut reader = serving.reader();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut reads = 0u64;
+                let mut samples: Vec<u64> = Vec::with_capacity(1 << 16);
+                let mut observed = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    // Time every 16th read to bound sample memory; count all.
+                    if reads.is_multiple_of(16) {
+                        let t = Instant::now();
+                        let snapshot = reader.current();
+                        samples.push(t.elapsed().as_nanos() as u64);
+                        let now = (snapshot.epoch(), snapshot.revision());
+                        assert!(now >= observed, "snapshots went backwards");
+                        observed = now;
+                    } else {
+                        std::hint::black_box(reader.current().revision());
+                    }
+                    reads += 1;
+                }
+                (reads, samples)
+            })
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(2026);
+    let mut submitted = 0u64;
+    let churn_start = Instant::now();
+    for _ in 0..steps {
+        // Generate the burst against a shadow network kept in lockstep
+        // with the engine, so every delta is valid at absorption.
+        let mut deltas = Vec::with_capacity(burst);
+        for _ in 0..burst {
+            let mut delta = random_delta(&shadow, &catalog, &mut rng, &[HostId(0)]);
+            if let netmodel::delta::NetworkDelta::AddHost { zone, .. } = &mut delta {
+                if !zones.is_empty() {
+                    zone.clone_from(&zones[rng.gen_range(0..zones.len())]);
+                }
+            }
+            shadow
+                .apply_delta(&delta, &catalog)
+                .expect("generated deltas are valid");
+            deltas.push(delta);
+        }
+        submitted += deltas.len() as u64;
+        // A single submitter that waits for queue headroom can never be
+        // rejected, which keeps the shadow network and engine identical.
+        while serving.queue_depth() + burst > serving.queue_cap() {
+            thread::sleep(Duration::from_micros(200));
+        }
+        assert!(
+            !matches!(serving.submit(deltas), Enqueue::Rejected { .. }),
+            "submission rejected despite reserved headroom"
+        );
+    }
+    assert!(
+        serving.wait_for_revision(submitted, Duration::from_secs(600)),
+        "writer failed to drain the churn stream"
+    );
+    let churn_wall = churn_start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut reads_per_reader = Vec::with_capacity(readers);
+    let mut samples: Vec<u64> = Vec::new();
+    for handle in reader_handles {
+        let (reads, timed) = handle.join().expect("reader thread panicked");
+        reads_per_reader.push(reads);
+        samples.extend(timed);
+    }
+    samples.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        match samples.len() {
+            0 => 0,
+            n => samples[(((n - 1) as f64) * p) as usize],
+        }
+    };
+    let last = serving.snapshot();
+    let (core, drain) = serving.shutdown();
+    assert_eq!(core.revision(), submitted, "every delta was absorbed");
+    let stats = &drain.stats;
+    let deltas_per_sec = stats.deltas_absorbed as f64 / churn_wall.as_secs_f64();
+    let total_reads: u64 = reads_per_reader.iter().sum();
+
+    println!(
+        "submissions: {} admitted ({} coalesced, {} rejected at the cap, {} bursts \
+         rejected by the engine)",
+        stats.submissions,
+        stats.coalesced_submissions,
+        stats.rejected_submissions,
+        stats.bursts_rejected
+    );
+    println!(
+        "absorption:  {} apply_batch calls for {} deltas — {} publications, last epoch {}, \
+         revision {}",
+        stats.batches_absorbed,
+        stats.deltas_absorbed,
+        stats.publications,
+        drain.last_epoch,
+        drain.last_revision
+    );
+    println!(
+        "throughput:  {deltas_per_sec:.1} deltas/sec absorbed over {churn_wall:.2?}; final \
+         objective {:.3}",
+        last.objective()
+    );
+    println!(
+        "reads:       {total_reads} total across {readers} readers {reads_per_reader:?}; \
+         read p50 {}ns, p99 {}ns, max {}ns — all lock-free against the absorbing writer",
+        pct(0.50),
+        pct(0.99),
+        samples.last().copied().unwrap_or(0)
+    );
+    println!(
+        "expected shape: batches ≤ submissions (coalescing), read p99 ≪ absorb wall, reads \
+         never stall"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serving_churn\",\n  \"hosts\": {host_count},\n  \"shards\": {},\n  \
+         \"readers\": {readers},\n  \"submissions\": {},\n  \"burst\": {burst},\n  \
+         \"deltas_absorbed\": {},\n  \"batches_absorbed\": {},\n  \"publications\": {},\n  \
+         \"coalesced_submissions\": {},\n  \"last_epoch\": {},\n  \"last_revision\": {},\n  \
+         \"churn_wall_ms\": {:.3},\n  \"deltas_per_sec\": {deltas_per_sec:.1},\n  \
+         \"reads_total\": {total_reads},\n  \"read_p50_ns\": {},\n  \"read_p99_ns\": {}\n}}\n",
+        shards.map_or_else(|| "null".to_owned(), |z| z.to_string()),
+        stats.submissions,
+        stats.deltas_absorbed,
+        stats.batches_absorbed,
+        stats.publications,
+        stats.coalesced_submissions,
+        drain.last_epoch,
+        drain.last_revision,
+        churn_wall.as_secs_f64() * 1e3,
+        pct(0.50),
+        pct(0.99),
+    );
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote BENCH_serving.json");
 }

@@ -33,11 +33,15 @@
 //!   their [`mrf::VarId`]s, which is also what keeps warm-start seeds
 //!   valid across revisions.
 //!
-//! Un-hinted refreshes (no touched set: a cold build, a constraint or
-//! parameter change, a similarity invalidation) still reassemble linearly,
-//! as does any refresh once the edited model's fragmentation crosses
-//! [`mrf::model::MrfModel::should_compact`]'s threshold — the rebuild doubles as the
-//! compaction, restoring a dense model. The expensive part of reacting to
+//! Un-hinted refreshes of a *synced* cache derive the touched set
+//! themselves by diffing the per-host domain and link revision counters
+//! ([`netmodel::network::Network::host_revision`] /
+//! [`netmodel::network::Network::link_revision`]) and take the same edit
+//! path. Only refreshes with no synced model to edit — a cold build, a
+//! constraint or parameter change, a similarity invalidation — reassemble
+//! linearly, as does any refresh once the edited model's fragmentation
+//! crosses [`mrf::model::MrfModel::should_compact`]'s threshold — the
+//! rebuild doubles as the compaction, restoring a dense model. The expensive part of reacting to
 //! a delta — the re-solve — is warm-started by
 //! [`crate::engine::DiversityEngine`] from the previous MAP assignment
 //! either way.
@@ -189,6 +193,12 @@ pub struct EnergyCache {
     domains: Vec<Vec<DomainId>>,
     /// Per-host revision the cached domains correspond to.
     host_revisions: Vec<u64>,
+    /// Per-host *link* revision the cached model's incident factors
+    /// correspond to ([`Network::link_revision`]). Diffing it against the
+    /// network recovers the hosts whose neighborhoods moved, which is what
+    /// lets an un-hinted refresh derive a complete touched set instead of
+    /// reassembling.
+    link_revisions: Vec<u64>,
     /// Network revision the cached *model* corresponds to; `None` forces a
     /// rebuild at the next refresh.
     synced: Option<u64>,
@@ -241,6 +251,7 @@ impl EnergyCache {
             costs: HashMap::new(),
             domains: Vec::new(),
             host_revisions: Vec::new(),
+            link_revisions: Vec::new(),
             synced: None,
             model: EnergyModel::from_parts(MrfBuilder::new().build(), Vec::new(), 0.0),
             registered: HashMap::new(),
@@ -324,6 +335,7 @@ impl EnergyCache {
     pub fn set_constraints(&mut self, constraints: &ConstraintSet) {
         self.constraints = constraints.clone();
         self.host_revisions.clear();
+        self.link_revisions.clear();
         self.domains.clear();
         self.synced = None;
     }
@@ -401,9 +413,14 @@ impl EnergyCache {
     ///
     /// Correctness requires the hint to cover every host whose revision
     /// moved *and* every endpoint of a changed link since the last refresh
-    /// — which `touched` sets do by construction. The hint is ignored
-    /// (full scan + reassembly) while the cache has no synced model, e.g.
-    /// after [`EnergyCache::set_constraints`], and the edit falls back to
+    /// — which `touched` sets do by construction. Without a hint the same
+    /// set is *derived* by diffing the per-host domain and link revision
+    /// counters ([`Network::host_revision`] /
+    /// [`Network::link_revision`]) against the cache, so un-hinted
+    /// refreshes with structural changes ride the edit path too; the hint
+    /// merely saves the `O(hosts)` counter scan. The hint is ignored (full
+    /// scan + reassembly) while the cache has no synced model, e.g. after
+    /// [`EnergyCache::set_constraints`], and the edit falls back to
     /// reassembly when the edited model's fragmentation crosses the
     /// compaction threshold ([`mrf::model::MrfModel::should_compact`]).
     ///
@@ -424,11 +441,18 @@ impl EnergyCache {
                 ..RebuildStats::default()
             });
         }
-        let hinted = changed.is_some() && self.synced.is_some();
+        // With a synced model the refresh is incremental even without a
+        // caller hint: diffing the per-host domain *and* link revision
+        // counters recovers exactly the hosts a hint would have named
+        // (slot deltas bump `host_revision`, structural deltas bump
+        // `link_revision` at every affected host), so the derived set is a
+        // complete touched set and the in-place edit path stays open.
+        let hinted = self.synced.is_some();
         // Refilter changed hosts into a scratch list first so an infeasible
         // host cannot leave half-committed domains behind.
         let scan: Vec<HostId> = match changed {
             Some(hint) if hinted => hint.to_vec(),
+            None if hinted => self.revised_hosts(network),
             _ => network.iter_hosts().map(|(id, _)| id).collect(),
         };
         let mut refiltered: Vec<(usize, Vec<DomainId>)> = Vec::new();
@@ -449,6 +473,9 @@ impl EnergyCache {
         if self.domains.len() < network.host_count() {
             self.domains.resize(network.host_count(), Vec::new());
             self.host_revisions.resize(network.host_count(), u64::MAX);
+        }
+        if self.link_revisions.len() < network.host_count() {
+            self.link_revisions.resize(network.host_count(), u64::MAX);
         }
         for (i, interned) in refiltered {
             self.domains[i] = interned;
@@ -477,12 +504,15 @@ impl EnergyCache {
             let (c, r) = self.rebuild(network, similarity)?;
             (c, r, false)
         } else {
-            let mut dirty: Vec<HostId> = scan;
+            let mut dirty: Vec<HostId> = scan.clone();
             dirty.sort_unstable();
             dirty.dedup();
             let (c, r) = self.edit(network, similarity, &dirty)?;
             (c, r, true)
         };
+        for &h in &scan {
+            self.link_revisions[h.index()] = network.link_revision(h);
+        }
         self.synced = Some(network.revision());
         Ok(RebuildStats {
             rebuilt: true,
@@ -493,6 +523,24 @@ impl EnergyCache {
             variables: self.model.model().live_var_count(),
             edges: self.model.model().edge_count(),
         })
+    }
+
+    /// The hosts whose cached state is behind `network`: the domain
+    /// revision ([`Network::host_revision`]) or the incidence revision
+    /// ([`Network::link_revision`]) moved since the last refresh. Because
+    /// every delta variant bumps one of the two counters at every host it
+    /// can affect, this is a complete touched set — the un-hinted
+    /// equivalent of a caller-supplied
+    /// [`netmodel::delta::BatchEffect::touched`] hint.
+    fn revised_hosts(&self, network: &Network) -> Vec<HostId> {
+        (0..network.host_count())
+            .map(|i| HostId(i as u32))
+            .filter(|&h| {
+                let i = h.index();
+                self.host_revisions.get(i) != Some(&network.host_revision(h))
+                    || self.link_revisions.get(i) != Some(&network.link_revision(h))
+            })
+            .collect()
     }
 
     /// Looks up (or computes, caches and registers) the shared potential
@@ -1019,13 +1067,19 @@ mod tests {
             .unwrap();
         let stats = cache.refresh(&net, &sim).unwrap();
         assert!(stats.rebuilt);
-        assert!(!stats.edited, "un-hinted refreshes reassemble");
+        assert!(
+            stats.edited,
+            "un-hinted refreshes of a synced cache derive the touched set and edit"
+        );
         assert_eq!(stats.hosts_refiltered, 1, "only the fixed host refilters");
         assert_eq!(
             stats.potentials_computed, 0,
             "the full-domain matrix is cached from the initial build"
         );
-        assert!(stats.potentials_reused >= 1);
+        assert_eq!(
+            stats.potentials_reused, 0,
+            "the fixed host's links fold into neighbor unaries — no pairwise potentials"
+        );
         assert_eq!(stats.variables, 7);
         // The fixed slot folded into its neighbors' unaries.
         assert_eq!(cache.model().slots()[3][0], SlotBinding::Fixed(p0));
@@ -1058,6 +1112,40 @@ mod tests {
         assert!(stats.edited, "hinted refreshes edit the model in place");
         full.refresh(&net, &sim).unwrap();
         assert_equivalent(hinted.model(), full.model());
+    }
+
+    #[test]
+    fn unhinted_structural_refresh_edits_in_place_and_matches_scratch() {
+        let (mut net, c, sim) = instance(8);
+        let mut cache =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        let os = c.service_by_name("os").unwrap();
+        let p0 = c.product_by_name("p0").unwrap();
+        // A burst mixing every structural variant with a slot change —
+        // applied with NO hint: the cache must recover the touched set
+        // from the revision counters alone.
+        net.apply_batch(
+            &[
+                NetworkDelta::add_link(HostId(0), HostId(5)),
+                NetworkDelta::fix_slot(HostId(2), os, p0),
+                NetworkDelta::remove_host(HostId(6)),
+                NetworkDelta::add_host("h8", vec![(os, vec![p0])], vec![HostId(1)]),
+                NetworkDelta::remove_link(HostId(3), HostId(4)),
+            ],
+            &c,
+        )
+        .unwrap();
+        let stats = cache.refresh(&net, &sim).unwrap();
+        assert!(
+            stats.edited,
+            "structural changes must not force a reassembly"
+        );
+        let scratch =
+            EnergyCache::new(&net, &sim, &ConstraintSet::new(), EnergyParams::default()).unwrap();
+        assert_equivalent(cache.model(), scratch.model());
+        // And the counters are resynced: the next refresh is a no-op.
+        let again = cache.refresh(&net, &sim).unwrap();
+        assert!(!again.rebuilt);
     }
 
     #[test]
@@ -1159,13 +1247,9 @@ mod tests {
                 EnergyParams::default(),
             )
             .unwrap();
-            let inc = cache.model();
-            assert_eq!(inc.slots(), scratch.slots(), "after {delta}");
-            assert_eq!(inc.base_energy(), scratch.base_energy());
-            assert_eq!(inc.model().var_count(), scratch.model().var_count());
-            assert_eq!(inc.model().edge_count(), scratch.model().edge_count());
-            let labels = vec![0usize; inc.model().var_count()];
-            assert!((inc.model().energy(&labels) - scratch.model().energy(&labels)).abs() < 1e-12);
+            // The un-hinted refresh edits in place (recycled variable ids),
+            // so the comparison is semantic, not id-exact.
+            assert_equivalent(cache.model(), &scratch);
         }
     }
 

@@ -28,6 +28,21 @@ pub enum Error {
         /// no unzoned shard to route it to).
         zone: Option<String>,
     },
+    /// A sharded engine rejected a delta burst: one delta failed
+    /// validation, attributed to the shard that owns it. The sharded
+    /// analogue of [`netmodel::Error::BatchRejected`], carrying the shard
+    /// id a serving queue needs to attribute rejections; the engine is
+    /// untouched.
+    ShardRejected {
+        /// The shard whose sub-batch rejected the delta (`None`: a
+        /// cross-shard link delta, owned by the master network rather than
+        /// any single shard).
+        shard: Option<usize>,
+        /// Position of the rejected delta in the caller's burst.
+        index: usize,
+        /// Why that delta was rejected.
+        cause: netmodel::Error,
+    },
     /// An error from the network model layer.
     Model(netmodel::Error),
     /// An error from the MRF layer.
@@ -53,6 +68,16 @@ impl fmt::Display for Error {
             Error::UnknownZone { zone: None } => {
                 write!(f, "no shard owns unzoned hosts")
             }
+            Error::ShardRejected {
+                shard: Some(shard),
+                index,
+                cause,
+            } => write!(f, "shard {shard} rejected burst at delta {index}: {cause}"),
+            Error::ShardRejected {
+                shard: None,
+                index,
+                cause,
+            } => write!(f, "cross-shard delta {index} rejected: {cause}"),
             Error::Model(e) => write!(f, "network model error: {e}"),
             Error::Mrf(e) => write!(f, "mrf error: {e}"),
             Error::Bayes(e) => write!(f, "bayesian network error: {e}"),
@@ -63,6 +88,7 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            Error::ShardRejected { cause, .. } => Some(cause),
             Error::Model(e) => Some(e),
             Error::Mrf(e) => Some(e),
             Error::Bayes(e) => Some(e),

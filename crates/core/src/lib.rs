@@ -31,6 +31,12 @@
 //!   boundary-coordination loop (freeze neighbors' boundary labels, fold
 //!   them into unaries, solve locally in parallel, splice back only on
 //!   improvement).
+//! * [`serve`] — the concurrent serving front-end: [`ServingEngine`] puts
+//!   either engine behind a single writer thread and epoch-versioned
+//!   immutable [`snapshot::Snapshot`]s. Write bursts enter a bounded queue
+//!   with explicit backpressure ([`serve::Enqueue`]) and coalesce into one
+//!   `apply_batch`; readers clone the current snapshot lock-free and
+//!   detect staleness by revision instead of blocking on absorption.
 //! * [`churn`] — the dynamic-churn scenario: replay a random delta stream
 //!   and measure MTTC before/after each re-optimization.
 //! * [`optimizer`] — the solver facade, built on the open
@@ -127,6 +133,39 @@
 //! # }
 //! ```
 //!
+//! # Concurrent serving: snapshots under write bursts
+//!
+//! ```
+//! use ics_diversity::serve::ServingEngine;
+//! use ics_diversity::DiversityEngine;
+//! use netmodel::delta::NetworkDelta;
+//! use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+//! use netmodel::HostId;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), ics_diversity::Error> {
+//! let g = generate(
+//!     &RandomNetworkConfig {
+//!         hosts: 10,
+//!         mean_degree: 2,
+//!         services: 1,
+//!         products_per_service: 3,
+//!         vendors_per_service: 2,
+//!         topology: TopologyKind::Random,
+//!     },
+//!     11,
+//! );
+//! let serving = ServingEngine::start(DiversityEngine::new(g.network, g.catalog, g.similarity))?;
+//! let mut reader = serving.reader(); // one per query thread; reads never block
+//! serving.submit(vec![NetworkDelta::remove_host(HostId(9))]);
+//! assert!(serving.wait_for_revision(1, Duration::from_secs(30)));
+//! assert!(reader.current().products_at(HostId(9)).is_empty());
+//! let (_engine, report) = serving.shutdown();
+//! assert_eq!(report.last_revision, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Sharded serving: one engine per zone
 //!
 //! ```
@@ -175,14 +214,18 @@ pub mod metrics;
 pub mod optimizer;
 pub mod report;
 pub mod scalability;
+pub mod serve;
 pub mod shard;
+pub mod snapshot;
 
 mod error;
 
 pub use engine::{DiversityEngine, ReassignmentReport};
 pub use error::Error;
 pub use optimizer::{DiversityOptimizer, OptimizedAssignment, SolverKind};
+pub use serve::{DrainReport, Enqueue, ServingConfig, ServingEngine, ServingStats, WriterCore};
 pub use shard::{ShardReport, ShardedEngine};
+pub use snapshot::{Snapshot, SnapshotReader};
 
 /// Convenient result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -422,7 +422,7 @@ impl ShardedEngine {
     /// Applies one delta end to end (routing, local re-solve, boundary
     /// coordination). Equivalent to a one-delta
     /// [`ShardedEngine::apply_batch`], except that validation errors
-    /// surface unwrapped (no [`netmodel::Error::BatchRejected`] envelope).
+    /// surface unwrapped (no [`Error::ShardRejected`] envelope).
     ///
     /// # Errors
     ///
@@ -430,6 +430,7 @@ impl ShardedEngine {
     pub fn apply(&mut self, delta: &NetworkDelta) -> Result<ShardReport> {
         self.apply_batch(std::slice::from_ref(delta))
             .map_err(|e| match e {
+                Error::ShardRejected { cause, .. } => Error::Model(cause),
                 Error::Model(m) => Error::Model(m.into_batch_cause()),
                 other => other,
             })
@@ -446,8 +447,10 @@ impl ShardedEngine {
     ///
     /// # Errors
     ///
-    /// * [`Error::Model`] wrapping [`netmodel::Error::BatchRejected`] — a
-    ///   delta failed validation; the engine is untouched.
+    /// * [`Error::ShardRejected`] — a delta failed validation, reported
+    ///   with its position in the caller's burst and the id of the shard
+    ///   that owns it (`None` for cross-shard link deltas); the engine is
+    ///   untouched.
     /// * [`Error::UnknownZone`] — an `AddHost` delta names a zone no shard
     ///   owns; the engine is untouched.
     pub fn apply_batch(&mut self, deltas: &[NetworkDelta]) -> Result<ShardReport> {
@@ -508,7 +511,7 @@ impl ShardedEngine {
             let mut staged = self.master.clone();
             let effect = staged
                 .apply_all(deltas, &self.catalog)
-                .map_err(Error::Model)?;
+                .map_err(|e| attribute_master_error(&plan, e))?;
             let (reports, walls) = self
                 .run_shards(Some(&plan.per_shard))
                 .map_err(|(s, e)| remap_shard_error(&plan, s, e))?;
@@ -1357,19 +1360,37 @@ impl ShardedEngine {
 }
 
 /// Maps a shard-local [`netmodel::Error::BatchRejected`] index back to the
-/// caller's position in the original burst.
+/// caller's position in the original burst and attributes it to the
+/// rejecting shard ([`Error::ShardRejected`]), so a serving queue can tell
+/// *which* shard bounced a burst without replaying it.
 fn remap_shard_error(plan: &RoutePlan, shard: usize, error: Error) -> Error {
     match error {
-        Error::Model(netmodel::Error::BatchRejected { index, cause }) => {
-            Error::Model(netmodel::Error::BatchRejected {
-                index: plan.per_shard_indices[shard]
-                    .get(index)
-                    .copied()
-                    .unwrap_or(index),
-                cause,
-            })
-        }
+        Error::Model(netmodel::Error::BatchRejected { index, cause }) => Error::ShardRejected {
+            shard: Some(shard),
+            index: plan.per_shard_indices[shard]
+                .get(index)
+                .copied()
+                .unwrap_or(index),
+            cause: *cause,
+        },
         other => other,
+    }
+}
+
+/// Attributes a master-network staging rejection (already indexed by the
+/// caller's burst positions) to the shard owning the failing delta —
+/// `None` for cross-shard link deltas, which only the master applies.
+fn attribute_master_error(plan: &RoutePlan, error: netmodel::Error) -> Error {
+    match error {
+        netmodel::Error::BatchRejected { index, cause } => Error::ShardRejected {
+            shard: plan
+                .per_shard_indices
+                .iter()
+                .position(|indices| indices.contains(&index)),
+            index,
+            cause: *cause,
+        },
+        other => Error::Model(other),
     }
 }
 
@@ -1682,7 +1703,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            Error::Model(netmodel::Error::BatchRejected { index: 1, .. })
+            Error::ShardRejected {
+                shard: Some(0),
+                index: 1,
+                ..
+            }
         ));
         assert_eq!(engine.revision(), revision);
         assert_eq!(engine.shard_network(0), &shard0, "no shard saw the batch");
@@ -1709,11 +1734,35 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            Error::Model(netmodel::Error::BatchRejected { index: 1, .. })
+            Error::ShardRejected {
+                shard: Some(0),
+                index: 1,
+                cause: netmodel::Error::NotACandidate { .. },
+            }
         ));
         assert_eq!(engine.revision(), revision);
         assert_eq!(engine.shard_network(0), &shard0);
         assert_eq!(engine.assignment(), Some(&assignment_before));
+
+        // A failing cross-shard link delta is owned by the master, not any
+        // shard: the attribution is `None`. (Whichever of the two add_links
+        // is the duplicate depends on the generated gateways; the shape is
+        // what matters.)
+        let err = engine
+            .apply_batch(&[
+                NetworkDelta::add_link(HostId(1), HostId(7)),
+                NetworkDelta::add_link(HostId(1), HostId(7)),
+            ])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShardRejected {
+                shard: None,
+                cause: netmodel::Error::DuplicateLink(..),
+                ..
+            }
+        ));
+        assert_eq!(engine.revision(), revision);
     }
 
     #[test]

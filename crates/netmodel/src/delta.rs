@@ -309,7 +309,12 @@ impl Network {
     ///
     /// On success the network revision is bumped (see
     /// [`DeltaEffect::revision`]) and, for domain-affecting deltas, the
-    /// touched hosts' revisions as well.
+    /// touched hosts' revisions as well. Structural deltas additionally
+    /// bump [`Network::topology_revision`] and the
+    /// [`Network::link_revision`] of every host whose incident links moved
+    /// (both endpoints of a link mutation; a removed or added host and its
+    /// peers) — so the two per-host counters jointly cover every host a
+    /// delta can affect.
     ///
     /// # Errors
     ///
@@ -373,8 +378,11 @@ impl Network {
                     removed: false,
                 });
                 self.host_revisions.push(self.revision);
+                self.topology_revision += 1;
+                self.link_revisions.push(self.revision);
                 for &peer in links {
                     self.insert_link(peer, new_id);
+                    self.link_revisions[peer.index()] = self.revision;
                 }
                 self.rebuild_adjacency();
                 let mut touched = vec![new_id];
@@ -394,6 +402,11 @@ impl Network {
                 h.services.clear();
                 h.removed = true;
                 self.host_revisions[host.index()] = self.revision;
+                self.topology_revision += 1;
+                self.link_revisions[host.index()] = self.revision;
+                for &peer in &former {
+                    self.link_revisions[peer.index()] = self.revision;
+                }
                 self.links.retain(|&(a, b)| a != *host && b != *host);
                 self.rebuild_adjacency();
                 let mut touched = vec![*host];
@@ -416,6 +429,9 @@ impl Network {
                     return Err(Error::DuplicateLink(key.0, key.1));
                 }
                 self.revision += 1;
+                self.topology_revision += 1;
+                self.link_revisions[a.index()] = self.revision;
+                self.link_revisions[b.index()] = self.revision;
                 self.insert_link(*a, *b);
                 self.rebuild_adjacency();
                 Ok(DeltaEffect {
@@ -438,6 +454,9 @@ impl Network {
                     return Err(Error::UnknownLink(key.0, key.1));
                 };
                 self.revision += 1;
+                self.topology_revision += 1;
+                self.link_revisions[a.index()] = self.revision;
+                self.link_revisions[b.index()] = self.revision;
                 self.links.remove(pos);
                 self.rebuild_adjacency();
                 Ok(DeltaEffect {
@@ -809,6 +828,51 @@ mod tests {
                 assert!(net.neighbors(nb).contains(&id));
             }
         }
+    }
+
+    #[test]
+    fn topology_and_link_revisions_track_structural_deltas() {
+        let (mut net, c) = fixture();
+        assert_eq!(net.topology_revision(), 0);
+        for h in 0..3u32 {
+            assert_eq!(net.link_revision(HostId(h)), 0);
+        }
+        // Slot deltas leave every structural counter alone.
+        let os = sid(&c, "os");
+        net.apply_delta(&NetworkDelta::fix_slot(HostId(0), os, pid(&c, "win")), &c)
+            .unwrap();
+        assert_eq!(net.topology_revision(), 0);
+        assert_eq!(net.link_revision(HostId(0)), 0);
+        // AddLink bumps exactly its two endpoints.
+        net.apply_delta(&NetworkDelta::add_link(HostId(0), HostId(2)), &c)
+            .unwrap();
+        assert_eq!(net.topology_revision(), 1);
+        assert_eq!(net.link_revision(HostId(0)), 2);
+        assert_eq!(net.link_revision(HostId(2)), 2);
+        assert_eq!(net.link_revision(HostId(1)), 0, "bystander untouched");
+        // RemoveLink likewise.
+        net.apply_delta(&NetworkDelta::remove_link(HostId(2), HostId(0)), &c)
+            .unwrap();
+        assert_eq!(net.topology_revision(), 2);
+        assert_eq!(net.link_revision(HostId(0)), 3);
+        // AddHost bumps the new host and its peers.
+        net.apply_delta(
+            &NetworkDelta::add_host("h3", vec![(os, vec![pid(&c, "lin")])], vec![HostId(1)]),
+            &c,
+        )
+        .unwrap();
+        assert_eq!(net.topology_revision(), 3);
+        assert_eq!(net.link_revision(HostId(3)), 4);
+        assert_eq!(net.link_revision(HostId(1)), 4);
+        assert_eq!(net.host_revision(HostId(1)), 0, "peer domains unchanged");
+        // RemoveHost bumps the tombstone and every former neighbor.
+        net.apply_delta(&NetworkDelta::remove_host(HostId(1)), &c)
+            .unwrap();
+        assert_eq!(net.topology_revision(), 4);
+        assert_eq!(net.link_revision(HostId(1)), 5);
+        assert_eq!(net.link_revision(HostId(0)), 5, "former neighbor");
+        assert_eq!(net.link_revision(HostId(3)), 5, "former neighbor");
+        assert_eq!(net.link_revision(HostId(2)), 5, "former neighbor via 1-2");
     }
 
     #[test]

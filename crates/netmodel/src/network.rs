@@ -109,6 +109,16 @@ pub struct Network {
     /// contribution* (services, candidate domains, existence) last changed.
     /// Link-only changes do not bump it.
     pub(crate) host_revisions: Vec<u64>,
+    /// Number of structural (host/link) deltas ever applied. Stays put
+    /// across slot-only churn, so a cache can tell "domains moved" from
+    /// "the graph moved" without diffing the link list.
+    pub(crate) topology_revision: u64,
+    /// Per-host *incidence* revision: the network revision at which the
+    /// host's link neighborhood last changed (a link added or removed at
+    /// the host, including via `AddHost`/`RemoveHost`). The structural
+    /// complement of `host_revisions`: together the two counters identify
+    /// every host an un-hinted incremental refresh must re-derive.
+    pub(crate) link_revisions: Vec<u64>,
 }
 
 impl Network {
@@ -135,6 +145,25 @@ impl Network {
     /// Panics if `id` is out of range.
     pub fn host_revision(&self, id: HostId) -> u64 {
         self.host_revisions[id.index()]
+    }
+
+    /// The number of *structural* deltas (host or link mutations) applied
+    /// since the network was built. Slot deltas leave it untouched, so
+    /// `topology_revision` moving is exactly the "graph changed" signal
+    /// the [`DeltaEffect::topology_changed`](crate::delta::DeltaEffect)
+    /// flag gives per delta, available after the fact.
+    pub fn topology_revision(&self) -> u64 {
+        self.topology_revision
+    }
+
+    /// The network revision at which `id`'s link neighborhood last changed
+    /// (0 for hosts whose incident links never moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_revision(&self, id: HostId) -> u64 {
+        self.link_revisions[id.index()]
     }
 
     /// Rebuilds the CSR adjacency from `self.links`.
@@ -377,6 +406,8 @@ impl NetworkBuilder {
             neighbors: Vec::new(),
             revision: 0,
             host_revisions: vec![0; n],
+            topology_revision: 0,
+            link_revisions: vec![0; n],
         };
         network.rebuild_adjacency();
         Ok(network)

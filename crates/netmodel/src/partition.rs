@@ -253,6 +253,8 @@ pub fn extract_shard(network: &Network, members: &[HostId]) -> ShardView {
         neighbors: Vec::new(),
         revision: 0,
         host_revisions: vec![0; n],
+        topology_revision: 0,
+        link_revisions: vec![0; n],
     };
     sub.rebuild_adjacency();
     ShardView {
