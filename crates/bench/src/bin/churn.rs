@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use ics_diversity::churn::{run_churn, run_churn_sharded, ChurnConfig, ChurnMode, MttcGain};
 use ics_diversity::engine::DiversityEngine;
 use ics_diversity::report::TextTable;
-use ics_diversity::serve::{Enqueue, ServingEngine, WriterCore};
+use ics_diversity::serve::{Enqueue, MttcProbe, ServingConfig, ServingEngine, WriterCore};
 use ics_diversity::shard::ShardedEngine;
 
 use bench::{flag_value, full_mode, help_requested};
@@ -32,6 +32,7 @@ use netmodel::HostId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sim::mttc::{MttcEstimate, MttcOptions};
+use sim::scenario::Scenario;
 
 const HELP: &str = "\
 churn — dynamic-churn replay through the incremental diversity engine
@@ -110,6 +111,14 @@ SERVING TELEMETRY (--serve mode, replacing the per-step table):
                  reader threads (reader.current(): epoch check + Arc clone).
     reads        Completed reads per reader thread — every one of them
                  lock-free against the concurrently absorbing writer.
+    mttc table   One row per async MTTC probe result observed in the
+                 snapshot stream (worm entry→target as in the per-step
+                 modes). Probes run on a helper thread off the writer, so
+                 each estimate describes the \"probed epoch\" and rides a
+                 later snapshot (\"attached epoch\"); \"gain\" compares the
+                 re-optimized assignment against the carried one at the
+                 probed epoch. \"probes\" counts jobs scheduled vs. dropped
+                 because the helper was still simulating.
 ";
 
 fn fmt_mttc(e: &MttcEstimate) -> String {
@@ -494,7 +503,24 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
          {readers} reader threads\n"
     );
     let cold_start = Instant::now();
-    let serving = ServingEngine::start(core).expect("instance solves");
+    // The same worm scenario the per-step modes estimate, sampled by the
+    // serving engine's off-writer probe thread on every publication.
+    let probe_target = HostId(host_count as u32 - 1);
+    let serving = ServingEngine::start_with(
+        core,
+        ServingConfig {
+            mttc: Some(MttcProbe {
+                scenario: Scenario::new(HostId(0), probe_target),
+                options: MttcOptions {
+                    runs: 48,
+                    ..MttcOptions::default()
+                },
+                every: 1,
+            }),
+            ..ServingConfig::default()
+        },
+    )
+    .expect("instance solves");
     println!(
         "cold solve + first publish: {:.2?} (objective {:.3})",
         cold_start.elapsed(),
@@ -528,6 +554,41 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
             })
         })
         .collect();
+    // One more reader dedicated to harvesting probe results from the
+    // snapshot stream: each new `mttc_epoch` is one completed async probe.
+    // (probed epoch, attached epoch, resolve, carried, gain)
+    type MttcRow = (
+        u64,
+        u64,
+        MttcEstimate,
+        Option<MttcEstimate>,
+        Option<MttcGain>,
+    );
+    let monitor = {
+        let mut reader = serving.reader();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut seen = 0u64;
+            let mut rows: Vec<MttcRow> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let snapshot = reader.current();
+                if let (Some(probed), Some(mttc)) = (snapshot.mttc_epoch(), snapshot.mttc()) {
+                    if probed > seen {
+                        seen = probed;
+                        rows.push((
+                            probed,
+                            snapshot.epoch(),
+                            mttc.clone(),
+                            snapshot.mttc_carried().cloned(),
+                            snapshot.mttc_gain(),
+                        ));
+                    }
+                }
+                thread::sleep(Duration::from_micros(100));
+            }
+            rows
+        })
+    };
 
     let mut rng = StdRng::seed_from_u64(2026);
     let mut submitted = 0u64;
@@ -537,7 +598,7 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
         // with the engine, so every delta is valid at absorption.
         let mut deltas = Vec::with_capacity(burst);
         for _ in 0..burst {
-            let mut delta = random_delta(&shadow, &catalog, &mut rng, &[HostId(0)]);
+            let mut delta = random_delta(&shadow, &catalog, &mut rng, &[HostId(0), probe_target]);
             if let netmodel::delta::NetworkDelta::AddHost { zone, .. } = &mut delta {
                 if !zones.is_empty() {
                     zone.clone_from(&zones[rng.gen_range(0..zones.len())]);
@@ -564,6 +625,31 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
         "writer failed to drain the churn stream"
     );
     let churn_wall = churn_start.elapsed();
+    let stream_deltas = submitted;
+    // A short paced tail — one delta per publication, waiting each out —
+    // so several sampled epochs flow through the async MTTC probe and
+    // surface in the telemetry table. The unpaced stream above coalesces
+    // into very few publications, which is the point of that measurement
+    // but leaves async probe results nothing to ride on.
+    for _ in 0..8u32 {
+        let mut delta = random_delta(&shadow, &catalog, &mut rng, &[HostId(0), probe_target]);
+        if let netmodel::delta::NetworkDelta::AddHost { zone, .. } = &mut delta {
+            if !zones.is_empty() {
+                zone.clone_from(&zones[rng.gen_range(0..zones.len())]);
+            }
+        }
+        shadow
+            .apply_delta(&delta, &catalog)
+            .expect("generated deltas are valid");
+        submitted += 1;
+        serving.submit(vec![delta]);
+        assert!(
+            serving.wait_for_revision(submitted, Duration::from_secs(600)),
+            "writer failed to absorb the paced tail"
+        );
+        // Give the probe helper a moment to finish and park its estimate.
+        thread::sleep(Duration::from_millis(5));
+    }
     stop.store(true, Ordering::Relaxed);
     let mut reads_per_reader = Vec::with_capacity(readers);
     let mut samples: Vec<u64> = Vec::new();
@@ -572,6 +658,7 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
         reads_per_reader.push(reads);
         samples.extend(timed);
     }
+    let mttc_rows = monitor.join().expect("monitor thread panicked");
     samples.sort_unstable();
     let pct = |p: f64| -> u64 {
         match samples.len() {
@@ -583,7 +670,7 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
     let (core, drain) = serving.shutdown();
     assert_eq!(core.revision(), submitted, "every delta was absorbed");
     let stats = &drain.stats;
-    let deltas_per_sec = stats.deltas_absorbed as f64 / churn_wall.as_secs_f64();
+    let deltas_per_sec = stream_deltas as f64 / churn_wall.as_secs_f64();
     let total_reads: u64 = reads_per_reader.iter().sum();
 
     println!(
@@ -616,6 +703,34 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
         samples.last().copied().unwrap_or(0)
     );
     println!(
+        "probes:      {} MTTC probes scheduled, {} dropped (helper busy); {} results \
+         observed in the snapshot stream",
+        stats.probes_scheduled,
+        stats.probes_dropped,
+        mttc_rows.len()
+    );
+    if !mttc_rows.is_empty() {
+        let mut t = TextTable::new(&[
+            "probed epoch",
+            "attached epoch",
+            "mttc carry",
+            "mttc resolve",
+            "gain",
+        ]);
+        for (probed, attached, resolve, carried, gain) in &mttc_rows {
+            t.add_row_owned(vec![
+                probed.to_string(),
+                attached.to_string(),
+                carried.as_ref().map_or_else(|| "-".to_owned(), fmt_mttc),
+                fmt_mttc(resolve),
+                gain.map_or_else(|| "-".to_owned(), |g| g.to_string()),
+            ]);
+        }
+        println!(
+            "\nsampled MTTC telemetry (async probe; epoch 1 is the synchronous baseline):\n{t}"
+        );
+    }
+    println!(
         "expected shape: batches ≤ submissions (coalescing), read p99 ≪ absorb wall, reads \
          never stall"
     );
@@ -626,7 +741,8 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
          \"deltas_absorbed\": {},\n  \"batches_absorbed\": {},\n  \"publications\": {},\n  \
          \"coalesced_submissions\": {},\n  \"last_epoch\": {},\n  \"last_revision\": {},\n  \
          \"churn_wall_ms\": {:.3},\n  \"deltas_per_sec\": {deltas_per_sec:.1},\n  \
-         \"reads_total\": {total_reads},\n  \"read_p50_ns\": {},\n  \"read_p99_ns\": {}\n}}\n",
+         \"reads_total\": {total_reads},\n  \"read_p50_ns\": {},\n  \"read_p99_ns\": {},\n  \
+         \"probes_scheduled\": {},\n  \"probes_dropped\": {},\n  \"mttc_samples\": {}\n}}\n",
         shards.map_or_else(|| "null".to_owned(), |z| z.to_string()),
         stats.submissions,
         stats.deltas_absorbed,
@@ -638,6 +754,9 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
         churn_wall.as_secs_f64() * 1e3,
         pct(0.50),
         pct(0.99),
+        stats.probes_scheduled,
+        stats.probes_dropped,
+        mttc_rows.len(),
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("\nwrote BENCH_serving.json");

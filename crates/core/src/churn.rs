@@ -170,7 +170,7 @@ impl ChurnStep {
 
 /// Classifies the before/after MTTC pair into an [`MttcGain`] (total: every
 /// combination of censored and uncensored estimates maps somewhere).
-fn classify_gain(before: &MttcEstimate, after: &MttcEstimate) -> MttcGain {
+pub(crate) fn classify_gain(before: &MttcEstimate, after: &MttcEstimate) -> MttcGain {
     match (before.mean_ticks(), after.mean_ticks()) {
         (Some(before), Some(after)) => MttcGain::Gain(after - before),
         (None, Some(_)) => MttcGain::CarriedCensored,

@@ -34,6 +34,7 @@ use std::time::{Duration, Instant};
 
 use mrf::icm::Icm;
 use mrf::model::VarId;
+use mrf::order::SolveScratch;
 use mrf::projection::project_labels;
 use mrf::solver::{MapSolver, SolveControl};
 use mrf::trws::Trws;
@@ -167,6 +168,10 @@ pub struct DiversityEngine {
     /// [`DiversityEngine::set_pinned_hosts`]).
     pinned: Vec<HostId>,
     last: Option<Assignment>,
+    /// Reusable solver structure/workspace (see [`mrf::order`]): prepared
+    /// anew on each solve, but its allocations persist across steps, so a
+    /// warm re-solve on a stable topology allocates nothing.
+    scratch: SolveScratch,
 }
 
 /// A validated-but-uncommitted delta batch: the mutated network copy plus
@@ -213,6 +218,7 @@ impl DiversityEngine {
             locality: Some(DEFAULT_LOCALITY_HOPS),
             pinned: Vec::new(),
             last: None,
+            scratch: SolveScratch::new(),
         }
     }
 
@@ -497,9 +503,13 @@ impl DiversityEngine {
                         Some(k) if !touched.is_empty() => {
                             let ball = frontier_ball(&self.network, &touched, k);
                             let frontier = frontier_vars(energy.slots(), &ball);
-                            let local =
-                                self.refiner
-                                    .refine_local(energy.model(), start, &frontier, &ctl);
+                            let local = self.refiner.refine_local_with(
+                                energy.model(),
+                                start,
+                                &frontier,
+                                &ctl,
+                                &mut self.scratch,
+                            );
                             let locality = if local.full_sweep {
                                 (full_model_sweep.0, full_model_sweep.1, false)
                             } else {
@@ -508,7 +518,12 @@ impl DiversityEngine {
                             (local.solution, locality)
                         }
                         _ => (
-                            self.refiner.refine(energy.model(), start, &ctl),
+                            self.refiner.refine_with(
+                                energy.model(),
+                                start,
+                                &ctl,
+                                &mut self.scratch,
+                            ),
                             (full_model_sweep.0, full_model_sweep.1, false),
                         ),
                     }
@@ -565,7 +580,8 @@ impl DiversityEngine {
                 )
             }
             None => (
-                self.solver.solve(energy.model(), &ctl),
+                self.solver
+                    .solve_with(energy.model(), &ctl, &mut self.scratch),
                 false,
                 None,
                 None,

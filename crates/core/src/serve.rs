@@ -38,6 +38,12 @@
 //!   an immutable [`Snapshot`] into a shared [`SnapshotCell`], and
 //!   readers clone the `Arc` lock-free, detecting staleness by epoch and
 //!   revision instead of waiting.
+//! * **MTTC telemetry** (optional, [`MttcProbe`]) runs on a dedicated
+//!   helper thread: on sampled publications the writer hands it cloned
+//!   state — including the carried pre-re-solve assignment, so snapshots
+//!   can report the [`crate::churn::MttcGain`] of re-optimizing — and
+//!   attaches the latest *completed* estimate to the snapshot being
+//!   published. Absorption latency never includes a simulation.
 //!
 //! Shutdown is explicit and lossless: [`ServingEngine::shutdown`] drains
 //! the queue, absorbs what remains, and hands back the engine core plus a
@@ -122,6 +128,10 @@ pub enum WriterCore {
 struct Absorbed {
     revision: u64,
     objective: f64,
+    /// The carried-forward (pre-re-solve) assignment, when the step had
+    /// one — what the MTTC probe compares the re-optimized assignment
+    /// against.
+    carried: Option<Assignment>,
 }
 
 impl WriterCore {
@@ -130,10 +140,12 @@ impl WriterCore {
             WriterCore::Single(engine) => engine.solve().map(|r| Absorbed {
                 revision: r.revision,
                 objective: r.objective_after,
+                carried: r.carried,
             }),
             WriterCore::Sharded(engine) => engine.solve().map(|r| Absorbed {
                 revision: r.revision,
                 objective: r.objective,
+                carried: r.carried,
             }),
         }
     }
@@ -143,10 +155,12 @@ impl WriterCore {
             WriterCore::Single(engine) => engine.apply_batch(deltas).map(|r| Absorbed {
                 revision: r.revision,
                 objective: r.objective_after,
+                carried: r.carried,
             }),
             WriterCore::Sharded(engine) => engine.apply_batch(deltas).map(|r| Absorbed {
                 revision: r.revision,
                 objective: r.objective,
+                carried: r.carried,
             }),
         }
     }
@@ -230,8 +244,20 @@ pub enum Enqueue {
     },
 }
 
-/// Periodic MTTC telemetry computed by the writer thread and attached to
-/// published snapshots ([`Snapshot::mttc`]).
+/// Periodic MTTC telemetry attached to published snapshots
+/// ([`Snapshot::mttc`]).
+///
+/// Estimation is Monte-Carlo simulation — orders of magnitude slower than
+/// absorbing a delta burst — so it runs on a dedicated helper thread, never
+/// on the writer. On every sampled publication the writer hands the helper
+/// a probe job (network + assignment clones, plus the carried pre-re-solve
+/// assignment when the absorb had one) and attaches the *latest completed*
+/// result to the snapshot it is about to publish. Telemetry therefore
+/// trails absorption: a snapshot's [`Snapshot::mttc_epoch`] names the epoch
+/// the estimate actually describes. If the helper is still busy when the
+/// next sampled publication comes due, that epoch's probe is skipped
+/// ([`ServingStats::probes_dropped`]) — the freshest state wins, queues
+/// never build up.
 #[derive(Debug, Clone)]
 pub struct MttcProbe {
     /// The attack scenario to estimate against.
@@ -239,7 +265,8 @@ pub struct MttcProbe {
     /// Simulation options (runs, seed, threads).
     pub options: MttcOptions,
     /// Sample every `every`-th publication (the initial snapshot is always
-    /// sampled; `0` is treated as `1`: every publication).
+    /// sampled, synchronously — there is no earlier publication for it to
+    /// lag behind; `0` is treated as `1`: every publication).
     pub every: u64,
 }
 
@@ -295,6 +322,12 @@ pub struct ServingStats {
     pub deltas_absorbed: u64,
     /// Coalesced batches the engine rejected (engine state untouched).
     pub bursts_rejected: u64,
+    /// MTTC probe jobs handed to the helper thread (including the initial
+    /// synchronous sample).
+    pub probes_scheduled: u64,
+    /// Sampled publications whose probe was skipped because the helper was
+    /// still simulating an earlier epoch.
+    pub probes_dropped: u64,
     /// The most recent rejected burst, attributed.
     pub last_rejection: Option<Rejection>,
 }
@@ -356,6 +389,9 @@ pub struct ServingEngine {
     stats: Arc<Mutex<ServingStats>>,
     gate: Arc<Gate>,
     writer: Option<JoinHandle<WriterCore>>,
+    /// The MTTC helper thread (see [`MttcProbe`]); exits once the writer
+    /// hangs up its job channel.
+    probe: Option<JoinHandle<()>>,
 }
 
 impl ServingEngine {
@@ -382,7 +418,7 @@ impl ServingEngine {
         let mut core = core.into();
         let solve_start = Instant::now();
         let initial = core.solve()?;
-        let mttc = sample_mttc(&core, config.mttc.as_ref(), 1);
+        let mttc = initial_mttc(&core, config.mttc.as_ref());
         let snapshot = Snapshot {
             epoch: 1,
             revision: initial.revision,
@@ -395,16 +431,32 @@ impl ServingEngine {
             deltas_in_batch: 0,
             deltas_absorbed: 0,
             absorb_wall: solve_start.elapsed(),
+            mttc_epoch: mttc.is_some().then_some(1),
             mttc,
+            mttc_carried: None,
             published: Instant::now(),
         };
         let cell = Arc::new(SnapshotCell::new(snapshot));
         let depth = Arc::new(AtomicUsize::new(0));
         let stats = Arc::new(Mutex::new(ServingStats {
             publications: 1,
+            probes_scheduled: u64::from(config.mttc.is_some()),
             ..ServingStats::default()
         }));
         let gate = Arc::new(Gate::new(config.paused));
+        let probe_slot = Arc::new(Mutex::new(None));
+        let (probe_tx, probe) = match config.mttc.clone() {
+            Some(probe) => {
+                let (ptx, prx) = mpsc::sync_channel(1);
+                let slot = Arc::clone(&probe_slot);
+                let handle = thread::Builder::new()
+                    .name("serving-mttc".into())
+                    .spawn(move || probe_loop(&probe, &prx, &slot))
+                    .expect("spawning the serving mttc thread");
+                (Some(ptx), Some(handle))
+            }
+            None => (None, None),
+        };
         let (tx, rx) = mpsc::channel();
         let ctx = WriterCtx {
             cell: Arc::clone(&cell),
@@ -412,6 +464,8 @@ impl ServingEngine {
             stats: Arc::clone(&stats),
             gate: Arc::clone(&gate),
             mttc: config.mttc,
+            probe_tx,
+            probe_slot,
         };
         let writer = thread::Builder::new()
             .name("serving-writer".into())
@@ -429,6 +483,7 @@ impl ServingEngine {
             stats,
             gate,
             writer: Some(writer),
+            probe,
         })
     }
 
@@ -559,6 +614,11 @@ impl ServingEngine {
             .expect("shutdown consumes the engine; the writer is present")
             .join()
             .expect("serving writer thread panicked");
+        // Joining the writer dropped its probe sender; the helper's recv
+        // fails and it exits (an in-flight estimate finishes unobserved).
+        if let Some(probe) = self.probe.take() {
+            let _ = probe.join();
+        }
         let last = self.cell.load();
         let report = DrainReport {
             last_epoch: last.epoch(),
@@ -593,6 +653,9 @@ impl Drop for ServingEngine {
             self.gate.set(false);
             let _ = writer.join();
         }
+        if let Some(probe) = self.probe.take() {
+            let _ = probe.join();
+        }
     }
 }
 
@@ -602,6 +665,59 @@ struct WriterCtx {
     stats: Arc<Mutex<ServingStats>>,
     gate: Arc<Gate>,
     mttc: Option<MttcProbe>,
+    /// Capacity-1 channel to the MTTC helper thread; `try_send` keeps the
+    /// writer non-blocking (a busy helper drops the job, counted in
+    /// [`ServingStats::probes_dropped`]).
+    probe_tx: Option<mpsc::SyncSender<ProbeJob>>,
+    /// Latest completed probe result, parked by the helper for the writer
+    /// to attach to its next publication.
+    probe_slot: Arc<Mutex<Option<ProbeResult>>>,
+}
+
+/// Everything one MTTC estimation needs, cloned out of the core so the
+/// simulation runs against a stable copy while the writer keeps absorbing.
+struct ProbeJob {
+    epoch: u64,
+    network: Network,
+    similarity: ProductSimilarity,
+    assignment: Assignment,
+    carried: Option<Assignment>,
+}
+
+/// A completed probe: estimates for the re-optimized and (when the probed
+/// absorb had one) carried assignment at `epoch`.
+struct ProbeResult {
+    epoch: u64,
+    mttc: MttcEstimate,
+    mttc_carried: Option<MttcEstimate>,
+}
+
+/// The MTTC helper thread: simulate each job as it arrives, park the
+/// result for the writer, exit when the writer hangs up.
+fn probe_loop(probe: &MttcProbe, rx: &Receiver<ProbeJob>, slot: &Mutex<Option<ProbeResult>>) {
+    while let Ok(job) = rx.recv() {
+        let mttc = estimate_mttc(
+            &job.network,
+            &job.assignment,
+            &job.similarity,
+            &probe.scenario,
+            &probe.options,
+        );
+        let mttc_carried = job.carried.as_ref().map(|carried| {
+            estimate_mttc(
+                &job.network,
+                carried,
+                &job.similarity,
+                &probe.scenario,
+                &probe.options,
+            )
+        });
+        *slot.lock().expect("probe slot poisoned") = Some(ProbeResult {
+            epoch: job.epoch,
+            mttc,
+            mttc_carried,
+        });
+    }
 }
 
 /// Drains every message currently queued into `burst`; `true` if a
@@ -636,26 +752,55 @@ fn writer_loop(mut core: WriterCore, rx: &Receiver<Msg>, ctx: &WriterCtx) -> Wri
             Ok(outcome) => {
                 epoch += 1;
                 absorbed_total += burst.len() as u64;
-                let mttc = sample_mttc(&core, ctx.mttc.as_ref(), epoch);
+                let assignment = core
+                    .assignment()
+                    .cloned()
+                    .expect("a successful absorb leaves an assignment");
+                // Hand this epoch to the MTTC helper (non-blocking; a
+                // busy helper means the job is dropped) and attach the
+                // freshest completed estimate to the snapshot below.
+                let mut scheduled = false;
+                let mut dropped = false;
+                if let (Some(probe), Some(ptx)) = (ctx.mttc.as_ref(), ctx.probe_tx.as_ref()) {
+                    if epoch.is_multiple_of(probe.every.max(1)) {
+                        let job = ProbeJob {
+                            epoch,
+                            network: core.network().clone(),
+                            similarity: core.similarity().clone(),
+                            assignment: assignment.clone(),
+                            carried: outcome.carried,
+                        };
+                        match ptx.try_send(job) {
+                            Ok(()) => scheduled = true,
+                            Err(_) => dropped = true,
+                        }
+                    }
+                }
+                let (mttc, mttc_carried, mttc_epoch) =
+                    match ctx.probe_slot.lock().expect("probe slot poisoned").take() {
+                        Some(r) => (Some(r.mttc), r.mttc_carried, Some(r.epoch)),
+                        None => (None, None, None),
+                    };
                 ctx.cell.publish(Snapshot {
                     epoch,
                     revision: outcome.revision,
                     topology_revision: core.network().topology_revision(),
-                    assignment: core
-                        .assignment()
-                        .cloned()
-                        .expect("a successful absorb leaves an assignment"),
+                    assignment,
                     objective: outcome.objective,
                     deltas_in_batch: burst.len(),
                     deltas_absorbed: absorbed_total,
                     absorb_wall: absorb_start.elapsed(),
                     mttc,
+                    mttc_carried,
+                    mttc_epoch,
                     published: Instant::now(),
                 });
                 let mut stats = ctx.stats.lock().expect("stats lock poisoned");
                 stats.publications += 1;
                 stats.batches_absorbed += 1;
                 stats.deltas_absorbed += burst.len() as u64;
+                stats.probes_scheduled += u64::from(scheduled);
+                stats.probes_dropped += u64::from(dropped);
             }
             Err(error) => {
                 let (shard, index) = attribute(&error);
@@ -687,11 +832,12 @@ fn attribute(error: &Error) -> (Option<usize>, Option<usize>) {
     }
 }
 
-fn sample_mttc(core: &WriterCore, probe: Option<&MttcProbe>, epoch: u64) -> Option<MttcEstimate> {
+/// The initial snapshot's MTTC sample. Epoch 1 is always sampled and is
+/// computed synchronously on the starting thread: there is no earlier
+/// publication for it to lag behind, and callers get a fully-populated
+/// first snapshot to baseline against.
+fn initial_mttc(core: &WriterCore, probe: Option<&MttcProbe>) -> Option<MttcEstimate> {
     let probe = probe?;
-    if epoch != 1 && !epoch.is_multiple_of(probe.every.max(1)) {
-        return None;
-    }
     let assignment = core.assignment()?;
     Some(estimate_mttc(
         core.network(),
@@ -872,10 +1018,10 @@ mod tests {
     }
 
     #[test]
-    fn mttc_probe_attaches_telemetry_to_sampled_snapshots() {
+    fn mttc_probe_attaches_telemetry_to_later_snapshots() {
         let scenario = Scenario::new(HostId(0), HostId(3));
         let serving = ServingEngine::start_with(
-            single(8, 21),
+            single(10, 21),
             ServingConfig {
                 mttc: Some(MttcProbe {
                     scenario,
@@ -889,12 +1035,43 @@ mod tests {
             },
         )
         .expect("initial solve");
+        // Epoch 1 is sampled synchronously; no carried assignment exists
+        // on a cold solve, so there is no gain to classify yet.
         let initial = serving.snapshot();
         let mttc = initial.mttc().expect("initial snapshot is sampled");
         assert_eq!(mttc.runs(), 16);
-        serving.submit(vec![NetworkDelta::remove_host(HostId(7))]);
-        assert!(serving.wait_for_revision(1, LONG));
-        assert!(serving.snapshot().mttc().is_some(), "every=1 samples all");
-        let (_core, _report) = serving.shutdown();
+        assert_eq!(initial.mttc_epoch(), Some(1));
+        assert!(initial.mttc_carried().is_none());
+        assert!(initial.mttc_gain().is_none());
+        // Estimation is asynchronous: an absorbed epoch's telemetry rides
+        // a *later* snapshot. Keep absorbing single deltas until a probe
+        // of some post-initial epoch has been attached.
+        let deadline = Instant::now() + LONG;
+        let mut revision = 0;
+        let probed = loop {
+            let snapshot = serving.snapshot();
+            if snapshot.mttc_epoch().is_some_and(|e| e > 1) {
+                break snapshot;
+            }
+            assert!(Instant::now() < deadline, "no async probe surfaced");
+            revision += 1;
+            serving.submit(vec![NetworkDelta::remove_host(HostId(
+                10 - revision as u32,
+            ))]);
+            assert!(serving.wait_for_revision(revision, LONG));
+            thread::sleep(Duration::from_millis(1));
+        };
+        let probed_epoch = probed.mttc_epoch().expect("probed snapshot");
+        assert!(
+            probed_epoch < probed.epoch() || probed.epoch() > 1,
+            "telemetry describes an absorbed epoch"
+        );
+        // Warm absorbs carry the pre-re-solve assignment, so the probe
+        // reports both sides and the snapshot can classify the gain.
+        assert_eq!(probed.mttc().expect("reopt estimate").runs(), 16);
+        assert!(probed.mttc_carried().is_some(), "warm steps carry");
+        assert!(probed.mttc_gain().is_some());
+        let (_core, report) = serving.shutdown();
+        assert!(report.stats.probes_scheduled >= 2, "initial + async probes");
     }
 }

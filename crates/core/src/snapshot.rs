@@ -33,6 +33,8 @@ use netmodel::assignment::Assignment;
 use netmodel::{HostId, ProductId};
 use sim::mttc::MttcEstimate;
 
+use crate::churn::{classify_gain, MttcGain};
+
 /// An immutable view of the engine at one committed revision.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -45,6 +47,8 @@ pub struct Snapshot {
     pub(crate) deltas_absorbed: u64,
     pub(crate) absorb_wall: Duration,
     pub(crate) mttc: Option<MttcEstimate>,
+    pub(crate) mttc_carried: Option<MttcEstimate>,
+    pub(crate) mttc_epoch: Option<u64>,
     pub(crate) published: Instant,
 }
 
@@ -105,10 +109,40 @@ impl Snapshot {
         self.absorb_wall
     }
 
-    /// MTTC telemetry, when the serving engine was configured with an
-    /// [`crate::serve::MttcProbe`] and this publication sampled it.
+    /// MTTC telemetry of the served (re-optimized) assignment, when the
+    /// serving engine was configured with an [`crate::serve::MttcProbe`]
+    /// and a probe result was ready at this publication. Probes run on a
+    /// helper thread so absorption never waits on simulation; the estimate
+    /// therefore describes the state at [`Snapshot::mttc_epoch`], which
+    /// may trail this snapshot's own epoch.
     pub fn mttc(&self) -> Option<&MttcEstimate> {
         self.mttc.as_ref()
+    }
+
+    /// MTTC telemetry of the *carried* assignment at the probed epoch —
+    /// what the deployment would have kept running had it not
+    /// re-optimized. `None` when the probed absorb had nothing to carry
+    /// (the initial solve) or no probe result was attached.
+    pub fn mttc_carried(&self) -> Option<&MttcEstimate> {
+        self.mttc_carried.as_ref()
+    }
+
+    /// The epoch whose post-absorb state the attached MTTC telemetry
+    /// describes (`None` when no telemetry is attached). Always `<=`
+    /// [`Snapshot::epoch`]; the lag is the price of keeping the
+    /// simulation off the writer thread.
+    pub fn mttc_epoch(&self) -> Option<u64> {
+        self.mttc_epoch
+    }
+
+    /// Censoring-aware MTTC effect of re-optimizing versus carrying the
+    /// old assignment at the probed epoch (see [`MttcGain`]). `None`
+    /// unless both the carried and re-optimized estimates are attached.
+    pub fn mttc_gain(&self) -> Option<MttcGain> {
+        Some(classify_gain(
+            self.mttc_carried.as_ref()?,
+            self.mttc.as_ref()?,
+        ))
     }
 
     /// How long ago this snapshot was published.
@@ -213,6 +247,8 @@ mod tests {
             deltas_absorbed: 0,
             absorb_wall: Duration::ZERO,
             mttc: None,
+            mttc_carried: None,
+            mttc_epoch: None,
             published: Instant::now(),
         }
     }

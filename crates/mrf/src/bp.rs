@@ -1,26 +1,51 @@
-//! Loopy min-sum belief propagation.
+//! Loopy min-sum belief propagation, chromatic Gauss-Seidel schedule.
 //!
-//! The baseline the paper contrasts TRW-S against: synchronous min-sum
-//! message passing with damping. Unlike TRW-S it provides no lower bound and
-//! may oscillate on loopy graphs (hence the damping option), but it
-//! parallelizes trivially — message updates within an iteration are
-//! independent — which this implementation exploits with scoped threads.
+//! The baseline the paper contrasts TRW-S against. Messages live in the
+//! [`crate::order::SolveScratch`] arena and are updated **in place**,
+//! variable by variable: each visit recomputes the variable's belief from
+//! the freshest incoming messages and rewrites all of its outgoing
+//! messages. Visits run color class by color class (greedy coloring,
+//! [`crate::color::ColorClasses`]); variables inside one class are
+//! pairwise non-adjacent, so the class can be swept by several threads
+//! with no synchronization — a thread only writes messages *from* its own
+//! variables and reads messages on its own variables' edges, and
+//! non-adjacent variables share no edge. The schedule (class-major,
+//! ascending slot inside each class) is fixed, so results are identical
+//! for every thread count.
+//!
+//! Gauss-Seidel propagation is strictly fresher than the synchronous
+//! schedule this module used to implement — information crosses several
+//! hops per sweep instead of one — and damping engages adaptively on the
+//! loopy energies where min-sum oscillates (see [`BpOptions::damping`]).
+//! Unlike TRW-S it provides no lower bound.
 
 use crate::model::{MrfModel, VarId};
+use crate::order::{ensure_thread_bufs, MsgCell, SendPtr, SolveScratch, Tables};
 use crate::solution::Solution;
 use crate::solver::{MapSolver, SolveControl};
 
 /// Options controlling a BP run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BpOptions {
-    /// Maximum number of synchronous iterations.
+    /// Maximum number of full sweeps.
     pub max_iterations: usize,
-    /// Convergence tolerance on the largest message change.
+    /// Convergence tolerance on the largest message change per sweep.
     pub tolerance: f64,
-    /// Damping factor in `[0, 1)`: new = (1−d)·update + d·old. 0 disables.
+    /// Damping factor in `[0, 1)`: new = (1−d)·update + d·old. Engaged
+    /// *adaptively*: sweeps run undamped until the per-sweep residual
+    /// stops decreasing (the oscillation signature), then `damping`
+    /// applies for the rest of the run. The Gauss-Seidel schedule rarely
+    /// oscillates, so most runs never pay for damping. 0 disables.
     pub damping: f64,
     /// Number of worker threads (1 = sequential).
     pub threads: usize,
+    /// Minimum live-variable count before `threads >= 2` actually spawns;
+    /// below it the same schedule runs sequentially (identical results).
+    pub parallel_threshold: usize,
+    /// Store messages (and the message kernels' potential tables) as
+    /// `f32`, halving memory traffic; beliefs, the decode, and the energy
+    /// stay `f64`.
+    pub f32_messages: bool,
 }
 
 impl Default for BpOptions {
@@ -30,6 +55,8 @@ impl Default for BpOptions {
             tolerance: 1e-9,
             damping: 0.3,
             threads: 1,
+            parallel_threshold: 512,
+            f32_messages: false,
         }
     }
 }
@@ -53,279 +80,324 @@ impl MapSolver for Bp {
     }
 
     /// Runs BP on `model`, decoding by per-variable belief minimization.
-    /// Honors the control's deadline/cancellation at iteration granularity;
-    /// an early stop decodes the current messages (the unary argmin when
-    /// stopped before the first update).
+    /// Honors the control's deadline/cancellation at sweep granularity; an
+    /// early stop decodes the current messages (the unary argmin when
+    /// stopped before the first sweep).
     fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
-        let n = model.var_count();
-        if n == 0 {
+        let mut scratch = SolveScratch::new();
+        self.solve_with(model, ctl, &mut scratch)
+    }
+
+    /// [`MapSolver::solve`] over a caller-owned scratch: a warm re-solve
+    /// with a previously-used scratch performs no allocation.
+    fn solve_with(
+        &self,
+        model: &MrfModel,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        if model.var_count() == 0 {
             return Solution::new(Vec::new(), 0.0, None, 0, true);
         }
-        let ecount = model.edge_slots();
-        // Flat message storage, double-buffered; offsets are per edge
-        // *slot*, tombstoned slots carrying zero-length messages.
-        let mut off_a = Vec::with_capacity(ecount + 1);
-        let mut off_b = Vec::with_capacity(ecount + 1);
-        off_a.push(0usize);
-        off_b.push(0usize);
-        for e in model.edges() {
-            let (la, lb) = if e.is_live() {
-                (model.labels(e.a()), model.labels(e.b()))
-            } else {
-                (0, 0)
-            };
-            off_a.push(off_a.last().unwrap() + la);
-            off_b.push(off_b.last().unwrap() + lb);
-        }
-        let mut to_a = vec![0.0f64; *off_a.last().unwrap()];
-        let mut to_b = vec![0.0f64; *off_b.last().unwrap()];
-        let mut new_to_a = to_a.clone();
-        let mut new_to_b = to_b.clone();
-
-        let mut iterations = 0usize;
-        let mut converged = false;
-        let damping = self.options.damping.clamp(0.0, 0.999);
-        for iter in 0..self.options.max_iterations {
-            if ctl.should_stop() {
-                break;
-            }
-            iterations = iter + 1;
-            // Per-variable total incoming message sums (beliefs minus unary).
-            let totals = incoming_totals(model, &to_a, &to_b, &off_a, &off_b);
-            let delta = update_messages(
+        scratch.prepare(model);
+        if self.options.f32_messages {
+            scratch.ensure_f32();
+            let p = scratch.parts();
+            run(
+                &self.options,
                 model,
-                &to_a,
-                &to_b,
-                &mut new_to_a,
-                &mut new_to_b,
-                &off_a,
-                &off_b,
-                &totals,
-                damping,
-                self.options.threads,
-            );
-            std::mem::swap(&mut to_a, &mut new_to_a);
-            std::mem::swap(&mut to_b, &mut new_to_b);
-            if ctl.has_progress() {
-                // Decoding is O(labels); only pay for it when someone is
-                // watching.
-                let labels = decode(model, &to_a, &to_b, &off_a, &off_b);
-                ctl.report(iterations, model.energy(&labels), None);
-            }
-            if delta <= self.options.tolerance {
-                converged = true;
-                break;
-            }
+                &p.t,
+                p.arena32,
+                p.pot32,
+                p.theta,
+                p.mins,
+                p.labels_buf,
+                p.thread_bufs,
+                ctl,
+            )
+        } else {
+            let p = scratch.parts();
+            run(
+                &self.options,
+                model,
+                &p.t,
+                p.arena,
+                p.pot,
+                p.theta,
+                p.mins,
+                p.labels_buf,
+                p.thread_bufs,
+                ctl,
+            )
         }
-
-        let labels = decode(model, &to_a, &to_b, &off_a, &off_b);
-        let energy = model.energy(&labels);
-        Solution::new(labels, energy, None, iterations, converged)
     }
 }
 
-/// Decode: `x_i = argmin (unary + Σ incoming)`.
-fn decode(
-    model: &MrfModel,
-    to_a: &[f64],
-    to_b: &[f64],
-    off_a: &[usize],
-    off_b: &[usize],
-) -> Vec<usize> {
-    let n = model.var_count();
-    let totals = incoming_totals(model, to_a, to_b, off_a, off_b);
-    let mut labels = vec![0usize; n];
-    let mut offset = 0usize;
-    for (i, label) in labels.iter_mut().enumerate() {
-        let l = model.labels(VarId(i));
-        let u = model.unary(VarId(i));
-        let mut best = f64::INFINITY;
-        for x in 0..l {
-            let c = u[x] + totals[offset + x];
-            if c < best {
-                best = c;
-                *label = x;
-            }
-        }
-        offset += l;
-    }
-    labels
-}
-
-/// Per-variable sums of incoming messages, flattened by variable label
-/// offsets (same layout as the model's unary storage).
-fn incoming_totals(
-    model: &MrfModel,
-    to_a: &[f64],
-    to_b: &[f64],
-    off_a: &[usize],
-    off_b: &[usize],
-) -> Vec<f64> {
-    let mut var_off = Vec::with_capacity(model.var_count() + 1);
-    var_off.push(0usize);
-    for i in 0..model.var_count() {
-        var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
-    }
-    let mut totals = vec![0.0; *var_off.last().unwrap()];
-    for (eidx, e) in model.live_edges() {
-        let a = e.a().0;
-        let b = e.b().0;
-        for (x, m) in to_a[off_a[eidx]..off_a[eidx + 1]].iter().enumerate() {
-            totals[var_off[a] + x] += m;
-        }
-        for (x, m) in to_b[off_b[eidx]..off_b[eidx + 1]].iter().enumerate() {
-            totals[var_off[b] + x] += m;
-        }
-    }
-    totals
-}
-
-/// One synchronous message update over all edges; returns the max change.
+/// The sweep loop, generic in the message storage type.
 #[allow(clippy::too_many_arguments)]
-fn update_messages(
+fn run<T: MsgCell>(
+    options: &BpOptions,
     model: &MrfModel,
-    to_a: &[f64],
-    to_b: &[f64],
-    new_to_a: &mut [f64],
-    new_to_b: &mut [f64],
-    off_a: &[usize],
-    off_b: &[usize],
-    totals: &[f64],
-    damping: f64,
-    threads: usize,
-) -> f64 {
-    let mut var_off = Vec::with_capacity(model.var_count() + 1);
-    var_off.push(0usize);
-    for i in 0..model.var_count() {
-        var_off.push(var_off.last().unwrap() + model.labels(VarId(i)));
+    t: &Tables<'_>,
+    arena: &mut [T],
+    pot: &[T],
+    theta: &mut [f64],
+    mins: &mut [f64],
+    labels_buf: &mut Vec<usize>,
+    thread_bufs: &mut Vec<Vec<f64>>,
+    ctl: &SolveControl,
+) -> Solution {
+    let threads = options.threads.max(1);
+    let par = threads >= 2 && model.live_var_count() >= options.parallel_threshold;
+    if par {
+        ensure_thread_bufs(thread_bufs, threads, 2 * t.max_labels);
     }
-    let ecount = model.edge_slots();
-    let threads = threads.max(1).min(ecount.max(1));
-
-    // The per-edge update: compute both direction messages for edge `eidx`,
-    // writing into the (disjoint) slices of the new buffers. Tombstoned
-    // slots own zero-length slices and are skipped.
-    let update_edge = |eidx: usize, out_a: &mut [f64], out_b: &mut [f64]| -> f64 {
-        let e = model.edges()[eidx];
-        if !e.is_live() {
-            return 0.0;
+    let damping_ceiling = options.damping.clamp(0.0, 0.999);
+    let ptr = SendPtr(arena.as_mut_ptr());
+    let barrier = std::sync::Barrier::new(threads);
+    let mut iterations = 0usize;
+    let mut converged = false;
+    // Adaptive damping: undamped sweeps converge fastest when the
+    // Gauss-Seidel residual contracts, which is the common case; a
+    // non-decreasing residual is the oscillation signature, and from
+    // that point on the configured damping applies.
+    let mut damping = 0.0f64;
+    let mut prev_delta = f64::INFINITY;
+    for iter in 0..options.max_iterations {
+        if ctl.should_stop() {
+            break;
         }
-        let (a, b) = (e.a(), e.b());
-        let (la, lb) = (model.labels(a), model.labels(b));
-        let ua = model.unary(a);
-        let ub = model.unary(b);
+        iterations = iter + 1;
         let mut delta = 0.0f64;
-        // a -> b: exclude the message b sent to a.
-        for (xb, out) in out_b.iter_mut().enumerate().take(lb) {
-            let mut best = f64::INFINITY;
-            for xa in 0..la {
-                let base = ua[xa] + totals[var_off[a.0] + xa] - to_a[off_a[eidx] + xa];
-                let c = base + model.edge_cost(&e, xa, xb);
-                if c < best {
-                    best = c;
+        if par {
+            // One sweep = one spawn of `threads` workers; a barrier
+            // separates the color classes so the class-major order is
+            // preserved across threads.
+            let barrier = &barrier;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = thread_bufs
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(tid, buf)| {
+                        scope.spawn(move || {
+                            let (theta, mins) = buf.split_at_mut(t.max_labels);
+                            let mut local = 0.0f64;
+                            for k in 0..t.colors.class_count() {
+                                let class = t.colors.class(k);
+                                let chunk = class.len().div_ceil(threads);
+                                let lo = (tid * chunk).min(class.len());
+                                let hi = ((tid + 1) * chunk).min(class.len());
+                                for &iu in &class[lo..hi] {
+                                    // SAFETY: each thread takes a disjoint
+                                    // chunk of one color class (an
+                                    // independent set) — no two threads
+                                    // touch messages on a shared edge.
+                                    local = local.max(unsafe {
+                                        update_var(
+                                            model,
+                                            t,
+                                            pot,
+                                            ptr,
+                                            iu as usize,
+                                            theta,
+                                            mins,
+                                            damping,
+                                        )
+                                    });
+                                }
+                                barrier.wait();
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    delta = delta.max(h.join().expect("bp sweep worker panicked"));
                 }
-            }
-            *out = best;
-        }
-        normalize(out_b);
-        for (xb, nb) in out_b.iter_mut().enumerate() {
-            let old = to_b[off_b[eidx] + xb];
-            *nb = (1.0 - damping) * *nb + damping * old;
-            delta = delta.max((*nb - old).abs());
-        }
-        // b -> a.
-        for (xa, out) in out_a.iter_mut().enumerate().take(la) {
-            let mut best = f64::INFINITY;
-            for xb in 0..lb {
-                let base = ub[xb] + totals[var_off[b.0] + xb] - to_b[off_b[eidx] + xb];
-                let c = base + model.edge_cost(&e, xa, xb);
-                if c < best {
-                    best = c;
-                }
-            }
-            *out = best;
-        }
-        normalize(out_a);
-        for (xa, na) in out_a.iter_mut().enumerate() {
-            let old = to_a[off_a[eidx] + xa];
-            *na = (1.0 - damping) * *na + damping * old;
-            delta = delta.max((*na - old).abs());
-        }
-        delta
-    };
-
-    if threads == 1 || ecount < 256 {
-        let mut delta = 0.0f64;
-        for eidx in 0..ecount {
-            // Split disjoint output slices.
-            let (oa, ob) = unsafe {
-                // SAFETY: edges own disjoint [off..off+1) ranges by construction.
-                (
-                    std::slice::from_raw_parts_mut(
-                        new_to_a.as_mut_ptr().add(off_a[eidx]),
-                        off_a[eidx + 1] - off_a[eidx],
-                    ),
-                    std::slice::from_raw_parts_mut(
-                        new_to_b.as_mut_ptr().add(off_b[eidx]),
-                        off_b[eidx + 1] - off_b[eidx],
-                    ),
-                )
-            };
-            delta = delta.max(update_edge(eidx, oa, ob));
-        }
-        return delta;
-    }
-
-    // Parallel: partition the edge range into contiguous chunks; each chunk
-    // owns contiguous disjoint slices of the new buffers.
-    let chunk = ecount.div_ceil(threads);
-    let mut deltas = vec![0.0f64; threads];
-    let update_edge = &update_edge;
-    std::thread::scope(|scope| {
-        let mut rest_a: &mut [f64] = new_to_a;
-        let mut rest_b: &mut [f64] = new_to_b;
-        let mut consumed_a = 0usize;
-        let mut consumed_b = 0usize;
-        for (t, delta_slot) in deltas.iter_mut().enumerate() {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(ecount);
-            if lo >= hi {
-                break;
-            }
-            let take_a = off_a[hi] - consumed_a;
-            let take_b = off_b[hi] - consumed_b;
-            let (mine_a, ra) = rest_a.split_at_mut(take_a);
-            let (mine_b, rb) = rest_b.split_at_mut(take_b);
-            rest_a = ra;
-            rest_b = rb;
-            let base_a = consumed_a;
-            let base_b = consumed_b;
-            consumed_a += take_a;
-            consumed_b += take_b;
-            scope.spawn(move || {
-                let mut local = 0.0f64;
-                for eidx in lo..hi {
-                    let oa = &mut mine_a[off_a[eidx] - base_a..off_a[eidx + 1] - base_a];
-                    // Work around simultaneous borrows by indexing twice.
-                    let oa_ptr = oa.as_mut_ptr();
-                    let oa_len = oa.len();
-                    let ob = &mut mine_b[off_b[eidx] - base_b..off_b[eidx + 1] - base_b];
-                    let oa = unsafe { std::slice::from_raw_parts_mut(oa_ptr, oa_len) };
-                    local = local.max(update_edge(eidx, oa, ob));
-                }
-                *delta_slot = local;
             });
+        } else {
+            for k in 0..t.colors.class_count() {
+                for &iu in t.colors.class(k) {
+                    // SAFETY: sequential use — no concurrent writers at all.
+                    delta = delta.max(unsafe {
+                        update_var(model, t, pot, ptr, iu as usize, theta, mins, damping)
+                    });
+                }
+            }
         }
-    });
-    deltas.into_iter().fold(0.0, f64::max)
+        if ctl.has_progress() {
+            // Decoding is O(labels); only pay for it when someone watches.
+            decode(model, t, arena, labels_buf, theta);
+            ctl.report(iterations, model.energy(labels_buf), None);
+        }
+        if delta <= options.tolerance {
+            converged = true;
+            break;
+        }
+        if delta >= prev_delta {
+            damping = damping_ceiling;
+        }
+        prev_delta = delta;
+    }
+    decode(model, t, arena, labels_buf, theta);
+    let energy = model.energy(labels_buf);
+    Solution::new(labels_buf.clone(), energy, None, iterations, converged)
 }
 
-fn normalize(m: &mut [f64]) {
-    let low = m.iter().copied().fold(f64::INFINITY, f64::min);
-    if low.is_finite() {
-        for v in m {
-            *v -= low;
+/// One Gauss-Seidel visit: recompute variable `i`'s belief and rewrite all
+/// of its outgoing messages in place; returns the largest message change.
+///
+/// # Safety
+///
+/// The caller must guarantee no concurrent visit touches a variable
+/// adjacent to `i` — the colored schedule's structural invariant.
+#[allow(clippy::too_many_arguments)]
+unsafe fn update_var<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    pot: &[T],
+    arena: SendPtr<T>,
+    i: usize,
+    theta: &mut [f64],
+    mins: &mut [f64],
+    damping: f64,
+) -> f64 {
+    let l = t.labels(i);
+    // Belief numerator: unary + every incoming message, freshest values.
+    theta[..l].copy_from_slice(model.unary(VarId(i)));
+    for &e in t.fwd(i) {
+        let inc = t.split + t.off_to_a[e as usize] as usize;
+        for (x, s) in theta[..l].iter_mut().enumerate() {
+            *s += (*arena.0.add(inc + x)).to_f64();
         }
+    }
+    for &e in t.bwd(i) {
+        let inc = t.off_to_b[e as usize] as usize;
+        for (x, s) in theta[..l].iter_mut().enumerate() {
+            *s += (*arena.0.add(inc + x)).to_f64();
+        }
+    }
+    let mut delta = 0.0f64;
+    // Outgoing message per edge: exclude that neighbor's own message.
+    for &e in t.fwd(i) {
+        let e = e as usize;
+        let lb = t.edge_lb[e] as usize;
+        let inc = t.split + t.off_to_a[e] as usize;
+        let row0 = t.pot_ab[e] as usize;
+        mins[..lb].fill(f64::INFINITY);
+        for xa in 0..l {
+            let base = theta[xa] - (*arena.0.add(inc + xa)).to_f64();
+            let row = &pot[row0 + xa * lb..row0 + (xa + 1) * lb];
+            for (m, &c) in mins[..lb].iter_mut().zip(row) {
+                let v = base + c.to_f64();
+                if v < *m {
+                    *m = v;
+                }
+            }
+        }
+        delta = delta.max(write_damped(
+            arena,
+            t.off_to_b[e] as usize,
+            &mins[..lb],
+            damping,
+        ));
+    }
+    for &e in t.bwd(i) {
+        let e = e as usize;
+        let la = t.edge_la[e] as usize;
+        let inc = t.off_to_b[e] as usize;
+        let row0 = t.pot_ba[e] as usize;
+        mins[..la].fill(f64::INFINITY);
+        for xb in 0..l {
+            let base = theta[xb] - (*arena.0.add(inc + xb)).to_f64();
+            let row = &pot[row0 + xb * la..row0 + (xb + 1) * la];
+            for (m, &c) in mins[..la].iter_mut().zip(row) {
+                let v = base + c.to_f64();
+                if v < *m {
+                    *m = v;
+                }
+            }
+        }
+        delta = delta.max(write_damped(
+            arena,
+            t.split + t.off_to_a[e] as usize,
+            &mins[..la],
+            damping,
+        ));
+    }
+    delta
+}
+
+/// Normalizes `mins` (subtract its minimum), damps against the old
+/// message at `arena[off..]`, writes the result back, and returns the
+/// largest per-label change.
+///
+/// # Safety
+///
+/// As [`update_var`]: `arena[off..off + mins.len()]` must not be touched
+/// concurrently.
+unsafe fn write_damped<T: MsgCell>(
+    arena: SendPtr<T>,
+    off: usize,
+    mins: &[f64],
+    damping: f64,
+) -> f64 {
+    let mut low = f64::INFINITY;
+    for &m in mins {
+        if m < low {
+            low = m;
+        }
+    }
+    if !low.is_finite() {
+        low = 0.0;
+    }
+    let mut delta = 0.0f64;
+    for (x, &m) in mins.iter().enumerate() {
+        let cell = arena.0.add(off + x);
+        let old = (*cell).to_f64();
+        let new = (1.0 - damping) * (m - low) + damping * old;
+        delta = delta.max((new - old).abs());
+        *cell = T::from_f64(new);
+    }
+    delta
+}
+
+/// Decode: `x_i = argmin (unary + Σ incoming)`, first minimum on ties.
+fn decode<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    arena: &[T],
+    labels: &mut Vec<usize>,
+    theta: &mut [f64],
+) {
+    let (to_b, to_a) = arena.split_at(t.split);
+    labels.clear();
+    labels.resize(t.n, 0);
+    for &iu in t.order {
+        let i = iu as usize;
+        let l = t.labels(i);
+        theta[..l].copy_from_slice(model.unary(VarId(i)));
+        for &e in t.fwd(i) {
+            let inc = t.off_to_a[e as usize] as usize;
+            for (s, m) in theta[..l].iter_mut().zip(&to_a[inc..inc + l]) {
+                *s += m.to_f64();
+            }
+        }
+        for &e in t.bwd(i) {
+            let inc = t.off_to_b[e as usize] as usize;
+            for (s, m) in theta[..l].iter_mut().zip(&to_b[inc..inc + l]) {
+                *s += m.to_f64();
+            }
+        }
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (x, &c) in theta[..l].iter().enumerate() {
+            if c < best_cost {
+                best_cost = c;
+                best = x;
+            }
+        }
+        labels[i] = best;
     }
 }
 
@@ -442,22 +514,60 @@ mod tests {
             ..BpOptions::default()
         })
         .solve(&m, &ctl());
+        // Threshold 0 forces the scoped-thread path even on this small
+        // model; the schedule is identical, so the results must be too.
         let par = Bp::new(BpOptions {
             threads: 4,
             max_iterations: 30,
+            parallel_threshold: 0,
             ..BpOptions::default()
         })
         .solve(&m, &ctl());
-        // Same deterministic updates regardless of thread count.
         assert_eq!(seq.labels(), par.labels());
         assert_eq!(seq.energy(), par.energy());
     }
 
     #[test]
+    fn f32_messages_decode_close_to_f64() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut b = MrfBuilder::new();
+        let n = 30;
+        let vars: Vec<_> = (0..n).map(|_| b.add_variable(3)).collect();
+        for &v in &vars {
+            b.set_unary(v, (0..3).map(|_| rng.gen_range(0.0..3.0)).collect())
+                .unwrap();
+        }
+        for i in 0..n {
+            b.add_edge_dense(
+                vars[i],
+                vars[(i + 1) % n],
+                (0..9).map(|_| rng.gen_range(0.0..2.0)).collect(),
+            )
+            .unwrap();
+        }
+        let m = b.build();
+        let full = solve(&m);
+        let narrow = Bp::new(BpOptions {
+            f32_messages: true,
+            ..BpOptions::default()
+        })
+        .solve(&m, &ctl());
+        // The energies are both computed in f64 from the decoded labels;
+        // f32 message rounding may steer the decode slightly.
+        assert!(
+            (full.energy() - narrow.energy()).abs() <= 1e-3 * full.energy().abs().max(1.0),
+            "f64 {} vs f32 {}",
+            full.energy(),
+            narrow.energy()
+        );
+    }
+
+    #[test]
     fn damping_tames_oscillation() {
         // A frustrated triangle (all edges prefer disagreement) makes
-        // undamped synchronous BP oscillate; damping plus a small
-        // symmetry-breaking unary lets it settle on an optimum.
+        // undamped synchronous BP oscillate; the Gauss-Seidel schedule
+        // already breaks the lock-step, and damping plus a small
+        // symmetry-breaking unary keeps it settled on an optimum.
         let mut b = MrfBuilder::new();
         let vars: Vec<_> = (0..3).map(|_| b.add_variable(2)).collect();
         b.set_unary(vars[0], vec![0.0, 0.01]).unwrap();

@@ -27,8 +27,10 @@
 //! * [`trws`] — sequential tree-reweighted message passing with a certified
 //!   lower bound; exact on trees, state-of-the-art approximate on loopy
 //!   graphs.
-//! * [`bp`] — loopy min-sum belief propagation (damped, optionally
-//!   multi-threaded) as the baseline the paper compares TRW-S against.
+//! * [`bp`] — loopy min-sum belief propagation as the baseline the paper
+//!   compares TRW-S against: chromatic Gauss–Seidel sweeps over a greedy
+//!   coloring ([`color`]), adaptive damping that engages only when the
+//!   residual oscillates, and optional colored-parallel execution.
 //! * [`icm`] — iterated conditional modes, a fast greedy baseline and the
 //!   warm-start refiner other solvers build on.
 //! * [`ils`] — iterated local search, the refinement stage that closes the
@@ -45,6 +47,10 @@
 //!   whenever the instance's treewidth is small (the ICS case study is).
 //! * [`exhaustive`] — brute force, the test oracle for small instances.
 //! * [`solution`] — the decoded labeling with energy and bound diagnostics.
+//! * [`order`] and [`color`] — the shared hot-loop substrate:
+//!   [`SolveScratch`] (flat SoA message arena, precomputed edge-slot
+//!   offsets, monotone-chain ordering; warm re-solves allocate nothing)
+//!   and greedy graph coloring for thread-count-invariant parallel sweeps.
 //!
 //! # Quick start
 //!
@@ -139,12 +145,14 @@
 #![warn(missing_docs)]
 
 pub mod bp;
+pub mod color;
 pub mod elimination;
 pub mod exhaustive;
 pub mod icm;
 pub mod ils;
 pub mod local;
 pub mod model;
+pub mod order;
 pub mod portfolio;
 pub mod projection;
 pub mod solution;
@@ -153,9 +161,11 @@ pub mod trws;
 
 mod error;
 
+pub use color::ColorClasses;
 pub use error::Error;
 pub use local::{condition_submodel, LocalRefine};
 pub use model::{EdgeId, MrfBuilder, MrfModel, PotentialId, VarId};
+pub use order::SolveScratch;
 pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;
 pub use solver::{ExactFallback, MapSolver, ProgressEvent, SolveControl};

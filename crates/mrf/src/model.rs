@@ -147,6 +147,21 @@ impl Edge {
     pub fn is_live(&self) -> bool {
         self.potential != EDGE_TOMBSTONE
     }
+
+    /// Index of the shared potential backing this edge. Crate-internal:
+    /// solver scratch structures resolve potentials into flat tables and
+    /// need the identity, not just [`MrfModel::edge_cost`] lookups.
+    #[inline]
+    pub(crate) fn potential_index(&self) -> usize {
+        self.potential as usize
+    }
+
+    /// Whether the potential applies transposed (its rows index `b`'s
+    /// labels instead of `a`'s).
+    #[inline]
+    pub(crate) fn is_transposed(&self) -> bool {
+        self.transposed
+    }
 }
 
 /// A pairwise MRF, mutable with stable handles (module docs).
@@ -265,6 +280,15 @@ impl MrfModel {
     /// Iterates over the live edges as `(slot index, edge)`.
     pub fn live_edges(&self) -> impl Iterator<Item = (usize, &Edge)> + '_ {
         self.edges.iter().enumerate().filter(|(_, e)| e.is_live())
+    }
+
+    /// The shared potential at `idx`. Crate-internal: lets solver scratch
+    /// structures materialize flat per-orientation cost tables once per
+    /// solve instead of going through [`MrfModel::edge_cost`]'s indirect
+    /// lookup in the hot loops.
+    #[inline]
+    pub(crate) fn potential(&self, idx: usize) -> &Potential {
+        &self.potentials[idx]
     }
 
     /// Slot indices of live edges incident to `v` (empty for tombstones).

@@ -29,6 +29,7 @@ use crate::elimination::{Elimination, EliminationOptions};
 use crate::icm::{Icm, IcmOptions};
 use crate::local::LocalRefine;
 use crate::model::{MrfModel, VarId};
+use crate::order::SolveScratch;
 use crate::solution::Solution;
 use crate::trws::Trws;
 
@@ -212,6 +213,22 @@ pub trait MapSolver: Send + Sync {
     /// at the first iteration boundary.
     fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution;
 
+    /// [`MapSolver::solve`] with a caller-owned [`SolveScratch`]: solvers
+    /// that sweep through prepared structure (TRW-S, BP, colored ICM)
+    /// reuse the scratch's allocations across repeated solves — the
+    /// engine's warm re-solve pattern. The scratch is re-prepared for
+    /// `model` internally; any previous contents are irrelevant. The
+    /// default ignores the scratch.
+    fn solve_with(
+        &self,
+        model: &MrfModel,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        let _ = scratch;
+        self.solve(model, ctl)
+    }
+
     /// Improves a caller-supplied labeling, returning a solution whose
     /// energy is no worse than `start`'s. The default runs a fresh
     /// [`MapSolver::solve`] and keeps the better of the two; local-search
@@ -225,6 +242,33 @@ pub trait MapSolver: Send + Sync {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
         let start_energy = model.energy(&start);
         let fresh = self.solve(model, ctl);
+        if fresh.energy() <= start_energy {
+            fresh
+        } else {
+            Solution::new(
+                start,
+                start_energy,
+                fresh.lower_bound(),
+                fresh.iterations(),
+                false,
+            )
+        }
+    }
+
+    /// [`MapSolver::refine`] with a caller-owned [`SolveScratch`] (see
+    /// [`MapSolver::solve_with`]). The default mirrors `refine`'s
+    /// keep-the-better contract on top of `solve_with`, so scratch-aware
+    /// solvers benefit without overriding both.
+    fn refine_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
+        let start_energy = model.energy(&start);
+        let fresh = self.solve_with(model, ctl, scratch);
         if fresh.energy() <= start_energy {
             fresh
         } else {
@@ -282,6 +326,20 @@ pub trait MapSolver: Send + Sync {
         let _ = frontier;
         let live = model.live_var_count();
         LocalRefine::full(self.refine(model, start, ctl), live)
+    }
+
+    /// [`MapSolver::refine_local`] with a caller-owned [`SolveScratch`]
+    /// (see [`MapSolver::solve_with`]). The default ignores the scratch.
+    fn refine_local_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> LocalRefine {
+        let _ = scratch;
+        self.refine_local(model, start, frontier, ctl)
     }
 
     /// [`MapSolver::refine_local`] with a hard freeze: the `sealed`
@@ -360,8 +418,27 @@ impl<S: MapSolver + ?Sized> MapSolver for Box<S> {
         (**self).solve(model, ctl)
     }
 
+    fn solve_with(
+        &self,
+        model: &MrfModel,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        (**self).solve_with(model, ctl, scratch)
+    }
+
     fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         (**self).refine(model, start, ctl)
+    }
+
+    fn refine_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        (**self).refine_with(model, start, ctl, scratch)
     }
 
     fn refine_projected(
@@ -381,6 +458,17 @@ impl<S: MapSolver + ?Sized> MapSolver for Box<S> {
         ctl: &SolveControl,
     ) -> LocalRefine {
         (**self).refine_local(model, start, frontier, ctl)
+    }
+
+    fn refine_local_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> LocalRefine {
+        (**self).refine_local_with(model, start, frontier, ctl, scratch)
     }
 
     fn refine_local_sealed(
@@ -408,8 +496,27 @@ impl<S: MapSolver + ?Sized> MapSolver for Arc<S> {
         (**self).solve(model, ctl)
     }
 
+    fn solve_with(
+        &self,
+        model: &MrfModel,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        (**self).solve_with(model, ctl, scratch)
+    }
+
     fn refine(&self, model: &MrfModel, start: Vec<usize>, ctl: &SolveControl) -> Solution {
         (**self).refine(model, start, ctl)
+    }
+
+    fn refine_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        (**self).refine_with(model, start, ctl, scratch)
     }
 
     fn refine_projected(
@@ -429,6 +536,17 @@ impl<S: MapSolver + ?Sized> MapSolver for Arc<S> {
         ctl: &SolveControl,
     ) -> LocalRefine {
         (**self).refine_local(model, start, frontier, ctl)
+    }
+
+    fn refine_local_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> LocalRefine {
+        (**self).refine_local_with(model, start, frontier, ctl, scratch)
     }
 
     fn refine_local_sealed(
@@ -525,7 +643,11 @@ pub(crate) fn descent_start(model: &MrfModel) -> Vec<usize> {
 /// under a blown budget" path: a single bounded ICM from the unary argmin.
 pub(crate) fn best_effort(model: &MrfModel, ctl: &SolveControl) -> Solution {
     let start = descent_start(model);
-    let descended = Icm::new(IcmOptions { max_sweeps: 4 }).solve_from(model, start, ctl);
+    let descended = Icm::new(IcmOptions {
+        max_sweeps: 4,
+        ..IcmOptions::default()
+    })
+    .solve_from(model, start, ctl);
     Solution::new(
         descended.labels().to_vec(),
         descended.energy(),

@@ -19,10 +19,24 @@
 //! recommends: node `i` picks the label minimizing its unary cost plus
 //! pairwise costs to already-decoded lower neighbors plus incoming messages
 //! from higher neighbors.
+//!
+//! The passes run over a [`crate::order::SolveScratch`]: one flat message
+//! arena (forward messages first, in sweep order), CSR forward/backward
+//! edge lists, and per-orientation resolved potential tables, so the hot
+//! loops are branch-free linear walks and a warm re-solve allocates
+//! nothing. With [`TrwsOptions::f32_messages`] the arena (and the
+//! potential tables the *message* kernels read) narrows to `f32`;
+//! arithmetic, the decode's pairwise terms, the polish, and all objective
+//! accounting stay `f64`, so the reported energy is exact — though the
+//! lower bound then carries f32 rounding (~1e-5 relative) and tight
+//! certification tolerances should stay on the f64 path.
 
-use crate::icm::{Icm, IcmOptions};
+use std::collections::VecDeque;
+
+use crate::icm::fast_sweeps;
 use crate::local::{condition_submodel, ActiveRegion, LocalRefine};
 use crate::model::{MrfModel, VarId};
+use crate::order::{energy_fast, MsgCell, SolveScratch, Tables};
 use crate::solution::Solution;
 use crate::solver::{MapSolver, SolveControl};
 
@@ -43,6 +57,11 @@ pub struct TrwsOptions {
     /// even at a tight bound, and a short local descent closes that gap.
     /// 0 disables polishing.
     pub polish_sweeps: usize,
+    /// Store messages (and the message kernels' potential tables) as `f32`.
+    /// Halves the hot loops' memory traffic; energies and the decode stay
+    /// exact `f64`, but the lower bound inherits f32 rounding (module
+    /// docs).
+    pub f32_messages: bool,
 }
 
 impl Default for TrwsOptions {
@@ -52,6 +71,7 @@ impl Default for TrwsOptions {
             tolerance: 1e-9,
             patience: 3,
             polish_sweeps: 8,
+            f32_messages: false,
         }
     }
 }
@@ -80,62 +100,56 @@ impl MapSolver for Trws {
     /// labeling seen so far (the unary argmin if stopped before the first
     /// pass completes).
     fn solve(&self, model: &MrfModel, ctl: &SolveControl) -> Solution {
-        let n = model.var_count();
-        if n == 0 {
+        let mut scratch = SolveScratch::new();
+        self.solve_with(model, ctl, &mut scratch)
+    }
+
+    /// [`MapSolver::solve`] over a caller-owned scratch: a warm re-solve
+    /// with a previously-used scratch performs no allocation.
+    fn solve_with(
+        &self,
+        model: &MrfModel,
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> Solution {
+        if model.var_count() == 0 {
             return Solution::new(Vec::new(), 0.0, Some(0.0), 0, true);
         }
-        let mut state = State::new(model);
-        let mut best_labels = model.unary_argmin();
-        let mut best_energy = model.energy(&best_labels);
-        let mut best_bound = f64::NEG_INFINITY;
-        let mut stall = 0usize;
-        let mut iterations = 0usize;
-        let mut converged = false;
-        let polish = Icm::new(IcmOptions {
-            max_sweeps: self.options.polish_sweeps,
-        });
-
-        for iter in 0..self.options.max_iterations {
-            if ctl.should_stop() {
-                break;
-            }
-            iterations = iter + 1;
-            state.forward_pass(model);
-            let bound = state.backward_pass(model);
-            let mut labels = state.decode(model);
-            let mut energy = model.energy(&labels);
-            if self.options.polish_sweeps > 0 {
-                let polished = polish.solve_from(model, labels, ctl);
-                energy = polished.energy();
-                labels = polished.labels().to_vec();
-            }
-            if energy < best_energy {
-                best_energy = energy;
-                best_labels = labels;
-            }
-            let improvement = bound - best_bound;
-            if bound > best_bound {
-                best_bound = bound;
-            }
-            ctl.report(iterations, best_energy, Some(best_bound));
-            // Converged: the gap certifies optimality, or the bound stopped
-            // improving for `patience` iterations.
-            if (best_energy - best_bound).abs() <= self.options.tolerance {
-                converged = true;
-                break;
-            }
-            if improvement.abs() <= self.options.tolerance * best_bound.abs().max(1.0) {
-                stall += 1;
-                if stall >= self.options.patience {
-                    converged = true;
-                    break;
-                }
-            } else {
-                stall = 0;
-            }
+        scratch.prepare(model);
+        if self.options.f32_messages {
+            scratch.ensure_f32();
+            let p = scratch.parts();
+            run(
+                &self.options,
+                model,
+                &p.t,
+                p.arena32,
+                p.pot32,
+                p.pot,
+                p.theta,
+                p.mins,
+                p.labels_buf,
+                p.decoded,
+                p.queue,
+                ctl,
+            )
+        } else {
+            let p = scratch.parts();
+            run(
+                &self.options,
+                model,
+                &p.t,
+                p.arena,
+                p.pot,
+                p.pot,
+                p.theta,
+                p.mins,
+                p.labels_buf,
+                p.decoded,
+                p.queue,
+                ctl,
+            )
         }
-        let bound = best_bound.is_finite().then_some(best_bound);
-        Solution::new(best_labels, best_energy, bound, iterations, converged)
     }
 
     /// Message passing on a *conditioned submodel*: active variables keep
@@ -155,6 +169,20 @@ impl MapSolver for Trws {
         frontier: &[VarId],
         ctl: &SolveControl,
     ) -> LocalRefine {
+        let mut scratch = SolveScratch::new();
+        self.refine_local_with(model, start, frontier, ctl, &mut scratch)
+    }
+
+    /// [`MapSolver::refine_local`] reusing a caller-owned scratch across
+    /// the conditioned sub-solves.
+    fn refine_local_with(
+        &self,
+        model: &MrfModel,
+        start: Vec<usize>,
+        frontier: &[VarId],
+        ctl: &SolveControl,
+        scratch: &mut SolveScratch,
+    ) -> LocalRefine {
         assert_eq!(start.len(), model.var_count(), "labeling arity mismatch");
         let mut region = ActiveRegion::new(model, frontier);
         if region.count == 0 {
@@ -171,7 +199,7 @@ impl MapSolver for Trws {
         for _ in 0..MAX_ROUNDS {
             if region.should_fall_back() {
                 let expansions = region.expansions;
-                let refined = self.refine(model, labels, ctl);
+                let refined = self.refine_with(model, labels, ctl, scratch);
                 return LocalRefine {
                     solution: refined,
                     swept_vars: model.live_var_count(),
@@ -183,7 +211,7 @@ impl MapSolver for Trws {
                 break;
             }
             let (sub, map) = condition_submodel(model, &labels, &region.mask);
-            let sub_solution = self.solve(&sub, ctl);
+            let sub_solution = self.solve_with(&sub, ctl, scratch);
             iterations += sub_solution.iterations();
             let mut candidate = labels.clone();
             for (si, &fi) in map.iter().enumerate() {
@@ -221,227 +249,313 @@ impl MapSolver for Trws {
     }
 }
 
-/// Message state: two vectors per edge, stored flat.
-struct State {
-    // msg_to_a[e]: message from b(e) to a(e), defined over a's labels.
-    msg_to_a: Vec<f64>,
-    off_a: Vec<usize>,
-    // msg_to_b[e]: message from a(e) to b(e), defined over b's labels.
-    msg_to_b: Vec<f64>,
-    off_b: Vec<usize>,
-    gamma: Vec<f64>,
-    // Number of backward edges (lower-indexed neighbors) per node.
-    n_backward: Vec<usize>,
-    scratch: Vec<f64>,
+/// The solve loop over a prepared scratch, generic in the message storage
+/// type. `pot_msg` backs the message kernels (narrowed under f32), `pot64`
+/// the decode's pairwise terms and the polish (always f64).
+#[allow(clippy::too_many_arguments)]
+fn run<T: MsgCell>(
+    options: &TrwsOptions,
+    model: &MrfModel,
+    t: &Tables<'_>,
+    arena: &mut [T],
+    pot_msg: &[T],
+    pot64: &[f64],
+    theta: &mut [f64],
+    mins: &mut [f64],
+    labels_buf: &mut Vec<usize>,
+    decoded: &mut Vec<bool>,
+    queue: &mut VecDeque<u32>,
+    ctl: &SolveControl,
+) -> Solution {
+    let mut best_labels = model.unary_argmin();
+    let mut best_energy = model.energy(&best_labels);
+    let mut best_bound = f64::NEG_INFINITY;
+    let mut stall = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    for iter in 0..options.max_iterations {
+        if ctl.should_stop() {
+            break;
+        }
+        iterations = iter + 1;
+        forward_pass(model, t, arena, pot_msg, theta, mins);
+        let bound = backward_pass(model, t, arena, pot_msg, theta, mins);
+        // `theta` doubles as the decode's cost buffer, `mins` as the
+        // polish's — both are free between passes.
+        decode(model, t, arena, pot64, labels_buf, decoded, queue, theta);
+        if options.polish_sweeps > 0 {
+            fast_sweeps(
+                model,
+                t,
+                pot64,
+                labels_buf,
+                mins,
+                options.polish_sweeps,
+                ctl,
+            );
+        }
+        let energy = energy_fast(model, t, pot64, labels_buf);
+        if energy < best_energy {
+            best_energy = energy;
+            best_labels.clear();
+            best_labels.extend_from_slice(labels_buf);
+        }
+        let improvement = bound - best_bound;
+        if bound > best_bound {
+            best_bound = bound;
+        }
+        ctl.report(iterations, best_energy, Some(best_bound));
+        // Converged: the gap certifies optimality, or the bound stopped
+        // improving for `patience` iterations.
+        if (best_energy - best_bound).abs() <= options.tolerance {
+            converged = true;
+            break;
+        }
+        if improvement.abs() <= options.tolerance * best_bound.abs().max(1.0) {
+            stall += 1;
+            if stall >= options.patience {
+                converged = true;
+                break;
+            }
+        } else {
+            stall = 0;
+        }
+    }
+    let bound = best_bound.is_finite().then_some(best_bound);
+    // Per-iteration comparisons use `energy_fast` (resolved-table
+    // summation order); the reported energy is recomputed canonically so
+    // it is bit-identical to `model.energy(labels)` for callers that
+    // re-derive it.
+    let energy = model.energy(&best_labels);
+    Solution::new(best_labels, energy, bound, iterations, converged)
 }
 
-impl State {
-    fn new(model: &MrfModel) -> State {
-        // Offsets are per edge *slot* so incident indices address messages
-        // directly; tombstoned slots get zero-length messages.
-        let mut off_a = Vec::with_capacity(model.edge_slots() + 1);
-        let mut off_b = Vec::with_capacity(model.edge_slots() + 1);
-        off_a.push(0);
-        off_b.push(0);
-        for e in model.edges() {
-            let (la, lb) = if e.is_live() {
-                (model.labels(e.a()), model.labels(e.b()))
-            } else {
-                (0, 0)
-            };
-            off_a.push(off_a.last().unwrap() + la);
-            off_b.push(off_b.last().unwrap() + lb);
-        }
-        let n = model.var_count();
-        let mut fwd = vec![0usize; n];
-        let mut bwd = vec![0usize; n];
-        for (_, e) in model.live_edges() {
-            fwd[e.a().0] += 1;
-            bwd[e.b().0] += 1;
-        }
-        let gamma = (0..n)
-            .map(|i| 1.0 / fwd[i].max(bwd[i]).max(1) as f64)
-            .collect();
-        State {
-            msg_to_a: vec![0.0; *off_a.last().unwrap()],
-            off_a,
-            msg_to_b: vec![0.0; *off_b.last().unwrap()],
-            off_b,
-            gamma,
-            n_backward: bwd,
-            scratch: vec![0.0; model.max_labels()],
+/// `θ̂_i = unary_i + Σ incoming messages`, written into `theta[..L]`;
+/// returns `L`. Incoming messages to `i` are the backward (`b → a`)
+/// messages of its forward edges and the forward (`a → b`) messages of its
+/// backward edges — both defined over `i`'s labels.
+#[inline]
+fn theta_hat<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    to_b: &[T],
+    to_a: &[T],
+    i: usize,
+    theta: &mut [f64],
+) -> usize {
+    let l = t.labels(i);
+    theta[..l].copy_from_slice(model.unary(VarId(i)));
+    for &e in t.fwd(i) {
+        let inc = t.off_to_a[e as usize] as usize;
+        for (s, m) in theta[..l].iter_mut().zip(&to_a[inc..inc + l]) {
+            *s += m.to_f64();
         }
     }
-
-    /// `θ̂_i = unary_i + Σ incoming messages`, written into `scratch[..L]`.
-    fn theta_hat(&mut self, model: &MrfModel, i: usize) {
-        let v = VarId(i);
-        let labels = model.labels(v);
-        self.scratch[..labels].copy_from_slice(model.unary(v));
-        for &eidx in model.incident_edges(v) {
-            let e = &model.edges()[eidx as usize];
-            let incoming = if e.a().0 == i {
-                &self.msg_to_a[self.off_a[eidx as usize]..self.off_a[eidx as usize + 1]]
-            } else {
-                &self.msg_to_b[self.off_b[eidx as usize]..self.off_b[eidx as usize + 1]]
-            };
-            for (s, m) in self.scratch[..labels].iter_mut().zip(incoming) {
-                *s += m;
-            }
+    for &e in t.bwd(i) {
+        let inc = t.off_to_b[e as usize] as usize;
+        for (s, m) in theta[..l].iter_mut().zip(&to_b[inc..inc + l]) {
+            *s += m.to_f64();
         }
     }
+    l
+}
 
-    fn forward_pass(&mut self, model: &MrfModel) {
-        for i in 0..model.var_count() {
-            if !model.is_live(VarId(i)) {
-                continue;
-            }
-            self.theta_hat(model, i);
-            let gamma = self.gamma[i];
-            let la = model.labels(VarId(i));
-            for &eidx in model.incident_edges(VarId(i)) {
-                let eidx = eidx as usize;
-                let e = model.edges()[eidx];
-                if e.a().0 != i {
-                    continue; // only forward edges (i -> higher neighbor)
-                }
-                let lb = model.labels(e.b());
-                // base(xa) = γ θ̂(xa) − m_{b→a}(xa)
-                // m_{a→b}(xb) = min_xa base(xa) + cost(xa, xb), then normalize.
-                let mut mins = vec![f64::INFINITY; lb];
-                for xa in 0..la {
-                    let base = gamma * self.scratch[xa] - self.msg_to_a[self.off_a[eidx] + xa];
-                    for (xb, m) in mins.iter_mut().enumerate() {
-                        let c = base + model.edge_cost(&e, xa, xb);
-                        if c < *m {
-                            *m = c;
-                        }
+/// Forward sweep: every variable in order updates the `a → b` messages of
+/// its forward edges.
+fn forward_pass<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    arena: &mut [T],
+    pot: &[T],
+    theta: &mut [f64],
+    mins: &mut [f64],
+) {
+    let (to_b, to_a) = arena.split_at_mut(t.split);
+    for &iu in t.order {
+        let i = iu as usize;
+        let l = theta_hat(model, t, to_b, to_a, i, theta);
+        let gamma = t.gamma[i];
+        for &e in t.fwd(i) {
+            let e = e as usize;
+            let lb = t.edge_lb[e] as usize;
+            let inc = t.off_to_a[e] as usize;
+            let row0 = t.pot_ab[e] as usize;
+            // base(xa) = γ θ̂(xa) − m_{b→a}(xa)
+            // m_{a→b}(xb) = min_xa base(xa) + cost(xa, xb), then normalize.
+            mins[..lb].fill(f64::INFINITY);
+            for xa in 0..l {
+                let base = gamma * theta[xa] - to_a[inc + xa].to_f64();
+                let row = &pot[row0 + xa * lb..row0 + (xa + 1) * lb];
+                for (m, &c) in mins[..lb].iter_mut().zip(row) {
+                    let v = base + c.to_f64();
+                    if v < *m {
+                        *m = v;
                     }
                 }
-                let low = mins.iter().copied().fold(f64::INFINITY, f64::min);
-                let out = &mut self.msg_to_b[self.off_b[eidx]..self.off_b[eidx + 1]];
-                for (o, m) in out.iter_mut().zip(&mins) {
-                    *o = m - low;
+            }
+            let mut low = f64::INFINITY;
+            for &m in &mins[..lb] {
+                if m < low {
+                    low = m;
                 }
+            }
+            let out = &mut to_b[t.off_to_b[e] as usize..][..lb];
+            for (o, &m) in out.iter_mut().zip(&mins[..lb]) {
+                *o = T::from_f64(m - low);
             }
         }
     }
+}
 
-    /// Backward sweep; returns the TRW lower bound (module docs): the sum of
-    /// backward-message normalization constants plus, per node, the leftover
-    /// chain mass `(1 − n⁻·γ)·min θ̂`.
-    fn backward_pass(&mut self, model: &MrfModel) -> f64 {
-        let mut bound = 0.0;
-        for i in (0..model.var_count()).rev() {
-            if !model.is_live(VarId(i)) {
-                continue;
-            }
-            self.theta_hat(model, i);
-            let gamma = self.gamma[i];
-            let lb_count = model.labels(VarId(i));
-            // Chains that terminate at this node keep their share of θ̂.
-            let leftover = 1.0 - self.n_backward[i] as f64 * gamma;
-            if leftover > 1e-15 {
-                let min_theta = self.scratch[..lb_count]
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
-                bound += leftover * min_theta;
-            }
-            for &eidx in model.incident_edges(VarId(i)) {
-                let eidx = eidx as usize;
-                let e = model.edges()[eidx];
-                if e.b().0 != i {
-                    continue; // only backward edges (i -> lower neighbor)
+/// Backward sweep over backward edges; returns the TRW lower bound (module
+/// docs): the sum of backward-message normalization constants plus, per
+/// node, the leftover chain mass `(1 − n⁻·γ)·min θ̂`.
+fn backward_pass<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    arena: &mut [T],
+    pot: &[T],
+    theta: &mut [f64],
+    mins: &mut [f64],
+) -> f64 {
+    let (to_b, to_a) = arena.split_at_mut(t.split);
+    let mut bound = 0.0;
+    for &iu in t.order.iter().rev() {
+        let i = iu as usize;
+        let l = theta_hat(model, t, to_b, to_a, i, theta);
+        let gamma = t.gamma[i];
+        // Chains that terminate at this node keep their share of θ̂.
+        let leftover = 1.0 - t.n_backward[i] as f64 * gamma;
+        if leftover > 1e-15 {
+            let mut min_theta = f64::INFINITY;
+            for &s in &theta[..l] {
+                if s < min_theta {
+                    min_theta = s;
                 }
-                let la = model.labels(e.a());
-                let mut mins = vec![f64::INFINITY; la];
-                for xb in 0..lb_count {
-                    let base = gamma * self.scratch[xb] - self.msg_to_b[self.off_b[eidx] + xb];
-                    for (xa, m) in mins.iter_mut().enumerate() {
-                        let c = base + model.edge_cost(&e, xa, xb);
-                        if c < *m {
-                            *m = c;
-                        }
+            }
+            bound += leftover * min_theta;
+        }
+        for &e in t.bwd(i) {
+            let e = e as usize;
+            let la = t.edge_la[e] as usize;
+            let inc = t.off_to_b[e] as usize;
+            let row0 = t.pot_ba[e] as usize;
+            mins[..la].fill(f64::INFINITY);
+            for xb in 0..l {
+                let base = gamma * theta[xb] - to_b[inc + xb].to_f64();
+                let row = &pot[row0 + xb * la..row0 + (xb + 1) * la];
+                for (m, &c) in mins[..la].iter_mut().zip(row) {
+                    let v = base + c.to_f64();
+                    if v < *m {
+                        *m = v;
                     }
                 }
-                let low = mins.iter().copied().fold(f64::INFINITY, f64::min);
-                bound += low;
-                let out = &mut self.msg_to_a[self.off_a[eidx]..self.off_a[eidx + 1]];
-                for (o, m) in out.iter_mut().zip(&mins) {
-                    *o = m - low;
+            }
+            let mut low = f64::INFINITY;
+            for &m in &mins[..la] {
+                if m < low {
+                    low = m;
                 }
             }
+            bound += low;
+            let out = &mut to_a[t.off_to_a[e] as usize..][..la];
+            for (o, &m) in out.iter_mut().zip(&mins[..la]) {
+                *o = T::from_f64(m - low);
+            }
         }
-        bound
     }
+    bound
+}
 
-    /// Conditioned decode in BFS order: each variable is labelled to
-    /// minimize its unary cost plus pairwise costs to *all already-decoded*
-    /// neighbors plus incoming messages from the undecoded ones. BFS order
-    /// (instead of raw index order) matters on tie-heavy energies: with flat
-    /// unaries the decode is a greedy coloring, and greedy coloring along a
-    /// traversal tree resolves cycles that index order miscolors.
-    fn decode(&self, model: &MrfModel) -> Vec<usize> {
-        let n = model.var_count();
-        let mut labels = vec![0usize; n];
-        let mut decoded = vec![false; n];
-        let mut cost = vec![0.0f64; model.max_labels()];
-        let mut queue = std::collections::VecDeque::new();
-        for root in 0..n {
-            if decoded[root] || !model.is_live(VarId(root)) {
-                continue;
-            }
-            queue.push_back(root);
-            decoded[root] = true;
-            while let Some(i) = queue.pop_front() {
-                let l = model.labels(VarId(i));
-                cost[..l].copy_from_slice(model.unary(VarId(i)));
-                for &eidx in model.incident_edges(VarId(i)) {
-                    let eidx = eidx as usize;
-                    let e = model.edges()[eidx];
-                    let (other, i_is_a) = if e.a().0 == i {
-                        (e.b().0, true)
-                    } else {
-                        (e.a().0, false)
-                    };
-                    // `decoded[other]` is set when `other` is labelled *or*
-                    // queued; only trust the label once actually assigned —
-                    // track via a separate labelled flag below.
-                    if decoded[other] && labels[other] != usize::MAX {
-                        let xo = labels[other];
-                        for (x, c) in cost[..l].iter_mut().enumerate() {
-                            *c += if i_is_a {
-                                model.edge_cost(&e, x, xo)
-                            } else {
-                                model.edge_cost(&e, xo, x)
-                            };
-                        }
-                    } else {
-                        let m = if i_is_a {
-                            &self.msg_to_a[self.off_a[eidx]..self.off_a[eidx + 1]]
-                        } else {
-                            &self.msg_to_b[self.off_b[eidx]..self.off_b[eidx + 1]]
-                        };
-                        for (c, mv) in cost[..l].iter_mut().zip(m) {
-                            *c += mv;
-                        }
+/// Conditioned decode in BFS order: each variable is labelled to minimize
+/// its unary cost plus pairwise costs to *all already-decoded* neighbors
+/// plus incoming messages from the undecoded ones. BFS order (instead of
+/// raw index order) matters on tie-heavy energies: with flat unaries the
+/// decode is a greedy coloring, and greedy coloring along a traversal tree
+/// resolves cycles that index order miscolors. Pairwise terms read the f64
+/// tables even under f32 messages.
+#[allow(clippy::too_many_arguments)]
+fn decode<T: MsgCell>(
+    model: &MrfModel,
+    t: &Tables<'_>,
+    arena: &[T],
+    pot64: &[f64],
+    labels: &mut Vec<usize>,
+    decoded: &mut Vec<bool>,
+    queue: &mut VecDeque<u32>,
+    cost: &mut [f64],
+) {
+    let (to_b, to_a) = arena.split_at(t.split);
+    labels.clear();
+    labels.resize(t.n, 0);
+    decoded.clear();
+    decoded.resize(t.n, false);
+    queue.clear();
+    for &root in t.order {
+        if decoded[root as usize] {
+            continue;
+        }
+        queue.push_back(root);
+        decoded[root as usize] = true;
+        while let Some(iu) = queue.pop_front() {
+            let i = iu as usize;
+            let l = t.labels(i);
+            cost[..l].copy_from_slice(model.unary(VarId(i)));
+            for &e in t.fwd(i) {
+                let e = e as usize;
+                let other = t.edge_b[e] as usize;
+                // `decoded[other]` is set when `other` is labelled *or*
+                // queued; only trust the label once actually assigned —
+                // queued-but-unlabelled entries hold `usize::MAX`.
+                if decoded[other] && labels[other] != usize::MAX {
+                    let xo = labels[other];
+                    let row = &pot64[t.pot_ba[e] as usize + xo * l..][..l];
+                    for (c, &p) in cost[..l].iter_mut().zip(row) {
+                        *c += p;
                     }
-                    if !decoded[other] {
-                        decoded[other] = true;
-                        labels[other] = usize::MAX;
-                        queue.push_back(other);
+                } else {
+                    let m = &to_a[t.off_to_a[e] as usize..][..l];
+                    for (c, m) in cost[..l].iter_mut().zip(m) {
+                        *c += m.to_f64();
                     }
                 }
-                labels[i] = cost[..l]
-                    .iter()
-                    .enumerate()
-                    .min_by(|a, b| a.1.total_cmp(b.1))
-                    .map(|(x, _)| x)
-                    .unwrap_or(0);
+                if !decoded[other] {
+                    decoded[other] = true;
+                    labels[other] = usize::MAX;
+                    queue.push_back(other as u32);
+                }
             }
+            for &e in t.bwd(i) {
+                let e = e as usize;
+                let other = t.edge_a[e] as usize;
+                if decoded[other] && labels[other] != usize::MAX {
+                    let xo = labels[other];
+                    let row = &pot64[t.pot_ab[e] as usize + xo * l..][..l];
+                    for (c, &p) in cost[..l].iter_mut().zip(row) {
+                        *c += p;
+                    }
+                } else {
+                    let m = &to_b[t.off_to_b[e] as usize..][..l];
+                    for (c, m) in cost[..l].iter_mut().zip(m) {
+                        *c += m.to_f64();
+                    }
+                }
+                if !decoded[other] {
+                    decoded[other] = true;
+                    labels[other] = usize::MAX;
+                    queue.push_back(other as u32);
+                }
+            }
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (x, &c) in cost[..l].iter().enumerate() {
+                if c < best_cost {
+                    best_cost = c;
+                    best = x;
+                }
+            }
+            labels[i] = best;
         }
-        labels
     }
 }
 

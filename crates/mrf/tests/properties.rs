@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use mrf::bp::{Bp, BpOptions};
 use mrf::elimination::Elimination;
 use mrf::exhaustive::Exhaustive;
-use mrf::icm::Icm;
+use mrf::icm::{Icm, IcmOptions};
 use mrf::ils::Ils;
 use mrf::model::{MrfBuilder, MrfModel};
 use mrf::solver::{MapSolver, SolveControl};
@@ -39,6 +39,34 @@ fn arb_model() -> impl Strategy<Value = MrfModel> {
                     }
                     k += 1;
                 }
+            }
+            b.build()
+        })
+}
+
+/// A random tree-structured model: every variable past the first attaches
+/// to a random earlier parent, so elimination is exact and min-sum BP must
+/// converge to the optimum.
+fn arb_tree_model() -> impl Strategy<Value = MrfModel> {
+    (
+        2usize..8,
+        proptest::collection::vec(0.0f64..3.0, 8 * 3),
+        proptest::collection::vec(0.0f64..2.0, 8 * 9),
+        proptest::collection::vec(2usize..4, 8),
+        proptest::collection::vec(0usize..8, 8),
+    )
+        .prop_map(|(n, unaries, pairwise, cards, parents)| {
+            let mut b = MrfBuilder::new();
+            let vars: Vec<_> = (0..n).map(|i| b.add_variable(cards[i])).collect();
+            for (i, &v) in vars.iter().enumerate() {
+                b.set_unary(v, unaries[i * 3..i * 3 + cards[i]].to_vec())
+                    .unwrap();
+            }
+            for i in 1..n {
+                let p = parents[i] % i;
+                let need = cards[p] * cards[i];
+                let costs = pairwise[i * 9..i * 9 + need].to_vec();
+                b.add_edge_dense(vars[p], vars[i], costs).unwrap();
             }
             b.build()
         })
@@ -99,6 +127,83 @@ proptest! {
         prop_assert!((model.energy(s.labels()) - s.energy()).abs() < 1e-9);
         let brute = Exhaustive::new().solve(&model, &SolveControl::new());
         prop_assert!(s.energy() >= brute.energy() - 1e-9);
+    }
+
+    /// The colored sweep schedule is thread-count-invariant: running the
+    /// class-major schedule across scoped threads produces bit-identical
+    /// labels and energy to running the same schedule sequentially, for
+    /// both BP (message sweeps) and ICM (move sweeps).
+    #[test]
+    fn colored_parallel_sweeps_match_sequential(model in arb_model()) {
+        let ctl = SolveControl::new();
+        // threshold 0 forces the scoped-thread path; usize::MAX runs the
+        // identical colored schedule on one thread.
+        let bp_par = Bp::new(BpOptions {
+            threads: 4, parallel_threshold: 0, ..BpOptions::default()
+        }).solve(&model, &ctl);
+        let bp_seq = Bp::new(BpOptions {
+            threads: 1, ..BpOptions::default()
+        }).solve(&model, &ctl);
+        prop_assert_eq!(bp_par.labels(), bp_seq.labels());
+        prop_assert_eq!(bp_par.energy(), bp_seq.energy());
+        let icm_par = Icm::new(IcmOptions {
+            threads: 4, parallel_threshold: 0, ..IcmOptions::default()
+        }).solve(&model, &ctl);
+        let icm_seq = Icm::new(IcmOptions {
+            threads: 4, parallel_threshold: usize::MAX, ..IcmOptions::default()
+        }).solve(&model, &ctl);
+        prop_assert_eq!(icm_par.labels(), icm_seq.labels());
+        prop_assert_eq!(icm_par.energy(), icm_seq.energy());
+    }
+
+    /// On tree-structured models min-sum BP is exact: its decoded energy
+    /// agrees with bucket elimination's certified optimum.
+    #[test]
+    fn bp_matches_elimination_on_trees(model in arb_tree_model()) {
+        let exact = Elimination::default()
+            .solve_exact(&model, &SolveControl::new())
+            .unwrap();
+        let s = Bp::new(BpOptions::default()).solve(&model, &SolveControl::new());
+        prop_assert!((s.energy() - exact.energy()).abs() < 1e-6,
+            "bp {} vs elimination {}", s.energy(), exact.energy());
+    }
+
+    /// On tree-structured models TRW-S closes its duality gap: the decoded
+    /// energy agrees with elimination and the bound certifies it.
+    #[test]
+    fn trws_matches_elimination_on_trees(model in arb_tree_model()) {
+        let exact = Elimination::default()
+            .solve_exact(&model, &SolveControl::new())
+            .unwrap();
+        let s = Trws::new(TrwsOptions::default()).solve(&model, &SolveControl::new());
+        prop_assert!((s.energy() - exact.energy()).abs() < 1e-6,
+            "trws {} vs elimination {}", s.energy(), exact.energy());
+        prop_assert!(s.lower_bound().unwrap() <= exact.energy() + 1e-7);
+    }
+
+    /// f32 message kernels stay within loose tolerance of the f64 decode.
+    /// Tree models pin both precisions to the same (exact) fixed point, so
+    /// the gap reduces to rounding at near-ties; on loopy graphs a single
+    /// flipped argmin can legitimately change the whole trajectory, which
+    /// is why this property is stated on trees.
+    #[test]
+    fn f32_messages_track_f64(model in arb_tree_model()) {
+        let ctl = SolveControl::new();
+        for (wide, narrow) in [
+            (
+                Trws::new(TrwsOptions::default()).solve(&model, &ctl).energy(),
+                Trws::new(TrwsOptions { f32_messages: true, ..TrwsOptions::default() })
+                    .solve(&model, &ctl).energy(),
+            ),
+            (
+                Bp::new(BpOptions::default()).solve(&model, &ctl).energy(),
+                Bp::new(BpOptions { f32_messages: true, ..BpOptions::default() })
+                    .solve(&model, &ctl).energy(),
+            ),
+        ] {
+            prop_assert!((wide - narrow).abs() <= 1e-3 * wide.abs().max(1.0),
+                "f64 {wide} vs f32 {narrow}");
+        }
     }
 
     /// All solvers respect label domains.

@@ -91,12 +91,14 @@ fn report(name: &str, result: Option<Duration>) {
 /// The benchmark manager.
 pub struct Criterion {
     samples: usize,
+    measurements: Vec<(String, Duration)>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
         Criterion {
             samples: default_samples(),
+            measurements: Vec::new(),
         }
     }
 }
@@ -114,7 +116,22 @@ impl Criterion {
         };
         f(&mut b);
         report(name, b.result);
+        self.record(name, b.result);
         self
+    }
+
+    /// Every `(name, median per-iteration time)` measured through this
+    /// manager so far, in run order — lets benches export machine-readable
+    /// results (`BENCH_*.json`) on top of the printed report. Real criterion
+    /// persists measurements itself; the shim exposes them instead.
+    pub fn measurements(&self) -> &[(String, Duration)] {
+        &self.measurements
+    }
+
+    fn record(&mut self, name: &str, result: Option<Duration>) {
+        if let Some(t) = result {
+            self.measurements.push((name.to_string(), t));
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -130,7 +147,6 @@ impl Criterion {
 
 /// A group of related benchmarks sharing a name prefix.
 pub struct BenchmarkGroup<'a> {
-    #[allow(dead_code)]
     criterion: &'a mut Criterion,
     name: String,
     samples: usize,
@@ -158,7 +174,9 @@ impl BenchmarkGroup<'_> {
             result: None,
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id), b.result);
+        let name = format!("{}/{}", self.name, id);
+        report(&name, b.result);
+        self.criterion.record(&name, b.result);
         self
     }
 
@@ -169,7 +187,9 @@ impl BenchmarkGroup<'_> {
             result: None,
         };
         f(&mut b);
-        report(&format!("{}/{name}", self.name), b.result);
+        let name = format!("{}/{name}", self.name);
+        report(&name, b.result);
+        self.criterion.record(&name, b.result);
         self
     }
 
@@ -204,7 +224,10 @@ mod tests {
 
     #[test]
     fn bench_function_measures_something() {
-        let mut c = Criterion { samples: 3 };
+        let mut c = Criterion {
+            samples: 3,
+            measurements: Vec::new(),
+        };
         let mut ran = 0u64;
         c.bench_function("spin", |b| {
             b.iter(|| {
@@ -217,7 +240,10 @@ mod tests {
 
     #[test]
     fn groups_and_ids_render() {
-        let mut c = Criterion { samples: 2 };
+        let mut c = Criterion {
+            samples: 2,
+            measurements: Vec::new(),
+        };
         let mut group = c.benchmark_group("g");
         group.sample_size(2);
         group.bench_with_input(BenchmarkId::from_parameter(42), &7usize, |b, &n| {
