@@ -38,11 +38,16 @@ const HELP: &str = "\
 churn — dynamic-churn replay through the incremental diversity engine
 
 USAGE:
-    churn [--steps N] [--batch N] [--shards N] [--serve [--readers N]] [--full]
+    churn [--steps N] [--hosts N] [--batch N] [--shards N]
+          [--serve [--readers N]] [--full]
 
 FLAGS:
     --steps N    Number of churn steps to replay (default 12; 30 with --full).
                  Each step applies one delta (sequential) or one burst (--batch).
+    --hosts N    Host count of the generated network (default 60; 300 with
+                 --full, 960 with --serve --full). With --shards the count is
+                 split evenly across the zones, so --hosts 10000 --shards 4
+                 is the large-topology scale-out smoke.
     --batch N    Batched churn: each step absorbs a Poisson(N)-sized burst of
                  deltas through one apply_batch call, paying one model rebuild
                  and one localized re-solve per burst (default: sequential,
@@ -50,8 +55,12 @@ FLAGS:
                  deltas (default 1).
     --shards N   Sharded churn: generate an N-zone network, shard the engine
                  by zone (one engine per zone plus boundary coordination) and
-                 route every burst to its owning shard(s). Composes with
-                 --batch and --serve.
+                 route every burst to its owning shard(s). Zones are dynamic:
+                 roughly one in four generated AddHost deltas opens a brand-new
+                 zone (a fresh shard is created on the fly), and a zone that
+                 drains to zero hosts retires its shard — its solver state is
+                 released and the slot revives if the zone returns. Composes
+                 with --batch and --serve.
     --serve      Concurrent serving mode: the engine runs behind the
                  epoch-versioned snapshot front-end (ics_diversity::serve).
                  A writer thread absorbs the churn stream — submissions that
@@ -95,6 +104,11 @@ EXTRA COLUMNS (sharded mode, replacing frontier/swept):
     shards       Indices of the shards the burst's deltas were routed to.
     rounds       Boundary-coordination rounds run (0: skipped — the burst
                  could not have leaked across shards).
+    gap          Certified primal−dual optimality gap of the step's Strong
+                 coordination pass (dual decomposition over cross-zone
+                 links), as a percentage of the primal objective. \"-\" when
+                 the step ran no Strong pass (interior-confined burst) or a
+                 shard solver reported no bound.
     flips        Boundary hosts whose product changed during coordination.
     shard solve  Wall-clock time of the slowest shard's local step (shards
                  run in parallel).
@@ -133,11 +147,14 @@ fn main() {
         print!("{HELP}");
         return;
     }
-    let (hosts, default_steps, runs) = if full_mode() {
+    let (default_hosts, default_steps, runs) = if full_mode() {
         (300usize, 30usize, 400usize)
     } else {
         (60, 12, 150)
     };
+    let hosts = flag_value("--hosts")
+        .filter(|&n| n >= 2)
+        .unwrap_or(default_hosts);
     let steps = flag_value("--steps").unwrap_or(default_steps);
     let mode = match flag_value("--batch") {
         Some(mean) if mean > 0 => ChurnMode::Batched {
@@ -147,7 +164,11 @@ fn main() {
     };
     let shards = flag_value("--shards").filter(|&n| n > 1);
     if std::env::args().any(|a| a == "--serve") {
-        let hosts = if full_mode() { 960 } else { hosts };
+        let hosts = if full_mode() && flag_value("--hosts").is_none() {
+            960
+        } else {
+            hosts
+        };
         let readers = flag_value("--readers").unwrap_or(4).max(1);
         let burst = flag_value("--batch").unwrap_or(1).max(1);
         run_serving(hosts, steps, readers, burst, shards);
@@ -363,6 +384,7 @@ fn run_sharded(
         "deltas",
         "shards",
         "rounds",
+        "gap",
         "flips",
         "obj carry",
         "obj resolve",
@@ -389,6 +411,9 @@ fn run_sharded(
             label,
             format!("{:?}", s.report.shards_touched),
             s.report.rounds.to_string(),
+            s.report
+                .certified_gap()
+                .map_or_else(|| "-".to_owned(), |g| format!("{:.2}%", 100.0 * g)),
             s.report.boundary_flips.to_string(),
             format!("{:.3}", s.report.objective_before.unwrap_or(f64::NAN)),
             format!("{:.3}", s.report.objective),
@@ -416,6 +441,10 @@ fn run_sharded(
         .iter()
         .filter(|s| s.report.shards_touched.len() <= 1)
         .count();
+    let gaps: Vec<f64> = replay
+        .iter()
+        .filter_map(|s| s.report.certified_gap())
+        .collect();
     println!(
         "{deltas_total} deltas in {} steps; {single_shard} bursts confined to one shard; \
          coordination ran on {coordinated} steps ({flips} boundary flips total); re-solve \
@@ -424,8 +453,20 @@ fn run_sharded(
         replay.len(),
         replay.len()
     );
+    if let Some(worst) = gaps
+        .iter()
+        .copied()
+        .fold(None, |m: Option<f64>, g| Some(m.map_or(g, |m| m.max(g))))
+    {
+        println!(
+            "certified gap: {} Strong steps certified a primal−dual bound, worst {:.2}%",
+            gaps.len(),
+            100.0 * worst
+        );
+    }
     println!(
-        "expected shape: obj resolve ≤ obj carry per step; rounds 0 on interior-confined bursts"
+        "expected shape: obj resolve ≤ obj carry per step; rounds 0 on interior-confined \
+         bursts; certified gap small and never negative on Strong steps"
     );
 }
 
@@ -453,8 +494,10 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
             );
             let shadow = g.network.clone();
             let catalog = g.catalog.clone();
-            // Generated AddHost deltas carry no zone; pin them to existing
-            // zones so the sharded router always has an owning shard.
+            // Generated AddHost deltas carry no zone. The sharded router
+            // would happily open a fresh zone for each (dynamic shards),
+            // but serving mode measures steady-state absorb throughput, so
+            // pin newcomers to the existing zones instead.
             let mut zones: Vec<Option<String>> = shadow
                 .iter_hosts()
                 .map(|(_, h)| h.zone().map(str::to_owned))

@@ -271,6 +271,14 @@ impl EnergyCache {
         self.model
     }
 
+    /// Mutable access to the cached model (crate-internal): the sharded
+    /// coordinator's dual-decomposition loop overlays multiplier addons on
+    /// boundary unaries and reverts them bitwise before the cache sees
+    /// another refresh, so cached revision bookkeeping stays valid.
+    pub(crate) fn model_mut(&mut self) -> &mut EnergyModel {
+        &mut self.model
+    }
+
     /// The energy parameters in use.
     pub fn params(&self) -> EnergyParams {
         self.params

@@ -302,8 +302,12 @@ impl ShardedChurnStep {
 /// [`run_churn`] over a [`ShardedEngine`]: the same seeded delta stream and
 /// MTTC instrumentation, but bursts are routed to their owning shards and
 /// the boundary-coordination loop reconciles cross-shard effects. `AddHost`
-/// deltas drawn by the generator are assigned a random *existing* zone so
-/// the router always has an owning shard.
+/// deltas drawn by the generator usually join a random existing zone —
+/// but roughly one in four names a brand-new `zone-dyn*` label, exercising
+/// the engine's zone lifecycle end to end: the router creates a shard for
+/// it on the spot, and a later `RemoveHost` stream can drain and retire
+/// it. No pinning workaround remains; the stream relies on
+/// [`ShardedEngine::apply_batch`]'s dynamic shard creation.
 ///
 /// # Errors
 ///
@@ -325,6 +329,7 @@ pub fn run_churn_sharded(
     let protect = [entry, target];
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut steps = Vec::with_capacity(config.steps);
+    let mut fresh_zones = 0usize;
     for step in 0..config.steps {
         let burst_size = match config.mode {
             ChurnMode::Sequential => 1,
@@ -332,14 +337,20 @@ pub fn run_churn_sharded(
         };
         // Generate the burst against a scratch copy so each delta is valid
         // after its predecessors — the same staging apply_batch validates
-        // against — and pin AddHost deltas to one of the engine's zones.
+        // against. AddHost deltas mostly join a random existing zone, but
+        // ~1 in 4 opens a brand-new one (dynamic shard creation).
         let mut scratch = engine.network().clone();
         let mut deltas = Vec::with_capacity(burst_size);
         for _ in 0..burst_size {
             let mut delta = random_delta(&scratch, engine.catalog(), &mut rng, &protect);
             if let NetworkDelta::AddHost { zone, .. } = &mut delta {
-                let shards = engine.partition().shards();
-                *zone = shards[rng.gen_range(0..shards.len())].zone.clone();
+                if rng.gen_range(0..4) == 0 {
+                    fresh_zones += 1;
+                    *zone = Some(format!("zone-dyn{fresh_zones}"));
+                } else {
+                    let shards = engine.partition().shards();
+                    *zone = shards[rng.gen_range(0..shards.len())].zone.clone();
+                }
             }
             scratch
                 .apply_delta(&delta, engine.catalog())
@@ -510,7 +521,8 @@ mod tests {
         for s in &steps {
             assert_eq!(s.report.deltas_applied, s.deltas.len());
             assert!(s.report.improvement().unwrap() >= -1e-9, "step {}", s.step);
-            // Generated AddHost deltas must have been pinned to a real zone.
+            // Every AddHost zone — existing or freshly opened — ends up
+            // owned by a shard (dynamic creation, no pinning workaround).
             for d in &s.deltas {
                 if let NetworkDelta::AddHost { zone, .. } = d {
                     assert!(engine.partition().shard_of_zone(zone.as_deref()).is_some());
@@ -518,6 +530,8 @@ mod tests {
             }
             let _ = s.mttc_gain();
         }
+        // The stream itself never triggered a from-scratch re-partition.
+        assert_eq!(engine.partition_recomputes(), 0);
         assert!(!engine.network().host(entry).unwrap().is_removed());
         assert!(!engine.network().host(target).unwrap().is_removed());
         engine

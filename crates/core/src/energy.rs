@@ -96,6 +96,14 @@ impl EnergyModel {
         &self.model
     }
 
+    /// Mutable access to the underlying MRF alone (crate-internal): the
+    /// dual-decomposition coordinator applies multiplier overlays to
+    /// boundary unaries in place — slot bindings and base energy are
+    /// untouched, so this narrower borrow keeps them provably consistent.
+    pub(crate) fn model_mut(&mut self) -> &mut MrfModel {
+        &mut self.model
+    }
+
     /// Mutable access for [`EnergyCache`]'s in-place edits: the model, the
     /// slot bindings, and the fixed–fixed base energy, borrowed together so
     /// an edit can keep all three consistent.

@@ -315,6 +315,60 @@ impl DiversityEngine {
         self.cache.model()
     }
 
+    /// Mutable access to the energy model (crate-internal): the sharded
+    /// coordinator's dual-decomposition loop applies and reverts
+    /// multiplier overlays on boundary unaries in place instead of
+    /// cloning the shard model per subgradient iteration.
+    pub(crate) fn energy_mut(&mut self) -> &mut EnergyModel {
+        self.cache.model_mut()
+    }
+
+    /// The engine's memory-footprint drivers, delegated from
+    /// [`EnergyCache::footprint`]: `(interned domains, cached cost
+    /// matrices)`. The sharded engine rolls these up across shards to
+    /// assert that retired zones release their model state.
+    pub fn footprint(&self) -> (usize, usize) {
+        self.cache.footprint()
+    }
+
+    /// Drops the built model, caches and last assignment, resetting the
+    /// cache to its deferred (unbuilt) state under the same constraints
+    /// and parameters (crate-internal: how a retired shard releases its
+    /// interned domains and cost matrices while staying revivable — the
+    /// next step performs a full cold build).
+    pub(crate) fn release_model(&mut self) {
+        let params = self.cache.params();
+        let constraints = self.cache.constraints().clone();
+        self.cache = EnergyCache::deferred(&constraints, params);
+        self.last = None;
+        self.scratch = SolveScratch::new();
+    }
+
+    /// A fresh, unsolved engine over `network` inheriting this engine's
+    /// configuration — solvers, refiner, budget, locality, constraints and
+    /// energy parameters (crate-internal: how the sharded engine spins up
+    /// a shard for a zone created mid-stream by an `AddHost` delta).
+    pub(crate) fn configured_like(
+        &self,
+        network: Network,
+        catalog: Catalog,
+        similarity: ProductSimilarity,
+    ) -> DiversityEngine {
+        DiversityEngine {
+            network,
+            catalog,
+            similarity,
+            cache: EnergyCache::deferred(self.cache.constraints(), self.cache.params()),
+            solver: Arc::clone(&self.solver),
+            refiner: Arc::clone(&self.refiner),
+            budget: self.budget,
+            locality: self.locality,
+            pinned: Vec::new(),
+            last: None,
+            scratch: SolveScratch::new(),
+        }
+    }
+
     /// Overwrites the cached MAP assignment — the write-back path of the
     /// shard coordinator, which improves a shard's labeling against
     /// cross-shard costs the shard model cannot see. The caller guarantees

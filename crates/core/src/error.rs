@@ -20,9 +20,11 @@ pub enum Error {
         /// Number of violated (constraint, host) pairs.
         violations: usize,
     },
-    /// A sharded engine received an `AddHost` delta naming a zone no shard
-    /// owns. Sharded engines partition by the zones present at
-    /// construction; hosts can only join existing zones.
+    /// A sharded engine could not route a delta to an owning shard. Since
+    /// shards became dynamic (zones are created on demand by `AddHost`
+    /// deltas naming fresh labels, drained zones retire and revive in
+    /// place), no current engine path raises this — the variant is kept for
+    /// API stability and for future routing modes that do pin the zone set.
     UnknownZone {
         /// The zone label the delta carried (`None`: an unzoned host, with
         /// no unzoned shard to route it to).

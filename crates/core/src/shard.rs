@@ -1,5 +1,5 @@
 //! Sharded serving: one [`DiversityEngine`] per zone, coordinated at the
-//! boundary.
+//! boundary by dual decomposition.
 //!
 //! [`crate::engine::DiversityEngine`] owns one network. Real deployments —
 //! the paper's case study included — are *zoned*: a Corporate sub-network
@@ -14,29 +14,85 @@
 //!   one zone pays that shard's rebuild and localized re-solve only, on a
 //!   network a fraction of the full size — and bursts spanning shards are
 //!   absorbed by the owners *in parallel* (`std::thread::scope`),
-//! * cross-shard links live in **no** shard's model. They are accounted
-//!   for by the **boundary-coordination loop**: each round, every shard
-//!   with boundary hosts builds a [`mrf::local::condition_submodel`] of
-//!   its boundary region (interior labels frozen and folded into unaries),
-//!   folds the cross-shard edge costs against its neighbors' *current*
-//!   boundary labels into the same unaries, and re-solves that small
-//!   submodel — all shards in parallel — and the proposals are then
-//!   spliced back one shard at a time, each **accepted only if the global
-//!   objective improves**. Rounds repeat until no proposal is accepted or
-//!   [`ShardedEngine::with_max_rounds`] is reached.
+//! * cross-shard links live in **no** shard's model. Steady-state bursts
+//!   account for them with a cheap greedy boundary sweep (the *Light*
+//!   pass); cold solves and cross-topology changes run **dual
+//!   decomposition** (the *Strong* pass, below) and report a **certified
+//!   primal−dual gap**.
 //!
-//! The accept-only-if-better splice is what makes the loop *monotone*: the
-//! global objective (shard model energies + cross-link similarity residual)
-//! never increases during coordination, and since each accepted splice
-//! strictly decreases it over a finite labeling space, the loop reaches a
-//! fixpoint — a labeling no single shard can improve given the others'
-//! boundary labels — in finitely many rounds (the round cap bounds the
-//! worst case; [`ShardReport::rounds`] says when it bit).
+//! # Zone lifecycle and the incremental partition
 //!
-//! The coordination loop is *skipped* entirely when it cannot matter: no
-//! cross-shard links, or a burst that neither changed any boundary host's
-//! label nor touched a boundary host nor rewired a cross link. That skip is
-//! what keeps an interior-confined burst as cheap as its owning shard.
+//! The partition is a *maintained* structure, not a per-burst recompute:
+//! topology deltas replay onto [`netmodel::partition::ZonePartition`]'s
+//! incremental mutators (boundary promotion/demotion on link deltas,
+//! membership in O(touched)), so a burst at 10k hosts never pays an
+//! O(V+E) re-partition ([`ShardedEngine::partition_recomputes`] stays 0
+//! after construction). Zones are dynamic: an `AddHost` naming an unknown
+//! zone *creates* a shard for it on the spot (inheriting the engine
+//! configuration), and a zone that drains to tombstones *retires* its
+//! shard — the engine releases its interned model state
+//! ([`ShardedEngine::footprint`] shrinks) while the slot remains, ready to
+//! revive on the next `AddHost` naming the zone.
+//!
+//! # Dual decomposition and the certified gap
+//!
+//! For every cross-shard link and shared service whose two endpoint slots
+//! are both free variables, the Strong pass maintains per-label Lagrange
+//! multipliers `λ` on each endpoint. Each subgradient round it
+//!
+//! 1. folds the multipliers into the owning shards' boundary unaries (an
+//!    in-place [`mrf::model::UnaryOverlay`] — no model clone), and
+//!    minimizes every shard's λ-augmented model in parallel (TRW-S decode,
+//!    floored by the current primal labeling's augmented energy so the
+//!    subproblem value never exceeds the primal's share),
+//! 2. solves each relaxed cross-link term `min_{x̂a,x̂b} sim(x̂a,x̂b) −
+//!    λ_a(x̂a) − λ_b(x̂b)` by enumeration,
+//! 3. recovers a primal candidate by splicing the shard labelings through
+//!    the accept-only-if-better splice, and
+//! 4. takes the subgradient step `λ += α_t (𝟙[x] − 𝟙[x̂])` with the
+//!    diminishing rule `α_t = α₀ / (1 + t)`.
+//!
+//! Cross terms with one fixed endpoint fold into the variable side's
+//! unaries as constants; fixed–fixed terms are a constant `C`. The sum of
+//! shard subproblem values, relaxed cross terms and `C` is the Lagrangian
+//! dual value `D(λ)` of the cross-link decomposition — a lower bound on
+//! the full objective *for any* `λ` whenever the shard subproblems are
+//! solved to optimality, and in general a bound *modulo the shard solver
+//! as minimization oracle* (the only relaxation the certificate takes on
+//! faith; it is exact on small shards). What makes the reported bound safe
+//! is the closing certificate: after the loop, `D` is re-evaluated at the
+//! final `λ` **on the final primal labeling itself**, where per cross term
+//! `λ_a(x*) + λ_b(x*) + min(cost − λ_a − λ_b) ≤ cost(x*)` holds
+//! identically — so that value is ≤ the primal by construction, and it
+//! replaces any mid-loop dual value an approximate subproblem solve
+//! inflated past the primal. The reported [`ShardReport::dual_bound`] (the
+//! best safe `D` seen) certifies [`ShardReport::certified_gap`]
+//! `= (P − D)/|P|` — replacing the old "within 1% empirically" claim with
+//! a per-solve certificate of the *decomposition's* loss: how much the
+//! cross-link relaxation plus boundary coordination left on the table,
+//! given the shards' solves. The loop stops at [`DUAL_GAP_TOLERANCE`], on
+//! a stalled bound, or at [`ShardedEngine::with_max_rounds`]; a final
+//! polish round refines each shard's full cross-augmented model with the
+//! configured coordinator (bounded ILS by default), closing the primal gap
+//! the message-passing decodes leave.
+//!
+//! The accept-only-if-better splice keeps every pass *monotone*: the
+//! global objective (shard model energies + cross-link similarity
+//! residual) never increases during coordination. Coordination is
+//! *skipped* entirely when it cannot matter: no cross-shard links, or a
+//! burst that neither changed any boundary host's label nor touched a
+//! boundary host nor rewired a cross link. That skip is what keeps an
+//! interior-confined burst as cheap as its owning shard.
+//!
+//! # Constraints
+//!
+//! [`ShardedEngine::with_constraints`] accepts the same global
+//! [`ConstraintSet`] as the single engine and splits it exactly: every
+//! constraint form is intra-host, so host-scoped constraints remap to the
+//! owning shard's local ids and `ALL`-scoped constraints replicate to
+//! every shard (including ones created later for new zones). The split
+//! realizes the same feasible set as the unsharded encoding; validation is
+//! all-or-nothing with [`Error::ShardRejected`] attribution.
 //!
 //! # Objective decomposition
 //!
@@ -53,16 +109,19 @@
 //! [`crate::engine::ReassignmentReport::objective_after`] on the unsharded
 //! engine.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mrf::ils::{Ils, IlsOptions};
-use mrf::model::{MrfBuilder, MrfModel, VarId};
+use mrf::model::{MrfBuilder, MrfModel, UnaryOverlay, VarId};
 use mrf::solver::{MapSolver, SolveControl};
+use mrf::trws::{Trws, TrwsOptions};
 
 use netmodel::assignment::Assignment;
 use netmodel::catalog::{Catalog, ProductSimilarity};
+use netmodel::constraints::{Constraint, ConstraintSet, Scope};
 use netmodel::delta::NetworkDelta;
 use netmodel::network::Network;
 use netmodel::partition::{extract_shard, partition_by_zone, ZonePartition};
@@ -80,12 +139,44 @@ use crate::{Error, Result};
 pub const DEFAULT_COORDINATION_ROUNDS: usize = 8;
 
 /// Kick budget of the default Strong-pass coordinator (a bounded ILS).
-/// The Strong pass doubles as the post-TRW-S polish stage: per-shard
-/// message-passing decodes leave a primal gap that iterated local search
-/// closes, so the sharded fixpoint typically lands *below* a plain
-/// single-engine solve, at a bounded one-time cost per cold solve or
-/// cross-topology change.
+/// The Strong pass's final polish round doubles as the post-TRW-S primal
+/// repair stage: per-shard message-passing decodes leave a primal gap that
+/// iterated local search closes, so the sharded fixpoint typically lands
+/// *below* a plain single-engine solve, at a bounded one-time cost per
+/// cold solve or cross-topology change.
 pub const DEFAULT_COORDINATOR_KICKS: usize = 20;
+
+/// Relative primal−dual gap at which the Strong pass's subgradient loop
+/// declares victory and stops: once `(P − D)/|P|` certifies the primal
+/// within 1%, further dual rounds buy nothing a report can state.
+pub const DUAL_GAP_TOLERANCE: f64 = 0.01;
+
+/// Initial subgradient step size `α₀` of the diminishing rule
+/// `α_t = α₀ / (1 + t)`. Similarities live in `[0, 1]` and the per-term
+/// slack the multipliers must close is a fraction of that, so a
+/// quarter-unit first step tracks it without the overshoot a unit step
+/// produces (a distorted λ wrecks every shard decode for several rounds).
+const DUAL_STEP: f64 = 0.25;
+
+/// Cap on the Strong pass's subgradient rounds. The loop's real stops are
+/// the gap tolerance and the patience rule — this cap only bounds
+/// pathological oscillation, so it is deliberately larger than
+/// [`DEFAULT_COORDINATION_ROUNDS`] (which governs the Light pass;
+/// `with_max_rounds(0)` still disables coordination entirely, and a larger
+/// explicit `max_rounds` raises this cap too).
+const DUAL_SUBGRADIENT_ROUNDS: usize = 48;
+
+/// Subgradient rounds without a dual-bound improvement before the Strong
+/// pass stops early — the subproblem solves are deterministic per `λ`, so
+/// a long-stalled bound means the multipliers are cycling, not converging.
+const DUAL_PATIENCE: usize = 6;
+
+/// Per-round TRW-S iteration cap for the dual subproblem solves. Each
+/// round only needs a good decode of the λ-augmented model (the dual value
+/// floors it with the warm primal labeling anyway), so capping trades
+/// per-round decode quality for round throughput; the cold solve that
+/// precedes coordination already did the expensive full pass.
+const DUAL_TRWS_ITERATIONS: usize = 40;
 
 /// What one sharded step (a delta burst, or an explicit solve) did.
 #[derive(Debug, Clone)]
@@ -124,6 +215,14 @@ pub struct ShardReport {
     /// The carried-forward global assignment itself (`None` on the first
     /// solve).
     pub carried: Option<Assignment>,
+    /// Dual value of the cross-link decomposition (module docs): the best
+    /// dual value any subgradient round achieved, guarded by the closing
+    /// certificate at the final `λ` (which is ≤ the primal by
+    /// construction). A lower bound on the full-network objective modulo
+    /// the shard solver as subproblem oracle — exact when shard solves
+    /// are. `None` when the step ran no Strong pass (skipped or Light
+    /// coordination).
+    pub dual_bound: Option<f64>,
     /// Wall-clock time of the coordination loop (zero when skipped).
     pub coordination_wall: Duration,
     /// Wall-clock time of the whole step.
@@ -136,6 +235,16 @@ impl ShardReport {
     /// coordination both only ever accept improvements.
     pub fn improvement(&self) -> Option<f64> {
         self.objective_before.map(|b| b - self.objective)
+    }
+
+    /// The certified relative optimality gap `(P − D) / |P|` between the
+    /// reported objective and [`ShardReport::dual_bound`], clamped at 0
+    /// (the closing certificate keeps the bound ≤ the primal; the clamp
+    /// absorbs floating-point dust when they coincide). `None` when no
+    /// Strong pass certified a bound this step.
+    pub fn certified_gap(&self) -> Option<f64> {
+        self.dual_bound
+            .map(|d| ((self.objective - d) / self.objective.abs().max(1e-9)).max(0.0))
     }
 }
 
@@ -151,7 +260,11 @@ impl fmt::Display for ShardReport {
             self.rounds,
             self.boundary_flips,
             self.total_wall,
-        )
+        )?;
+        if let Some(gap) = self.certified_gap() {
+            write!(f, " | gap {:.2}%", 100.0 * gap)?;
+        }
+        Ok(())
     }
 }
 
@@ -160,6 +273,12 @@ struct Shard {
     engine: DiversityEngine,
     /// Local host id → master host id (index = local id).
     to_global: Vec<HostId>,
+    /// Whether the shard's zone has drained to tombstones: the engine
+    /// released its model state ([`DiversityEngine::release_model`]) and
+    /// solves/compositions skip it. The slot itself stays — ids remain
+    /// resolvable and the next `AddHost` naming the zone revives it (cold
+    /// rebuild).
+    retired: bool,
 }
 
 /// How hard a step's boundary coordination works.
@@ -172,19 +291,79 @@ enum CoordinationMode {
     /// re-solve only the conditioned boundary region (cheap, the
     /// steady-state serving path).
     Light,
-    /// The cross structure changed or the engine is solving from cold:
-    /// proposals run [`MapSolver::refine_local`] on the shard's *full*
-    /// cross-augmented model, free to expand as far as flips carry
+    /// The cross structure changed or the engine is solving from cold: the
+    /// dual-decomposition subgradient loop runs (module docs), certifying
+    /// a primal−dual gap, followed by one full-model polish round
     /// (expensive, the quality path).
     Strong,
 }
 
+/// What one coordination pass reports back to the step.
+struct CoordTelemetry {
+    rounds: usize,
+    flips: usize,
+    wall: Duration,
+    objective: f64,
+    /// Best certified dual bound (Strong pass only).
+    dual_bound: Option<f64>,
+}
+
+/// The running primal state both coordination passes splice into: the
+/// composed global assignment plus the cached pieces of its objective
+/// (per-shard model energies, cross residual, total), kept consistent by
+/// [`ShardedEngine::try_splice`] so accepting a proposal costs one shard
+/// re-encode and one residual scan, not a full re-evaluation.
+struct SpliceState {
+    global: Assignment,
+    /// Per shard: its slice of `global` encoded into shard-model labels
+    /// (lazily filled — most shards never propose).
+    labels: Vec<Option<Vec<usize>>>,
+    shard_energies: Vec<f64>,
+    residual: f64,
+    total: f64,
+}
+
+/// One relaxed cross-shard term of the Strong pass: a (cross link, shared
+/// service) pair whose two endpoint slots are both free variables, carrying
+/// per-label Lagrange multipliers for each endpoint and the enumerated
+/// similarity table over the two candidate lists.
+struct DualEdge {
+    /// Owning shard and shard-model variable of endpoint `a`.
+    sa: usize,
+    va: VarId,
+    /// Per-label multipliers `λ_a` (len = `a`'s candidate count).
+    lambda_a: Vec<f64>,
+    sb: usize,
+    vb: VarId,
+    lambda_b: Vec<f64>,
+    /// Row-major `sim(candidate_a[xa], candidate_b[xb])`.
+    cost: Vec<f64>,
+}
+
+impl DualEdge {
+    /// The relaxed term's minimizer: `min_{x̂a,x̂b} cost − λ_a − λ_b` by
+    /// enumeration, with the argmin for the subgradient step.
+    fn minimize(&self) -> (f64, usize, usize) {
+        let lb = self.lambda_b.len();
+        let mut best = f64::INFINITY;
+        let (mut bxa, mut bxb) = (0, 0);
+        for xa in 0..self.lambda_a.len() {
+            for xb in 0..lb {
+                let v = self.cost[xa * lb + xb] - self.lambda_a[xa] - self.lambda_b[xb];
+                if v < best {
+                    best = v;
+                    bxa = xa;
+                    bxb = xb;
+                }
+            }
+        }
+        (best, bxa, bxb)
+    }
+}
+
 /// A zone-sharded diversity service over one evolving network (module
-/// docs).
-///
-/// The sharded engine is **unconstrained**: constraint sets are scoped to
-/// the single-engine pipeline ([`DiversityEngine::with_constraints`]) —
-/// remapping global constraint scopes into shard-local ones is future work.
+/// docs). Constraint sets split exactly across shards — see
+/// [`ShardedEngine::with_constraints`].
 pub struct ShardedEngine {
     master: Network,
     catalog: Catalog,
@@ -197,6 +376,13 @@ pub struct ShardedEngine {
     coordinator: Arc<dyn MapSolver>,
     max_rounds: usize,
     budget: Option<Duration>,
+    /// The full, unsplit constraint set — the `ALL`-scoped subset seeds
+    /// shards created later for new zones.
+    constraints: ConstraintSet,
+    /// From-scratch `partition_by_zone` recomputes since construction.
+    /// Stays 0: topology deltas replay incrementally onto the partition
+    /// (the field exists so tests and benches can assert exactly that).
+    partition_recomputes: u64,
     /// The composed global assignment of the last step.
     last: Option<Assignment>,
     /// Cached per-shard objective (model energy + base) of the current
@@ -229,6 +415,10 @@ struct RoutePlan {
     /// `(shard, local id)` per added host, in global-id order starting at
     /// the pre-batch master host count.
     new_hosts: Vec<(usize, HostId)>,
+    /// Zone labels (first-appearance order) for which the burst plans a
+    /// brand-new shard: planned shard index `shards.len() + i`. The shards
+    /// are created only after the whole burst validates.
+    new_zones: Vec<Option<String>>,
 }
 
 impl ShardedEngine {
@@ -252,6 +442,7 @@ impl ShardedEngine {
             shards.push(Shard {
                 engine: DiversityEngine::new(view.network, catalog.clone(), similarity.clone()),
                 to_global: view.to_global,
+                retired: false,
             });
         }
         let shard_count = shards.len();
@@ -268,6 +459,8 @@ impl ShardedEngine {
             })),
             max_rounds: DEFAULT_COORDINATION_ROUNDS,
             budget: None,
+            constraints: ConstraintSet::new(),
+            partition_recomputes: 0,
             last: None,
             shard_objectives: vec![0.0; shard_count],
         };
@@ -330,13 +523,78 @@ impl ShardedEngine {
         self
     }
 
-    fn map_engines(mut self, f: impl Fn(DiversityEngine) -> DiversityEngine) -> ShardedEngine {
+    /// Splits a global constraint set exactly across the shards (module
+    /// docs): host-scoped constraints remap to the owning shard's local
+    /// host ids, `ALL`-scoped constraints replicate to every shard —
+    /// including shards created later for new zones, which inherit the
+    /// `ALL` subset. The union realizes the same feasible set as handing
+    /// the whole set to one unsharded engine. Every shard re-solves cold
+    /// on the next step.
+    ///
+    /// # Errors
+    ///
+    /// All-or-nothing: [`Error::ShardRejected`] with `shard: None`, the
+    /// offending constraint's index, and an
+    /// [`netmodel::Error::UnknownHost`] cause when a host-scoped
+    /// constraint names a host outside the master network; no engine is
+    /// modified. (Constraints that *validate* but are unsatisfiable
+    /// surface at solve time as [`Error::Infeasible`], with the host id
+    /// remapped back to the master network.)
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> Result<ShardedEngine> {
+        for (index, c) in constraints.iter().enumerate() {
+            if let Some(h) = constraint_host(c) {
+                if h.index() >= self.locator.len() {
+                    return Err(Error::ShardRejected {
+                        shard: None,
+                        index,
+                        cause: netmodel::Error::UnknownHost(h),
+                    });
+                }
+            }
+        }
+        let mut per_shard: Vec<ConstraintSet> = vec![ConstraintSet::new(); self.shards.len()];
+        for c in constraints.iter() {
+            match constraint_host(c) {
+                Some(h) => {
+                    let (s, local) = self.locator[h.index()];
+                    per_shard[s].push(remap_constraint(c.clone(), local));
+                }
+                None => {
+                    for set in per_shard.iter_mut() {
+                        set.push(c.clone());
+                    }
+                }
+            }
+        }
+        let mut sets = per_shard.into_iter();
+        self = self.map_engines(|e| {
+            e.with_constraints(sets.next().expect("one constraint set per shard"))
+        });
+        self.constraints = constraints;
+        self.last = None;
+        self.shard_objectives.iter_mut().for_each(|o| *o = 0.0);
+        Ok(self)
+    }
+
+    /// The `ALL`-scoped subset of the stored constraint set — what a shard
+    /// created for a new zone starts under.
+    fn all_scoped_constraints(&self) -> ConstraintSet {
+        self.constraints
+            .iter()
+            .filter(|c| constraint_host(c).is_none())
+            .cloned()
+            .collect()
+    }
+
+    fn map_engines(mut self, f: impl FnMut(DiversityEngine) -> DiversityEngine) -> ShardedEngine {
+        let mut f = f;
         self.shards = self
             .shards
             .into_iter()
             .map(|s| Shard {
                 engine: f(s.engine),
                 to_global: s.to_global,
+                retired: s.retired,
             })
             .collect();
         self
@@ -362,9 +620,40 @@ impl ShardedEngine {
         &self.partition
     }
 
-    /// Number of shards.
+    /// Number of shards, retired ones included (shard indices are stable
+    /// for the engine's lifetime).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Whether a shard's zone has drained to tombstones and its engine
+    /// released its model state (module docs: zone lifecycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_retired(&self, shard: usize) -> bool {
+        self.shards[shard].retired
+    }
+
+    /// From-scratch partition recomputes since construction. Always 0:
+    /// topology bursts replay incrementally onto the maintained
+    /// [`ZonePartition`] — the accessor exists so tests and benches can
+    /// pin that down rather than trust the docs.
+    pub fn partition_recomputes(&self) -> u64 {
+        self.partition_recomputes
+    }
+
+    /// Roll-up of every shard engine's memory-footprint drivers
+    /// ([`DiversityEngine::footprint`]): `(interned domains, cached cost
+    /// matrices)`, summed. Retired shards contribute 0 — retiring a zone
+    /// releases its interned model state — so the roll-up tracks the
+    /// *live* deployment even under zone churn.
+    pub fn footprint(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(d, c), s| {
+            let (sd, sc) = s.engine.footprint();
+            (d + sd, c + sc)
+        })
     }
 
     /// The master-network revision.
@@ -398,7 +687,9 @@ impl ShardedEngine {
         let start = Instant::now();
         let carried = self.last.clone();
         let cached_previous = self.shard_objectives.clone();
-        let (reports, walls) = self.run_shards(None).map_err(|(_, e)| e)?;
+        let (reports, walls) = self
+            .run_shards(None)
+            .map_err(|(s, e)| self.remap_local_error(s, e))?;
         self.refresh_cached_objectives(&reports);
         let current = self.compose();
         let (coordinated, coordination_changed, telemetry) =
@@ -439,20 +730,24 @@ impl ShardedEngine {
     /// Absorbs a delta burst: validates it against the master network
     /// (all-or-nothing), routes each delta to its owning shard (cross-shard
     /// link deltas update the master and the partition only), lets the
-    /// touched shards absorb their sub-batches in parallel, and runs the
-    /// boundary-coordination loop when the burst could have affected other
-    /// shards (module docs).
+    /// touched shards absorb their sub-batches in parallel, replays the
+    /// burst's topology changes onto the maintained partition (no
+    /// from-scratch recompute), and runs the boundary-coordination loop
+    /// when the burst could have affected other shards (module docs).
+    ///
+    /// Zone lifecycle: an `AddHost` naming a zone no shard owns creates a
+    /// new shard for it (inheriting the engine configuration and the
+    /// `ALL`-scoped constraints); a `RemoveHost` draining a zone's last
+    /// live host retires its shard, releasing the engine's model state.
     ///
     /// An empty batch degenerates to [`ShardedEngine::solve`].
     ///
     /// # Errors
     ///
-    /// * [`Error::ShardRejected`] — a delta failed validation, reported
-    ///   with its position in the caller's burst and the id of the shard
-    ///   that owns it (`None` for cross-shard link deltas); the engine is
-    ///   untouched.
-    /// * [`Error::UnknownZone`] — an `AddHost` delta names a zone no shard
-    ///   owns; the engine is untouched.
+    /// [`Error::ShardRejected`] — a delta failed validation, reported with
+    /// its position in the caller's burst and the id of the shard that
+    /// owns it (`None` for cross-shard link deltas); the engine is
+    /// untouched.
     pub fn apply_batch(&mut self, deltas: &[NetworkDelta]) -> Result<ShardReport> {
         if deltas.is_empty() {
             return self.solve();
@@ -472,6 +767,8 @@ impl ShardedEngine {
             )
         });
         let plan = self.route(deltas)?;
+        let base_global = self.master.host_count();
+        let pre_shards = self.shards.len();
         let cached_previous = self.shard_objectives.clone();
         let old_cross = self.partition.cross_links().to_vec();
         let old_boundary_rows = self.boundary_rows();
@@ -499,9 +796,10 @@ impl ShardedEngine {
                     }
                 }
             }
+            debug_assert!(plan.new_zones.is_empty(), "slot deltas never add zones");
             let (reports, walls) = self
                 .run_shards(Some(&plan.per_shard))
-                .map_err(|(s, e)| remap_shard_error(&plan, s, e))?;
+                .map_err(|(s, e)| remap_shard_error(&plan, s, self.remap_local_error(s, e)))?;
             let effect = self
                 .master
                 .apply_all(deltas, &self.catalog)
@@ -512,11 +810,28 @@ impl ShardedEngine {
             let effect = staged
                 .apply_all(deltas, &self.catalog)
                 .map_err(|e| attribute_master_error(&plan, e))?;
-            let (reports, walls) = self
+            // The burst validated against the full network: create the
+            // shards its new zones need (empty sub-networks inheriting
+            // this engine's configuration — the routed `AddHost` deltas
+            // populate them next). On the never-expected late shard
+            // failure the fresh shards are dropped again, restoring the
+            // engine-untouched contract.
+            for _ in &plan.new_zones {
+                self.push_new_shard();
+            }
+            match self
                 .run_shards(Some(&plan.per_shard))
-                .map_err(|(s, e)| remap_shard_error(&plan, s, e))?;
-            self.master = staged;
-            (reports, walls, effect)
+                .map_err(|(s, e)| remap_shard_error(&plan, s, self.remap_local_error(s, e)))
+            {
+                Ok((reports, walls)) => {
+                    self.master = staged;
+                    (reports, walls, effect)
+                }
+                Err(e) => {
+                    self.shards.truncate(pre_shards);
+                    return Err(e);
+                }
+            }
         };
         // Every fallible step is behind us: from here on the burst commits.
         // Move the previous assignment out instead of cloning it — it
@@ -525,10 +840,17 @@ impl ShardedEngine {
         // it any earlier would leak it on a rejected burst, breaking the
         // engine-is-untouched error contract.)
         let carried_previous = self.last.take();
+        self.shard_objectives.resize(self.shards.len(), 0.0);
         self.refresh_cached_objectives(&reports);
+        // A retired shard that absorbed part of the burst (an `AddHost`
+        // naming its drained zone) is live again.
+        for &s in &shards_touched {
+            self.shards[s].retired = false;
+        }
 
-        // Commit id mappings and the partition (the partition is a pure
-        // function of links and zones — slot-only bursts reuse it).
+        // Commit id mappings and the partition. Topology deltas replay
+        // incrementally onto the maintained partition — never a
+        // from-scratch recompute (slot-only bursts reuse it untouched).
         for (i, &(shard, local)) in plan.new_hosts.iter().enumerate() {
             debug_assert_eq!(self.shards[shard].to_global.len(), local.index());
             let global = HostId(self.locator.len() as u32);
@@ -540,9 +862,38 @@ impl ShardedEngine {
             self.shards[shard].to_global.push(global);
         }
         if effect.topology_changed {
-            self.partition = partition_by_zone(&self.master);
+            self.replay_partition(deltas, base_global);
             self.refresh_pinned();
         }
+
+        // The carried composition — built *before* coordination, while the
+        // shard engines still hold their pre-coordination solves: touched
+        // shards contribute their projected old assignment, untouched
+        // shards their (unchanged) previous one. A shard born (or revived
+        // from empty) this very burst has nothing to carry — its own cold
+        // solve is the baseline, so the carry includes the new hosts'
+        // energy and cross links and `improvement()` measures only what
+        // re-solving and coordination bought on top.
+        let carried = carried_previous.map(|previous| {
+            let mut rows = previous.into_slots();
+            rows.resize(self.master.host_count(), Vec::new());
+            for (s, report) in reports.iter().enumerate() {
+                let Some(report) = report else { continue };
+                let fresh = self.shards[s].engine.assignment();
+                let shard_carried = match (&report.carried, fresh) {
+                    (Some(carried), _) => carried,
+                    (None, Some(cold)) => cold,
+                    (None, None) => continue,
+                };
+                for (local, &global) in self.shards[s].to_global.iter().enumerate() {
+                    rows[global.index()] = shard_carried.products_at(HostId(local as u32)).to_vec();
+                }
+            }
+            Assignment::from_slots(rows)
+        });
+        let objective_before = carried
+            .as_ref()
+            .map(|c| self.carried_objective(&cached_previous, &reports, c));
 
         // Coordinate only when the burst could have leaked across shards —
         // and only as hard as the leak warrants: a rewired cross structure
@@ -593,30 +944,31 @@ impl ShardedEngine {
         let stale_filter = (!(touched_boundary || boundary_label_changed)
             && mode == CoordinationMode::Light)
             .then_some(stale.as_slice());
+        // A rewired cross structure can strand the local solves above the
+        // carried composition: a fresh boundary host is labeled blind to
+        // its cross links, and the Strong pass is allowed to stop within
+        // its gap tolerance without clawing that back. Seed coordination
+        // with the better of the two states, so a step never ends worse
+        // than carrying forward. (Strong-only: the extra full-network
+        // evaluation is noise next to the dual pass, and without a cross
+        // rewire the pinned boundaries make local solves monotone against
+        // the carry already.)
+        let (current, seeded_carry) = match (&carried, objective_before) {
+            (Some(carry), Some(before))
+                if mode == CoordinationMode::Strong
+                    && before < self.global_objective(&current) - 1e-12 =>
+            {
+                (carry.clone(), true)
+            }
+            _ => (current, false),
+        };
         let (coordinated, coordination_changed, telemetry) =
             self.coordinate(current, mode, stale_filter);
-        self.commit_assignment(coordinated, coordination_changed);
+        // A carry seed means the committed assignment differs from the
+        // shard engines' own re-solves even when coordination spliced
+        // nothing — force the write-back sync.
+        self.commit_assignment(coordinated, coordination_changed || seeded_carry);
 
-        // The carried composition: touched shards contribute their
-        // projected old assignment, untouched shards their (unchanged)
-        // previous one.
-        let carried = carried_previous.map(|previous| {
-            let mut rows = previous.into_slots();
-            rows.resize(self.master.host_count(), Vec::new());
-            for (s, report) in reports.iter().enumerate() {
-                let Some(report) = report else { continue };
-                if let Some(shard_carried) = &report.carried {
-                    for (local, &global) in self.shards[s].to_global.iter().enumerate() {
-                        rows[global.index()] =
-                            shard_carried.products_at(HostId(local as u32)).to_vec();
-                    }
-                }
-            }
-            Assignment::from_slots(rows)
-        });
-        let objective_before = carried
-            .as_ref()
-            .map(|c| self.carried_objective(&cached_previous, &reports, c));
         Ok(self.report(
             effect.applied,
             shards_touched,
@@ -636,6 +988,9 @@ impl ShardedEngine {
     pub fn global_objective(&self, assignment: &Assignment) -> f64 {
         let mut total = self.cross_residual(assignment);
         for (s, shard) in self.shards.iter().enumerate() {
+            if shard.retired {
+                continue;
+            }
             let energy = shard.engine.energy();
             let labels = self.encode_shard(s, assignment);
             total += energy.model().energy(&labels) + energy.base_energy();
@@ -663,7 +1018,10 @@ impl ShardedEngine {
     /// The global objective of the carried composition, from cached parts:
     /// shards that re-solved contribute the carried objective their own
     /// report measured; untouched shards contribute their pre-step cached
-    /// objective (their model and labels did not move).
+    /// objective (their model and labels did not move). A shard whose
+    /// report has no carry cold-solved this burst (it was just created or
+    /// revived): its own solve is its baseline, matching the carried
+    /// assignment's fallback above.
     fn carried_objective(
         &self,
         cached_previous: &[f64],
@@ -671,10 +1029,11 @@ impl ShardedEngine {
         carried: &Assignment,
     ) -> f64 {
         let mut total = self.cross_residual(carried);
-        for s in 0..self.shards.len() {
-            total += match &reports[s] {
-                Some(report) => report.objective_before.unwrap_or(cached_previous[s]),
-                None => cached_previous[s],
+        for (s, report) in reports.iter().enumerate() {
+            let cached = cached_previous.get(s).copied().unwrap_or(0.0);
+            total += match report {
+                Some(report) => report.objective_before.unwrap_or(report.objective_after),
+                None => cached,
             };
         }
         total
@@ -720,6 +1079,10 @@ impl ShardedEngine {
                 .enumerate()
                 .map(|(s, shard)| {
                     let work: Option<Option<&[NetworkDelta]>> = match batches {
+                        // A retired shard has no live hosts and no model —
+                        // a full solve skips it (a non-empty sub-batch,
+                        // the revival path, still runs below).
+                        None if shard.retired => None,
                         None => Some(None),
                         Some(per_shard) if !per_shard[s].is_empty() => {
                             Some(Some(per_shard[s].as_slice()))
@@ -761,13 +1124,16 @@ impl ShardedEngine {
     }
 
     /// Splits a burst into per-shard local sub-batches (host ids
-    /// remapped), leaving cross-shard link deltas to the master. Rejects
-    /// unknown zones and out-of-range host references; everything else is
-    /// validated by the shard (and, for structural bursts, master) apply.
+    /// remapped), leaving cross-shard link deltas to the master. An
+    /// `AddHost` naming a zone no shard owns plans a brand-new shard
+    /// (`new_zones`); the shard is created only once the burst validates.
+    /// Rejects out-of-range host references; everything else is validated
+    /// by the shard (and, for structural bursts, master) apply.
     fn route(&self, deltas: &[NetworkDelta]) -> Result<RoutePlan> {
         let mut per_shard: Vec<Vec<NetworkDelta>> = vec![Vec::new(); self.shards.len()];
         let mut per_shard_indices: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         let mut new_hosts: Vec<(usize, HostId)> = Vec::new();
+        let mut new_zones: Vec<Option<String>> = Vec::new();
         let mut next_local: Vec<u32> = self
             .shards
             .iter()
@@ -793,10 +1159,21 @@ impl ShardedEngine {
                     services,
                     links,
                 } => {
-                    let shard = self
-                        .partition
-                        .shard_of_zone(zone.as_deref())
-                        .ok_or_else(|| Error::UnknownZone { zone: zone.clone() })?;
+                    let shard = match self.partition.shard_of_zone(zone.as_deref()) {
+                        Some(s) => s,
+                        // Zone lifecycle (module docs): an unknown zone
+                        // plans a new shard at the next free index.
+                        None => match new_zones.iter().position(|z| z == zone) {
+                            Some(i) => self.shards.len() + i,
+                            None => {
+                                new_zones.push(zone.clone());
+                                per_shard.push(Vec::new());
+                                per_shard_indices.push(Vec::new());
+                                next_local.push(0);
+                                self.shards.len() + new_zones.len() - 1
+                            }
+                        },
+                    };
                     // Same-shard links join the shard sub-network; links to
                     // other shards exist only in the master and surface as
                     // cross links (boundary promotion) after the commit.
@@ -878,17 +1255,119 @@ impl ShardedEngine {
             per_shard,
             per_shard_indices,
             new_hosts,
+            new_zones,
         })
+    }
+
+    /// Appends a brand-new shard for a zone the current burst introduces:
+    /// an engine over the empty sub-network, inheriting this engine's
+    /// solver/refiner/budget/locality configuration and the `ALL`-scoped
+    /// constraints. The burst's routed `AddHost` deltas populate it in the
+    /// same step.
+    fn push_new_shard(&mut self) {
+        let view = extract_shard(&self.master, &[]);
+        let engine = match self.shards.first() {
+            Some(template) => template.engine.configured_like(
+                view.network,
+                self.catalog.clone(),
+                self.similarity.clone(),
+            ),
+            None => {
+                let mut engine = DiversityEngine::new(
+                    view.network,
+                    self.catalog.clone(),
+                    self.similarity.clone(),
+                );
+                if let Some(budget) = self.budget {
+                    engine = engine.with_time_budget(budget);
+                }
+                engine
+            }
+        };
+        self.shards.push(Shard {
+            // `configured_like` copies the template's constraint set, which
+            // includes host-scoped locals of the *template's* zone; a new
+            // zone starts under the `ALL`-scoped subset only.
+            engine: engine.with_constraints(self.all_scoped_constraints()),
+            to_global: view.to_global,
+            retired: false,
+        });
+    }
+
+    /// Retires a drained shard (module docs: zone lifecycle): the engine
+    /// releases its interned model state, and solves/compositions skip the
+    /// slot until an `AddHost` naming the zone revives it.
+    fn retire_shard(&mut self, s: usize) {
+        self.shards[s].retired = true;
+        self.shards[s].engine.release_model();
+        self.shard_objectives[s] = 0.0;
+    }
+
+    /// Replays a committed burst's topology deltas onto the maintained
+    /// partition, in burst order — incremental boundary promotion and
+    /// demotion, O(touched · degree), never a from-scratch recompute. A
+    /// `RemoveHost` draining a zone's last live host retires its shard on
+    /// the spot. `next_global` is the master host count *before* the burst:
+    /// the k-th `AddHost` owns global id `next_global + k`, matching the
+    /// locator commit.
+    fn replay_partition(&mut self, deltas: &[NetworkDelta], mut next_global: usize) {
+        for delta in deltas {
+            match delta {
+                NetworkDelta::AddHost { zone, links, .. } => {
+                    let host = HostId(next_global as u32);
+                    next_global += 1;
+                    let (shard, _) = self.partition.add_host(host, zone.as_deref());
+                    debug_assert!(
+                        shard < self.shards.len(),
+                        "partition zone creation tracks the routed shard creation"
+                    );
+                    for &peer in links {
+                        self.partition.add_link(host, peer);
+                    }
+                }
+                NetworkDelta::RemoveHost { host } => {
+                    let shard = self.partition.shard_of(*host);
+                    if self.partition.remove_host(*host) == 0 {
+                        let shard = shard.expect("removed host was live in the partition");
+                        self.retire_shard(shard);
+                    }
+                }
+                NetworkDelta::AddLink { a, b } => self.partition.add_link(*a, *b),
+                NetworkDelta::RemoveLink { a, b } => self.partition.remove_link(*a, *b),
+                _ => {}
+            }
+        }
+    }
+
+    /// Maps a shard-local solve error's host ids back to master ids —
+    /// [`Error::Infeasible`] is the one solve-time error naming a host.
+    fn remap_local_error(&self, s: usize, e: Error) -> Error {
+        match e {
+            Error::Infeasible { host, service } => Error::Infeasible {
+                host: self.shards[s]
+                    .to_global
+                    .get(host.index())
+                    .copied()
+                    .unwrap_or(host),
+                service,
+            },
+            other => other,
+        }
     }
 
     /// Composes the global assignment from the shards' current ones.
     fn compose(&self) -> Assignment {
         let mut rows: Vec<Vec<netmodel::ProductId>> = vec![Vec::new(); self.master.host_count()];
         for shard in &self.shards {
+            if shard.retired {
+                // A drained zone's hosts are tombstones in the master:
+                // their rows stay empty, same as the unsharded engine's.
+                continue;
+            }
             let assignment = shard
                 .engine
                 .assignment()
-                .expect("compose runs only after every shard has solved");
+                .expect("compose runs only after every live shard has solved");
             for (local, &global) in shard.to_global.iter().enumerate() {
                 rows[global.index()] = assignment.products_at(HostId(local as u32)).to_vec();
             }
@@ -1179,142 +1658,143 @@ impl ShardedEngine {
         builder.build()
     }
 
-    /// The boundary-coordination loop (module docs). Returns the (possibly
-    /// improved) global assignment, whether any proposal was accepted, and
-    /// `(rounds, boundary flips, wall, objective)`; syncs the cached
-    /// per-shard objectives. With mode `Skip` (or no cross links, or a
-    /// zero round cap) it only evaluates the objective from the cached
-    /// parts. `stale`, when given, restricts the *first* round's proposals
-    /// to the flagged shards — the only ones whose boundary best-response
-    /// can have changed; an accepted proposal re-opens every shard for the
-    /// following rounds.
-    #[allow(clippy::type_complexity)]
+    /// The boundary-coordination dispatcher (module docs). Returns the
+    /// (possibly improved) global assignment, whether any proposal was
+    /// accepted, and the pass telemetry; syncs the cached per-shard
+    /// objectives. With mode `Skip` (or no cross links, or a zero round
+    /// cap) it only evaluates the objective from the cached parts.
+    /// `stale`, when given, restricts the Light pass's first-round
+    /// proposals to the flagged shards — the only ones whose boundary
+    /// best-response can have changed; an accepted proposal re-opens every
+    /// shard for the following rounds.
     fn coordinate(
         &mut self,
         current: Assignment,
         mode: CoordinationMode,
         stale: Option<&[bool]>,
-    ) -> (Assignment, bool, (usize, usize, Duration, f64)) {
+    ) -> (Assignment, bool, CoordTelemetry) {
         let wall = Instant::now();
-        let mut global = current;
         if mode == CoordinationMode::Skip
             || self.partition.cross_links().is_empty()
             || self.max_rounds == 0
         {
             let objective =
-                self.shard_objectives.iter().sum::<f64>() + self.cross_residual(&global);
-            return (global, false, (0, 0, wall.elapsed(), objective));
+                self.shard_objectives.iter().sum::<f64>() + self.cross_residual(&current);
+            return (
+                current,
+                false,
+                CoordTelemetry {
+                    rounds: 0,
+                    flips: 0,
+                    wall: wall.elapsed(),
+                    objective,
+                    dual_bound: None,
+                },
+            );
         }
+        let residual = self.cross_residual(&current);
+        let shard_energies = self.shard_objectives.clone();
+        let total = shard_energies.iter().sum::<f64>() + residual;
+        let mut st = SpliceState {
+            global: current,
+            labels: vec![None; self.shards.len()],
+            shard_energies,
+            residual,
+            total,
+        };
+        let (any_accepted, rounds, flips, dual_bound) = match mode {
+            CoordinationMode::Strong => self.coordinate_dual(&mut st),
+            _ => self.coordinate_light(&mut st, stale),
+        };
+        self.shard_objectives = st.shard_energies;
+        (
+            st.global,
+            any_accepted,
+            CoordTelemetry {
+                rounds,
+                flips,
+                wall: wall.elapsed(),
+                objective: st.total,
+                dual_bound,
+            },
+        )
+    }
+
+    /// Splices one shard's proposed labeling into the running primal
+    /// state, accepted only on strict global improvement — the
+    /// monotonicity guarantee every pass shares. Returns the number of
+    /// boundary hosts the accepted proposal moved (`None`: rejected, or a
+    /// no-op proposal).
+    fn try_splice(&self, st: &mut SpliceState, s: usize, proposal: Vec<usize>) -> Option<usize> {
+        if st.labels[s].is_none() {
+            st.labels[s] = Some(self.encode_shard(s, &st.global));
+        }
+        if Some(&proposal) == st.labels[s].as_ref() {
+            return None;
+        }
+        let energy = self.shards[s].engine.energy();
+        let candidate_shard_energy = energy.model().energy(&proposal) + energy.base_energy();
+        let local_rows = energy.decode(&proposal);
+        let mut candidate_rows = st.global.clone().into_slots();
+        candidate_rows.resize(self.master.host_count(), Vec::new());
+        for (local, &g) in self.shards[s].to_global.iter().enumerate() {
+            candidate_rows[g.index()] = local_rows.products_at(HostId(local as u32)).to_vec();
+        }
+        let candidate = Assignment::from_slots(candidate_rows);
+        let candidate_residual = self.cross_residual(&candidate);
+        let candidate_total = st.total - st.shard_energies[s] - st.residual
+            + candidate_shard_energy
+            + candidate_residual;
+        if candidate_total >= st.total - 1e-12 {
+            return None;
+        }
+        let flips = self
+            .partition
+            .boundary_of_shard(s)
+            .filter(|&h| st.global.products_at(h) != candidate.products_at(h))
+            .count();
+        st.labels[s] = Some(proposal);
+        st.shard_energies[s] = candidate_shard_energy;
+        st.residual = candidate_residual;
+        st.total = candidate_total;
+        st.global = candidate;
+        Some(flips)
+    }
+
+    /// The Light pass: rounds of greedy in-place boundary sweeps, run
+    /// inline — this sits on every burst's serving path, where thread
+    /// spawns would cost more than the work. Each shard re-responds to its
+    /// neighbors' frozen labels; the pass stops on the first round with no
+    /// accepted proposal.
+    fn coordinate_light(
+        &self,
+        st: &mut SpliceState,
+        stale: Option<&[bool]>,
+    ) -> (bool, usize, usize, Option<f64>) {
         let shard_count = self.shards.len();
-        let mut labels: Vec<Option<Vec<usize>>> = vec![None; shard_count];
-        let mut shard_energies = self.shard_objectives.clone();
-        let mut residual = self.cross_residual(&global);
-        let mut total: f64 = shard_energies.iter().sum::<f64>() + residual;
         let boundary_entries: Vec<_> = (0..shard_count).map(|s| self.boundary_entries(s)).collect();
         let mut rounds = 0usize;
         let mut flips = 0usize;
         let mut any_accepted = false;
         for round in 0..self.max_rounds {
             rounds += 1;
-            // A fresh control per round: the configured wall-clock budget
-            // bounds each round's proposal solves, not the whole loop.
-            let ctl = self.control();
-            let proposes = |s: usize| {
-                !boundary_entries[s].is_empty() && (round > 0 || stale.is_none_or(|st| st[s]))
-            };
-            for s in (0..shard_count).filter(|&s| proposes(s)) {
-                if labels[s].is_none() {
-                    labels[s] = Some(self.encode_shard(s, &global));
-                }
-            }
-            // Proposals: each boundary shard re-solves against its
-            // neighbors' frozen labels. Strong mode refines the full
-            // cross-augmented shard model on parallel threads (quality);
-            // Light mode runs a greedy in-place boundary sweep inline —
-            // it sits on every burst's serving path, and at that size
-            // thread spawns would cost more than the work.
-            let mut proposals: Vec<Option<Vec<usize>>> = vec![None; shard_count];
-            match mode {
-                CoordinationMode::Strong => {
-                    std::thread::scope(|scope| {
-                        let handles: Vec<_> = (0..shard_count)
-                            .map(|s| {
-                                if !proposes(s) {
-                                    return None;
-                                }
-                                let start_labels = labels[s].clone().expect("encoded above");
-                                let global_ref = &global;
-                                let coordinator = Arc::clone(&self.coordinator);
-                                let ctl = ctl.clone();
-                                let this = &*self;
-                                let frontier: Vec<VarId> =
-                                    boundary_entries[s].iter().map(|e| e.0).collect();
-                                Some(scope.spawn(move || {
-                                    let augmented = this.augmented_full_model(s, global_ref);
-                                    coordinator
-                                        .refine_local(&augmented, start_labels, &frontier, &ctl)
-                                        .solution
-                                        .labels()
-                                        .to_vec()
-                                }))
-                            })
-                            .collect();
-                        for (s, handle) in handles.into_iter().enumerate() {
-                            if let Some(handle) = handle {
-                                proposals[s] =
-                                    Some(handle.join().expect("proposal does not panic"));
-                            }
-                        }
-                    });
-                }
-                _ => {
-                    for s in 0..shard_count {
-                        if !proposes(s) {
-                            continue;
-                        }
-                        proposals[s] = Some(self.light_proposal(
-                            s,
-                            labels[s].as_ref().expect("encoded above"),
-                            &global,
-                            &boundary_entries[s],
-                        ));
-                    }
-                }
-            }
-            // Sequential splice, accepted only on strict global
-            // improvement — the monotonicity guarantee.
             let mut accepted = 0usize;
-            for (s, proposal) in proposals.into_iter().enumerate() {
-                let Some(proposal) = proposal else { continue };
-                if Some(&proposal) == labels[s].as_ref() {
+            for s in 0..shard_count {
+                let skip_fresh = round == 0 && !stale.is_none_or(|f| f[s]);
+                if boundary_entries[s].is_empty() || skip_fresh {
                     continue;
                 }
-                let energy = self.shards[s].engine.energy();
-                let candidate_shard_energy =
-                    energy.model().energy(&proposal) + energy.base_energy();
-                let local_rows = energy.decode(&proposal);
-                let mut candidate_rows = global.clone().into_slots();
-                candidate_rows.resize(self.master.host_count(), Vec::new());
-                for (local, &g) in self.shards[s].to_global.iter().enumerate() {
-                    candidate_rows[g.index()] =
-                        local_rows.products_at(HostId(local as u32)).to_vec();
+                if st.labels[s].is_none() {
+                    st.labels[s] = Some(self.encode_shard(s, &st.global));
                 }
-                let candidate = Assignment::from_slots(candidate_rows);
-                let candidate_residual = self.cross_residual(&candidate);
-                let candidate_total = total - shard_energies[s] - residual
-                    + candidate_shard_energy
-                    + candidate_residual;
-                if candidate_total < total - 1e-12 {
-                    flips += self
-                        .partition
-                        .boundary_of_shard(s)
-                        .filter(|&h| global.products_at(h) != candidate.products_at(h))
-                        .count();
-                    labels[s] = Some(proposal);
-                    shard_energies[s] = candidate_shard_energy;
-                    residual = candidate_residual;
-                    total = candidate_total;
-                    global = candidate;
+                let proposal = self.light_proposal(
+                    s,
+                    st.labels[s].as_ref().expect("encoded above"),
+                    &st.global,
+                    &boundary_entries[s],
+                );
+                if let Some(f) = self.try_splice(st, s, proposal) {
+                    flips += f;
                     accepted += 1;
                 }
             }
@@ -1323,8 +1803,356 @@ impl ShardedEngine {
             }
             any_accepted = true;
         }
-        self.shard_objectives = shard_energies;
-        (global, any_accepted, (rounds, flips, wall.elapsed(), total))
+        (any_accepted, rounds, flips, None)
+    }
+
+    /// The Strong pass: dual decomposition over the cross-shard links
+    /// (module docs), then one full-model polish round. Each subgradient
+    /// round solves every λ-touched shard in parallel with a capped TRW-S
+    /// on its multiplier-augmented model (an in-place [`UnaryOverlay`] —
+    /// no clone), sums the certified lower bounds with the relaxed
+    /// cross-term minima into the dual value `D`, recovers a primal
+    /// candidate through the improve-only splice, and steps the
+    /// multipliers along the subgradient. Returns the best certified `D`
+    /// as the dual bound.
+    fn coordinate_dual(&mut self, st: &mut SpliceState) -> (bool, usize, usize, Option<f64>) {
+        let shard_count = self.shards.len();
+        let boundary_entries: Vec<_> = (0..shard_count).map(|s| self.boundary_entries(s)).collect();
+        // Boundary slot variables by (host, service) — the endpoints a
+        // relaxed cross term duplicates.
+        #[allow(clippy::type_complexity)]
+        let slot_index: BTreeMap<
+            (HostId, netmodel::ServiceId),
+            (usize, VarId, Arc<Vec<netmodel::ProductId>>),
+        > = boundary_entries
+            .iter()
+            .enumerate()
+            .flat_map(|(s, entries)| {
+                entries.iter().map(move |(var, host, service, candidates)| {
+                    ((*host, *service), (s, *var, Arc::clone(candidates)))
+                })
+            })
+            .collect();
+        // Decompose the cross residual term by term, mirroring
+        // `Assignment::edge_similarity`: per cross link (a, b) and service
+        // of `a` that `b` also runs, one similarity term. Both endpoints
+        // free → a relaxed dual edge; one free → an exact constant fold
+        // into the free side's unaries (the fixed side cannot move); none
+        // free → a constant.
+        let mut edges: Vec<DualEdge> = Vec::new();
+        let mut fixed_addons: Vec<BTreeMap<usize, Vec<f64>>> = vec![BTreeMap::new(); shard_count];
+        let mut constant = 0.0f64;
+        for &(a, b) in self.partition.cross_links() {
+            let Ok(host_a) = self.master.host(a) else {
+                continue;
+            };
+            for (slot, inst) in host_a.services().iter().enumerate() {
+                let service = inst.service();
+                let pb_now = st.global.product_for(&self.master, b, service);
+                if pb_now.is_none() {
+                    continue; // `b` does not run the service: no term.
+                }
+                let pa_now = st.global.products_at(a).get(slot).copied();
+                match (slot_index.get(&(a, service)), slot_index.get(&(b, service))) {
+                    (Some((sa, va, ca)), Some((sb, vb, cb))) => {
+                        let mut cost = Vec::with_capacity(ca.len() * cb.len());
+                        for &pa in ca.iter() {
+                            for &pb in cb.iter() {
+                                cost.push(self.similarity.get(pa, pb));
+                            }
+                        }
+                        edges.push(DualEdge {
+                            sa: *sa,
+                            va: *va,
+                            lambda_a: vec![0.0; ca.len()],
+                            sb: *sb,
+                            vb: *vb,
+                            lambda_b: vec![0.0; cb.len()],
+                            cost,
+                        });
+                    }
+                    (Some((sa, va, ca)), None) => {
+                        let pb = pb_now.expect("checked above");
+                        let row = fixed_addons[*sa]
+                            .entry(va.0)
+                            .or_insert_with(|| vec![0.0; ca.len()]);
+                        for (x, &pa) in ca.iter().enumerate() {
+                            row[x] += self.similarity.get(pa, pb);
+                        }
+                    }
+                    (None, Some((sb, vb, cb))) => {
+                        let Some(pa) = pa_now else { continue };
+                        let row = fixed_addons[*sb]
+                            .entry(vb.0)
+                            .or_insert_with(|| vec![0.0; cb.len()]);
+                        for (x, &pb) in cb.iter().enumerate() {
+                            row[x] += self.similarity.get(pa, pb);
+                        }
+                    }
+                    (None, None) => {
+                        if let (Some(pa), Some(pb)) = (pa_now, pb_now) {
+                            constant += self.similarity.get(pa, pb);
+                        }
+                    }
+                }
+            }
+        }
+        // Only shards a multiplier reaches need re-solving after round 0 —
+        // every other subproblem is λ-invariant, so its round-0 bound is
+        // cached and reused.
+        let mut touched = vec![false; shard_count];
+        for e in &edges {
+            touched[e.sa] = true;
+            touched[e.sb] = true;
+        }
+        let ctl = self.control();
+        // Per shard: its latest (oracle subproblem value, base energy)
+        // contribution to the dual value. The oracle value is the best
+        // λ-augmented energy the shard's solver found — an upper bound on
+        // the true subproblem minimum that is guaranteed ≤ the current
+        // primal labeling's augmented energy (the solve is seeded with it),
+        // which is what keeps `D ≤ P` (module docs).
+        let mut contrib: Vec<Option<(f64, f64)>> = vec![None; shard_count];
+        let mut prev_dual = f64::NEG_INFINITY;
+        let mut rounds = 0usize;
+        let mut flips = 0usize;
+        let mut any_accepted = false;
+        let mut stall = 0usize;
+        for t in 0..DUAL_SUBGRADIENT_ROUNDS.max(self.max_rounds) {
+            rounds += 1;
+            // Addon rows per shard: the λ-independent fixed-peer folds,
+            // then one row per dual-edge endpoint (the overlay stacks
+            // repeated variables).
+            let mut addons: Vec<Vec<(VarId, Vec<f64>)>> = fixed_addons
+                .iter()
+                .map(|rows| {
+                    rows.iter()
+                        .map(|(&v, row)| (VarId(v), row.clone()))
+                        .collect()
+                })
+                .collect();
+            for e in &edges {
+                addons[e.sa].push((e.va, e.lambda_a.clone()));
+                addons[e.sb].push((e.vb, e.lambda_b.clone()));
+            }
+            let solve_now: Vec<bool> = (0..shard_count)
+                .map(|s| !self.shards[s].retired && (t == 0 || touched[s]))
+                .collect();
+            for s in (0..shard_count).filter(|&s| solve_now[s]) {
+                if st.labels[s].is_none() {
+                    st.labels[s] = Some(self.encode_shard(s, &st.global));
+                }
+            }
+            let warm: Vec<Option<&Vec<usize>>> = st.labels.iter().map(Option::as_ref).collect();
+            #[allow(clippy::type_complexity)]
+            let mut results: Vec<Option<(Vec<usize>, f64, bool, f64)>> = vec![None; shard_count];
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(addons)
+                    .enumerate()
+                    .map(|(s, (shard, addon))| {
+                        if !solve_now[s] {
+                            return None;
+                        }
+                        let ctl = ctl.clone();
+                        let warm = warm[s];
+                        Some(scope.spawn(move || {
+                            let energy = shard.engine.energy_mut();
+                            let base = energy.base_energy();
+                            let model = energy.model_mut();
+                            let mut overlay = UnaryOverlay::new();
+                            overlay
+                                .apply(model, addon.iter().map(|(v, row)| (*v, row.as_slice())))
+                                .expect("boundary addons mirror the shard model's arity");
+                            let solution = Trws::new(TrwsOptions {
+                                max_iterations: DUAL_TRWS_ITERATIONS,
+                                ..TrwsOptions::default()
+                            })
+                            .solve(model, &ctl);
+                            // Oracle value: the TRW-S decode vs the current
+                            // primal labeling, both under the λ-augmented
+                            // model — the seed guarantees the subproblem
+                            // value never exceeds the primal's share.
+                            let decode_value = solution.energy();
+                            let warm_value = warm.map_or(f64::INFINITY, |seed| model.energy(seed));
+                            overlay.revert(model);
+                            (
+                                solution.labels().to_vec(),
+                                decode_value.min(warm_value),
+                                warm_value < decode_value,
+                                base,
+                            )
+                        }))
+                    })
+                    .collect();
+                for (s, handle) in handles.into_iter().enumerate() {
+                    if let Some(handle) = handle {
+                        results[s] = Some(handle.join().expect("dual subproblem does not panic"));
+                    }
+                }
+            });
+            for s in 0..shard_count {
+                if let Some((_, value, _, base)) = &results[s] {
+                    contrib[s] = Some((*value, *base));
+                }
+            }
+            // The dual value: shard subproblem values + relaxed cross
+            // minima + the constant (module docs; exact subproblem solves
+            // would make this the true Lagrangian dual).
+            let mut d = constant;
+            for (s, entry) in contrib.iter().enumerate() {
+                if self.shards[s].retired {
+                    continue;
+                }
+                if let Some((value, base)) = entry {
+                    d += value + base;
+                }
+            }
+            let argmins: Vec<(usize, usize)> = edges
+                .iter()
+                .map(|e| {
+                    let (m, xa, xb) = e.minimize();
+                    d += m;
+                    (xa, xb)
+                })
+                .collect();
+            if d > prev_dual + 1e-12 {
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            prev_dual = d;
+            if std::env::var_os("DUAL_TRACE").is_some() {
+                eprintln!("round {t}: d {d:.4} primal {:.4} stall {stall}", st.total);
+            }
+            // The subproblem argmin's endpoint label per dual edge at this
+            // λ — the warm labeling when it beat the decode — captured
+            // before the splice mutates the primal state.
+            let shard_label = |s: usize, v: VarId| -> Option<usize> {
+                let (labels, _, warm_won, _) = results[s].as_ref()?;
+                if *warm_won {
+                    st.labels[s].as_ref().map(|l| l[v.0])
+                } else {
+                    Some(labels[v.0])
+                }
+            };
+            let endpoints: Vec<Option<(usize, usize)>> = edges
+                .iter()
+                .map(|e| Some((shard_label(e.sa, e.va)?, shard_label(e.sb, e.vb)?)))
+                .collect();
+            // Primal recovery: each re-solved shard's labeling is a
+            // candidate (the splice evaluates it under the *true* model).
+            for s in (0..shard_count).filter(|&s| solve_now[s]) {
+                let Some((labels, _, _, _)) = &results[s] else {
+                    continue;
+                };
+                if let Some(f) = self.try_splice(st, s, labels.clone()) {
+                    flips += f;
+                    any_accepted = true;
+                }
+            }
+            // `d ≤ P` holds within a round (the oracle is floored by the
+            // current primal), so a small in-round slack is a sound stop.
+            let gap = (st.total - d) / st.total.abs().max(1e-9);
+            if gap <= DUAL_GAP_TOLERANCE || stall >= DUAL_PATIENCE || edges.is_empty() {
+                break;
+            }
+            let step = DUAL_STEP / (1.0 + t as f64);
+            for ((e, &(xa_hat, xb_hat)), endpoint) in edges.iter_mut().zip(&argmins).zip(&endpoints)
+            {
+                let Some((xa, xb)) = *endpoint else { continue };
+                if xa != xa_hat {
+                    e.lambda_a[xa] += step;
+                    e.lambda_a[xa_hat] -= step;
+                }
+                if xb != xb_hat {
+                    e.lambda_b[xb] += step;
+                    e.lambda_b[xb_hat] -= step;
+                }
+            }
+        }
+        // One full-model polish round: the subgradient loop's primal
+        // recovery is improve-only splicing of subproblem labelings; a
+        // bounded coordinator pass (ILS by default) over each boundary
+        // shard's cross-augmented full model closes the primal gap the
+        // message-passing decodes leave.
+        rounds += 1;
+        let polish: Vec<usize> = (0..shard_count)
+            .filter(|&s| !boundary_entries[s].is_empty())
+            .collect();
+        for &s in &polish {
+            if st.labels[s].is_none() {
+                st.labels[s] = Some(self.encode_shard(s, &st.global));
+            }
+        }
+        let mut proposals: Vec<Option<Vec<usize>>> = vec![None; shard_count];
+        std::thread::scope(|scope| {
+            let this = &*self;
+            let global_ref = &st.global;
+            let handles: Vec<_> = polish
+                .iter()
+                .map(|&s| {
+                    let start_labels = st.labels[s].clone().expect("encoded above");
+                    let coordinator = Arc::clone(&this.coordinator);
+                    let ctl = ctl.clone();
+                    let frontier: Vec<VarId> = boundary_entries[s].iter().map(|e| e.0).collect();
+                    (
+                        s,
+                        scope.spawn(move || {
+                            let augmented = this.augmented_full_model(s, global_ref);
+                            coordinator
+                                .refine_local(&augmented, start_labels, &frontier, &ctl)
+                                .solution
+                                .labels()
+                                .to_vec()
+                        }),
+                    )
+                })
+                .collect();
+            for (s, handle) in handles {
+                proposals[s] = Some(handle.join().expect("proposal does not panic"));
+            }
+        });
+        for (s, proposal) in proposals.into_iter().enumerate() {
+            let Some(proposal) = proposal else { continue };
+            if let Some(f) = self.try_splice(st, s, proposal) {
+                flips += f;
+                any_accepted = true;
+            }
+        }
+        // The reported certificate: the dual evaluated at the last λ on the
+        // *final* primal labeling (mid-loop dual values compare against
+        // their own round's primal, which the polish may since have beaten,
+        // so none of them certify the final answer). Per shard the
+        // λ-augmented energy of its final labeling, plus each relaxed cross
+        // term's minimum. Every edge term satisfies
+        // `λ_a(x*) + λ_b(x*) + min(cost − λ_a − λ_b) ≤ cost(x*)`, so this
+        // value is ≤ the final primal by construction.
+        let mut final_dual = constant;
+        for (s, addons) in fixed_addons.iter().enumerate() {
+            if self.shards[s].retired {
+                continue;
+            }
+            if st.labels[s].is_none() {
+                st.labels[s] = Some(self.encode_shard(s, &st.global));
+            }
+            let labels = st.labels[s].as_ref().expect("encoded above");
+            let energy = self.shards[s].engine.energy();
+            let mut aug = energy.model().energy(labels) + energy.base_energy();
+            for (&v, row) in addons {
+                aug += row[labels[v]];
+            }
+            final_dual += aug;
+        }
+        for e in &edges {
+            let la = st.labels[e.sa].as_ref().expect("dual-edge shard is live");
+            let lb = st.labels[e.sb].as_ref().expect("dual-edge shard is live");
+            final_dual += e.lambda_a[la[e.va.0]] + e.lambda_b[lb[e.vb.0]];
+            final_dual += e.minimize().0;
+        }
+        (any_accepted, rounds, flips, Some(final_dual))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1334,28 +2162,82 @@ impl ShardedEngine {
         shards_touched: Vec<usize>,
         shard_reports: Vec<Option<ReassignmentReport>>,
         per_shard_solve: Vec<Duration>,
-        telemetry: (usize, usize, Duration, f64),
+        telemetry: CoordTelemetry,
         objective_before: Option<f64>,
         carried: Option<Assignment>,
         start: Instant,
     ) -> ShardReport {
-        let (rounds, boundary_flips, coordination_wall, objective) = telemetry;
         ShardReport {
             revision: self.master.revision(),
             deltas_applied,
             shards_touched,
             shard_reports,
             per_shard_solve,
-            rounds,
-            boundary_flips,
+            rounds: telemetry.rounds,
+            boundary_flips: telemetry.flips,
             boundary_hosts: self.partition.boundary().len(),
             cross_links: self.partition.cross_links().len(),
             objective_before,
-            objective,
+            objective: telemetry.objective,
             carried,
-            coordination_wall,
+            dual_bound: telemetry.dual_bound,
+            coordination_wall: telemetry.wall,
             total_wall: start.elapsed(),
         }
+    }
+}
+
+/// The single host a constraint is scoped to, `None` for `ALL`-scoped
+/// conditional combinations (which replicate to every shard unchanged).
+fn constraint_host(c: &Constraint) -> Option<HostId> {
+    match *c {
+        Constraint::Fix { host, .. } => Some(host),
+        Constraint::ForbidCombination { scope, .. }
+        | Constraint::RequireCombination { scope, .. } => match scope {
+            Scope::Host(h) => Some(h),
+            Scope::All => None,
+        },
+    }
+}
+
+/// Rewrites a host-scoped constraint onto the owning shard's local host
+/// id. Exact: every constraint form is intra-host, so no residual cross
+/// term arises from the split.
+fn remap_constraint(c: Constraint, local: HostId) -> Constraint {
+    match c {
+        Constraint::Fix {
+            service, product, ..
+        } => Constraint::Fix {
+            host: local,
+            service,
+            product,
+        },
+        Constraint::ForbidCombination {
+            if_service,
+            if_product,
+            then_service,
+            forbidden,
+            ..
+        } => Constraint::ForbidCombination {
+            scope: Scope::Host(local),
+            if_service,
+            if_product,
+            then_service,
+            forbidden,
+        },
+        Constraint::RequireCombination {
+            if_service,
+            if_product,
+            then_service,
+            required,
+            ..
+        } => Constraint::RequireCombination {
+            scope: Scope::Host(local),
+            if_service,
+            if_product,
+            then_service,
+            required,
+        },
     }
 }
 
@@ -1501,6 +2383,248 @@ mod tests {
     }
 
     #[test]
+    fn gateway_dual_bound_certifies_the_optimum() {
+        let mut engine = two_host_gateway();
+        let report = engine.solve().unwrap();
+        // The 2-host gateway is solved exactly, so the subgradient loop
+        // must certify it: D = P = 0.12 after one multiplier step.
+        let dual = report.dual_bound.expect("Strong pass certifies a bound");
+        assert!(
+            dual <= report.objective + 1e-9,
+            "a dual bound can never exceed the primal ({dual} vs {})",
+            report.objective
+        );
+        let gap = report.certified_gap().unwrap();
+        assert!(gap >= 0.0);
+        assert!(
+            gap <= DUAL_GAP_TOLERANCE,
+            "the exactly-solvable gateway must certify within tolerance, got {:.4}",
+            gap
+        );
+        assert!((report.objective - 0.12).abs() < 1e-9);
+        // The Display line carries the certificate.
+        assert!(format!("{report}").contains("gap"));
+    }
+
+    #[test]
+    fn dual_bound_is_valid_on_zoned_networks() {
+        for seed in [3u64, 11, 29] {
+            let mut engine = zoned(3, 12, seed);
+            let report = engine.solve().unwrap();
+            let dual = report.dual_bound.expect("cold zoned solve runs Strong");
+            assert!(
+                dual <= report.objective + 1e-9,
+                "seed {seed}: dual {dual} above primal {}",
+                report.objective
+            );
+            let gap = report.certified_gap().unwrap();
+            assert!(gap >= 0.0, "seed {seed}: negative gap {gap}");
+            // Skip/Light steps never pretend to certify.
+            let os = engine.catalog().service_by_name("service0").unwrap();
+            let interior = (0..36u32)
+                .map(HostId)
+                .find(|&h| !engine.partition().is_boundary(h))
+                .unwrap();
+            let current = engine.assignment().unwrap().products_at(interior)[0];
+            let light = engine
+                .apply(&NetworkDelta::fix_slot(interior, os, current))
+                .unwrap();
+            assert!(light.dual_bound.is_none());
+            assert!(light.certified_gap().is_none());
+        }
+    }
+
+    #[test]
+    fn constraints_split_matches_the_single_engine() {
+        let mut c = Catalog::new();
+        let os = c.add_service("os");
+        let db = c.add_service("db");
+        let p0 = c.add_product("p0", os).unwrap();
+        let p1 = c.add_product("p1", os).unwrap();
+        let d0 = c.add_product("d0", db).unwrap();
+        let d1 = c.add_product("d1", db).unwrap();
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host_in_zone("a", "A");
+        let m = b.add_host_in_zone("m", "A");
+        let z = b.add_host_in_zone("z", "B");
+        for h in [a, m, z] {
+            b.add_service(h, os, vec![p0, p1]).unwrap();
+            b.add_service(h, db, vec![d0, d1]).unwrap();
+        }
+        b.add_link(a, m).unwrap();
+        b.add_link(m, z).unwrap();
+        let net = b.build(&c).unwrap();
+        let sim = netmodel::catalog::ProductSimilarity::from_dense(
+            4,
+            vec![
+                1.0, 0.1, 0.0, 0.0, //
+                0.1, 1.0, 0.0, 0.0, //
+                0.0, 0.0, 1.0, 0.3, //
+                0.0, 0.0, 0.3, 1.0,
+            ],
+        );
+        let constraints: ConstraintSet = vec![
+            // Host-scoped, on the *second* shard: exercises the local-id
+            // remap (global z is local 0 of shard 1).
+            Constraint::Fix {
+                host: z,
+                service: os,
+                product: p1,
+            },
+            // ALL-scoped: replicated to every shard.
+            Constraint::ForbidCombination {
+                scope: Scope::All,
+                if_service: os,
+                if_product: p0,
+                then_service: db,
+                forbidden: d0,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let mut sharded = ShardedEngine::new(net.clone(), c.clone(), sim.clone())
+            .with_constraints(constraints.clone())
+            .unwrap();
+        let mut single = DiversityEngine::new(net, c, sim).with_constraints(constraints);
+        let sharded_report = sharded.solve().unwrap();
+        let single_report = single.solve().unwrap();
+        assert!(
+            (sharded_report.objective - single_report.objective_after).abs() < 1e-9,
+            "remapped constraints must realize the single-engine feasible set: {} vs {}",
+            sharded_report.objective,
+            single_report.objective_after
+        );
+        let assignment = sharded.assignment().unwrap();
+        assert_eq!(
+            assignment.product_for(sharded.network(), z, os),
+            Some(p1),
+            "the remapped Fix must hold"
+        );
+        for h in [a, m, z] {
+            if assignment.product_for(sharded.network(), h, os) == Some(p0) {
+                assert_ne!(
+                    assignment.product_for(sharded.network(), h, db),
+                    Some(d0),
+                    "the replicated ALL-scoped forbid must hold at {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_validation_is_all_or_nothing() {
+        let engine = zoned(2, 6, 13);
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let p = engine.catalog().products_of(os)[0];
+        let constraints: ConstraintSet = vec![
+            Constraint::Fix {
+                host: HostId(0),
+                service: os,
+                product: p,
+            },
+            Constraint::Fix {
+                host: HostId(99),
+                service: os,
+                product: p,
+            },
+        ]
+        .into_iter()
+        .collect();
+        let err = engine.with_constraints(constraints).unwrap_err();
+        match err {
+            Error::ShardRejected {
+                shard,
+                index,
+                cause,
+            } => {
+                assert_eq!(shard, None, "validation rejects before any shard is picked");
+                assert_eq!(index, 1, "the offending constraint's position");
+                assert!(matches!(cause, netmodel::Error::UnknownHost(h) if h == HostId(99)));
+            }
+            other => panic!("expected ShardRejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_constraint_reports_the_master_host_id() {
+        let engine = zoned(2, 6, 13);
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let db = engine.catalog().service_by_name("service1").unwrap();
+        // A product of the wrong service can never be a candidate: the
+        // slot drains at build time. Host 7 lives in shard 1 (local id 1);
+        // the error must surface the *master* id.
+        let bogus = engine.catalog().products_of(db)[0];
+        let mut engine = engine
+            .with_constraints(
+                vec![Constraint::Fix {
+                    host: HostId(7),
+                    service: os,
+                    product: bogus,
+                }]
+                .into_iter()
+                .collect(),
+            )
+            .unwrap();
+        let err = engine.solve().unwrap_err();
+        match err {
+            Error::Infeasible { host, service } => {
+                assert_eq!(host, HostId(7), "host id must be remapped to master");
+                assert_eq!(service, os);
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_zone_shards_inherit_all_scoped_constraints() {
+        let engine = zoned(2, 6, 13);
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let db = engine.catalog().service_by_name("service1").unwrap();
+        let trigger = engine.catalog().products_of(os)[0];
+        let forbidden = engine.catalog().products_of(db)[0];
+        let os_products = engine.catalog().products_of(os).to_vec();
+        let db_products = engine.catalog().products_of(db).to_vec();
+        let mut engine = engine
+            .with_constraints(
+                vec![Constraint::ForbidCombination {
+                    scope: Scope::All,
+                    if_service: os,
+                    if_product: trigger,
+                    then_service: db,
+                    forbidden,
+                }]
+                .into_iter()
+                .collect(),
+            )
+            .unwrap();
+        engine.solve().unwrap();
+        // Force the trigger on a brand-new zone's host: the inherited
+        // ALL-scoped forbid must bind in the freshly created shard.
+        engine
+            .apply_batch(&[
+                NetworkDelta::AddHost {
+                    name: "fresh".into(),
+                    zone: Some("zone-new".into()),
+                    services: vec![(os, os_products), (db, db_products)],
+                    links: vec![HostId(0)],
+                },
+                NetworkDelta::fix_slot(HostId(12), os, trigger),
+            ])
+            .unwrap();
+        assert_eq!(engine.shard_count(), 3);
+        let assignment = engine.assignment().unwrap();
+        assert_eq!(
+            assignment.product_for(engine.network(), HostId(12), os),
+            Some(trigger)
+        );
+        assert_ne!(
+            assignment.product_for(engine.network(), HostId(12), db),
+            Some(forbidden),
+            "the new shard must enforce the inherited ALL-scoped constraint"
+        );
+    }
+
+    #[test]
     fn sharded_objective_matches_single_engine_within_tolerance() {
         for seed in [3u64, 7, 21] {
             let mut sharded = zoned(2, 20, seed);
@@ -1634,7 +2758,7 @@ mod tests {
     }
 
     #[test]
-    fn add_host_routes_by_zone_and_unknown_zone_is_rejected() {
+    fn add_host_routes_by_zone_and_unknown_zone_creates_a_shard() {
         let mut engine = zoned(2, 6, 13);
         engine.solve().unwrap();
         let os = engine.catalog().service_by_name("service0").unwrap();
@@ -1667,18 +2791,85 @@ mod tests {
             .validate(engine.network())
             .unwrap();
 
-        // Unknown zones are rejected before anything mutates.
-        let revision = engine.revision();
-        let err = engine
+        // An unknown zone creates a brand-new shard on the spot (zone
+        // lifecycle, module docs) — cross-linked into zone 0 here, so the
+        // fresh singleton immediately joins the boundary.
+        let report = engine
             .apply(&NetworkDelta::AddHost {
-                name: "lost".into(),
+                name: "pioneer".into(),
                 zone: Some("zone9".into()),
                 services: vec![(os, ps)],
-                links: vec![],
+                links: vec![HostId(0)],
             })
-            .unwrap_err();
-        assert!(matches!(err, Error::UnknownZone { .. }));
-        assert_eq!(engine.revision(), revision);
+            .unwrap();
+        let pioneer = HostId(13);
+        assert_eq!(engine.shard_count(), 3, "zone9 got its own shard");
+        assert_eq!(engine.partition().shard_of(pioneer), Some(2));
+        assert!(!engine.shard_retired(2));
+        assert_eq!(engine.shard_network(2).host_count(), 1);
+        assert!(engine
+            .partition()
+            .cross_links()
+            .contains(&(HostId(0), pioneer)));
+        assert!(report.shards_touched.contains(&2));
+        assert!(report.shard_reports[2].is_some());
+        assert_eq!(engine.assignment().unwrap().products_at(pioneer).len(), 1);
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+        // The whole stream never recomputed the partition from scratch.
+        assert_eq!(engine.partition_recomputes(), 0);
+    }
+
+    #[test]
+    fn draining_a_zone_retires_its_shard_and_revives_on_return() {
+        let mut engine = zoned(2, 4, 21);
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let ps = engine.catalog().products_of(os).to_vec();
+        let (domains_before, costs_before) = engine.footprint();
+        assert!(domains_before > 0);
+        // Drain zone 1 (hosts 4..8) to tombstones: its shard retires and
+        // releases its model state.
+        let burst: Vec<NetworkDelta> = (4..8u32)
+            .map(|h| NetworkDelta::remove_host(HostId(h)))
+            .collect();
+        engine.apply_batch(&burst).unwrap();
+        assert!(engine.shard_retired(1), "drained zone 1 must retire");
+        assert!(!engine.shard_retired(0));
+        let (domains_after, _) = engine.footprint();
+        assert!(
+            domains_after < domains_before,
+            "retiring must release interned domains ({domains_before} -> {domains_after})"
+        );
+        assert_eq!(engine.partition().cross_links().len(), 0);
+        // Steps keep working with the retired shard skipped.
+        let report = engine.solve().unwrap();
+        assert!(report.shard_reports[1].is_none());
+        // An AddHost naming the drained zone revives the shard cold.
+        let report = engine
+            .apply(&NetworkDelta::AddHost {
+                name: "returner".into(),
+                zone: Some("zone1".into()),
+                services: vec![(os, ps)],
+                links: vec![HostId(0)],
+            })
+            .unwrap();
+        assert!(!engine.shard_retired(1), "zone 1 is live again");
+        assert_eq!(engine.shard_count(), 2, "the slot was reused, not grown");
+        let returner = HostId(8);
+        assert_eq!(engine.partition().shard_of(returner), Some(1));
+        assert!(report.shard_reports[1].is_some());
+        assert_eq!(engine.assignment().unwrap().products_at(returner).len(), 1);
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
+        assert_eq!(engine.partition_recomputes(), 0);
+        let _ = costs_before;
     }
 
     #[test]

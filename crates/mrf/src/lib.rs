@@ -164,7 +164,7 @@ mod error;
 pub use color::ColorClasses;
 pub use error::Error;
 pub use local::{condition_submodel, LocalRefine};
-pub use model::{EdgeId, MrfBuilder, MrfModel, PotentialId, VarId};
+pub use model::{EdgeId, MrfBuilder, MrfModel, PotentialId, UnaryOverlay, VarId};
 pub use order::SolveScratch;
 pub use portfolio::{MemberReport, PortfolioOutcome, SolverPortfolio};
 pub use solution::Solution;

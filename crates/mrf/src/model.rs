@@ -909,6 +909,116 @@ impl MrfBuilder {
     }
 }
 
+/// Reusable apply/revert overlay of additive unary adjustments.
+///
+/// Dual-decomposition coordinators repeatedly perturb a shard model's
+/// boundary unaries with Lagrange-multiplier addons, solve, and put the
+/// model back. Cloning the model per iteration would dominate the loop;
+/// this overlay instead saves the touched rows into an internal arena,
+/// adds the addons in place, and on [`UnaryOverlay::revert`] copies the
+/// saved rows back **bitwise** — restoration is exact, not an
+/// add-then-subtract that could leave floating-point residue. The arena
+/// is retained across apply/revert cycles, so a warm loop allocates
+/// nothing (the same idea as [`crate::SolveScratch`]).
+///
+/// ```
+/// use mrf::model::{MrfModel, UnaryOverlay};
+///
+/// # fn main() -> Result<(), mrf::Error> {
+/// let mut model = MrfModel::new();
+/// let v = model.add_var(2)?;
+/// model.set_unary(v, vec![0.3, 0.1])?;
+///
+/// let mut overlay = UnaryOverlay::new();
+/// overlay.apply(&mut model, [(v, &[10.0, -10.0][..])])?;
+/// assert_eq!(model.unary(v), &[10.3, -9.9]);
+/// overlay.revert(&mut model);
+/// assert_eq!(model.unary(v), &[0.3, 0.1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct UnaryOverlay {
+    /// One entry per adjusted row: variable, offset and length of its
+    /// saved original in `saved`.
+    applied: Vec<(VarId, u32, u32)>,
+    saved: Vec<f64>,
+}
+
+impl UnaryOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> UnaryOverlay {
+        UnaryOverlay::default()
+    }
+
+    /// Whether the overlay currently holds saved rows (applied and not
+    /// yet reverted).
+    pub fn is_applied(&self) -> bool {
+        !self.applied.is_empty()
+    }
+
+    /// Adds `addons` element-wise into the unaries of the named
+    /// variables, saving the original rows for [`UnaryOverlay::revert`].
+    /// A variable may appear more than once; addons stack, and revert
+    /// still restores the original row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownVariable`] (out of range or tombstoned) or
+    /// [`Error::UnaryArity`] (addon length ≠ label count). On error the
+    /// model is left exactly as it was: rows applied before the offending
+    /// entry are reverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay is already applied — each apply must be
+    /// paired with a revert against the same model.
+    pub fn apply<'a, I>(&mut self, model: &mut MrfModel, addons: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (VarId, &'a [f64])>,
+    {
+        assert!(
+            self.applied.is_empty(),
+            "UnaryOverlay::apply called while already applied; revert first"
+        );
+        for (v, extra) in addons {
+            if !model.is_live(v) {
+                self.revert(model);
+                return Err(Error::UnknownVariable(v));
+            }
+            let labels = model.label_counts[v.0] as usize;
+            if extra.len() != labels {
+                self.revert(model);
+                return Err(Error::UnaryArity {
+                    var: v,
+                    labels,
+                    got: extra.len(),
+                });
+            }
+            let offset = self.saved.len() as u32;
+            self.saved.extend_from_slice(&model.unary[v.0]);
+            self.applied.push((v, offset, labels as u32));
+            for (u, e) in model.unary[v.0].iter_mut().zip(extra) {
+                *u += e;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores every adjusted row to its exact pre-apply contents and
+    /// empties the overlay (keeping its arena capacity). Rows are
+    /// restored newest-first so repeated entries for one variable unwind
+    /// to the original. A no-op when nothing is applied.
+    pub fn revert(&mut self, model: &mut MrfModel) {
+        for &(v, offset, len) in self.applied.iter().rev() {
+            let saved = &self.saved[offset as usize..(offset + len) as usize];
+            model.unary[v.0].copy_from_slice(saved);
+        }
+        self.applied.clear();
+        self.saved.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1289,5 +1399,67 @@ mod tests {
     fn add_var_rejects_empty_domains() {
         let mut m = MrfModel::new();
         assert!(matches!(m.add_var(0), Err(Error::EmptyDomain(_))));
+    }
+
+    #[test]
+    fn unary_overlay_round_trip_is_exact() {
+        let mut m = MrfModel::new();
+        let x = m.add_var(2).unwrap();
+        let y = m.add_var(3).unwrap();
+        // Values chosen so add-then-subtract would NOT restore bitwise.
+        m.set_unary(x, vec![0.1, 0.3]).unwrap();
+        m.set_unary(y, vec![1e16, -2.5, 0.0]).unwrap();
+        let (orig_x, orig_y) = (m.unary(x).to_vec(), m.unary(y).to_vec());
+
+        let mut ov = UnaryOverlay::new();
+        ov.apply(&mut m, [(x, &[0.2, -0.2][..]), (y, &[1.0, 1.0, 1.0][..])])
+            .unwrap();
+        assert!(ov.is_applied());
+        assert_eq!(m.unary(x), &[0.1 + 0.2, 0.3 - 0.2]);
+        ov.revert(&mut m);
+        assert!(!ov.is_applied());
+        assert_eq!(m.unary(x), &orig_x[..]);
+        assert_eq!(m.unary(y), &orig_y[..]);
+
+        // The overlay is reusable: a second cycle behaves identically.
+        ov.apply(&mut m, [(y, &[-1.0, 0.0, 2.0][..])]).unwrap();
+        ov.revert(&mut m);
+        assert_eq!(m.unary(y), &orig_y[..]);
+    }
+
+    #[test]
+    fn unary_overlay_stacks_repeated_variables() {
+        let mut m = MrfModel::new();
+        let x = m.add_var(2).unwrap();
+        m.set_unary(x, vec![1.0, 2.0]).unwrap();
+        let mut ov = UnaryOverlay::new();
+        ov.apply(&mut m, [(x, &[0.5, 0.0][..]), (x, &[0.25, 0.0][..])])
+            .unwrap();
+        assert_eq!(m.unary(x), &[1.75, 2.0]);
+        ov.revert(&mut m);
+        assert_eq!(m.unary(x), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn unary_overlay_errors_leave_the_model_untouched() {
+        let mut m = MrfModel::new();
+        let x = m.add_var(2).unwrap();
+        let y = m.add_var(2).unwrap();
+        m.set_unary(x, vec![1.0, 2.0]).unwrap();
+        m.remove_var(y).unwrap();
+
+        let mut ov = UnaryOverlay::new();
+        // Arity mismatch after a successful first entry: x is reverted.
+        let err = ov
+            .apply(&mut m, [(x, &[9.0, 9.0][..]), (x, &[1.0][..])])
+            .unwrap_err();
+        assert!(matches!(err, Error::UnaryArity { .. }));
+        assert!(!ov.is_applied());
+        assert_eq!(m.unary(x), &[1.0, 2.0]);
+
+        // Tombstoned variable is rejected.
+        let err = ov.apply(&mut m, [(y, &[0.0, 0.0][..])]).unwrap_err();
+        assert!(matches!(err, Error::UnknownVariable(v) if v == y));
+        assert_eq!(m.unary(x), &[1.0, 2.0]);
     }
 }

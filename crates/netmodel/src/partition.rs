@@ -18,11 +18,26 @@
 //!   — the induced subgraph on the shard's hosts, with local host ids and
 //!   a mapping back to the parent's ids — ready to feed a per-shard engine.
 //!
-//! The partition is a pure function of the network, so callers re-derive it
-//! after applying deltas ([`crate::delta::NetworkDelta`]) instead of
-//! patching it incrementally: adding a cross-zone link *promotes* both
-//! endpoints into the boundary set, removing the last one *demotes* them,
-//! and tombstoned hosts (no links by construction) are never boundary.
+//! The partition is a **maintained structure**, not a recompute: it is
+//! derived once ([`partition_by_zone`], O(V+E)) and then *patched* in step
+//! with the delta stream ([`crate::delta::NetworkDelta`]) through the
+//! mutators — [`ZonePartition::add_host`], [`ZonePartition::add_link`],
+//! [`ZonePartition::remove_link`] and [`ZonePartition::remove_host`] — each
+//! O(touched·degree) or better. Per-host cross-link counts make boundary
+//! maintenance exact: adding a cross-zone link *promotes* both endpoints
+//! into the boundary set, removing a host's last one *demotes* it, and
+//! tombstoned hosts (no links by construction) are never boundary. A
+//! maintained partition equals the from-scratch recompute after any valid
+//! delta stream (the equivalence is proptest-pinned in
+//! `tests/tests/sharded.rs`).
+//!
+//! Zones have a **lifecycle**: [`ZonePartition::add_host`] naming a zone no
+//! shard owns creates a new shard on the spot (first-appearance order is
+//! preserved), and [`ZonePartition::live_members`] reports when a zone has
+//! drained to tombstones so a serving layer can retire its engine. Retired
+//! shards keep their positional slot — shard indices stay stable and every
+//! host id remains resolvable — and revive when a host joins the zone
+//! again.
 //!
 //! ```
 //! use netmodel::catalog::Catalog;
@@ -45,11 +60,18 @@
 //! b.add_link(c2, s1)?; // cross-zone: c2 and s1 become boundary hosts
 //! let network = b.build(&catalog)?;
 //!
-//! let partition = partition_by_zone(&network);
+//! let mut partition = partition_by_zone(&network);
 //! assert_eq!(partition.shard_count(), 2);
 //! assert_eq!(partition.cross_links(), &[(c2, s1)]);
 //! assert!(!partition.is_boundary(c1));
 //! assert!(partition.is_boundary(c2) && partition.is_boundary(s1));
+//!
+//! // Maintained, not recomputed: patch it in step with the delta stream.
+//! partition.add_link(c1, s1); // cross-zone: promotes c1
+//! assert!(partition.is_boundary(c1));
+//! partition.remove_link(c1, s1); // last cross link: demotes c1 again
+//! assert!(!partition.is_boundary(c1));
+//! assert_eq!(partition.live_members(0), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -94,10 +116,18 @@ pub struct ZonePartition {
     /// Owning shard per host id (total: every host belongs to exactly one
     /// shard, tombstones included — the zone label survives removal).
     shard_of: Vec<usize>,
-    /// Links whose endpoints live in different shards, `a < b` order.
+    /// Links whose endpoints live in different shards, ascending (`a < b`
+    /// within each pair) — the canonical order incremental maintenance
+    /// preserves by sorted insertion.
     cross_links: Vec<(HostId, HostId)>,
     /// Hosts with at least one cross-shard link, ascending, deduplicated.
     boundary: Vec<HostId>,
+    /// Cross-shard links incident to each host — the promote/demote
+    /// counter: a host is boundary iff its count is nonzero.
+    cross_count: Vec<u32>,
+    /// Non-tombstoned members per shard — zero means the zone has drained
+    /// and its engine can be retired.
+    live: Vec<usize>,
 }
 
 /// Groups `network`'s hosts into per-zone shards and classifies every link
@@ -106,6 +136,7 @@ pub struct ZonePartition {
 pub fn partition_by_zone(network: &Network) -> ZonePartition {
     let mut shards: Vec<ZoneShard> = Vec::new();
     let mut shard_of = Vec::with_capacity(network.host_count());
+    let mut live: Vec<usize> = Vec::new();
     for (id, host) in network.iter_hosts() {
         let zone = host.zone();
         let shard = match shards.iter().position(|s| s.zone.as_deref() == zone) {
@@ -115,28 +146,48 @@ pub fn partition_by_zone(network: &Network) -> ZonePartition {
                     zone: zone.map(str::to_owned),
                     members: Vec::new(),
                 });
+                live.push(0);
                 shards.len() - 1
             }
         };
         shards[shard].members.push(id);
         shard_of.push(shard);
-    }
-    let mut cross_links = Vec::new();
-    let mut boundary = Vec::new();
-    for &(a, b) in network.links() {
-        if shard_of[a.index()] != shard_of[b.index()] {
-            cross_links.push((a, b));
-            boundary.push(a);
-            boundary.push(b);
+        if !host.is_removed() {
+            live[shard] += 1;
         }
     }
-    boundary.sort_unstable();
-    boundary.dedup();
+    let mut cross_links = Vec::new();
+    let mut cross_count = vec![0u32; network.host_count()];
+    for &(a, b) in network.links() {
+        if shard_of[a.index()] != shard_of[b.index()] {
+            cross_links.push(ordered(a, b));
+            cross_count[a.index()] += 1;
+            cross_count[b.index()] += 1;
+        }
+    }
+    cross_links.sort_unstable();
+    let boundary = cross_count
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, _)| HostId(i as u32))
+        .collect();
     ZonePartition {
         shards,
         shard_of,
         cross_links,
         boundary,
+        cross_count,
+        live,
+    }
+}
+
+/// Canonical cross-link key: the lower host id first.
+fn ordered(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
     }
 }
 
@@ -186,6 +237,130 @@ impl ZonePartition {
             .iter()
             .copied()
             .filter(move |&h| self.shard_of[h.index()] == shard)
+    }
+
+    /// Non-tombstoned members of one shard. Zero means the zone has
+    /// drained: every member is a tombstone and the shard's engine can be
+    /// retired (the shard slot itself stays — ids remain resolvable and the
+    /// zone revives on the next [`ZonePartition::add_host`] naming it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn live_members(&self, shard: usize) -> usize {
+        self.live[shard]
+    }
+
+    /// Records a newly appended host (zone lifecycle, module docs): the
+    /// host joins the shard owning `zone`, creating that shard on the spot
+    /// when no shard owns the label yet. Returns the owning shard index and
+    /// whether it was created by this call.
+    ///
+    /// Host ids are dense and append-only ([`crate::delta::NetworkDelta`]
+    /// never reuses ids), so `host` must be the next unseen id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not exactly the next host id.
+    pub fn add_host(&mut self, host: HostId, zone: Option<&str>) -> (usize, bool) {
+        assert_eq!(
+            host.index(),
+            self.shard_of.len(),
+            "hosts are appended densely"
+        );
+        let (shard, created) = match self.shards.iter().position(|s| s.zone.as_deref() == zone) {
+            Some(i) => (i, false),
+            None => {
+                self.shards.push(ZoneShard {
+                    zone: zone.map(str::to_owned),
+                    members: Vec::new(),
+                });
+                self.live.push(0);
+                (self.shards.len() - 1, true)
+            }
+        };
+        self.shards[shard].members.push(host);
+        self.shard_of.push(shard);
+        self.cross_count.push(0);
+        self.live[shard] += 1;
+        (shard, created)
+    }
+
+    /// Records a new link: a no-op for intra-shard links; a cross-shard
+    /// link is inserted at its sorted position and *promotes* both
+    /// endpoints' boundary status. O(cross links) worst case for the
+    /// insertion, O(log) for the classification.
+    pub fn add_link(&mut self, a: HostId, b: HostId) {
+        if self.shard_of[a.index()] == self.shard_of[b.index()] {
+            return;
+        }
+        let key = ordered(a, b);
+        if let Err(pos) = self.cross_links.binary_search(&key) {
+            self.cross_links.insert(pos, key);
+            self.promote(a);
+            self.promote(b);
+        }
+    }
+
+    /// Records a removed link: the cross-shard case *demotes* an endpoint
+    /// out of the boundary when this was its last cross link.
+    pub fn remove_link(&mut self, a: HostId, b: HostId) {
+        if self.shard_of[a.index()] == self.shard_of[b.index()] {
+            return;
+        }
+        let key = ordered(a, b);
+        if let Ok(pos) = self.cross_links.binary_search(&key) {
+            self.cross_links.remove(pos);
+            self.demote(a);
+            self.demote(b);
+        }
+    }
+
+    /// Records a tombstoned host: its cross links vanish with it (host
+    /// removal drops all links), demoting peers that lose their last cross
+    /// link, and its shard's live-member count drops. Returns the remaining
+    /// live members of the owning shard — `0` signals the zone drained.
+    pub fn remove_host(&mut self, host: HostId) -> usize {
+        let shard = self.shard_of[host.index()];
+        if self.cross_count[host.index()] > 0 {
+            let incident: Vec<(HostId, HostId)> = self
+                .cross_links
+                .iter()
+                .copied()
+                .filter(|&(a, b)| a == host || b == host)
+                .collect();
+            for (a, b) in incident {
+                let pos = self
+                    .cross_links
+                    .binary_search(&(a, b))
+                    .expect("incident cross link is present");
+                self.cross_links.remove(pos);
+                self.demote(a);
+                self.demote(b);
+            }
+        }
+        self.live[shard] -= 1;
+        self.live[shard]
+    }
+
+    fn promote(&mut self, h: HostId) {
+        self.cross_count[h.index()] += 1;
+        if self.cross_count[h.index()] == 1 {
+            let pos = self
+                .boundary
+                .binary_search(&h)
+                .expect_err("a zero-count host is not boundary");
+            self.boundary.insert(pos, h);
+        }
+    }
+
+    fn demote(&mut self, h: HostId) {
+        self.cross_count[h.index()] -= 1;
+        if self.cross_count[h.index()] == 0 {
+            if let Ok(pos) = self.boundary.binary_search(&h) {
+                self.boundary.remove(pos);
+            }
+        }
     }
 }
 
@@ -376,6 +551,99 @@ mod tests {
             "peer lost its only cross link too"
         );
         assert_eq!(p.cross_links(), &[(HostId(5), HostId(6))]);
+    }
+
+    #[test]
+    fn incremental_maintenance_equals_scratch_recompute() {
+        let (mut net, c, os, ps) = fixture();
+        let mut p = partition_by_zone(&net);
+        let deltas = [
+            NetworkDelta::add_link(HostId(0), HostId(4)), // cross A↔B
+            NetworkDelta::add_link(HostId(0), HostId(2)), // intra A
+            NetworkDelta::AddHost {
+                name: "c0".into(),
+                zone: Some("C".into()),
+                services: vec![(os, ps.clone())],
+                links: vec![HostId(1), HostId(6)],
+            },
+            NetworkDelta::remove_link(HostId(0), HostId(4)),
+            NetworkDelta::remove_host(HostId(2)), // boundary host of A
+            NetworkDelta::AddHost {
+                name: "n1".into(),
+                zone: None,
+                services: vec![(os, ps.clone())],
+                links: vec![HostId(6)],
+            },
+        ];
+        for delta in &deltas {
+            net.apply_delta(delta, &c).unwrap();
+            match delta {
+                NetworkDelta::AddHost { zone, links, .. } => {
+                    let id = HostId(net.host_count() as u32 - 1);
+                    p.add_host(id, zone.as_deref());
+                    for &peer in links {
+                        p.add_link(id, peer);
+                    }
+                }
+                NetworkDelta::AddLink { a, b } => p.add_link(*a, *b),
+                NetworkDelta::RemoveLink { a, b } => p.remove_link(*a, *b),
+                NetworkDelta::RemoveHost { host } => {
+                    p.remove_host(*host);
+                }
+                _ => {}
+            }
+            assert_eq!(p, partition_by_zone(&net), "diverged after {delta}");
+        }
+    }
+
+    #[test]
+    fn add_host_creates_and_revives_zones() {
+        let (mut net, c, os, ps) = fixture();
+        let mut p = partition_by_zone(&net);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.live_members(0), 3);
+
+        // First host naming a fresh zone creates its shard.
+        net.apply_delta(
+            &NetworkDelta::AddHost {
+                name: "d0".into(),
+                zone: Some("D".into()),
+                services: vec![(os, ps.clone())],
+                links: vec![],
+            },
+            &c,
+        )
+        .unwrap();
+        let (shard, created) = p.add_host(HostId(7), Some("D"));
+        assert!(created);
+        assert_eq!(shard, 3);
+        assert_eq!(p.shard_of_zone(Some("D")), Some(3));
+        assert_eq!(p.live_members(3), 1);
+
+        // Draining the zone reports zero live members; the slot stays.
+        net.apply_delta(&NetworkDelta::remove_host(HostId(7)), &c)
+            .unwrap();
+        assert_eq!(p.remove_host(HostId(7)), 0);
+        assert_eq!(p.shard_count(), 4, "drained shards keep their slot");
+        assert_eq!(p.shard_of(HostId(7)), Some(3));
+        assert_eq!(p, partition_by_zone(&net));
+
+        // A later host naming the zone revives it — no new shard.
+        net.apply_delta(
+            &NetworkDelta::AddHost {
+                name: "d1".into(),
+                zone: Some("D".into()),
+                services: vec![(os, ps)],
+                links: vec![],
+            },
+            &c,
+        )
+        .unwrap();
+        let (shard, created) = p.add_host(HostId(8), Some("D"));
+        assert!(!created, "drained zones revive in place");
+        assert_eq!(shard, 3);
+        assert_eq!(p.live_members(3), 1);
+        assert_eq!(p, partition_by_zone(&net));
     }
 
     #[test]

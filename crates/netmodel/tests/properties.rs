@@ -1,10 +1,16 @@
 //! Property-based tests for the network model.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use netmodel::constraints::{Constraint, ConstraintSet, Scope};
+use netmodel::delta::NetworkDelta;
+use netmodel::partition::partition_by_zone;
 use netmodel::strategies::{mono_assignment, random_assignment};
-use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+use netmodel::topology::{
+    generate, generate_zoned, RandomNetworkConfig, TopologyKind, ZonedNetworkConfig,
+};
 use netmodel::{HostId, ProductId};
 
 fn arb_config() -> impl Strategy<Value = RandomNetworkConfig> {
@@ -119,5 +125,113 @@ proptest! {
             prop_assert!(p.index() < g.catalog.product_count());
         }
         let _ = ProductId(0);
+    }
+
+    /// Incremental partition maintenance ≡ from-scratch `partition_by_zone`
+    /// after an arbitrary topology delta stream: hosts joining existing,
+    /// fresh and anonymous zones, cross/intra links appearing and vanishing,
+    /// hosts tombstoned (zones draining included). `ZonePartition`'s
+    /// equality covers membership, live counts, the boundary set and the
+    /// cross-link classification at once, and is checked after *every*
+    /// delta, not just at the end.
+    #[test]
+    fn incremental_partition_tracks_scratch_recompute(
+        zones in 2usize..5,
+        hosts_per_zone in 2usize..6,
+        seed in 0u64..500,
+        steps in 5usize..40,
+    ) {
+        let g = generate_zoned(
+            &ZonedNetworkConfig {
+                zones,
+                hosts_per_zone,
+                gateway_links: 2,
+                mean_degree: 3,
+                services: 1,
+                products_per_service: 2,
+                vendors_per_service: 1,
+                topology: TopologyKind::Random,
+            },
+            seed,
+        );
+        let mut net = g.network;
+        let service = g.catalog.service_by_name("service0").expect("generated");
+        let products = g.catalog.products_of(service).to_vec();
+        let mut partition = partition_by_zone(&net);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
+        let mut fresh_zones = 0usize;
+        for _ in 0..steps {
+            let live: Vec<HostId> = net
+                .iter_hosts()
+                .filter(|(_, h)| !h.is_removed())
+                .map(|(id, _)| id)
+                .collect();
+            let delta = match rng.gen_range(0..4u32) {
+                0 => {
+                    // A host joining an existing zone, a freshly opened
+                    // zone, or no zone at all, with 0–2 links to live hosts.
+                    let zone = match rng.gen_range(0..3u32) {
+                        0 if !live.is_empty() => {
+                            let anchor = live[rng.gen_range(0..live.len())];
+                            net.host(anchor).unwrap().zone().map(str::to_owned)
+                        }
+                        1 => {
+                            fresh_zones += 1;
+                            Some(format!("zone-fresh{fresh_zones}"))
+                        }
+                        _ => None,
+                    };
+                    let mut links: Vec<HostId> = if live.is_empty() {
+                        Vec::new()
+                    } else {
+                        (0..rng.gen_range(0..3usize))
+                            .map(|_| live[rng.gen_range(0..live.len())])
+                            .collect()
+                    };
+                    links.sort_unstable();
+                    links.dedup();
+                    NetworkDelta::AddHost {
+                        name: format!("g{}", net.host_count()),
+                        zone,
+                        services: vec![(service, products.clone())],
+                        links,
+                    }
+                }
+                1 if live.len() >= 2 => {
+                    let a = live[rng.gen_range(0..live.len())];
+                    let b = live[rng.gen_range(0..live.len())];
+                    if a == b || net.linked(a, b) {
+                        continue;
+                    }
+                    NetworkDelta::add_link(a, b)
+                }
+                2 if net.link_count() > 0 => {
+                    let links = net.links();
+                    let (a, b) = links[rng.gen_range(0..links.len())];
+                    NetworkDelta::remove_link(a, b)
+                }
+                3 if !live.is_empty() => {
+                    NetworkDelta::remove_host(live[rng.gen_range(0..live.len())])
+                }
+                _ => continue,
+            };
+            net.apply_delta(&delta, &g.catalog).expect("delta is valid by construction");
+            match &delta {
+                NetworkDelta::AddHost { zone, links, .. } => {
+                    let id = HostId(net.host_count() as u32 - 1);
+                    partition.add_host(id, zone.as_deref());
+                    for &peer in links {
+                        partition.add_link(id, peer);
+                    }
+                }
+                NetworkDelta::AddLink { a, b } => partition.add_link(*a, *b),
+                NetworkDelta::RemoveLink { a, b } => partition.remove_link(*a, *b),
+                NetworkDelta::RemoveHost { host } => {
+                    partition.remove_host(*host);
+                }
+                _ => unreachable!("only topology deltas are generated"),
+            }
+            prop_assert_eq!(&partition, &partition_by_zone(&net), "diverged after {}", delta);
+        }
     }
 }

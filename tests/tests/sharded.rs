@@ -36,9 +36,10 @@ fn arb_config() -> impl Strategy<Value = ZonedNetworkConfig> {
     )
 }
 
-/// A delta stream valid in order from `g.network`, with `AddHost` deltas
-/// pinned to one of the instance's zones so the shard router always has an
-/// owner.
+/// A delta stream valid in order from `g.network`. `AddHost` deltas roam
+/// freely over the zone lifecycle — an existing zone, a freshly named one
+/// (the router creates its shard on the spot), or no zone at all: shards
+/// are dynamic, so the stream needs no owner-pinning workaround.
 fn valid_zoned_stream(g: &GeneratedNetwork, seed: u64, steps: usize) -> Vec<NetworkDelta> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut scratch = g.network.clone();
@@ -50,10 +51,18 @@ fn valid_zoned_stream(g: &GeneratedNetwork, seed: u64, steps: usize) -> Vec<Netw
             .collect()
     };
     let mut deltas = Vec::with_capacity(steps);
+    let mut fresh = 0usize;
     for _ in 0..steps {
         let mut delta = random_delta(&scratch, &g.catalog, &mut rng, &[HostId(0)]);
         if let NetworkDelta::AddHost { zone, .. } = &mut delta {
-            *zone = Some(zones[rng.gen_range(0..zones.len())].clone());
+            *zone = match rng.gen_range(0..4u32) {
+                0 => {
+                    fresh += 1;
+                    Some(format!("zone-fresh{fresh}"))
+                }
+                1 => None,
+                _ => Some(zones[rng.gen_range(0..zones.len())].clone()),
+            };
         }
         scratch
             .apply_delta(&delta, &g.catalog)
