@@ -19,12 +19,15 @@ use std::time::{Duration, Instant};
 
 use ics_diversity::churn::{run_churn, run_churn_sharded, ChurnConfig, ChurnMode, MttcGain};
 use ics_diversity::engine::DiversityEngine;
+use ics_diversity::journal::{engine_at_snapshot, read_records};
+use ics_diversity::optimizer::SolverKind;
 use ics_diversity::report::TextTable;
 use ics_diversity::serve::{Enqueue, MttcProbe, ServingConfig, ServingEngine, WriterCore};
 use ics_diversity::shard::ShardedEngine;
 
-use bench::{flag_value, full_mode, help_requested};
+use bench::{flag_str, flag_value, full_mode, help_requested};
 use netmodel::delta::random_delta;
+use netmodel::journal::Record;
 use netmodel::topology::{
     generate, generate_zoned, RandomNetworkConfig, TopologyKind, ZonedNetworkConfig,
 };
@@ -39,7 +42,8 @@ churn — dynamic-churn replay through the incremental diversity engine
 
 USAGE:
     churn [--steps N] [--hosts N] [--batch N] [--shards N]
-          [--serve [--readers N]] [--full]
+          [--serve [--readers N]] [--journal PATH] [--full]
+    churn --replay PATH [--solver NAME]
 
 FLAGS:
     --steps N    Number of churn steps to replay (default 12; 30 with --full).
@@ -72,9 +76,41 @@ FLAGS:
     --readers N  Reader threads in --serve mode (default 4; the acceptance
                  scenario is --serve --full --readers 8: 8 readers against a
                  churning 960-host engine).
+    --journal PATH
+                 Record mode: attach a write-ahead journal (full history, no
+                 compaction) to the engine, so the whole churn window — the
+                 problem preamble, the cold-solve snapshot, every committed
+                 delta burst and the per-step MTTC measurements — lands in
+                 one replayable artifact. Composes with --batch and --shards
+                 (a sharded run records master-level bursts).
+    --replay PATH
+                 Replay mode: re-run a window recorded with --journal.
+                 Without --solver this is exact verification — each recorded
+                 burst's deltas and committed assignment are restored and
+                 MTTC recomputed with the recorded scenario parameters
+                 (drift must be 0.0). Prints a recorded-vs-replayed MTTC
+                 trajectory diff table; exits nonzero if the replayed
+                 revision diverges from the recorded one.
+    --solver NAME
+                 With --replay: the what-if mode — rebuild an engine from
+                 the journal's preamble + snapshot (always a single
+                 DiversityEngine, however the recording ran) and *re-solve*
+                 every burst under that solver (cold solver *and* warm
+                 refiner): trws, bp, icm, ils, exhaustive, exact.
     --full       Paper-scale instance (300 hosts, more MTTC runs; 960 hosts
                  in --serve mode).
     --help       Print this help and exit.
+
+COLUMNS (--replay mode):
+    step         Recorded step index (from the journal's churn-step marks).
+    revision     Network revision after the step's burst (recorded ==
+                 replayed, asserted).
+    deltas       Burst size of the recorded batch record.
+    rec resolve  MTTC of the re-optimized assignment as recorded.
+    rep resolve  MTTC of the re-optimized assignment as replayed.
+    drift        rep resolve − rec resolve in ticks (exactly 0 without
+                 --solver; with --solver it shows how the MTTC trajectory
+                 diverges under that configuration).
 
 COLUMNS (sequential/batched mode):
     step         Step index.
@@ -147,6 +183,11 @@ fn main() {
         print!("{HELP}");
         return;
     }
+    if let Some(path) = flag_str("--replay") {
+        run_replay(&path, flag_str("--solver").as_deref());
+        return;
+    }
+    let journal = flag_str("--journal");
     let (default_hosts, default_steps, runs) = if full_mode() {
         (300usize, 30usize, 400usize)
     } else {
@@ -199,11 +240,55 @@ fn main() {
             entry,
             target,
             &config,
+            journal.as_deref(),
         ),
-        None => run_single(hosts, steps, runs, &mode_label, entry, target, &config),
+        None => run_single(
+            hosts,
+            steps,
+            runs,
+            &mode_label,
+            entry,
+            target,
+            &config,
+            journal.as_deref(),
+        ),
     }
 }
 
+/// The churn-config mark fields a recording embeds so a replay can rebuild
+/// the exact MTTC scenario without the original command line.
+fn config_fields(entry: HostId, target: HostId, config: &ChurnConfig) -> Vec<(&'static str, f64)> {
+    vec![
+        ("steps", config.steps as f64),
+        ("entry", f64::from(entry.0)),
+        ("target", f64::from(target.0)),
+        ("exploit_success", config.exploit_success),
+        ("baseline_rate", config.baseline_rate),
+        ("max_ticks", f64::from(config.max_ticks)),
+        ("mttc_runs", config.mttc.runs as f64),
+        ("seed", config.seed as f64),
+    ]
+}
+
+/// The per-step mark fields: step index, post-step revision, and the MTTC
+/// means (omitted when censored — `MarkRecord` carries finite values only).
+fn step_fields(
+    step: usize,
+    revision: u64,
+    before: &MttcEstimate,
+    after: &MttcEstimate,
+) -> Vec<(&'static str, f64)> {
+    let mut fields = vec![("step", step as f64), ("revision", revision as f64)];
+    if let Some(mean) = before.mean_ticks() {
+        fields.push(("mttc_carry", mean));
+    }
+    if let Some(mean) = after.mean_ticks() {
+        fields.push(("mttc_resolve", mean));
+    }
+    fields
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_single(
     hosts: usize,
     steps: usize,
@@ -212,6 +297,7 @@ fn run_single(
     entry: HostId,
     target: HostId,
     config: &ChurnConfig,
+    journal: Option<&str>,
 ) {
     let g = generate(
         &RandomNetworkConfig {
@@ -225,6 +311,12 @@ fn run_single(
         2026,
     );
     let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
+    if let Some(path) = journal {
+        // Full history, no compaction: the whole window stays replayable.
+        engine = engine
+            .with_journal_cadence(path, None)
+            .expect("journal creates");
+    }
     let cold = engine.solve().expect("instance solves");
     println!(
         "Dynamic churn — {hosts} hosts, {steps} steps ({mode_label}), worm {entry}→{target} \
@@ -339,6 +431,25 @@ fn run_single(
     println!(
         "expected shape: obj resolve ≤ obj carry per step, mttc resolve ≥ mttc carry on average"
     );
+    if let Some(path) = journal {
+        engine
+            .journal_mark("churn-config", &config_fields(entry, target, config))
+            .expect("journal appends");
+        for s in &replay {
+            engine
+                .journal_mark(
+                    "churn-step",
+                    &step_fields(s.step, s.report.revision, &s.mttc_before, &s.mttc_after),
+                )
+                .expect("journal appends");
+        }
+        println!(
+            "\nrecorded churn window to {path} ({} steps, final revision {}); replay with: \
+             churn --replay {path} [--solver NAME]",
+            replay.len(),
+            engine.revision()
+        );
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -351,6 +462,7 @@ fn run_sharded(
     entry: HostId,
     target: HostId,
     config: &ChurnConfig,
+    journal: Option<&str>,
 ) {
     let g = generate_zoned(
         &ZonedNetworkConfig {
@@ -368,6 +480,13 @@ fn run_sharded(
     let hosts = g.network.host_count();
     let target = HostId((hosts as u32 - 1).min(target.0.max(1)));
     let mut engine = ShardedEngine::new(g.network, g.catalog, g.similarity);
+    if let Some(path) = journal {
+        // Master-level recording: bursts journal globally, pre-routing, so
+        // the replay rebuilds one single-engine deployment.
+        engine = engine
+            .with_journal_cadence(path, None)
+            .expect("journal creates");
+    }
     let cold = engine.solve().expect("instance solves");
     println!(
         "Dynamic churn — {hosts} hosts in {zones} zones ({} boundary hosts, {} cross links), \
@@ -468,6 +587,25 @@ fn run_sharded(
         "expected shape: obj resolve ≤ obj carry per step; rounds 0 on interior-confined \
          bursts; certified gap small and never negative on Strong steps"
     );
+    if let Some(path) = journal {
+        engine
+            .journal_mark("churn-config", &config_fields(entry, target, config))
+            .expect("journal appends");
+        for s in &replay {
+            engine
+                .journal_mark(
+                    "churn-step",
+                    &step_fields(s.step, s.report.revision, &s.mttc_before, &s.mttc_after),
+                )
+                .expect("journal appends");
+        }
+        println!(
+            "\nrecorded churn window to {path} ({} steps, final revision {}); replay with: \
+             churn --replay {path} [--solver NAME]",
+            replay.len(),
+            engine.revision()
+        );
+    }
 }
 
 /// Serving-mode replay: put the engine behind the epoch-versioned snapshot
@@ -773,6 +911,21 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
             "\nsampled MTTC telemetry (async probe; epoch 1 is the synchronous baseline):\n{t}"
         );
     }
+    // The same gain roll-up the per-step modes print, over the sampled
+    // probe stream (a probe without a carried baseline stays unclassified).
+    let classified = mttc_rows.iter().filter(|r| r.4.is_some()).count();
+    let favor = mttc_rows
+        .iter()
+        .filter(|r| r.4.is_some_and(MttcGain::favors_reopt))
+        .count();
+    let both_censored = mttc_rows
+        .iter()
+        .filter(|r| matches!(r.4, Some(MttcGain::BothCensored)))
+        .count();
+    println!(
+        "mttc gains:  {classified} sampled epochs classified; re-optimizing favored on \
+         {favor} (both censored on {both_censored})"
+    );
     println!(
         "expected shape: batches ≤ submissions (coalescing), read p99 ≪ absorb wall, reads \
          never stall"
@@ -785,7 +938,8 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
          \"coalesced_submissions\": {},\n  \"last_epoch\": {},\n  \"last_revision\": {},\n  \
          \"churn_wall_ms\": {:.3},\n  \"deltas_per_sec\": {deltas_per_sec:.1},\n  \
          \"reads_total\": {total_reads},\n  \"read_p50_ns\": {},\n  \"read_p99_ns\": {},\n  \
-         \"probes_scheduled\": {},\n  \"probes_dropped\": {},\n  \"mttc_samples\": {}\n}}\n",
+         \"probes_scheduled\": {},\n  \"probes_dropped\": {},\n  \"mttc_samples\": {},\n  \
+         \"mttc_favor_reopt\": {favor},\n  \"mttc_both_censored\": {both_censored}\n}}\n",
         shards.map_or_else(|| "null".to_owned(), |z| z.to_string()),
         stats.submissions,
         stats.deltas_absorbed,
@@ -803,4 +957,180 @@ fn run_serving(hosts: usize, steps: usize, readers: usize, burst: usize, shards:
     );
     std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
     println!("\nwrote BENCH_serving.json");
+}
+
+/// Replay mode: rebuild the engine from a recorded journal (preamble +
+/// last snapshot before the batch tail), re-apply every recorded burst —
+/// optionally under a different solver — re-estimate MTTC with the
+/// recorded scenario parameters, and diff the trajectory against the
+/// recorded per-step marks.
+fn run_replay(path: &str, solver: Option<&str>) {
+    use sim::mttc::estimate_mttc;
+    use std::collections::BTreeMap;
+
+    let kind = solver.map(|name| match name {
+        "trws" => SolverKind::Trws(Default::default()),
+        "bp" => SolverKind::Bp(Default::default()),
+        "icm" => SolverKind::Icm(Default::default()),
+        "ils" => SolverKind::Ils(Default::default()),
+        "exhaustive" => SolverKind::Exhaustive,
+        "exact" => SolverKind::Exact(Default::default()),
+        other => panic!("unknown --solver {other:?} (trws, bp, icm, ils, exhaustive, exact)"),
+    });
+    let read = read_records(path).expect("journal reads");
+    if let Some(why) = &read.corruption {
+        println!(
+            "warning: journal damaged after {} valid bytes — replaying the valid prefix ({why})\n",
+            read.valid_len
+        );
+    }
+    // The recorded scenario parameters ride a churn-config mark.
+    let cfg = read
+        .records
+        .iter()
+        .find_map(|r| match r {
+            Record::Mark(m) if m.label == "churn-config" => Some(m.clone()),
+            _ => None,
+        })
+        .expect("journal has no churn-config mark — record one with: churn --journal PATH");
+    let entry = HostId(cfg.field("entry").expect("config mark has entry") as u32);
+    let target = HostId(cfg.field("target").expect("config mark has target") as u32);
+    let runs = cfg.field("mttc_runs").map_or(150, |r| r as usize);
+    let scenario = Scenario::new(entry, target)
+        .with_exploit_success(cfg.field("exploit_success").unwrap_or(0.9))
+        .with_baseline_rate(cfg.field("baseline_rate").unwrap_or(0.02))
+        .with_max_ticks(cfg.field("max_ticks").map_or(2_000, |t| t as u32));
+    let options = MttcOptions {
+        runs,
+        ..MttcOptions::default()
+    };
+    // Recorded per-step MTTC, keyed by the post-step network revision (the
+    // join key batch records carry too).
+    let mut recorded: BTreeMap<u64, (f64, Option<f64>)> = BTreeMap::new();
+    for r in &read.records {
+        if let Record::Mark(m) = r {
+            if m.label == "churn-step" {
+                if let (Some(rev), Some(step)) = (m.field("revision"), m.field("step")) {
+                    recorded.insert(rev as u64, (step, m.field("mttc_resolve")));
+                }
+            }
+        }
+    }
+
+    // Without --solver, replay is exact *verification*: batch records carry
+    // the committed assignment, so each step restores the recorded state
+    // and recomputes its MTTC (drift must be 0.0 with the seeded
+    // estimator). With --solver, replay is the what-if mode: every burst
+    // re-solves under that configuration and the trajectory diff shows how
+    // it diverges from the recording.
+    let Some(Record::Preamble(preamble)) = read.records.first() else {
+        panic!("journal has no valid preamble record");
+    };
+    let snap_idx = read
+        .records
+        .iter()
+        .rposition(|r| matches!(r, Record::Snapshot(_)))
+        .expect("journal has no valid snapshot record");
+    let Record::Snapshot(snapshot) = &read.records[snap_idx] else {
+        unreachable!("rposition matched a snapshot");
+    };
+    let mut network = snapshot.network.clone();
+    let mut assignment = snapshot.assignment.clone();
+    let mut engine = kind.clone().map(|k| {
+        engine_at_snapshot(&read.records, |e| {
+            let refiner = k.build();
+            e.with_solver(k).with_refiner(refiner)
+        })
+        .expect("journal holds a valid preamble + snapshot")
+    });
+    let batches = read.records[snap_idx + 1..]
+        .iter()
+        .filter(|r| matches!(r, Record::Batch(_)))
+        .count();
+    println!(
+        "Replaying {path} — {} records, snapshot at revision {}, {batches} recorded bursts, \
+         {} hosts; solver: {}\n",
+        read.records.len(),
+        snapshot.revision,
+        network.host_count(),
+        solver.unwrap_or("none (exact verification from recorded states)"),
+    );
+
+    let mut t = TextTable::new(&[
+        "step",
+        "revision",
+        "deltas",
+        "rec resolve",
+        "rep resolve",
+        "drift",
+    ]);
+    let mut replayed = 0usize;
+    let mut max_drift = 0.0f64;
+    let mut last_revision = snapshot.revision;
+    for record in &read.records[snap_idx + 1..] {
+        let Record::Batch(batch) = record else {
+            continue;
+        };
+        let (net, assign): (&_, &_) = match engine.as_mut() {
+            Some(engine) => {
+                engine
+                    .apply_batch(&batch.deltas)
+                    .expect("recorded batch replays");
+                last_revision = engine.revision();
+                (engine.network(), engine.assignment().expect("step solved"))
+            }
+            None => {
+                network
+                    .apply_all(&batch.deltas, &preamble.catalog)
+                    .expect("recorded batch applies");
+                last_revision = network.revision();
+                assignment.clone_from(&batch.assignment);
+                (
+                    &network,
+                    assignment
+                        .as_ref()
+                        .expect("recorded batch carries its committed assignment"),
+                )
+            }
+        };
+        if last_revision != batch.revision {
+            eprintln!(
+                "replay diverged: batch seq {} recorded revision {}, replay reached \
+                 {last_revision}",
+                batch.seq, batch.revision,
+            );
+            std::process::exit(1);
+        }
+        let est = estimate_mttc(net, assign, &preamble.similarity, &scenario, &options);
+        let (step_label, rec_resolve) = match recorded.get(&batch.revision) {
+            Some((step, resolve)) => (format!("{step:.0}"), *resolve),
+            None => ("-".to_owned(), None),
+        };
+        let drift = match (rec_resolve, est.mean_ticks()) {
+            (Some(rec), Some(rep)) => {
+                max_drift = max_drift.max((rep - rec).abs());
+                format!("{:+.1}", rep - rec)
+            }
+            _ => "-".to_owned(),
+        };
+        t.add_row_owned(vec![
+            step_label,
+            batch.revision.to_string(),
+            batch.deltas.len().to_string(),
+            rec_resolve.map_or_else(|| "censored".to_owned(), |m| format!("{m:.1}")),
+            fmt_mttc(&est),
+            drift,
+        ]);
+        replayed += 1;
+    }
+    println!("{t}");
+    println!(
+        "replayed {replayed} recorded bursts to revision {last_revision} (matches the \
+         recording); max |drift| {max_drift:.1} ticks",
+    );
+    println!(
+        "expected shape: drift is exactly 0 without --solver (replay restores each \
+         recorded committed assignment); with --solver every burst re-solves under that \
+         configuration and the diff shows how its MTTC trajectory diverges"
+    );
 }

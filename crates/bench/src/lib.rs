@@ -109,6 +109,26 @@ pub fn flag_value(flag: &str) -> Option<usize> {
     )
 }
 
+/// The string value following `flag` on the command line
+/// (`--journal churn.log`), or `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics when the flag is present but its value is missing or looks like
+/// another flag — a swallowed flag must not silently become a file name.
+pub fn flag_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == flag)?;
+    let value = args
+        .get(i + 1)
+        .unwrap_or_else(|| panic!("{flag} requires a value"));
+    assert!(
+        !value.starts_with("--"),
+        "{flag} requires a value, found flag {value:?}"
+    );
+    Some(value.clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

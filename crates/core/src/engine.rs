@@ -29,6 +29,7 @@
 //! [`NetworkDelta`]: netmodel::delta::NetworkDelta
 
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -43,11 +44,13 @@ use netmodel::assignment::Assignment;
 use netmodel::catalog::{Catalog, ProductSimilarity};
 use netmodel::constraints::ConstraintSet;
 use netmodel::delta::{BatchEffect, NetworkDelta};
+use netmodel::journal::{MarkRecord, Preamble, SnapshotRecord, FORMAT_VERSION};
 use netmodel::network::Network;
 use netmodel::{HostId, ProductId, ServiceId};
 
 use crate::cache::{EnergyCache, RebuildStats};
 use crate::energy::{EnergyModel, EnergyParams, SlotBinding};
+use crate::journal::{Journal, DEFAULT_SNAPSHOT_EVERY};
 use crate::optimizer::SolverKind;
 use crate::{Error, Result};
 
@@ -172,6 +175,11 @@ pub struct DiversityEngine {
     /// anew on each solve, but its allocations persist across steps, so a
     /// warm re-solve on a stable topology allocates nothing.
     scratch: SolveScratch,
+    /// Write-ahead delta journal, when attached
+    /// ([`DiversityEngine::with_journal`]). Appends happen post-commit, on
+    /// whichever thread drives the engine (the serving writer), never on
+    /// the read path.
+    journal: Option<Journal>,
 }
 
 /// A validated-but-uncommitted delta batch: the mutated network copy plus
@@ -191,6 +199,7 @@ impl fmt::Debug for DiversityEngine {
             .field("solver", &self.solver.name())
             .field("refiner", &self.refiner.name())
             .field("solved", &self.last.is_some())
+            .field("journaled", &self.journal.is_some())
             .finish()
     }
 }
@@ -219,6 +228,7 @@ impl DiversityEngine {
             pinned: Vec::new(),
             last: None,
             scratch: SolveScratch::new(),
+            journal: None,
         }
     }
 
@@ -270,6 +280,118 @@ impl DiversityEngine {
     pub fn with_locality(mut self, k_hops: Option<usize>) -> DiversityEngine {
         self.locality = k_hops;
         self
+    }
+
+    /// Attaches a write-ahead journal at `path` with the default snapshot
+    /// cadence ([`DEFAULT_SNAPSHOT_EVERY`] batches between periodic
+    /// snapshots/compactions). The file is created (truncating any previous
+    /// content) with a preamble — catalog, similarity, constraints — and a
+    /// genesis snapshot of the current network; every committed batch then
+    /// appends one record, and [`crate::journal::recover`] rebuilds an
+    /// equivalent engine from the file. Attach *after* the other `with_*`
+    /// builders: the preamble captures the constraint set as configured.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] wrapping [`netmodel::Error::Journal`] on I/O
+    /// failure.
+    pub fn with_journal(self, path: impl AsRef<Path>) -> Result<DiversityEngine> {
+        self.with_journal_cadence(path, Some(DEFAULT_SNAPSHOT_EVERY))
+    }
+
+    /// [`DiversityEngine::with_journal`] with an explicit snapshot cadence:
+    /// `Some(n)` writes a full snapshot (and compacts the journal down to
+    /// preamble + that snapshot) every `n` committed batches; `None`
+    /// disables periodic snapshots and compaction entirely, keeping the
+    /// full delta history — what the churn harness's record mode uses so a
+    /// whole window stays replayable.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiversityEngine::with_journal`].
+    pub fn with_journal_cadence(
+        mut self,
+        path: impl AsRef<Path>,
+        snapshot_every: Option<usize>,
+    ) -> Result<DiversityEngine> {
+        let preamble = Preamble {
+            format: FORMAT_VERSION,
+            catalog: self.catalog.clone(),
+            similarity: self.similarity.clone(),
+            constraints: self.cache.constraints().clone(),
+        };
+        let snapshot = self.snapshot_record();
+        self.journal =
+            Some(Journal::create(path, &preamble, snapshot, snapshot_every).map_err(Error::Model)?);
+        Ok(self)
+    }
+
+    /// Appends an application-defined mark record to the journal, if one is
+    /// attached (no-op otherwise). Marks are opaque to engine recovery —
+    /// the churn harness uses them to embed per-step MTTC measurements in a
+    /// recorded window so a replay can diff trajectories.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] wrapping [`netmodel::Error::Journal`] on I/O
+    /// failure.
+    pub fn journal_mark(&mut self, label: &str, fields: &[(&str, f64)]) -> Result<()> {
+        match self.journal.as_mut() {
+            Some(journal) => journal
+                .append_mark(MarkRecord::new(label, fields))
+                .map_err(Error::Model),
+            None => Ok(()),
+        }
+    }
+
+    /// A full snapshot of the current committed state.
+    fn snapshot_record(&self) -> SnapshotRecord {
+        SnapshotRecord {
+            revision: self.network.revision(),
+            network: self.network.clone(),
+            assignment: self.last.clone(),
+        }
+    }
+
+    /// Journals one committed batch, plus a periodic snapshot when the
+    /// cadence says one is due. Called post-commit: an I/O failure here
+    /// surfaces as an error, but the in-memory commit stands — the engine
+    /// is ahead of its journal, not corrupted.
+    fn journal_batch(&mut self, deltas: &[NetworkDelta]) -> Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let revision = self.network.revision();
+        let assignment = self.last.clone();
+        let due = match self.journal.as_mut() {
+            None => return Ok(()),
+            Some(journal) => {
+                journal
+                    .append_batch(deltas, revision, assignment.as_ref())
+                    .map_err(Error::Model)?;
+                journal.snapshot_due()
+            }
+        };
+        if due {
+            self.journal_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Journals a full snapshot of the current state, if a journal is
+    /// attached. Called after every explicit solve: replay applies batches
+    /// through `apply_batch`, whose warm path starts from the last
+    /// assignment — so the post-solve assignment must be on disk for a
+    /// recovered engine to re-solve identically.
+    fn journal_snapshot(&mut self) -> Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let snapshot = self.snapshot_record();
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_snapshot(snapshot).map_err(Error::Model)?;
+        }
+        Ok(())
     }
 
     /// Enables or disables in-place model edits on delta absorption
@@ -366,6 +488,7 @@ impl DiversityEngine {
             pinned: Vec::new(),
             last: None,
             scratch: SolveScratch::new(),
+            journal: None,
         }
     }
 
@@ -482,7 +605,7 @@ impl DiversityEngine {
     ///   [`DiversityEngine::apply`].
     pub fn apply_batch(&mut self, deltas: &[NetworkDelta]) -> Result<ReassignmentReport> {
         if deltas.is_empty() {
-            return self.step(None);
+            return self.solve();
         }
         let mut staged = self.network.clone();
         let effect = staged
@@ -492,11 +615,13 @@ impl DiversityEngine {
             [single] => single.kind(),
             _ => "batch",
         };
-        self.step(Some(StagedDeltas {
+        let report = self.step(Some(StagedDeltas {
             network: staged,
             kind,
             effect,
-        }))
+        }))?;
+        self.journal_batch(deltas)?;
+        Ok(report)
     }
 
     /// Solves (or re-solves) the current revision without a delta: cold the
@@ -506,7 +631,9 @@ impl DiversityEngine {
     ///
     /// See [`DiversityEngine::apply`].
     pub fn solve(&mut self) -> Result<ReassignmentReport> {
-        self.step(None)
+        let report = self.step(None)?;
+        self.journal_snapshot()?;
+        Ok(report)
     }
 
     fn control(&self) -> SolveControl {

@@ -1,0 +1,489 @@
+//! Durable engines: the write-ahead delta journal and crash recovery.
+//!
+//! [`netmodel::journal`] owns the on-disk record codec (checksummed,
+//! line-delimited JSON records); this module owns the *engine side* of
+//! persistence:
+//!
+//! * [`Journal`] — the append-only writer an engine attaches via
+//!   [`DiversityEngine::with_journal`] / [`ShardedEngine::with_journal`].
+//!   Attaching writes the preamble (catalog, similarity, constraints) and a
+//!   genesis snapshot; every committed `apply_batch` then appends one batch
+//!   record *post-commit* (on the serving writer thread, off the read
+//!   path), and every successful `solve` appends a snapshot so the
+//!   post-solve assignment is recoverable.
+//! * **Snapshot cadence and compaction** — every
+//!   [`DEFAULT_SNAPSHOT_EVERY`] batches (configurable) the engine writes a
+//!   full snapshot and the journal *compacts*: the file is atomically
+//!   rewritten as preamble + latest snapshot (temp file + rename), dropping
+//!   the replayed prefix so the log stays bounded under indefinite churn.
+//!   A cadence of `None` disables periodic snapshots and compaction — the
+//!   full history is kept, which is what the churn harness's record mode
+//!   wants (a replayable artifact).
+//! * [`recover`] — load the last snapshot, replay the journal tail's
+//!   deltas at the network level, and restore the assignment the last
+//!   batch committed. Replay is exact — batch records carry the committed
+//!   assignment precisely so recovery never has to re-run a solver whose
+//!   answer could drift. Damaged tails (torn writes, bit flips) are
+//!   detected by the per-record checksums and truncated at the last valid
+//!   record; recovery only fails when no valid preamble + snapshot prefix
+//!   survives.
+//! * [`recover_with`] — [`recover`] plus a reconfiguration hook for the
+//!   returned engine; [`engine_at_snapshot`] — the time-travel primitive
+//!   behind `churn --replay`, which *does* re-solve a recorded window
+//!   (under any solver) and diffs its MTTC trajectory against the
+//!   recorded one.
+//!
+//! Durability contract: each record is flushed to the OS after the append,
+//! so state survives a process crash or kill; fsync-per-record is
+//! deliberately not paid on the hot path. Compaction does sync the rewrite
+//! before the atomic rename, so a crash mid-compaction leaves either the
+//! old or the new file, never a mix.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use netmodel::assignment::Assignment;
+use netmodel::delta::NetworkDelta;
+use netmodel::journal::{
+    read_tolerant, BatchRecord, JournalRead, MarkRecord, Preamble, Record, SnapshotRecord,
+};
+
+use crate::engine::DiversityEngine;
+#[cfg(doc)]
+use crate::shard::ShardedEngine;
+use crate::{Error, Result};
+
+/// Default number of committed batches between periodic snapshots (and the
+/// log compaction each one triggers).
+pub const DEFAULT_SNAPSHOT_EVERY: usize = 32;
+
+fn io_err(what: &str, path: &Path, e: &std::io::Error) -> netmodel::Error {
+    netmodel::Error::Journal(format!("{what} {}: {e}", path.display()))
+}
+
+/// The append-only journal writer attached to an engine.
+///
+/// Created by the engine builders ([`DiversityEngine::with_journal`]),
+/// which write the preamble and genesis snapshot; the engine then drives
+/// [`Journal::append_batch`] / [`Journal::append_snapshot`] from its commit
+/// points.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    /// The encoded preamble line, kept so compaction can rewrite the file
+    /// head without re-borrowing the engine's catalog state.
+    preamble_line: String,
+    seq: u64,
+    snapshot_every: Option<usize>,
+    batches_since_snapshot: usize,
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path`, writing the preamble and a
+    /// genesis snapshot. `snapshot_every` is the compaction cadence in
+    /// batches; `None` keeps the full history (no periodic snapshots, no
+    /// compaction).
+    ///
+    /// # Errors
+    ///
+    /// [`netmodel::Error::Journal`] on I/O failure.
+    pub fn create(
+        path: impl AsRef<Path>,
+        preamble: &Preamble,
+        snapshot: SnapshotRecord,
+        snapshot_every: Option<usize>,
+    ) -> netmodel::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let preamble_line = Record::Preamble(preamble.clone()).to_line();
+        let mut file = File::create(&path).map_err(|e| io_err("create", &path, &e))?;
+        file.write_all(preamble_line.as_bytes())
+            .and_then(|()| file.write_all(Record::Snapshot(snapshot).to_line().as_bytes()))
+            .and_then(|()| file.flush())
+            .map_err(|e| io_err("write", &path, &e))?;
+        Ok(Journal {
+            path,
+            file,
+            preamble_line,
+            seq: 0,
+            snapshot_every,
+            batches_since_snapshot: 0,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The next batch sequence number (monotone across compactions).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn append_line(&mut self, line: &str) -> netmodel::Result<()> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_err("append to", &self.path, &e))
+    }
+
+    /// Appends one committed batch record and returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`netmodel::Error::Journal`] on I/O failure.
+    pub fn append_batch(
+        &mut self,
+        deltas: &[NetworkDelta],
+        revision: u64,
+        assignment: Option<&Assignment>,
+    ) -> netmodel::Result<u64> {
+        let seq = self.seq;
+        let line = Record::Batch(BatchRecord {
+            seq,
+            revision,
+            deltas: deltas.to_vec(),
+            assignment: assignment.cloned(),
+        })
+        .to_line();
+        self.append_line(&line)?;
+        self.seq += 1;
+        self.batches_since_snapshot += 1;
+        Ok(seq)
+    }
+
+    /// Appends an application mark record (ignored by engine recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`netmodel::Error::Journal`] on I/O failure.
+    pub fn append_mark(&mut self, mark: MarkRecord) -> netmodel::Result<()> {
+        let line = Record::Mark(mark).to_line();
+        self.append_line(&line)
+    }
+
+    /// Whether the snapshot cadence says the next commit point should write
+    /// a snapshot (and compact).
+    pub fn snapshot_due(&self) -> bool {
+        matches!(self.snapshot_every, Some(n) if n > 0 && self.batches_since_snapshot >= n)
+    }
+
+    /// Writes a full snapshot. With a periodic cadence configured this also
+    /// *compacts*: the file is atomically rewritten as preamble + this
+    /// snapshot (temp file, sync, rename), dropping the journal prefix the
+    /// snapshot supersedes. Without a cadence the snapshot is appended in
+    /// place and history is kept.
+    ///
+    /// # Errors
+    ///
+    /// [`netmodel::Error::Journal`] on I/O failure.
+    pub fn append_snapshot(&mut self, snapshot: SnapshotRecord) -> netmodel::Result<()> {
+        let line = Record::Snapshot(snapshot).to_line();
+        self.batches_since_snapshot = 0;
+        if self.snapshot_every.is_none() {
+            return self.append_line(&line);
+        }
+        // Compact: rewrite head as preamble + snapshot, atomically.
+        let tmp = self.path.with_extension("compact-tmp");
+        let mut out = File::create(&tmp).map_err(|e| io_err("create", &tmp, &e))?;
+        out.write_all(self.preamble_line.as_bytes())
+            .and_then(|()| out.write_all(line.as_bytes()))
+            .and_then(|()| out.sync_all())
+            .map_err(|e| io_err("write", &tmp, &e))?;
+        drop(out);
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("rename over", &self.path, &e))?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen", &self.path, &e))?;
+        Ok(())
+    }
+}
+
+/// Reads a journal file tolerantly: the longest checksum-valid record
+/// prefix plus where (and why) reading stopped, if it did.
+///
+/// # Errors
+///
+/// [`Error::Model`] wrapping [`netmodel::Error::Journal`] if the file
+/// cannot be read at all. Damaged tails are *not* errors here — they are
+/// reported via [`JournalRead::corruption`].
+pub fn read_records(path: impl AsRef<Path>) -> Result<JournalRead> {
+    let path = path.as_ref();
+    let data = std::fs::read(path).map_err(|e| Error::Model(io_err("read", path, &e)))?;
+    Ok(read_tolerant(&data))
+}
+
+/// How a recovery went: what was read, what was replayed, what was lost.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Checksum-valid records accepted from the file.
+    pub records: usize,
+    /// The revision of the snapshot recovery started from.
+    pub snapshot_revision: u64,
+    /// Batch records replayed after that snapshot.
+    pub batches_replayed: usize,
+    /// Why the valid prefix ended before the end of the file, if it did
+    /// (torn tail, checksum mismatch, decode failure).
+    pub corruption: Option<String>,
+    /// Byte length of the valid prefix (the recoverable part of the file).
+    pub valid_len: usize,
+}
+
+/// A recovered engine plus the [`RecoveryReport`] describing the recovery.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The engine, rebuilt from snapshot + journal-tail replay.
+    pub engine: DiversityEngine,
+    /// What the recovery read, replayed and (possibly) truncated.
+    pub report: RecoveryReport,
+}
+
+/// Recovers a [`DiversityEngine`] from a journal: preamble + last snapshot,
+/// then replay of the batch tail. Corrupt or torn trailing records are
+/// truncated at the last checksum-valid record.
+///
+/// # Errors
+///
+/// See [`recover_with`].
+pub fn recover(path: impl AsRef<Path>) -> Result<DiversityEngine> {
+    recover_with(path, |e| e).map(|r| r.engine)
+}
+
+/// [`recover`], with a reconfiguration hook applied to the recovered
+/// engine (different solver, budget, locality) before it is handed back.
+///
+/// Replay is *exact*, not a re-solve: each batch record carries both its
+/// deltas and the assignment the re-solve committed, so recovery applies
+/// the deltas at the network level and restores the recorded assignment.
+/// (A re-solve could legitimately land in a different local optimum — the
+/// warm refiner's sweep order depends on incremental cache layout the
+/// journal does not capture.) Re-solving replay — running a recorded
+/// window under a different solver and diffing the result — is the churn
+/// harness's `--replay` mode, built on [`engine_at_snapshot`].
+///
+/// # Errors
+///
+/// * [`Error::Model`] wrapping [`netmodel::Error::Journal`] — unreadable
+///   file, no valid preamble or snapshot in the valid prefix, or a replayed
+///   revision that contradicts the recorded one.
+/// * [`Error::Model`] for a recorded delta the network rejects.
+pub fn recover_with(
+    path: impl AsRef<Path>,
+    configure: impl FnOnce(DiversityEngine) -> DiversityEngine,
+) -> Result<Recovered> {
+    let read = read_records(path)?;
+    let records = &read.records;
+    let Some(Record::Preamble(preamble)) = records.first() else {
+        return Err(Error::Model(netmodel::Error::Journal(
+            "journal has no valid preamble record".into(),
+        )));
+    };
+    let Some(snap_idx) = last_snapshot_index(records) else {
+        return Err(Error::Model(netmodel::Error::Journal(
+            "journal has no valid snapshot record".into(),
+        )));
+    };
+    let Record::Snapshot(snapshot) = &records[snap_idx] else {
+        unreachable!("rposition matched a snapshot");
+    };
+    let mut network = snapshot.network.clone();
+    let mut assignment = snapshot.assignment.clone();
+    let snapshot_revision = snapshot.revision;
+    let mut batches_replayed = 0;
+    for record in &records[snap_idx + 1..] {
+        let Record::Batch(batch) = record else {
+            continue;
+        };
+        network
+            .apply_all(&batch.deltas, &preamble.catalog)
+            .map_err(Error::Model)?;
+        if network.revision() != batch.revision {
+            return Err(Error::Model(netmodel::Error::Journal(format!(
+                "replay diverged: batch seq {} recorded revision {}, replay reached {}",
+                batch.seq,
+                batch.revision,
+                network.revision()
+            ))));
+        }
+        assignment = batch.assignment.clone();
+        batches_replayed += 1;
+    }
+    let engine = DiversityEngine::new(
+        network,
+        preamble.catalog.clone(),
+        preamble.similarity.clone(),
+    )
+    .with_constraints(preamble.constraints.clone());
+    let mut engine = configure(engine);
+    if let Some(assignment) = assignment {
+        engine.set_assignment(assignment);
+    }
+    Ok(Recovered {
+        engine,
+        report: RecoveryReport {
+            records: read.records.len(),
+            snapshot_revision,
+            batches_replayed,
+            corruption: read.corruption,
+            valid_len: read.valid_len,
+        },
+    })
+}
+
+fn last_snapshot_index(records: &[Record]) -> Option<usize> {
+    records
+        .iter()
+        .rposition(|r| matches!(r, Record::Snapshot(_)))
+}
+
+/// Builds a configured engine positioned at the last snapshot of `records`
+/// (no tail replay). Shared by [`recover_with`] and the churn replay
+/// tooling, which drives the batch tail itself to interleave measurements.
+///
+/// # Errors
+///
+/// [`Error::Model`] wrapping [`netmodel::Error::Journal`] when the records
+/// hold no valid preamble-first prefix or no snapshot.
+pub fn engine_at_snapshot(
+    records: &[Record],
+    configure: impl FnOnce(DiversityEngine) -> DiversityEngine,
+) -> Result<DiversityEngine> {
+    let Some(Record::Preamble(preamble)) = records.first() else {
+        return Err(Error::Model(netmodel::Error::Journal(
+            "journal has no valid preamble record".into(),
+        )));
+    };
+    let Some(idx) = last_snapshot_index(records) else {
+        return Err(Error::Model(netmodel::Error::Journal(
+            "journal has no valid snapshot record".into(),
+        )));
+    };
+    let Record::Snapshot(snapshot) = &records[idx] else {
+        unreachable!("rposition matched a snapshot");
+    };
+    let engine = DiversityEngine::new(
+        snapshot.network.clone(),
+        preamble.catalog.clone(),
+        preamble.similarity.clone(),
+    )
+    .with_constraints(preamble.constraints.clone());
+    let mut engine = configure(engine);
+    if let Some(assignment) = &snapshot.assignment {
+        engine.set_assignment(assignment.clone());
+    }
+    Ok(engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::topology::{generate, RandomNetworkConfig, TopologyKind};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ics-journal-{tag}-{}-{n}.log", std::process::id()))
+    }
+
+    fn small_engine() -> DiversityEngine {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 8,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 3,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            5,
+        );
+        DiversityEngine::new(g.network, g.catalog, g.similarity)
+    }
+
+    #[test]
+    fn journaled_engine_recovers_exactly() {
+        let path = tmp_path("recover");
+        let mut engine = small_engine().with_journal(&path).unwrap();
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        let host = netmodel::HostId(2);
+        let product = engine
+            .network()
+            .host(host)
+            .unwrap()
+            .candidates_for(os)
+            .unwrap()[0];
+        engine
+            .apply(&netmodel::delta::NetworkDelta::fix_slot(host, os, product))
+            .unwrap();
+        engine
+            .apply(&netmodel::delta::NetworkDelta::remove_host(
+                netmodel::HostId(7),
+            ))
+            .unwrap();
+
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.network(), engine.network());
+        assert_eq!(recovered.revision(), engine.revision());
+        let live = engine
+            .assignment()
+            .unwrap()
+            .total_edge_similarity(engine.network(), engine.similarity());
+        let back = recovered
+            .assignment()
+            .unwrap()
+            .total_edge_similarity(recovered.network(), recovered.similarity());
+        assert!(
+            (live - back).abs() <= 1e-9,
+            "objective drifted: {live} vs {back}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_bounds_the_log_and_preserves_state() {
+        let path = tmp_path("compact");
+        // Cadence 2: every other batch rewrites the file to preamble +
+        // snapshot, so record count stays bounded while state accrues.
+        let mut engine = small_engine().with_journal_cadence(&path, Some(2)).unwrap();
+        engine.solve().unwrap();
+        let os = engine.catalog().service_by_name("service0").unwrap();
+        for step in 0..6 {
+            let host = netmodel::HostId(step % 4);
+            let product = engine
+                .network()
+                .host(host)
+                .unwrap()
+                .candidates_for(os)
+                .unwrap()[0];
+            engine
+                .apply(&netmodel::delta::NetworkDelta::fix_slot(host, os, product))
+                .unwrap();
+        }
+        let read = read_records(&path).unwrap();
+        assert!(read.corruption.is_none());
+        // Bounded: preamble + snapshot + at most (cadence) trailing batches.
+        assert!(
+            read.records.len() <= 2 + 2,
+            "compaction left {} records",
+            read.records.len()
+        );
+        let recovered = recover(&path).unwrap();
+        assert_eq!(recovered.network(), engine.network());
+        assert_eq!(recovered.revision(), engine.revision());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn recovery_without_preamble_is_an_error() {
+        let path = tmp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        assert!(recover(&path).is_err());
+        std::fs::write(&path, b"garbage\n").unwrap();
+        assert!(recover(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

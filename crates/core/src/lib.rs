@@ -39,6 +39,10 @@
 //!   detect staleness by revision instead of blocking on absorption.
 //! * [`churn`] — the dynamic-churn scenario: replay a random delta stream
 //!   and measure MTTC before/after each re-optimization.
+//! * [`journal`] — durability: a write-ahead delta journal with periodic
+//!   snapshots and log compaction ([`DiversityEngine::with_journal`]), and
+//!   [`recover`] — last snapshot + checksummed journal-tail replay, with
+//!   corrupt or torn trailing records truncated at the last valid one.
 //! * [`optimizer`] — the solver facade, built on the open
 //!   [`mrf::MapSolver`] trait: TRW-S (default), loopy BP, ICM, ILS, exact
 //!   elimination with a *recorded* fallback, brute force, parallel solver
@@ -210,6 +214,7 @@ pub mod churn;
 pub mod energy;
 pub mod engine;
 pub mod evaluate;
+pub mod journal;
 pub mod metrics;
 pub mod optimizer;
 pub mod report;
@@ -222,6 +227,7 @@ mod error;
 
 pub use engine::{DiversityEngine, ReassignmentReport};
 pub use error::Error;
+pub use journal::{recover, recover_with, Journal, Recovered, RecoveryReport};
 pub use optimizer::{DiversityOptimizer, OptimizedAssignment, SolverKind};
 pub use serve::{DrainReport, Enqueue, ServingConfig, ServingEngine, ServingStats, WriterCore};
 pub use shard::{ShardReport, ShardedEngine};

@@ -111,6 +111,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -123,12 +124,14 @@ use netmodel::assignment::Assignment;
 use netmodel::catalog::{Catalog, ProductSimilarity};
 use netmodel::constraints::{Constraint, ConstraintSet, Scope};
 use netmodel::delta::NetworkDelta;
+use netmodel::journal::{Preamble, SnapshotRecord, FORMAT_VERSION};
 use netmodel::network::Network;
 use netmodel::partition::{extract_shard, partition_by_zone, ZonePartition};
 use netmodel::HostId;
 
 use crate::energy::SlotBinding;
 use crate::engine::{DiversityEngine, ReassignmentReport};
+use crate::journal::{Journal, DEFAULT_SNAPSHOT_EVERY};
 use crate::optimizer::SolverKind;
 use crate::{Error, Result};
 
@@ -389,6 +392,11 @@ pub struct ShardedEngine {
     /// labeling — kept in sync by every step so the global objective is a
     /// sum plus the cross residual, not an O(model) re-encode per burst.
     shard_objectives: Vec<f64>,
+    /// Write-ahead delta journal over the *master* network, when attached
+    /// ([`ShardedEngine::with_journal`]). Batches are journaled globally
+    /// (pre-routing), so [`crate::journal::recover`] rebuilds the whole
+    /// deployment as one [`DiversityEngine`] regardless of sharding.
+    journal: Option<Journal>,
 }
 
 impl fmt::Debug for ShardedEngine {
@@ -400,6 +408,7 @@ impl fmt::Debug for ShardedEngine {
             .field("boundary_hosts", &self.partition.boundary().len())
             .field("cross_links", &self.partition.cross_links().len())
             .field("solved", &self.last.is_some())
+            .field("journaled", &self.journal.is_some())
             .finish()
     }
 }
@@ -463,6 +472,7 @@ impl ShardedEngine {
             partition_recomputes: 0,
             last: None,
             shard_objectives: vec![0.0; shard_count],
+            journal: None,
         };
         engine.refresh_pinned();
         engine
@@ -574,6 +584,110 @@ impl ShardedEngine {
         self.last = None;
         self.shard_objectives.iter_mut().for_each(|o| *o = 0.0);
         Ok(self)
+    }
+
+    /// Attaches a write-ahead journal at `path` with the default snapshot
+    /// cadence, exactly like [`DiversityEngine::with_journal`] — but over
+    /// the **master** network: delta bursts are journaled globally before
+    /// routing, and snapshots capture the composed assignment, so
+    /// [`crate::journal::recover`] rebuilds the deployment as one
+    /// [`DiversityEngine`] regardless of how it was sharded when recorded.
+    /// Attach after [`ShardedEngine::with_constraints`]: the preamble
+    /// captures the full (unsplit) constraint set as configured.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] wrapping [`netmodel::Error::Journal`] on I/O
+    /// failure.
+    pub fn with_journal(self, path: impl AsRef<Path>) -> Result<ShardedEngine> {
+        self.with_journal_cadence(path, Some(DEFAULT_SNAPSHOT_EVERY))
+    }
+
+    /// [`ShardedEngine::with_journal`] with an explicit snapshot cadence
+    /// (see [`DiversityEngine::with_journal_cadence`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedEngine::with_journal`].
+    pub fn with_journal_cadence(
+        mut self,
+        path: impl AsRef<Path>,
+        snapshot_every: Option<usize>,
+    ) -> Result<ShardedEngine> {
+        let preamble = Preamble {
+            format: FORMAT_VERSION,
+            catalog: self.catalog.clone(),
+            similarity: self.similarity.clone(),
+            constraints: self.constraints.clone(),
+        };
+        let snapshot = self.snapshot_record();
+        self.journal =
+            Some(Journal::create(path, &preamble, snapshot, snapshot_every).map_err(Error::Model)?);
+        Ok(self)
+    }
+
+    /// Appends an application-defined mark record to the journal, if one
+    /// is attached (no-op otherwise) — see
+    /// [`DiversityEngine::journal_mark`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Model`] wrapping [`netmodel::Error::Journal`] on I/O
+    /// failure.
+    pub fn journal_mark(&mut self, label: &str, fields: &[(&str, f64)]) -> Result<()> {
+        match self.journal.as_mut() {
+            Some(journal) => journal
+                .append_mark(netmodel::journal::MarkRecord::new(label, fields))
+                .map_err(Error::Model),
+            None => Ok(()),
+        }
+    }
+
+    /// A full snapshot of the committed master state.
+    fn snapshot_record(&self) -> SnapshotRecord {
+        SnapshotRecord {
+            revision: self.master.revision(),
+            network: self.master.clone(),
+            assignment: self.last.clone(),
+        }
+    }
+
+    /// Journals one committed burst (globally, pre-routing), plus a
+    /// periodic snapshot when due. Post-commit: an I/O failure surfaces as
+    /// an error while the in-memory commit stands.
+    fn journal_batch(&mut self, deltas: &[NetworkDelta]) -> Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let revision = self.master.revision();
+        let assignment = self.last.clone();
+        let due = match self.journal.as_mut() {
+            None => return Ok(()),
+            Some(journal) => {
+                journal
+                    .append_batch(deltas, revision, assignment.as_ref())
+                    .map_err(Error::Model)?;
+                journal.snapshot_due()
+            }
+        };
+        if due {
+            self.journal_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Journals a full snapshot of the committed state, if a journal is
+    /// attached (after every explicit solve — see
+    /// `DiversityEngine::journal_snapshot`).
+    fn journal_snapshot(&mut self) -> Result<()> {
+        if self.journal.is_none() {
+            return Ok(());
+        }
+        let snapshot = self.snapshot_record();
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append_snapshot(snapshot).map_err(Error::Model)?;
+        }
+        Ok(())
     }
 
     /// The `ALL`-scoped subset of the stored constraint set — what a shard
@@ -698,7 +812,7 @@ impl ShardedEngine {
         let objective_before = carried
             .as_ref()
             .map(|c| self.carried_objective(&cached_previous, &reports, c));
-        Ok(self.report(
+        let report = self.report(
             0,
             Vec::new(),
             reports,
@@ -707,7 +821,9 @@ impl ShardedEngine {
             objective_before,
             carried,
             start,
-        ))
+        );
+        self.journal_snapshot()?;
+        Ok(report)
     }
 
     /// Applies one delta end to end (routing, local re-solve, boundary
@@ -969,7 +1085,7 @@ impl ShardedEngine {
         // nothing — force the write-back sync.
         self.commit_assignment(coordinated, coordination_changed || seeded_carry);
 
-        Ok(self.report(
+        let report = self.report(
             effect.applied,
             shards_touched,
             reports,
@@ -978,7 +1094,9 @@ impl ShardedEngine {
             objective_before,
             carried,
             start,
-        ))
+        );
+        self.journal_batch(deltas)?;
+        Ok(report)
     }
 
     /// The global objective of any assignment over the master network:

@@ -28,6 +28,13 @@ impl Assignment {
         Assignment { products }
     }
 
+    /// The number of host rows in the table (including empty rows for
+    /// removed hosts) — the bound `products_at` answers non-empty slices
+    /// under.
+    pub fn host_rows(&self) -> usize {
+        self.products.len()
+    }
+
     /// Consumes the assignment, returning the per-host product table — the
     /// inverse of [`Assignment::from_slots`], for callers that splice rows
     /// without paying a deep clone (e.g. the sharded engine composing a

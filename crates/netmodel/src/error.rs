@@ -95,6 +95,9 @@ pub enum Error {
         /// Why that delta was rejected.
         cause: Box<Error>,
     },
+    /// A journal could not be written, read or decoded (I/O failures,
+    /// framing or checksum damage, malformed records).
+    Journal(String),
 }
 
 impl Error {
@@ -174,6 +177,7 @@ impl fmt::Display for Error {
             Error::BatchRejected { index, cause } => {
                 write!(f, "batch rejected at delta {index}: {cause}")
             }
+            Error::Journal(why) => write!(f, "journal error: {why}"),
         }
     }
 }

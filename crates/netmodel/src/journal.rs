@@ -1,0 +1,1442 @@
+//! On-disk record codec for the write-ahead delta journal.
+//!
+//! A journal is a plain-text file of newline-delimited records. Each line is
+//!
+//! ```text
+//! <crc32> <json>\n
+//! ```
+//!
+//! where `<crc32>` is the IEEE CRC-32 of the JSON bytes as eight lowercase
+//! hex digits and `<json>` is one compact (single-line) JSON object carrying
+//! a `"kind"` tag. Four record kinds exist:
+//!
+//! * `preamble` — format version plus the immutable problem context: the
+//!   [`Catalog`], the [`ProductSimilarity`] matrix and the [`ConstraintSet`].
+//!   Always the first record of a journal.
+//! * `snapshot` — the full evolvable state at a revision: the exact
+//!   [`Network`] (all revision counters included) and the current
+//!   [`Assignment`], if any. Recovery starts from the last snapshot.
+//! * `batch` — one committed `apply_batch` call: a sequence number, the
+//!   network revision *after* the commit, and the applied
+//!   [`NetworkDelta`]s. Recovery replays these after the snapshot.
+//! * `mark` — an application-level annotation (label plus numeric fields),
+//!   checksummed like everything else but ignored by engine recovery. The
+//!   churn harness uses marks to record per-step MTTC so a replay can diff
+//!   trajectories.
+//!
+//! The JSON codec is hand-rolled on the [`nvd::json`] pattern (the build
+//! environment is offline, so `serde_json` is unavailable): a
+//! recursive-descent parser into a small `Value` tree plus direct string
+//! writers. Writers are deterministic — identical state produces identical
+//! bytes, which the golden-file test in `tests/tests/journal.rs` pins.
+//!
+//! Torn and corrupt tails are first-class: [`read_tolerant`] accepts the
+//! longest prefix of checksum-valid records and reports where (and why) the
+//! first bad byte appeared, so crash recovery can truncate at the last good
+//! record instead of failing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::assignment::Assignment;
+use crate::catalog::{Catalog, ProductSimilarity};
+use crate::constraints::{Constraint, ConstraintSet, Scope};
+use crate::delta::NetworkDelta;
+use crate::network::{Host, Network, ServiceInstance};
+use crate::{Error, HostId, ProductId, Result, ServiceId};
+
+/// The on-disk format version written into every preamble. Bump on any
+/// incompatible codec change; readers reject versions they do not know.
+pub const FORMAT_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected): the per-record checksum. Table-based so
+// the hot append path costs one lookup per byte.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The IEEE CRC-32 of `bytes` (the variant used by zip/gzip/Ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Record types.
+// ---------------------------------------------------------------------------
+
+/// The immutable problem context, written once at the head of a journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preamble {
+    /// On-disk format version ([`FORMAT_VERSION`] when written by this code).
+    pub format: u64,
+    /// The service/product universe.
+    pub catalog: Catalog,
+    /// The dense product-pair similarity matrix.
+    pub similarity: ProductSimilarity,
+    /// The constraint set the engine was configured with.
+    pub constraints: ConstraintSet,
+}
+
+/// Full evolvable state at one revision: recovery's starting point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotRecord {
+    /// The network revision this snapshot captures.
+    pub revision: u64,
+    /// The exact network, revision counters included.
+    pub network: Network,
+    /// The committed assignment at that revision, if the engine had solved.
+    pub assignment: Option<Assignment>,
+}
+
+/// One committed `apply_batch` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Monotone per-journal sequence number (survives compaction).
+    pub seq: u64,
+    /// The network revision *after* this batch committed.
+    pub revision: u64,
+    /// The deltas the batch applied, in order.
+    pub deltas: Vec<NetworkDelta>,
+    /// The committed assignment *after* the batch's re-solve. Recorded so
+    /// recovery restores the exact committed state instead of re-running
+    /// the solver (whose local optimum can depend on incremental cache
+    /// layout the journal does not capture).
+    pub assignment: Option<Assignment>,
+}
+
+/// An application-level annotation; engine recovery skips these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkRecord {
+    /// A short label, e.g. `"churn-step"`.
+    pub label: String,
+    /// Named numeric fields. Non-finite values are not representable and
+    /// are dropped at encode time.
+    pub fields: BTreeMap<String, f64>,
+}
+
+impl MarkRecord {
+    /// Builds a mark from a label and `(name, value)` pairs, dropping
+    /// non-finite values (JSON cannot carry them).
+    pub fn new(label: &str, fields: &[(&str, f64)]) -> MarkRecord {
+        MarkRecord {
+            label: label.to_owned(),
+            fields: fields
+                .iter()
+                .filter(|(_, v)| v.is_finite())
+                .map(|&(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+
+    /// The value of a field, if present.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields.get(name).copied()
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// Problem context (first record of every journal).
+    Preamble(Preamble),
+    /// Full state at a revision.
+    Snapshot(SnapshotRecord),
+    /// One committed delta batch.
+    Batch(BatchRecord),
+    /// Application annotation, ignored by engine recovery.
+    Mark(MarkRecord),
+}
+
+impl Record {
+    /// Encodes the record as one compact JSON object (no newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(128);
+        match self {
+            Record::Preamble(p) => encode_preamble(&mut out, p),
+            Record::Snapshot(s) => encode_snapshot(&mut out, s),
+            Record::Batch(b) => encode_batch(&mut out, b),
+            Record::Mark(m) => encode_mark(&mut out, m),
+        }
+        out
+    }
+
+    /// Encodes the record as a full journal line: checksum, space, JSON,
+    /// newline.
+    pub fn to_line(&self) -> String {
+        let json = self.encode();
+        format!("{:08x} {json}\n", crc32(json.as_bytes()))
+    }
+
+    /// Decodes one record from its JSON body (checksum already verified).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Journal`] for malformed JSON, unknown record kinds
+    /// or out-of-range ids.
+    pub fn decode(json: &str) -> Result<Record> {
+        let v = parse_value(json)?;
+        let obj = v.as_object("record")?;
+        let kind = get(obj, "kind", "record")?.as_str("kind")?;
+        match kind {
+            "preamble" => decode_preamble(obj),
+            "snapshot" => decode_snapshot(obj),
+            "batch" => decode_batch(obj),
+            "mark" => decode_mark(obj),
+            other => Err(Error::Journal(format!("unknown record kind {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line framing: strict single-record parse and the tolerant prefix reader.
+// ---------------------------------------------------------------------------
+
+/// Parses one journal line (without its trailing newline), verifying the
+/// checksum before decoding.
+///
+/// # Errors
+///
+/// Returns [`Error::Journal`] for framing damage, checksum mismatches and
+/// decode failures.
+pub fn parse_record_line(line: &[u8]) -> Result<Record> {
+    if line.len() < 10 || line[8] != b' ' {
+        return Err(Error::Journal(format!(
+            "malformed record frame ({} bytes)",
+            line.len()
+        )));
+    }
+    let hex = std::str::from_utf8(&line[..8])
+        .map_err(|_| Error::Journal("checksum is not hex".into()))?;
+    let stored = u32::from_str_radix(hex, 16)
+        .map_err(|_| Error::Journal(format!("checksum is not hex: {hex:?}")))?;
+    let body = &line[9..];
+    let actual = crc32(body);
+    if actual != stored {
+        return Err(Error::Journal(format!(
+            "checksum mismatch: stored {stored:08x}, computed {actual:08x}"
+        )));
+    }
+    let json =
+        std::str::from_utf8(body).map_err(|_| Error::Journal("record body is not UTF-8".into()))?;
+    Record::decode(json)
+}
+
+/// What the tolerant reader accepted from a journal image.
+#[derive(Debug)]
+pub struct JournalRead {
+    /// The checksum-valid record prefix, in file order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix — truncating the file here drops
+    /// exactly the damaged tail.
+    pub valid_len: usize,
+    /// Why reading stopped before the end of the image, if it did.
+    pub corruption: Option<String>,
+}
+
+/// Reads the longest valid record prefix of a journal image, stopping at
+/// the first framing, checksum or decode failure. A torn final line
+/// (missing its newline) is still accepted if it validates — the record was
+/// complete; only the terminator was lost.
+pub fn read_tolerant(data: &[u8]) -> JournalRead {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    let mut corruption = None;
+    while pos < data.len() {
+        let (line, next) = match data[pos..].iter().position(|&b| b == b'\n') {
+            Some(i) => (&data[pos..pos + i], pos + i + 1),
+            None => (&data[pos..], data.len()),
+        };
+        match parse_record_line(line) {
+            Ok(r) => {
+                records.push(r);
+                pos = next;
+            }
+            Err(e) => {
+                corruption = Some(format!("record {} at byte {pos}: {e}", records.len()));
+                break;
+            }
+        }
+    }
+    JournalRead {
+        records,
+        valid_len: pos,
+        corruption,
+    }
+}
+
+/// Reads a journal image, rejecting any damage.
+///
+/// # Errors
+///
+/// Returns [`Error::Journal`] describing the first bad record.
+pub fn read_strict(data: &[u8]) -> Result<Vec<Record>> {
+    let read = read_tolerant(data);
+    match read.corruption {
+        Some(why) => Err(Error::Journal(why)),
+        None => Ok(read.records),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoders: direct, deterministic compact-JSON writers.
+// ---------------------------------------------------------------------------
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-trippable decimal for a finite f64 (`{}` formatting is
+/// guaranteed to parse back to the same bits).
+fn fmt_f64(n: f64) -> String {
+    debug_assert!(n.is_finite());
+    format!("{n}")
+}
+
+fn push_u64_array(out: &mut String, items: impl Iterator<Item = u64>) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+}
+
+fn encode_zone(out: &mut String, zone: Option<&str>) {
+    match zone {
+        Some(z) => out.push_str(&quote(z)),
+        None => out.push_str("null"),
+    }
+}
+
+fn encode_services(out: &mut String, services: &[(ServiceId, Vec<ProductId>)]) {
+    out.push('[');
+    for (i, (s, candidates)) in services.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{}", s.0);
+        out.push(',');
+        push_u64_array(out, candidates.iter().map(|p| p.0 as u64));
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn encode_catalog(out: &mut String, catalog: &Catalog) {
+    out.push_str("{\"services\":[");
+    for (i, (_, s)) in catalog.iter_services().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(s.name()));
+    }
+    out.push_str("],\"products\":[");
+    for (i, (_, p)) in catalog.iter_products().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", quote(p.name()), p.service().0);
+    }
+    out.push_str("]}");
+}
+
+fn encode_similarity(out: &mut String, sim: &ProductSimilarity) {
+    let n = sim.len();
+    let _ = write!(out, "{{\"n\":{n},\"values\":[");
+    let mut first = true;
+    for i in 0..n {
+        for j in 0..n {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&fmt_f64(sim.get(ProductId(i as u16), ProductId(j as u16))));
+        }
+    }
+    out.push_str("]}");
+}
+
+fn encode_scope(out: &mut String, scope: Scope) {
+    match scope {
+        Scope::Host(h) => {
+            let _ = write!(out, "{}", h.0);
+        }
+        Scope::All => out.push_str("null"),
+    }
+}
+
+fn encode_constraints(out: &mut String, set: &ConstraintSet) {
+    out.push('[');
+    for (i, c) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match *c {
+            Constraint::Fix {
+                host,
+                service,
+                product,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":\"fix\",\"host\":{},\"service\":{},\"product\":{}}}",
+                    host.0, service.0, product.0
+                );
+            }
+            Constraint::ForbidCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                forbidden,
+            } => {
+                out.push_str("{\"t\":\"forbid\",\"scope\":");
+                encode_scope(out, scope);
+                let _ = write!(
+                    out,
+                    ",\"if_service\":{},\"if_product\":{},\"then_service\":{},\"other\":{}}}",
+                    if_service.0, if_product.0, then_service.0, forbidden.0
+                );
+            }
+            Constraint::RequireCombination {
+                scope,
+                if_service,
+                if_product,
+                then_service,
+                required,
+            } => {
+                out.push_str("{\"t\":\"require\",\"scope\":");
+                encode_scope(out, scope);
+                let _ = write!(
+                    out,
+                    ",\"if_service\":{},\"if_product\":{},\"then_service\":{},\"other\":{}}}",
+                    if_service.0, if_product.0, then_service.0, required.0
+                );
+            }
+        }
+    }
+    out.push(']');
+}
+
+fn encode_network(out: &mut String, n: &Network) {
+    out.push_str("{\"hosts\":[");
+    for (i, (_, h)) in n.iter_hosts().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":{},\"zone\":", quote(h.name()));
+        encode_zone(out, h.zone());
+        out.push_str(",\"services\":");
+        let services: Vec<(ServiceId, Vec<ProductId>)> = h
+            .services()
+            .iter()
+            .map(|s| (s.service(), s.candidates().to_vec()))
+            .collect();
+        encode_services(out, &services);
+        let _ = write!(
+            out,
+            ",\"removed\":{}}}",
+            if h.is_removed() { "true" } else { "false" }
+        );
+    }
+    out.push_str("],\"links\":[");
+    for (i, &(a, b)) in n.links().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{},{}]", a.0, b.0);
+    }
+    let _ = write!(out, "],\"revision\":{}", n.revision());
+    out.push_str(",\"host_revisions\":");
+    push_u64_array(
+        out,
+        (0..n.host_count()).map(|i| n.host_revision(HostId(i as u32))),
+    );
+    let _ = write!(out, ",\"topology_revision\":{}", n.topology_revision());
+    out.push_str(",\"link_revisions\":");
+    push_u64_array(
+        out,
+        (0..n.host_count()).map(|i| n.link_revision(HostId(i as u32))),
+    );
+    out.push('}');
+}
+
+fn encode_assignment(out: &mut String, a: Option<&Assignment>, host_count: usize) {
+    match a {
+        None => out.push_str("null"),
+        Some(a) => {
+            out.push('[');
+            for host in 0..host_count {
+                if host > 0 {
+                    out.push(',');
+                }
+                push_u64_array(
+                    out,
+                    a.products_at(HostId(host as u32))
+                        .iter()
+                        .map(|p| p.0 as u64),
+                );
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn encode_delta(out: &mut String, d: &NetworkDelta) {
+    match d {
+        NetworkDelta::AddHost {
+            name,
+            zone,
+            services,
+            links,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"add-host\",\"name\":{},\"zone\":",
+                quote(name)
+            );
+            encode_zone(out, zone.as_deref());
+            out.push_str(",\"services\":");
+            encode_services(out, services);
+            out.push_str(",\"links\":");
+            push_u64_array(out, links.iter().map(|h| h.0 as u64));
+            out.push('}');
+        }
+        NetworkDelta::RemoveHost { host } => {
+            let _ = write!(out, "{{\"t\":\"remove-host\",\"host\":{}}}", host.0);
+        }
+        NetworkDelta::AddLink { a, b } => {
+            let _ = write!(out, "{{\"t\":\"add-link\",\"a\":{},\"b\":{}}}", a.0, b.0);
+        }
+        NetworkDelta::RemoveLink { a, b } => {
+            let _ = write!(out, "{{\"t\":\"remove-link\",\"a\":{},\"b\":{}}}", a.0, b.0);
+        }
+        NetworkDelta::FixSlot {
+            host,
+            service,
+            product,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"fix-slot\",\"host\":{},\"service\":{},\"product\":{}}}",
+                host.0, service.0, product.0
+            );
+        }
+        NetworkDelta::UnfixSlot {
+            host,
+            service,
+            candidates,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"unfix-slot\",\"host\":{},\"service\":{},\"candidates\":",
+                host.0, service.0
+            );
+            push_u64_array(out, candidates.iter().map(|p| p.0 as u64));
+            out.push('}');
+        }
+        NetworkDelta::ExtendCandidates {
+            host,
+            service,
+            products,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"t\":\"extend-candidates\",\"host\":{},\"service\":{},\"products\":",
+                host.0, service.0
+            );
+            push_u64_array(out, products.iter().map(|p| p.0 as u64));
+            out.push('}');
+        }
+    }
+}
+
+fn encode_preamble(out: &mut String, p: &Preamble) {
+    let _ = write!(
+        out,
+        "{{\"kind\":\"preamble\",\"format\":{},\"catalog\":",
+        p.format
+    );
+    encode_catalog(out, &p.catalog);
+    out.push_str(",\"similarity\":");
+    encode_similarity(out, &p.similarity);
+    out.push_str(",\"constraints\":");
+    encode_constraints(out, &p.constraints);
+    out.push('}');
+}
+
+fn encode_snapshot(out: &mut String, s: &SnapshotRecord) {
+    let _ = write!(
+        out,
+        "{{\"kind\":\"snapshot\",\"revision\":{},\"network\":",
+        s.revision
+    );
+    encode_network(out, &s.network);
+    out.push_str(",\"assignment\":");
+    encode_assignment(out, s.assignment.as_ref(), s.network.host_count());
+    out.push('}');
+}
+
+fn encode_batch(out: &mut String, b: &BatchRecord) {
+    let _ = write!(
+        out,
+        "{{\"kind\":\"batch\",\"seq\":{},\"revision\":{},\"deltas\":[",
+        b.seq, b.revision
+    );
+    for (i, d) in b.deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        encode_delta(out, d);
+    }
+    out.push_str("],\"assignment\":");
+    let rows = b.assignment.as_ref().map_or(0, Assignment::host_rows);
+    encode_assignment(out, b.assignment.as_ref(), rows);
+    out.push('}');
+}
+
+fn encode_mark(out: &mut String, m: &MarkRecord) {
+    let _ = write!(
+        out,
+        "{{\"kind\":\"mark\",\"label\":{},\"fields\":{{",
+        quote(&m.label)
+    );
+    let mut first = true;
+    for (k, v) in &m.fields {
+        if !v.is_finite() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}:{}", quote(k), fmt_f64(*v));
+    }
+    out.push_str("}}");
+}
+
+// ---------------------------------------------------------------------------
+// Decoders.
+// ---------------------------------------------------------------------------
+
+fn get<'a>(obj: &'a BTreeMap<String, Value>, key: &str, what: &str) -> Result<&'a Value> {
+    obj.get(key)
+        .ok_or_else(|| Error::Journal(format!("{what} missing `{key}`")))
+}
+
+fn as_u64(v: &Value, what: &str) -> Result<u64> {
+    let n = v.as_number(what)?;
+    if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+        return Err(Error::Journal(format!(
+            "{what}: {n} is not a valid integer"
+        )));
+    }
+    Ok(n as u64)
+}
+
+fn as_host(v: &Value, what: &str) -> Result<HostId> {
+    let n = as_u64(v, what)?;
+    u32::try_from(n)
+        .map(HostId)
+        .map_err(|_| Error::Journal(format!("{what}: host id {n} out of range")))
+}
+
+fn as_service(v: &Value, what: &str) -> Result<ServiceId> {
+    let n = as_u64(v, what)?;
+    u16::try_from(n)
+        .map(ServiceId)
+        .map_err(|_| Error::Journal(format!("{what}: service id {n} out of range")))
+}
+
+fn as_product(v: &Value, what: &str) -> Result<ProductId> {
+    let n = as_u64(v, what)?;
+    u16::try_from(n)
+        .map(ProductId)
+        .map_err(|_| Error::Journal(format!("{what}: product id {n} out of range")))
+}
+
+fn decode_zone(v: &Value) -> Result<Option<String>> {
+    match v {
+        Value::Null => Ok(None),
+        other => Ok(Some(other.as_str("zone")?.to_owned())),
+    }
+}
+
+fn decode_products(v: &Value, what: &str) -> Result<Vec<ProductId>> {
+    v.as_array(what)?
+        .iter()
+        .map(|p| as_product(p, what))
+        .collect()
+}
+
+fn decode_services_list(v: &Value, what: &str) -> Result<Vec<(ServiceId, Vec<ProductId>)>> {
+    v.as_array(what)?
+        .iter()
+        .map(|entry| {
+            let pair = entry.as_array(what)?;
+            if pair.len() != 2 {
+                return Err(Error::Journal(format!(
+                    "{what}: expected [service, candidates] pair"
+                )));
+            }
+            Ok((
+                as_service(&pair[0], what)?,
+                decode_products(&pair[1], what)?,
+            ))
+        })
+        .collect()
+}
+
+fn decode_catalog(v: &Value) -> Result<Catalog> {
+    let obj = v.as_object("catalog")?;
+    let mut catalog = Catalog::new();
+    for s in get(obj, "services", "catalog")?.as_array("services")? {
+        catalog.add_service(s.as_str("service name")?);
+    }
+    for p in get(obj, "products", "catalog")?.as_array("products")? {
+        let pair = p.as_array("product")?;
+        if pair.len() != 2 {
+            return Err(Error::Journal(
+                "product: expected [name, service] pair".into(),
+            ));
+        }
+        let name = pair[0].as_str("product name")?;
+        let service = as_service(&pair[1], "product service")?;
+        catalog
+            .add_product(name, service)
+            .map_err(|e| Error::Journal(format!("catalog rebuild: {e}")))?;
+    }
+    Ok(catalog)
+}
+
+fn decode_similarity(v: &Value) -> Result<ProductSimilarity> {
+    let obj = v.as_object("similarity")?;
+    let n = as_u64(get(obj, "n", "similarity")?, "similarity n")? as usize;
+    let values: Vec<f64> = get(obj, "values", "similarity")?
+        .as_array("similarity values")?
+        .iter()
+        .map(|x| x.as_number("similarity value"))
+        .collect::<Result<_>>()?;
+    if values.len() != n * n {
+        return Err(Error::Journal(format!(
+            "similarity: expected {} values for n={n}, got {}",
+            n * n,
+            values.len()
+        )));
+    }
+    Ok(ProductSimilarity::from_dense(n, values))
+}
+
+fn decode_scope(v: &Value) -> Result<Scope> {
+    match v {
+        Value::Null => Ok(Scope::All),
+        other => Ok(Scope::Host(as_host(other, "scope")?)),
+    }
+}
+
+fn decode_constraints(v: &Value) -> Result<ConstraintSet> {
+    let mut set = ConstraintSet::new();
+    for c in v.as_array("constraints")? {
+        let obj = c.as_object("constraint")?;
+        let t = get(obj, "t", "constraint")?.as_str("constraint type")?;
+        let c = match t {
+            "fix" => Constraint::Fix {
+                host: as_host(get(obj, "host", "fix")?, "fix host")?,
+                service: as_service(get(obj, "service", "fix")?, "fix service")?,
+                product: as_product(get(obj, "product", "fix")?, "fix product")?,
+            },
+            "forbid" | "require" => {
+                let scope = decode_scope(get(obj, "scope", t)?)?;
+                let if_service = as_service(get(obj, "if_service", t)?, "if_service")?;
+                let if_product = as_product(get(obj, "if_product", t)?, "if_product")?;
+                let then_service = as_service(get(obj, "then_service", t)?, "then_service")?;
+                let other = as_product(get(obj, "other", t)?, "other")?;
+                if t == "forbid" {
+                    Constraint::ForbidCombination {
+                        scope,
+                        if_service,
+                        if_product,
+                        then_service,
+                        forbidden: other,
+                    }
+                } else {
+                    Constraint::RequireCombination {
+                        scope,
+                        if_service,
+                        if_product,
+                        then_service,
+                        required: other,
+                    }
+                }
+            }
+            other => return Err(Error::Journal(format!("unknown constraint type {other:?}"))),
+        };
+        set.push(c);
+    }
+    Ok(set)
+}
+
+fn decode_network(v: &Value) -> Result<Network> {
+    let obj = v.as_object("network")?;
+    let mut hosts = Vec::new();
+    for h in get(obj, "hosts", "network")?.as_array("hosts")? {
+        let h = h.as_object("host")?;
+        let services = decode_services_list(get(h, "services", "host")?, "host services")?
+            .into_iter()
+            .map(|(service, candidates)| ServiceInstance {
+                service,
+                candidates,
+            })
+            .collect();
+        hosts.push(Host {
+            name: get(h, "name", "host")?.as_str("host name")?.to_owned(),
+            zone: decode_zone(get(h, "zone", "host")?)?,
+            services,
+            removed: match get(h, "removed", "host")? {
+                Value::Bool(b) => *b,
+                other => {
+                    return Err(Error::Journal(format!(
+                        "host removed: expected bool, got {}",
+                        other.type_name()
+                    )))
+                }
+            },
+        });
+    }
+    let n = hosts.len();
+    let mut links = Vec::new();
+    for l in get(obj, "links", "network")?.as_array("links")? {
+        let pair = l.as_array("link")?;
+        if pair.len() != 2 {
+            return Err(Error::Journal("link: expected [a, b] pair".into()));
+        }
+        let a = as_host(&pair[0], "link endpoint")?;
+        let b = as_host(&pair[1], "link endpoint")?;
+        if a.index() >= n || b.index() >= n {
+            return Err(Error::Journal(format!(
+                "link {a}-{b}: endpoint out of range"
+            )));
+        }
+        links.push((a, b));
+    }
+    let host_revisions: Vec<u64> = get(obj, "host_revisions", "network")?
+        .as_array("host_revisions")?
+        .iter()
+        .map(|x| as_u64(x, "host revision"))
+        .collect::<Result<_>>()?;
+    let link_revisions: Vec<u64> = get(obj, "link_revisions", "network")?
+        .as_array("link_revisions")?
+        .iter()
+        .map(|x| as_u64(x, "link revision"))
+        .collect::<Result<_>>()?;
+    if host_revisions.len() != n || link_revisions.len() != n {
+        return Err(Error::Journal(format!(
+            "revision vectors ({}, {}) do not match host count {n}",
+            host_revisions.len(),
+            link_revisions.len()
+        )));
+    }
+    let mut network = Network {
+        hosts,
+        links,
+        offsets: Vec::new(),
+        neighbors: Vec::new(),
+        revision: as_u64(get(obj, "revision", "network")?, "network revision")?,
+        host_revisions,
+        topology_revision: as_u64(
+            get(obj, "topology_revision", "network")?,
+            "topology revision",
+        )?,
+        link_revisions,
+    };
+    network.rebuild_adjacency();
+    Ok(network)
+}
+
+fn decode_assignment(v: &Value) -> Result<Option<Assignment>> {
+    match v {
+        Value::Null => Ok(None),
+        other => {
+            let rows: Vec<Vec<ProductId>> = other
+                .as_array("assignment")?
+                .iter()
+                .map(|row| decode_products(row, "assignment row"))
+                .collect::<Result<_>>()?;
+            Ok(Some(Assignment::from_slots(rows)))
+        }
+    }
+}
+
+fn decode_delta(v: &Value) -> Result<NetworkDelta> {
+    let obj = v.as_object("delta")?;
+    let t = get(obj, "t", "delta")?.as_str("delta type")?;
+    Ok(match t {
+        "add-host" => NetworkDelta::AddHost {
+            name: get(obj, "name", t)?.as_str("host name")?.to_owned(),
+            zone: decode_zone(get(obj, "zone", t)?)?,
+            services: decode_services_list(get(obj, "services", t)?, "delta services")?,
+            links: get(obj, "links", t)?
+                .as_array("delta links")?
+                .iter()
+                .map(|h| as_host(h, "delta link"))
+                .collect::<Result<_>>()?,
+        },
+        "remove-host" => NetworkDelta::RemoveHost {
+            host: as_host(get(obj, "host", t)?, "delta host")?,
+        },
+        "add-link" => NetworkDelta::AddLink {
+            a: as_host(get(obj, "a", t)?, "delta endpoint")?,
+            b: as_host(get(obj, "b", t)?, "delta endpoint")?,
+        },
+        "remove-link" => NetworkDelta::RemoveLink {
+            a: as_host(get(obj, "a", t)?, "delta endpoint")?,
+            b: as_host(get(obj, "b", t)?, "delta endpoint")?,
+        },
+        "fix-slot" => NetworkDelta::FixSlot {
+            host: as_host(get(obj, "host", t)?, "delta host")?,
+            service: as_service(get(obj, "service", t)?, "delta service")?,
+            product: as_product(get(obj, "product", t)?, "delta product")?,
+        },
+        "unfix-slot" => NetworkDelta::UnfixSlot {
+            host: as_host(get(obj, "host", t)?, "delta host")?,
+            service: as_service(get(obj, "service", t)?, "delta service")?,
+            candidates: decode_products(get(obj, "candidates", t)?, "delta candidates")?,
+        },
+        "extend-candidates" => NetworkDelta::ExtendCandidates {
+            host: as_host(get(obj, "host", t)?, "delta host")?,
+            service: as_service(get(obj, "service", t)?, "delta service")?,
+            products: decode_products(get(obj, "products", t)?, "delta products")?,
+        },
+        other => return Err(Error::Journal(format!("unknown delta type {other:?}"))),
+    })
+}
+
+fn decode_preamble(obj: &BTreeMap<String, Value>) -> Result<Record> {
+    let format = as_u64(get(obj, "format", "preamble")?, "format")?;
+    if format != FORMAT_VERSION {
+        return Err(Error::Journal(format!(
+            "unsupported journal format {format} (this reader knows {FORMAT_VERSION})"
+        )));
+    }
+    Ok(Record::Preamble(Preamble {
+        format,
+        catalog: decode_catalog(get(obj, "catalog", "preamble")?)?,
+        similarity: decode_similarity(get(obj, "similarity", "preamble")?)?,
+        constraints: decode_constraints(get(obj, "constraints", "preamble")?)?,
+    }))
+}
+
+fn decode_snapshot(obj: &BTreeMap<String, Value>) -> Result<Record> {
+    Ok(Record::Snapshot(SnapshotRecord {
+        revision: as_u64(get(obj, "revision", "snapshot")?, "snapshot revision")?,
+        network: decode_network(get(obj, "network", "snapshot")?)?,
+        assignment: decode_assignment(get(obj, "assignment", "snapshot")?)?,
+    }))
+}
+
+fn decode_batch(obj: &BTreeMap<String, Value>) -> Result<Record> {
+    Ok(Record::Batch(BatchRecord {
+        seq: as_u64(get(obj, "seq", "batch")?, "batch seq")?,
+        revision: as_u64(get(obj, "revision", "batch")?, "batch revision")?,
+        deltas: get(obj, "deltas", "batch")?
+            .as_array("deltas")?
+            .iter()
+            .map(decode_delta)
+            .collect::<Result<_>>()?,
+        assignment: decode_assignment(get(obj, "assignment", "batch")?)?,
+    }))
+}
+
+fn decode_mark(obj: &BTreeMap<String, Value>) -> Result<Record> {
+    let fields = get(obj, "fields", "mark")?
+        .as_object("mark fields")?
+        .iter()
+        .map(|(k, v)| Ok((k.clone(), v.as_number("mark field")?)))
+        .collect::<Result<_>>()?;
+    Ok(Record::Mark(MarkRecord {
+        label: get(obj, "label", "mark")?.as_str("mark label")?.to_owned(),
+        fields,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// The Value tree and recursive-descent parser (the `nvd::json` pattern;
+// that module keeps its machinery private, so the journal carries its own).
+// ---------------------------------------------------------------------------
+
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_object(&self, what: &str) -> Result<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Ok(m),
+            other => Err(Error::Journal(format!(
+                "{what}: expected object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_array(&self, what: &str) -> Result<&[Value]> {
+        match self {
+            Value::Array(v) => Ok(v),
+            other => Err(Error::Journal(format!(
+                "{what}: expected array, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(Error::Journal(format!(
+                "{what}: expected string, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn as_number(&self, what: &str) -> Result<f64> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error::Journal(format!(
+                "{what}: expected number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn parse_value(input: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::Journal(format!(
+            "trailing garbage at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error::Journal(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.peek().ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting one byte back.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid UTF-8"))?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+
+    #[test]
+    fn crc32_check_value() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn small_world() -> (Catalog, ProductSimilarity, Network) {
+        let mut catalog = Catalog::new();
+        let os = catalog.add_service("os");
+        let db = catalog.add_service("db");
+        let p0 = catalog.add_product("Win7", os).unwrap();
+        let p1 = catalog.add_product("Ubuntu", os).unwrap();
+        let p2 = catalog.add_product("Pg", db).unwrap();
+        let sim = ProductSimilarity::uniform(&catalog, 0.25);
+        let mut b = NetworkBuilder::new();
+        let a = b.add_host_in_zone("a", "Z");
+        let z = b.add_host("ü-host");
+        b.add_service(a, os, vec![p0, p1]).unwrap();
+        b.add_service(z, os, vec![p0, p1]).unwrap();
+        b.add_service(z, db, vec![p2]).unwrap();
+        b.add_link(a, z).unwrap();
+        let network = b.build(&catalog).unwrap();
+        (catalog, sim, network)
+    }
+
+    #[test]
+    fn preamble_roundtrip() {
+        let (catalog, sim, _) = small_world();
+        let mut constraints = ConstraintSet::new();
+        constraints.push(Constraint::fix(HostId(0), ServiceId(0), ProductId(1)));
+        constraints.push(Constraint::forbid_combination(
+            Scope::All,
+            (ServiceId(0), ProductId(0)),
+            (ServiceId(1), ProductId(2)),
+        ));
+        constraints.push(Constraint::require_combination(
+            Scope::Host(HostId(1)),
+            (ServiceId(0), ProductId(1)),
+            (ServiceId(1), ProductId(2)),
+        ));
+        let record = Record::Preamble(Preamble {
+            format: FORMAT_VERSION,
+            catalog,
+            similarity: sim,
+            constraints,
+        });
+        let back = parse_record_line(record.to_line().trim_end().as_bytes()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_tombstone_and_assignment() {
+        let (catalog, _, mut network) = small_world();
+        network
+            .apply_delta(&NetworkDelta::remove_host(HostId(0)), &catalog)
+            .unwrap();
+        let assignment = Assignment::from_slots(vec![vec![], vec![ProductId(1), ProductId(2)]]);
+        let record = Record::Snapshot(SnapshotRecord {
+            revision: network.revision(),
+            network: network.clone(),
+            assignment: Some(assignment),
+        });
+        match parse_record_line(record.to_line().trim_end().as_bytes()).unwrap() {
+            Record::Snapshot(s) => {
+                assert_eq!(s.network, network);
+                assert_eq!(s.revision, network.revision());
+                assert!(s.assignment.is_some());
+            }
+            other => panic!("expected snapshot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_all_delta_kinds() {
+        let deltas = vec![
+            NetworkDelta::AddHost {
+                name: String::new(),
+                zone: Some("zoné \"q\"\n".into()),
+                services: vec![(ServiceId(0), vec![ProductId(0), ProductId(1)])],
+                links: vec![HostId(0), HostId(7)],
+            },
+            NetworkDelta::remove_host(HostId(3)),
+            NetworkDelta::add_link(HostId(0), HostId(1)),
+            NetworkDelta::remove_link(HostId(1), HostId(2)),
+            NetworkDelta::fix_slot(HostId(0), ServiceId(1), ProductId(2)),
+            NetworkDelta::unfix_slot(HostId(0), ServiceId(1), vec![ProductId(2)]),
+            NetworkDelta::extend_candidates(HostId(0), ServiceId(0), vec![ProductId(3)]),
+        ];
+        let record = Record::Batch(BatchRecord {
+            seq: 12,
+            revision: 99,
+            deltas,
+            assignment: Some(Assignment::from_slots(vec![
+                vec![ProductId(0), ProductId(2)],
+                vec![],
+                vec![ProductId(1)],
+            ])),
+        });
+        let back = parse_record_line(record.to_line().trim_end().as_bytes()).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn mark_roundtrip_drops_non_finite() {
+        let record = Record::Mark(MarkRecord::new(
+            "churn-step",
+            &[("step", 3.0), ("mttc", 41.25), ("bad", f64::NAN)],
+        ));
+        let back = parse_record_line(record.to_line().trim_end().as_bytes()).unwrap();
+        match &back {
+            Record::Mark(m) => {
+                assert_eq!(m.field("step"), Some(3.0));
+                assert_eq!(m.field("mttc"), Some(41.25));
+                assert_eq!(m.field("bad"), None);
+            }
+            other => panic!("expected mark, got {other:?}"),
+        }
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn corrupted_line_is_detected() {
+        let record = Record::Mark(MarkRecord::new("m", &[("x", 1.0)]));
+        let line = record.to_line();
+        let mut bytes = line.trim_end().as_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(parse_record_line(&bytes), Err(Error::Journal(_))));
+    }
+
+    #[test]
+    fn tolerant_reader_truncates_at_damage() {
+        let a = Record::Mark(MarkRecord::new("a", &[]));
+        let b = Record::Mark(MarkRecord::new("b", &[]));
+        let mut data = Vec::new();
+        data.extend_from_slice(a.to_line().as_bytes());
+        let prefix_len = data.len();
+        data.extend_from_slice(b.to_line().as_bytes());
+        // Damage the second record.
+        data[prefix_len + 12] ^= 0xFF;
+        let read = read_tolerant(&data);
+        assert_eq!(read.records.len(), 1);
+        assert_eq!(read.valid_len, prefix_len);
+        assert!(read.corruption.is_some());
+        assert!(read_strict(&data).is_err());
+        // The undamaged image reads fully, strictly.
+        let mut clean = Vec::new();
+        clean.extend_from_slice(a.to_line().as_bytes());
+        clean.extend_from_slice(b.to_line().as_bytes());
+        assert_eq!(read_strict(&clean).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn torn_final_line_without_newline_is_accepted() {
+        let a = Record::Mark(MarkRecord::new("a", &[]));
+        let line = a.to_line();
+        let torn = &line.as_bytes()[..line.len() - 1];
+        let read = read_tolerant(torn);
+        assert_eq!(read.records.len(), 1);
+        assert!(read.corruption.is_none());
+    }
+
+    #[test]
+    fn unknown_kind_and_format_are_rejected() {
+        let json = "{\"kind\":\"mystery\"}";
+        assert!(Record::decode(json).is_err());
+        let json = format!(
+            "{{\"kind\":\"preamble\",\"format\":{},\"catalog\":{{\"services\":[],\"products\":[]}},\"similarity\":{{\"n\":0,\"values\":[]}},\"constraints\":[]}}",
+            FORMAT_VERSION + 1
+        );
+        assert!(matches!(Record::decode(&json), Err(Error::Journal(_))));
+    }
+}

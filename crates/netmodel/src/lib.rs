@@ -17,6 +17,10 @@
 //!   and fixed-product (legacy host) constraints, with satisfaction checks.
 //! * [`delta`] — validated, revision-counted network mutations
 //!   ([`delta::NetworkDelta`]) for long-lived services whose networks churn.
+//! * [`journal`] — the on-disk record codec for the write-ahead delta
+//!   journal: hand-rolled JSON records with per-record CRC-32 checksums,
+//!   a tolerant reader that truncates at the last valid record, and full
+//!   snapshot/batch/preamble encodings for crash recovery and replay.
 //! * [`partition`] — zone-aware sharding: group hosts by zone label,
 //!   classify cross-zone links, compute the boundary host set, and extract
 //!   per-zone sub-networks for sharded engines.
@@ -104,6 +108,7 @@ pub mod casestudy;
 pub mod catalog;
 pub mod constraints;
 pub mod delta;
+pub mod journal;
 pub mod network;
 pub mod partition;
 pub mod strategies;
