@@ -17,7 +17,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ics_diversity::churn::{run_churn, run_churn_sharded, ChurnConfig, ChurnMode, MttcGain};
+use ics_diversity::churn::{
+    defender_lag, run_churn, run_churn_adaptive, run_churn_cve, run_churn_sharded,
+    AdaptiveChurnConfig, ChurnConfig, ChurnMode, CveFeed, CveFeedConfig, LagModel, MttcGain,
+};
 use ics_diversity::engine::DiversityEngine;
 use ics_diversity::journal::{engine_at_snapshot, read_records};
 use ics_diversity::optimizer::SolverKind;
@@ -27,9 +30,12 @@ use ics_diversity::shard::ShardedEngine;
 
 use bench::{flag_str, flag_value, full_mode, help_requested};
 use netmodel::delta::random_delta;
+use netmodel::delta::NetworkDelta;
 use netmodel::journal::Record;
 use netmodel::topology::{
-    generate, generate_zoned, RandomNetworkConfig, TopologyKind, ZonedNetworkConfig,
+    generate, generate_fat_tree, generate_scale_free, generate_tiered_enterprise, generate_zoned,
+    FatTreeConfig, GeneratedNetwork, RandomNetworkConfig, ScaleFreeConfig, TieredEnterpriseConfig,
+    TopologyKind, ZonedNetworkConfig,
 };
 use netmodel::HostId;
 use rand::rngs::StdRng;
@@ -41,13 +47,31 @@ const HELP: &str = "\
 churn — dynamic-churn replay through the incremental diversity engine
 
 USAGE:
-    churn [--steps N] [--hosts N] [--batch N] [--shards N]
-          [--serve [--readers N]] [--journal PATH] [--full]
+    churn [--steps N] [--hosts N] [--batch N] [--shards N] [--runs N]
+          [--scenario NAME] [--serve [--readers N]] [--journal PATH] [--full]
     churn --replay PATH [--solver NAME]
 
 FLAGS:
     --steps N    Number of churn steps to replay (default 12; 30 with --full).
                  Each step applies one delta (sequential) or one burst (--batch).
+    --scenario NAME
+                 Adversarial scenario suite. Topology families — fat-tree
+                 (data-center pods with core/agg/edge tiers), scale-free
+                 (preferential attachment, hub-heavy), enterprise
+                 (hub-and-spoke with DMZ/internal/server tiers) — run the
+                 usual churn replay on that generated topology; each family
+                 zone-labels its hosts, so they compose with --shards (the
+                 sharded engine partitions pods/blocks/tiers unchanged; the
+                 N also sizes the family's pod/zone/department count).
+                 adaptive: adversary-in-the-loop churn — each step the
+                 attacker re-picks entry/target from the committed
+                 assignment's largest monoculture cluster, and the step
+                 reports defender-lag (MTTC gain forfeited to re-solve
+                 latency). cve-feed: heavy-tailed Pareto advisory bursts
+                 hitting correlated product families together; composes
+                 with --journal.
+    --runs N     MTTC simulation runs per estimate (default 150; 400 with
+                 --full). Lower it for quick smokes.
     --hosts N    Host count of the generated network (default 60; 300 with
                  --full, 960 with --serve --full). With --shards the count is
                  split evenly across the zones, so --hosts 10000 --shards 4
@@ -150,6 +174,31 @@ EXTRA COLUMNS (sharded mode, replacing frontier/swept):
                  run in parallel).
     coord        Wall-clock time of the coordination loop.
 
+EXTRA COLUMNS (--scenario adaptive, replacing frontier/touched):
+    entry        The entry host the attacker picked from the committed
+                 assignment's largest monoculture cluster this step.
+    target       The attacker's target: the deepest host reachable from the
+                 entry over monoculture edges (same product, shared service).
+    cluster      Size of the largest monoculture cluster the attacker saw.
+    clusters     Total monoculture clusters (live-host partition).
+    lag          The defender-lag window in simulator ticks (deterministic
+                 work proxy: ticks per 1000 swept solver variables).
+    defender-lag MTTC gain forfeited to re-solve latency: gain × min(1,
+                 lag / mttc carry), 0 when the carried assignment already
+                 stops the worm. Always finite; CI gates on it. The summary
+                 also reports the wall-clock-equivalent total (ResolveWall
+                 model), which ties the column to measured re-solve latency.
+    Machine-readable \"trajectory:\" lines follow the table — one per step,
+    seed-stable, diffed by CI to pin reproducibility.
+
+EXTRA COLUMNS (--scenario cve-feed, replacing frontier/swept):
+    advisory     The product named by the step's advisory (service scoped).
+    family       Size of the correlated product family hit together (the
+                 advisory plus every same-service product whose similarity
+                 reaches the family threshold).
+    quarantines  RemoveLink deltas in the burst (affected hosts cut off)
+                 vs. patch-shaped slot deltas.
+
 SERVING TELEMETRY (--serve mode, replacing the per-step table):
     submissions  submit() calls admitted, and how many of them coalesced
                  (joined deltas already queued) or were rejected at the cap.
@@ -188,7 +237,7 @@ fn main() {
         return;
     }
     let journal = flag_str("--journal");
-    let (default_hosts, default_steps, runs) = if full_mode() {
+    let (default_hosts, default_steps, default_runs) = if full_mode() {
         (300usize, 30usize, 400usize)
     } else {
         (60, 12, 150)
@@ -197,6 +246,9 @@ fn main() {
         .filter(|&n| n >= 2)
         .unwrap_or(default_hosts);
     let steps = flag_value("--steps").unwrap_or(default_steps);
+    let runs = flag_value("--runs")
+        .filter(|&n| n > 0)
+        .unwrap_or(default_runs);
     let mode = match flag_value("--batch") {
         Some(mean) if mean > 0 => ChurnMode::Batched {
             mean_burst: mean as f64,
@@ -204,6 +256,7 @@ fn main() {
         _ => ChurnMode::Sequential,
     };
     let shards = flag_value("--shards").filter(|&n| n > 1);
+    let scenario = flag_str("--scenario");
     if std::env::args().any(|a| a == "--serve") {
         let hosts = if full_mode() && flag_value("--hosts").is_none() {
             960
@@ -228,12 +281,24 @@ fn main() {
         mode,
         ..ChurnConfig::default()
     };
+    match scenario.as_deref() {
+        Some("adaptive") => {
+            run_adaptive(hosts, runs, &config);
+            return;
+        }
+        Some("cve-feed") => {
+            run_cve(hosts, runs, &config, journal.as_deref());
+            return;
+        }
+        _ => {}
+    }
+    let (g, topo_label) = build_topology(scenario.as_deref(), hosts, shards);
     let entry = HostId(0);
-    let target = HostId(hosts as u32 - 1);
+    let target = HostId(g.network.host_count() as u32 - 1);
     match shards {
-        Some(zones) => run_sharded(
-            zones,
-            hosts,
+        Some(_) => run_sharded(
+            g,
+            &topo_label,
             steps,
             runs,
             &mode_label,
@@ -243,7 +308,8 @@ fn main() {
             journal.as_deref(),
         ),
         None => run_single(
-            hosts,
+            g,
+            &topo_label,
             steps,
             runs,
             &mode_label,
@@ -251,6 +317,109 @@ fn main() {
             target,
             &config,
             journal.as_deref(),
+        ),
+    }
+}
+
+/// Builds the scenario topology: the default random instance, the zoned
+/// instance classic `--shards` runs use, or one of the `--scenario`
+/// families (sized from `--hosts`, with `--shards` doubling as the family's
+/// pod/zone/department count).
+fn build_topology(
+    scenario: Option<&str>,
+    hosts: usize,
+    shards: Option<usize>,
+) -> (GeneratedNetwork, String) {
+    match scenario {
+        None => match shards {
+            Some(zones) => {
+                let g = generate_zoned(
+                    &ZonedNetworkConfig {
+                        zones,
+                        hosts_per_zone: hosts.div_ceil(zones),
+                        gateway_links: 2,
+                        mean_degree: 6,
+                        services: 3,
+                        products_per_service: 4,
+                        vendors_per_service: 2,
+                        topology: TopologyKind::Random,
+                    },
+                    2026,
+                );
+                (g, format!("{zones} gateway-joined zones"))
+            }
+            None => {
+                let g = generate(
+                    &RandomNetworkConfig {
+                        hosts,
+                        mean_degree: 6,
+                        services: 3,
+                        products_per_service: 4,
+                        vendors_per_service: 2,
+                        topology: TopologyKind::Random,
+                    },
+                    2026,
+                );
+                (g, "random topology".to_owned())
+            }
+        },
+        Some("fat-tree") => {
+            let pods = shards.unwrap_or(4).max(2);
+            let (core_hosts, agg_per_pod, edge_per_pod) = (4usize, 2usize, 2usize);
+            let fixed = core_hosts + pods * (agg_per_pod + edge_per_pod);
+            let hosts_per_edge = hosts
+                .saturating_sub(fixed)
+                .div_ceil(pods * edge_per_pod)
+                .max(1);
+            let cfg = FatTreeConfig {
+                pods,
+                core_hosts,
+                agg_per_pod,
+                edge_per_pod,
+                hosts_per_edge,
+                ..FatTreeConfig::default()
+            };
+            let label = format!(
+                "fat-tree: {pods} pods ({agg_per_pod} agg + {edge_per_pod} edge, \
+                 {hosts_per_edge} leaf hosts/edge) over {core_hosts} core switches"
+            );
+            (generate_fat_tree(&cfg, 2026), label)
+        }
+        Some("scale-free") => {
+            let cfg = ScaleFreeConfig {
+                hosts: hosts.max(2),
+                zones: shards.unwrap_or(4),
+                ..ScaleFreeConfig::default()
+            };
+            let label = format!(
+                "scale-free: m={}, attachment exponent {:.1}, {} zone blocks",
+                cfg.edges_per_host, cfg.attachment_exponent, cfg.zones
+            );
+            (generate_scale_free(&cfg, 2026), label)
+        }
+        Some("enterprise") => {
+            let internal_zones = shards.unwrap_or(3).max(1);
+            let dmz_hosts = (hosts / 10).max(2);
+            let server_hosts = (hosts / 6).max(2);
+            let hosts_per_internal = hosts
+                .saturating_sub(dmz_hosts + server_hosts)
+                .div_ceil(internal_zones)
+                .max(2);
+            let cfg = TieredEnterpriseConfig {
+                dmz_hosts,
+                internal_zones,
+                hosts_per_internal,
+                server_hosts,
+                ..TieredEnterpriseConfig::default()
+            };
+            let label = format!(
+                "tiered enterprise: {dmz_hosts}-host DMZ, {internal_zones} departments × \
+                 {hosts_per_internal} hosts, {server_hosts} servers"
+            );
+            (generate_tiered_enterprise(&cfg, 2026), label)
+        }
+        Some(other) => panic!(
+            "unknown --scenario {other:?} (fat-tree, scale-free, enterprise, adaptive, cve-feed)"
         ),
     }
 }
@@ -290,7 +459,8 @@ fn step_fields(
 
 #[allow(clippy::too_many_arguments)]
 fn run_single(
-    hosts: usize,
+    g: GeneratedNetwork,
+    topo_label: &str,
     steps: usize,
     runs: usize,
     mode_label: &str,
@@ -299,17 +469,7 @@ fn run_single(
     config: &ChurnConfig,
     journal: Option<&str>,
 ) {
-    let g = generate(
-        &RandomNetworkConfig {
-            hosts,
-            mean_degree: 6,
-            services: 3,
-            products_per_service: 4,
-            vendors_per_service: 2,
-            topology: TopologyKind::Random,
-        },
-        2026,
-    );
+    let hosts = g.network.host_count();
     let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
     if let Some(path) = journal {
         // Full history, no compaction: the whole window stays replayable.
@@ -319,8 +479,8 @@ fn run_single(
     }
     let cold = engine.solve().expect("instance solves");
     println!(
-        "Dynamic churn — {hosts} hosts, {steps} steps ({mode_label}), worm {entry}→{target} \
-         ({runs} MTTC runs/estimate)\n"
+        "Dynamic churn — {hosts} hosts ({topo_label}), {steps} steps ({mode_label}), \
+         worm {entry}→{target} ({runs} MTTC runs/estimate)\n"
     );
     println!("cold solve: {cold}\n");
 
@@ -454,8 +614,8 @@ fn run_single(
 
 #[allow(clippy::too_many_arguments)]
 fn run_sharded(
-    zones: usize,
-    hosts: usize,
+    g: GeneratedNetwork,
+    topo_label: &str,
     steps: usize,
     runs: usize,
     mode_label: &str,
@@ -464,19 +624,6 @@ fn run_sharded(
     config: &ChurnConfig,
     journal: Option<&str>,
 ) {
-    let g = generate_zoned(
-        &ZonedNetworkConfig {
-            zones,
-            hosts_per_zone: hosts.div_ceil(zones),
-            gateway_links: 2,
-            mean_degree: 6,
-            services: 3,
-            products_per_service: 4,
-            vendors_per_service: 2,
-            topology: TopologyKind::Random,
-        },
-        2026,
-    );
     let hosts = g.network.host_count();
     let target = HostId((hosts as u32 - 1).min(target.0.max(1)));
     let mut engine = ShardedEngine::new(g.network, g.catalog, g.similarity);
@@ -487,10 +634,12 @@ fn run_sharded(
             .with_journal_cadence(path, None)
             .expect("journal creates");
     }
+    let zones = engine.partition().shards().len();
     let cold = engine.solve().expect("instance solves");
     println!(
-        "Dynamic churn — {hosts} hosts in {zones} zones ({} boundary hosts, {} cross links), \
-         {steps} steps ({mode_label}), worm {entry}→{target} ({runs} MTTC runs/estimate)\n",
+        "Dynamic churn — {hosts} hosts ({topo_label}) in {zones} zone shards ({} boundary \
+         hosts, {} cross links), {steps} steps ({mode_label}), worm {entry}→{target} \
+         ({runs} MTTC runs/estimate)\n",
         engine.partition().boundary().len(),
         engine.partition().cross_links().len(),
     );
@@ -586,6 +735,265 @@ fn run_sharded(
     println!(
         "expected shape: obj resolve ≤ obj carry per step; rounds 0 on interior-confined \
          bursts; certified gap small and never negative on Strong steps"
+    );
+    if let Some(path) = journal {
+        engine
+            .journal_mark("churn-config", &config_fields(entry, target, config))
+            .expect("journal appends");
+        for s in &replay {
+            engine
+                .journal_mark(
+                    "churn-step",
+                    &step_fields(s.step, s.report.revision, &s.mttc_before, &s.mttc_after),
+                )
+                .expect("journal appends");
+        }
+        println!(
+            "\nrecorded churn window to {path} ({} steps, final revision {}); replay with: \
+             churn --replay {path} [--solver NAME]",
+            replay.len(),
+            engine.revision()
+        );
+    }
+}
+
+/// Adversary-in-the-loop mode (`--scenario adaptive`): each step the
+/// attacker re-picks entry/target from the committed assignment's largest
+/// monoculture cluster, the engine re-optimizes, and the step reports the
+/// defender-lag column. Prints seed-stable `trajectory:` lines after the
+/// table (CI diffs them across two runs) and a `defender-lag:` summary.
+fn run_adaptive(hosts: usize, runs: usize, config: &ChurnConfig) {
+    let g = generate(
+        &RandomNetworkConfig {
+            hosts,
+            mean_degree: 6,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+        2026,
+    );
+    let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
+    let cold = engine.solve().expect("instance solves");
+    let adaptive = AdaptiveChurnConfig {
+        churn: config.clone(),
+        lag: LagModel::default(),
+    };
+    println!(
+        "Adaptive churn — {hosts} hosts (random topology), {} steps, adversary re-aims at \
+         the largest monoculture cluster every step ({runs} MTTC runs/estimate)\n",
+        config.steps
+    );
+    println!("cold solve: {cold}\n");
+
+    let replay = run_churn_adaptive(&mut engine, &adaptive).expect("churn replays");
+
+    let mut t = TextTable::new(&[
+        "step",
+        "entry",
+        "target",
+        "cluster",
+        "clusters",
+        "deltas",
+        "swept",
+        "obj carry",
+        "obj resolve",
+        "mttc carry",
+        "mttc resolve",
+        "gain",
+        "lag",
+        "defender-lag",
+        "solve",
+    ]);
+    for s in &replay {
+        let label = match &s.deltas[..] {
+            [single] => single.to_string(),
+            many => format!("burst of {}", many.len()),
+        };
+        t.add_row_owned(vec![
+            s.step.to_string(),
+            s.entry.to_string(),
+            s.target.to_string(),
+            s.cluster_size.to_string(),
+            s.cluster_count.to_string(),
+            label,
+            s.report.swept_vars.to_string(),
+            format!("{:.3}", s.report.objective_before.unwrap_or(f64::NAN)),
+            format!("{:.3}", s.report.objective_after),
+            fmt_mttc(&s.mttc_before),
+            fmt_mttc(&s.mttc_after),
+            s.mttc_gain().to_string(),
+            format!("{:.1}", s.lag_ticks),
+            format!("{:.2}", s.defender_lag),
+            format!("{:.2?}", s.report.solve_wall),
+        ]);
+    }
+    println!("{t}");
+
+    // Machine-readable, seed-stable trajectory: everything here is
+    // deterministic for a fixed seed (the SweptWork lag model and the
+    // seeded MTTC estimator), so CI diffs these lines across two runs.
+    for s in &replay {
+        println!(
+            "trajectory: step={} entry={} target={} cluster={} clusters={} \
+             mttc_carry={} mttc_resolve={} lag={:.3} defender_lag={:.4}",
+            s.step,
+            s.entry,
+            s.target,
+            s.cluster_size,
+            s.cluster_count,
+            s.mttc_before
+                .mean_ticks()
+                .map_or_else(|| "censored".to_owned(), |m| format!("{m:.4}")),
+            s.mttc_after
+                .mean_ticks()
+                .map_or_else(|| "censored".to_owned(), |m| format!("{m:.4}")),
+            s.lag_ticks,
+            s.defender_lag,
+        );
+    }
+
+    let favor = replay
+        .iter()
+        .filter(|s| s.mttc_gain().favors_reopt())
+        .count();
+    let biggest = replay.iter().map(|s| s.cluster_size).max().unwrap_or(0);
+    let total_lag: f64 = replay.iter().map(|s| s.defender_lag).sum();
+    let wall_model = LagModel::ResolveWall { ticks_per_ms: 1.0 };
+    let wall_lag: f64 = replay
+        .iter()
+        .map(|s| {
+            defender_lag(
+                &s.mttc_before,
+                &s.mttc_after,
+                wall_model.lag_ticks(&s.report),
+                config.max_ticks,
+            )
+        })
+        .sum();
+    let finite = replay.iter().all(|s| s.defender_lag.is_finite()) && total_lag.is_finite();
+    println!(
+        "\nattacker recon: largest monoculture cluster peaked at {biggest} hosts; MTTC \
+         favored re-optimizing on {favor}/{} steps",
+        replay.len()
+    );
+    println!(
+        "defender-lag: {total_lag:.2} ticks total forfeited to re-solve latency \
+         (SweptWork model, {}); wall-clock equivalent {wall_lag:.2} ticks \
+         (ResolveWall, 1.0 ticks/ms, not seed-stable)",
+        if finite {
+            "all finite"
+        } else {
+            "NON-FINITE — BUG"
+        },
+    );
+    println!(
+        "expected shape: cluster sizes shrink as re-optimization breaks the monoculture the \
+         attacker aimed at; defender-lag stays finite and small relative to mttc resolve"
+    );
+}
+
+/// CVE-feed mode (`--scenario cve-feed`): the delta stream is replaced by
+/// heavy-tailed advisory bursts hitting correlated product families
+/// together. Composes with `--journal` like the plain modes.
+fn run_cve(hosts: usize, runs: usize, config: &ChurnConfig, journal: Option<&str>) {
+    let g = generate(
+        &RandomNetworkConfig {
+            hosts,
+            mean_degree: 6,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+            topology: TopologyKind::Random,
+        },
+        2026,
+    );
+    let entry = HostId(0);
+    let target = HostId(g.network.host_count() as u32 - 1);
+    let mut engine = DiversityEngine::new(g.network, g.catalog, g.similarity);
+    if let Some(path) = journal {
+        // Full history, no compaction: the whole window stays replayable.
+        engine = engine
+            .with_journal_cadence(path, None)
+            .expect("journal creates");
+    }
+    let cold = engine.solve().expect("instance solves");
+    let feed_config = CveFeedConfig::default();
+    let mut feed = CveFeed::new(feed_config.clone(), config.seed);
+    println!(
+        "CVE-feed churn — {hosts} hosts (random topology), {} advisory bursts \
+         (Pareto α={:.1}, sizes {}..={}), worm {entry}→{target} ({runs} MTTC runs/estimate)\n",
+        config.steps, feed_config.pareto_alpha, feed_config.min_burst, feed_config.max_burst
+    );
+    println!("cold solve: {cold}\n");
+
+    let replay =
+        run_churn_cve(&mut engine, entry, target, config, &mut feed).expect("churn replays");
+
+    let mut t = TextTable::new(&[
+        "step",
+        "deltas",
+        "advisory",
+        "family",
+        "quarantines",
+        "swept",
+        "obj carry",
+        "obj resolve",
+        "mttc carry",
+        "mttc resolve",
+        "gain",
+        "solve",
+    ]);
+    for s in &replay {
+        let quarantines = s
+            .burst
+            .deltas
+            .iter()
+            .filter(|d| matches!(d, NetworkDelta::RemoveLink { .. }))
+            .count();
+        t.add_row_owned(vec![
+            s.step.to_string(),
+            format!("burst of {}", s.burst.deltas.len()),
+            format!("{}/{}", s.burst.service, s.burst.advisory),
+            s.burst.family.len().to_string(),
+            quarantines.to_string(),
+            s.report.swept_vars.to_string(),
+            format!("{:.3}", s.report.objective_before.unwrap_or(f64::NAN)),
+            format!("{:.3}", s.report.objective_after),
+            fmt_mttc(&s.mttc_before),
+            fmt_mttc(&s.mttc_after),
+            s.mttc_gain().to_string(),
+            format!("{:.2?}", s.report.solve_wall),
+        ]);
+    }
+    println!("{t}");
+
+    let deltas_total: usize = replay.iter().map(|s| s.burst.deltas.len()).sum();
+    let quarantines_total: usize = replay
+        .iter()
+        .flat_map(|s| &s.burst.deltas)
+        .filter(|d| matches!(d, NetworkDelta::RemoveLink { .. }))
+        .count();
+    let biggest = replay
+        .iter()
+        .map(|s| s.burst.deltas.len())
+        .max()
+        .unwrap_or(0);
+    let favor = replay
+        .iter()
+        .filter(|s| s.mttc_gain().favors_reopt())
+        .count();
+    println!(
+        "{deltas_total} advisory deltas in {} bursts (largest {biggest}; heavy tail), \
+         {quarantines_total} quarantine link cuts; MTTC favored re-optimizing on {favor}/{} \
+         steps",
+        replay.len(),
+        replay.len()
+    );
+    println!(
+        "expected shape: mostly-small bursts with the occasional monster advisory batch; \
+         every burst applied through one apply_batch without rejection"
     );
     if let Some(path) = journal {
         engine

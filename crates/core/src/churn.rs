@@ -27,9 +27,12 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use netmodel::catalog::{Catalog, ProductSimilarity};
 use netmodel::delta::{random_delta, NetworkDelta};
-use netmodel::HostId;
+use netmodel::network::Network;
+use netmodel::{HostId, ProductId, ServiceId};
 
+use sim::attacker::{adaptive_entry_target, monoculture_clusters, AttackerStrategy};
 use sim::mttc::{estimate_mttc, MttcEstimate, MttcOptions};
 use sim::scenario::Scenario;
 
@@ -387,6 +390,532 @@ pub fn run_churn_sharded(
     Ok(steps)
 }
 
+/// How the **defender-lag window** — the stretch of ticks during which the
+/// stale (carried) assignment is still serving while the engine re-solves —
+/// is derived from the re-solve telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LagModel {
+    /// Deterministic work proxy: the window is `ticks_per_kvar` simulator
+    /// ticks per thousand solver variables swept during the re-solve.
+    /// Seed-reproducible (the same stream sweeps the same variables), so
+    /// trajectories can be diffed across runs — the default, and what CI
+    /// asserts on.
+    SweptWork {
+        /// Ticks of exposure per 1000 swept solver variables.
+        ticks_per_kvar: f64,
+    },
+    /// Measured wall clock: the window is `ticks_per_ms` ticks per
+    /// millisecond of rebuild + solve wall time. Ties defender-lag to the
+    /// real re-solve latency (the perf work), but is *not* reproducible
+    /// across runs or machines — report it in summaries, not in diffed
+    /// trajectories.
+    ResolveWall {
+        /// Ticks of exposure per millisecond of re-solve wall time.
+        ticks_per_ms: f64,
+    },
+}
+
+impl Default for LagModel {
+    fn default() -> LagModel {
+        LagModel::SweptWork {
+            ticks_per_kvar: 50.0,
+        }
+    }
+}
+
+impl LagModel {
+    /// The defender-lag window in ticks for one re-solve, per this model.
+    pub fn lag_ticks(&self, report: &ReassignmentReport) -> f64 {
+        match *self {
+            LagModel::SweptWork { ticks_per_kvar } => {
+                ticks_per_kvar * report.swept_vars as f64 / 1000.0
+            }
+            LagModel::ResolveWall { ticks_per_ms } => {
+                ticks_per_ms * (report.rebuild_wall + report.solve_wall).as_secs_f64() * 1e3
+            }
+        }
+    }
+}
+
+/// The **defender-lag** of one adaptive step: the portion of the
+/// re-optimization's MTTC gain forfeited because the stale assignment kept
+/// serving for `lag_ticks` while the engine re-solved.
+///
+/// Let `gain = max(0, mttc_after − mttc_before)` (a re-opt-censored `after`
+/// stands in conservatively as `max_ticks`) and let the *exposure fraction*
+/// be `min(1, lag_ticks / mttc_before)` — if the attacker's expected
+/// compromise time on the stale assignment fits inside the lag window, the
+/// whole gain is forfeited. Defender-lag is `gain × exposure`, in ticks.
+///
+/// A carried-censored or both-censored step returns `0.0`: the stale
+/// assignment already stops the worm, so re-solve latency costs nothing.
+/// The result is always finite and non-NaN for finite `lag_ticks` (CI gates
+/// on this).
+pub fn defender_lag(
+    before: &MttcEstimate,
+    after: &MttcEstimate,
+    lag_ticks: f64,
+    max_ticks: u32,
+) -> f64 {
+    let Some(before_mean) = before.mean_ticks() else {
+        return 0.0;
+    };
+    let after_mean = after.mean_ticks().unwrap_or(max_ticks as f64);
+    let gain = (after_mean - before_mean).max(0.0);
+    let exposure = (lag_ticks.max(0.0) / before_mean.max(1.0)).min(1.0);
+    gain * exposure
+}
+
+/// Parameters of an adversary-in-the-loop churn replay
+/// (see [`run_churn_adaptive`]).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptiveChurnConfig {
+    /// The underlying churn stream (steps, seed, MTTC batch, burst mode).
+    pub churn: ChurnConfig,
+    /// How the defender-lag window is derived from re-solve telemetry.
+    pub lag: LagModel,
+}
+
+/// One step of an adversary-in-the-loop churn replay.
+#[derive(Debug, Clone)]
+pub struct AdaptiveChurnStep {
+    /// Step index (0-based).
+    pub step: usize,
+    /// The entry host the attacker picked from the committed assignment's
+    /// largest monoculture cluster.
+    pub entry: HostId,
+    /// The target host (deepest point of the monoculture chain).
+    pub target: HostId,
+    /// Size of the largest monoculture cluster the attacker saw.
+    pub cluster_size: usize,
+    /// Total number of monoculture clusters (live hosts partition).
+    pub cluster_count: usize,
+    /// The delta burst that was applied.
+    pub deltas: Vec<NetworkDelta>,
+    /// The engine's reassignment report.
+    pub report: ReassignmentReport,
+    /// MTTC of the carried assignment under the adaptive attack.
+    pub mttc_before: MttcEstimate,
+    /// MTTC of the re-optimized assignment under the adaptive attack.
+    pub mttc_after: MttcEstimate,
+    /// The defender-lag window this step (see [`LagModel`]).
+    pub lag_ticks: f64,
+    /// MTTC gain forfeited to re-solve latency (see [`defender_lag`]).
+    pub defender_lag: f64,
+}
+
+impl AdaptiveChurnStep {
+    /// MTTC effect of re-optimizing after this step (see [`MttcGain`]).
+    pub fn mttc_gain(&self) -> MttcGain {
+        classify_gain(&self.mttc_before, &self.mttc_after)
+    }
+}
+
+/// The adversary-in-the-loop churn scenario: before every step the attacker
+/// surveys the *committed* assignment, picks entry and target from its
+/// largest monoculture cluster ([`adaptive_entry_target`]), the network
+/// churns, the engine re-optimizes, and the step reports MTTC under that
+/// attack plus the **defender-lag** — the gain forfeited to re-solve
+/// latency. Attack and defense co-evolve: each re-optimization breaks the
+/// cluster the attacker just aimed at, and the attacker re-aims at whatever
+/// monoculture the next commit leaves standing.
+///
+/// Entry and target are re-derived per step, so (unlike [`run_churn`]) no
+/// host is protected from removal — the attacker always has live hosts to
+/// aim at. Fully deterministic for a fixed seed under the default
+/// [`LagModel::SweptWork`].
+///
+/// # Panics
+///
+/// Panics if the network has fewer than two live hosts.
+///
+/// # Errors
+///
+/// See [`DiversityEngine::apply`] / [`DiversityEngine::apply_batch`]; the
+/// replay stops at the first failing step.
+pub fn run_churn_adaptive(
+    engine: &mut DiversityEngine,
+    config: &AdaptiveChurnConfig,
+) -> Result<Vec<AdaptiveChurnStep>> {
+    if engine.assignment().is_none() {
+        engine.solve()?;
+    }
+    let churn = &config.churn;
+    let mut rng = StdRng::seed_from_u64(churn.seed);
+    let mut steps = Vec::with_capacity(churn.steps);
+    for step in 0..churn.steps {
+        // Attacker recon against the committed assignment.
+        let assignment = engine.assignment().expect("engine solved above");
+        let clusters = monoculture_clusters(engine.network(), assignment);
+        let (entry, target) = adaptive_entry_target(engine.network(), assignment)
+            .expect("adaptive churn needs at least two live hosts");
+        let cluster_size = clusters.first().map(Vec::len).unwrap_or(0);
+        let cluster_count = clusters.len();
+        let scenario = Scenario::new(entry, target)
+            .with_attacker(AttackerStrategy::Adaptive)
+            .with_exploit_success(churn.exploit_success)
+            .with_baseline_rate(churn.baseline_rate)
+            .with_max_ticks(churn.max_ticks);
+        // The attacker's picks survive the step: the scenario stays
+        // well-posed while the network churns under it.
+        let protect = [entry, target];
+        let (deltas, report) = match churn.mode {
+            ChurnMode::Sequential => {
+                let delta = random_delta(engine.network(), engine.catalog(), &mut rng, &protect);
+                let report = engine.apply(&delta)?;
+                (vec![delta], report)
+            }
+            ChurnMode::Batched { mean_burst } => {
+                let burst_size = poisson(&mut rng, mean_burst).max(1);
+                let mut scratch = engine.network().clone();
+                let mut deltas = Vec::with_capacity(burst_size);
+                for _ in 0..burst_size {
+                    let delta = random_delta(&scratch, engine.catalog(), &mut rng, &protect);
+                    scratch
+                        .apply_delta(&delta, engine.catalog())
+                        .expect("generated deltas are valid against their staging state");
+                    deltas.push(delta);
+                }
+                let report = engine.apply_batch(&deltas)?;
+                (deltas, report)
+            }
+        };
+        let carried = report
+            .carried
+            .as_ref()
+            .expect("warm step always carries the previous assignment");
+        let mttc_before = estimate_mttc(
+            engine.network(),
+            carried,
+            engine.similarity(),
+            &scenario,
+            &churn.mttc,
+        );
+        let mttc_after = estimate_mttc(
+            engine.network(),
+            engine.assignment().expect("step solved"),
+            engine.similarity(),
+            &scenario,
+            &churn.mttc,
+        );
+        let lag_ticks = config.lag.lag_ticks(&report);
+        let forfeited = defender_lag(&mttc_before, &mttc_after, lag_ticks, churn.max_ticks);
+        steps.push(AdaptiveChurnStep {
+            step,
+            entry,
+            target,
+            cluster_size,
+            cluster_count,
+            deltas,
+            report,
+            mttc_before,
+            mttc_after,
+            lag_ticks,
+            defender_lag: forfeited,
+        });
+    }
+    Ok(steps)
+}
+
+/// Parameters of the CVE-feed burst generator (see [`CveFeed`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CveFeedConfig {
+    /// Pareto tail index of the burst-size distribution; smaller is
+    /// heavier-tailed (1.3 reproduces the occasional monster advisory
+    /// batch among mostly-small ones).
+    pub pareto_alpha: f64,
+    /// Minimum burst size (the Pareto scale `x_m`); ≥ 1.
+    pub min_burst: usize,
+    /// Burst sizes are clamped here (keeps the Knuth tail bounded).
+    pub max_burst: usize,
+    /// Products of the advisory's service whose similarity to the advisory
+    /// product reaches this threshold are hit together — the "same code
+    /// base, same CVE" product family.
+    pub family_threshold: f64,
+    /// Roughly one in this many deltas is a quarantine (`RemoveLink` on an
+    /// affected host) instead of a patch-shaped slot delta.
+    pub quarantine_weight: u32,
+}
+
+impl Default for CveFeedConfig {
+    fn default() -> CveFeedConfig {
+        CveFeedConfig {
+            pareto_alpha: 1.3,
+            min_burst: 1,
+            max_burst: 24,
+            family_threshold: 0.15,
+            quarantine_weight: 4,
+        }
+    }
+}
+
+/// One CVE-shaped burst: an advisory against one product drags its whole
+/// similarity family along, and every delta in the burst reacts to that
+/// family on some affected host.
+#[derive(Debug, Clone)]
+pub struct CveBurst {
+    /// The service the advisory is against.
+    pub service: ServiceId,
+    /// The product named by the advisory.
+    pub advisory: ProductId,
+    /// The correlated product family (always contains `advisory`).
+    pub family: Vec<ProductId>,
+    /// The generated deltas, valid in order against the network the burst
+    /// was generated for.
+    pub deltas: Vec<NetworkDelta>,
+}
+
+/// A seeded CVE-feed burst stream: heavy-tailed (Pareto) burst sizes,
+/// correlated product families hit together (module docs of
+/// [`crate::churn`]). Bursts are validated delta-by-delta against a staged
+/// copy of the network they are generated for, so
+/// [`Network::apply_batch`] never rejects them.
+#[derive(Debug, Clone)]
+pub struct CveFeed {
+    config: CveFeedConfig,
+    rng: StdRng,
+}
+
+impl CveFeed {
+    /// Creates a feed with its own seeded randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_burst == 0`, `max_burst < min_burst`, or
+    /// `pareto_alpha` is not strictly positive and finite.
+    pub fn new(config: CveFeedConfig, seed: u64) -> CveFeed {
+        assert!(config.min_burst >= 1, "min_burst must be at least 1");
+        assert!(
+            config.max_burst >= config.min_burst,
+            "max_burst must be at least min_burst"
+        );
+        assert!(
+            config.pareto_alpha.is_finite() && config.pareto_alpha > 0.0,
+            "pareto_alpha must be positive and finite"
+        );
+        CveFeed {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws the next burst against `network`. Hosts in `protect` are never
+    /// the subject of a quarantine link removal. The returned deltas are
+    /// valid in order: applying them through [`Network::apply_batch`] on
+    /// `network` cannot be rejected.
+    pub fn next_burst(
+        &mut self,
+        network: &Network,
+        catalog: &Catalog,
+        similarity: &ProductSimilarity,
+        protect: &[HostId],
+    ) -> CveBurst {
+        let rng = &mut self.rng;
+        // Heavy-tailed burst size: Pareto(x_m = min_burst, α), clamped.
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let raw = self.config.min_burst as f64 / (1.0 - u).powf(1.0 / self.config.pareto_alpha);
+        let size = (raw as usize).clamp(self.config.min_burst, self.config.max_burst);
+
+        // The advisory: one product of one service, plus its similarity
+        // family — correlated products patched (or quarantined) together.
+        let services: Vec<ServiceId> = catalog
+            .iter_services()
+            .map(|(sid, _)| sid)
+            .filter(|&sid| !catalog.products_of(sid).is_empty())
+            .collect();
+        let service = services[rng.gen_range(0..services.len())];
+        let products = catalog.products_of(service);
+        let advisory = products[rng.gen_range(0..products.len())];
+        let family: Vec<ProductId> = products
+            .iter()
+            .copied()
+            .filter(|&q| {
+                q == advisory || similarity.get(advisory, q) >= self.config.family_threshold
+            })
+            .collect();
+
+        // Stage every delta against a scratch copy — the same state
+        // apply_batch validates against — so the burst cannot be rejected.
+        let mut scratch = network.clone();
+        let mut deltas = Vec::with_capacity(size);
+        for _ in 0..size {
+            let affected: Vec<HostId> = scratch
+                .iter_hosts()
+                .filter(|(_, host)| !host.is_removed())
+                .filter(|(_, host)| {
+                    host.candidates_for(service)
+                        .is_some_and(|cands| cands.iter().any(|p| family.contains(p)))
+                })
+                .map(|(id, _)| id)
+                .collect();
+            let delta = if affected.is_empty() {
+                // The family is already everywhere eradicated; the advisory
+                // still triggers re-planning somewhere.
+                let live: Vec<HostId> = scratch
+                    .iter_hosts()
+                    .filter(|(_, host)| !host.is_removed() && !host.services().is_empty())
+                    .map(|(id, _)| id)
+                    .collect();
+                let host = live[rng.gen_range(0..live.len())];
+                let inst = &scratch.host(host).expect("live host").services()[0];
+                NetworkDelta::unfix_slot(
+                    host,
+                    inst.service(),
+                    catalog.products_of(inst.service()).to_vec(),
+                )
+            } else {
+                let host = affected[rng.gen_range(0..affected.len())];
+                let quarantine = rng.gen_range(0..self.config.quarantine_weight.max(1)) == 0
+                    && !protect.contains(&host);
+                let removable: Vec<HostId> = scratch
+                    .neighbors(host)
+                    .iter()
+                    .copied()
+                    .filter(|peer| !protect.contains(peer))
+                    .collect();
+                let cands = scratch
+                    .host(host)
+                    .expect("affected host is live")
+                    .candidates_for(service)
+                    .expect("affected host runs the service")
+                    .to_vec();
+                let off_family: Vec<ProductId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|p| !family.contains(p))
+                    .collect();
+                if quarantine && !removable.is_empty() {
+                    // Quarantine: cut one of the affected host's links.
+                    let peer = removable[rng.gen_range(0..removable.len())];
+                    NetworkDelta::remove_link(host, peer)
+                } else if !off_family.is_empty() && cands.len() > 1 {
+                    // Emergency mandate: pin the slot to a product outside
+                    // the vulnerable family.
+                    NetworkDelta::fix_slot(
+                        host,
+                        service,
+                        off_family[rng.gen_range(0..off_family.len())],
+                    )
+                } else {
+                    let missing: Vec<ProductId> = catalog
+                        .products_of(service)
+                        .iter()
+                        .copied()
+                        .filter(|p| !cands.contains(p))
+                        .collect();
+                    if missing.is_empty() {
+                        // Vendor ships fixed versions: re-plan with full
+                        // freedom (valid even if candidates are already
+                        // full).
+                        NetworkDelta::unfix_slot(
+                            host,
+                            service,
+                            catalog.products_of(service).to_vec(),
+                        )
+                    } else {
+                        // Widen the slot so the optimizer can leave the
+                        // family.
+                        NetworkDelta::extend_candidates(host, service, missing)
+                    }
+                }
+            };
+            scratch
+                .apply_delta(&delta, catalog)
+                .expect("CVE-feed deltas are staged against their own state");
+            deltas.push(delta);
+        }
+        CveBurst {
+            service,
+            advisory,
+            family,
+            deltas,
+        }
+    }
+}
+
+/// One step of a CVE-feed churn replay.
+#[derive(Debug, Clone)]
+pub struct CveChurnStep {
+    /// Step index (0-based).
+    pub step: usize,
+    /// The burst (advisory, family and deltas) this step absorbed.
+    pub burst: CveBurst,
+    /// The engine's reassignment report.
+    pub report: ReassignmentReport,
+    /// MTTC of the carried assignment on the new network.
+    pub mttc_before: MttcEstimate,
+    /// MTTC of the re-optimized assignment on the new network.
+    pub mttc_after: MttcEstimate,
+}
+
+impl CveChurnStep {
+    /// MTTC effect of re-optimizing after this step (see [`MttcGain`]).
+    pub fn mttc_gain(&self) -> MttcGain {
+        classify_gain(&self.mttc_before, &self.mttc_after)
+    }
+}
+
+/// [`run_churn`] with the delta stream replaced by a [`CveFeed`]: each step
+/// absorbs one CVE-shaped burst through [`DiversityEngine::apply_batch`]
+/// and reports MTTC for the carried vs. re-optimized assignment.
+///
+/// # Errors
+///
+/// See [`DiversityEngine::apply_batch`]; the replay stops at the first
+/// failing step.
+pub fn run_churn_cve(
+    engine: &mut DiversityEngine,
+    entry: HostId,
+    target: HostId,
+    config: &ChurnConfig,
+    feed: &mut CveFeed,
+) -> Result<Vec<CveChurnStep>> {
+    if engine.assignment().is_none() {
+        engine.solve()?;
+    }
+    let scenario = Scenario::new(entry, target)
+        .with_exploit_success(config.exploit_success)
+        .with_baseline_rate(config.baseline_rate)
+        .with_max_ticks(config.max_ticks);
+    let protect = [entry, target];
+    let mut steps = Vec::with_capacity(config.steps);
+    for step in 0..config.steps {
+        let burst = feed.next_burst(
+            engine.network(),
+            engine.catalog(),
+            engine.similarity(),
+            &protect,
+        );
+        let report = engine.apply_batch(&burst.deltas)?;
+        let carried = report
+            .carried
+            .as_ref()
+            .expect("warm step always carries the previous assignment");
+        let mttc_before = estimate_mttc(
+            engine.network(),
+            carried,
+            engine.similarity(),
+            &scenario,
+            &config.mttc,
+        );
+        let mttc_after = estimate_mttc(
+            engine.network(),
+            engine.assignment().expect("step solved"),
+            engine.similarity(),
+            &scenario,
+            &config.mttc,
+        );
+        steps.push(CveChurnStep {
+            step,
+            burst,
+            report,
+            mttc_before,
+            mttc_after,
+        });
+    }
+    Ok(steps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -620,6 +1149,135 @@ mod tests {
             swept_vars: 0,
             localized: false,
         }
+    }
+
+    #[test]
+    fn defender_lag_is_finite_and_censoring_aware() {
+        let compromised = |mean: f64| MttcEstimate::from_parts(10, 10, mean);
+        let censored = MttcEstimate::from_parts(10, 0, 0.0);
+        // Plain gain, partial exposure: gain 100 × (50 / 200) = 25.
+        let dl = defender_lag(&compromised(200.0), &compromised(300.0), 50.0, 2000);
+        assert!((dl - 25.0).abs() < 1e-9, "got {dl}");
+        // Lag window dwarfs the stale MTTC: the whole gain is forfeited.
+        let dl = defender_lag(&compromised(200.0), &compromised(300.0), 1e6, 2000);
+        assert!((dl - 100.0).abs() < 1e-9, "got {dl}");
+        // Re-opt censored: max_ticks stands in, still finite.
+        let dl = defender_lag(&compromised(200.0), &censored, 100.0, 2000);
+        assert!(dl.is_finite() && dl > 0.0);
+        // Carried censored: nothing forfeited.
+        assert_eq!(
+            defender_lag(&censored, &compromised(300.0), 100.0, 2000),
+            0.0
+        );
+        assert_eq!(defender_lag(&censored, &censored, 100.0, 2000), 0.0);
+        // Negative gain (re-opt worse on this sample) clamps to zero.
+        assert_eq!(
+            defender_lag(&compromised(300.0), &compromised(200.0), 100.0, 2000),
+            0.0
+        );
+    }
+
+    #[test]
+    fn adaptive_churn_co_evolves_and_is_deterministic() {
+        let config = AdaptiveChurnConfig {
+            churn: ChurnConfig {
+                steps: 4,
+                mttc: MttcOptions {
+                    runs: 30,
+                    ..MttcOptions::default()
+                },
+                max_ticks: 400,
+                mode: ChurnMode::Batched { mean_burst: 2.0 },
+                ..ChurnConfig::default()
+            },
+            lag: LagModel::default(),
+        };
+        let mut e1 = make_engine(18);
+        let steps = run_churn_adaptive(&mut e1, &config).unwrap();
+        assert_eq!(steps.len(), 4);
+        for s in &steps {
+            assert_ne!(s.entry, s.target, "step {}", s.step);
+            assert!(s.cluster_size >= 1);
+            assert!(s.cluster_count >= 1);
+            assert!(s.lag_ticks.is_finite() && s.lag_ticks >= 0.0);
+            assert!(
+                s.defender_lag.is_finite() && !s.defender_lag.is_nan() && s.defender_lag >= 0.0,
+                "defender-lag must be finite and non-negative"
+            );
+            assert!(s.report.improvement().unwrap() >= -1e-9);
+        }
+        // Identical trajectory (entry/target picks, MTTC, defender-lag) on
+        // a second run from the same seed.
+        let mut e2 = make_engine(18);
+        let again = run_churn_adaptive(&mut e2, &config).unwrap();
+        for (a, b) in steps.iter().zip(&again) {
+            assert_eq!((a.entry, a.target), (b.entry, b.target));
+            assert_eq!(a.deltas, b.deltas);
+            assert_eq!(a.mttc_before, b.mttc_before);
+            assert_eq!(a.mttc_after, b.mttc_after);
+            assert_eq!(a.lag_ticks, b.lag_ticks);
+            assert_eq!(a.defender_lag, b.defender_lag);
+        }
+    }
+
+    #[test]
+    fn cve_feed_bursts_are_heavy_tailed_and_always_valid() {
+        let g = generate(
+            &RandomNetworkConfig {
+                hosts: 20,
+                mean_degree: 3,
+                services: 2,
+                products_per_service: 4,
+                vendors_per_service: 2,
+                topology: TopologyKind::Random,
+            },
+            4,
+        );
+        let mut feed = CveFeed::new(CveFeedConfig::default(), 17);
+        let mut network = g.network.clone();
+        let mut sizes = Vec::new();
+        for _ in 0..40 {
+            let burst = feed.next_burst(&network, &g.catalog, &g.similarity, &[HostId(0)]);
+            assert!(burst.family.contains(&burst.advisory));
+            assert!(!burst.deltas.is_empty());
+            sizes.push(burst.deltas.len());
+            // The guarantee under test: apply_batch never rejects a burst
+            // generated for this network state.
+            network
+                .apply_batch(&burst.deltas, &g.catalog)
+                .expect("generated burst must be valid");
+        }
+        // Pareto(α=1.3) over 40 draws: mostly minimal, at least one spike.
+        assert!(sizes.iter().filter(|&&s| s <= 2).count() >= sizes.len() / 3);
+        assert!(*sizes.iter().max().unwrap() >= 3, "no heavy tail seen");
+    }
+
+    #[test]
+    fn cve_churn_replay_reports_gains() {
+        let config = ChurnConfig {
+            steps: 3,
+            mttc: MttcOptions {
+                runs: 25,
+                ..MttcOptions::default()
+            },
+            max_ticks: 300,
+            ..ChurnConfig::default()
+        };
+        let mut engine = make_engine(16);
+        let mut feed = CveFeed::new(CveFeedConfig::default(), 9);
+        let steps = run_churn_cve(&mut engine, HostId(0), HostId(15), &config, &mut feed).unwrap();
+        assert_eq!(steps.len(), 3);
+        for s in &steps {
+            assert_eq!(s.report.deltas_applied, s.burst.deltas.len());
+            assert!(s.report.improvement().unwrap() >= -1e-9);
+            let _ = s.mttc_gain();
+        }
+        assert!(!engine.network().host(HostId(0)).unwrap().is_removed());
+        engine
+            .assignment()
+            .unwrap()
+            .validate(engine.network())
+            .unwrap();
     }
 
     #[test]

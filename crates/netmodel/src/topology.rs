@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::catalog::{Catalog, ProductSimilarity};
 use crate::network::{Network, NetworkBuilder};
-use crate::{HostId, ProductId};
+use crate::{HostId, ProductId, ServiceId};
 
 /// The shape of generated link structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,29 +92,18 @@ pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
     );
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Catalog: `services` services with `products_per_service` products each.
-    let mut catalog = Catalog::new();
-    let mut service_ids = Vec::with_capacity(config.services);
-    for s in 0..config.services {
-        let sid = catalog.add_service(&format!("service{s}"));
-        for p in 0..config.products_per_service {
-            catalog
-                .add_product(&format!("s{s}_p{p}"), sid)
-                .expect("generated names are unique");
-        }
-        service_ids.push(sid);
-    }
-    let similarity = synthetic_similarity(&catalog, config, &mut rng);
+    let (catalog, service_ids) = build_catalog(config.services, config.products_per_service);
+    let similarity = synthetic_similarity(
+        &catalog,
+        config.products_per_service,
+        config.vendors_per_service,
+        &mut rng,
+    );
 
     // Hosts with full candidate sets.
     let mut builder = NetworkBuilder::new();
     for h in 0..config.hosts {
-        let host = builder.add_host(&format!("n{h}"));
-        for &sid in &service_ids {
-            builder
-                .add_service(host, sid, catalog.products_of(sid).to_vec())
-                .expect("unique services per host");
-        }
+        add_full_host(&mut builder, &format!("n{h}"), None, &catalog, &service_ids);
     }
     add_links(&mut builder, config, &mut rng);
     let network = builder
@@ -125,6 +114,44 @@ pub fn generate(config: &RandomNetworkConfig, seed: u64) -> GeneratedNetwork {
         catalog,
         similarity,
     }
+}
+
+/// Registers `services` services with `products_per_service` products each
+/// (`"service{s}"` / `"s{s}_p{p}"` — the naming every generator shares).
+fn build_catalog(services: usize, products_per_service: usize) -> (Catalog, Vec<ServiceId>) {
+    let mut catalog = Catalog::new();
+    let mut service_ids = Vec::with_capacity(services);
+    for s in 0..services {
+        let sid = catalog.add_service(&format!("service{s}"));
+        for p in 0..products_per_service {
+            catalog
+                .add_product(&format!("s{s}_p{p}"), sid)
+                .expect("generated names are unique");
+        }
+        service_ids.push(sid);
+    }
+    (catalog, service_ids)
+}
+
+/// Adds one host (optionally zone-labelled) running every service with the
+/// full product set as candidates.
+fn add_full_host(
+    builder: &mut NetworkBuilder,
+    name: &str,
+    zone: Option<&str>,
+    catalog: &Catalog,
+    service_ids: &[ServiceId],
+) -> HostId {
+    let host = match zone {
+        Some(zone) => builder.add_host_in_zone(name, zone),
+        None => builder.add_host(name),
+    };
+    for &sid in service_ids {
+        builder
+            .add_service(host, sid, catalog.products_of(sid).to_vec())
+            .expect("unique services per host");
+    }
+    host
 }
 
 fn add_links(builder: &mut NetworkBuilder, config: &RandomNetworkConfig, rng: &mut StdRng) {
@@ -282,38 +309,26 @@ pub fn generate_zoned(config: &ZonedNetworkConfig, seed: u64) -> GeneratedNetwor
         "need at least one product per service"
     );
     let mut rng = StdRng::seed_from_u64(seed);
-    let flat = RandomNetworkConfig {
-        hosts: config.zones * config.hosts_per_zone,
-        mean_degree: config.mean_degree,
-        services: config.services,
-        products_per_service: config.products_per_service,
-        vendors_per_service: config.vendors_per_service,
-        topology: config.topology,
-    };
 
-    let mut catalog = Catalog::new();
-    let mut service_ids = Vec::with_capacity(config.services);
-    for s in 0..config.services {
-        let sid = catalog.add_service(&format!("service{s}"));
-        for p in 0..config.products_per_service {
-            catalog
-                .add_product(&format!("s{s}_p{p}"), sid)
-                .expect("generated names are unique");
-        }
-        service_ids.push(sid);
-    }
-    let similarity = synthetic_similarity(&catalog, &flat, &mut rng);
+    let (catalog, service_ids) = build_catalog(config.services, config.products_per_service);
+    let similarity = synthetic_similarity(
+        &catalog,
+        config.products_per_service,
+        config.vendors_per_service,
+        &mut rng,
+    );
 
     let mut builder = NetworkBuilder::new();
     for z in 0..config.zones {
         let zone = format!("zone{z}");
         for i in 0..config.hosts_per_zone {
-            let host = builder.add_host_in_zone(&format!("z{z}n{i}"), &zone);
-            for &sid in &service_ids {
-                builder
-                    .add_service(host, sid, catalog.products_of(sid).to_vec())
-                    .expect("unique services per host");
-            }
+            add_full_host(
+                &mut builder,
+                &format!("z{z}n{i}"),
+                Some(&zone),
+                &catalog,
+                &service_ids,
+            );
         }
     }
     for z in 0..config.zones {
@@ -352,20 +367,482 @@ pub fn generate_zoned(config: &ZonedNetworkConfig, seed: u64) -> GeneratedNetwor
     }
 }
 
+/// Configuration of a data-center fat-tree instance (see
+/// [`generate_fat_tree`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FatTreeConfig {
+    /// Number of pods; ≥ 1. Each pod is one zone (`"pod{p}"`).
+    pub pods: usize,
+    /// Hosts in the core tier (zone `"core"`); ≥ 1.
+    pub core_hosts: usize,
+    /// Aggregation-tier hosts per pod; ≥ 1.
+    pub agg_per_pod: usize,
+    /// Edge-tier hosts per pod; ≥ 1.
+    pub edge_per_pod: usize,
+    /// Leaf hosts hanging off each edge host.
+    pub hosts_per_edge: usize,
+    /// Number of services; every host runs all of them.
+    pub services: usize,
+    /// Products available per service.
+    pub products_per_service: usize,
+    /// Vendors per service (similarity clusters).
+    pub vendors_per_service: usize,
+}
+
+impl Default for FatTreeConfig {
+    fn default() -> FatTreeConfig {
+        FatTreeConfig {
+            pods: 4,
+            core_hosts: 4,
+            agg_per_pod: 2,
+            edge_per_pod: 2,
+            hosts_per_edge: 4,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+        }
+    }
+}
+
+impl FatTreeConfig {
+    /// Total hosts the configuration generates.
+    pub fn total_hosts(&self) -> usize {
+        self.core_hosts
+            + self.pods * (self.agg_per_pod + self.edge_per_pod * (1 + self.hosts_per_edge))
+    }
+}
+
+/// Generates a data-center fat-tree: a core tier (zone `"core"`, hosts
+/// `0..core_hosts`, host 0 is tier 0's first switch) over `pods` pods, each
+/// a zone `"pod{p}"` with aggregation hosts uplinked to the core
+/// (core `c` attaches to aggregation `c % agg_per_pod` of every pod), edge
+/// hosts fully meshed to their pod's aggregation tier, and `hosts_per_edge`
+/// leaf hosts per edge host. The wiring is fully deterministic; the seed
+/// only drives the synthetic similarity matrix.
+///
+/// Connected by construction: every host is reachable from host 0.
+///
+/// # Panics
+///
+/// Panics if `pods`, `core_hosts`, `agg_per_pod`, `edge_per_pod`,
+/// `services` or `products_per_service` is zero.
+pub fn generate_fat_tree(config: &FatTreeConfig, seed: u64) -> GeneratedNetwork {
+    assert!(config.pods > 0, "need at least one pod");
+    assert!(config.core_hosts > 0, "need at least one core host");
+    assert!(config.agg_per_pod > 0, "need at least one aggregation host");
+    assert!(config.edge_per_pod > 0, "need at least one edge host");
+    assert!(config.services > 0, "need at least one service");
+    assert!(
+        config.products_per_service > 0,
+        "need at least one product per service"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (catalog, service_ids) = build_catalog(config.services, config.products_per_service);
+    let similarity = synthetic_similarity(
+        &catalog,
+        config.products_per_service,
+        config.vendors_per_service,
+        &mut rng,
+    );
+
+    let mut builder = NetworkBuilder::new();
+    let core: Vec<HostId> = (0..config.core_hosts)
+        .map(|c| {
+            add_full_host(
+                &mut builder,
+                &format!("core{c}"),
+                Some("core"),
+                &catalog,
+                &service_ids,
+            )
+        })
+        .collect();
+    let mut aggs: Vec<Vec<HostId>> = Vec::with_capacity(config.pods);
+    for p in 0..config.pods {
+        let zone = format!("pod{p}");
+        let agg: Vec<HostId> = (0..config.agg_per_pod)
+            .map(|a| {
+                add_full_host(
+                    &mut builder,
+                    &format!("p{p}agg{a}"),
+                    Some(&zone),
+                    &catalog,
+                    &service_ids,
+                )
+            })
+            .collect();
+        for e in 0..config.edge_per_pod {
+            let edge = add_full_host(
+                &mut builder,
+                &format!("p{p}edge{e}"),
+                Some(&zone),
+                &catalog,
+                &service_ids,
+            );
+            // Edge hosts mesh to every aggregation host in the pod.
+            for &a in &agg {
+                builder
+                    .add_link(edge, a)
+                    .expect("edge-agg links are unique");
+            }
+            for h in 0..config.hosts_per_edge {
+                let leaf = add_full_host(
+                    &mut builder,
+                    &format!("p{p}e{e}h{h}"),
+                    Some(&zone),
+                    &catalog,
+                    &service_ids,
+                );
+                builder
+                    .add_link(leaf, edge)
+                    .expect("leaf-edge links are unique");
+            }
+        }
+        aggs.push(agg);
+    }
+    // Core uplinks: core switch `c` serves aggregation slot `c % agg_per_pod`
+    // of every pod, so all pods see the whole core tier.
+    for (c, &core_host) in core.iter().enumerate() {
+        for agg in &aggs {
+            builder
+                .add_link(core_host, agg[c % config.agg_per_pod])
+                .expect("core-agg links are unique");
+        }
+    }
+    let network = builder
+        .build(&catalog)
+        .expect("generated instance is valid");
+    GeneratedNetwork {
+        network,
+        catalog,
+        similarity,
+    }
+}
+
+/// Configuration of a scale-free instance (see [`generate_scale_free`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleFreeConfig {
+    /// Number of hosts; ≥ 2.
+    pub hosts: usize,
+    /// Links each newcomer adds (Barabási–Albert `m`); ≥ 1.
+    pub edges_per_host: usize,
+    /// Attachment-kernel exponent `α`: a newcomer attaches to an existing
+    /// host with probability ∝ `degree^α`. `1.0` is classic linear
+    /// preferential attachment (power-law tail with exponent 3); `0.0`
+    /// degrades to uniform attachment; `> 1.0` concentrates into
+    /// winner-take-all hubs.
+    pub attachment_exponent: f64,
+    /// Number of zones; hosts are labelled by contiguous id blocks
+    /// (`"sf0"`, `"sf1"`, …) so `ShardedEngine` can partition the result.
+    pub zones: usize,
+    /// Number of services; every host runs all of them.
+    pub services: usize,
+    /// Products available per service.
+    pub products_per_service: usize,
+    /// Vendors per service (similarity clusters).
+    pub vendors_per_service: usize,
+}
+
+impl Default for ScaleFreeConfig {
+    fn default() -> ScaleFreeConfig {
+        ScaleFreeConfig {
+            hosts: 100,
+            edges_per_host: 2,
+            attachment_exponent: 1.0,
+            zones: 4,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+        }
+    }
+}
+
+/// Generates a scale-free (preferential-attachment) instance with a tunable
+/// attachment exponent: hosts arrive one at a time and each newcomer links
+/// to `edges_per_host` distinct existing hosts, accepted with probability
+/// `((degree+1) / (max_degree+1))^α` under rejection sampling — `α = 1`
+/// reproduces Barabási–Albert, larger `α` sharpens the hubs. Hosts are
+/// zone-labelled by contiguous id blocks (`"sf{b}"`) so the sharded engine
+/// partitions the instance unchanged.
+///
+/// Connected by construction (every newcomer attaches to an earlier host),
+/// so every host is reachable from host 0.
+///
+/// # Panics
+///
+/// Panics if `hosts < 2`, `edges_per_host == 0`, `zones == 0`,
+/// `services == 0`, `products_per_service == 0`, or
+/// `attachment_exponent` is negative or non-finite.
+pub fn generate_scale_free(config: &ScaleFreeConfig, seed: u64) -> GeneratedNetwork {
+    assert!(config.hosts >= 2, "need at least two hosts");
+    assert!(config.edges_per_host > 0, "need at least one edge per host");
+    assert!(config.zones > 0, "need at least one zone");
+    assert!(config.services > 0, "need at least one service");
+    assert!(
+        config.products_per_service > 0,
+        "need at least one product per service"
+    );
+    assert!(
+        config.attachment_exponent.is_finite() && config.attachment_exponent >= 0.0,
+        "attachment exponent must be finite and non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (catalog, service_ids) = build_catalog(config.services, config.products_per_service);
+    let similarity = synthetic_similarity(
+        &catalog,
+        config.products_per_service,
+        config.vendors_per_service,
+        &mut rng,
+    );
+
+    let mut builder = NetworkBuilder::new();
+    let block = config.hosts.div_ceil(config.zones);
+    for i in 0..config.hosts {
+        add_full_host(
+            &mut builder,
+            &format!("sf{i}"),
+            Some(&format!("sf{}", i / block)),
+            &catalog,
+            &service_ids,
+        );
+    }
+    let mut degree = vec![0usize; config.hosts];
+    let mut max_degree = 1usize;
+    fn link(builder: &mut NetworkBuilder, degree: &mut [usize], a: usize, b: usize) {
+        builder
+            .add_link(HostId(a as u32), HostId(b as u32))
+            .expect("attachment targets are distinct");
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    // Seed component: a path over the first m+1 hosts keeps early
+    // attachment well-defined and the instance connected.
+    let m0 = (config.edges_per_host + 1).min(config.hosts);
+    for i in 1..m0 {
+        link(&mut builder, &mut degree, i, i - 1);
+        max_degree = max_degree.max(degree[i - 1]);
+    }
+    for i in m0..config.hosts {
+        let attach = config.edges_per_host.min(i);
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0usize;
+        while chosen.len() < attach && guard < 200 * attach + 200 {
+            guard += 1;
+            let t = rng.gen_range(0..i);
+            if chosen.contains(&t) {
+                continue;
+            }
+            // Rejection sampling against the current hub realizes
+            // P(attach to t) ∝ (degree+1)^α exactly.
+            let odds =
+                ((degree[t] + 1) as f64 / (max_degree + 1) as f64).powf(config.attachment_exponent);
+            if rng.gen::<f64>() < odds {
+                chosen.insert(t);
+            }
+        }
+        // Uniform fallback if rejection sampling stalls on a degenerate
+        // degree profile.
+        let mut t = 0usize;
+        while chosen.len() < attach {
+            chosen.insert(t);
+            t += 1;
+        }
+        for &t in &chosen {
+            link(&mut builder, &mut degree, i, t);
+            max_degree = max_degree.max(degree[t]);
+        }
+        max_degree = max_degree.max(degree[i]);
+    }
+    let network = builder
+        .build(&catalog)
+        .expect("generated instance is valid");
+    GeneratedNetwork {
+        network,
+        catalog,
+        similarity,
+    }
+}
+
+/// Configuration of a tiered enterprise instance (see
+/// [`generate_tiered_enterprise`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredEnterpriseConfig {
+    /// Hosts in the DMZ (zone `"dmz"`); ≥ 1. Host 0 is the perimeter hub.
+    pub dmz_hosts: usize,
+    /// Internal department zones (`"internal{d}"`); ≥ 1.
+    pub internal_zones: usize,
+    /// Hosts per department; ≥ 1. The first is the department hub.
+    pub hosts_per_internal: usize,
+    /// Hosts in the server tier (zone `"servers"`), each homed to one or
+    /// two department hubs.
+    pub server_hosts: usize,
+    /// Extra random spoke-to-spoke links added within each department
+    /// (lateral shortcuts past the hub).
+    pub spoke_links: usize,
+    /// Number of services; every host runs all of them.
+    pub services: usize,
+    /// Products available per service.
+    pub products_per_service: usize,
+    /// Vendors per service (similarity clusters).
+    pub vendors_per_service: usize,
+}
+
+impl Default for TieredEnterpriseConfig {
+    fn default() -> TieredEnterpriseConfig {
+        TieredEnterpriseConfig {
+            dmz_hosts: 4,
+            internal_zones: 3,
+            hosts_per_internal: 10,
+            server_hosts: 6,
+            spoke_links: 2,
+            services: 3,
+            products_per_service: 4,
+            vendors_per_service: 2,
+        }
+    }
+}
+
+impl TieredEnterpriseConfig {
+    /// Total hosts the configuration generates.
+    pub fn total_hosts(&self) -> usize {
+        self.dmz_hosts + self.internal_zones * self.hosts_per_internal + self.server_hosts
+    }
+}
+
+/// Generates a hub-and-spoke enterprise: a DMZ zone whose first host
+/// (host 0) is the perimeter hub, `internal_zones` department zones whose
+/// hubs uplink to the perimeter and fan out to their spokes, and a server
+/// tier homed to the department hubs (each server reaches two departments
+/// when there are at least two). `spoke_links` random lateral links are
+/// added inside each department; everything else is deterministic.
+///
+/// Connected by construction: every host is reachable from host 0 (the
+/// perimeter hub).
+///
+/// # Panics
+///
+/// Panics if `dmz_hosts`, `internal_zones`, `hosts_per_internal`,
+/// `services` or `products_per_service` is zero.
+pub fn generate_tiered_enterprise(config: &TieredEnterpriseConfig, seed: u64) -> GeneratedNetwork {
+    assert!(config.dmz_hosts > 0, "need at least one DMZ host");
+    assert!(config.internal_zones > 0, "need at least one internal zone");
+    assert!(
+        config.hosts_per_internal > 0,
+        "need at least one host per internal zone"
+    );
+    assert!(config.services > 0, "need at least one service");
+    assert!(
+        config.products_per_service > 0,
+        "need at least one product per service"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (catalog, service_ids) = build_catalog(config.services, config.products_per_service);
+    let similarity = synthetic_similarity(
+        &catalog,
+        config.products_per_service,
+        config.vendors_per_service,
+        &mut rng,
+    );
+
+    let mut builder = NetworkBuilder::new();
+    let perimeter = add_full_host(&mut builder, "dmz0", Some("dmz"), &catalog, &service_ids);
+    for i in 1..config.dmz_hosts {
+        let spoke = add_full_host(
+            &mut builder,
+            &format!("dmz{i}"),
+            Some("dmz"),
+            &catalog,
+            &service_ids,
+        );
+        builder
+            .add_link(spoke, perimeter)
+            .expect("dmz spokes are unique");
+    }
+    let mut dept_hubs = Vec::with_capacity(config.internal_zones);
+    let mut dept_spokes: Vec<Vec<HostId>> = Vec::with_capacity(config.internal_zones);
+    for d in 0..config.internal_zones {
+        let zone = format!("internal{d}");
+        let hub = add_full_host(
+            &mut builder,
+            &format!("i{d}hub"),
+            Some(&zone),
+            &catalog,
+            &service_ids,
+        );
+        builder
+            .add_link(hub, perimeter)
+            .expect("department uplinks are unique");
+        let spokes: Vec<HostId> = (1..config.hosts_per_internal)
+            .map(|i| {
+                let spoke = add_full_host(
+                    &mut builder,
+                    &format!("i{d}n{i}"),
+                    Some(&zone),
+                    &catalog,
+                    &service_ids,
+                );
+                builder
+                    .add_link(spoke, hub)
+                    .expect("department spokes are unique");
+                spoke
+            })
+            .collect();
+        // Lateral shortcuts inside the department.
+        if spokes.len() >= 2 {
+            let mut added = 0usize;
+            let mut attempts = 0usize;
+            while added < config.spoke_links && attempts < 20 * config.spoke_links + 40 {
+                attempts += 1;
+                let a = spokes[rng.gen_range(0..spokes.len())];
+                let b = spokes[rng.gen_range(0..spokes.len())];
+                if a != b && builder.add_link(a, b).is_ok() {
+                    added += 1;
+                }
+            }
+        }
+        dept_hubs.push(hub);
+        dept_spokes.push(spokes);
+    }
+    for s in 0..config.server_hosts {
+        let server = add_full_host(
+            &mut builder,
+            &format!("srv{s}"),
+            Some("servers"),
+            &catalog,
+            &service_ids,
+        );
+        builder
+            .add_link(server, dept_hubs[s % dept_hubs.len()])
+            .expect("server homing links are unique");
+        if dept_hubs.len() >= 2 {
+            builder
+                .add_link(server, dept_hubs[(s + 1) % dept_hubs.len()])
+                .expect("server failover links are unique");
+        }
+    }
+    let network = builder
+        .build(&catalog)
+        .expect("generated instance is valid");
+    GeneratedNetwork {
+        network,
+        catalog,
+        similarity,
+    }
+}
+
 /// Builds the vendor-clustered synthetic similarity matrix (module docs).
 fn synthetic_similarity(
     catalog: &Catalog,
-    config: &RandomNetworkConfig,
+    products_per_service: usize,
+    vendors_per_service: usize,
     rng: &mut StdRng,
 ) -> ProductSimilarity {
     let n = catalog.product_count();
-    let vendors = config
-        .vendors_per_service
-        .clamp(1, config.products_per_service);
+    let vendors = vendors_per_service.clamp(1, products_per_service);
     let vendor_of = |p: ProductId| -> usize {
         // Products are registered service-major; position within the service
         // determines the vendor bucket.
-        let within = p.index() % config.products_per_service;
+        let within = p.index() % products_per_service;
         within % vendors
     };
     let mut values = vec![0.0; n * n];
@@ -547,6 +1024,102 @@ mod tests {
             .all(|(a, b)| (a.index() / 20).abs_diff(b.index() / 20) <= 1));
         // Deterministic.
         assert_eq!(g.network, generate_zoned(&cfg, 11).network);
+    }
+
+    #[test]
+    fn fat_tree_shape_zones_and_connectivity() {
+        let cfg = FatTreeConfig::default();
+        let g = generate_fat_tree(&cfg, 3);
+        assert_eq!(g.network.host_count(), cfg.total_hosts());
+        assert_eq!(
+            g.network.reachable_from(HostId(0)).len(),
+            cfg.total_hosts(),
+            "fat-tree must be connected from core0"
+        );
+        // Core hosts carry the "core" zone; everything else a pod zone.
+        for (id, host) in g.network.iter_hosts() {
+            if id.index() < cfg.core_hosts {
+                assert_eq!(host.zone(), Some("core"));
+            } else {
+                assert!(host.zone().unwrap().starts_with("pod"));
+            }
+        }
+        // Wiring is deterministic and seed-pinned.
+        assert_eq!(g.network, generate_fat_tree(&cfg, 3).network);
+        // Leaf hosts have degree 1 (their edge switch).
+        let leaves = g
+            .network
+            .iter_hosts()
+            .filter(|(id, _)| g.network.degree(*id) == 1)
+            .count();
+        assert_eq!(leaves, cfg.pods * cfg.edge_per_pod * cfg.hosts_per_edge);
+    }
+
+    #[test]
+    fn scale_free_exponent_sharpens_hubs() {
+        let base = ScaleFreeConfig {
+            hosts: 400,
+            services: 1,
+            products_per_service: 2,
+            ..ScaleFreeConfig::default()
+        };
+        let linear = generate_scale_free(&base, 7);
+        let flat = generate_scale_free(
+            &ScaleFreeConfig {
+                attachment_exponent: 0.0,
+                ..base.clone()
+            },
+            7,
+        );
+        let max_deg = |g: &GeneratedNetwork| {
+            g.network
+                .iter_hosts()
+                .map(|(id, _)| g.network.degree(id))
+                .max()
+                .unwrap()
+        };
+        assert!(
+            max_deg(&linear) > max_deg(&flat),
+            "preferential attachment ({}) should out-hub uniform attachment ({})",
+            max_deg(&linear),
+            max_deg(&flat)
+        );
+        // Connected, zone-labelled in contiguous blocks.
+        assert_eq!(linear.network.reachable_from(HostId(0)).len(), 400);
+        for (id, host) in linear.network.iter_hosts() {
+            assert_eq!(
+                host.zone(),
+                Some(format!("sf{}", id.index() / 100).as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_enterprise_tiers_and_connectivity() {
+        let cfg = TieredEnterpriseConfig::default();
+        let g = generate_tiered_enterprise(&cfg, 13);
+        assert_eq!(g.network.host_count(), cfg.total_hosts());
+        assert_eq!(
+            g.network.reachable_from(HostId(0)).len(),
+            cfg.total_hosts(),
+            "enterprise must be connected from the perimeter hub"
+        );
+        // Zone census: dmz + internal{d} + servers.
+        let zone_of = |id: HostId| g.network.host(id).unwrap().zone().unwrap().to_string();
+        assert_eq!(zone_of(HostId(0)), "dmz");
+        let dmz = (0..g.network.host_count() as u32)
+            .filter(|&i| zone_of(HostId(i)) == "dmz")
+            .count();
+        let servers = (0..g.network.host_count() as u32)
+            .filter(|&i| zone_of(HostId(i)) == "servers")
+            .count();
+        assert_eq!(dmz, cfg.dmz_hosts);
+        assert_eq!(servers, cfg.server_hosts);
+        // Servers are homed to exactly two department hubs.
+        let first_server = (cfg.dmz_hosts + cfg.internal_zones * cfg.hosts_per_internal) as u32;
+        assert_eq!(g.network.degree(HostId(first_server)), 2);
+        // Deterministic.
+        assert_eq!(g.network, generate_tiered_enterprise(&cfg, 13).network);
     }
 
     #[test]

@@ -9,9 +9,116 @@ use netmodel::delta::NetworkDelta;
 use netmodel::partition::partition_by_zone;
 use netmodel::strategies::{mono_assignment, random_assignment};
 use netmodel::topology::{
-    generate, generate_zoned, RandomNetworkConfig, TopologyKind, ZonedNetworkConfig,
+    generate, generate_fat_tree, generate_scale_free, generate_tiered_enterprise, generate_zoned,
+    FatTreeConfig, GeneratedNetwork, RandomNetworkConfig, ScaleFreeConfig, TieredEnterpriseConfig,
+    TopologyKind, ZonedNetworkConfig,
 };
 use netmodel::{HostId, ProductId};
+
+/// Every host reachable from host 0 (tier 0 / the hub in the structured
+/// families), and the basic structural soundness the random-generator test
+/// checks too.
+fn assert_connected_from_zero(g: &GeneratedNetwork) {
+    let reachable = g.network.reachable_from(HostId(0));
+    assert_eq!(
+        reachable.len(),
+        g.network.host_count(),
+        "family generators produce connected networks"
+    );
+    for (id, _) in g.network.iter_hosts() {
+        for &nb in g.network.neighbors(id) {
+            assert_ne!(nb, id, "self loop");
+            assert!(
+                g.network.neighbors(nb).contains(&id),
+                "asymmetric adjacency"
+            );
+        }
+    }
+}
+
+/// Replays a random topology-delta stream against `g`, maintaining the
+/// zone partition incrementally and asserting it matches the from-scratch
+/// `partition_by_zone` after every delta (the same invariant
+/// `incremental_partition_tracks_scratch_recompute` pins on the random
+/// zoned generator, here exercised on the structured families).
+fn assert_partition_tracks_stream(g: GeneratedNetwork, seed: u64, steps: usize) {
+    let mut net = g.network;
+    let (service, _) = g.catalog.iter_services().next().expect("generated catalog");
+    let products = g.catalog.products_of(service).to_vec();
+    let mut partition = partition_by_zone(&net);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE);
+    let mut fresh_zones = 0usize;
+    for _ in 0..steps {
+        let live: Vec<HostId> = net
+            .iter_hosts()
+            .filter(|(_, h)| !h.is_removed())
+            .map(|(id, _)| id)
+            .collect();
+        let delta = match rng.gen_range(0..4u32) {
+            0 => {
+                let zone = match rng.gen_range(0..3u32) {
+                    0 if !live.is_empty() => {
+                        let anchor = live[rng.gen_range(0..live.len())];
+                        net.host(anchor).unwrap().zone().map(str::to_owned)
+                    }
+                    1 => {
+                        fresh_zones += 1;
+                        Some(format!("zone-fresh{fresh_zones}"))
+                    }
+                    _ => None,
+                };
+                let mut links: Vec<HostId> = if live.is_empty() {
+                    Vec::new()
+                } else {
+                    (0..rng.gen_range(0..3usize))
+                        .map(|_| live[rng.gen_range(0..live.len())])
+                        .collect()
+                };
+                links.sort_unstable();
+                links.dedup();
+                NetworkDelta::AddHost {
+                    name: format!("g{}", net.host_count()),
+                    zone,
+                    services: vec![(service, products.clone())],
+                    links,
+                }
+            }
+            1 if live.len() >= 2 => {
+                let a = live[rng.gen_range(0..live.len())];
+                let b = live[rng.gen_range(0..live.len())];
+                if a == b || net.linked(a, b) {
+                    continue;
+                }
+                NetworkDelta::add_link(a, b)
+            }
+            2 if net.link_count() > 0 => {
+                let links = net.links();
+                let (a, b) = links[rng.gen_range(0..links.len())];
+                NetworkDelta::remove_link(a, b)
+            }
+            3 if !live.is_empty() => NetworkDelta::remove_host(live[rng.gen_range(0..live.len())]),
+            _ => continue,
+        };
+        net.apply_delta(&delta, &g.catalog)
+            .expect("delta is valid by construction");
+        match &delta {
+            NetworkDelta::AddHost { zone, links, .. } => {
+                let id = HostId(net.host_count() as u32 - 1);
+                partition.add_host(id, zone.as_deref());
+                for &peer in links {
+                    partition.add_link(id, peer);
+                }
+            }
+            NetworkDelta::AddLink { a, b } => partition.add_link(*a, *b),
+            NetworkDelta::RemoveLink { a, b } => partition.remove_link(*a, *b),
+            NetworkDelta::RemoveHost { host } => {
+                partition.remove_host(*host);
+            }
+            _ => unreachable!("only topology deltas are generated"),
+        }
+        assert_eq!(partition, partition_by_zone(&net), "diverged after {delta}");
+    }
+}
 
 fn arb_config() -> impl Strategy<Value = RandomNetworkConfig> {
     (
@@ -233,5 +340,124 @@ proptest! {
             }
             prop_assert_eq!(&partition, &partition_by_zone(&net), "diverged after {}", delta);
         }
+    }
+
+    /// Fat-tree generation is deterministic (same seed ⇒ identical network,
+    /// catalog and similarity), connected from the core tier, and the
+    /// incremental zone partition tracks the scratch recompute under an
+    /// arbitrary delta stream on top of it.
+    #[test]
+    fn fat_tree_generator_is_pinned(
+        pods in 1usize..4,
+        core_hosts in 1usize..4,
+        hosts_per_edge in 1usize..4,
+        seed in 0u64..200,
+        steps in 5usize..25,
+    ) {
+        let config = FatTreeConfig {
+            pods,
+            core_hosts,
+            agg_per_pod: 2,
+            edge_per_pod: 2,
+            hosts_per_edge,
+            services: 2,
+            products_per_service: 3,
+            vendors_per_service: 2,
+        };
+        let g = generate_fat_tree(&config, seed);
+        let again = generate_fat_tree(&config, seed);
+        prop_assert_eq!(&g.network, &again.network, "same seed, same network");
+        prop_assert_eq!(&g.catalog, &again.catalog, "same seed, same catalog");
+        prop_assert_eq!(&g.similarity, &again.similarity, "same seed, same similarity");
+        prop_assert_eq!(g.network.host_count(), config.total_hosts());
+        assert_connected_from_zero(&g);
+        assert_partition_tracks_stream(g, seed, steps);
+    }
+
+    /// Scale-free generation is deterministic, connected from the hub-side
+    /// path seed, and the incremental zone partition tracks the scratch
+    /// recompute under a delta stream.
+    #[test]
+    fn scale_free_generator_is_pinned(
+        hosts in 4usize..40,
+        edges_per_host in 1usize..4,
+        zones in 1usize..5,
+        seed in 0u64..200,
+        steps in 5usize..25,
+    ) {
+        let config = ScaleFreeConfig {
+            hosts,
+            edges_per_host,
+            attachment_exponent: 1.0,
+            zones,
+            services: 2,
+            products_per_service: 3,
+            vendors_per_service: 2,
+        };
+        let g = generate_scale_free(&config, seed);
+        let again = generate_scale_free(&config, seed);
+        prop_assert_eq!(&g.network, &again.network, "same seed, same network");
+        prop_assert_eq!(&g.catalog, &again.catalog, "same seed, same catalog");
+        prop_assert_eq!(&g.similarity, &again.similarity, "same seed, same similarity");
+        prop_assert_eq!(g.network.host_count(), hosts);
+        assert_connected_from_zero(&g);
+        assert_partition_tracks_stream(g, seed, steps);
+    }
+
+    /// Degree-distribution sanity for the scale-free family: growing the
+    /// network under the same seed only extends the generation (the first
+    /// `n` hosts wire identically), so the max degree is monotone in `n` —
+    /// and over a 4× span preferential attachment actually grows the hub.
+    #[test]
+    fn scale_free_max_degree_grows_with_n(n in 16usize..32, seed in 0u64..200) {
+        let max_degree = |hosts: usize| {
+            let g = generate_scale_free(
+                &ScaleFreeConfig {
+                    hosts,
+                    attachment_exponent: 1.5,
+                    ..ScaleFreeConfig::default()
+                },
+                seed,
+            );
+            (0..g.network.host_count())
+                .map(|i| g.network.degree(HostId(i as u32)))
+                .max()
+                .unwrap()
+        };
+        let (small, mid, large) = (max_degree(n), max_degree(2 * n), max_degree(4 * n));
+        prop_assert!(small <= mid && mid <= large, "monotone: {small} ≤ {mid} ≤ {large}");
+        prop_assert!(large > small, "the hub grows over a 4× span: {small} → {large}");
+    }
+
+    /// Tiered-enterprise generation is deterministic, connected from the
+    /// DMZ perimeter, and the incremental zone partition tracks the scratch
+    /// recompute under a delta stream.
+    #[test]
+    fn tiered_enterprise_generator_is_pinned(
+        dmz_hosts in 1usize..4,
+        internal_zones in 1usize..4,
+        hosts_per_internal in 2usize..7,
+        server_hosts in 1usize..5,
+        seed in 0u64..200,
+        steps in 5usize..25,
+    ) {
+        let config = TieredEnterpriseConfig {
+            dmz_hosts,
+            internal_zones,
+            hosts_per_internal,
+            server_hosts,
+            spoke_links: 2,
+            services: 2,
+            products_per_service: 3,
+            vendors_per_service: 2,
+        };
+        let g = generate_tiered_enterprise(&config, seed);
+        let again = generate_tiered_enterprise(&config, seed);
+        prop_assert_eq!(&g.network, &again.network, "same seed, same network");
+        prop_assert_eq!(&g.catalog, &again.catalog, "same seed, same catalog");
+        prop_assert_eq!(&g.similarity, &again.similarity, "same seed, same similarity");
+        prop_assert_eq!(g.network.host_count(), config.total_hosts());
+        assert_connected_from_zero(&g);
+        assert_partition_tracks_stream(g, seed, steps);
     }
 }

@@ -8,6 +8,9 @@
 //! BN evaluation instead has attackers "evenly choose one" among feasible
 //! exploits. Both strategies are provided.
 
+use netmodel::assignment::Assignment;
+use netmodel::network::Network;
+use netmodel::HostId;
 use serde::{Deserialize, Serialize};
 
 /// How the attacker picks an exploit when several services are shared
@@ -30,6 +33,13 @@ pub enum AttackerStrategy {
         /// Noise amplitude in thousandths of probability (e.g. 300 = ±0.3).
         noise_permille: u16,
     },
+    /// Adversary-in-the-loop: at the edge level this behaves like
+    /// [`AttackerStrategy::Sophisticated`], but the scenario driver
+    /// re-derives entry and target from the *current* committed
+    /// assignment's largest monoculture cluster before every churn step
+    /// (see [`adaptive_entry_target`]), so the attack co-evolves with the
+    /// defender's re-optimization.
+    Adaptive,
 }
 
 impl AttackerStrategy {
@@ -53,7 +63,7 @@ impl AttackerStrategy {
         pick_uniform: impl FnOnce(usize) -> usize,
     ) -> Option<(usize, f64)> {
         match self {
-            AttackerStrategy::NoisyRecon { .. } => {
+            AttackerStrategy::NoisyRecon { .. } | AttackerStrategy::Adaptive => {
                 AttackerStrategy::Sophisticated.choose(success, pick_uniform)
             }
             AttackerStrategy::Sophisticated => {
@@ -102,7 +112,7 @@ impl AttackerStrategy {
         mut sample: impl FnMut() -> f64,
     ) -> Option<(usize, f64)> {
         match self {
-            AttackerStrategy::NoisyRecon { noise_permille } => {
+            AttackerStrategy::NoisyRecon { noise_permille } if noise_permille > 0 => {
                 let amplitude = noise_permille as f64 / 1000.0;
                 let mut best: Option<(usize, f64, f64)> = None; // (idx, p, score)
                 for (i, &p) in success.iter().enumerate() {
@@ -117,14 +127,131 @@ impl AttackerStrategy {
                 }
                 best.map(|(i, p, _)| (i, p))
             }
-            other => {
-                let n = success.len().max(1);
-                other.choose(success, |count| {
-                    (sample() * count as f64) as usize % n.max(1)
-                })
+            // `NoisyRecon { noise_permille: 0 }` falls through: with zero
+            // amplitude the perturbed ranking would keep the *first* tied
+            // maximum while `choose` tie-breaks uniformly — delegating makes
+            // noise=0 ≡ `choose` even on monoculture ties.
+            other => other.choose(success, |count| (sample() * count as f64) as usize),
+        }
+    }
+}
+
+/// The monoculture clusters of a committed assignment: connected components
+/// of the subgraph keeping only links whose endpoints run at least one
+/// common service with the *same* assigned product — the paths a single
+/// zero-day can ride without changing exploits.
+///
+/// Returns the clusters largest-first (ties broken by smallest member id);
+/// members are sorted ascending. Hosts on no monoculture link form
+/// singleton clusters; removed hosts are skipped entirely.
+pub fn monoculture_clusters(network: &Network, assignment: &Assignment) -> Vec<Vec<HostId>> {
+    let n = network.host_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for &(a, b) in network.links() {
+        if monoculture_link(network, assignment, a, b) {
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            if ra != rb {
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                parent[hi as usize] = lo;
             }
         }
     }
+    let mut clusters: std::collections::BTreeMap<u32, Vec<HostId>> =
+        std::collections::BTreeMap::new();
+    for (id, host) in network.iter_hosts() {
+        if host.is_removed() {
+            continue;
+        }
+        clusters
+            .entry(find(&mut parent, id.0))
+            .or_default()
+            .push(id);
+    }
+    let mut out: Vec<Vec<HostId>> = clusters.into_values().collect();
+    // BTreeMap iteration already sorts members ascending (roots are minima
+    // of their components); order clusters largest-first, ties by min id.
+    out.sort_by(|x, y| y.len().cmp(&x.len()).then(x[0].0.cmp(&y[0].0)));
+    out
+}
+
+/// Whether the link `(a, b)` carries at least one shared service assigned
+/// the same product on both ends.
+fn monoculture_link(network: &Network, assignment: &Assignment, a: HostId, b: HostId) -> bool {
+    network
+        .host(a)
+        .ok()
+        .map(|host| {
+            host.services().iter().any(|inst| {
+                let s = inst.service();
+                match (
+                    assignment.product_for(network, a, s),
+                    assignment.product_for(network, b, s),
+                ) {
+                    (Some(pa), Some(pb)) => pa == pb,
+                    _ => false,
+                }
+            })
+        })
+        .unwrap_or(false)
+}
+
+/// Picks the adaptive attacker's entry and target from the committed
+/// assignment: entry is the lowest-id host of the largest monoculture
+/// cluster (see [`monoculture_clusters`]); the target is the host farthest
+/// from the entry *within that cluster* by monoculture-edge BFS — i.e. the
+/// deepest point a single exploit chain can reach. When the largest cluster
+/// is a singleton (no monoculture edges anywhere), the target falls back to
+/// the farthest live host from the entry over the full link graph.
+///
+/// Fully deterministic. Returns `None` when the network has fewer than two
+/// live hosts.
+pub fn adaptive_entry_target(
+    network: &Network,
+    assignment: &Assignment,
+) -> Option<(HostId, HostId)> {
+    let clusters = monoculture_clusters(network, assignment);
+    let largest = clusters.first()?;
+    let entry = *largest.first()?;
+    let restrict = largest.len() > 1;
+    // BFS from the entry; when the cluster is non-trivial, ride only
+    // monoculture edges so depth measures the single-exploit chain.
+    let mut depth = vec![u32::MAX; network.host_count()];
+    depth[entry.index()] = 0;
+    let mut queue = std::collections::VecDeque::from([entry]);
+    let mut farthest = entry;
+    while let Some(u) = queue.pop_front() {
+        for &v in network.neighbors(u) {
+            if restrict && !monoculture_link(network, assignment, u, v) {
+                continue;
+            }
+            if depth[v.index()] == u32::MAX {
+                depth[v.index()] = depth[u.index()] + 1;
+                // Deterministic: strictly-deeper wins; ties keep the first
+                // (lowest-id at that depth, since neighbors are sorted).
+                if depth[v.index()] > depth[farthest.index()] {
+                    farthest = v;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if farthest == entry {
+        // Singleton cluster or isolated entry: fall back to any other live
+        // host, nearest-by-id, so the scenario still measures a traversal.
+        farthest = network
+            .iter_hosts()
+            .filter(|(id, host)| !host.is_removed() && *id != entry)
+            .map(|(id, _)| id)
+            .next()?;
+    }
+    Some((entry, farthest))
 }
 
 #[cfg(test)]
@@ -195,6 +322,106 @@ mod tests {
             AttackerStrategy::Uniform.choose_noisy(&[0.2, 0.9], || draws.next().unwrap()),
             Some((1, 0.9))
         );
+    }
+
+    #[test]
+    fn noise_zero_equals_choose_even_on_ties() {
+        // A monoculture tie: candidates 0 and 2 share the maximum. `choose`
+        // tie-breaks uniformly; noise=0 must do exactly the same, for every
+        // draw value.
+        let zero = AttackerStrategy::NoisyRecon { noise_permille: 0 };
+        let success = [0.7, 0.1, 0.7, 0.0];
+        for draw in [0.0, 0.3, 0.5, 0.9, 0.999] {
+            let noisy = zero.choose_noisy(&success, || draw);
+            let plain = zero.choose(&success, |count| (draw * count as f64) as usize);
+            assert_eq!(noisy, plain, "draw {draw}");
+        }
+        // Both tied indices are reachable (first-max-only would pin index 0).
+        assert_eq!(zero.choose_noisy(&success, || 0.0), Some((0, 0.7)));
+        assert_eq!(zero.choose_noisy(&success, || 0.9), Some((2, 0.7)));
+    }
+
+    #[test]
+    fn noise_only_perturbs_within_the_candidate_set() {
+        // Whatever the draws, the chosen index must have success > 0 and the
+        // reported probability must be the *unperturbed* entry.
+        let strategies = [
+            AttackerStrategy::NoisyRecon { noise_permille: 0 },
+            AttackerStrategy::NoisyRecon {
+                noise_permille: 400,
+            },
+            AttackerStrategy::NoisyRecon {
+                noise_permille: 1000,
+            },
+        ];
+        let success = [0.0, 0.4, 0.0, 0.2, 0.9, 0.0];
+        for strategy in strategies {
+            for step in 0..20 {
+                let mut k = step;
+                let mut sample = move || {
+                    k = (k * 7 + 3) % 20;
+                    k as f64 / 20.0
+                };
+                let (idx, p) = strategy
+                    .choose_noisy(&success, &mut sample)
+                    .expect("feasible candidates exist");
+                assert!(success[idx] > 0.0, "{strategy:?} picked zero-success {idx}");
+                assert_eq!(p, success[idx], "reported probability is unperturbed");
+            }
+            // No feasible candidate: never invents one.
+            assert_eq!(strategy.choose_noisy(&[0.0, 0.0], || 0.5), None);
+        }
+    }
+
+    #[test]
+    fn adaptive_edge_choice_matches_sophisticated() {
+        let success = [0.1, 0.7, 0.3];
+        assert_eq!(
+            AttackerStrategy::Adaptive.choose(&success, |_| 0),
+            AttackerStrategy::Sophisticated.choose(&success, |_| 0)
+        );
+        assert_eq!(
+            AttackerStrategy::Adaptive.choose_noisy(&success, || 0.2),
+            Some((1, 0.7))
+        );
+    }
+
+    #[test]
+    fn monoculture_clusters_and_adaptive_targeting() {
+        use netmodel::network::NetworkBuilder;
+        let mut catalog = netmodel::catalog::Catalog::new();
+        let sid = catalog.add_service("svc");
+        let p0 = catalog.add_product("p0", sid).unwrap();
+        let p1 = catalog.add_product("p1", sid).unwrap();
+        let mut builder = NetworkBuilder::new();
+        for i in 0..5 {
+            let h = builder.add_host(&format!("h{i}"));
+            builder.add_service(h, sid, vec![p0, p1]).unwrap();
+        }
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3), (0, 4)] {
+            builder.add_link(HostId(a), HostId(b)).unwrap();
+        }
+        let network = builder.build(&catalog).unwrap();
+        // Products: 0,1,2 run p0 (monoculture chain); 3 and 4 run p1.
+        let assignment =
+            Assignment::from_slots(vec![vec![p0], vec![p0], vec![p0], vec![p1], vec![p1]]);
+        let clusters = monoculture_clusters(&network, &assignment);
+        // {0,1,2} via monoculture links; 3 and 4 are singletons (their links
+        // cross products).
+        assert_eq!(clusters[0], vec![HostId(0), HostId(1), HostId(2)]);
+        assert_eq!(clusters.len(), 3);
+        // Entry = lowest id of the largest cluster; target = deepest host on
+        // the monoculture chain.
+        assert_eq!(
+            adaptive_entry_target(&network, &assignment),
+            Some((HostId(0), HostId(2)))
+        );
+        // Fully diverse assignment: all singletons; entry 0, fallback target.
+        let diverse =
+            Assignment::from_slots(vec![vec![p0], vec![p1], vec![p0], vec![p1], vec![p0]]);
+        let (entry, target) = adaptive_entry_target(&network, &diverse).unwrap();
+        assert_eq!(entry, HostId(0));
+        assert_ne!(target, entry);
     }
 
     #[test]
